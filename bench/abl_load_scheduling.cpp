@@ -1,0 +1,44 @@
+// Ablation (DESIGN.md): Eq. 13 load scheduling on/off. With loads
+// clustered at the top of each copy instead of spread by the bottleneck
+// scheduler, the pipeline model shows the lost cycles.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "isa/kernel_generator.hpp"
+#include "model/machine.hpp"
+#include "sim/pipeline.hpp"
+
+int main(int argc, char** argv) {
+  ag::CliArgs args(argc, argv);
+  agbench::banner("Ablation", "instruction (load) scheduling, Eq. 13");
+
+  ag::Table t({"kernel", "scheduled", "rotated", "efficiency", "raw stalls/copy",
+               "war stalls/copy"});
+  const ag::sim::PipelineConfig base;
+  for (ag::KernelShape shape : {ag::KernelShape{8, 6}, {8, 4}, {4, 4}}) {
+    for (bool rotate : {true, false}) {
+      for (bool schedule : {true, false}) {
+        ag::isa::KernelGenOptions opts;
+        opts.rotate = rotate;
+        opts.schedule_loads = schedule;
+        const auto gk = ag::isa::generate_register_kernel(shape, ag::model::xgene(), opts);
+        ag::sim::PipelineConfig cfg = base;
+        cfg.rename = rotate;  // non-rotated kernel exhausts rename registers
+        const auto r = ag::sim::simulate_program(gk.body, 64, cfg);
+        const double copies = 64.0 * gk.rotation.unroll;
+        t.add_row({shape.to_string(), schedule ? "yes" : "no", rotate ? "yes" : "no",
+                   ag::Table::fmt_pct(r.efficiency(cfg.fma_cycles), 1),
+                   ag::Table::fmt(r.raw_stall_cycles / copies, 2),
+                   ag::Table::fmt(r.war_stall_cycles / copies, 2)});
+      }
+    }
+  }
+  agbench::emit(args, t);
+
+  std::cout << "\nExpected shape: scheduled+rotated is best; clustering all loads at the\n"
+            << "copy start raises RAW stalls; disabling rotation raises WAR stalls\n"
+            << "(the paper's Section IV-A motivation on a core with few rename regs).\n";
+  return 0;
+}

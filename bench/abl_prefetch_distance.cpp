@@ -1,0 +1,48 @@
+// Ablation (DESIGN.md): sensitivity to the prefetch distances PREA/PREB
+// of Section IV-B. The trace simulator measures L1 load-miss rates with
+// prefetching off and with the distances scaled 0.5x / 1x / 2x / 4x.
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "core/block_sizes.hpp"
+#include "model/machine.hpp"
+#include "sim/trace.hpp"
+
+int main(int argc, char** argv) {
+  ag::CliArgs args(argc, argv);
+  agbench::banner("Ablation", "prefetch distances PREA/PREB (Section IV-B)");
+  const std::int64_t size = args.get_int("size", 384);
+
+  struct Config {
+    const char* name;
+    bool prefetch;
+    double scale;
+  };
+  const Config configs[] = {
+      {"no prefetch", false, 1.0}, {"0.5x distances", true, 0.5}, {"1x (paper)", true, 1.0},
+      {"2x distances", true, 2.0}, {"4x distances", true, 4.0},
+  };
+
+  ag::Table t({"config", "PREA (B)", "PREB (B)", "L1 load miss rate", "mem reads (K lines)"});
+  for (const auto& c : configs) {
+    ag::sim::TraceConfig cfg;
+    cfg.blocks = ag::paper_block_sizes({8, 6}, 1);
+    cfg.prefetch = c.prefetch;
+    cfg.prea_bytes = static_cast<std::int64_t>(1024 * c.scale);
+    cfg.preb_bytes = static_cast<std::int64_t>(24576 * c.scale);
+    const auto r = ag::sim::trace_dgemm(ag::model::xgene(), cfg, size, size, size);
+    t.add_row({c.name, c.prefetch ? std::to_string(cfg.prea_bytes) : "-",
+               c.prefetch ? std::to_string(cfg.preb_bytes) : "-",
+               ag::Table::fmt_pct(r.l1_load_miss_rate(), 2),
+               ag::Table::fmt(static_cast<double>(r.memory_reads) * 1e-3, 1)});
+  }
+  agbench::emit(args, t);
+
+  std::cout << "\nExpected shape: the paper's distances (PREA=1024, PREB=24576) cut the\n"
+            << "L1 load-miss rate relative to no prefetching; far larger distances\n"
+            << "prefetch past the useful window and help less.\n";
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Regenerates Figure 5: the compute-to-memory-access-ratio surface of the
+// register kernel over (mr, nrf), whose maximum 6.857 at mr=8, nrf=6
+// selects the 8x6 register block.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "model/machine.hpp"
+#include "model/register_blocking.hpp"
+
+int main(int argc, char** argv) {
+  ag::CliArgs args(argc, argv);
+  agbench::banner("Figure 5", "gamma surface of the register kernel over (mr, nrf)");
+
+  const auto grid = ag::model::register_gamma_surface(ag::model::xgene(), 16, 8);
+
+  // Render as a matrix: rows = mr, columns = nrf.
+  ag::Table t({"mr \\ nrf", "0", "1", "2", "3", "4", "5", "6", "7", "8"});
+  for (int mr = 2; mr <= 16; mr += 2) {
+    std::vector<std::string> row{std::to_string(mr)};
+    for (int nrf = 0; nrf <= 8; ++nrf) {
+      for (const auto& p : grid)
+        if (p.mr == mr && p.nrf == nrf) row.push_back(ag::Table::fmt(p.gamma, 3));
+    }
+    t.add_row(row);
+  }
+  agbench::emit(args, t);
+
+  const auto best = ag::model::solve_register_blocking(ag::model::xgene());
+  std::cout << "\nOptimum: mr x nr = " << best.mr << "x" << best.nr << " with nrf = "
+            << best.nrf << ", gamma = " << ag::Table::fmt(best.gamma, 3)
+            << " (paper: 8x6, nrf=6, 6.857).\n"
+            << "Register budget: " << ag::model::register_budget(best.mr, best.nr,
+                                                                 ag::model::xgene()).c_registers
+            << " C accumulators + "
+            << ag::model::register_budget(best.mr, best.nr, ag::model::xgene()).ab_registers
+            << " A/B registers of the 32 NEON registers.\n";
+  return 0;
+}

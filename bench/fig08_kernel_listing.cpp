@@ -1,0 +1,38 @@
+// Regenerates Figure 8: the generated A64 assembly listing of the 8x6
+// register kernel's unrolled loop body (fmla / ldr / prfm stream with
+// rotation and scheduling applied).
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/cli.hpp"
+#include "isa/kernel_generator.hpp"
+#include "model/machine.hpp"
+
+int main(int argc, char** argv) {
+  ag::CliArgs args(argc, argv);
+  agbench::banner("Figure 8", "8x6 register kernel in (generated) A64 assembly");
+
+  ag::isa::KernelGenOptions opts;
+  opts.rotate = args.get_bool("rotate", true);
+  opts.schedule_loads = args.get_bool("schedule", true);
+  opts.prefetch = args.get_bool("prefetch", true);
+  const auto gk =
+      ag::isa::generate_register_kernel({8, 6}, ag::model::xgene(), opts);
+
+  const int copies = args.has("full") ? gk.rotation.unroll : 1;
+  std::cout << "\n// " << gk.rotation.unroll << "-copy unrolled loop body; showing "
+            << copies << " cop" << (copies == 1 ? "y" : "ies")
+            << " (pass --full for all).\n"
+            << "// x14 walks packed A, x15 packed B. v8-v31 hold the C tile.\n\n";
+  const int per_copy = static_cast<int>(gk.body.instrs.size()) / gk.rotation.unroll;
+  int shown = 0;
+  for (const auto& ins : gk.body.instrs) {
+    std::cout << "    " << ins.text() << "\n";
+    if (++shown >= per_copy * copies) break;
+  }
+  std::cout << "\n// per copy: " << gk.body.count(ag::isa::Opcode::Fmla) / gk.rotation.unroll
+            << " fmla, " << gk.body.count(ag::isa::Opcode::Ldr) / gk.rotation.unroll
+            << " ldr, " << gk.body.count(ag::isa::Opcode::Prfm) / gk.rotation.unroll
+            << " prfm (paper: 24 fmla + 7 ldr + prfm)\n";
+  return 0;
+}

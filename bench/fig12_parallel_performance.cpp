@@ -1,0 +1,49 @@
+// Regenerates Figure 12: eight-thread GFLOPS vs matrix size for the four
+// DGEMM implementations on the simulated X-Gene (paper peak:
+// OpenBLAS-8x6 at 32.7 Gflops / 85.3%, ATLAS-5x5 at 30.4 / 79.2%).
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "core/block_sizes.hpp"
+#include "model/machine.hpp"
+#include "sim/timing.hpp"
+
+int main(int argc, char** argv) {
+  ag::CliArgs args(argc, argv);
+  agbench::banner("Figure 12", "eight-thread DGEMM performance of four implementations");
+
+  std::vector<std::int64_t> sizes;
+  for (std::int64_t s = 256; s <= 6400; s += 256) sizes.push_back(s);
+  sizes = agbench::size_list(args, sizes);
+
+  const std::vector<std::pair<std::string, ag::KernelShape>> impls = {
+      {"OpenBLAS-8x6", {8, 6}},
+      {"OpenBLAS-8x4", {8, 4}},
+      {"OpenBLAS-4x4", {4, 4}},
+      {"ATLAS-5x5", {5, 5}},
+  };
+
+  ag::Table t({"size", "OpenBLAS-8x6", "OpenBLAS-8x4", "OpenBLAS-4x4", "ATLAS-5x5"});
+  std::vector<double> peak(impls.size(), 0.0);
+  for (auto size : sizes) {
+    std::vector<std::string> row{std::to_string(size)};
+    for (std::size_t i = 0; i < impls.size(); ++i) {
+      const auto bs = ag::paper_block_sizes(impls[i].second, 8);
+      const auto e = ag::sim::estimate_dgemm(ag::model::xgene(), bs, size, 8);
+      peak[i] = std::max(peak[i], e.gflops);
+      row.push_back(ag::Table::fmt(e.gflops, 2));
+    }
+    t.add_row(row);
+  }
+  agbench::emit(args, t);
+
+  std::cout << "\nPeaks (Gflops): ";
+  for (std::size_t i = 0; i < impls.size(); ++i)
+    std::cout << impls[i].first << "=" << ag::Table::fmt(peak[i], 2)
+              << (i + 1 < impls.size() ? ", " : "\n");
+  std::cout << "Paper peaks:    OpenBLAS-8x6=32.7, ATLAS-5x5=30.4 (of 38.4 peak)\n";
+  return 0;
+}

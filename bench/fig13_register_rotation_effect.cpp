@@ -1,0 +1,47 @@
+// Regenerates Figure 13: OpenBLAS-8x6 with and without software register
+// rotation, serial and eight threads. Without rotation the kernel leans
+// on the core's scarce rename registers and loses a few percent.
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "core/block_sizes.hpp"
+#include "model/machine.hpp"
+#include "sim/timing.hpp"
+
+int main(int argc, char** argv) {
+  ag::CliArgs args(argc, argv);
+  agbench::banner("Figure 13", "effectiveness of software-implemented register rotation");
+
+  std::vector<std::int64_t> sizes;
+  for (std::int64_t s = 512; s <= 6144; s += 512) sizes.push_back(s);
+  sizes = agbench::size_list(args, sizes);
+
+  ag::sim::TimingOptions with;
+  ag::sim::TimingOptions without;
+  without.rotate = false;
+
+  ag::Table t({"size", "1T rotated (Gflops)", "1T w/o RR", "8T rotated", "8T w/o RR"});
+  for (auto size : sizes) {
+    std::vector<std::string> row{std::to_string(size)};
+    for (int threads : {1, 8}) {
+      const auto bs = ag::paper_block_sizes({8, 6}, threads);
+      const auto e1 = ag::sim::estimate_dgemm(ag::model::xgene(), bs, size, threads, with);
+      const auto e0 = ag::sim::estimate_dgemm(ag::model::xgene(), bs, size, threads, without);
+      row.push_back(ag::Table::fmt(e1.gflops, 2));
+      row.push_back(ag::Table::fmt(e0.gflops, 2));
+    }
+    t.add_row(row);
+  }
+  agbench::emit(args, t);
+
+  const double c1 = ag::sim::kernel_efficiency_ceiling(ag::model::xgene(), {8, 6}, with);
+  const double c0 = ag::sim::kernel_efficiency_ceiling(ag::model::xgene(), {8, 6}, without);
+  std::cout << "\nKernel ceilings: rotated " << ag::Table::fmt_pct(c1, 1) << ", without "
+            << ag::Table::fmt_pct(c0, 1) << " — rotation buys "
+            << ag::Table::fmt_pct(c1 - c0, 1)
+            << " of peak, consistent with Figure 13's small but systematic gap.\n";
+  return 0;
+}

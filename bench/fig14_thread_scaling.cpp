@@ -1,0 +1,45 @@
+// Regenerates Figure 14: OpenBLAS-8x6 performance under 1/2/4/8 threads
+// with the per-thread-count block sizes the paper derives (one thread per
+// module up to 4 threads, two per module at 8).
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "core/block_sizes.hpp"
+#include "model/machine.hpp"
+#include "sim/timing.hpp"
+
+int main(int argc, char** argv) {
+  ag::CliArgs args(argc, argv);
+  agbench::banner("Figure 14", "OpenBLAS-8x6 under 1/2/4/8 threads");
+
+  std::vector<std::int64_t> sizes;
+  for (std::int64_t s = 512; s <= 6656; s += 512) sizes.push_back(s);
+  sizes = agbench::size_list(args, sizes);
+
+  std::cout << "\nBlock sizes per thread count (paper's Figure 14 labels):\n";
+  for (int threads : {1, 2, 4, 8})
+    std::cout << "  " << threads << " thread(s): "
+              << ag::paper_block_sizes({8, 6}, threads).to_string() << "\n";
+
+  ag::Table t({"size", "1 thread", "2 threads", "4 threads", "8 threads",
+               "speedup@8 (x)"});
+  for (auto size : sizes) {
+    std::vector<std::string> row{std::to_string(size)};
+    double g1 = 0, g8 = 0;
+    for (int threads : {1, 2, 4, 8}) {
+      const auto bs = ag::paper_block_sizes({8, 6}, threads);
+      const auto e = ag::sim::estimate_dgemm(ag::model::xgene(), bs, size, threads);
+      if (threads == 1) g1 = e.gflops;
+      if (threads == 8) g8 = e.gflops;
+      row.push_back(ag::Table::fmt(e.gflops, 2));
+    }
+    row.push_back(ag::Table::fmt(g8 / g1, 2));
+    t.add_row(row);
+  }
+  agbench::emit(args, t);
+  std::cout << "\nPaper: scalable across thread counts, 32.7 Gflops peak at 8 threads.\n";
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Native (host) throughput of the GEMM-based Level-3 routines: the
+// fraction of raw dgemm speed each retains shows how far the "everything
+// through GEBP" layering carries.
+#include <benchmark/benchmark.h>
+
+#include "blas3/blas3.hpp"
+#include "common/matrix.hpp"
+#include "core/gemm.hpp"
+
+namespace {
+
+ag::Matrix<double> triangular(ag::index_t n) {
+  auto a = ag::random_matrix(n, n, 7);
+  for (ag::index_t i = 0; i < n; ++i) a(i, i) = 4.0;
+  return a;
+}
+
+void bench_dsyrk(benchmark::State& state) {
+  const ag::index_t n = state.range(0), k = n;
+  auto a = ag::random_matrix(n, k, 1);
+  auto c = ag::random_matrix(n, n, 2);
+  ag::Context ctx(ag::KernelShape{8, 6}, 1);
+  for (auto _ : state) {
+    ag::dsyrk(ag::Uplo::Lower, ag::Trans::NoTrans, n, k, 1.0, a.data(), a.ld(), 1.0, c.data(),
+              c.ld(), ctx);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFLOPS"] = benchmark::Counter(
+      static_cast<double>(n) * n * k,  // triangle only: n^2*k flops
+      benchmark::Counter::kIsIterationInvariantRate, benchmark::Counter::kIs1000);
+}
+
+void bench_dtrsm(benchmark::State& state) {
+  const ag::index_t n = state.range(0);
+  auto a = triangular(n);
+  auto b = ag::random_matrix(n, n, 3);
+  ag::Context ctx(ag::KernelShape{8, 6}, 1);
+  for (auto _ : state) {
+    ag::dtrsm(ag::Side::Left, ag::Uplo::Lower, ag::Trans::NoTrans, ag::Diag::NonUnit, n, n,
+              1.0, a.data(), a.ld(), b.data(), b.ld(), ctx);
+    benchmark::DoNotOptimize(b.data());
+  }
+  state.counters["GFLOPS"] = benchmark::Counter(
+      static_cast<double>(n) * n * n,
+      benchmark::Counter::kIsIterationInvariantRate, benchmark::Counter::kIs1000);
+}
+
+void bench_dtrmm(benchmark::State& state) {
+  const ag::index_t n = state.range(0);
+  auto a = triangular(n);
+  auto b = ag::random_matrix(n, n, 4);
+  ag::Context ctx(ag::KernelShape{8, 6}, 1);
+  for (auto _ : state) {
+    ag::dtrmm(ag::Side::Left, ag::Uplo::Lower, ag::Trans::NoTrans, ag::Diag::NonUnit, n, n,
+              1.0, a.data(), a.ld(), b.data(), b.ld(), ctx);
+    benchmark::DoNotOptimize(b.data());
+  }
+  state.counters["GFLOPS"] = benchmark::Counter(
+      static_cast<double>(n) * n * n,
+      benchmark::Counter::kIsIterationInvariantRate, benchmark::Counter::kIs1000);
+}
+
+void bench_dsymm(benchmark::State& state) {
+  const ag::index_t n = state.range(0);
+  auto a = ag::random_matrix(n, n, 5);
+  auto b = ag::random_matrix(n, n, 6);
+  auto c = ag::random_matrix(n, n, 7);
+  ag::Context ctx(ag::KernelShape{8, 6}, 1);
+  for (auto _ : state) {
+    ag::dsymm(ag::Side::Left, ag::Uplo::Lower, n, n, 1.0, a.data(), a.ld(), b.data(), b.ld(),
+              1.0, c.data(), c.ld(), ctx);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFLOPS"] = benchmark::Counter(
+      2.0 * n * n * static_cast<double>(n),
+      benchmark::Counter::kIsIterationInvariantRate, benchmark::Counter::kIs1000);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::RegisterBenchmark("dsyrk", bench_dsyrk)->Arg(256);
+  benchmark::RegisterBenchmark("dsymm", bench_dsymm)->Arg(256);
+  benchmark::RegisterBenchmark("dtrmm", bench_dtrmm)->Arg(256);
+  benchmark::RegisterBenchmark("dtrsm", bench_dtrsm)->Arg(256);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

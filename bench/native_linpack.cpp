@@ -1,0 +1,44 @@
+// LINPACK-style native benchmark: dense solve throughput via
+// getrf + getrs (the paper's motivating workload), reported in GFLOPS
+// against the 2/3 n^3 + 2 n^2 flop count HPL uses.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "lapack/lapack.hpp"
+
+namespace {
+
+void bench_linpack(benchmark::State& state, int threads) {
+  const ag::index_t n = state.range(0);
+  auto a0 = ag::random_matrix(n, n, 1);
+  for (ag::index_t i = 0; i < n; ++i) a0(i, i) += static_cast<double>(n);
+  auto b0 = ag::random_matrix(n, 1, 2);
+  ag::Context ctx(ag::KernelShape{8, 6}, threads);
+
+  for (auto _ : state) {
+    state.PauseTiming();
+    ag::Matrix<double> a(a0);
+    ag::Matrix<double> b(b0);
+    std::vector<ag::index_t> ipiv;
+    state.ResumeTiming();
+    ag::getrf(n, n, a.data(), a.ld(), &ipiv, 64, ctx);
+    ag::getrs(n, 1, a.data(), a.ld(), ipiv, b.data(), b.ld(), ctx);
+    benchmark::DoNotOptimize(b.data());
+  }
+  const double flops = 2.0 / 3.0 * static_cast<double>(n) * n * n +
+                       2.0 * static_cast<double>(n) * n;
+  state.counters["GFLOPS"] = benchmark::Counter(
+      flops, benchmark::Counter::kIsIterationInvariantRate, benchmark::Counter::kIs1000);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::RegisterBenchmark("linpack/1thread", bench_linpack, 1)->Arg(256)->Arg(512);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

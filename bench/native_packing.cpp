@@ -1,0 +1,49 @@
+// Native (host) packing throughput: pack_a / pack_b rates for straight
+// and transposed sources. Packing cost is one of the terms the paper's
+// traffic model amortises; this measures the real constant on the host.
+#include <benchmark/benchmark.h>
+
+#include "common/aligned_buffer.hpp"
+#include "common/matrix.hpp"
+#include "core/packing.hpp"
+
+namespace {
+
+void bench_pack_a(benchmark::State& state, ag::Trans trans) {
+  const ag::index_t mc = 56, kc = 512;
+  const ag::index_t rows = trans == ag::Trans::NoTrans ? mc : kc;
+  const ag::index_t cols = trans == ag::Trans::NoTrans ? kc : mc;
+  auto src = ag::random_matrix(rows, cols, 1);
+  ag::AlignedBuffer<double> dst(static_cast<std::size_t>(ag::packed_a_size(mc, kc, 8)));
+  for (auto _ : state) {
+    ag::pack_a(trans, src.data(), src.ld(), 0, 0, mc, kc, 8, dst.data());
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * mc * kc * 8);
+}
+
+void bench_pack_b(benchmark::State& state, ag::Trans trans) {
+  const ag::index_t kc = 512, nc = 1920;
+  const ag::index_t rows = trans == ag::Trans::NoTrans ? kc : nc;
+  const ag::index_t cols = trans == ag::Trans::NoTrans ? nc : kc;
+  auto src = ag::random_matrix(rows, cols, 2);
+  ag::AlignedBuffer<double> dst(static_cast<std::size_t>(ag::packed_b_size(kc, nc, 6)));
+  for (auto _ : state) {
+    ag::pack_b(trans, src.data(), src.ld(), 0, 0, kc, nc, 6, dst.data());
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * kc * nc * 8);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::RegisterBenchmark("pack_a/notrans", bench_pack_a, ag::Trans::NoTrans);
+  benchmark::RegisterBenchmark("pack_a/trans", bench_pack_a, ag::Trans::Trans);
+  benchmark::RegisterBenchmark("pack_b/notrans", bench_pack_b, ag::Trans::NoTrans);
+  benchmark::RegisterBenchmark("pack_b/trans", bench_pack_b, ag::Trans::Trans);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

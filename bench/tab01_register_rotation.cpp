@@ -1,0 +1,36 @@
+// Regenerates Table I (and the Figure 6 allocation): the software
+// register-rotation table for the 8x6 kernel, the optimised Eq. 12 reload
+// distance, and the comparison against the non-rotated allocation.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "isa/rotation.hpp"
+
+int main(int argc, char** argv) {
+  ag::CliArgs args(argc, argv);
+  agbench::banner("Table I / Figure 6", "software-implemented register rotation (8x6 kernel)");
+
+  const ag::KernelShape shape{8, 6};
+  const auto rotated = ag::isa::solve_rotation(shape, 8);
+  const auto fixed = ag::isa::identity_rotation(shape, 8, rotated.unroll);
+
+  std::cout << "\nRegister assignment per unrolled copy (roles a0..a3 hold the 8\n"
+            << "elements of A, b0..b2 the 6 elements of B; cells are v-register\n"
+            << "numbers within the working set v0..v7):\n\n"
+            << rotated.table_text() << "\n";
+
+  ag::Table t({"scheme", "unroll", "min reload distance (Eq.12, fmlas)", "paper"});
+  t.add_row({"rotated (ours)", std::to_string(rotated.unroll),
+             std::to_string(rotated.min_reload_distance), ">= 7 (paper reports 7)"});
+  t.add_row({"fixed registers", std::to_string(fixed.unroll),
+             std::to_string(fixed.min_reload_distance), "-"});
+  agbench::emit(args, t);
+
+  std::cout << "\nThe rotated allocation gives every reloaded register at least "
+            << rotated.min_reload_distance << " fmlas of slack\nbetween the last read of its "
+            << "old value and the first read of the new one;\nthe fixed allocation achieves "
+            << "only " << fixed.min_reload_distance << ".\n";
+  return 0;
+}

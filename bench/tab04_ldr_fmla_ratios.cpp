@@ -1,0 +1,40 @@
+// Regenerates Table IV: micro-benchmark efficiency as a function of the
+// LDR : FMLA instruction ratio, on the cycle-level pipeline model
+// calibrated once against the paper's seven published points.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "sim/pipeline.hpp"
+
+int main(int argc, char** argv) {
+  ag::CliArgs args(argc, argv);
+  agbench::banner("Table IV", "efficiencies under varying LDR:FMLA ratios");
+
+  const ag::sim::PipelineConfig cfg;  // defaults = calibrated port costs
+  ag::Table t({"LDR:FMLA", "simulated efficiency", "paper", "kernel"});
+  auto kernel_note = [](int l, int f) -> std::string {
+    if (l == 1 && f == 2) return "~4x4 GEBP";
+    if (l == 6 && f == 16) return "~8x4 GEBP";
+    if (l == 7 && f == 24) return "~8x6 GEBP";
+    return "";
+  };
+  for (const auto& p : ag::sim::table4_reference()) {
+    const double eff = ag::sim::simulate_ldr_fmla_ratio(p.ldrs, p.fmlas, cfg);
+    t.add_row({std::to_string(p.ldrs) + ":" + std::to_string(p.fmlas),
+               ag::Table::fmt_pct(eff, 1), ag::Table::fmt_pct(p.efficiency, 1),
+               kernel_note(p.ldrs, p.fmlas)});
+  }
+  agbench::emit(args, t);
+
+  double rms = 0;
+  const auto fit = ag::sim::calibrate_to_table4(&rms);
+  std::cout << "\nCalibration: issue-port costs fmla=" << ag::Table::fmt(fit.fmla_port, 2)
+            << " cycles, ldr q=" << ag::Table::fmt(fit.ldr_port, 2)
+            << " cycles (defaults " << ag::Table::fmt(cfg.fmla_port, 2) << "/"
+            << ag::Table::fmt(cfg.ldr_port, 2) << "), RMS error vs Table IV = "
+            << ag::Table::fmt_pct(rms, 2) << ".\n"
+            << "The 7:24 row is the paper's 91.5% upper bound for the 8x6 kernel.\n";
+  return 0;
+}

@@ -1,0 +1,48 @@
+#include "blas/compare.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace ag {
+
+double max_abs_diff(const MatrixView<const double>& x, const MatrixView<const double>& y) {
+  AG_CHECK(x.rows() == y.rows() && x.cols() == y.cols());
+  double worst = 0.0;
+  for (index_t j = 0; j < x.cols(); ++j)
+    for (index_t i = 0; i < x.rows(); ++i)
+      worst = std::max(worst, std::abs(x(i, j) - y(i, j)));
+  return worst;
+}
+
+double max_abs(const MatrixView<const double>& x) {
+  double worst = 0.0;
+  for (index_t j = 0; j < x.cols(); ++j)
+    for (index_t i = 0; i < x.rows(); ++i) worst = std::max(worst, std::abs(x(i, j)));
+  return worst;
+}
+
+double gemm_error_bound(std::int64_t k, double scale) {
+  const double eps = std::numeric_limits<double>::epsilon();
+  // 2k rounding steps per dot product plus slack for re-association in the
+  // blocked/vectorized accumulation order.
+  return 4.0 * static_cast<double>(std::max<std::int64_t>(k, 1)) * eps * scale;
+}
+
+CompareResult compare_gemm_result(const MatrixView<const double>& test,
+                                  const MatrixView<const double>& reference, std::int64_t k,
+                                  double alpha, double max_a, double max_b, double beta,
+                                  double max_c0) {
+  CompareResult r;
+  r.max_diff = max_abs_diff(test, reference);
+  const double scale =
+      std::abs(alpha) * max_a * max_b * static_cast<double>(std::max<std::int64_t>(k, 1)) +
+      std::abs(beta) * max_c0;
+  r.bound = gemm_error_bound(k, std::max(scale, 1.0));
+  r.ok = r.max_diff <= r.bound;
+  return r;
+}
+
+}  // namespace ag

@@ -1,0 +1,37 @@
+// Floating-point comparison utilities for validating GEMM results.
+//
+// A GEMM with inner dimension K accumulates K products, so the forward
+// error of any correct implementation is bounded by ~K * eps * |A||B|.
+// `gemm_error_bound` encodes that; tests assert measured error <= bound.
+#pragma once
+
+#include <cstdint>
+
+#include "common/matrix.hpp"
+
+namespace ag {
+
+/// max_ij |X(i,j) - Y(i,j)|.
+double max_abs_diff(const MatrixView<const double>& x, const MatrixView<const double>& y);
+
+/// max_ij |X(i,j)|.
+double max_abs(const MatrixView<const double>& x);
+
+/// Normwise forward-error bound for C = alpha*A*B + beta*C with inner
+/// dimension k. `scale` is max|alpha|*max|A|*max|B|*k + |beta|*max|C|.
+double gemm_error_bound(std::int64_t k, double scale);
+
+struct CompareResult {
+  double max_diff = 0.0;
+  double bound = 0.0;
+  bool ok = false;
+};
+
+/// Compare an optimized result against the reference, with the bound scaled
+/// from the operand magnitudes.
+CompareResult compare_gemm_result(const MatrixView<const double>& test,
+                                  const MatrixView<const double>& reference, std::int64_t k,
+                                  double alpha, double max_a, double max_b, double beta,
+                                  double max_c0);
+
+}  // namespace ag

@@ -1,0 +1,18 @@
+// Shared BLAS-style enums used by both the reference and optimized GEMMs.
+#pragma once
+
+namespace ag {
+
+enum class Layout { ColMajor, RowMajor };
+enum class Trans { NoTrans, Trans };
+enum class Side { Left, Right };
+enum class Uplo { Upper, Lower };
+enum class Diag { NonUnit, Unit };
+
+inline const char* to_string(Layout l) { return l == Layout::ColMajor ? "col-major" : "row-major"; }
+inline const char* to_string(Trans t) { return t == Trans::NoTrans ? "N" : "T"; }
+inline const char* to_string(Side s) { return s == Side::Left ? "L" : "R"; }
+inline const char* to_string(Uplo u) { return u == Uplo::Upper ? "U" : "L"; }
+inline const char* to_string(Diag d) { return d == Diag::NonUnit ? "N" : "U"; }
+
+}  // namespace ag

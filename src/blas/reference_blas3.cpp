@@ -1,0 +1,156 @@
+#include "blas/reference_blas3.hpp"
+
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace ag {
+namespace {
+
+using index_t = std::int64_t;
+
+// Element of the symmetric matrix A given its stored triangle.
+inline double sym_at(Uplo uplo, const double* a, index_t lda, index_t i, index_t j) {
+  const bool stored = uplo == Uplo::Lower ? i >= j : i <= j;
+  return stored ? a[i + j * lda] : a[j + i * lda];
+}
+
+// Element of op(A) for triangular A: zero outside the triangle, one on a
+// unit diagonal.
+inline double tri_at(Uplo uplo, Trans trans, Diag diag, const double* a, index_t lda,
+                     index_t i, index_t j) {
+  index_t r = i, c = j;
+  if (trans == Trans::Trans) std::swap(r, c);
+  if (r == c) return diag == Diag::Unit ? 1.0 : a[r + c * lda];
+  const bool stored = uplo == Uplo::Lower ? r > c : r < c;
+  return stored ? a[r + c * lda] : 0.0;
+}
+
+}  // namespace
+
+void reference_dsyrk(Uplo uplo, Trans trans, index_t n, index_t k, double alpha,
+                     const double* a, index_t lda, double beta, double* c, index_t ldc) {
+  AG_CHECK(n >= 0 && k >= 0 && ldc >= std::max<index_t>(1, n));
+  auto op_a = [&](index_t i, index_t p) {
+    return trans == Trans::NoTrans ? a[i + p * lda] : a[p + i * lda];
+  };
+  for (index_t j = 0; j < n; ++j) {
+    const index_t i0 = uplo == Uplo::Lower ? j : 0;
+    const index_t i1 = uplo == Uplo::Lower ? n : j + 1;
+    for (index_t i = i0; i < i1; ++i) {
+      double acc = 0.0;
+      for (index_t p = 0; p < k; ++p) acc += op_a(i, p) * op_a(j, p);
+      double& cij = c[i + j * ldc];
+      cij = (beta == 0.0 ? 0.0 : beta * cij) + alpha * acc;
+    }
+  }
+}
+
+void reference_dsymm(Side side, Uplo uplo, index_t m, index_t n, double alpha, const double* a,
+                     index_t lda, const double* b, index_t ldb, double beta, double* c,
+                     index_t ldc) {
+  AG_CHECK(m >= 0 && n >= 0 && ldc >= std::max<index_t>(1, m));
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < m; ++i) {
+      double acc = 0.0;
+      if (side == Side::Left) {
+        for (index_t p = 0; p < m; ++p)
+          acc += sym_at(uplo, a, lda, i, p) * b[p + j * ldb];
+      } else {
+        for (index_t p = 0; p < n; ++p)
+          acc += b[i + p * ldb] * sym_at(uplo, a, lda, p, j);
+      }
+      double& cij = c[i + j * ldc];
+      cij = (beta == 0.0 ? 0.0 : beta * cij) + alpha * acc;
+    }
+  }
+}
+
+void reference_dtrmm(Side side, Uplo uplo, Trans trans, Diag diag, index_t m, index_t n,
+                     double alpha, const double* a, index_t lda, double* b, index_t ldb) {
+  AG_CHECK(m >= 0 && n >= 0 && ldb >= std::max<index_t>(1, m));
+  // Out-of-place into a scratch column/row to keep the reference simple.
+  if (side == Side::Left) {
+    std::vector<double> col(static_cast<std::size_t>(m));
+    for (index_t j = 0; j < n; ++j) {
+      for (index_t i = 0; i < m; ++i) {
+        double acc = 0.0;
+        for (index_t p = 0; p < m; ++p)
+          acc += tri_at(uplo, trans, diag, a, lda, i, p) * b[p + j * ldb];
+        col[static_cast<std::size_t>(i)] = alpha * acc;
+      }
+      for (index_t i = 0; i < m; ++i) b[i + j * ldb] = col[static_cast<std::size_t>(i)];
+    }
+  } else {
+    std::vector<double> row(static_cast<std::size_t>(n));
+    for (index_t i = 0; i < m; ++i) {
+      for (index_t j = 0; j < n; ++j) {
+        double acc = 0.0;
+        for (index_t p = 0; p < n; ++p)
+          acc += b[i + p * ldb] * tri_at(uplo, trans, diag, a, lda, p, j);
+        row[static_cast<std::size_t>(j)] = alpha * acc;
+      }
+      for (index_t j = 0; j < n; ++j) b[i + j * ldb] = row[static_cast<std::size_t>(j)];
+    }
+  }
+}
+
+void reference_dtrsm(Side side, Uplo uplo, Trans trans, Diag diag, index_t m, index_t n,
+                     double alpha, const double* a, index_t lda, double* b, index_t ldb) {
+  AG_CHECK(m >= 0 && n >= 0 && ldb >= std::max<index_t>(1, m));
+  // Forward/backward substitution; the traversal direction depends on the
+  // effective (post-transpose) triangle orientation.
+  const bool eff_lower = (uplo == Uplo::Lower) != (trans == Trans::Trans);
+  if (side == Side::Left) {
+    for (index_t j = 0; j < n; ++j) {
+      double* col = b + j * ldb;
+      for (index_t i = 0; i < m; ++i) col[i] *= alpha;
+      if (eff_lower) {
+        for (index_t i = 0; i < m; ++i) {
+          for (index_t p = 0; p < i; ++p)
+            col[i] -= tri_at(uplo, trans, diag, a, lda, i, p) * col[p];
+          if (diag == Diag::NonUnit) col[i] /= tri_at(uplo, trans, diag, a, lda, i, i);
+        }
+      } else {
+        for (index_t i = m; i-- > 0;) {
+          for (index_t p = i + 1; p < m; ++p)
+            col[i] -= tri_at(uplo, trans, diag, a, lda, i, p) * col[p];
+          if (diag == Diag::NonUnit) col[i] /= tri_at(uplo, trans, diag, a, lda, i, i);
+        }
+      }
+    }
+  } else {
+    // X * op(A) = alpha*B: solve row-wise; column j of X depends on
+    // columns before/after j according to the effective orientation.
+    for (index_t i = 0; i < m; ++i)
+      for (index_t j = 0; j < n; ++j) b[i + j * ldb] *= alpha;
+    if (eff_lower) {
+      // op(A) lower: X(:,j) uses columns p > j (X * L: b_j = sum_p x_p L(p,j), p >= j).
+      for (index_t j = n; j-- > 0;) {
+        for (index_t p = j + 1; p < n; ++p) {
+          const double apj = tri_at(uplo, trans, diag, a, lda, p, j);
+          if (apj == 0.0) continue;
+          for (index_t i = 0; i < m; ++i) b[i + j * ldb] -= b[i + p * ldb] * apj;
+        }
+        if (diag == Diag::NonUnit) {
+          const double ajj = tri_at(uplo, trans, diag, a, lda, j, j);
+          for (index_t i = 0; i < m; ++i) b[i + j * ldb] /= ajj;
+        }
+      }
+    } else {
+      for (index_t j = 0; j < n; ++j) {
+        for (index_t p = 0; p < j; ++p) {
+          const double apj = tri_at(uplo, trans, diag, a, lda, p, j);
+          if (apj == 0.0) continue;
+          for (index_t i = 0; i < m; ++i) b[i + j * ldb] -= b[i + p * ldb] * apj;
+        }
+        if (diag == Diag::NonUnit) {
+          const double ajj = tri_at(uplo, trans, diag, a, lda, j, j);
+          for (index_t i = 0; i < m; ++i) b[i + j * ldb] /= ajj;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace ag

@@ -1,0 +1,37 @@
+// Naive reference implementations of the Level-3 BLAS routines the
+// optimized blas3 module implements on top of GEBP/dgemm. These are the
+// validation oracles: straightforward triple loops with exact netlib
+// semantics (triangle storage, unit diagonals, alpha/beta, in-place
+// updates), column-major only.
+#pragma once
+
+#include <cstdint>
+
+#include "blas/gemm_types.hpp"
+
+namespace ag {
+
+/// C := alpha*op(A)*op(A)^T + beta*C, C n x n with only the `uplo`
+/// triangle referenced/updated. op(A) is n x k.
+void reference_dsyrk(Uplo uplo, Trans trans, std::int64_t n, std::int64_t k, double alpha,
+                     const double* a, std::int64_t lda, double beta, double* c,
+                     std::int64_t ldc);
+
+/// C := alpha*A*B + beta*C (side Left) or alpha*B*A + beta*C (Right),
+/// where A is symmetric with only the `uplo` triangle stored. C is m x n.
+void reference_dsymm(Side side, Uplo uplo, std::int64_t m, std::int64_t n, double alpha,
+                     const double* a, std::int64_t lda, const double* b, std::int64_t ldb,
+                     double beta, double* c, std::int64_t ldc);
+
+/// B := alpha*op(A)*B (Left) or alpha*B*op(A) (Right) with A triangular.
+void reference_dtrmm(Side side, Uplo uplo, Trans trans, Diag diag, std::int64_t m,
+                     std::int64_t n, double alpha, const double* a, std::int64_t lda, double* b,
+                     std::int64_t ldb);
+
+/// Solve op(A)*X = alpha*B (Left) or X*op(A) = alpha*B (Right); X
+/// overwrites B. A triangular and assumed nonsingular.
+void reference_dtrsm(Side side, Uplo uplo, Trans trans, Diag diag, std::int64_t m,
+                     std::int64_t n, double alpha, const double* a, std::int64_t lda, double* b,
+                     std::int64_t ldb);
+
+}  // namespace ag

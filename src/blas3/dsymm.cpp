@@ -1,0 +1,78 @@
+#include <algorithm>
+
+#include "blas3/blas3.hpp"
+#include "common/aligned_buffer.hpp"
+#include "common/check.hpp"
+#include "core/gemm.hpp"
+
+namespace ag {
+namespace {
+
+using index_t = std::int64_t;
+
+// Materialise the (i0, j0) block of the symmetric matrix A (only the
+// `uplo` triangle stored) into a dense ib x jb buffer. Blocks are
+// diagonal-aligned, so a block is either entirely stored, entirely
+// mirrored, or the diagonal block (mixed).
+void copy_sym_block(Uplo uplo, const double* a, index_t lda, index_t i0, index_t j0,
+                    index_t ib, index_t jb, double* dst) {
+  for (index_t j = 0; j < jb; ++j) {
+    for (index_t i = 0; i < ib; ++i) {
+      const index_t r = i0 + i, c = j0 + j;
+      const bool stored = uplo == Uplo::Lower ? r >= c : r <= c;
+      dst[i + j * ib] = stored ? a[r + c * lda] : a[c + r * lda];
+    }
+  }
+}
+
+}  // namespace
+
+void dsymm(Side side, Uplo uplo, index_t m, index_t n, double alpha, const double* a,
+           index_t lda, const double* b, index_t ldb, double beta, double* c, index_t ldc,
+           const Context& ctx) {
+  AG_CHECK(m >= 0 && n >= 0);
+  const index_t na = side == Side::Left ? m : n;  // A is na x na
+  AG_CHECK(lda >= std::max<index_t>(1, na));
+  AG_CHECK(ldb >= std::max<index_t>(1, m));
+  AG_CHECK(ldc >= std::max<index_t>(1, m));
+  if (m == 0 || n == 0) return;
+
+  // Scale C once; every block product then accumulates with beta = 1.
+  for (index_t j = 0; j < n; ++j) {
+    double* col = c + j * ldc;
+    if (beta == 0.0)
+      std::fill(col, col + m, 0.0);
+    else if (beta != 1.0)
+      for (index_t i = 0; i < m; ++i) col[i] *= beta;
+  }
+  if (alpha == 0.0) return;
+
+  constexpr index_t nb = blas3_detail::kBlock;
+  AlignedBuffer<double> block(static_cast<std::size_t>(nb * nb));
+
+  if (side == Side::Left) {
+    // C(i0,:) += alpha * sum_k Asym(i0,k0) * B(k0,:).
+    for (index_t i0 = 0; i0 < m; i0 += nb) {
+      const index_t ib = std::min(nb, m - i0);
+      for (index_t k0 = 0; k0 < m; k0 += nb) {
+        const index_t kb = std::min(nb, m - k0);
+        copy_sym_block(uplo, a, lda, i0, k0, ib, kb, block.data());
+        dgemm(Layout::ColMajor, Trans::NoTrans, Trans::NoTrans, ib, n, kb, alpha, block.data(),
+              ib, b + k0, ldb, 1.0, c + i0, ldc, ctx);
+      }
+    }
+  } else {
+    // C(:,j0) += alpha * sum_k B(:,k0) * Asym(k0,j0).
+    for (index_t j0 = 0; j0 < n; j0 += nb) {
+      const index_t jb = std::min(nb, n - j0);
+      for (index_t k0 = 0; k0 < n; k0 += nb) {
+        const index_t kb = std::min(nb, n - k0);
+        copy_sym_block(uplo, a, lda, k0, j0, kb, jb, block.data());
+        dgemm(Layout::ColMajor, Trans::NoTrans, Trans::NoTrans, m, jb, kb, alpha, b + k0 * ldb,
+              ldb, block.data(), kb, 1.0, c + j0 * ldc, ldc, ctx);
+      }
+    }
+  }
+}
+
+}  // namespace ag

@@ -1,0 +1,83 @@
+#include <algorithm>
+
+#include "blas/reference_blas3.hpp"
+#include "blas3/blas3.hpp"
+#include "common/check.hpp"
+#include "core/gemm.hpp"
+
+namespace ag {
+namespace {
+
+using index_t = std::int64_t;
+
+// Pointer + trans flag for the (bi, bj) off-diagonal block of op(A);
+// blocks are diagonal-aligned so each lies wholly inside the stored
+// triangle.
+struct OpBlock {
+  const double* ptr;
+  Trans trans;
+};
+inline OpBlock op_block(Trans trans, const double* a, index_t lda, index_t i0, index_t j0) {
+  if (trans == Trans::NoTrans) return {a + i0 + j0 * lda, Trans::NoTrans};
+  return {a + j0 + i0 * lda, Trans::Trans};
+}
+
+}  // namespace
+
+void dtrmm(Side side, Uplo uplo, Trans trans, Diag diag, index_t m, index_t n, double alpha,
+           const double* a, index_t lda, double* b, index_t ldb, const Context& ctx) {
+  AG_CHECK(m >= 0 && n >= 0);
+  const index_t na = side == Side::Left ? m : n;
+  AG_CHECK(lda >= std::max<index_t>(1, na));
+  AG_CHECK(ldb >= std::max<index_t>(1, m));
+  if (m == 0 || n == 0) return;
+
+  constexpr index_t nb = blas3_detail::kBlock;
+  // Effective orientation of op(A): transposing flips the triangle.
+  const bool eff_lower = (uplo == Uplo::Lower) != (trans == Trans::Trans);
+
+  if (side == Side::Left) {
+    // B(bi,:) := alpha*[op(A)(bi,bi)*B(bi,:) + sum op(A)(bi,bj)*B(bj,:)].
+    // For eff-lower the sum runs over bj < bi (process bottom-up so the
+    // B(bj,:) operands are still unmodified); eff-upper mirrors.
+    const index_t blocks = (m + nb - 1) / nb;
+    for (index_t step = 0; step < blocks; ++step) {
+      const index_t blk = eff_lower ? blocks - 1 - step : step;
+      const index_t i0 = blk * nb;
+      const index_t ib = std::min(nb, m - i0);
+      // Diagonal part first: uses only the old B(bi,:).
+      reference_dtrmm(Side::Left, uplo, trans, diag, ib, n, alpha, a + i0 + i0 * lda, lda,
+                      b + i0, ldb);
+      const index_t j_begin = eff_lower ? 0 : i0 + ib;
+      const index_t j_end = eff_lower ? i0 : m;
+      for (index_t j0 = j_begin; j0 < j_end; j0 += nb) {
+        const index_t jb = std::min(nb, j_end - j0);
+        const OpBlock ob = op_block(trans, a, lda, i0, j0);
+        dgemm(Layout::ColMajor, ob.trans, Trans::NoTrans, ib, n, jb, alpha, ob.ptr, lda,
+              b + j0, ldb, 1.0, b + i0, ldb, ctx);
+      }
+    }
+  } else {
+    // B(:,bj) := alpha*[B(:,bj)*op(A)(bj,bj) + sum B(:,bk)*op(A)(bk,bj)].
+    // For eff-lower the sum runs over bk > bj (process left-to-right);
+    // eff-upper mirrors (right-to-left).
+    const index_t blocks = (n + nb - 1) / nb;
+    for (index_t step = 0; step < blocks; ++step) {
+      const index_t blk = eff_lower ? step : blocks - 1 - step;
+      const index_t j0 = blk * nb;
+      const index_t jb = std::min(nb, n - j0);
+      reference_dtrmm(Side::Right, uplo, trans, diag, m, jb, alpha, a + j0 + j0 * lda, lda,
+                      b + j0 * ldb, ldb);
+      const index_t k_begin = eff_lower ? j0 + jb : 0;
+      const index_t k_end = eff_lower ? n : j0;
+      for (index_t k0 = k_begin; k0 < k_end; k0 += nb) {
+        const index_t kb = std::min(nb, k_end - k0);
+        const OpBlock ob = op_block(trans, a, lda, k0, j0);
+        dgemm(Layout::ColMajor, Trans::NoTrans, ob.trans, m, jb, kb, alpha, b + k0 * ldb, ldb,
+              ob.ptr, lda, 1.0, b + j0 * ldb, ldb, ctx);
+      }
+    }
+  }
+}
+
+}  // namespace ag

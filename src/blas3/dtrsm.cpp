@@ -1,0 +1,86 @@
+#include <algorithm>
+
+#include "blas/reference_blas3.hpp"
+#include "blas3/blas3.hpp"
+#include "common/check.hpp"
+#include "core/gemm.hpp"
+
+namespace ag {
+namespace {
+
+using index_t = std::int64_t;
+
+struct OpBlock {
+  const double* ptr;
+  Trans trans;
+};
+inline OpBlock op_block(Trans trans, const double* a, index_t lda, index_t i0, index_t j0) {
+  if (trans == Trans::NoTrans) return {a + i0 + j0 * lda, Trans::NoTrans};
+  return {a + j0 + i0 * lda, Trans::Trans};
+}
+
+}  // namespace
+
+void dtrsm(Side side, Uplo uplo, Trans trans, Diag diag, index_t m, index_t n, double alpha,
+           const double* a, index_t lda, double* b, index_t ldb, const Context& ctx) {
+  AG_CHECK(m >= 0 && n >= 0);
+  const index_t na = side == Side::Left ? m : n;
+  AG_CHECK(lda >= std::max<index_t>(1, na));
+  AG_CHECK(ldb >= std::max<index_t>(1, m));
+  if (m == 0 || n == 0) return;
+
+  constexpr index_t nb = blas3_detail::kBlock;
+  const bool eff_lower = (uplo == Uplo::Lower) != (trans == Trans::Trans);
+
+  // Scale B by alpha once; block substitutions then work with alpha = 1.
+  if (alpha != 1.0) {
+    for (index_t j = 0; j < n; ++j) {
+      double* col = b + j * ldb;
+      for (index_t i = 0; i < m; ++i) col[i] *= alpha;
+    }
+  }
+
+  if (side == Side::Left) {
+    // Solve op(A) X = B block-row-wise: eff-lower forward (top-down),
+    // eff-upper backward. X(bi,:) = inv(op(A)(bi,bi)) *
+    //   (B(bi,:) - sum_solved op(A)(bi,bj) X(bj,:)).
+    const index_t blocks = (m + nb - 1) / nb;
+    for (index_t step = 0; step < blocks; ++step) {
+      const index_t blk = eff_lower ? step : blocks - 1 - step;
+      const index_t i0 = blk * nb;
+      const index_t ib = std::min(nb, m - i0);
+      const index_t j_begin = eff_lower ? 0 : i0 + ib;
+      const index_t j_end = eff_lower ? i0 : m;
+      for (index_t j0 = j_begin; j0 < j_end; j0 += nb) {
+        const index_t jb = std::min(nb, j_end - j0);
+        const OpBlock ob = op_block(trans, a, lda, i0, j0);
+        dgemm(Layout::ColMajor, ob.trans, Trans::NoTrans, ib, n, jb, -1.0, ob.ptr, lda, b + j0,
+              ldb, 1.0, b + i0, ldb, ctx);
+      }
+      reference_dtrsm(Side::Left, uplo, trans, diag, ib, n, 1.0, a + i0 + i0 * lda, lda,
+                      b + i0, ldb);
+    }
+  } else {
+    // Solve X op(A) = B block-column-wise: eff-lower backward
+    // (right-to-left: column bj depends on solved columns bk > bj),
+    // eff-upper forward.
+    const index_t blocks = (n + nb - 1) / nb;
+    for (index_t step = 0; step < blocks; ++step) {
+      const index_t blk = eff_lower ? blocks - 1 - step : step;
+      const index_t j0 = blk * nb;
+      const index_t jb = std::min(nb, n - j0);
+      const index_t k_begin = eff_lower ? j0 + jb : 0;
+      const index_t k_end = eff_lower ? n : j0;
+      for (index_t k0 = k_begin; k0 < k_end; k0 += nb) {
+        const index_t kb = std::min(nb, k_end - k0);
+        const OpBlock ob = op_block(trans, a, lda, k0, j0);
+        dgemm(Layout::ColMajor, Trans::NoTrans, ob.trans, m, jb, kb, -1.0, b + k0 * ldb, ldb,
+              ob.ptr, lda, 1.0, b + j0 * ldb, ldb, ctx);
+      }
+      reference_dtrsm(Side::Right, uplo, trans, diag, m, jb, 1.0, a + j0 + j0 * lda, lda,
+                      b + j0 * ldb, ldb);
+    }
+  }
+}
+
+}  // namespace ag

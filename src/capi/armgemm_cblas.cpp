@@ -1,0 +1,115 @@
+#include "capi/armgemm_cblas.h"
+
+#include <atomic>
+
+#include "blas3/blas3.hpp"
+#include "common/check.hpp"
+#include "core/gemm.hpp"
+#include "core/sgemm.hpp"
+
+namespace {
+
+std::atomic<int> g_threads{1};
+
+ag::Layout to_layout(CBLAS_ORDER o) {
+  return o == CblasColMajor ? ag::Layout::ColMajor : ag::Layout::RowMajor;
+}
+ag::Trans to_trans(CBLAS_TRANSPOSE t) {
+  // Real-valued routines: ConjTrans degenerates to Trans.
+  return t == CblasNoTrans ? ag::Trans::NoTrans : ag::Trans::Trans;
+}
+ag::Uplo to_uplo(CBLAS_UPLO u) { return u == CblasUpper ? ag::Uplo::Upper : ag::Uplo::Lower; }
+ag::Diag to_diag(CBLAS_DIAG d) { return d == CblasNonUnit ? ag::Diag::NonUnit : ag::Diag::Unit; }
+ag::Side to_side(CBLAS_SIDE s) { return s == CblasLeft ? ag::Side::Left : ag::Side::Right; }
+
+/// Per-thread-count context cache shared by all cblas_* calls.
+ag::Context& context() {
+  static ag::Context ctx(ag::KernelShape{8, 6}, 1);
+  const int want = g_threads.load();
+  if (ctx.threads() != want) ctx.set_threads(want);
+  return ctx;
+}
+
+// Row-major triangular/symmetric cases reduce to column-major on the
+// implicitly transposed matrices:
+//   row-major A (uplo U) == col-major A^T (uplo swapped).
+ag::Uplo flip(ag::Uplo u) { return u == ag::Uplo::Upper ? ag::Uplo::Lower : ag::Uplo::Upper; }
+ag::Trans flip(ag::Trans t) {
+  return t == ag::Trans::NoTrans ? ag::Trans::Trans : ag::Trans::NoTrans;
+}
+ag::Side flip(ag::Side s) { return s == ag::Side::Left ? ag::Side::Right : ag::Side::Left; }
+
+}  // namespace
+
+extern "C" {
+
+void cblas_dgemm(CBLAS_ORDER order, CBLAS_TRANSPOSE trans_a, CBLAS_TRANSPOSE trans_b, int m,
+                 int n, int k, double alpha, const double* a, int lda, const double* b,
+                 int ldb, double beta, double* c, int ldc) {
+  ag::dgemm(to_layout(order), to_trans(trans_a), to_trans(trans_b), m, n, k, alpha, a, lda, b,
+            ldb, beta, c, ldc, context());
+}
+
+void cblas_sgemm(CBLAS_ORDER order, CBLAS_TRANSPOSE trans_a, CBLAS_TRANSPOSE trans_b, int m,
+                 int n, int k, float alpha, const float* a, int lda, const float* b, int ldb,
+                 float beta, float* c, int ldc) {
+  ag::SgemmOptions opts;
+  opts.threads = g_threads.load();
+  ag::sgemm(to_layout(order), to_trans(trans_a), to_trans(trans_b), m, n, k, alpha, a, lda, b,
+            ldb, beta, c, ldc, opts);
+}
+
+void cblas_dsyrk(CBLAS_ORDER order, CBLAS_UPLO uplo, CBLAS_TRANSPOSE trans, int n, int k,
+                 double alpha, const double* a, int lda, double beta, double* c, int ldc) {
+  if (order == CblasColMajor) {
+    ag::dsyrk(to_uplo(uplo), to_trans(trans), n, k, alpha, a, lda, beta, c, ldc, context());
+  } else {
+    // Row-major C is col-major C^T; C^T = alpha op(A)^~ op(A)^~T + ...
+    ag::dsyrk(flip(to_uplo(uplo)), flip(to_trans(trans)), n, k, alpha, a, lda, beta, c, ldc,
+              context());
+  }
+}
+
+void cblas_dsymm(CBLAS_ORDER order, CBLAS_SIDE side, CBLAS_UPLO uplo, int m, int n,
+                 double alpha, const double* a, int lda, const double* b, int ldb, double beta,
+                 double* c, int ldc) {
+  if (order == CblasColMajor) {
+    ag::dsymm(to_side(side), to_uplo(uplo), m, n, alpha, a, lda, b, ldb, beta, c, ldc,
+              context());
+  } else {
+    ag::dsymm(flip(to_side(side)), flip(to_uplo(uplo)), n, m, alpha, a, lda, b, ldb, beta, c,
+              ldc, context());
+  }
+}
+
+void cblas_dtrmm(CBLAS_ORDER order, CBLAS_SIDE side, CBLAS_UPLO uplo, CBLAS_TRANSPOSE trans,
+                 CBLAS_DIAG diag, int m, int n, double alpha, const double* a, int lda,
+                 double* b, int ldb) {
+  if (order == CblasColMajor) {
+    ag::dtrmm(to_side(side), to_uplo(uplo), to_trans(trans), to_diag(diag), m, n, alpha, a,
+              lda, b, ldb, context());
+  } else {
+    ag::dtrmm(flip(to_side(side)), flip(to_uplo(uplo)), to_trans(trans), to_diag(diag), n, m,
+              alpha, a, lda, b, ldb, context());
+  }
+}
+
+void cblas_dtrsm(CBLAS_ORDER order, CBLAS_SIDE side, CBLAS_UPLO uplo, CBLAS_TRANSPOSE trans,
+                 CBLAS_DIAG diag, int m, int n, double alpha, const double* a, int lda,
+                 double* b, int ldb) {
+  if (order == CblasColMajor) {
+    ag::dtrsm(to_side(side), to_uplo(uplo), to_trans(trans), to_diag(diag), m, n, alpha, a,
+              lda, b, ldb, context());
+  } else {
+    ag::dtrsm(flip(to_side(side)), flip(to_uplo(uplo)), to_trans(trans), to_diag(diag), n, m,
+              alpha, a, lda, b, ldb, context());
+  }
+}
+
+void armgemm_set_num_threads(int threads) {
+  if (threads >= 1) g_threads.store(threads);
+}
+
+int armgemm_get_num_threads(void) { return g_threads.load(); }
+
+}  // extern "C"

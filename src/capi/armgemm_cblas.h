@@ -1,0 +1,57 @@
+/* CBLAS-compatible C API for the armgemm library.
+ *
+ * Drop-in signatures for the routines this library implements: link
+ * against armgemm and include this header instead of (or alongside) a
+ * system cblas.h. Enum values match the netlib CBLAS ABI, so callers
+ * compiled against standard CBLAS headers interoperate.
+ */
+#ifndef ARMGEMM_CBLAS_H_
+#define ARMGEMM_CBLAS_H_
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+typedef enum CBLAS_ORDER { CblasRowMajor = 101, CblasColMajor = 102 } CBLAS_ORDER;
+typedef enum CBLAS_TRANSPOSE {
+  CblasNoTrans = 111,
+  CblasTrans = 112,
+  CblasConjTrans = 113
+} CBLAS_TRANSPOSE;
+typedef enum CBLAS_UPLO { CblasUpper = 121, CblasLower = 122 } CBLAS_UPLO;
+typedef enum CBLAS_DIAG { CblasNonUnit = 131, CblasUnit = 132 } CBLAS_DIAG;
+typedef enum CBLAS_SIDE { CblasLeft = 141, CblasRight = 142 } CBLAS_SIDE;
+
+void cblas_dgemm(CBLAS_ORDER order, CBLAS_TRANSPOSE trans_a, CBLAS_TRANSPOSE trans_b, int m,
+                 int n, int k, double alpha, const double* a, int lda, const double* b,
+                 int ldb, double beta, double* c, int ldc);
+
+void cblas_sgemm(CBLAS_ORDER order, CBLAS_TRANSPOSE trans_a, CBLAS_TRANSPOSE trans_b, int m,
+                 int n, int k, float alpha, const float* a, int lda, const float* b, int ldb,
+                 float beta, float* c, int ldc);
+
+void cblas_dsyrk(CBLAS_ORDER order, CBLAS_UPLO uplo, CBLAS_TRANSPOSE trans, int n, int k,
+                 double alpha, const double* a, int lda, double beta, double* c, int ldc);
+
+void cblas_dsymm(CBLAS_ORDER order, CBLAS_SIDE side, CBLAS_UPLO uplo, int m, int n,
+                 double alpha, const double* a, int lda, const double* b, int ldb, double beta,
+                 double* c, int ldc);
+
+void cblas_dtrmm(CBLAS_ORDER order, CBLAS_SIDE side, CBLAS_UPLO uplo, CBLAS_TRANSPOSE trans,
+                 CBLAS_DIAG diag, int m, int n, double alpha, const double* a, int lda,
+                 double* b, int ldb);
+
+void cblas_dtrsm(CBLAS_ORDER order, CBLAS_SIDE side, CBLAS_UPLO uplo, CBLAS_TRANSPOSE trans,
+                 CBLAS_DIAG diag, int m, int n, double alpha, const double* a, int lda,
+                 double* b, int ldb);
+
+/* Thread count used by subsequent cblas_* calls in this process
+ * (default 1). Analogous to openblas_set_num_threads. */
+void armgemm_set_num_threads(int threads);
+int armgemm_get_num_threads(void);
+
+#ifdef __cplusplus
+}
+#endif
+
+#endif /* ARMGEMM_CBLAS_H_ */

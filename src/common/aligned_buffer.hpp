@@ -1,0 +1,76 @@
+// Cache-line / SIMD aligned storage with RAII ownership.
+//
+// Packing buffers and matrix storage must be aligned for vector loads and
+// to make the cache-simulator address arithmetic deterministic.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/math_util.hpp"
+
+namespace ag {
+
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/// Owning, aligned, uninitialized array of T. Movable, non-copyable.
+template <typename T>
+class AlignedBuffer {
+ public:
+  AlignedBuffer() = default;
+
+  explicit AlignedBuffer(std::size_t count, std::size_t alignment = kCacheLineBytes)
+      : size_(count) {
+    AG_CHECK(is_pow2(alignment));
+    if (count == 0) return;
+    const std::size_t bytes = round_up(count * sizeof(T), alignment);
+    ptr_ = static_cast<T*>(std::aligned_alloc(alignment, bytes));
+    if (ptr_ == nullptr) throw std::bad_alloc();
+  }
+
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept
+      : ptr_(std::exchange(other.ptr_, nullptr)), size_(std::exchange(other.size_, 0)) {}
+
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    if (this != &other) {
+      reset();
+      ptr_ = std::exchange(other.ptr_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+    }
+    return *this;
+  }
+
+  ~AlignedBuffer() { reset(); }
+
+  void reset() {
+    std::free(ptr_);
+    ptr_ = nullptr;
+    size_ = 0;
+  }
+
+  /// Grow to at least `count` elements, discarding contents. No-op if already
+  /// large enough (packing buffers are reused across GEBP calls).
+  void ensure(std::size_t count, std::size_t alignment = kCacheLineBytes) {
+    if (count > size_) *this = AlignedBuffer(count, alignment);
+  }
+
+  T* data() noexcept { return ptr_; }
+  const T* data() const noexcept { return ptr_; }
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  T& operator[](std::size_t i) noexcept { return ptr_[i]; }
+  const T& operator[](std::size_t i) const noexcept { return ptr_[i]; }
+
+ private:
+  T* ptr_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace ag

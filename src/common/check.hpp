@@ -1,0 +1,70 @@
+// Error handling for the armgemm library.
+//
+// AG_CHECK: precondition checks that stay on in release builds (API
+// argument validation, invariants whose violation would corrupt results).
+// AG_DCHECK: debug-only assertions on internal invariants.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ag {
+
+/// Thrown when a public API precondition is violated.
+class InvalidArgument : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when an internal invariant fails (a library bug, not user error).
+class InternalError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_invalid_argument(const char* cond, const char* file, int line,
+                                                const std::string& msg) {
+  std::ostringstream os;
+  os << "armgemm: invalid argument: " << cond << " failed at " << file << ":" << line;
+  if (!msg.empty()) os << ": " << msg;
+  throw InvalidArgument(os.str());
+}
+
+[[noreturn]] inline void throw_internal_error(const char* cond, const char* file, int line,
+                                              const std::string& msg) {
+  std::ostringstream os;
+  os << "armgemm: internal error: " << cond << " failed at " << file << ":" << line;
+  if (!msg.empty()) os << ": " << msg;
+  throw InternalError(os.str());
+}
+
+}  // namespace detail
+}  // namespace ag
+
+#define AG_CHECK(cond)                                                        \
+  do {                                                                        \
+    if (!(cond)) ::ag::detail::throw_invalid_argument(#cond, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define AG_CHECK_MSG(cond, msg)                                               \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::ostringstream ag_check_os;                                         \
+      ag_check_os << msg;                                                     \
+      ::ag::detail::throw_invalid_argument(#cond, __FILE__, __LINE__, ag_check_os.str()); \
+    }                                                                         \
+  } while (0)
+
+#define AG_INTERNAL_CHECK(cond)                                               \
+  do {                                                                        \
+    if (!(cond)) ::ag::detail::throw_internal_error(#cond, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#ifdef NDEBUG
+#define AG_DCHECK(cond) ((void)0)
+#else
+#define AG_DCHECK(cond) AG_INTERNAL_CHECK(cond)
+#endif

@@ -1,0 +1,44 @@
+// Small integer helpers used throughout the blocking and simulator code.
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+
+#include "common/check.hpp"
+
+namespace ag {
+
+/// ceil(a / b) for non-negative a and positive b.
+template <typename T>
+constexpr T ceil_div(T a, T b) {
+  static_assert(std::is_integral_v<T>);
+  return (a + b - 1) / b;
+}
+
+/// Smallest multiple of `b` that is >= `a`.
+template <typename T>
+constexpr T round_up(T a, T b) {
+  static_assert(std::is_integral_v<T>);
+  return ceil_div(a, b) * b;
+}
+
+/// Largest multiple of `b` that is <= `a`.
+template <typename T>
+constexpr T round_down(T a, T b) {
+  static_assert(std::is_integral_v<T>);
+  return (a / b) * b;
+}
+
+constexpr bool is_pow2(std::uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+/// log2 of a power of two.
+constexpr unsigned log2_exact(std::uint64_t x) {
+  unsigned n = 0;
+  while (x > 1) {
+    x >>= 1;
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace ag

@@ -1,0 +1,129 @@
+// Column-major matrix container and non-owning views.
+//
+// The library core operates on raw pointers + leading dimensions (BLAS
+// convention); Matrix/MatrixView are conveniences for tests, examples and
+// benchmarks.
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+
+#include "common/aligned_buffer.hpp"
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace ag {
+
+using index_t = std::int64_t;
+
+/// Non-owning view of a column-major matrix with a leading dimension.
+template <typename T>
+class MatrixView {
+ public:
+  MatrixView(T* data, index_t rows, index_t cols, index_t ld)
+      : data_(data), rows_(rows), cols_(cols), ld_(ld) {
+    AG_CHECK(rows >= 0 && cols >= 0);
+    AG_CHECK(ld >= rows);
+  }
+
+  T* data() const noexcept { return data_; }
+  index_t rows() const noexcept { return rows_; }
+  index_t cols() const noexcept { return cols_; }
+  index_t ld() const noexcept { return ld_; }
+
+  T& operator()(index_t i, index_t j) const {
+    AG_DCHECK(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[i + j * ld_];
+  }
+
+  /// A mutable view converts implicitly to a read-only view.
+  operator MatrixView<const T>() const
+    requires(!std::is_const_v<T>)
+  {
+    return MatrixView<const T>(data_, rows_, cols_, ld_);
+  }
+
+  /// Sub-view of rows [r0, r0+nr) x cols [c0, c0+nc).
+  MatrixView block(index_t r0, index_t c0, index_t nrows, index_t ncols) const {
+    AG_CHECK(r0 >= 0 && c0 >= 0 && r0 + nrows <= rows_ && c0 + ncols <= cols_);
+    return MatrixView(data_ + r0 + c0 * ld_, nrows, ncols, ld_);
+  }
+
+ private:
+  T* data_;
+  index_t rows_, cols_, ld_;
+};
+
+/// Owning column-major matrix, cache-line aligned.
+template <typename T>
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0), ld_(0) {}
+
+  /// Construct rows x cols; `ld` defaults to rows (dense). A larger ld
+  /// deliberately embeds the matrix in wider storage (stride testing).
+  Matrix(index_t rows, index_t cols, index_t ld = -1)
+      : rows_(rows), cols_(cols), ld_(ld < 0 ? rows : ld) {
+    AG_CHECK(rows >= 0 && cols >= 0);
+    AG_CHECK(ld_ >= rows_);
+    storage_ = AlignedBuffer<T>(static_cast<std::size_t>(ld_ * cols_));
+  }
+
+  Matrix(const Matrix& other) : Matrix(other.rows_, other.cols_, other.ld_) {
+    for (std::size_t i = 0; i < storage_.size(); ++i) storage_[i] = other.storage_[i];
+  }
+  Matrix& operator=(const Matrix& other) {
+    if (this != &other) *this = Matrix(other);
+    return *this;
+  }
+  Matrix(Matrix&&) noexcept = default;
+  Matrix& operator=(Matrix&&) noexcept = default;
+
+  T* data() noexcept { return storage_.data(); }
+  const T* data() const noexcept { return storage_.data(); }
+  index_t rows() const noexcept { return rows_; }
+  index_t cols() const noexcept { return cols_; }
+  index_t ld() const noexcept { return ld_; }
+
+  T& operator()(index_t i, index_t j) {
+    AG_DCHECK(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return storage_[static_cast<std::size_t>(i + j * ld_)];
+  }
+  const T& operator()(index_t i, index_t j) const {
+    AG_DCHECK(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return storage_[static_cast<std::size_t>(i + j * ld_)];
+  }
+
+  MatrixView<T> view() { return MatrixView<T>(data(), rows_, cols_, ld_); }
+  MatrixView<const T> view() const { return MatrixView<const T>(data(), rows_, cols_, ld_); }
+
+  void fill(T value) {
+    for (index_t j = 0; j < cols_; ++j)
+      for (index_t i = 0; i < rows_; ++i) (*this)(i, j) = value;
+  }
+
+  /// Fill with deterministic uniform values in [lo, hi); the padding rows
+  /// (between rows() and ld()) are poisoned so tests catch out-of-bounds use.
+  void fill_random(Xoshiro256& rng, T lo = T(-1), T hi = T(1)) {
+    for (index_t j = 0; j < cols_; ++j) {
+      for (index_t i = 0; i < rows_; ++i) (*this)(i, j) = static_cast<T>(rng.uniform(lo, hi));
+      for (index_t i = rows_; i < ld_; ++i)
+        storage_[static_cast<std::size_t>(i + j * ld_)] = T(1e300);
+    }
+  }
+
+ private:
+  AlignedBuffer<T> storage_;
+  index_t rows_, cols_, ld_;
+};
+
+/// Random matrix helper used pervasively by tests/benches.
+inline Matrix<double> random_matrix(index_t rows, index_t cols, std::uint64_t seed,
+                                    index_t ld = -1) {
+  Matrix<double> m(rows, cols, ld);
+  Xoshiro256 rng(seed);
+  m.fill_random(rng);
+  return m;
+}
+
+}  // namespace ag

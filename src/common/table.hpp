@@ -1,0 +1,38 @@
+// Plain-text table and CSV emission for the figure/table generators.
+//
+// Every bench/tabNN_* and bench/figNN_* binary prints an aligned text table
+// (for humans) and can optionally dump CSV (for plotting).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ag {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Add one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format doubles/ints into cells.
+  static std::string fmt(double v, int precision = 2);
+  static std::string fmt_int(long long v);
+  static std::string fmt_pct(double fraction, int precision = 1);
+
+  /// Render as an aligned text table.
+  std::string to_text() const;
+
+  /// Render as CSV.
+  std::string to_csv() const;
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ag

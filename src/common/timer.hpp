@@ -1,0 +1,29 @@
+// Wall-clock timing helpers for benchmarks.
+#pragma once
+
+#include <chrono>
+
+namespace ag {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// GFLOPS for an m x n x k GEMM (2*m*n*k flops) taking `seconds`.
+inline double gemm_gflops(double m, double n, double k, double seconds) {
+  return 2.0 * m * n * k / seconds * 1e-9;
+}
+
+}  // namespace ag

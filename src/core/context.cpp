@@ -1,0 +1,58 @@
+#include "core/context.hpp"
+
+#include "common/check.hpp"
+
+namespace ag {
+
+Context::Context() : Context(KernelShape{8, 6}, 1) {}
+
+Context::Context(const std::string& kernel_name, int threads)
+    : kernel_(&microkernel_by_name(kernel_name)),
+      block_sizes_(default_block_sizes(kernel_->shape, threads)),
+      threads_(threads) {
+  AG_CHECK(threads >= 1);
+}
+
+Context::Context(KernelShape shape, int threads)
+    : kernel_(&best_microkernel(shape)),
+      block_sizes_(default_block_sizes(shape, threads)),
+      threads_(threads) {
+  AG_CHECK(threads >= 1);
+}
+
+Context& Context::set_kernel(const std::string& kernel_name) {
+  kernel_ = &microkernel_by_name(kernel_name);
+  if (kernel_->shape.mr != block_sizes_.mr || kernel_->shape.nr != block_sizes_.nr) {
+    // Shape changed: the old cache blocks no longer apply.
+    block_sizes_ = default_block_sizes(kernel_->shape, threads_);
+  }
+  return *this;
+}
+
+Context& Context::set_block_sizes(const BlockSizes& bs) {
+  bs.validate();
+  AG_CHECK_MSG(bs.mr == kernel_->shape.mr && bs.nr == kernel_->shape.nr,
+               "block sizes " << bs.to_string() << " do not match kernel shape "
+                              << kernel_->shape.to_string());
+  block_sizes_ = bs;
+  return *this;
+}
+
+Context& Context::set_threads(int threads) {
+  AG_CHECK(threads >= 1);
+  if (threads != threads_) pool_.reset();
+  threads_ = threads;
+  return *this;
+}
+
+ThreadPool& Context::pool() const {
+  if (!pool_) pool_ = std::make_unique<ThreadPool>(threads_);
+  return *pool_;
+}
+
+Context& Context::default_context() {
+  static Context ctx;
+  return ctx;
+}
+
+}  // namespace ag

@@ -1,0 +1,49 @@
+// Execution context for the optimized DGEMM: kernel choice, block sizes,
+// thread count, and the (lazily created, persistent) thread pool.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/block_sizes.hpp"
+#include "kernels/microkernel.hpp"
+#include "threading/thread_pool.hpp"
+
+namespace ag {
+
+class Context {
+ public:
+  /// Serial context with the best available 8x6 kernel and host defaults.
+  Context();
+
+  /// `kernel_name` as in microkernel_by_name (e.g. "avx2_8x6");
+  /// block sizes default to default_block_sizes(shape, threads).
+  Context(const std::string& kernel_name, int threads);
+  Context(KernelShape shape, int threads);
+
+  Context(Context&&) noexcept = default;
+  Context& operator=(Context&&) noexcept = default;
+
+  const Microkernel& kernel() const { return *kernel_; }
+  const BlockSizes& block_sizes() const { return block_sizes_; }
+  int threads() const { return threads_; }
+
+  Context& set_kernel(const std::string& kernel_name);
+  Context& set_block_sizes(const BlockSizes& bs);
+  Context& set_threads(int threads);
+
+  /// Pool shared by every dgemm call made with this context; created on
+  /// first parallel use.
+  ThreadPool& pool() const;
+
+  /// Process-wide default used by the two-argument dgemm overload.
+  static Context& default_context();
+
+ private:
+  const Microkernel* kernel_;
+  BlockSizes block_sizes_;
+  int threads_;
+  mutable std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace ag

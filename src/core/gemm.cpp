@@ -1,0 +1,126 @@
+#include "core/gemm.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "blas/reference_gemm.hpp"
+#include "common/aligned_buffer.hpp"
+#include "common/check.hpp"
+#include "common/math_util.hpp"
+#include "core/gebp.hpp"
+#include "core/packing.hpp"
+
+namespace ag {
+namespace {
+
+void scale_panel(double* c, index_t ldc, index_t m, index_t n, double beta) {
+  if (beta == 1.0) return;
+  for (index_t j = 0; j < n; ++j) {
+    double* col = c + j * ldc;
+    if (beta == 0.0) {
+      std::fill(col, col + m, 0.0);
+    } else {
+      for (index_t i = 0; i < m; ++i) col[i] *= beta;
+    }
+  }
+}
+
+// Serial column-major driver; C has already been scaled by beta.
+void gemm_serial(Trans trans_a, Trans trans_b, index_t m, index_t n, index_t k, double alpha,
+                 const double* a, index_t lda, const double* b, index_t ldb, double* c,
+                 index_t ldc, const Context& ctx) {
+  const BlockSizes& bs = ctx.block_sizes();
+  const Microkernel& kernel = ctx.kernel();
+
+  AlignedBuffer<double> packed_a(static_cast<std::size_t>(
+      packed_a_size(std::min(bs.mc, m), std::min(bs.kc, k), bs.mr)));
+  AlignedBuffer<double> packed_b(static_cast<std::size_t>(
+      packed_b_size(std::min(bs.kc, k), std::min(bs.nc, n), bs.nr)));
+
+  for (index_t jj = 0; jj < n; jj += bs.nc) {        // layer 1
+    const index_t nc = std::min(bs.nc, n - jj);
+    for (index_t kk = 0; kk < k; kk += bs.kc) {      // layer 2
+      const index_t kc = std::min(bs.kc, k - kk);
+      pack_b(trans_b, b, ldb, kk, jj, kc, nc, bs.nr, packed_b.data());
+      for (index_t ii = 0; ii < m; ii += bs.mc) {    // layer 3
+        const index_t mc = std::min(bs.mc, m - ii);
+        pack_a(trans_a, a, lda, ii, kk, mc, kc, bs.mr, packed_a.data());
+        gebp(mc, nc, kc, alpha, packed_a.data(), packed_b.data(), c + ii + jj * ldc, ldc,
+             kernel);
+      }
+    }
+  }
+}
+
+// Parallel column-major driver (Figure 9): the layer-3 loop over blocks of
+// A is split across threads; the packed B panel is shared and packed
+// cooperatively. C has already been scaled by beta.
+void gemm_parallel(Trans trans_a, Trans trans_b, index_t m, index_t n, index_t k, double alpha,
+                   const double* a, index_t lda, const double* b, index_t ldb, double* c,
+                   index_t ldc, const Context& ctx) {
+  const BlockSizes& bs = ctx.block_sizes();
+  const Microkernel& kernel = ctx.kernel();
+  const int nthreads = ctx.threads();
+
+  AlignedBuffer<double> packed_b(static_cast<std::size_t>(
+      packed_b_size(std::min(bs.kc, k), std::min(bs.nc, n), bs.nr)));
+  std::vector<AlignedBuffer<double>> packed_a(static_cast<std::size_t>(nthreads));
+  const std::size_t a_elems = static_cast<std::size_t>(
+      packed_a_size(std::min(bs.mc, m), std::min(bs.kc, k), bs.mr));
+  for (auto& buf : packed_a) buf = AlignedBuffer<double>(a_elems);
+
+  Barrier barrier(nthreads);
+
+  ctx.pool().run([&](int rank) {
+    for (index_t jj = 0; jj < n; jj += bs.nc) {      // layer 1
+      const index_t nc = std::min(bs.nc, n - jj);
+      const index_t b_slivers = ceil_div(nc, static_cast<index_t>(bs.nr));
+      for (index_t kk = 0; kk < k; kk += bs.kc) {    // layer 2
+        const index_t kc = std::min(bs.kc, k - kk);
+        // Cooperative packing of the shared B panel.
+        const Range bp = partition_range(b_slivers, nthreads, rank, 1);
+        pack_b_slivers(trans_b, b, ldb, kk, jj, kc, nc, bs.nr, bp.begin, bp.end,
+                       packed_b.data());
+        barrier.arrive_and_wait();
+        // Layer 3 split across threads, each share mc-aligned (Figure 9).
+        const Range rows = partition_range(m, nthreads, rank, bs.mc);
+        for (index_t ii = rows.begin; ii < rows.end; ii += bs.mc) {
+          const index_t mc = std::min(bs.mc, rows.end - ii);
+          pack_a(trans_a, a, lda, ii, kk, mc, kc, bs.mr,
+                 packed_a[static_cast<std::size_t>(rank)].data());
+          gebp(mc, nc, kc, alpha, packed_a[static_cast<std::size_t>(rank)].data(),
+               packed_b.data(), c + ii + jj * ldc, ldc, kernel);
+        }
+        // B panel is reused as scratch next iteration; everyone must be done.
+        barrier.arrive_and_wait();
+      }
+    }
+  });
+}
+
+}  // namespace
+
+void dgemm(Layout layout, Trans trans_a, Trans trans_b, std::int64_t m, std::int64_t n,
+           std::int64_t k, double alpha, const double* a, std::int64_t lda, const double* b,
+           std::int64_t ldb, double beta, double* c, std::int64_t ldc, const Context& ctx) {
+  validate_gemm_args(layout, trans_a, trans_b, m, n, k, a, lda, b, ldb, c, ldc);
+  if (m == 0 || n == 0) return;
+
+  if (layout == Layout::RowMajor) {
+    // Row-major C = op(A) op(B) is column-major C^T = op(B)^T op(A)^T.
+    dgemm(Layout::ColMajor, trans_b, trans_a, n, m, k, alpha, b, ldb, a, lda, beta, c, ldc,
+          ctx);
+    return;
+  }
+
+  scale_panel(c, ldc, m, n, beta);
+  if (k == 0 || alpha == 0.0) return;
+
+  if (ctx.threads() > 1 && m > ctx.block_sizes().mr) {
+    gemm_parallel(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, c, ldc, ctx);
+  } else {
+    gemm_serial(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, c, ldc, ctx);
+  }
+}
+
+}  // namespace ag

@@ -1,0 +1,33 @@
+// Public DGEMM entry point: the paper's optimized implementation.
+//
+// Computes C := alpha * op(A) * op(B) + beta * C using the GotoBLAS-style
+// layered algorithm (Figure 2): layer 1 partitions B into kc x nc panels
+// packed into (simulated) L3-resident buffers, layer 2 performs rank-kc
+// updates, layer 3 partitions A into mc x kc blocks packed into L2-resident
+// buffers, and GEBP (layers 4-7) does the work. With threads > 1, the
+// layer-3 loop is parallelized exactly as in Figure 9: all threads share
+// one packed B panel (packed cooperatively), and each thread packs and
+// multiplies its own blocks of A.
+#pragma once
+
+#include <cstdint>
+
+#include "blas/gemm_types.hpp"
+#include "core/context.hpp"
+
+namespace ag {
+
+void dgemm(Layout layout, Trans trans_a, Trans trans_b, std::int64_t m, std::int64_t n,
+           std::int64_t k, double alpha, const double* a, std::int64_t lda, const double* b,
+           std::int64_t ldb, double beta, double* c, std::int64_t ldc,
+           const Context& ctx = Context::default_context());
+
+/// CBLAS-flavoured spelling for drop-in familiarity.
+inline void cblas_dgemm_like(Layout layout, Trans trans_a, Trans trans_b, std::int64_t m,
+                             std::int64_t n, std::int64_t k, double alpha, const double* a,
+                             std::int64_t lda, const double* b, std::int64_t ldb, double beta,
+                             double* c, std::int64_t ldc) {
+  dgemm(layout, trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+}
+
+}  // namespace ag

@@ -1,0 +1,85 @@
+// Scalar-type-generic packing implementations (Figure 3 layouts).
+// The double-precision entry points in packing.hpp delegate here; the
+// single-precision GEMM instantiates them for float.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "blas/gemm_types.hpp"
+#include "common/check.hpp"
+#include "common/math_util.hpp"
+
+namespace ag::detail {
+
+using index_t = std::int64_t;
+
+template <typename T>
+index_t packed_a_size_t(index_t mc, index_t kc, int mr) {
+  return round_up(mc, static_cast<index_t>(mr)) * kc;
+}
+
+template <typename T>
+index_t packed_b_size_t(index_t kc, index_t nc, int nr) {
+  return round_up(nc, static_cast<index_t>(nr)) * kc;
+}
+
+template <typename T>
+void pack_a_t(Trans trans, const T* a, index_t lda, index_t row0, index_t col0, index_t mc,
+              index_t kc, int mr, T* dst) {
+  AG_DCHECK(mc >= 0 && kc >= 0 && mr > 0);
+  for (index_t i0 = 0; i0 < mc; i0 += mr) {
+    const index_t rows = std::min<index_t>(mr, mc - i0);
+    if (trans == Trans::NoTrans) {
+      const T* src = a + (row0 + i0) + col0 * lda;
+      for (index_t p = 0; p < kc; ++p) {
+        const T* col = src + p * lda;
+        index_t i = 0;
+        for (; i < rows; ++i) dst[i] = col[i];
+        for (; i < mr; ++i) dst[i] = T(0);
+        dst += mr;
+      }
+    } else {
+      const T* src = a + col0 + (row0 + i0) * lda;
+      for (index_t p = 0; p < kc; ++p) {
+        index_t i = 0;
+        for (; i < rows; ++i) dst[i] = src[p + i * lda];
+        for (; i < mr; ++i) dst[i] = T(0);
+        dst += mr;
+      }
+    }
+  }
+}
+
+template <typename T>
+void pack_b_slivers_t(Trans trans, const T* b, index_t ldb, index_t row0, index_t col0,
+                      index_t kc, index_t nc, int nr, index_t sliver_begin, index_t sliver_end,
+                      T* dst) {
+  AG_DCHECK(kc >= 0 && nc >= 0 && nr > 0);
+  AG_DCHECK(sliver_begin >= 0 && sliver_begin <= sliver_end);
+  for (index_t s = sliver_begin; s < sliver_end; ++s) {
+    const index_t j0 = s * nr;
+    const index_t cols = std::min<index_t>(nr, nc - j0);
+    T* out = dst + s * nr * kc;
+    if (trans == Trans::NoTrans) {
+      const T* src = b + row0 + (col0 + j0) * ldb;
+      for (index_t p = 0; p < kc; ++p) {
+        index_t j = 0;
+        for (; j < cols; ++j) out[j] = src[p + j * ldb];
+        for (; j < nr; ++j) out[j] = T(0);
+        out += nr;
+      }
+    } else {
+      const T* src = b + (col0 + j0) + row0 * ldb;
+      for (index_t p = 0; p < kc; ++p) {
+        const T* row = src + p * ldb;
+        index_t j = 0;
+        for (; j < cols; ++j) out[j] = row[j];
+        for (; j < nr; ++j) out[j] = T(0);
+        out += nr;
+      }
+    }
+  }
+}
+
+}  // namespace ag::detail

@@ -1,0 +1,54 @@
+#include "isa/instruction.hpp"
+
+#include <sstream>
+
+namespace ag::isa {
+
+namespace {
+const char* stream_base_register(Stream s) {
+  // Address registers follow the paper's Figure 8: x14 walks packed A,
+  // x15 walks packed B, x16 the C tile.
+  switch (s) {
+    case Stream::A: return "x14";
+    case Stream::B: return "x15";
+    case Stream::C: return "x16";
+    case Stream::None: return "x?";
+  }
+  return "x?";
+}
+}  // namespace
+
+std::string Instr::text() const {
+  std::ostringstream os;
+  switch (op) {
+    case Opcode::Ldr:
+      os << "ldr     q" << dst << ", [" << stream_base_register(stream) << "], #16";
+      break;
+    case Opcode::Fmla:
+      os << "fmla    v" << dst << ".2d, v" << srca << ".2d, v" << srcb << ".d[" << lane << "]";
+      break;
+    case Opcode::Prfm:
+      os << "prfm    PLDL" << prefetch_level << "KEEP, [" << stream_base_register(stream)
+         << ", #" << offset_bytes << "]";
+      break;
+    case Opcode::Str:
+      os << "str     q" << dst << ", [" << stream_base_register(stream) << "], #16";
+      break;
+  }
+  return os.str();
+}
+
+int Program::count(Opcode op) const {
+  int n = 0;
+  for (const auto& i : instrs)
+    if (i.op == op) ++n;
+  return n;
+}
+
+std::string Program::listing() const {
+  std::ostringstream os;
+  for (const auto& i : instrs) os << i.text() << "\n";
+  return os.str();
+}
+
+}  // namespace ag::isa

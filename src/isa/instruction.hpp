@@ -1,0 +1,62 @@
+// A64-like vector instruction model (Section IV-A of the paper).
+//
+// The paper's register kernel is hand-written assembly over the 32 128-bit
+// NEON registers: `fmla v8.2d, v0.2d, v4.d[0]` FMA instructions, `ldr
+// q1, [x14], #16` post-indexed loads, and `prfm` prefetches. This module
+// represents such kernels as data so the rotation allocator, the load
+// scheduler, the assembly printer, and the cycle-level pipeline simulator
+// can all operate on the same object.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ag::isa {
+
+enum class Opcode : std::uint8_t {
+  Ldr,   // 128-bit vector load, post-indexed
+  Fmla,  // vector FMA by element: dst += srca * srcb[lane]
+  Prfm,  // prefetch
+  Str,   // 128-bit vector store (C write-back)
+};
+
+/// Which packed stream an address belongs to.
+enum class Stream : std::uint8_t { A, B, C, None };
+
+struct Instr {
+  Opcode op = Opcode::Fmla;
+  // Vector register numbers (v0..v31). For Fmla, dst is read and written
+  // (accumulator); srca/srcb are the multiplicands, srcb indexed by lane.
+  int dst = -1;
+  int srca = -1;
+  int srcb = -1;
+  int lane = -1;
+  // Memory operand (Ldr/Str/Prfm): stream + byte offset within the stream.
+  Stream stream = Stream::None;
+  std::int64_t offset_bytes = 0;
+  // Prefetch target level (1 = L1, 2 = L2), as in PLDL1KEEP/PLDL2KEEP.
+  int prefetch_level = 1;
+
+  bool reads(int reg) const {
+    if (op == Opcode::Fmla) return reg == dst || reg == srca || reg == srcb;
+    if (op == Opcode::Str) return reg == dst;
+    return false;
+  }
+  bool writes(int reg) const {
+    return (op == Opcode::Ldr || op == Opcode::Fmla) && reg == dst;
+  }
+
+  /// Renders in A64 syntax, e.g. "fmla v8.2d, v0.2d, v4.d[0]".
+  std::string text() const;
+};
+
+/// A straight-line kernel program plus the metadata the generators attach.
+struct Program {
+  std::vector<Instr> instrs;
+
+  int count(Opcode op) const;
+  std::string listing() const;  // one instruction per line (Figure 8 style)
+};
+
+}  // namespace ag::isa

@@ -1,0 +1,181 @@
+#include "isa/kernel_generator.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace ag::isa {
+namespace {
+
+// A load as it lands in the emitted instruction stream: `gap` within its
+// landing copy, writing `reg` with the A/B sub-sliver of `offset_copy`.
+struct EmitLoad {
+  int gap = 0;
+  int reg = 0;
+  Role::Kind kind = Role::Kind::A;
+  int half = 0;
+  int offset_copy = 0;
+};
+
+}  // namespace
+
+GeneratedKernel generate_register_kernel(ag::KernelShape shape,
+                                         const model::MachineConfig& machine,
+                                         const KernelGenOptions& opts) {
+  const int lanes = machine.simd_doubles;
+  AG_CHECK_MSG(lanes == 2, "A64 kernel generator models 128-bit NEON (2 doubles)");
+  AG_CHECK(shape.mr % 2 == 0 && shape.nr % 2 == 0);
+
+  GeneratedKernel gk;
+  gk.shape = shape;
+  gk.c_registers = shape.mr * shape.nr / 2;
+  const int roles = (shape.mr + shape.nr) / 2;
+  const int available = machine.regs.num_fp_registers - gk.c_registers;
+  AG_CHECK_MSG(available >= roles, "shape " << shape.to_string() << " needs " << roles
+                                            << " working registers, only " << available
+                                            << " free after the C tile");
+
+  gk.rotation = opts.rotate ? solve_rotation(shape, available)
+                            : identity_rotation(shape, available, opts.identity_unroll);
+  gk.working_registers = gk.rotation.num_registers;
+  gk.schedule = schedule_loads(gk.rotation);
+
+  const ReadSchedule sched = make_read_schedule(shape);
+  const int f = sched.fmla_count;
+  const int u = gk.rotation.unroll;
+  const int a_halves = shape.mr / 2;
+  gk.a_bytes_per_copy = static_cast<std::int64_t>(shape.mr) * machine.element_bytes;
+  gk.b_bytes_per_copy = static_cast<std::int64_t>(shape.nr) * machine.element_bytes;
+
+  // Distribute scheduled loads to their landing copies. A load planned in
+  // copy c with raw_gap < f stays in copy c (pipelining data for copy
+  // c+1); a spilled load (raw_gap >= f) lands in copy c+1 at gap
+  // raw_gap - f and feeds that same copy's late reads.
+  std::vector<std::vector<EmitLoad>> emits(static_cast<std::size_t>(u));
+  for (int c = 0; c < u; ++c) {
+    for (const auto& l : gk.schedule.copies[static_cast<std::size_t>(c)].loads) {
+      const int spill = l.raw_gap / f;
+      AG_INTERNAL_CHECK(spill == 0 || spill == 1);
+      const int land = (c + spill) % u;
+      EmitLoad e;
+      e.gap = l.raw_gap % f;
+      e.reg = l.reg;
+      e.kind = l.stream_kind;
+      e.half = sched.roles[static_cast<std::size_t>(l.target_role)].half;
+      // The value belongs to copy c+1, i.e. landing copy + (1 - spill);
+      // an offset_copy of u refers to the next body iteration, which the
+      // looped simulation resolves via the per-body stream stride.
+      e.offset_copy = land + 1 - spill;
+      emits[static_cast<std::size_t>(land)].push_back(e);
+    }
+  }
+  if (!opts.schedule_loads) {
+    // Ablation: cluster every load at the top of its landing copy.
+    for (auto& copy : emits)
+      for (auto& e : copy) e.gap = 0;
+    gk.schedule.min_raw_distance = 0;  // meaning: unscheduled
+  }
+  for (auto& copy : emits)
+    std::sort(copy.begin(), copy.end(),
+              [](const EmitLoad& a, const EmitLoad& b) { return a.gap < b.gap; });
+
+  // C accumulator register for tile element (h, j): row-major over halves,
+  // matching the paper's v8..v31 layout at 8x6.
+  auto c_reg = [&](int h, int j) { return gk.working_registers + h * shape.nr + j; };
+
+  for (int copy = 0; copy < u; ++copy) {
+    const auto& regs = gk.rotation.table[static_cast<std::size_t>(copy)];
+    const auto& loads = emits[static_cast<std::size_t>(copy)];
+
+    // Gaps already holding a load; prefetches go into free gaps.
+    std::vector<bool> gap_used(static_cast<std::size_t>(f), false);
+    for (const auto& l : loads) gap_used[static_cast<std::size_t>(l.gap)] = true;
+    int prfm_a_gap = -1, prfm_b_gap = -1;
+    if (opts.prefetch) {
+      for (int g = f / 3; g < f && prfm_a_gap < 0; ++g)
+        if (!gap_used[static_cast<std::size_t>(g)]) prfm_a_gap = g;
+      for (int g = f - 1; g >= 0 && prfm_b_gap < 0; --g)
+        if (!gap_used[static_cast<std::size_t>(g)] && g != prfm_a_gap) prfm_b_gap = g;
+    }
+
+    std::size_t next_load = 0;
+    for (int t = 0; t < f; ++t) {
+      while (next_load < loads.size() && loads[next_load].gap == t) {
+        const auto& l = loads[next_load];
+        Instr ld;
+        ld.op = Opcode::Ldr;
+        ld.dst = l.reg;
+        if (l.kind == Role::Kind::A) {
+          ld.stream = Stream::A;
+          ld.offset_bytes =
+              static_cast<std::int64_t>(l.offset_copy) * gk.a_bytes_per_copy + 16LL * l.half;
+        } else {
+          ld.stream = Stream::B;
+          ld.offset_bytes =
+              static_cast<std::int64_t>(l.offset_copy) * gk.b_bytes_per_copy + 16LL * l.half;
+        }
+        gk.body.instrs.push_back(ld);
+        ++next_load;
+      }
+      if (t == prfm_a_gap) {
+        Instr p;
+        p.op = Opcode::Prfm;
+        p.stream = Stream::A;
+        p.prefetch_level = 1;
+        p.offset_bytes = static_cast<std::int64_t>(copy) * gk.a_bytes_per_copy + opts.prea_bytes;
+        gk.body.instrs.push_back(p);
+      }
+      if (t == prfm_b_gap) {
+        Instr p;
+        p.op = Opcode::Prfm;
+        p.stream = Stream::B;
+        p.prefetch_level = 2;
+        p.offset_bytes = static_cast<std::int64_t>(copy) * gk.b_bytes_per_copy + opts.preb_bytes;
+        gk.body.instrs.push_back(p);
+      }
+
+      const int h = t / shape.nr;
+      const int j = t % shape.nr;
+      Instr fm;
+      fm.op = Opcode::Fmla;
+      fm.dst = c_reg(h, j);
+      fm.srca = regs[h];                 // a-half h
+      fm.srcb = regs[a_halves + j / 2];  // b-half j/2
+      fm.lane = j % 2;
+      gk.body.instrs.push_back(fm);
+    }
+    AG_INTERNAL_CHECK(next_load == loads.size());
+  }
+
+  // C-tile epilogue: for each accumulator register, load the C pair,
+  // fuse (C += alpha * acc, one fmla with the alpha broadcast in a
+  // working register) and store. ldr/str pairs walk the C stream.
+  for (int h = 0; h < a_halves; ++h) {
+    for (int j = 0; j < shape.nr; ++j) {
+      const std::int64_t off = 16LL * h + 16LL * a_halves * j;
+      Instr ld;
+      ld.op = Opcode::Ldr;
+      ld.dst = 0;  // scratch working register (kernel is done with A/B)
+      ld.stream = Stream::C;
+      ld.offset_bytes = off;
+      gk.epilogue.instrs.push_back(ld);
+      Instr fm;
+      fm.op = Opcode::Fmla;
+      fm.dst = 0;
+      fm.srca = c_reg(h, j);
+      fm.srcb = 1;  // alpha broadcast
+      fm.lane = 0;
+      gk.epilogue.instrs.push_back(fm);
+      Instr st;
+      st.op = Opcode::Str;
+      st.dst = 0;
+      st.stream = Stream::C;
+      st.offset_bytes = off;
+      gk.epilogue.instrs.push_back(st);
+    }
+  }
+  return gk;
+}
+
+}  // namespace ag::isa

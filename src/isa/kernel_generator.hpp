@@ -1,0 +1,56 @@
+// Register-kernel generator: rotation + scheduling -> A64-like program.
+//
+// Produces the unrolled loop body of the paper's assembly GEBP register
+// kernel (Figure 8): per copy, mr*nr/2 fmla instructions in the canonical
+// row-major order, the scheduled ldr instructions that pipeline the next
+// copy's operands, and the prfm prefetches (A into L1 at distance PREA,
+// B into L2 at distance PREB). The program is consumed by the assembly
+// printer (Figure 8 output) and the cycle-level pipeline simulator.
+#pragma once
+
+#include <cstdint>
+
+#include "isa/instruction.hpp"
+#include "isa/rotation.hpp"
+#include "isa/scheduler.hpp"
+#include "model/machine.hpp"
+
+namespace ag::isa {
+
+struct KernelGenOptions {
+  bool rotate = true;            // software register rotation (Table I)
+  bool schedule_loads = true;    // Eq. 13 placement; false clusters loads at copy start
+  bool prefetch = true;          // emit prfm A (L1) and prfm B (L2)
+  int identity_unroll = 8;       // unroll factor when rotation is off
+  std::int64_t prea_bytes = 1024;   // Section IV-B prefetch distances
+  std::int64_t preb_bytes = 24576;
+};
+
+struct GeneratedKernel {
+  ag::KernelShape shape;
+  RotationPlan rotation;
+  SchedulePlan schedule;
+  Program body;  // one unrolled loop body (rotation.unroll copies)
+  /// C-tile epilogue: load each C register pair, fuse the accumulators in
+  /// (fmla by alpha), store back — executed once per GESS call (after
+  /// kc/unroll body iterations). Used by the timing model to charge the
+  /// paper's "C update cannot overlap" cost at instruction fidelity.
+  Program epilogue;
+
+  int c_registers = 0;       // registers pinned to the C tile
+  int working_registers = 0;  // rotated A/B registers
+  std::int64_t a_bytes_per_copy = 0;
+  std::int64_t b_bytes_per_copy = 0;
+  /// Stream bytes one full body iteration consumes (for looping the body).
+  std::int64_t a_bytes_per_body() const { return a_bytes_per_copy * rotation.unroll; }
+  std::int64_t b_bytes_per_body() const { return b_bytes_per_copy * rotation.unroll; }
+};
+
+/// Generates the kernel for `shape` on `machine`. Requires an even SIMD
+/// shape and enough registers for the C tile plus roles (the solver in
+/// src/model guarantees this for its chosen shapes).
+GeneratedKernel generate_register_kernel(ag::KernelShape shape,
+                                         const model::MachineConfig& machine,
+                                         const KernelGenOptions& opts = {});
+
+}  // namespace ag::isa

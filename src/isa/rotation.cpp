@@ -1,0 +1,176 @@
+#include "isa/rotation.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace ag::isa {
+
+ReadSchedule make_read_schedule(ag::KernelShape shape) {
+  AG_CHECK_MSG(shape.mr % 2 == 0 && shape.nr % 2 == 0,
+               "read schedule needs SIMD-even shape, got " << shape.to_string());
+  const int a_halves = shape.mr / 2;
+  const int b_halves = shape.nr / 2;
+  ReadSchedule s;
+  s.fmla_count = shape.mr * shape.nr / 2;
+  s.roles.reserve(a_halves + b_halves);
+  for (int h = 0; h < a_halves; ++h) s.roles.push_back({Role::Kind::A, h});
+  for (int q = 0; q < b_halves; ++q) s.roles.push_back({Role::Kind::B, q});
+  s.first_read.assign(s.roles.size(), -1);
+  s.last_read.assign(s.roles.size(), -1);
+
+  // Canonical fmla order (the paper's Figure 8): row-major over the C
+  // tile — for each A half h, sweep all nr columns:
+  //   fmla acc[h][j], a_h, b_{j/2}.d[j%2]
+  int pos = 0;
+  for (int h = 0; h < a_halves; ++h) {
+    for (int j = 0; j < shape.nr; ++j) {
+      const int a_role = h;
+      const int b_role = a_halves + j / 2;
+      for (int role : {a_role, b_role}) {
+        if (s.first_read[role] < 0) s.first_read[role] = pos;
+        s.last_read[role] = pos;
+      }
+      ++pos;
+    }
+  }
+  AG_INTERNAL_CHECK(pos == s.fmla_count);
+  return s;
+}
+
+namespace {
+
+// Evaluates the Eq. 12 objective for a slot permutation: for each slot
+// currently holding a real role, the gap (in fmla positions) until the
+// value loaded into that physical register is first read again. Spare
+// slots push the next read a whole copy further out.
+int evaluate_permutation(const std::vector<int>& perm, const ReadSchedule& sched,
+                         int num_roles) {
+  const int f = sched.fmla_count;
+  int worst = INT32_MAX;
+  const int n = static_cast<int>(perm.size());
+  for (int r = 0; r < num_roles; ++r) {
+    int k = 1;
+    int slot = perm[r];
+    while (slot >= num_roles) {  // chase through spare slots
+      slot = perm[slot];
+      ++k;
+      AG_INTERNAL_CHECK(k <= n + 1);
+    }
+    const int d = k * f + sched.first_read[slot] - sched.last_read[r];
+    worst = std::min(worst, d);
+  }
+  return worst;
+}
+
+int permutation_order(const std::vector<int>& perm) {
+  const int n = static_cast<int>(perm.size());
+  std::vector<bool> seen(n, false);
+  long order = 1;
+  for (int i = 0; i < n; ++i) {
+    if (seen[i]) continue;
+    int len = 0;
+    for (int j = i; !seen[j]; j = perm[j]) {
+      seen[j] = true;
+      ++len;
+    }
+    order = std::lcm(order, static_cast<long>(len));
+  }
+  return static_cast<int>(order);
+}
+
+// Builds table[copy][role] = physical register, iterating the permutation
+// for `unroll` copies from the canonical copy-0 assignment (role r -> r).
+std::vector<std::vector<int>> build_table(const std::vector<int>& perm, int num_roles,
+                                          int unroll) {
+  const int n = static_cast<int>(perm.size());
+  // reg_role[reg] = slot (role or spare) register currently plays.
+  std::vector<int> reg_role(n);
+  std::iota(reg_role.begin(), reg_role.end(), 0);
+  std::vector<std::vector<int>> table;
+  table.reserve(static_cast<std::size_t>(unroll));
+  for (int copy = 0; copy < unroll; ++copy) {
+    std::vector<int> role_reg(num_roles, -1);
+    for (int reg = 0; reg < n; ++reg)
+      if (reg_role[reg] < num_roles) role_reg[reg_role[reg]] = reg;
+    table.push_back(role_reg);
+    for (int reg = 0; reg < n; ++reg) reg_role[reg] = perm[reg_role[reg]];
+  }
+  return table;
+}
+
+}  // namespace
+
+RotationPlan solve_rotation(ag::KernelShape shape, int num_working_registers) {
+  const ReadSchedule sched = make_read_schedule(shape);
+  const int num_roles = static_cast<int>(sched.roles.size());
+  AG_CHECK_MSG(num_working_registers > num_roles,
+               "rotation needs at least one spare register: have "
+                   << num_working_registers << " for " << num_roles << " roles");
+  // Exhaustive search is exact and fast for the realistic slot counts
+  // (8 slots for the 8x6 kernel => 8! = 40320 permutations). Cap spares so
+  // the search stays bounded.
+  const int n = std::min(num_working_registers, num_roles + 2);
+
+  std::vector<int> perm(static_cast<std::size_t>(n));
+  std::iota(perm.begin(), perm.end(), 0);
+  std::vector<int> best_perm = perm;
+  int best_distance = -1;
+  int best_order = INT32_MAX;
+  do {
+    const int d = evaluate_permutation(perm, sched, num_roles);
+    if (d < best_distance) continue;
+    const int order = permutation_order(perm);
+    if (d > best_distance || order < best_order) {
+      best_distance = d;
+      best_order = order;
+      best_perm = perm;
+    }
+  } while (std::next_permutation(perm.begin(), perm.end()));
+
+  RotationPlan plan;
+  plan.shape = shape;
+  plan.num_registers = n;
+  plan.num_roles = num_roles;
+  plan.role_permutation = best_perm;
+  plan.unroll = best_order;
+  plan.min_reload_distance = best_distance;
+  plan.table = build_table(best_perm, num_roles, plan.unroll);
+  plan.rotated = true;
+  return plan;
+}
+
+RotationPlan identity_rotation(ag::KernelShape shape, int num_working_registers, int unroll) {
+  const ReadSchedule sched = make_read_schedule(shape);
+  const int num_roles = static_cast<int>(sched.roles.size());
+  AG_CHECK(num_working_registers >= num_roles);
+  RotationPlan plan;
+  plan.shape = shape;
+  plan.num_registers = num_roles;  // spares stay unused without rotation
+  plan.num_roles = num_roles;
+  plan.role_permutation.resize(static_cast<std::size_t>(num_roles));
+  std::iota(plan.role_permutation.begin(), plan.role_permutation.end(), 0);
+  plan.unroll = unroll;
+  plan.min_reload_distance = evaluate_permutation(plan.role_permutation, sched, num_roles);
+  plan.table = build_table(plan.role_permutation, num_roles, unroll);
+  plan.rotated = false;
+  return plan;
+}
+
+std::string RotationPlan::table_text() const {
+  const ReadSchedule sched = make_read_schedule(shape);
+  std::ostringstream os;
+  os << "role ";
+  for (int c = 0; c < unroll; ++c) os << " #" << c;
+  os << "  #0\n";
+  for (int r = 0; r < num_roles; ++r) {
+    os << sched.roles[static_cast<std::size_t>(r)].name() << "   ";
+    for (int c = 0; c < unroll; ++c) os << "  " << table[static_cast<std::size_t>(c)][r];
+    os << "   " << table[0][r] << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace ag::isa

@@ -1,0 +1,144 @@
+#include "isa/scheduler.hpp"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/check.hpp"
+
+namespace ag::isa {
+namespace {
+
+struct LoadReq {
+  int release = 0;   // earliest legal gap (after the old value's last read)
+  int deadline = 0;  // latest legal gap
+  int need = 0;      // absolute fmla position of the value's first read
+  int target_role = 0;
+  int reg = 0;
+  Role::Kind kind = Role::Kind::A;
+};
+
+// Can every load be placed in a distinct gap with
+// release <= gap <= min(deadline, need - d, horizon - 1)? EDF greedy over
+// unit-capacity slots is exact for this release/deadline structure.
+// Loads use immediate-offset addressing (ldr q, [x14, #off]) so loads from
+// the same stream carry no ordering constraint. With horizon > fmla_count
+// (used by the non-rotated kernel, whose late-read registers cannot be
+// reloaded inside their own copy), gaps >= fmla_count spill into the next
+// copy; capacity is then shared modulo fmla_count since in steady state
+// every copy repeats the same placement.
+bool try_schedule(const std::vector<LoadReq>& reqs, int d, int fmla_count, int horizon,
+                  std::vector<ScheduledLoad>* out) {
+  std::vector<LoadReq> r2(reqs);
+  for (auto& r : r2) r.deadline = std::min(r.deadline, r.need - d);
+  std::sort(r2.begin(), r2.end(), [](const LoadReq& a, const LoadReq& b) {
+    if (a.deadline != b.deadline) return a.deadline < b.deadline;
+    return a.release < b.release;
+  });
+  std::vector<bool> used(static_cast<std::size_t>(fmla_count), false);
+  std::vector<ScheduledLoad> placed;
+  for (const auto& r : r2) {
+    int gap = std::max(r.release, 0);
+    const int limit = std::min(r.deadline, horizon - 1);
+    while (gap <= limit && used[static_cast<std::size_t>(gap % fmla_count)]) ++gap;
+    if (gap > limit) return false;
+    used[static_cast<std::size_t>(gap % fmla_count)] = true;
+    ScheduledLoad s;
+    s.gap = gap;
+    s.raw_gap = gap;
+    s.target_role = r.target_role;
+    s.reg = r.reg;
+    s.stream_kind = r.kind;
+    s.raw_distance_fmla = r.need - gap;
+    placed.push_back(s);
+  }
+  std::sort(placed.begin(), placed.end(),
+            [](const ScheduledLoad& a, const ScheduledLoad& b) { return a.gap < b.gap; });
+  *out = std::move(placed);
+  return true;
+}
+
+}  // namespace
+
+SchedulePlan schedule_loads(const RotationPlan& rotation) {
+  const ReadSchedule sched = make_read_schedule(rotation.shape);
+  const int f = sched.fmla_count;
+  const int num_roles = rotation.num_roles;
+
+  SchedulePlan plan;
+  plan.shape = rotation.shape;
+  plan.min_raw_distance = INT32_MAX;
+  plan.min_war_slack = INT32_MAX;
+
+  for (int copy = 0; copy < rotation.unroll; ++copy) {
+    const auto& cur = rotation.table[static_cast<std::size_t>(copy)];
+    const auto& nxt = rotation.table[static_cast<std::size_t>((copy + 1) % rotation.unroll)];
+
+    // One load request per role of the next copy: write its register during
+    // this copy. The register may currently hold one of this copy's roles
+    // (release = just after its last read) or be spare (release = 0).
+    std::vector<LoadReq> reqs;
+    for (int role = 0; role < num_roles; ++role) {
+      LoadReq req;
+      req.reg = nxt[role];
+      req.target_role = role;
+      req.kind = sched.roles[static_cast<std::size_t>(role)].kind;
+      req.need = f + sched.first_read[role];
+      req.deadline = 2 * f - 1;  // may spill into the next copy if needed
+      req.release = 0;
+      for (int r1 = 0; r1 < num_roles; ++r1) {
+        if (cur[r1] == req.reg) {
+          req.release = sched.last_read[r1] + 1;
+          break;
+        }
+      }
+      reqs.push_back(req);
+    }
+
+    // Binary search the bottleneck RAW distance (Eq. 13). Prefer schedules
+    // confined to this copy; fall back to the wrap-around horizon only when
+    // the copy alone is infeasible (the non-rotated kernel's late loads).
+    int best = -1;
+    std::vector<ScheduledLoad> best_loads;
+    for (int horizon : {f, 2 * f}) {
+      int lo = 1, hi = 2 * f;
+      while (lo <= hi) {
+        const int mid = (lo + hi) / 2;
+        std::vector<ScheduledLoad> loads;
+        if (try_schedule(reqs, mid, f, horizon, &loads)) {
+          best = mid;
+          best_loads = std::move(loads);
+          lo = mid + 1;
+        } else {
+          hi = mid - 1;
+        }
+      }
+      if (best > 0) break;
+    }
+    AG_CHECK_MSG(best > 0, "no feasible load schedule for copy "
+                               << copy << " of " << rotation.shape.to_string());
+
+    // WAR slack is measured on the raw placement (before any spilled load
+    // is folded back to its steady-state position in the copy).
+    for (const auto& s : best_loads) {
+      for (int r1 = 0; r1 < num_roles; ++r1) {
+        if (cur[r1] == s.reg) {
+          plan.min_war_slack =
+              std::min(plan.min_war_slack, s.raw_gap - 1 - sched.last_read[r1]);
+          break;
+        }
+      }
+      plan.min_raw_distance = std::min(plan.min_raw_distance, s.raw_distance_fmla);
+    }
+    // Normalise spilled gaps.
+    for (auto& l : best_loads) l.gap = l.raw_gap % f;
+    std::sort(best_loads.begin(), best_loads.end(),
+              [](const ScheduledLoad& a, const ScheduledLoad& b) { return a.gap < b.gap; });
+    CopySchedule cs;
+    cs.loads = std::move(best_loads);
+    plan.copies.push_back(std::move(cs));
+  }
+  if (plan.min_war_slack == INT32_MAX) plan.min_war_slack = 0;
+  return plan;
+}
+
+}  // namespace ag::isa

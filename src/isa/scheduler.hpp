@@ -1,0 +1,55 @@
+// Load placement inside the register kernel (Section IV-A, Eq. 13, Fig. 7).
+//
+// Given the rotation plan, each loop copy must issue one load per working
+// register that the *next* copy reads. A load may not be placed before the
+// current value's last fmla read (WAR), must land early enough that the
+// loaded value is ready at its first fmla read in the next copy (RAW), at
+// most one memory instruction fits between consecutive fmlas (issue
+// bandwidth), and loads from the same packed stream must stay in address
+// order (the kernel uses post-indexed ldr). Subject to these, we maximise
+// the minimum write-to-first-read distance
+//
+//     Loc('R', v) - Loc('W', v)                                  (Eq. 13)
+//
+// exactly, by binary search over the bottleneck distance with an
+// earliest-deadline-first feasibility check.
+#pragma once
+
+#include <vector>
+
+#include "isa/rotation.hpp"
+
+namespace ag::isa {
+
+/// One scheduled load within a loop copy.
+struct ScheduledLoad {
+  int gap = 0;  // steady-state position: immediately before fmla `gap`
+  /// Un-normalised placement: >= fmla_count means the load spilled into
+  /// the next copy (unavoidable for a register read at the copy's last
+  /// fmla). gap == raw_gap % fmla_count.
+  int raw_gap = 0;
+  int target_role = 0;  // role (in the next copy) whose value is loaded
+  int reg = 0;          // physical register written
+  Role::Kind stream_kind = Role::Kind::A;
+  int raw_distance_fmla = 0;  // fmlas between the load and its first read
+};
+
+struct CopySchedule {
+  std::vector<ScheduledLoad> loads;  // sorted by gap
+};
+
+struct SchedulePlan {
+  ag::KernelShape shape;
+  /// Per copy of the unrolled kernel, the placed loads.
+  std::vector<CopySchedule> copies;
+  /// min over all loads of Eq. 13's distance, in fmla positions.
+  int min_raw_distance = 0;
+  /// min over all loads of (last fmla read of old value) -> load gap
+  /// slack; >= 0 by construction (WAR safety).
+  int min_war_slack = 0;
+};
+
+/// Solves Eq. (13) for every copy of the rotation plan.
+SchedulePlan schedule_loads(const RotationPlan& rotation);
+
+}  // namespace ag::isa

@@ -1,0 +1,168 @@
+#include "kernels/avx2_kernels.hpp"
+
+#if defined(__AVX2__) && defined(__FMA__)
+#include <immintrin.h>
+#endif
+
+namespace ag {
+
+bool avx2_kernels_available() {
+#if defined(__AVX2__) && defined(__FMA__)
+  return true;
+#else
+  return false;
+#endif
+}
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+void avx2_microkernel_8x6(index_t kc, double alpha, const double* a, const double* b, double* c,
+                          index_t ldc) {
+  // Accumulators: acc[h][j] holds rows 4h..4h+3 of column j. 12 ymm total,
+  // leaving registers for two A vectors and the B broadcast.
+  __m256d acc00 = _mm256_setzero_pd(), acc10 = _mm256_setzero_pd();
+  __m256d acc01 = _mm256_setzero_pd(), acc11 = _mm256_setzero_pd();
+  __m256d acc02 = _mm256_setzero_pd(), acc12 = _mm256_setzero_pd();
+  __m256d acc03 = _mm256_setzero_pd(), acc13 = _mm256_setzero_pd();
+  __m256d acc04 = _mm256_setzero_pd(), acc14 = _mm256_setzero_pd();
+  __m256d acc05 = _mm256_setzero_pd(), acc15 = _mm256_setzero_pd();
+
+  for (index_t p = 0; p < kc; ++p) {
+    const __m256d a0 = _mm256_load_pd(a);
+    const __m256d a1 = _mm256_load_pd(a + 4);
+    __m256d bj;
+    bj = _mm256_broadcast_sd(b + 0);
+    acc00 = _mm256_fmadd_pd(a0, bj, acc00);
+    acc10 = _mm256_fmadd_pd(a1, bj, acc10);
+    bj = _mm256_broadcast_sd(b + 1);
+    acc01 = _mm256_fmadd_pd(a0, bj, acc01);
+    acc11 = _mm256_fmadd_pd(a1, bj, acc11);
+    bj = _mm256_broadcast_sd(b + 2);
+    acc02 = _mm256_fmadd_pd(a0, bj, acc02);
+    acc12 = _mm256_fmadd_pd(a1, bj, acc12);
+    bj = _mm256_broadcast_sd(b + 3);
+    acc03 = _mm256_fmadd_pd(a0, bj, acc03);
+    acc13 = _mm256_fmadd_pd(a1, bj, acc13);
+    bj = _mm256_broadcast_sd(b + 4);
+    acc04 = _mm256_fmadd_pd(a0, bj, acc04);
+    acc14 = _mm256_fmadd_pd(a1, bj, acc14);
+    bj = _mm256_broadcast_sd(b + 5);
+    acc05 = _mm256_fmadd_pd(a0, bj, acc05);
+    acc15 = _mm256_fmadd_pd(a1, bj, acc15);
+    a += 8;
+    b += 6;
+  }
+
+  const __m256d va = _mm256_set1_pd(alpha);
+  auto update = [&](double* cj, __m256d lo, __m256d hi) {
+    _mm256_storeu_pd(cj, _mm256_fmadd_pd(va, lo, _mm256_loadu_pd(cj)));
+    _mm256_storeu_pd(cj + 4, _mm256_fmadd_pd(va, hi, _mm256_loadu_pd(cj + 4)));
+  };
+  update(c + 0 * ldc, acc00, acc10);
+  update(c + 1 * ldc, acc01, acc11);
+  update(c + 2 * ldc, acc02, acc12);
+  update(c + 3 * ldc, acc03, acc13);
+  update(c + 4 * ldc, acc04, acc14);
+  update(c + 5 * ldc, acc05, acc15);
+}
+
+void avx2_microkernel_8x4(index_t kc, double alpha, const double* a, const double* b, double* c,
+                          index_t ldc) {
+  __m256d acc00 = _mm256_setzero_pd(), acc10 = _mm256_setzero_pd();
+  __m256d acc01 = _mm256_setzero_pd(), acc11 = _mm256_setzero_pd();
+  __m256d acc02 = _mm256_setzero_pd(), acc12 = _mm256_setzero_pd();
+  __m256d acc03 = _mm256_setzero_pd(), acc13 = _mm256_setzero_pd();
+
+  for (index_t p = 0; p < kc; ++p) {
+    const __m256d a0 = _mm256_load_pd(a);
+    const __m256d a1 = _mm256_load_pd(a + 4);
+    __m256d bj;
+    bj = _mm256_broadcast_sd(b + 0);
+    acc00 = _mm256_fmadd_pd(a0, bj, acc00);
+    acc10 = _mm256_fmadd_pd(a1, bj, acc10);
+    bj = _mm256_broadcast_sd(b + 1);
+    acc01 = _mm256_fmadd_pd(a0, bj, acc01);
+    acc11 = _mm256_fmadd_pd(a1, bj, acc11);
+    bj = _mm256_broadcast_sd(b + 2);
+    acc02 = _mm256_fmadd_pd(a0, bj, acc02);
+    acc12 = _mm256_fmadd_pd(a1, bj, acc12);
+    bj = _mm256_broadcast_sd(b + 3);
+    acc03 = _mm256_fmadd_pd(a0, bj, acc03);
+    acc13 = _mm256_fmadd_pd(a1, bj, acc13);
+    a += 8;
+    b += 4;
+  }
+
+  const __m256d va = _mm256_set1_pd(alpha);
+  auto update = [&](double* cj, __m256d lo, __m256d hi) {
+    _mm256_storeu_pd(cj, _mm256_fmadd_pd(va, lo, _mm256_loadu_pd(cj)));
+    _mm256_storeu_pd(cj + 4, _mm256_fmadd_pd(va, hi, _mm256_loadu_pd(cj + 4)));
+  };
+  update(c + 0 * ldc, acc00, acc10);
+  update(c + 1 * ldc, acc01, acc11);
+  update(c + 2 * ldc, acc02, acc12);
+  update(c + 3 * ldc, acc03, acc13);
+}
+
+void avx2_microkernel_4x4(index_t kc, double alpha, const double* a, const double* b, double* c,
+                          index_t ldc) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  __m256d acc2 = _mm256_setzero_pd();
+  __m256d acc3 = _mm256_setzero_pd();
+
+  for (index_t p = 0; p < kc; ++p) {
+    const __m256d a0 = _mm256_load_pd(a);
+    acc0 = _mm256_fmadd_pd(a0, _mm256_broadcast_sd(b + 0), acc0);
+    acc1 = _mm256_fmadd_pd(a0, _mm256_broadcast_sd(b + 1), acc1);
+    acc2 = _mm256_fmadd_pd(a0, _mm256_broadcast_sd(b + 2), acc2);
+    acc3 = _mm256_fmadd_pd(a0, _mm256_broadcast_sd(b + 3), acc3);
+    a += 4;
+    b += 4;
+  }
+
+  const __m256d va = _mm256_set1_pd(alpha);
+  auto update = [&](double* cj, __m256d v) {
+    _mm256_storeu_pd(cj, _mm256_fmadd_pd(va, v, _mm256_loadu_pd(cj)));
+  };
+  update(c + 0 * ldc, acc0);
+  update(c + 1 * ldc, acc1);
+  update(c + 2 * ldc, acc2);
+  update(c + 3 * ldc, acc3);
+}
+
+void avx2_microkernel_12x4(index_t kc, double alpha, const double* a, const double* b, double* c,
+                           index_t ldc) {
+  // 12x4 uses 12 accumulators like 8x6 but favours taller A panels; included
+  // as an extension shape for the native benchmarks.
+  __m256d acc[3][4];
+  for (auto& row : acc)
+    for (auto& v : row) v = _mm256_setzero_pd();
+
+  for (index_t p = 0; p < kc; ++p) {
+    const __m256d a0 = _mm256_load_pd(a);
+    const __m256d a1 = _mm256_load_pd(a + 4);
+    const __m256d a2 = _mm256_load_pd(a + 8);
+    for (int j = 0; j < 4; ++j) {
+      const __m256d bj = _mm256_broadcast_sd(b + j);
+      acc[0][j] = _mm256_fmadd_pd(a0, bj, acc[0][j]);
+      acc[1][j] = _mm256_fmadd_pd(a1, bj, acc[1][j]);
+      acc[2][j] = _mm256_fmadd_pd(a2, bj, acc[2][j]);
+    }
+    a += 12;
+    b += 4;
+  }
+
+  const __m256d va = _mm256_set1_pd(alpha);
+  for (int j = 0; j < 4; ++j) {
+    double* cj = c + j * ldc;
+    for (int h = 0; h < 3; ++h) {
+      _mm256_storeu_pd(cj + 4 * h,
+                       _mm256_fmadd_pd(va, acc[h][j], _mm256_loadu_pd(cj + 4 * h)));
+    }
+  }
+}
+
+#endif  // __AVX2__ && __FMA__
+
+}  // namespace ag

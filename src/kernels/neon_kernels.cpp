@@ -1,0 +1,146 @@
+#include "kernels/neon_kernels.hpp"
+
+#if defined(__aarch64__)
+#include <arm_neon.h>
+#endif
+
+namespace ag {
+
+bool neon_kernels_available() {
+#if defined(__aarch64__)
+  return true;
+#else
+  return false;
+#endif
+}
+
+#if defined(__aarch64__)
+
+void neon_microkernel_8x6(index_t kc, double alpha, const double* a, const double* b, double* c,
+                          index_t ldc) {
+  // acc[h][j]: rows 2h..2h+1 of column j — the paper's v8..v31 tile.
+  float64x2_t acc[4][6];
+  for (auto& row : acc)
+    for (auto& v : row) v = vdupq_n_f64(0.0);
+
+  for (index_t p = 0; p < kc; ++p) {
+    const float64x2_t a0 = vld1q_f64(a);
+    const float64x2_t a1 = vld1q_f64(a + 2);
+    const float64x2_t a2 = vld1q_f64(a + 4);
+    const float64x2_t a3 = vld1q_f64(a + 6);
+    const float64x2_t b01 = vld1q_f64(b);
+    const float64x2_t b23 = vld1q_f64(b + 2);
+    const float64x2_t b45 = vld1q_f64(b + 4);
+
+    acc[0][0] = vfmaq_laneq_f64(acc[0][0], a0, b01, 0);
+    acc[1][0] = vfmaq_laneq_f64(acc[1][0], a1, b01, 0);
+    acc[2][0] = vfmaq_laneq_f64(acc[2][0], a2, b01, 0);
+    acc[3][0] = vfmaq_laneq_f64(acc[3][0], a3, b01, 0);
+    acc[0][1] = vfmaq_laneq_f64(acc[0][1], a0, b01, 1);
+    acc[1][1] = vfmaq_laneq_f64(acc[1][1], a1, b01, 1);
+    acc[2][1] = vfmaq_laneq_f64(acc[2][1], a2, b01, 1);
+    acc[3][1] = vfmaq_laneq_f64(acc[3][1], a3, b01, 1);
+    acc[0][2] = vfmaq_laneq_f64(acc[0][2], a0, b23, 0);
+    acc[1][2] = vfmaq_laneq_f64(acc[1][2], a1, b23, 0);
+    acc[2][2] = vfmaq_laneq_f64(acc[2][2], a2, b23, 0);
+    acc[3][2] = vfmaq_laneq_f64(acc[3][2], a3, b23, 0);
+    acc[0][3] = vfmaq_laneq_f64(acc[0][3], a0, b23, 1);
+    acc[1][3] = vfmaq_laneq_f64(acc[1][3], a1, b23, 1);
+    acc[2][3] = vfmaq_laneq_f64(acc[2][3], a2, b23, 1);
+    acc[3][3] = vfmaq_laneq_f64(acc[3][3], a3, b23, 1);
+    acc[0][4] = vfmaq_laneq_f64(acc[0][4], a0, b45, 0);
+    acc[1][4] = vfmaq_laneq_f64(acc[1][4], a1, b45, 0);
+    acc[2][4] = vfmaq_laneq_f64(acc[2][4], a2, b45, 0);
+    acc[3][4] = vfmaq_laneq_f64(acc[3][4], a3, b45, 0);
+    acc[0][5] = vfmaq_laneq_f64(acc[0][5], a0, b45, 1);
+    acc[1][5] = vfmaq_laneq_f64(acc[1][5], a1, b45, 1);
+    acc[2][5] = vfmaq_laneq_f64(acc[2][5], a2, b45, 1);
+    acc[3][5] = vfmaq_laneq_f64(acc[3][5], a3, b45, 1);
+
+    a += 8;
+    b += 6;
+  }
+
+  const float64x2_t va = vdupq_n_f64(alpha);
+  for (int j = 0; j < 6; ++j) {
+    double* cj = c + j * ldc;
+    for (int h = 0; h < 4; ++h) {
+      float64x2_t cv = vld1q_f64(cj + 2 * h);
+      cv = vfmaq_f64(cv, va, acc[h][j]);
+      vst1q_f64(cj + 2 * h, cv);
+    }
+  }
+}
+
+void neon_microkernel_8x4(index_t kc, double alpha, const double* a, const double* b, double* c,
+                          index_t ldc) {
+  float64x2_t acc[4][4];
+  for (auto& row : acc)
+    for (auto& v : row) v = vdupq_n_f64(0.0);
+
+  for (index_t p = 0; p < kc; ++p) {
+    const float64x2_t a0 = vld1q_f64(a);
+    const float64x2_t a1 = vld1q_f64(a + 2);
+    const float64x2_t a2 = vld1q_f64(a + 4);
+    const float64x2_t a3 = vld1q_f64(a + 6);
+    const float64x2_t b01 = vld1q_f64(b);
+    const float64x2_t b23 = vld1q_f64(b + 2);
+    for (int h = 0; h < 4; ++h) {
+      const float64x2_t ah = h == 0 ? a0 : h == 1 ? a1 : h == 2 ? a2 : a3;
+      acc[h][0] = vfmaq_laneq_f64(acc[h][0], ah, b01, 0);
+      acc[h][1] = vfmaq_laneq_f64(acc[h][1], ah, b01, 1);
+      acc[h][2] = vfmaq_laneq_f64(acc[h][2], ah, b23, 0);
+      acc[h][3] = vfmaq_laneq_f64(acc[h][3], ah, b23, 1);
+    }
+    a += 8;
+    b += 4;
+  }
+
+  const float64x2_t va = vdupq_n_f64(alpha);
+  for (int j = 0; j < 4; ++j) {
+    double* cj = c + j * ldc;
+    for (int h = 0; h < 4; ++h) {
+      float64x2_t cv = vld1q_f64(cj + 2 * h);
+      cv = vfmaq_f64(cv, va, acc[h][j]);
+      vst1q_f64(cj + 2 * h, cv);
+    }
+  }
+}
+
+void neon_microkernel_4x4(index_t kc, double alpha, const double* a, const double* b, double* c,
+                          index_t ldc) {
+  float64x2_t acc[2][4];
+  for (auto& row : acc)
+    for (auto& v : row) v = vdupq_n_f64(0.0);
+
+  for (index_t p = 0; p < kc; ++p) {
+    const float64x2_t a0 = vld1q_f64(a);
+    const float64x2_t a1 = vld1q_f64(a + 2);
+    const float64x2_t b01 = vld1q_f64(b);
+    const float64x2_t b23 = vld1q_f64(b + 2);
+    acc[0][0] = vfmaq_laneq_f64(acc[0][0], a0, b01, 0);
+    acc[1][0] = vfmaq_laneq_f64(acc[1][0], a1, b01, 0);
+    acc[0][1] = vfmaq_laneq_f64(acc[0][1], a0, b01, 1);
+    acc[1][1] = vfmaq_laneq_f64(acc[1][1], a1, b01, 1);
+    acc[0][2] = vfmaq_laneq_f64(acc[0][2], a0, b23, 0);
+    acc[1][2] = vfmaq_laneq_f64(acc[1][2], a1, b23, 0);
+    acc[0][3] = vfmaq_laneq_f64(acc[0][3], a0, b23, 1);
+    acc[1][3] = vfmaq_laneq_f64(acc[1][3], a1, b23, 1);
+    a += 4;
+    b += 4;
+  }
+
+  const float64x2_t va = vdupq_n_f64(alpha);
+  for (int j = 0; j < 4; ++j) {
+    double* cj = c + j * ldc;
+    for (int h = 0; h < 2; ++h) {
+      float64x2_t cv = vld1q_f64(cj + 2 * h);
+      cv = vfmaq_f64(cv, va, acc[h][j]);
+      vst1q_f64(cj + 2 * h, cv);
+    }
+  }
+}
+
+#endif  // __aarch64__
+
+}  // namespace ag

@@ -1,0 +1,27 @@
+// ARMv8 NEON register kernels (aarch64 only).
+//
+// These are the intrinsics rendition of the paper's hand-written A64
+// assembly kernels: the 8x6 kernel keeps the 48-element C tile in 24
+// 128-bit v-registers (v8..v31 in the paper), holds A in 4 and B in 3
+// registers, and relies on fmla-by-lane (`vfmaq_laneq_f64`) exactly as the
+// paper's `fmla v8.2d, v0.2d, v4.d[0]` does. On non-ARM hosts the ISA-level
+// behaviour of the assembly kernel is reproduced by src/isa + src/sim.
+#pragma once
+
+#include "kernels/microkernel.hpp"
+
+namespace ag {
+
+/// True when this build contains the NEON kernels.
+bool neon_kernels_available();
+
+#if defined(__aarch64__)
+void neon_microkernel_8x6(index_t kc, double alpha, const double* a, const double* b, double* c,
+                          index_t ldc);
+void neon_microkernel_8x4(index_t kc, double alpha, const double* a, const double* b, double* c,
+                          index_t ldc);
+void neon_microkernel_4x4(index_t kc, double alpha, const double* a, const double* b, double* c,
+                          index_t ldc);
+#endif
+
+}  // namespace ag

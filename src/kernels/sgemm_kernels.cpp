@@ -1,0 +1,70 @@
+#include "kernels/sgemm_kernels.hpp"
+
+#include <vector>
+
+#include "common/check.hpp"
+
+#if defined(__AVX2__) && defined(__FMA__)
+#include <immintrin.h>
+#endif
+
+namespace ag {
+namespace {
+
+#if defined(__AVX2__) && defined(__FMA__)
+// 16x6 float kernel: 12 ymm accumulators (2 rows of 8 floats x 6
+// columns), mirroring the structure of the double-precision 8x6 kernel.
+void avx2_smicrokernel_16x6(index_t kc, float alpha, const float* a, const float* b, float* c,
+                            index_t ldc) {
+  __m256 acc[2][6];
+  for (auto& row : acc)
+    for (auto& v : row) v = _mm256_setzero_ps();
+
+  for (index_t p = 0; p < kc; ++p) {
+    const __m256 a0 = _mm256_load_ps(a);
+    const __m256 a1 = _mm256_load_ps(a + 8);
+    for (int j = 0; j < 6; ++j) {
+      const __m256 bj = _mm256_broadcast_ss(b + j);
+      acc[0][j] = _mm256_fmadd_ps(a0, bj, acc[0][j]);
+      acc[1][j] = _mm256_fmadd_ps(a1, bj, acc[1][j]);
+    }
+    a += 16;
+    b += 6;
+  }
+
+  const __m256 va = _mm256_set1_ps(alpha);
+  for (int j = 0; j < 6; ++j) {
+    float* cj = c + j * ldc;
+    _mm256_storeu_ps(cj, _mm256_fmadd_ps(va, acc[0][j], _mm256_loadu_ps(cj)));
+    _mm256_storeu_ps(cj + 8, _mm256_fmadd_ps(va, acc[1][j], _mm256_loadu_ps(cj + 8)));
+  }
+}
+#endif
+
+std::vector<SMicrokernel> build_registry() {
+  std::vector<SMicrokernel> ks;
+  ks.push_back({"sgeneric_16x6", 16, 6, &generic_smicrokernel<16, 6>});
+  ks.push_back({"sgeneric_8x8", 8, 8, &generic_smicrokernel<8, 8>});
+  ks.push_back({"sgeneric_8x6", 8, 6, &generic_smicrokernel<8, 6>});
+#if defined(__AVX2__) && defined(__FMA__)
+  ks.push_back({"savx2_16x6", 16, 6, &avx2_smicrokernel_16x6});
+#endif
+  return ks;
+}
+
+}  // namespace
+
+const std::vector<SMicrokernel>& all_smicrokernels() {
+  static const std::vector<SMicrokernel> registry = build_registry();
+  return registry;
+}
+
+const SMicrokernel& best_smicrokernel() {
+#if defined(__AVX2__) && defined(__FMA__)
+  for (const auto& k : all_smicrokernels())
+    if (k.name == "savx2_16x6") return k;
+#endif
+  return all_smicrokernels().front();
+}
+
+}  // namespace ag

@@ -1,0 +1,144 @@
+#include "lapack/lapack.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "blas3/blas3.hpp"
+#include "common/check.hpp"
+#include "core/gemm.hpp"
+
+namespace ag {
+namespace {
+
+using index_t = std::int64_t;
+
+// Unblocked LU with partial pivoting on columns [k, k+nb) of an m x n
+// matrix, updating the whole rows on swaps. Returns 0 or the 1-based
+// index of the first zero pivot.
+index_t panel_lu(index_t m, index_t n, double* a, index_t lda, std::vector<index_t>& ipiv,
+                 index_t k, index_t nb) {
+  index_t info = 0;
+  const index_t end = std::min(k + nb, std::min(m, n));
+  for (index_t j = k; j < end; ++j) {
+    index_t p = j;
+    for (index_t i = j + 1; i < m; ++i)
+      if (std::abs(a[i + j * lda]) > std::abs(a[p + j * lda])) p = i;
+    ipiv[static_cast<std::size_t>(j)] = p;
+    if (p != j)
+      for (index_t c = 0; c < n; ++c) std::swap(a[j + c * lda], a[p + c * lda]);
+    const double pivot = a[j + j * lda];
+    if (pivot == 0.0) {
+      if (info == 0) info = j + 1;
+      continue;
+    }
+    for (index_t i = j + 1; i < m; ++i) {
+      a[i + j * lda] /= pivot;
+      const double lij = a[i + j * lda];
+      for (index_t c = j + 1; c < end; ++c) a[i + c * lda] -= lij * a[j + c * lda];
+    }
+  }
+  return info;
+}
+
+// Unblocked Cholesky on the nb x nb diagonal block (lower triangle),
+// using the already-updated block contents. Returns 0 or 1-based failure.
+index_t panel_cholesky(index_t n, double* a, index_t lda, index_t k, index_t nb) {
+  const index_t end = std::min(k + nb, n);
+  for (index_t j = k; j < end; ++j) {
+    double d = a[j + j * lda];
+    for (index_t p = k; p < j; ++p) d -= a[j + p * lda] * a[j + p * lda];
+    if (d <= 0.0) return j + 1;
+    d = std::sqrt(d);
+    a[j + j * lda] = d;
+    for (index_t i = j + 1; i < end; ++i) {
+      double s = a[i + j * lda];
+      for (index_t p = k; p < j; ++p) s -= a[i + p * lda] * a[j + p * lda];
+      a[i + j * lda] = s / d;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::int64_t getrf(index_t m, index_t n, double* a, index_t lda,
+                   std::vector<index_t>* ipiv, index_t panel_width, const Context& ctx) {
+  AG_CHECK(m >= 0 && n >= 0 && lda >= std::max<index_t>(1, m) && panel_width >= 1);
+  AG_CHECK(ipiv != nullptr);
+  ipiv->resize(static_cast<std::size_t>(std::min(m, n)));
+  std::iota(ipiv->begin(), ipiv->end(), index_t{0});
+  index_t info = 0;
+  const index_t mn = std::min(m, n);
+  for (index_t k = 0; k < mn; k += panel_width) {
+    const index_t kb = std::min(panel_width, mn - k);
+    const index_t panel_info = panel_lu(m, n, a, lda, *ipiv, k, kb);
+    if (panel_info != 0 && info == 0) info = panel_info;
+    if (k + kb >= n) continue;
+    // U12 := L11^-1 A12 (unit lower triangular solve through blas3).
+    dtrsm(Side::Left, Uplo::Lower, Trans::NoTrans, Diag::Unit, kb, n - k - kb, 1.0,
+          a + k + k * lda, lda, a + k + (k + kb) * lda, lda, ctx);
+    if (k + kb >= m) continue;
+    // A22 -= L21 * U12 — the dominant dgemm.
+    dgemm(Layout::ColMajor, Trans::NoTrans, Trans::NoTrans, m - k - kb, n - k - kb, kb, -1.0,
+          a + (k + kb) + k * lda, lda, a + k + (k + kb) * lda, lda, 1.0,
+          a + (k + kb) + (k + kb) * lda, lda, ctx);
+  }
+  return info;
+}
+
+void getrs(index_t n, index_t nrhs, const double* lu, index_t lda,
+           const std::vector<index_t>& ipiv, double* b, index_t ldb, const Context& ctx) {
+  AG_CHECK(n >= 0 && nrhs >= 0 && lda >= std::max<index_t>(1, n));
+  AG_CHECK(ldb >= std::max<index_t>(1, n));
+  AG_CHECK(static_cast<index_t>(ipiv.size()) >= n);
+  // Apply the row swaps to B, in factorization order.
+  for (index_t i = 0; i < n; ++i) {
+    const index_t p = ipiv[static_cast<std::size_t>(i)];
+    if (p != i)
+      for (index_t j = 0; j < nrhs; ++j) std::swap(b[i + j * ldb], b[p + j * ldb]);
+  }
+  // L y = Pb, then U x = y — both through the blocked dtrsm.
+  dtrsm(Side::Left, Uplo::Lower, Trans::NoTrans, Diag::Unit, n, nrhs, 1.0, lu, lda, b, ldb,
+        ctx);
+  dtrsm(Side::Left, Uplo::Upper, Trans::NoTrans, Diag::NonUnit, n, nrhs, 1.0, lu, lda, b, ldb,
+        ctx);
+}
+
+std::int64_t potrf(index_t n, double* a, index_t lda, index_t panel_width, const Context& ctx) {
+  AG_CHECK(n >= 0 && lda >= std::max<index_t>(1, n) && panel_width >= 1);
+  for (index_t k = 0; k < n; k += panel_width) {
+    const index_t kb = std::min(panel_width, n - k);
+    const index_t info = panel_cholesky(n, a, lda, k, kb);
+    if (info != 0) return info;
+    if (k + kb >= n) break;
+    // L21 := A21 * L11^-T.
+    dtrsm(Side::Right, Uplo::Lower, Trans::Trans, Diag::NonUnit, n - k - kb, kb, 1.0,
+          a + k + k * lda, lda, a + (k + kb) + k * lda, lda, ctx);
+    // A22 -= L21 L21^T (symmetric rank-kb update through dsyrk).
+    dsyrk(Uplo::Lower, Trans::NoTrans, n - k - kb, kb, -1.0, a + (k + kb) + k * lda, lda, 1.0,
+          a + (k + kb) + (k + kb) * lda, lda, ctx);
+  }
+  return 0;
+}
+
+void potrs(index_t n, index_t nrhs, const double* l, index_t lda, double* b, index_t ldb,
+           const Context& ctx) {
+  AG_CHECK(n >= 0 && nrhs >= 0 && lda >= std::max<index_t>(1, n));
+  AG_CHECK(ldb >= std::max<index_t>(1, n));
+  dtrsm(Side::Left, Uplo::Lower, Trans::NoTrans, Diag::NonUnit, n, nrhs, 1.0, l, lda, b, ldb,
+        ctx);
+  dtrsm(Side::Left, Uplo::Lower, Trans::Trans, Diag::NonUnit, n, nrhs, 1.0, l, lda, b, ldb,
+        ctx);
+}
+
+std::int64_t gesv(index_t n, index_t nrhs, double* a, index_t lda, double* b, index_t ldb,
+                  const Context& ctx) {
+  std::vector<index_t> ipiv;
+  const index_t info = getrf(n, n, a, lda, &ipiv, 64, ctx);
+  if (info != 0) return info;
+  getrs(n, nrhs, a, lda, ipiv, b, ldb, ctx);
+  return 0;
+}
+
+}  // namespace ag

@@ -1,0 +1,44 @@
+// LAPACK-lite: blocked factorizations and solvers built on the library's
+// Level-3 layer (dgemm / dtrsm / dsyrk) — the LINPACK-style workloads the
+// paper's introduction motivates ("as the core part of the LINPACK
+// benchmark, DGEMM has been an important kernel for measuring the
+// potential performance of a HPC platform").
+//
+// Column-major storage throughout, LAPACK calling conventions: the
+// factorizations overwrite their input, info == 0 signals success.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/context.hpp"
+
+namespace ag {
+
+/// Blocked LU with partial pivoting (dgetrf): A = P * L * U, in place.
+/// `ipiv[i] = p` records that row i was swapped with row p (0-based).
+/// Returns 0 on success, or j+1 if U(j,j) is exactly zero (singular).
+std::int64_t getrf(std::int64_t m, std::int64_t n, double* a, std::int64_t lda,
+                   std::vector<std::int64_t>* ipiv, std::int64_t panel_width = 64,
+                   const Context& ctx = Context::default_context());
+
+/// Solve A * X = B (dgetrs, no-transpose) from getrf's output.
+void getrs(std::int64_t n, std::int64_t nrhs, const double* lu, std::int64_t lda,
+           const std::vector<std::int64_t>& ipiv, double* b, std::int64_t ldb,
+           const Context& ctx = Context::default_context());
+
+/// Blocked Cholesky (dpotrf) of the lower triangle: A = L * L^T, in
+/// place. Returns 0 on success, or j+1 if the leading minor of order j+1
+/// is not positive definite.
+std::int64_t potrf(std::int64_t n, double* a, std::int64_t lda, std::int64_t panel_width = 96,
+                   const Context& ctx = Context::default_context());
+
+/// Solve A * X = B (dpotrs) from potrf's lower-triangular output.
+void potrs(std::int64_t n, std::int64_t nrhs, const double* l, std::int64_t lda, double* b,
+           std::int64_t ldb, const Context& ctx = Context::default_context());
+
+/// Convenience driver (dgesv): factor + solve; A and B are overwritten.
+std::int64_t gesv(std::int64_t n, std::int64_t nrhs, double* a, std::int64_t lda, double* b,
+                  std::int64_t ldb, const Context& ctx = Context::default_context());
+
+}  // namespace ag

@@ -1,0 +1,140 @@
+#include "model/cache_blocking.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/math_util.hpp"
+
+namespace ag::model {
+
+int threads_per_module(const MachineConfig& machine, int threads) {
+  AG_CHECK(threads >= 1 && threads <= machine.cores);
+  // One thread per module while possible; beyond that modules double up.
+  return threads <= machine.num_modules() ? 1
+                                          : ceil_div(threads, machine.num_modules());
+}
+
+CacheBlockingResult solve_cache_blocking(const MachineConfig& machine, KernelShape shape,
+                                         int threads) {
+  const int es = machine.element_bytes;
+  const int mr = shape.mr;
+  const int nr = shape.nr;
+  CacheBlockingResult r;
+  r.blocks.mr = mr;
+  r.blocks.nr = nr;
+
+  // --- Eq. (15): kc from the L1. The resident kc x nr sliver of B may use
+  // (assoc1 - k1)/assoc1 of the L1; the streaming mr x nr C tile plus two
+  // A sub-slivers must fit in the remaining k1 ways. Smaller k1 => larger
+  // kc, so take the smallest feasible k1.
+  const CacheGeometry& l1 = machine.l1d;
+  const long stream_l1 = static_cast<long>(mr) * nr + 2L * mr;
+  index_t kc = 0;
+  for (int k1 = 1; k1 < l1.associativity; ++k1) {
+    if (stream_l1 * es > k1 * l1.way_bytes()) continue;
+    kc = (l1.associativity - k1) * l1.way_bytes() / (static_cast<index_t>(nr) * es);
+    r.k1 = k1;
+    break;
+  }
+  AG_CHECK_MSG(kc > 0, "no feasible kc for shape " << shape.to_string());
+  r.blocks.kc = kc;
+
+  // --- Eqs. (17)/(19): mc from the L2 shared by `share2` threads. Each
+  // thread keeps its own mc x kc block of A resident; the kc x nr B sliver
+  // streams through k2 ways. Smallest feasible k2 maximises mc.
+  const CacheGeometry& l2 = machine.l2;
+  const int share2 = threads_per_module(machine, threads);
+  index_t mc = 0;
+  for (int k2 = 1; k2 < l2.associativity; ++k2) {
+    if (static_cast<long>(share2) * kc * nr * es > static_cast<long>(k2) * l2.way_bytes())
+      continue;
+    mc = (l2.associativity - k2) * l2.way_bytes() / (share2 * kc * es);
+    r.k2 = k2;
+    break;
+  }
+  AG_CHECK_MSG(mc > 0, "no feasible mc for shape " << shape.to_string());
+  mc = round_down(mc, static_cast<index_t>(mr));  // mc is a multiple of mr
+  AG_CHECK(mc > 0);
+  r.blocks.mc = mc;
+
+  // --- Eqs. (18)/(20): nc from the L3 shared by all threads. The kc x nc
+  // panel of B is resident; every thread's mc x kc block of A streams
+  // through k3 ways.
+  const CacheGeometry& l3 = machine.l3;
+  index_t nc = 0;
+  for (int k3 = 1; k3 < l3.associativity; ++k3) {
+    if (static_cast<long>(threads) * mc * kc * es > static_cast<long>(k3) * l3.way_bytes())
+      continue;
+    nc = (l3.associativity - k3) * l3.way_bytes() / (kc * es);
+    r.k3 = k3;
+    break;
+  }
+  AG_CHECK_MSG(nc > 0, "no feasible nc for shape " << shape.to_string());
+  // nc rounds down to whole cache lines of the packed B panel (8 doubles),
+  // reproducing the paper's 1792 (8x6) and 1192 (8x4) at eight threads.
+  nc = round_down(nc, static_cast<index_t>(l3.line_bytes / es));
+  AG_CHECK(nc > 0);
+  r.blocks.nc = nc;
+
+  r.l1_fraction_b_sliver =
+      static_cast<double>(kc * nr * es) / static_cast<double>(l1.size_bytes);
+  r.l2_fraction_a_block =
+      static_cast<double>(share2 * mc * kc * es) / static_cast<double>(l2.size_bytes);
+  r.l3_fraction_b_panel =
+      static_cast<double>(kc * nc * es) / static_cast<double>(l3.size_bytes);
+  return r;
+}
+
+BlockSizes goto_heuristic_blocking(const MachineConfig& machine, KernelShape shape,
+                                   int threads) {
+  const int es = machine.element_bytes;
+  BlockSizes bs;
+  bs.mr = shape.mr;
+  bs.nr = shape.nr;
+  // "A kc x nr sliver of B occupies about half of the L1" [Goto & van de
+  // Geijn 2008]; round kc to a multiple of 64 as ATLAS-generated kernels do.
+  bs.kc = machine.l1d.size_bytes / 2 / (shape.nr * es);
+  bs.kc = std::max<index_t>(64, round_down(bs.kc, static_cast<index_t>(64)));
+  // The A block fills the (per-thread share of the) L2, with no headroom
+  // reserved for the streams — exactly how the paper instantiates [5] in
+  // Table VI (320 x 96 x 1536 for the serial 8x6 kernel).
+  const int share2 = threads_per_module(machine, threads);
+  bs.mc = machine.l2.size_bytes / (share2 * bs.kc * es);
+  bs.mc = std::max<index_t>(shape.mr, round_down(bs.mc, static_cast<index_t>(shape.mr)));
+  // B panel sized at about half the (shared) L3, in coarse 512-column steps.
+  bs.nc = machine.l3.size_bytes / 2 / (bs.kc * es);
+  bs.nc = std::max<index_t>(shape.nr, round_down(bs.nc, static_cast<index_t>(512)));
+  return bs;
+}
+
+index_t tlb_pages_per_gebp(const MachineConfig& machine, KernelShape shape, index_t kc,
+                           index_t mc) {
+  const int es = machine.element_bytes;
+  const index_t page = machine.dtlb.page_bytes;
+  const index_t a_pages = ceil_div(mc * kc * es, page);
+  const index_t b_pages = ceil_div(kc * static_cast<index_t>(shape.nr) * es, page);
+  const index_t c_pages = shape.nr;  // one page per C-tile column, worst case
+  return a_pages + b_pages + c_pages;
+}
+
+index_t tlb_constrained_mc(const MachineConfig& machine, KernelShape shape, index_t kc,
+                           int reserve) {
+  const index_t budget = machine.dtlb.entries - reserve;
+  index_t best = 0;
+  for (index_t mc = shape.mr; ; mc += shape.mr) {
+    if (tlb_pages_per_gebp(machine, shape, kc, mc) > budget) break;
+    best = mc;
+  }
+  AG_CHECK_MSG(best > 0, "DTLB too small for even one " << shape.to_string() << " sliver");
+  return best;
+}
+
+PrefetchDistances prefetch_distances(const MachineConfig& machine, KernelShape shape, index_t kc,
+                                     int alpha_prea, int num_unroll) {
+  PrefetchDistances d;
+  d.prea_bytes = static_cast<index_t>(alpha_prea) * num_unroll * shape.mr * machine.element_bytes;
+  d.preb_bytes = kc * shape.nr * machine.element_bytes;
+  return d;
+}
+
+}  // namespace ag::model

@@ -1,0 +1,72 @@
+// Analytic cache-block selection (Section IV-B/IV-C of the paper).
+//
+// Unlike the classical "half the cache" rule, the paper sizes each block
+// against the cache's *ways*: a block that must stay resident may occupy
+// at most (assoc - k)/assoc of the cache, while the streaming data that
+// passes through it needs k ways, with LRU keeping the resident block in
+// place. Solving these per level (Eqs. 15, 17, 18) yields kc=512, mc=56,
+// nc=1920 on the X-Gene; the multi-threaded variants (Eqs. 19, 20) scale
+// the constraints by the number of threads sharing each cache and yield
+// mc=24, nc=1792 for eight threads.
+#pragma once
+
+#include <cstdint>
+
+#include "core/block_sizes.hpp"
+#include "kernels/microkernel.hpp"
+#include "model/machine.hpp"
+
+namespace ag::model {
+
+using index_t = std::int64_t;
+
+struct CacheBlockingResult {
+  BlockSizes blocks;
+  int k1 = 0, k2 = 0, k3 = 0;  // streaming ways reserved per level
+  /// Fraction of each cache the resident block occupies (reporting).
+  double l1_fraction_b_sliver = 0.0;  // kc*nr / L1
+  double l2_fraction_a_block = 0.0;   // mc*kc / L2 (per-thread share)
+  double l3_fraction_b_panel = 0.0;   // kc*nc / L3
+};
+
+/// Solves Eqs. (15), (17)-(20) for the given register shape and thread
+/// count. `threads` threads are placed two-per-module once more than
+/// num_modules() are requested (as the paper does for 8 threads; 2 and 4
+/// threads get one thread per module and the full L2, Figure 14).
+CacheBlockingResult solve_cache_blocking(const MachineConfig& machine, KernelShape shape,
+                                         int threads);
+
+/// Goto/ATLAS-style heuristic blocking ("about half of the L2/L1",
+/// Section V / Table VI): the baseline the paper improves upon.
+BlockSizes goto_heuristic_blocking(const MachineConfig& machine, KernelShape shape, int threads);
+
+/// Prefetch distances (Section IV-B):
+///   PREA = alpha_prea * num_unroll * mr * element_size  (A into L1)
+///   PREB = kc * nr * element_size                       (next B sliver into L2)
+struct PrefetchDistances {
+  index_t prea_bytes = 0;
+  index_t preb_bytes = 0;
+};
+PrefetchDistances prefetch_distances(const MachineConfig& machine, KernelShape shape, index_t kc,
+                                     int alpha_prea = 2, int num_unroll = 8);
+
+/// How many threads share one L2 / the L3 under the paper's placement.
+int threads_per_module(const MachineConfig& machine, int threads);
+
+/// --- TLB-aware blocking (the paper's future work, Section VI) ---
+///
+/// During the GEBP steady state one core touches, per B-sliver pass:
+/// the packed mc x kc A block, the packed kc x nr B sliver, and nr
+/// C-tile columns that may each live on a distinct page for large ldc.
+/// If those pages exceed the DTLB, every pass thrashes translations.
+
+/// Pages the steady-state GEBP working set occupies.
+index_t tlb_pages_per_gebp(const MachineConfig& machine, KernelShape shape, index_t kc,
+                           index_t mc);
+
+/// Largest mc (multiple of mr) whose working set fits the DTLB with
+/// `reserve` entries spared for packing/prefetch streams.
+index_t tlb_constrained_mc(const MachineConfig& machine, KernelShape shape, index_t kc,
+                           int reserve = 8);
+
+}  // namespace ag::model

@@ -1,0 +1,72 @@
+#include "model/perf_model.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/math_util.hpp"
+
+namespace ag::model {
+
+CostParams CostParams::for_machine(const MachineConfig& m, double pi_seconds_per_word) {
+  CostParams c;
+  c.mu = 1.0 / (m.peak_gflops_per_core() * 1e9);
+  c.pi = pi_seconds_per_word;
+  c.kappa = static_cast<double>(m.element_bytes) / m.l1d.line_bytes;
+  return c;
+}
+
+double psi(double gamma, double c) {
+  AG_CHECK(gamma >= 0 && c >= 0);
+  return 1.0 / (1.0 + c * gamma);
+}
+
+double time_upper_bound(double flops, double words, const CostParams& cost, double psi_c) {
+  AG_CHECK(flops >= 0 && words > 0);
+  const double gamma = flops / words;
+  return flops * cost.mu + (1.0 + cost.kappa) * words * cost.pi * psi(gamma, psi_c);
+}
+
+double perf_lower_bound(double gamma, const CostParams& cost, double psi_c) {
+  AG_CHECK(gamma > 0);
+  return 1.0 / (cost.mu + (1.0 + cost.kappa) * cost.pi * psi(gamma, psi_c) / gamma);
+}
+
+double gamma_gess(int mr, int nr, std::int64_t kc) {
+  AG_CHECK(mr > 0 && nr > 0 && kc > 0);
+  return 2.0 / (2.0 / nr + 1.0 / mr + 2.0 / static_cast<double>(kc));
+}
+
+double gamma_gebp(int mr, int nr, std::int64_t kc, std::int64_t mc) {
+  AG_CHECK(mr > 0 && nr > 0 && kc > 0 && mc > 0);
+  return 2.0 / (2.0 / nr + 1.0 / mr + 2.0 / static_cast<double>(kc) +
+                2.0 / static_cast<double>(mc));
+}
+
+KernelInstructionMix kernel_instruction_mix(int mr, int nr, const MachineConfig& machine) {
+  KernelInstructionMix mix;
+  const double lanes = machine.simd_doubles;
+  mix.loads_per_iter = (mr + nr) / lanes;
+  mix.fmla_per_iter = mr * nr / lanes;
+  return mix;
+}
+
+GebpTraffic gebp_traffic(const BlockSizes& bs, std::int64_t mc, std::int64_t nc,
+                         std::int64_t kc) {
+  GebpTraffic t;
+  const double a_words = static_cast<double>(mc) * static_cast<double>(kc);
+  const double b_words = static_cast<double>(kc) * static_cast<double>(nc);
+  const double n_slivers = static_cast<double>(ceil_div(nc, static_cast<index_t>(bs.nr)));
+  const double m_slivers = static_cast<double>(ceil_div(mc, static_cast<index_t>(bs.mr)));
+  t.flops = 2.0 * static_cast<double>(mc) * static_cast<double>(nc) * static_cast<double>(kc);
+  // Each pass over a B sliver re-reads the whole A block (it does not fit
+  // in L1), and each A sliver pass re-reads the B sliver from L1.
+  t.a_l2_to_l1 = a_words * n_slivers;
+  t.a_l1_to_reg = a_words * n_slivers;
+  t.b_l1_to_reg = b_words * m_slivers;
+  t.b_l3_to_l2 = b_words;
+  t.b_l2_to_l1 = b_words;
+  t.c_mem_to_reg = 2.0 * static_cast<double>(mc) * static_cast<double>(nc);
+  return t;
+}
+
+}  // namespace ag::model

@@ -1,0 +1,86 @@
+// The paper's general performance model (Section III).
+//
+//   T = F*mu + sum_ij W_ij*nu_ij + sum_ij M_ij*eta_ij            (Eq. 1)
+//   gamma = F / W                                                 (Eq. 2)
+//   T <= F*mu + (1+kappa)*W*pi                                    (Eq. 3)
+//   T_opt <= F*mu + (1+kappa)*W*pi*psi(gamma)                     (Eq. 4)
+//        <= F*(mu + (1+kappa)*pi*psi(gamma)/gamma)                (Eq. 5)
+//   Perf_opt = F/T_opt >= 1/(mu + (1+kappa)*pi*psi(gamma)/gamma)  (Eq. 6)
+//
+// plus the layer-specific compute-to-memory ratios:
+//   register kernel (Eq. 8):  gamma_r = 2 / (1/mr + 1/nr)
+//   GESS/GEBS (Eq. 14):       gamma_s = 2 / (2/nr + 1/mr + 2/kc)
+//   GEBP (Eq. 16):            gamma_p = 2 / (2/nr + 1/mr + 2/kc + 2/mc)
+#pragma once
+
+#include <cstdint>
+
+#include "core/block_sizes.hpp"
+#include "model/machine.hpp"
+
+namespace ag::model {
+
+/// Cost parameters of the abstract machine in Eq. (1). Units: seconds per
+/// flop (mu), seconds per word moved (pi, the aggregated nu+eta), and the
+/// messages-to-words proportionality constant kappa.
+struct CostParams {
+  double mu = 0.0;
+  double pi = 0.0;
+  double kappa = 0.125;  // one 64-byte message per 8 doubles
+
+  /// mu for a machine running at peak: seconds per flop.
+  static CostParams for_machine(const MachineConfig& m, double pi_seconds_per_word);
+};
+
+/// Overlap factor psi(gamma): monotonically decreasing, psi(0)=1,
+/// psi(inf)=0 (the paper specifies only these properties; we use
+/// 1/(1 + c*gamma), with c calibrated once in the timing model).
+double psi(double gamma, double c = 1.0);
+
+/// Eq. (4)/(5): upper bound on optimal execution time for F flops moving W
+/// words with ratio gamma = F/W.
+double time_upper_bound(double flops, double words, const CostParams& cost, double psi_c = 1.0);
+
+/// Eq. (6): lower bound on achievable performance (flops/second).
+double perf_lower_bound(double gamma, const CostParams& cost, double psi_c = 1.0);
+
+/// Eq. (14): GESS/GEBS ratio, loading A from L2 amortised over kc.
+double gamma_gess(int mr, int nr, std::int64_t kc);
+
+/// Eq. (16): GEBP ratio including the mc-amortised B panel movement.
+double gamma_gebp(int mr, int nr, std::int64_t kc, std::int64_t mc);
+
+/// Instruction mix of the register kernel (Section V-A): one iteration
+/// executes (mr+nr)/2 128-bit loads and mr*nr/2 FMA instructions.
+struct KernelInstructionMix {
+  double loads_per_iter = 0;
+  double fmla_per_iter = 0;
+  /// (mr*nr/2) / (mr*nr/2 + (mr+nr)/2): 66.7% for 4x4, 72.7% for 8x4,
+  /// 77.4% for 8x6.
+  double arithmetic_fraction() const {
+    return fmla_per_iter / (fmla_per_iter + loads_per_iter);
+  }
+  double ldr_to_fmla() const { return loads_per_iter / fmla_per_iter; }
+};
+KernelInstructionMix kernel_instruction_mix(int mr, int nr, const MachineConfig& machine);
+
+/// Word-traffic census for one GEBP call (the denominator terms the paper
+/// writes out below Eq. (14)/(16)), used by the timing model and checked
+/// against the cache simulator. All counts are in matrix elements (words).
+struct GebpTraffic {
+  double flops = 0;
+  double a_l2_to_l1 = 0;   // (mc*kc) * ceil(nc/nr)
+  double a_l1_to_reg = 0;  // (mc*kc) * ceil(nc/nr)
+  double b_l1_to_reg = 0;  // (kc*nc) * ceil(mc/mr)
+  double b_l3_to_l2 = 0;   // kc*nc
+  double b_l2_to_l1 = 0;   // kc*nc
+  double c_mem_to_reg = 0; // 2*mc*nc (read + write)
+  double total_words() const {
+    return a_l2_to_l1 + a_l1_to_reg + b_l1_to_reg + b_l3_to_l2 + b_l2_to_l1 + c_mem_to_reg;
+  }
+  double gamma() const { return flops / total_words(); }
+};
+GebpTraffic gebp_traffic(const BlockSizes& bs, std::int64_t mc, std::int64_t nc,
+                         std::int64_t kc);
+
+}  // namespace ag::model

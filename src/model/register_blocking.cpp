@@ -1,0 +1,100 @@
+#include "model/register_blocking.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/math_util.hpp"
+
+namespace ag::model {
+
+double register_gamma(int mr, int nr) {
+  AG_CHECK(mr > 0 && nr > 0);
+  return 2.0 / (1.0 / mr + 1.0 / nr);
+}
+
+bool register_capacity_ok(int mr, int nr, int nrf, const RegisterFile& rf, int element_bytes) {
+  const long lhs = static_cast<long>(mr) * nr + 2L * mr + 2L * nr;
+  return lhs * element_bytes <= static_cast<long>(rf.num_fp_registers + nrf) * rf.register_bytes;
+}
+
+bool preload_reuse_ok(int mr, int nr, int nrf, const RegisterFile& rf, int element_bytes) {
+  if (nrf < 0) return false;
+  return static_cast<long>(nrf) * rf.register_bytes <=
+         static_cast<long>(mr + nr) * element_bytes;
+}
+
+std::vector<RegisterChoice> enumerate_register_choices(const MachineConfig& machine,
+                                                       const RegisterBlockingOptions& opts) {
+  const RegisterFile& rf = machine.regs;
+  const int step = opts.require_simd_multiple ? machine.simd_doubles : 1;
+  std::vector<RegisterChoice> out;
+  for (int mr = step; mr <= opts.max_mr; mr += step) {
+    for (int nr = step; nr <= opts.max_nr; nr += step) {
+      // The smallest nrf that makes the shape feasible suffices (the
+      // paper: "it suffices to set nrf = 6"); more reuse registers do not
+      // raise gamma. Feasibility requires both (9) and (10).
+      int best_nrf = -1;
+      for (int nrf = 0; nrf <= rf.num_fp_registers; ++nrf) {
+        if (register_capacity_ok(mr, nr, nrf, rf, machine.element_bytes) &&
+            preload_reuse_ok(mr, nr, nrf, rf, machine.element_bytes)) {
+          best_nrf = nrf;
+          break;
+        }
+      }
+      if (best_nrf < 0) continue;
+      out.push_back({mr, nr, best_nrf, register_gamma(mr, nr)});
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const RegisterChoice& a, const RegisterChoice& b) {
+                     return a.gamma > b.gamma;
+                   });
+  return out;
+}
+
+RegisterChoice solve_register_blocking(const MachineConfig& machine,
+                                       const RegisterBlockingOptions& opts) {
+  auto all = enumerate_register_choices(machine, opts);
+  AG_CHECK_MSG(!all.empty(), "no feasible register blocking for machine " << machine.name);
+  // Break gamma ties: prefer mr >= nr (A sub-slivers prefetch as whole cache
+  // lines), then larger nrf.
+  RegisterChoice best = all.front();
+  for (const auto& c : all) {
+    if (c.gamma < best.gamma - 1e-12) break;
+    const bool c_tall = c.mr >= c.nr;
+    const bool best_tall = best.mr >= best.nr;
+    if (opts.prefer_tall && c_tall && !best_tall) best = c;
+  }
+  return best;
+}
+
+std::vector<SurfacePoint> register_gamma_surface(const MachineConfig& machine, int max_mr,
+                                                 int max_nrf) {
+  const RegisterFile& rf = machine.regs;
+  std::vector<SurfacePoint> grid;
+  for (int mr = 2; mr <= max_mr; mr += 2) {
+    for (int nrf = 0; nrf <= max_nrf; ++nrf) {
+      SurfacePoint p{mr, nrf, 0, 0.0};
+      for (int nr = 2; nr <= 32; nr += 2) {
+        if (register_capacity_ok(mr, nr, nrf, rf, machine.element_bytes) &&
+            preload_reuse_ok(mr, nr, nrf, rf, machine.element_bytes)) {
+          if (nr > p.best_nr) p.best_nr = nr;
+        }
+      }
+      if (p.best_nr > 0) p.gamma = register_gamma(mr, p.best_nr);
+      grid.push_back(p);
+    }
+  }
+  return grid;
+}
+
+RegisterBudget register_budget(int mr, int nr, const MachineConfig& machine) {
+  RegisterBudget b;
+  const int doubles_per_reg = machine.regs.register_bytes / machine.element_bytes;
+  b.c_registers = static_cast<int>(ceil_div(mr * nr, doubles_per_reg));
+  b.ab_registers = static_cast<int>(ceil_div(mr + nr, doubles_per_reg));
+  b.total = b.c_registers + b.ab_registers;
+  return b;
+}
+
+}  // namespace ag::model

@@ -1,0 +1,95 @@
+#include "sim/autotune.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/math_util.hpp"
+#include "model/cache_blocking.hpp"
+
+namespace ag::sim {
+namespace {
+
+std::vector<std::int64_t> default_kc_grid(const model::MachineConfig& machine,
+                                          ag::KernelShape shape) {
+  // Around the L1-feasible range: from 1/8 to just past the full L1 worth
+  // of B-sliver depth.
+  const std::int64_t cap = machine.l1d.size_bytes / (shape.nr * machine.element_bytes);
+  std::vector<std::int64_t> grid;
+  for (std::int64_t kc = 128; kc <= cap + 128; kc += 64) grid.push_back(kc);
+  return grid;
+}
+
+std::vector<std::int64_t> default_mc_grid(const model::MachineConfig& machine,
+                                          ag::KernelShape shape) {
+  std::vector<std::int64_t> grid;
+  const std::int64_t cap =
+      2 * machine.l2.size_bytes / (128 * machine.element_bytes);  // generous upper bound
+  for (std::int64_t mc = shape.mr; mc <= std::max<std::int64_t>(cap, 128); mc += shape.mr)
+    grid.push_back(mc);
+  return grid;
+}
+
+std::vector<std::int64_t> default_nc_grid(const model::MachineConfig& machine,
+                                          ag::KernelShape shape) {
+  (void)shape;
+  std::vector<std::int64_t> grid;
+  const std::int64_t cap = machine.l3.size_bytes / (256 * machine.element_bytes) * 2;
+  for (std::int64_t nc = 256; nc <= cap; nc += 128) grid.push_back(nc);
+  return grid;
+}
+
+}  // namespace
+
+TuneResult autotune_block_sizes(const model::MachineConfig& machine, ag::KernelShape shape,
+                                int threads, const TuneOptions& options) {
+  AG_CHECK(!options.sizes.empty());
+  TuneOptions opts = options;
+  if (opts.kc_candidates.empty()) opts.kc_candidates = default_kc_grid(machine, shape);
+  if (opts.mc_candidates.empty()) opts.mc_candidates = default_mc_grid(machine, shape);
+  if (opts.nc_candidates.empty()) opts.nc_candidates = default_nc_grid(machine, shape);
+
+  // The kernel ceiling depends only on the shape: compute once.
+  TimingOptions timing = opts.timing;
+  if (timing.ceiling_override <= 0)
+    timing.ceiling_override = kernel_efficiency_ceiling(machine, shape, timing);
+
+  auto evaluate = [&](const BlockSizes& bs) {
+    double sum = 0;
+    for (auto size : opts.sizes)
+      sum += estimate_dgemm(machine, bs, size, threads, timing).efficiency;
+    return sum / static_cast<double>(opts.sizes.size());
+  };
+
+  TuneResult result;
+  std::vector<TuneCandidate> all;
+  for (auto kc : opts.kc_candidates) {
+    for (auto mc : opts.mc_candidates) {
+      for (auto nc : opts.nc_candidates) {
+        BlockSizes bs;
+        bs.mr = shape.mr;
+        bs.nr = shape.nr;
+        bs.kc = kc;
+        bs.mc = round_down(mc, static_cast<std::int64_t>(shape.mr));
+        bs.nc = nc;
+        if (bs.mc <= 0) continue;
+        TuneCandidate cand;
+        cand.blocks = bs;
+        cand.avg_efficiency = evaluate(bs);
+        all.push_back(cand);
+        ++result.evaluated;
+      }
+    }
+  }
+  AG_CHECK(!all.empty());
+  std::sort(all.begin(), all.end(), [](const TuneCandidate& a, const TuneCandidate& b) {
+    return a.avg_efficiency > b.avg_efficiency;
+  });
+  result.best = all.front();
+  result.top.assign(all.begin(), all.begin() + std::min<std::size_t>(all.size(), 10));
+
+  result.analytic.blocks = model::solve_cache_blocking(machine, shape, threads).blocks;
+  result.analytic.avg_efficiency = evaluate(result.analytic.blocks);
+  return result;
+}
+
+}  // namespace ag::sim

@@ -1,0 +1,43 @@
+// Model-driven auto-tuning of the cache block sizes — the paper's future
+// work ("we also plan to apply auto-tuning [18] to generate a highly
+// optimized GEBP"). The tuner sweeps (kc, mc, nc) against the calibrated
+// timing model and compares the empirical winner with the analytic
+// solution of Eqs. (15)-(20); on the X-Gene the two agree closely, which
+// is the paper's central claim for the analytic approach.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/block_sizes.hpp"
+#include "model/machine.hpp"
+#include "sim/timing.hpp"
+
+namespace ag::sim {
+
+struct TuneOptions {
+  /// Square sizes the objective averages over.
+  std::vector<std::int64_t> sizes = {1024, 2048, 4096};
+  /// Candidate grids; empty = sensible defaults derived from the machine.
+  std::vector<std::int64_t> kc_candidates;
+  std::vector<std::int64_t> mc_candidates;  // multiples of mr enforced
+  std::vector<std::int64_t> nc_candidates;
+  TimingOptions timing;
+};
+
+struct TuneCandidate {
+  BlockSizes blocks;
+  double avg_efficiency = 0;
+};
+
+struct TuneResult {
+  TuneCandidate best;
+  TuneCandidate analytic;       // Eqs. (15)-(20) solution evaluated
+  std::vector<TuneCandidate> top;  // best few, sorted descending
+  int evaluated = 0;
+};
+
+TuneResult autotune_block_sizes(const model::MachineConfig& machine, ag::KernelShape shape,
+                                int threads, const TuneOptions& options = {});
+
+}  // namespace ag::sim

@@ -1,0 +1,189 @@
+#include "sim/cache.hpp"
+
+#include "common/check.hpp"
+#include "common/math_util.hpp"
+
+namespace ag::sim {
+
+Cache::Cache(std::string name, model::CacheGeometry geometry)
+    : name_(std::move(name)), geom_(geometry) {
+  AG_CHECK(geom_.size_bytes > 0 && geom_.associativity > 0 && geom_.line_bytes > 0);
+  AG_CHECK(is_pow2(static_cast<std::uint64_t>(geom_.line_bytes)));
+  num_sets_ = static_cast<std::uint64_t>(geom_.num_sets());
+  AG_CHECK_MSG(is_pow2(num_sets_), "cache " << name_ << ": set count must be a power of two");
+  if (geom_.policy == model::Replacement::TreePlru)
+    AG_CHECK_MSG(is_pow2(static_cast<std::uint64_t>(geom_.associativity)),
+                 "tree-PLRU needs a power-of-two associativity");
+  line_shift_ = log2_exact(static_cast<std::uint64_t>(geom_.line_bytes));
+  lines_.resize(num_sets_ * static_cast<std::uint64_t>(geom_.associativity));
+  plru_bits_.assign(num_sets_, 0);
+}
+
+std::uint64_t Cache::set_index(addr_t addr) const {
+  return (addr >> line_shift_) & (num_sets_ - 1);
+}
+
+addr_t Cache::tag_of(addr_t addr) const { return addr >> line_shift_; }
+
+void Cache::touch(std::uint64_t set, int way) {
+  if (geom_.policy == model::Replacement::TreePlru) {
+    // Walk the binary tree from root to `way`, flipping each node to point
+    // AWAY from the touched way.
+    std::uint32_t& bits = plru_bits_[set];
+    int lo = 0, hi = geom_.associativity;
+    int node = 0;  // heap-style index into the implicit tree
+    while (hi - lo > 1) {
+      const int mid = (lo + hi) / 2;
+      const bool right = way >= mid;
+      // bit set => next victim search goes right; point away from `way`.
+      if (right)
+        bits &= ~(1u << node);
+      else
+        bits |= (1u << node);
+      node = 2 * node + (right ? 2 : 1);
+      (right ? lo : hi) = right ? mid : mid;
+    }
+  }
+  // LRU timestamps are kept for all policies (occupancy/debug uses them).
+  lines_[set * static_cast<std::uint64_t>(geom_.associativity) +
+         static_cast<std::uint64_t>(way)]
+      .lru = tick_;
+}
+
+int Cache::select_victim(std::uint64_t set) {
+  Line* ways = &lines_[set * static_cast<std::uint64_t>(geom_.associativity)];
+  for (int w = 0; w < geom_.associativity; ++w)
+    if (!ways[w].valid) return w;
+
+  switch (geom_.policy) {
+    case model::Replacement::Lru: {
+      int victim = 0;
+      for (int w = 1; w < geom_.associativity; ++w)
+        if (ways[w].lru < ways[victim].lru) victim = w;
+      return victim;
+    }
+    case model::Replacement::TreePlru: {
+      const std::uint32_t bits = plru_bits_[set];
+      int lo = 0, hi = geom_.associativity;
+      int node = 0;
+      while (hi - lo > 1) {
+        const int mid = (lo + hi) / 2;
+        const bool right = (bits >> node) & 1u;
+        node = 2 * node + (right ? 2 : 1);
+        (right ? lo : hi) = mid;
+      }
+      return lo;
+    }
+    case model::Replacement::Random: {
+      // xorshift64*: deterministic per cache instance.
+      rng_state_ ^= rng_state_ >> 12;
+      rng_state_ ^= rng_state_ << 25;
+      rng_state_ ^= rng_state_ >> 27;
+      const std::uint32_t r = static_cast<std::uint32_t>(
+          (rng_state_ * 0x2545F4914F6CDD1DULL) >> 32);
+      return static_cast<int>(r % static_cast<std::uint32_t>(geom_.associativity));
+    }
+  }
+  return 0;
+}
+
+bool Cache::access(addr_t addr, bool is_write, addr_t* writeback_addr, bool* evicted,
+                   addr_t* evicted_addr) {
+  if (writeback_addr) *writeback_addr = 0;
+  if (evicted) *evicted = false;
+  const std::uint64_t set = set_index(addr);
+  const addr_t tag = tag_of(addr);
+  Line* ways = &lines_[set * static_cast<std::uint64_t>(geom_.associativity)];
+  ++tick_;
+
+  for (int w = 0; w < geom_.associativity; ++w) {
+    Line& line = ways[w];
+    if (line.valid && line.tag == tag) {
+      touch(set, w);
+      line.dirty = line.dirty || is_write;
+      if (is_write)
+        ++stats_.write_hits;
+      else
+        ++stats_.read_hits;
+      return true;
+    }
+  }
+
+  // Miss: allocate over the policy's victim.
+  if (is_write)
+    ++stats_.write_misses;
+  else
+    ++stats_.read_misses;
+  const int victim_way = select_victim(set);
+  Line& victim = ways[victim_way];
+  if (victim.valid) {
+    ++stats_.evictions;
+    if (evicted) *evicted = true;
+    if (evicted_addr) *evicted_addr = victim.tag << line_shift_;
+    if (victim.dirty) {
+      ++stats_.writebacks;
+      if (writeback_addr) *writeback_addr = victim.tag << line_shift_;
+    }
+  }
+  victim.valid = true;
+  victim.tag = tag;
+  victim.dirty = is_write;
+  touch(set, victim_way);
+  return false;
+}
+
+bool Cache::contains(addr_t addr) const {
+  const std::uint64_t set = set_index(addr);
+  const addr_t tag = tag_of(addr);
+  const Line* ways = &lines_[set * static_cast<std::uint64_t>(geom_.associativity)];
+  for (int w = 0; w < geom_.associativity; ++w)
+    if (ways[w].valid && ways[w].tag == tag) return true;
+  return false;
+}
+
+bool Cache::invalidate(addr_t addr) {
+  const std::uint64_t set = set_index(addr);
+  const addr_t tag = tag_of(addr);
+  Line* ways = &lines_[set * static_cast<std::uint64_t>(geom_.associativity)];
+  for (int w = 0; w < geom_.associativity; ++w) {
+    if (ways[w].valid && ways[w].tag == tag) {
+      const bool dirty = ways[w].dirty;
+      ways[w].valid = false;
+      ways[w].dirty = false;
+      return dirty;
+    }
+  }
+  return false;
+}
+
+bool Cache::clean(addr_t addr) {
+  const std::uint64_t set = set_index(addr);
+  const addr_t tag = tag_of(addr);
+  Line* ways = &lines_[set * static_cast<std::uint64_t>(geom_.associativity)];
+  for (int w = 0; w < geom_.associativity; ++w) {
+    if (ways[w].valid && ways[w].tag == tag) {
+      const bool dirty = ways[w].dirty;
+      ways[w].dirty = false;
+      return dirty;
+    }
+  }
+  return false;
+}
+
+void Cache::reset() {
+  for (auto& line : lines_) line = Line{};
+  plru_bits_.assign(num_sets_, 0);
+  tick_ = 0;
+}
+
+double Cache::occupancy(addr_t base, std::uint64_t size) const {
+  std::uint64_t in_range = 0;
+  for (const auto& line : lines_) {
+    if (!line.valid) continue;
+    const addr_t a = line.tag << line_shift_;
+    if (a >= base && a < base + size) ++in_range;
+  }
+  return static_cast<double>(in_range) / static_cast<double>(lines_.size());
+}
+
+}  // namespace ag::sim

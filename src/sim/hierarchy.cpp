@@ -1,0 +1,204 @@
+#include "sim/hierarchy.hpp"
+
+#include "common/check.hpp"
+#include "common/math_util.hpp"
+
+namespace ag::sim {
+
+Hierarchy::Hierarchy(const model::MachineConfig& machine)
+    : cores_per_module_(machine.cores_per_module), line_bytes_(machine.l1d.line_bytes) {
+  AG_CHECK(machine.cores >= 1 && machine.cores_per_module >= 1);
+  AG_CHECK(machine.l1d.line_bytes == machine.l2.line_bytes &&
+           machine.l2.line_bytes == machine.l3.line_bytes);
+  for (int c = 0; c < machine.cores; ++c)
+    l1_.push_back(std::make_unique<Cache>("L1d.core" + std::to_string(c), machine.l1d));
+  for (int m = 0; m < machine.num_modules(); ++m)
+    l2_.push_back(std::make_unique<Cache>("L2.module" + std::to_string(m), machine.l2));
+  l3_ = std::make_unique<Cache>("L3", machine.l3);
+  for (int cc = 0; cc < machine.cores; ++cc) tlb_.push_back(std::make_unique<Tlb>(machine.dtlb));
+  counters_.resize(static_cast<std::size_t>(machine.cores));
+}
+
+bool Hierarchy::snoop_peers(int core, addr_t line_addr) {
+  bool found = false;
+  for (int cc = 0; cc < cores(); ++cc) {
+    if (cc == core) continue;
+    Cache& peer_l1 = *l1_[static_cast<std::size_t>(cc)];
+    if (peer_l1.contains(line_addr)) {
+      if (peer_l1.clean(line_addr)) l3_->access(line_addr, true);  // reflect M data
+      found = true;
+    }
+  }
+  const int my_module = core / cores_per_module_;
+  for (std::size_t mod = 0; mod < l2_.size(); ++mod) {
+    if (static_cast<int>(mod) == my_module) continue;
+    Cache& peer_l2 = *l2_[mod];
+    if (peer_l2.contains(line_addr)) {
+      if (peer_l2.clean(line_addr)) l3_->access(line_addr, true);
+      found = true;
+    }
+  }
+  if (found) ++c2c_transfers_;
+  return found;
+}
+
+void Hierarchy::invalidate_peers(int core, addr_t line_addr) {
+  for (int cc = 0; cc < cores(); ++cc) {
+    if (cc == core) continue;
+    Cache& peer_l1 = *l1_[static_cast<std::size_t>(cc)];
+    if (peer_l1.contains(line_addr)) {
+      peer_l1.invalidate(line_addr);  // dirty data is superseded by the new write
+      ++invalidations_;
+    }
+  }
+  const int my_module = core / cores_per_module_;
+  for (std::size_t mod = 0; mod < l2_.size(); ++mod) {
+    if (static_cast<int>(mod) == my_module) continue;
+    if (l2_[mod]->contains(line_addr)) {
+      l2_[mod]->invalidate(line_addr);
+      ++invalidations_;
+    }
+  }
+}
+
+Served Hierarchy::access_line(int core, addr_t line_addr, AccessType type) {
+  Cache& l1 = *l1_[static_cast<std::size_t>(core)];
+  Cache& l2 = *l2_[static_cast<std::size_t>(core / cores_per_module_)];
+
+  if (type == AccessType::PrefetchL2) {
+    // PLDL2KEEP: allocate into L2 (and L3 on the way) without touching L1.
+    if (l2.contains(line_addr)) return Served::L2;
+    addr_t wb;
+    l2.access(line_addr, false, &wb);
+    if (wb) l3_->access(wb, true);
+    if (!l3_->contains(line_addr)) {
+      addr_t wb3;
+      l3_->access(line_addr, false, &wb3);
+      if (wb3) ++memory_writes_;
+      ++memory_reads_;
+      return Served::Memory;
+    }
+    l3_->access(line_addr, false);
+    return Served::L3;
+  }
+
+  const bool is_write = type == AccessType::Write;
+  if (is_write) invalidate_peers(core, line_addr);
+  addr_t wb1 = 0;
+  if (l1.access(line_addr, is_write, &wb1)) return Served::L1;
+  if (wb1) {
+    // L1 victim writes back into L2 (and cascades).
+    addr_t wb2 = 0;
+    if (!l2.access(wb1, true, &wb2)) {
+      // Write-back miss in L2 allocates there; the L3 sees its victim.
+    }
+    if (wb2) {
+      addr_t wb3 = 0;
+      l3_->access(wb2, true, &wb3);
+      if (wb3) ++memory_writes_;
+    }
+  }
+
+  // L1 missed; the fill request goes to L2. Fill reads are reads even for
+  // store misses (write-allocate fetches the line first).
+  addr_t wb2 = 0;
+  if (l2.access(line_addr, false, &wb2)) {
+    if (wb2) {  // unreachable on hit, kept for clarity
+      addr_t wb3 = 0;
+      l3_->access(wb2, true, &wb3);
+      if (wb3) ++memory_writes_;
+    }
+    return Served::L2;
+  }
+  if (wb2) {
+    addr_t wb3 = 0;
+    l3_->access(wb2, true, &wb3);
+    if (wb3) ++memory_writes_;
+  }
+
+  // Local L2 missed: snoop the peer caches before going to L3/memory —
+  // a peer copy is forwarded over the fabric (and, if it was dirty, its
+  // data has just been reflected into the L3).
+  const bool peer_had_line = !is_write && snoop_peers(core, line_addr);
+
+  addr_t wb3 = 0;
+  if (l3_->access(line_addr, false, &wb3)) {
+    if (wb3) ++memory_writes_;
+    return Served::L3;
+  }
+  if (wb3) ++memory_writes_;
+  if (peer_had_line) return Served::L3;  // forwarded over the fabric, not DRAM
+  ++memory_reads_;
+  return Served::Memory;
+}
+
+Served Hierarchy::access(int core, addr_t addr, std::uint32_t bytes, AccessType type,
+                         std::uint64_t instructions) {
+  AG_DCHECK(core >= 0 && core < cores());
+  AG_DCHECK(bytes > 0);
+  CoreCounters& ctr = counters_[static_cast<std::size_t>(core)];
+
+  // Every demand access translates through the per-core data TLB.
+  if (type == AccessType::Read || type == AccessType::Write)
+    ctr.dtlb_misses += static_cast<std::uint64_t>(
+        tlb_[static_cast<std::size_t>(core)]->access_range(addr, bytes));
+
+  const addr_t first_line = addr / static_cast<addr_t>(line_bytes_);
+  const addr_t last_line = (addr + bytes - 1) / static_cast<addr_t>(line_bytes_);
+  Served worst = Served::L1;
+  std::uint64_t line_misses = 0;
+  for (addr_t line = first_line; line <= last_line; ++line) {
+    const Served s = access_line(core, line * static_cast<addr_t>(line_bytes_), type);
+    if (static_cast<int>(s) > static_cast<int>(worst)) worst = s;
+    if (s != Served::L1 &&
+        (type == AccessType::Read || type == AccessType::Write))
+      ++line_misses;
+  }
+
+  if (type == AccessType::Read) {
+    ctr.l1_dcache_loads += instructions;
+    ctr.l1_dcache_load_misses += line_misses;
+    ctr.served_by[static_cast<int>(worst)] += instructions;
+  } else if (type == AccessType::Write) {
+    ctr.l1_dcache_stores += instructions;
+  }
+  return worst;
+}
+
+const CoreCounters& Hierarchy::counters(int core) const {
+  return counters_[static_cast<std::size_t>(core)];
+}
+
+CoreCounters Hierarchy::total_counters() const {
+  CoreCounters t;
+  for (const auto& c : counters_) {
+    t.l1_dcache_loads += c.l1_dcache_loads;
+    t.l1_dcache_load_misses += c.l1_dcache_load_misses;
+    t.l1_dcache_stores += c.l1_dcache_stores;
+    t.dtlb_misses += c.dtlb_misses;
+    for (int i = 0; i < 5; ++i) t.served_by[i] += c.served_by[i];
+  }
+  return t;
+}
+
+void Hierarchy::reset() {
+  for (auto& c : l1_) c->reset();
+  for (auto& c : l2_) c->reset();
+  l3_->reset();
+  for (auto& t : tlb_) t->reset();
+  clear_stats();
+}
+
+void Hierarchy::clear_stats() {
+  for (auto& c : l1_) c->clear_stats();
+  for (auto& t : tlb_) t->clear_stats();
+  for (auto& c : l2_) c->clear_stats();
+  l3_->clear_stats();
+  for (auto& c : counters_) c = CoreCounters{};
+  memory_reads_ = 0;
+  memory_writes_ = 0;
+  c2c_transfers_ = 0;
+  invalidations_ = 0;
+}
+
+}  // namespace ag::sim

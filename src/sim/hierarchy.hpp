@@ -1,0 +1,100 @@
+// The multi-core cache hierarchy of Figure 1: per-core L1d, per-module
+// shared L2, chip-wide shared L3, memory behind it.
+//
+// Requests are routed L1 -> L2 -> L3 -> memory; allocation happens at
+// every level on the way back (mostly-inclusive). Writes are write-back /
+// write-allocate; L1/L2 victims write back into the next level. `prfm`
+// prefetches allocate into the requested level without counting as demand
+// accesses, exactly what the paper's PLDL1KEEP/PLDL2KEEP do.
+//
+// Coherence (the cache-coherent fabric of Figure 1): a write invalidates
+// every other core's copy (MESI write-invalidate); a read that misses the
+// local L2 snoops the peer caches — a dirty remote copy is downgraded
+// M->S, its data forwarded through the fabric (counted as a
+// cache-to-cache transfer) and reflected to the L3 instead of re-reading
+// memory.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/cache.hpp"
+#include "sim/tlb.hpp"
+
+namespace ag::sim {
+
+enum class AccessType : std::uint8_t { Read, Write, PrefetchL1, PrefetchL2 };
+
+/// Which level served a demand access (1, 2, 3, or 4 = memory).
+enum class Served : std::uint8_t { L1 = 1, L2 = 2, L3 = 3, Memory = 4 };
+
+struct CoreCounters {
+  /// Load *instructions* issued (the paper's L1-dcache-loads event).
+  std::uint64_t l1_dcache_loads = 0;
+  std::uint64_t l1_dcache_load_misses = 0;
+  std::uint64_t l1_dcache_stores = 0;
+  std::uint64_t dtlb_misses = 0;
+  std::uint64_t served_by[5] = {};  // index by Served
+
+  double l1_load_miss_rate() const {
+    return l1_dcache_loads == 0 ? 0.0
+                                : static_cast<double>(l1_dcache_load_misses) /
+                                      static_cast<double>(l1_dcache_loads);
+  }
+};
+
+class Hierarchy {
+ public:
+  explicit Hierarchy(const model::MachineConfig& machine);
+
+  /// Demand access of `bytes` bytes at `addr` from `core`. The request is
+  /// split into line-granular accesses; the worst (slowest) serving level
+  /// is returned. `instructions` is how many load/store instructions this
+  /// request represents (for the L1-dcache-loads counter): one 128-bit ldr
+  /// may cover only part of a line, several ldrs may share one.
+  Served access(int core, addr_t addr, std::uint32_t bytes, AccessType type,
+                std::uint64_t instructions = 1);
+
+  const CoreCounters& counters(int core) const;
+  CoreCounters total_counters() const;
+
+  Cache& l1(int core) { return *l1_[static_cast<std::size_t>(core)]; }
+  Cache& l2_of_core(int core) { return *l2_[static_cast<std::size_t>(core / cores_per_module_)]; }
+  Cache& l2(int module) { return *l2_[static_cast<std::size_t>(module)]; }
+  Cache& l3() { return *l3_; }
+  Tlb& dtlb(int core) { return *tlb_[static_cast<std::size_t>(core)]; }
+  int cores() const { return static_cast<int>(l1_.size()); }
+
+  std::uint64_t memory_reads() const { return memory_reads_; }
+  std::uint64_t memory_writes() const { return memory_writes_; }
+  /// Fabric traffic: reads served by a peer core's cache / lines
+  /// invalidated in peers by writes.
+  std::uint64_t c2c_transfers() const { return c2c_transfers_; }
+  std::uint64_t invalidations() const { return invalidations_; }
+
+  void reset();
+  void clear_stats();
+
+ private:
+  Served access_line(int core, addr_t line_addr, AccessType type);
+  /// Snoops peer L1s/L2s for `line_addr`; returns true when a peer held
+  /// it (dirty copies are downgraded and reflected into the L3).
+  bool snoop_peers(int core, addr_t line_addr);
+  /// Write-invalidate `line_addr` in every cache not local to `core`.
+  void invalidate_peers(int core, addr_t line_addr);
+
+  int cores_per_module_;
+  int line_bytes_;
+  std::vector<std::unique_ptr<Cache>> l1_;
+  std::vector<std::unique_ptr<Cache>> l2_;
+  std::unique_ptr<Cache> l3_;
+  std::vector<std::unique_ptr<Tlb>> tlb_;
+  std::vector<CoreCounters> counters_;
+  std::uint64_t memory_reads_ = 0;
+  std::uint64_t memory_writes_ = 0;
+  std::uint64_t c2c_transfers_ = 0;
+  std::uint64_t invalidations_ = 0;
+};
+
+}  // namespace ag::sim

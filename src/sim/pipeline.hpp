@@ -1,0 +1,80 @@
+// Cycle-level model of one ARMv8 core's FP/LS pipelines (Section V-A).
+//
+// The X-Gene core retires one double-precision FMA lane per cycle (peak
+// 4.8 Gflops at 2.4 GHz => a 128-bit fmla every 2 cycles) and shares
+// issue bandwidth between NEON arithmetic and vector loads. We model:
+//
+//   * an issue port with fractional occupancies: each fmla holds the port
+//     for `fmla_port` cycles and each ldr q for `ldr_port` cycles — the
+//     two calibration constants, fitted once against the paper's Table IV
+//     micro-benchmark and then held fixed for every experiment;
+//   * the FMA pipe (one 128-bit fmla per fma_cycles);
+//   * register dependences: an fmla stalls until its sources are ready;
+//     a ldr's value becomes ready load_latency cycles after issue;
+//   * finite renaming: with `rename_registers` == 0, a ldr additionally
+//     waits for the last prior reader of its destination (WAR) — this is
+//     what penalises the kernel without software register rotation
+//     (Figure 13); with renaming the WAR constraint disappears, matching
+//     the paper's observation that WAR latency does not matter.
+//
+// The micro-benchmark and the generated register kernels both execute on
+// this model, which yields the Table IV efficiency ceilings and the
+// with/without-rotation and with/without-scheduling deltas.
+#pragma once
+
+#include <cstdint>
+
+#include "isa/instruction.hpp"
+#include "model/machine.hpp"
+
+namespace ag::sim {
+
+struct PipelineConfig {
+  double fmla_port = 1.77;  // issue-port cycles per fmla (calibrated)
+  double ldr_port = 1.40;   // issue-port cycles per ldr q (calibrated)
+  double prfm_port = 0.50;  // prefetches are cheap but not free
+  double str_port = 1.40;
+  int fma_cycles = 2;       // 128-bit fmla initiation interval (peak bound)
+  int fma_latency = 6;      // result latency of fmla (accumulator chains)
+  int load_latency = 5;     // L1-hit load-to-use latency
+  bool rename = true;       // register renaming removes WAR stalls
+};
+
+struct PipelineResult {
+  double cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t fmla = 0;
+  std::uint64_t ldr = 0;
+  double raw_stall_cycles = 0;  // cycles lost waiting on operands
+  double war_stall_cycles = 0;  // cycles lost waiting to overwrite (no rename)
+
+  /// Fraction of peak FMA throughput achieved: fmla * fma_cycles / cycles.
+  double efficiency(int fma_cycles) const {
+    return cycles == 0 ? 0.0 : static_cast<double>(fmla) * fma_cycles / cycles;
+  }
+};
+
+/// Executes `body` `iterations` times back to back (register/port state
+/// carries across iterations, modelling the kernel's steady-state loop).
+PipelineResult simulate_program(const isa::Program& body, int iterations,
+                                const PipelineConfig& config);
+
+/// The paper's Table IV micro-benchmark: a stream with `ldrs` independent
+/// loads evenly distributed among `fmlas` independent FMAs (no dependences,
+/// all L1 hits). Returns the efficiency.
+double simulate_ldr_fmla_ratio(int ldrs, int fmlas, const PipelineConfig& config);
+
+/// Grid-search calibration of (fmla_port, ldr_port) against Table IV's
+/// seven published (ratio, efficiency) points; returns the fitted config
+/// and writes the RMS error if requested.
+PipelineConfig calibrate_to_table4(double* rms_error = nullptr);
+
+/// The paper's Table IV reference points: {ldrs, fmlas, efficiency}.
+struct RatioPoint {
+  int ldrs;
+  int fmlas;
+  double efficiency;
+};
+const std::vector<RatioPoint>& table4_reference();
+
+}  // namespace ag::sim

@@ -1,0 +1,75 @@
+// End-to-end DGEMM performance model on the simulated ARMv8 platform.
+//
+// Combines three ingredients:
+//   1. the register-kernel efficiency ceiling, measured by running the
+//      generated A64 kernel program on the cycle-level pipeline model
+//      (this is where Table IV's 91.5% for the 8x6 kernel comes from);
+//   2. the analytic traffic census of the blocked algorithm (packing,
+//      C updates, DRAM streams — the denominators of Eqs. 14/16);
+//   3. the residency predicates of Eqs. (15)-(20): when a configuration
+//      violates a constraint (e.g. mc x kc exceeding its L2 share in the
+//      threaded setting, Table VI), the corresponding operand streams from
+//      the next level and the per-iteration cost rises.
+//
+// The model regenerates Figures 11-14 and Tables V and VI. Its constants
+// are calibrated once (documented in EXPERIMENTS.md) and held fixed.
+#pragma once
+
+#include <cstdint>
+
+#include "core/block_sizes.hpp"
+#include "model/machine.hpp"
+#include "sim/pipeline.hpp"
+
+namespace ag::sim {
+
+struct TimingOptions {
+  PipelineConfig pipeline;
+  bool rotate = true;          // software register rotation (Figure 13)
+  bool schedule_loads = true;  // Eq. 13 load placement
+  bool prefetch = true;
+  /// When > 0, use this register-kernel efficiency ceiling instead of
+  /// re-simulating the generated kernel (hot loops, e.g. the auto-tuner).
+  double ceiling_override = 0.0;
+
+  // Per-word transfer costs (cycles per element) for streams that miss a
+  // residency constraint and for the unhidden parts of the algorithm.
+  double l2_word_cycles = 0.5;   // extra cost per word streamed from L2
+  double l3_word_cycles = 1.0;   // ... from L3
+  double mem_word_cycles = 2.0;  // ... from memory
+  double c_line_cycles = 20.0;   // unhidden C-tile line fill
+  double pack_a_word_cycles = 1.2;
+  double pack_b_word_cycles = 2.4;  // strided source reads
+  double loop_overhead_cycles = 1.0;  // per rank-1 update (branch/index)
+  double barrier_cycles = 3000.0;     // per barrier, threaded runs
+};
+
+struct DgemmEstimate {
+  double seconds = 0;
+  double gflops = 0;
+  double efficiency = 0;  // vs machine peak at this thread count
+  // Per-thread cycle breakdown (critical-path thread).
+  double kernel_cycles = 0;
+  double c_update_cycles = 0;
+  double pack_cycles = 0;
+  double sync_cycles = 0;
+  double dram_bound_cycles = 0;  // chip-level memory bound
+  double kernel_ceiling = 0;     // register-kernel efficiency ceiling
+};
+
+/// Efficiency ceiling of the register kernel alone (all operands L1
+/// resident): generated-program pipeline simulation for SIMD-even shapes,
+/// instruction-mix simulation for odd shapes like the ATLAS 5x5.
+double kernel_efficiency_ceiling(const model::MachineConfig& machine, ag::KernelShape shape,
+                                 const TimingOptions& opts = {});
+
+/// Estimates square DGEMM (m = n = k) performance.
+DgemmEstimate estimate_dgemm(const model::MachineConfig& machine, const BlockSizes& blocks,
+                             std::int64_t size, int threads, const TimingOptions& opts = {});
+
+/// Estimates a general m x n x k DGEMM.
+DgemmEstimate estimate_dgemm_mnk(const model::MachineConfig& machine, const BlockSizes& blocks,
+                                 std::int64_t m, std::int64_t n, std::int64_t k, int threads,
+                                 const TimingOptions& opts = {});
+
+}  // namespace ag::sim

@@ -1,0 +1,58 @@
+#include "sim/tlb.hpp"
+
+#include "common/check.hpp"
+#include "common/math_util.hpp"
+
+namespace ag::sim {
+
+Tlb::Tlb(model::TlbGeometry geometry) : geom_(geometry) {
+  AG_CHECK(geom_.entries > 0);
+  AG_CHECK(is_pow2(static_cast<std::uint64_t>(geom_.page_bytes)));
+  page_shift_ = log2_exact(static_cast<std::uint64_t>(geom_.page_bytes));
+  entries_.resize(static_cast<std::size_t>(geom_.entries));
+}
+
+bool Tlb::access(addr_t addr) {
+  const addr_t page = addr >> page_shift_;
+  ++tick_;
+  Entry* victim = &entries_[0];
+  for (auto& e : entries_) {
+    if (e.valid && e.page == page) {
+      e.lru = tick_;
+      ++stats_.hits;
+      return true;
+    }
+    if (!victim->valid) continue;           // keep the first invalid slot
+    if (!e.valid || e.lru < victim->lru) victim = &e;
+  }
+  ++stats_.misses;
+  victim->valid = true;
+  victim->page = page;
+  victim->lru = tick_;
+  return false;
+}
+
+int Tlb::access_range(addr_t addr, std::uint32_t bytes) {
+  AG_DCHECK(bytes > 0);
+  const addr_t first = addr >> page_shift_;
+  const addr_t last = (addr + bytes - 1) >> page_shift_;
+  int misses = 0;
+  for (addr_t p = first; p <= last; ++p)
+    if (!access(p << page_shift_)) ++misses;
+  return misses;
+}
+
+bool Tlb::contains(addr_t addr) const {
+  const addr_t page = addr >> page_shift_;
+  for (const auto& e : entries_)
+    if (e.valid && e.page == page) return true;
+  return false;
+}
+
+void Tlb::reset() {
+  for (auto& e : entries_) e = Entry{};
+  tick_ = 0;
+  clear_stats();
+}
+
+}  // namespace ag::sim

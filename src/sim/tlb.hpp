@@ -1,0 +1,61 @@
+// Data TLB model: fully associative, LRU over page numbers.
+//
+// Implements the paper's future-work item ("analyze the TLB misses and
+// improve our selection of block sizes", Section VI, citing Xue's tiling
+// work [16, 17]). The trace simulator routes every access through the
+// per-core TLB; model/tlb_blocking.hpp derives the TLB-aware block-size
+// constraint the analysis suggests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/machine.hpp"
+
+namespace ag::sim {
+
+using addr_t = std::uint64_t;
+
+struct TlbStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+
+  std::uint64_t accesses() const { return hits + misses; }
+  double miss_rate() const {
+    return accesses() == 0 ? 0.0
+                           : static_cast<double>(misses) / static_cast<double>(accesses());
+  }
+};
+
+class Tlb {
+ public:
+  explicit Tlb(model::TlbGeometry geometry);
+
+  /// Translate one access; counts a hit or miss and installs the page.
+  bool access(addr_t addr);
+
+  /// Translate a byte range (may span pages); returns the number of
+  /// page misses incurred.
+  int access_range(addr_t addr, std::uint32_t bytes);
+
+  bool contains(addr_t addr) const;
+  const TlbStats& stats() const { return stats_; }
+  void clear_stats() { stats_ = {}; }
+  void reset();
+  const model::TlbGeometry& geometry() const { return geom_; }
+
+ private:
+  struct Entry {
+    addr_t page = 0;
+    bool valid = false;
+    std::uint64_t lru = 0;
+  };
+
+  model::TlbGeometry geom_;
+  unsigned page_shift_;
+  std::vector<Entry> entries_;
+  std::uint64_t tick_ = 0;
+  TlbStats stats_;
+};
+
+}  // namespace ag::sim

@@ -1,0 +1,237 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/math_util.hpp"
+
+namespace ag::sim {
+namespace {
+
+using namespace trace_layout;
+constexpr int kEs = 8;  // element size (double)
+
+struct Tracer {
+  const model::MachineConfig& machine;
+  const TraceConfig& cfg;
+  Hierarchy& hier;
+  std::int64_t m, n, k;
+  std::int64_t lda, ldb, ldc;
+
+  addr_t a_addr(std::int64_t i, std::int64_t j) const {
+    return kBaseA + static_cast<addr_t>((i + j * lda) * kEs);
+  }
+  addr_t b_addr(std::int64_t i, std::int64_t j) const {
+    return kBaseB + static_cast<addr_t>((i + j * ldb) * kEs);
+  }
+  addr_t c_addr(std::int64_t i, std::int64_t j) const {
+    return kBaseC + static_cast<addr_t>((i + j * ldc) * kEs);
+  }
+  addr_t packed_a_addr(int thread, std::int64_t offset_elems) const {
+    return kBasePackedA + static_cast<addr_t>(thread) * kPackedAStride +
+           static_cast<addr_t>(offset_elems * kEs);
+  }
+  addr_t packed_b_addr(std::int64_t offset_elems) const {
+    return kBasePackedB + static_cast<addr_t>(offset_elems * kEs);
+  }
+
+  // ---- packing -----------------------------------------------------------
+
+  // Packs B slivers [s0, s1) of the (kk, jj) panel from core `core`.
+  void pack_b_slivers(int core, std::int64_t kk, std::int64_t jj, std::int64_t kc,
+                      std::int64_t nc, std::int64_t s0, std::int64_t s1) {
+    const int nr = cfg.blocks.nr;
+    for (std::int64_t s = s0; s < s1; ++s) {
+      const std::int64_t j0 = jj + s * nr;
+      const std::int64_t cols = std::min<std::int64_t>(nr, jj + nc - j0);
+      for (std::int64_t p = 0; p < kc; ++p) {
+        if (cfg.include_packing) {
+          // Source reads stride across columns: one load per element.
+          for (std::int64_t j = 0; j < cols; ++j)
+            hier.access(core, b_addr(kk + p, j0 + j), kEs, AccessType::Read, 1);
+          // Packed writes are contiguous nr-element runs.
+          hier.access(core, packed_b_addr(s * nr * kc + p * nr),
+                      static_cast<std::uint32_t>(nr * kEs), AccessType::Write,
+                      ceil_div<std::int64_t>(nr, 2));
+        }
+      }
+    }
+  }
+
+  // Packs the thread's mc x kc block of A at (ii, kk).
+  void pack_a_block(int core, int thread, std::int64_t ii, std::int64_t kk, std::int64_t mc,
+                    std::int64_t kc) {
+    if (!cfg.include_packing) return;
+    const int mr = cfg.blocks.mr;
+    for (std::int64_t i0 = 0; i0 < mc; i0 += mr) {
+      const std::int64_t rows = std::min<std::int64_t>(mr, mc - i0);
+      for (std::int64_t p = 0; p < kc; ++p) {
+        // Column-contiguous source read, contiguous packed write.
+        hier.access(core, a_addr(ii + i0, kk + p), static_cast<std::uint32_t>(rows * kEs),
+                    AccessType::Read, ceil_div<std::int64_t>(rows, 2));
+        hier.access(core, packed_a_addr(thread, (i0 / mr) * mr * kc + p * mr),
+                    static_cast<std::uint32_t>(mr * kEs), AccessType::Write,
+                    ceil_div<std::int64_t>(mr, 2));
+      }
+    }
+  }
+
+  // ---- kernel ------------------------------------------------------------
+
+  // One GESS: the register kernel over a full kc depth for tile (i0, j0)
+  // of the thread's current block. Issues the same loads the assembly
+  // kernel would: (mr+nr)/2 128-bit loads per rank-1 update, C tile
+  // read+write at the end, plus the prefetch streams.
+  void micro_kernel(int core, int thread, std::int64_t a_sliver_elems,
+                    std::int64_t b_sliver_elems, std::int64_t kc, std::int64_t c_i,
+                    std::int64_t c_j, std::int64_t rows, std::int64_t cols) {
+    const int mr = cfg.blocks.mr;
+    const int nr = cfg.blocks.nr;
+    addr_t last_pref_a = ~0ULL, last_pref_b = ~0ULL;
+    for (std::int64_t p = 0; p < kc; ++p) {
+      hier.access(core, packed_a_addr(thread, a_sliver_elems + p * mr),
+                  static_cast<std::uint32_t>(mr * kEs), AccessType::Read,
+                  ceil_div<std::int64_t>(mr, 2));
+      hier.access(core, packed_b_addr(b_sliver_elems + p * nr),
+                  static_cast<std::uint32_t>(nr * kEs), AccessType::Read,
+                  ceil_div<std::int64_t>(nr, 2));
+      if (cfg.prefetch) {
+        const addr_t pa =
+            (packed_a_addr(thread, a_sliver_elems + p * mr) + cfg.prea_bytes) & ~63ULL;
+        if (pa != last_pref_a) {
+          hier.access(core, pa, 64, AccessType::PrefetchL1, 0);
+          last_pref_a = pa;
+        }
+        const addr_t pb = (packed_b_addr(b_sliver_elems + p * nr) + cfg.preb_bytes) & ~63ULL;
+        if (pb != last_pref_b) {
+          hier.access(core, pb, 64, AccessType::PrefetchL2, 0);
+          last_pref_b = pb;
+        }
+      }
+    }
+    // C tile update: read-modify-write, column by column.
+    for (std::int64_t j = 0; j < cols; ++j) {
+      hier.access(core, c_addr(c_i, c_j + j), static_cast<std::uint32_t>(rows * kEs),
+                  AccessType::Read, ceil_div<std::int64_t>(rows, 2));
+      hier.access(core, c_addr(c_i, c_j + j), static_cast<std::uint32_t>(rows * kEs),
+                  AccessType::Write, ceil_div<std::int64_t>(rows, 2));
+    }
+  }
+};
+
+TraceResult collect(Hierarchy& hier, double flops) {
+  TraceResult r;
+  r.totals = hier.total_counters();
+  for (int c = 0; c < hier.cores(); ++c) {
+    const CacheStats& s = hier.l1(c).stats();
+    r.l1_total.read_hits += s.read_hits;
+    r.l1_total.read_misses += s.read_misses;
+    r.l1_total.write_hits += s.write_hits;
+    r.l1_total.write_misses += s.write_misses;
+    r.l1_total.evictions += s.evictions;
+    r.l1_total.writebacks += s.writebacks;
+  }
+  r.flops = flops;
+  r.memory_reads = hier.memory_reads();
+  r.memory_writes = hier.memory_writes();
+  return r;
+}
+
+}  // namespace
+
+TraceResult trace_dgemm(const model::MachineConfig& machine, const TraceConfig& config,
+                        std::int64_t m, std::int64_t n, std::int64_t k) {
+  config.blocks.validate();
+  AG_CHECK(config.threads >= 1 && config.threads <= machine.cores);
+  Hierarchy hier(machine);
+  Tracer tr{machine, config, hier, m, n, k, m, k, m};
+  const BlockSizes& bs = config.blocks;
+  const int nt = config.threads;
+
+  for (std::int64_t jj = 0; jj < n; jj += bs.nc) {
+    const std::int64_t nc = std::min<std::int64_t>(bs.nc, n - jj);
+    const std::int64_t b_slivers = ceil_div<std::int64_t>(nc, bs.nr);
+    for (std::int64_t kk = 0; kk < k; kk += bs.kc) {
+      const std::int64_t kc = std::min<std::int64_t>(bs.kc, k - kk);
+      // Cooperative B packing, sliver-interleaved across threads.
+      for (int t = 0; t < nt; ++t) {
+        const std::int64_t s0 = t * b_slivers / nt;
+        const std::int64_t s1 = (t + 1) * b_slivers / nt;
+        tr.pack_b_slivers(t, kk, jj, kc, nc, s0, s1);
+      }
+      // Rounds of mc blocks: thread t owns rows [t*share, ...) as the
+      // parallel driver does; within a round threads interleave at
+      // sliver-pass granularity.
+      const std::int64_t blocks_total = ceil_div<std::int64_t>(m, bs.mc);
+      const std::int64_t rounds = ceil_div<std::int64_t>(blocks_total, nt);
+      for (std::int64_t round = 0; round < rounds; ++round) {
+        struct Active {
+          int thread;
+          std::int64_t ii, mc;
+        };
+        std::vector<Active> active;
+        for (int t = 0; t < nt; ++t) {
+          const std::int64_t block_index = t * rounds + round;
+          if (block_index >= blocks_total) continue;
+          const std::int64_t ii = block_index * bs.mc;
+          active.push_back({t, ii, std::min<std::int64_t>(bs.mc, m - ii)});
+        }
+        for (const auto& a : active) tr.pack_a_block(a.thread, a.thread, a.ii, kk, a.mc, kc);
+        // GEBP: loop over B slivers; threads interleave per sliver.
+        for (std::int64_t s = 0; s < b_slivers; ++s) {
+          const std::int64_t j0 = jj + s * bs.nr;
+          const std::int64_t cols = std::min<std::int64_t>(bs.nr, jj + nc - j0);
+          for (const auto& a : active) {
+            for (std::int64_t i0 = 0; i0 < a.mc; i0 += bs.mr) {
+              const std::int64_t rows = std::min<std::int64_t>(bs.mr, a.mc - i0);
+              tr.micro_kernel(a.thread, a.thread, (i0 / bs.mr) * bs.mr * kc, s * bs.nr * kc,
+                              kc, a.ii + i0, j0, rows, cols);
+            }
+          }
+        }
+      }
+    }
+  }
+
+  TraceResult r = collect(hier, 2.0 * static_cast<double>(m) * static_cast<double>(n) *
+                                    static_cast<double>(k));
+  for (int mod = 0; mod < machine.num_modules(); ++mod) {
+    const CacheStats& s = hier.l2(mod).stats();
+    r.l2_total.read_hits += s.read_hits;
+    r.l2_total.read_misses += s.read_misses;
+    r.l2_total.write_hits += s.write_hits;
+    r.l2_total.write_misses += s.write_misses;
+  }
+  r.l3_total = hier.l3().stats();
+  return r;
+}
+
+TraceResult trace_gebp(const model::MachineConfig& machine, const TraceConfig& config,
+                       std::int64_t mc, std::int64_t nc, std::int64_t kc,
+                       Hierarchy* hierarchy) {
+  config.blocks.validate();
+  Hierarchy local(machine);
+  Hierarchy& hier = hierarchy ? *hierarchy : local;
+  Tracer tr{machine, config, hier, mc, nc, kc, mc, kc, mc};
+  const BlockSizes& bs = config.blocks;
+
+  tr.pack_b_slivers(0, 0, 0, kc, nc, 0, ceil_div<std::int64_t>(nc, bs.nr));
+  tr.pack_a_block(0, 0, 0, 0, mc, kc);
+  for (std::int64_t s = 0; s < ceil_div<std::int64_t>(nc, bs.nr); ++s) {
+    const std::int64_t j0 = s * bs.nr;
+    const std::int64_t cols = std::min<std::int64_t>(bs.nr, nc - j0);
+    for (std::int64_t i0 = 0; i0 < mc; i0 += bs.mr) {
+      const std::int64_t rows = std::min<std::int64_t>(bs.mr, mc - i0);
+      tr.micro_kernel(0, 0, (i0 / bs.mr) * bs.mr * kc, s * bs.nr * kc, kc, i0, j0, rows, cols);
+    }
+  }
+
+  TraceResult r = collect(hier, 2.0 * static_cast<double>(mc) * static_cast<double>(nc) *
+                                    static_cast<double>(kc));
+  r.l2_total = hier.l2(0).stats();
+  r.l3_total = hier.l3().stats();
+  return r;
+}
+
+}  // namespace ag::sim

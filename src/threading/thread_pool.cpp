@@ -1,0 +1,92 @@
+#include "threading/thread_pool.hpp"
+
+#include "common/check.hpp"
+#include "common/math_util.hpp"
+
+namespace ag {
+
+ThreadPool::ThreadPool(int num_threads) : num_threads_(num_threads) {
+  AG_CHECK_MSG(num_threads >= 1, "thread pool needs >= 1 thread, got " << num_threads);
+  workers_.reserve(static_cast<std::size_t>(num_threads - 1));
+  for (int rank = 1; rank < num_threads; ++rank)
+    workers_.emplace_back([this, rank] { worker_loop(rank); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    shutdown_ = true;
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::run(const std::function<void(int)>& fn) {
+  if (num_threads_ == 1) {
+    fn(0);
+    return;
+  }
+  {
+    std::lock_guard lock(mutex_);
+    task_ = &fn;
+    pending_ = num_threads_ - 1;
+    first_error_ = nullptr;
+    ++generation_;
+  }
+  start_cv_.notify_all();
+
+  std::exception_ptr caller_error;
+  try {
+    fn(0);
+  } catch (...) {
+    caller_error = std::current_exception();
+  }
+
+  std::unique_lock lock(mutex_);
+  done_cv_.wait(lock, [&] { return pending_ == 0; });
+  task_ = nullptr;
+  if (caller_error) std::rethrow_exception(caller_error);
+  if (first_error_) std::rethrow_exception(first_error_);
+}
+
+void ThreadPool::worker_loop(int rank) {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(int)>* task;
+    {
+      std::unique_lock lock(mutex_);
+      start_cv_.wait(lock, [&] { return generation_ != seen_generation; });
+      seen_generation = generation_;
+      if (shutdown_) return;
+      task = task_;
+    }
+    std::exception_ptr error;
+    try {
+      (*task)(rank);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      std::lock_guard lock(mutex_);
+      if (error && !first_error_) first_error_ = error;
+      if (--pending_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+Range partition_range(std::int64_t total, int parts, int part, std::int64_t align) {
+  AG_CHECK(parts >= 1 && part >= 0 && part < parts && align >= 1 && total >= 0);
+  // Distribute ceil(total/align) chunks across parts as evenly as possible.
+  const std::int64_t chunks = ceil_div(total, align);
+  const std::int64_t base = chunks / parts;
+  const std::int64_t extra = chunks % parts;
+  const std::int64_t my_chunks = base + (part < extra ? 1 : 0);
+  const std::int64_t first_chunk = part * base + std::min<std::int64_t>(part, extra);
+  Range r;
+  r.begin = std::min(first_chunk * align, total);
+  r.end = std::min(r.begin + my_chunks * align, total);
+  return r;
+}
+
+}  // namespace ag

@@ -1,0 +1,90 @@
+// Persistent fork-join thread pool.
+//
+// The GEMM driver executes its parallel region on all pool threads at once
+// (the calling thread participates as rank 0), matching the paper's model
+// of one thread per core cooperating on a single GEMM. Workers persist
+// across calls so repeated GEMMs do not pay thread creation cost.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ag {
+
+class ThreadPool {
+ public:
+  /// Creates a pool executing regions on `num_threads` ranks total
+  /// (num_threads - 1 workers plus the caller).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  /// Runs fn(rank) for rank in [0, num_threads) concurrently; returns when
+  /// every rank has finished. The first exception thrown by any rank is
+  /// rethrown on the caller. Not reentrant.
+  void run(const std::function<void(int)>& fn);
+
+ private:
+  void worker_loop(int rank);
+
+  int num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(int)>* task_ = nullptr;
+  std::uint64_t generation_ = 0;
+  int pending_ = 0;
+  bool shutdown_ = false;
+  std::exception_ptr first_error_;
+};
+
+/// Reusable barrier for ranks cooperating inside a pool region (e.g. "wait
+/// until the shared B panel is fully packed", Figure 9).
+class Barrier {
+ public:
+  explicit Barrier(int parties) : parties_(parties) {}
+
+  void arrive_and_wait() {
+    std::unique_lock lock(mutex_);
+    const std::uint64_t gen = generation_;
+    if (++arrived_ == parties_) {
+      arrived_ = 0;
+      ++generation_;
+      cv_.notify_all();
+    } else {
+      cv_.wait(lock, [&] { return generation_ != gen; });
+    }
+  }
+
+ private:
+  int parties_;
+  int arrived_ = 0;
+  std::uint64_t generation_ = 0;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+};
+
+/// Contiguous 1-D range partitioning, chunk-aligned.
+///
+/// Splits [0, total) into `parts` contiguous ranges whose lengths are
+/// multiples of `align` (except possibly the last), as the layer-3 parallel
+/// loop requires each thread's share of M to be a multiple of mc alignment.
+struct Range {
+  std::int64_t begin = 0;
+  std::int64_t end = 0;
+  std::int64_t size() const { return end - begin; }
+};
+
+Range partition_range(std::int64_t total, int parts, int part, std::int64_t align);
+
+}  // namespace ag

@@ -1,0 +1,130 @@
+// GEMM-based DSYRK and DSYMM against the naive references, across uplo /
+// trans / side, block-boundary sizes, alpha/beta combinations, and the
+// triangle-only-update contract (the opposite triangle of C is never
+// touched by dsyrk).
+#include <gtest/gtest.h>
+
+#include "blas/compare.hpp"
+#include "blas/reference_blas3.hpp"
+#include "blas3/blas3.hpp"
+#include "common/matrix.hpp"
+
+using ag::index_t;
+using ag::Matrix;
+using ag::Side;
+using ag::Trans;
+using ag::Uplo;
+
+namespace {
+
+struct SyrkCase {
+  index_t n, k;
+  double alpha, beta;
+};
+
+class SyrkTest : public ::testing::TestWithParam<SyrkCase> {};
+
+TEST_P(SyrkTest, AllUploTransCombos) {
+  const auto [n, k, alpha, beta] = GetParam();
+  ag::Context ctx(ag::KernelShape{8, 6}, 1);
+  for (Uplo uplo : {Uplo::Lower, Uplo::Upper}) {
+    for (Trans trans : {Trans::NoTrans, Trans::Trans}) {
+      const index_t a_rows = trans == Trans::NoTrans ? n : k;
+      const index_t a_cols = trans == Trans::NoTrans ? k : n;
+      auto a = ag::random_matrix(a_rows, a_cols, 11, std::max<index_t>(1, a_rows));
+      auto c = ag::random_matrix(n, n, 13);
+      Matrix<double> c_ref(c);
+      ag::dsyrk(uplo, trans, n, k, alpha, a.data(), a.ld(), beta, c.data(), c.ld(), ctx);
+      ag::reference_dsyrk(uplo, trans, n, k, alpha, a.data(), a.ld(), beta, c_ref.data(),
+                          c_ref.ld());
+      const double tol = 1e-12 * static_cast<double>(std::max<index_t>(k, 1)) *
+                         (std::abs(alpha) + std::abs(beta) + 1);
+      for (index_t j = 0; j < n; ++j)
+        for (index_t i = 0; i < n; ++i)
+          ASSERT_NEAR(c(i, j), c_ref(i, j), tol)
+              << ag::to_string(uplo) << ag::to_string(trans) << " @ " << i << "," << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, SyrkTest,
+                         ::testing::Values(SyrkCase{1, 1, 1.0, 1.0}, SyrkCase{17, 9, 1.0, 0.0},
+                                           SyrkCase{96, 40, 1.0, 1.0},   // one block
+                                           SyrkCase{97, 33, 2.0, -1.0},  // one past a block
+                                           SyrkCase{200, 64, -1.5, 0.5},
+                                           SyrkCase{64, 0, 2.0, 0.5}));  // k = 0
+
+TEST(SyrkContract, OppositeTriangleUntouched) {
+  const index_t n = 150;
+  ag::Context ctx(ag::KernelShape{8, 6}, 1);
+  auto a = ag::random_matrix(n, 40, 5);
+  Matrix<double> c(n, n);
+  c.fill(777.0);
+  ag::dsyrk(Uplo::Lower, Trans::NoTrans, n, 40, 1.0, a.data(), a.ld(), 0.0, c.data(), c.ld(),
+            ctx);
+  for (index_t j = 1; j < n; ++j)
+    for (index_t i = 0; i < j; ++i) ASSERT_EQ(c(i, j), 777.0) << i << "," << j;
+}
+
+TEST(SyrkContract, ResultIsSymmetricAcrossUplo) {
+  const index_t n = 120, k = 30;
+  ag::Context ctx(ag::KernelShape{8, 6}, 1);
+  auto a = ag::random_matrix(n, k, 6);
+  Matrix<double> cl(n, n), cu(n, n);
+  cl.fill(0);
+  cu.fill(0);
+  ag::dsyrk(Uplo::Lower, Trans::NoTrans, n, k, 1.0, a.data(), a.ld(), 0.0, cl.data(), cl.ld(),
+            ctx);
+  ag::dsyrk(Uplo::Upper, Trans::NoTrans, n, k, 1.0, a.data(), a.ld(), 0.0, cu.data(), cu.ld(),
+            ctx);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = j; i < n; ++i) ASSERT_NEAR(cl(i, j), cu(j, i), 1e-11);
+}
+
+struct SymmCase {
+  index_t m, n;
+  double alpha, beta;
+};
+
+class SymmTest : public ::testing::TestWithParam<SymmCase> {};
+
+TEST_P(SymmTest, AllSideUploCombos) {
+  const auto [m, n, alpha, beta] = GetParam();
+  ag::Context ctx(ag::KernelShape{8, 6}, 1);
+  for (Side side : {Side::Left, Side::Right}) {
+    for (Uplo uplo : {Uplo::Lower, Uplo::Upper}) {
+      const index_t na = side == Side::Left ? m : n;
+      auto a = ag::random_matrix(na, na, 21);
+      auto b = ag::random_matrix(m, n, 22);
+      auto c = ag::random_matrix(m, n, 23);
+      Matrix<double> c_ref(c);
+      ag::dsymm(side, uplo, m, n, alpha, a.data(), a.ld(), b.data(), b.ld(), beta, c.data(),
+                c.ld(), ctx);
+      ag::reference_dsymm(side, uplo, m, n, alpha, a.data(), a.ld(), b.data(), b.ld(), beta,
+                          c_ref.data(), c_ref.ld());
+      const double tol =
+          1e-12 * static_cast<double>(na + 1) * (std::abs(alpha) + std::abs(beta) + 1);
+      for (index_t j = 0; j < n; ++j)
+        for (index_t i = 0; i < m; ++i)
+          ASSERT_NEAR(c(i, j), c_ref(i, j), tol)
+              << ag::to_string(side) << ag::to_string(uplo) << " @ " << i << "," << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, SymmTest,
+                         ::testing::Values(SymmCase{1, 1, 1.0, 1.0}, SymmCase{20, 35, 1.0, 0.0},
+                                           SymmCase{96, 96, 1.0, 1.0},
+                                           SymmCase{97, 110, -2.0, 0.5},
+                                           SymmCase{180, 75, 1.0, -1.0}));
+
+TEST(SymmContract, AlphaZeroOnlyScales) {
+  ag::Context ctx;
+  const double junk = 1e300;
+  double c[4] = {1, 2, 3, 4};
+  ag::dsymm(Side::Left, Uplo::Lower, 2, 2, 0.0, &junk, 2, &junk, 2, 2.0, c, 2, ctx);
+  EXPECT_DOUBLE_EQ(c[0], 2);
+  EXPECT_DOUBLE_EQ(c[3], 8);
+}
+
+}  // namespace

@@ -1,0 +1,174 @@
+// Utility-layer tests: aligned buffers, integer helpers, RNG determinism,
+// matrix container semantics, tables and CLI parsing.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "common/aligned_buffer.hpp"
+#include "common/cli.hpp"
+#include "common/math_util.hpp"
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+
+namespace {
+
+TEST(MathUtil, CeilDivRoundUpDown) {
+  EXPECT_EQ(ag::ceil_div(10, 3), 4);
+  EXPECT_EQ(ag::ceil_div(9, 3), 3);
+  EXPECT_EQ(ag::ceil_div(std::int64_t{0}, std::int64_t{8}), 0);
+  EXPECT_EQ(ag::round_up(10, 8), 16);
+  EXPECT_EQ(ag::round_up(16, 8), 16);
+  EXPECT_EQ(ag::round_down(15, 8), 8);
+  EXPECT_EQ(ag::round_down(7, 8), 0);
+}
+
+TEST(MathUtil, PowersOfTwo) {
+  EXPECT_TRUE(ag::is_pow2(1));
+  EXPECT_TRUE(ag::is_pow2(64));
+  EXPECT_FALSE(ag::is_pow2(0));
+  EXPECT_FALSE(ag::is_pow2(48));
+  EXPECT_EQ(ag::log2_exact(64), 6u);
+  EXPECT_EQ(ag::log2_exact(1), 0u);
+}
+
+TEST(AlignedBuffer, AlignmentAndSize) {
+  ag::AlignedBuffer<double> buf(100);
+  EXPECT_EQ(buf.size(), 100u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buf.data()) % ag::kCacheLineBytes, 0u);
+}
+
+TEST(AlignedBuffer, MoveTransfersOwnership) {
+  ag::AlignedBuffer<double> a(10);
+  double* p = a.data();
+  ag::AlignedBuffer<double> b(std::move(a));
+  EXPECT_EQ(b.data(), p);
+  EXPECT_EQ(a.data(), nullptr);
+  EXPECT_EQ(a.size(), 0u);
+}
+
+TEST(AlignedBuffer, EnsureGrowsOnlyWhenNeeded) {
+  ag::AlignedBuffer<double> a(10);
+  double* p = a.data();
+  a.ensure(5);
+  EXPECT_EQ(a.data(), p);  // no reallocation
+  a.ensure(20);
+  EXPECT_GE(a.size(), 20u);
+}
+
+TEST(AlignedBuffer, EmptyBufferIsSafe) {
+  ag::AlignedBuffer<double> a;
+  EXPECT_TRUE(a.empty());
+  ag::AlignedBuffer<double> b(0);
+  EXPECT_EQ(b.data(), nullptr);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  ag::Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, UniformInRange) {
+  ag::Xoshiro256 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-2.0, 3.0);
+    EXPECT_GE(x, -2.0);
+    EXPECT_LT(x, 3.0);
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  ag::Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64() ? 1 : 0;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(MatrixTest, ColumnMajorIndexing) {
+  ag::Matrix<double> m(3, 2);
+  m(0, 0) = 1;
+  m(2, 1) = 5;
+  EXPECT_EQ(m.data()[0], 1);
+  EXPECT_EQ(m.data()[2 + 1 * 3], 5);
+}
+
+TEST(MatrixTest, LeadingDimensionEmbedding) {
+  ag::Matrix<double> m(3, 2, 5);
+  EXPECT_EQ(m.ld(), 5);
+  m(2, 1) = 7;
+  EXPECT_EQ(m.data()[2 + 1 * 5], 7);
+}
+
+TEST(MatrixTest, CopyIsDeep) {
+  ag::Matrix<double> m(2, 2);
+  m.fill(3.0);
+  ag::Matrix<double> c(m);
+  c(0, 0) = 9.0;
+  EXPECT_EQ(m(0, 0), 3.0);
+}
+
+TEST(MatrixTest, ViewBlockAddressing) {
+  ag::Matrix<double> m(4, 4);
+  for (ag::index_t j = 0; j < 4; ++j)
+    for (ag::index_t i = 0; i < 4; ++i) m(i, j) = static_cast<double>(i * 10 + j);
+  auto blk = m.view().block(1, 2, 2, 2);
+  EXPECT_EQ(blk(0, 0), 12.0);
+  EXPECT_EQ(blk(1, 1), 23.0);
+}
+
+TEST(MatrixTest, RandomFillPoisonsPadding) {
+  ag::Matrix<double> m(2, 2, 4);
+  ag::Xoshiro256 rng(1);
+  m.fill_random(rng);
+  EXPECT_EQ(m.data()[2], 1e300);  // padding row
+  EXPECT_LT(std::abs(m(1, 1)), 1.0001);
+}
+
+TEST(TableTest, TextAndCsv) {
+  ag::Table t({"a", "b"});
+  t.add_row({"1", "x"});
+  t.add_row({"22", "yy"});
+  const std::string text = t.to_text();
+  EXPECT_NE(text.find("| a "), std::string::npos);
+  EXPECT_NE(text.find("22"), std::string::npos);
+  EXPECT_EQ(t.to_csv(), "a,b\n1,x\n22,yy\n");
+}
+
+TEST(TableTest, RejectsWrongArity) {
+  ag::Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"1"}), ag::InvalidArgument);
+}
+
+TEST(TableTest, Formatting) {
+  EXPECT_EQ(ag::Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(ag::Table::fmt_int(42), "42");
+  EXPECT_EQ(ag::Table::fmt_pct(0.872, 1), "87.2%");
+}
+
+TEST(CliTest, FlagForms) {
+  // Note: a bare switch consumes a following non-flag token as its value,
+  // so positionals must precede switches or use --name=value.
+  const char* argv[] = {"prog", "pos", "--size=128", "--threads", "4", "--csv"};
+  ag::CliArgs args(6, argv);
+  EXPECT_EQ(args.get_int("size", 0), 128);
+  EXPECT_EQ(args.get_int("threads", 0), 4);
+  EXPECT_TRUE(args.get_bool("csv", false));
+  EXPECT_FALSE(args.get_bool("full", false));
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "pos");
+}
+
+TEST(CliTest, Defaults) {
+  const char* argv[] = {"prog"};
+  ag::CliArgs args(1, argv);
+  EXPECT_EQ(args.get("name", "dflt"), "dflt");
+  EXPECT_DOUBLE_EQ(args.get_double("x", 1.5), 1.5);
+}
+
+TEST(CheckMacros, ThrowTypedExceptions) {
+  EXPECT_THROW(AG_CHECK(false), ag::InvalidArgument);
+  EXPECT_THROW(AG_CHECK_MSG(1 == 2, "msg " << 42), ag::InvalidArgument);
+  EXPECT_NO_THROW(AG_CHECK(true));
+}
+
+}  // namespace

@@ -1,0 +1,83 @@
+// Thread-safety: concurrent dgemm calls from independent host threads
+// (the "batched GEMM" usage pattern) must be correct both when each
+// caller has its own Context and when they share one read-only serial
+// Context (per-call scratch buffers make the serial path reentrant).
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "blas/compare.hpp"
+#include "blas/reference_gemm.hpp"
+#include "common/matrix.hpp"
+#include "core/gemm.hpp"
+
+using ag::index_t;
+using ag::Matrix;
+
+namespace {
+
+struct Problem {
+  Matrix<double> a, b, c, c_ref;
+  index_t m, n, k;
+};
+
+Problem make_problem(index_t m, index_t n, index_t k, std::uint64_t seed) {
+  Problem p{ag::random_matrix(m, k, seed), ag::random_matrix(k, n, seed + 1),
+            ag::random_matrix(m, n, seed + 2), Matrix<double>(0, 0), m, n, k};
+  p.c_ref = p.c;
+  return p;
+}
+
+void verify(const Problem& p) {
+  Matrix<double> expect(p.c_ref);
+  ag::blocked_dgemm(ag::Layout::ColMajor, ag::Trans::NoTrans, ag::Trans::NoTrans, p.m, p.n,
+                    p.k, 1.0, p.a.data(), p.a.ld(), p.b.data(), p.b.ld(), 1.0, expect.data(),
+                    expect.ld());
+  const auto cmp = ag::compare_gemm_result(p.c.view(), expect.view(), p.k, 1.0, 1.0, 1.0, 1.0,
+                                           1.0);
+  EXPECT_TRUE(cmp.ok) << p.m << "x" << p.n << "x" << p.k << " diff " << cmp.max_diff;
+}
+
+TEST(ConcurrentGemm, SharedSerialContext) {
+  const ag::Context ctx(ag::KernelShape{8, 6}, 1);  // read-only, shared
+  std::vector<Problem> problems;
+  for (int i = 0; i < 6; ++i)
+    problems.push_back(make_problem(90 + 7 * i, 70 + 5 * i, 50 + 3 * i, 1000 + 10 * i));
+
+  std::vector<std::thread> workers;
+  for (auto& p : problems) {
+    workers.emplace_back([&p, &ctx] {
+      for (int rep = 0; rep < 3; ++rep) {
+        Matrix<double> c(p.c_ref);
+        ag::dgemm(ag::Layout::ColMajor, ag::Trans::NoTrans, ag::Trans::NoTrans, p.m, p.n, p.k,
+                  1.0, p.a.data(), p.a.ld(), p.b.data(), p.b.ld(), 1.0, c.data(), c.ld(), ctx);
+        p.c = std::move(c);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  for (const auto& p : problems) verify(p);
+}
+
+TEST(ConcurrentGemm, IndependentContexts) {
+  std::vector<Problem> problems;
+  for (int i = 0; i < 4; ++i)
+    problems.push_back(make_problem(110, 85, 64, 2000 + 10 * i));
+
+  std::vector<std::thread> workers;
+  for (std::size_t i = 0; i < problems.size(); ++i) {
+    workers.emplace_back([&problems, i] {
+      // Each host thread owns a Context; shapes alternate.
+      ag::Context ctx(i % 2 ? ag::KernelShape{8, 4} : ag::KernelShape{8, 6}, 1);
+      auto& p = problems[i];
+      ag::dgemm(ag::Layout::ColMajor, ag::Trans::NoTrans, ag::Trans::NoTrans, p.m, p.n, p.k,
+                1.0, p.a.data(), p.a.ld(), p.b.data(), p.b.ld(), 1.0, p.c.data(), p.c.ld(),
+                ctx);
+    });
+  }
+  for (auto& w : workers) w.join();
+  for (const auto& p : problems) verify(p);
+}
+
+}  // namespace

@@ -1,0 +1,148 @@
+// Property-based dgemm tests: algebraic identities that must hold for any
+// correct GEMM — linearity in alpha, additivity over K-splits (blocking
+// invariance), transpose duality, identity-matrix behaviour, and
+// randomized shape fuzzing against the oracle.
+#include <gtest/gtest.h>
+
+#include "blas/compare.hpp"
+#include "blas/reference_gemm.hpp"
+#include "common/matrix.hpp"
+#include "core/gemm.hpp"
+
+using ag::Context;
+using ag::index_t;
+using ag::Layout;
+using ag::Matrix;
+using ag::Trans;
+
+namespace {
+
+Matrix<double> multiply(const Context& ctx, const Matrix<double>& a, const Matrix<double>& b,
+                        double alpha = 1.0) {
+  Matrix<double> c(a.rows(), b.cols());
+  c.fill(0.0);
+  ag::dgemm(Layout::ColMajor, Trans::NoTrans, Trans::NoTrans, a.rows(), b.cols(), a.cols(),
+            alpha, a.data(), a.ld(), b.data(), b.ld(), 0.0, c.data(), c.ld(), ctx);
+  return c;
+}
+
+TEST(GemmProperties, IdentityLeavesMatrixUnchanged) {
+  Context ctx;
+  const index_t n = 50;
+  Matrix<double> eye(n, n);
+  eye.fill(0.0);
+  for (index_t i = 0; i < n; ++i) eye(i, i) = 1.0;
+  auto b = ag::random_matrix(n, n, 9);
+  auto c = multiply(ctx, eye, b);
+  EXPECT_LT(ag::max_abs_diff(c.view(), b.view()), 1e-12);
+}
+
+TEST(GemmProperties, LinearInAlpha) {
+  Context ctx;
+  auto a = ag::random_matrix(40, 30, 21);
+  auto b = ag::random_matrix(30, 35, 22);
+  auto c1 = multiply(ctx, a, b, 3.0);
+  auto c2 = multiply(ctx, a, b, 1.0);
+  for (index_t j = 0; j < c1.cols(); ++j)
+    for (index_t i = 0; i < c1.rows(); ++i)
+      EXPECT_NEAR(c1(i, j), 3.0 * c2(i, j), 1e-10) << i << "," << j;
+}
+
+TEST(GemmProperties, AdditiveOverKSplit) {
+  // A*B == A1*B1 + A2*B2 when A=[A1 A2], B=[B1; B2]: the identity the
+  // layer-2 rank-kc decomposition relies on.
+  Context ctx;
+  const index_t m = 45, n = 35, k = 60, k1 = 23;
+  auto a = ag::random_matrix(m, k, 31);
+  auto b = ag::random_matrix(k, n, 32);
+  auto full = multiply(ctx, a, b);
+
+  Matrix<double> acc(m, n);
+  acc.fill(0.0);
+  ag::dgemm(Layout::ColMajor, Trans::NoTrans, Trans::NoTrans, m, n, k1, 1.0, a.data(), a.ld(),
+            b.data(), b.ld(), 0.0, acc.data(), acc.ld(), ctx);
+  ag::dgemm(Layout::ColMajor, Trans::NoTrans, Trans::NoTrans, m, n, k - k1, 1.0,
+            a.data() + k1 * a.ld(), a.ld(), b.data() + k1, b.ld(), 1.0, acc.data(), acc.ld(),
+            ctx);
+  EXPECT_LT(ag::max_abs_diff(full.view(), acc.view()), 1e-10);
+}
+
+TEST(GemmProperties, TransposeDuality) {
+  // (A*B)^T == B^T * A^T.
+  Context ctx;
+  auto a = ag::random_matrix(30, 20, 41);
+  auto b = ag::random_matrix(20, 25, 42);
+  auto ab = multiply(ctx, a, b);
+  Matrix<double> dual(25, 30);
+  dual.fill(0.0);
+  ag::dgemm(Layout::ColMajor, Trans::Trans, Trans::Trans, 25, 30, 20, 1.0, b.data(), b.ld(),
+            a.data(), a.ld(), 0.0, dual.data(), dual.ld(), ctx);
+  for (index_t i = 0; i < 30; ++i)
+    for (index_t j = 0; j < 25; ++j) EXPECT_NEAR(ab(i, j), dual(j, i), 1e-11);
+}
+
+TEST(GemmProperties, BlockSizeInvariance) {
+  // The result must not depend on the cache block sizes.
+  auto a = ag::random_matrix(70, 55, 51);
+  auto b = ag::random_matrix(55, 65, 52);
+  Context base(ag::KernelShape{8, 6}, 1);
+  auto expect = multiply(base, a, b);
+  for (index_t kc : {4, 17, 64}) {
+    for (index_t mc : {8, 24}) {
+      Context ctx(ag::KernelShape{8, 6}, 1);
+      ag::BlockSizes bs;
+      bs.mr = 8;
+      bs.nr = 6;
+      bs.kc = kc;
+      bs.mc = mc;
+      bs.nc = 18;
+      ctx.set_block_sizes(bs);
+      auto got = multiply(ctx, a, b);
+      EXPECT_LT(ag::max_abs_diff(expect.view(), got.view()), 1e-10)
+          << "kc=" << kc << " mc=" << mc;
+    }
+  }
+}
+
+struct FuzzCase {
+  std::uint64_t seed;
+};
+class GemmFuzz : public ::testing::TestWithParam<FuzzCase> {};
+
+TEST_P(GemmFuzz, RandomShapesAgainstOracle) {
+  ag::Xoshiro256 rng(GetParam().seed);
+  for (int rep = 0; rep < 6; ++rep) {
+    const index_t m = 1 + static_cast<index_t>(rng.next_below(140));
+    const index_t n = 1 + static_cast<index_t>(rng.next_below(140));
+    const index_t k = 1 + static_cast<index_t>(rng.next_below(140));
+    const int threads = 1 + static_cast<int>(rng.next_below(4));
+    const double alpha = rng.uniform(-2, 2);
+    const double beta = rng.uniform(-2, 2);
+    const Trans ta = rng.next_below(2) ? Trans::Trans : Trans::NoTrans;
+    const Trans tb = rng.next_below(2) ? Trans::Trans : Trans::NoTrans;
+
+    auto a = ag::random_matrix(ta == Trans::NoTrans ? m : k, ta == Trans::NoTrans ? k : m,
+                               rng.next_u64());
+    auto b = ag::random_matrix(tb == Trans::NoTrans ? k : n, tb == Trans::NoTrans ? n : k,
+                               rng.next_u64());
+    auto c = ag::random_matrix(m, n, rng.next_u64());
+    Matrix<double> c_ref(c);
+
+    Context ctx(ag::KernelShape{8, 6}, threads);
+    ag::dgemm(Layout::ColMajor, ta, tb, m, n, k, alpha, a.data(), a.ld(), b.data(), b.ld(),
+              beta, c.data(), c.ld(), ctx);
+    ag::blocked_dgemm(Layout::ColMajor, ta, tb, m, n, k, alpha, a.data(), a.ld(), b.data(),
+                      b.ld(), beta, c_ref.data(), c_ref.ld());
+    const auto cmp =
+        ag::compare_gemm_result(c.view(), c_ref.view(), k, alpha, 1.0, 1.0, beta, 1.0);
+    ASSERT_TRUE(cmp.ok) << "seed=" << GetParam().seed << " rep=" << rep << " m=" << m
+                        << " n=" << n << " k=" << k << " t=" << threads
+                        << " diff=" << cmp.max_diff;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GemmFuzz,
+                         ::testing::Values(FuzzCase{1}, FuzzCase{2}, FuzzCase{3}, FuzzCase{4},
+                                           FuzzCase{5}, FuzzCase{6}, FuzzCase{7}, FuzzCase{8}));
+
+}  // namespace

@@ -1,0 +1,181 @@
+// LAPACK-lite tests: getrf/getrs/gesv/potrf/potrs against direct
+// residual checks and the reference GEMM, with panel-width sweeps
+// (blocking invariance), singularity reporting, and pivoting behaviour.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "blas/reference_gemm.hpp"
+#include "common/matrix.hpp"
+#include "lapack/lapack.hpp"
+
+using ag::index_t;
+using ag::Matrix;
+
+namespace {
+
+Matrix<double> well_conditioned(index_t n, std::uint64_t seed) {
+  auto a = ag::random_matrix(n, n, seed);
+  for (index_t i = 0; i < n; ++i) a(i, i) += static_cast<double>(n);
+  return a;
+}
+
+// Reconstruct P*L*U from getrf output and compare against the original.
+double lu_residual(const Matrix<double>& a0, const Matrix<double>& lu,
+                   const std::vector<index_t>& ipiv) {
+  const index_t n = a0.rows();
+  // Form L*U.
+  Matrix<double> prod(n, n);
+  prod.fill(0.0);
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      const index_t lim = std::min(i, j);  // L(i,p) nonzero for p<=i; U(p,j) for p<=j
+      for (index_t p = 0; p <= lim; ++p) {
+        const double lip = p == i ? 1.0 : lu(i, p);
+        acc += lip * lu(p, j);
+      }
+      prod(i, j) = acc;
+    }
+  }
+  // Apply the recorded swaps to a copy of A0 (forward order) and compare.
+  Matrix<double> pa(a0);
+  for (index_t i = 0; i < n; ++i) {
+    const index_t p = ipiv[static_cast<std::size_t>(i)];
+    if (p != i)
+      for (index_t c = 0; c < n; ++c) std::swap(pa(i, c), pa(p, c));
+  }
+  double err = 0;
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < n; ++i) err = std::max(err, std::abs(prod(i, j) - pa(i, j)));
+  return err;
+}
+
+class GetrfPanels : public ::testing::TestWithParam<index_t> {};
+
+TEST_P(GetrfPanels, FactorizationResidual) {
+  const index_t n = 150;
+  auto a0 = well_conditioned(n, 1);
+  Matrix<double> a(a0);
+  std::vector<index_t> ipiv;
+  ag::Context ctx(ag::KernelShape{8, 6}, 1);
+  ASSERT_EQ(ag::getrf(n, n, a.data(), a.ld(), &ipiv, GetParam(), ctx), 0);
+  EXPECT_LT(lu_residual(a0, a, ipiv), 1e-9 * static_cast<double>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(PanelWidths, GetrfPanels, ::testing::Values(1, 8, 32, 64, 150, 200));
+
+TEST(Getrf, PivotingHandlesZeroLeadingElement) {
+  // A with a(0,0) == 0 requires a row swap.
+  Matrix<double> a(2, 2);
+  a(0, 0) = 0;
+  a(0, 1) = 1;
+  a(1, 0) = 2;
+  a(1, 1) = 3;
+  std::vector<index_t> ipiv;
+  ASSERT_EQ(ag::getrf(2, 2, a.data(), a.ld(), &ipiv), 0);
+  EXPECT_EQ(ipiv[0], 1);  // swapped with row 1
+}
+
+TEST(Getrf, ReportsSingularity) {
+  Matrix<double> a(3, 3);
+  a.fill(1.0);  // rank 1
+  std::vector<index_t> ipiv;
+  EXPECT_NE(ag::getrf(3, 3, a.data(), a.ld(), &ipiv), 0);
+}
+
+TEST(Getrf, RectangularTallAndWide) {
+  for (auto [m, n] : {std::pair<index_t, index_t>{120, 70}, {70, 120}}) {
+    auto a0 = ag::random_matrix(m, n, 3);
+    for (index_t i = 0; i < std::min(m, n); ++i) a0(i, i) += 50.0;
+    Matrix<double> a(a0);
+    std::vector<index_t> ipiv;
+    ASSERT_EQ(ag::getrf(m, n, a.data(), a.ld(), &ipiv, 32), 0) << m << "x" << n;
+    EXPECT_EQ(static_cast<index_t>(ipiv.size()), std::min(m, n));
+  }
+}
+
+TEST(Gesv, SolvesMultipleRhs) {
+  const index_t n = 130, nrhs = 7;
+  auto a0 = well_conditioned(n, 5);
+  auto x_true = ag::random_matrix(n, nrhs, 6);
+  // B = A * X via the reference.
+  Matrix<double> b(n, nrhs);
+  b.fill(0.0);
+  ag::reference_dgemm(ag::Layout::ColMajor, ag::Trans::NoTrans, ag::Trans::NoTrans, n, nrhs, n,
+                      1.0, a0.data(), a0.ld(), x_true.data(), x_true.ld(), 0.0, b.data(),
+                      b.ld());
+  Matrix<double> a(a0);
+  ASSERT_EQ(ag::gesv(n, nrhs, a.data(), a.ld(), b.data(), b.ld()), 0);
+  for (index_t j = 0; j < nrhs; ++j)
+    for (index_t i = 0; i < n; ++i)
+      ASSERT_NEAR(b(i, j), x_true(i, j), 1e-9) << i << "," << j;
+}
+
+TEST(Potrf, FactorizesSpdMatrix) {
+  const index_t n = 140;
+  auto m0 = ag::random_matrix(n, n, 7);
+  Matrix<double> a(n, n);
+  a.fill(0.0);
+  // A = M M^T + n I via reference gemm.
+  ag::reference_dgemm(ag::Layout::ColMajor, ag::Trans::NoTrans, ag::Trans::Trans, n, n, n, 1.0,
+                      m0.data(), m0.ld(), m0.data(), m0.ld(), 0.0, a.data(), a.ld());
+  for (index_t i = 0; i < n; ++i) a(i, i) += static_cast<double>(n);
+  Matrix<double> a0(a);
+  ASSERT_EQ(ag::potrf(n, a.data(), a.ld(), 48), 0);
+  // Residual: L L^T == A0 on the lower triangle.
+  double err = 0, scale = 0;
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = j; i < n; ++i) {
+      double acc = 0;
+      for (index_t p = 0; p <= j; ++p) acc += a(i, p) * a(j, p);
+      err = std::max(err, std::abs(acc - a0(i, j)));
+      scale = std::max(scale, std::abs(a0(i, j)));
+    }
+  EXPECT_LT(err, 1e-10 * scale * static_cast<double>(n));
+}
+
+TEST(Potrf, RejectsIndefiniteMatrix) {
+  Matrix<double> a(2, 2);
+  a(0, 0) = 1;
+  a(1, 0) = 5;
+  a(0, 1) = 5;
+  a(1, 1) = 1;  // eigenvalues 6, -4
+  EXPECT_NE(ag::potrf(2, a.data(), a.ld()), 0);
+}
+
+TEST(Potrs, SolvesAfterPotrf) {
+  const index_t n = 96, nrhs = 4;
+  auto m0 = ag::random_matrix(n, n, 9);
+  Matrix<double> a(n, n);
+  a.fill(0.0);
+  ag::reference_dgemm(ag::Layout::ColMajor, ag::Trans::NoTrans, ag::Trans::Trans, n, n, n, 1.0,
+                      m0.data(), m0.ld(), m0.data(), m0.ld(), 0.0, a.data(), a.ld());
+  for (index_t i = 0; i < n; ++i) a(i, i) += static_cast<double>(n);
+  auto x_true = ag::random_matrix(n, nrhs, 10);
+  Matrix<double> b(n, nrhs);
+  b.fill(0.0);
+  ag::reference_dgemm(ag::Layout::ColMajor, ag::Trans::NoTrans, ag::Trans::NoTrans, n, nrhs, n,
+                      1.0, a.data(), a.ld(), x_true.data(), x_true.ld(), 0.0, b.data(), b.ld());
+  ASSERT_EQ(ag::potrf(n, a.data(), a.ld()), 0);
+  ag::potrs(n, nrhs, a.data(), a.ld(), b.data(), b.ld());
+  for (index_t j = 0; j < nrhs; ++j)
+    for (index_t i = 0; i < n; ++i) ASSERT_NEAR(b(i, j), x_true(i, j), 1e-8);
+}
+
+TEST(Lapack, ThreadedFactorizationMatchesSerial) {
+  const index_t n = 160;
+  auto a0 = well_conditioned(n, 11);
+  Matrix<double> a1(a0), a4(a0);
+  std::vector<index_t> p1, p4;
+  ag::Context serial(ag::KernelShape{8, 6}, 1);
+  ag::Context threaded(ag::KernelShape{8, 6}, 4);
+  ASSERT_EQ(ag::getrf(n, n, a1.data(), a1.ld(), &p1, 48, serial), 0);
+  ASSERT_EQ(ag::getrf(n, n, a4.data(), a4.ld(), &p4, 48, threaded), 0);
+  EXPECT_EQ(p1, p4);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < n; ++i) ASSERT_NEAR(a1(i, j), a4(i, j), 1e-10);
+}
+
+}  // namespace

@@ -1,0 +1,117 @@
+// Pins the cache-blocking solver to the paper's Table III / Figure 14 /
+// Section IV-B constants and checks the occupancy fractions the paper
+// states in prose ("a kc x nr sliver of B fills 3/4 of the L1 data
+// cache", "an mc x kc block of A fills 7/8 of the L2", "a kc x nc panel
+// of B occupies 15/16 of the L3").
+#include <gtest/gtest.h>
+
+#include "model/cache_blocking.hpp"
+#include "model/machine.hpp"
+
+namespace agm = ag::model;
+
+TEST(CacheBlocking, Serial8x6MatchesPaper) {
+  const auto r = agm::solve_cache_blocking(agm::xgene(), {8, 6}, 1);
+  EXPECT_EQ(r.blocks.kc, 512);
+  EXPECT_EQ(r.blocks.mc, 56);
+  EXPECT_EQ(r.blocks.nc, 1920);
+  EXPECT_EQ(r.k1, 1);
+  EXPECT_EQ(r.k2, 2);
+  EXPECT_EQ(r.k3, 1);
+  EXPECT_NEAR(r.l1_fraction_b_sliver, 3.0 / 4.0, 1e-9);
+  EXPECT_NEAR(r.l2_fraction_a_block, 7.0 / 8.0, 1e-9);
+  EXPECT_NEAR(r.l3_fraction_b_panel, 15.0 / 16.0, 1e-9);
+}
+
+TEST(CacheBlocking, EightThreads8x6MatchesPaper) {
+  const auto r = agm::solve_cache_blocking(agm::xgene(), {8, 6}, 8);
+  EXPECT_EQ(r.blocks.kc, 512);
+  EXPECT_EQ(r.blocks.mc, 24);
+  EXPECT_EQ(r.blocks.nc, 1792);
+}
+
+TEST(CacheBlocking, TwoAndFourThreads8x6MatchFigure14) {
+  const auto r2 = agm::solve_cache_blocking(agm::xgene(), {8, 6}, 2);
+  EXPECT_EQ(r2.blocks.mc, 56);
+  EXPECT_EQ(r2.blocks.nc, 1920);
+  const auto r4 = agm::solve_cache_blocking(agm::xgene(), {8, 6}, 4);
+  EXPECT_EQ(r4.blocks.mc, 56);
+  EXPECT_EQ(r4.blocks.nc, 1792);
+}
+
+TEST(CacheBlocking, Serial8x4MatchesTable3) {
+  const auto r = agm::solve_cache_blocking(agm::xgene(), {8, 4}, 1);
+  EXPECT_EQ(r.blocks.kc, 768);
+  EXPECT_EQ(r.blocks.mc, 32);
+  EXPECT_EQ(r.blocks.nc, 1280);
+}
+
+TEST(CacheBlocking, EightThreads8x4MatchesTable3) {
+  const auto r = agm::solve_cache_blocking(agm::xgene(), {8, 4}, 8);
+  EXPECT_EQ(r.blocks.kc, 768);
+  EXPECT_EQ(r.blocks.mc, 16);
+  EXPECT_EQ(r.blocks.nc, 1192);
+}
+
+TEST(CacheBlocking, Serial4x4Kc768) {
+  // Table III reuses the 8x4 cache blocks for 4x4; the solver's own
+  // mc differs only by mr-rounding (36 = round_4(37) vs round_8(37) = 32).
+  const auto r = agm::solve_cache_blocking(agm::xgene(), {4, 4}, 1);
+  EXPECT_EQ(r.blocks.kc, 768);
+  EXPECT_EQ(r.blocks.mc, 36);
+  EXPECT_EQ(r.blocks.nc, 1280);
+}
+
+TEST(CacheBlocking, ThreadsPerModulePlacement) {
+  const auto& m = agm::xgene();
+  EXPECT_EQ(agm::threads_per_module(m, 1), 1);
+  EXPECT_EQ(agm::threads_per_module(m, 2), 1);  // one per module
+  EXPECT_EQ(agm::threads_per_module(m, 4), 1);
+  EXPECT_EQ(agm::threads_per_module(m, 8), 2);  // modules double up
+}
+
+TEST(CacheBlocking, BlocksAreMultiplesOfRegisterBlocks) {
+  for (int threads : {1, 2, 4, 8}) {
+    for (ag::KernelShape s : {ag::KernelShape{8, 6}, {8, 4}, {4, 4}}) {
+      const auto r = agm::solve_cache_blocking(agm::xgene(), s, threads);
+      EXPECT_EQ(r.blocks.mc % s.mr, 0) << s.to_string() << " t=" << threads;
+      // nc is rounded to whole 64-byte cache lines (8 doubles), not to nr.
+      EXPECT_EQ(r.blocks.nc % 8, 0) << s.to_string() << " t=" << threads;
+      EXPECT_GT(r.blocks.kc, 0);
+    }
+  }
+}
+
+TEST(CacheBlocking, MonotoneInThreads) {
+  // More threads sharing caches can never enlarge the resident blocks.
+  for (ag::KernelShape s : {ag::KernelShape{8, 6}, {8, 4}, {4, 4}}) {
+    const auto r1 = agm::solve_cache_blocking(agm::xgene(), s, 1);
+    const auto r8 = agm::solve_cache_blocking(agm::xgene(), s, 8);
+    EXPECT_LE(r8.blocks.mc, r1.blocks.mc);
+    EXPECT_LE(r8.blocks.nc, r1.blocks.nc);
+    EXPECT_EQ(r8.blocks.kc, r1.blocks.kc);  // kc depends only on the private L1
+  }
+}
+
+TEST(GotoHeuristic, HalfCacheSizes) {
+  // kc*nr*8 ~ L1/2 and mc*kc*8 ~ L2/2, as in Table VI's comparison row
+  // (320 x 96 x 1536 for the 8x6 kernel).
+  const auto bs = agm::goto_heuristic_blocking(agm::xgene(), {8, 6}, 1);
+  EXPECT_EQ(bs.kc, 320);
+  EXPECT_EQ(bs.mc, 96);
+  EXPECT_EQ(bs.nc, 1536);
+}
+
+TEST(PrefetchDistances, MatchSectionIVB) {
+  const auto d = agm::prefetch_distances(agm::xgene(), {8, 6}, 512);
+  EXPECT_EQ(d.prea_bytes, 1024);   // 2 * 8 * 8 * 8
+  EXPECT_EQ(d.preb_bytes, 24576);  // 512 * 6 * 8
+}
+
+TEST(CacheBlocking, ScalesWithCacheGeometry) {
+  // Doubling the L1 doubles kc; halving associativity changes fractions.
+  agm::MachineConfig m = agm::xgene();
+  m.l1d.size_bytes *= 2;
+  const auto r = agm::solve_cache_blocking(m, {8, 6}, 1);
+  EXPECT_EQ(r.blocks.kc, 1024);
+}

@@ -1,0 +1,143 @@
+// Packing layout tests (Figure 3): packed A slivers are column
+// sub-slivers of mr contiguous elements, packed B slivers are row
+// sub-slivers of nr contiguous elements, edges are zero-padded, transposed
+// sources pack identically to their explicit transposes, and packing is a
+// permutation of the source (every source element appears exactly once).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "core/packing.hpp"
+
+using ag::index_t;
+using ag::Matrix;
+using ag::Trans;
+
+namespace {
+
+TEST(PackedSizes, RoundUpToSliverMultiples) {
+  EXPECT_EQ(ag::packed_a_size(56, 512, 8), 56 * 512);
+  EXPECT_EQ(ag::packed_a_size(57, 512, 8), 64 * 512);
+  EXPECT_EQ(ag::packed_b_size(512, 1920, 6), 512 * 1920);
+  EXPECT_EQ(ag::packed_b_size(512, 1921, 6), 512 * 1926);
+}
+
+TEST(PackA, LayoutNoTrans) {
+  // A 6x3, mr=4: two slivers (rows 0-3, rows 4-5 padded to 4).
+  Matrix<double> a(6, 3);
+  for (index_t j = 0; j < 3; ++j)
+    for (index_t i = 0; i < 6; ++i) a(i, j) = static_cast<double>(100 * i + j);
+  std::vector<double> dst(static_cast<std::size_t>(ag::packed_a_size(6, 3, 4)), -1.0);
+  ag::pack_a(Trans::NoTrans, a.data(), a.ld(), 0, 0, 6, 3, 4, dst.data());
+  // Sliver 0, k-step p: elements A(0..3, p) contiguous.
+  for (index_t p = 0; p < 3; ++p)
+    for (index_t i = 0; i < 4; ++i)
+      EXPECT_EQ(dst[static_cast<std::size_t>(p * 4 + i)], a(i, p));
+  // Sliver 1: rows 4,5 then zero padding.
+  for (index_t p = 0; p < 3; ++p) {
+    const std::size_t base = static_cast<std::size_t>(3 * 4 + p * 4);
+    EXPECT_EQ(dst[base + 0], a(4, p));
+    EXPECT_EQ(dst[base + 1], a(5, p));
+    EXPECT_EQ(dst[base + 2], 0.0);
+    EXPECT_EQ(dst[base + 3], 0.0);
+  }
+}
+
+TEST(PackA, TransEqualsExplicitTranspose) {
+  auto a = ag::random_matrix(9, 7, 5);
+  Matrix<double> at(7, 9);
+  for (index_t i = 0; i < 9; ++i)
+    for (index_t j = 0; j < 7; ++j) at(j, i) = a(i, j);
+  // Pack op(A)=A^T (7x9 block starting at (1,2) of the op) both ways.
+  const index_t mc = 5, kc = 6;
+  std::vector<double> d1(static_cast<std::size_t>(ag::packed_a_size(mc, kc, 4)), -1);
+  std::vector<double> d2 = d1;
+  ag::pack_a(Trans::Trans, a.data(), a.ld(), 1, 2, mc, kc, 4, d1.data());
+  ag::pack_a(Trans::NoTrans, at.data(), at.ld(), 1, 2, mc, kc, 4, d2.data());
+  EXPECT_EQ(d1, d2);
+}
+
+TEST(PackB, LayoutNoTrans) {
+  // B 3x5, nr=2: slivers of 2 columns; within a sliver each k-step holds
+  // nr contiguous elements of one row.
+  Matrix<double> b(3, 5);
+  for (index_t j = 0; j < 5; ++j)
+    for (index_t i = 0; i < 3; ++i) b(i, j) = static_cast<double>(10 * i + j);
+  std::vector<double> dst(static_cast<std::size_t>(ag::packed_b_size(3, 5, 2)), -1.0);
+  ag::pack_b(Trans::NoTrans, b.data(), b.ld(), 0, 0, 3, 5, 2, dst.data());
+  // Sliver 0 (cols 0,1): p-th entry pair = B(p,0), B(p,1).
+  for (index_t p = 0; p < 3; ++p) {
+    EXPECT_EQ(dst[static_cast<std::size_t>(2 * p)], b(p, 0));
+    EXPECT_EQ(dst[static_cast<std::size_t>(2 * p + 1)], b(p, 1));
+  }
+  // Last sliver (col 4 + padding).
+  const std::size_t base = 2u * 2 * 3;
+  for (index_t p = 0; p < 3; ++p) {
+    EXPECT_EQ(dst[base + 2 * p], b(p, 4));
+    EXPECT_EQ(dst[base + 2 * p + 1], 0.0);
+  }
+}
+
+TEST(PackB, TransEqualsExplicitTranspose) {
+  auto b = ag::random_matrix(8, 6, 23);
+  Matrix<double> bt(6, 8);
+  for (index_t i = 0; i < 8; ++i)
+    for (index_t j = 0; j < 6; ++j) bt(j, i) = b(i, j);
+  const index_t kc = 5, nc = 7;
+  std::vector<double> d1(static_cast<std::size_t>(ag::packed_b_size(kc, nc, 6)), -1);
+  std::vector<double> d2 = d1;
+  ag::pack_b(Trans::Trans, b.data(), b.ld(), 1, 0, kc, nc, 6, d1.data());
+  ag::pack_b(Trans::NoTrans, bt.data(), bt.ld(), 1, 0, kc, nc, 6, d2.data());
+  EXPECT_EQ(d1, d2);
+}
+
+TEST(PackB, SliverSubsetMatchesFullPack) {
+  auto b = ag::random_matrix(40, 30, 31);
+  const index_t kc = 16, nc = 25;
+  const int nr = 6;
+  const index_t slivers = ag::ceil_div<index_t>(nc, nr);
+  std::vector<double> full(static_cast<std::size_t>(ag::packed_b_size(kc, nc, nr)), -1);
+  std::vector<double> parts = full;
+  ag::pack_b(Trans::NoTrans, b.data(), b.ld(), 3, 2, kc, nc, nr, full.data());
+  // Pack in three chunks, as cooperating threads do.
+  ag::pack_b_slivers(Trans::NoTrans, b.data(), b.ld(), 3, 2, kc, nc, nr, 0, 2, parts.data());
+  ag::pack_b_slivers(Trans::NoTrans, b.data(), b.ld(), 3, 2, kc, nc, nr, 2, 3, parts.data());
+  ag::pack_b_slivers(Trans::NoTrans, b.data(), b.ld(), 3, 2, kc, nc, nr, 3, slivers,
+                     parts.data());
+  EXPECT_EQ(full, parts);
+}
+
+// Property: packing is a permutation plus zero padding — every source
+// element of the block appears exactly once.
+struct PackCase {
+  index_t mc, kc;
+  int mr;
+};
+class PackAPermutation : public ::testing::TestWithParam<PackCase> {};
+
+TEST_P(PackAPermutation, EveryElementOnce) {
+  const auto [mc, kc, mr] = GetParam();
+  Matrix<double> a(mc + 3, kc + 2);
+  // Unique values to make multiset comparison exact.
+  for (index_t j = 0; j < a.cols(); ++j)
+    for (index_t i = 0; i < a.rows(); ++i)
+      a(i, j) = static_cast<double>(i * 1000 + j) + 0.5;
+  std::vector<double> dst(static_cast<std::size_t>(ag::packed_a_size(mc, kc, mr)), -1);
+  ag::pack_a(Trans::NoTrans, a.data(), a.ld(), 2, 1, mc, kc, mr, dst.data());
+  std::map<double, int> counts;
+  for (double v : dst) ++counts[v];
+  index_t zeros_expected = (ag::round_up(mc, static_cast<index_t>(mr)) - mc) * kc;
+  EXPECT_EQ(counts[0.0], zeros_expected);
+  for (index_t j = 0; j < kc; ++j)
+    for (index_t i = 0; i < mc; ++i)
+      EXPECT_EQ(counts[a(2 + i, 1 + j)], 1) << i << "," << j;
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, PackAPermutation,
+                         ::testing::Values(PackCase{8, 8, 8}, PackCase{9, 5, 8},
+                                           PackCase{23, 7, 4}, PackCase{5, 12, 6},
+                                           PackCase{1, 1, 8}));
+
+}  // namespace

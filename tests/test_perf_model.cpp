@@ -1,0 +1,99 @@
+// Section III performance model: psi properties, bound monotonicity in
+// gamma, the layer ratios (Eqs. 14/16), the instruction-mix percentages
+// quoted in Section V-A, and the GEBP traffic census.
+#include <gtest/gtest.h>
+
+#include "model/machine.hpp"
+#include "model/perf_model.hpp"
+
+namespace agm = ag::model;
+
+TEST(Psi, BoundaryBehaviour) {
+  EXPECT_DOUBLE_EQ(agm::psi(0.0), 1.0);
+  EXPECT_GT(agm::psi(1.0), agm::psi(2.0));
+  EXPECT_LT(agm::psi(1000.0), 0.01);
+}
+
+TEST(PerfLowerBound, IncreasesWithGamma) {
+  agm::CostParams cost = agm::CostParams::for_machine(agm::xgene(), 1e-9);
+  double prev = 0;
+  for (double gamma : {1.0, 2.0, 4.0, 6.857, 16.0}) {
+    const double perf = agm::perf_lower_bound(gamma, cost);
+    EXPECT_GT(perf, prev);
+    prev = perf;
+  }
+  // Never exceeds machine peak (1/mu).
+  EXPECT_LE(prev, 1.0 / cost.mu + 1.0);
+}
+
+TEST(TimeUpperBound, ReducesToComputeAtInfiniteGamma) {
+  agm::CostParams cost = agm::CostParams::for_machine(agm::xgene(), 1e-9);
+  const double flops = 1e9;
+  const double t_little_data = agm::time_upper_bound(flops, 1.0, cost);
+  EXPECT_NEAR(t_little_data, flops * cost.mu, flops * cost.mu * 0.01);
+}
+
+TEST(CostParams, KappaIsWordsPerLine) {
+  agm::CostParams cost = agm::CostParams::for_machine(agm::xgene(), 1e-9);
+  EXPECT_DOUBLE_EQ(cost.kappa, 0.125);  // 8-byte word, 64-byte line
+  EXPECT_DOUBLE_EQ(cost.mu, 1.0 / 4.8e9);
+}
+
+TEST(LayerGammas, OrderedByLayer) {
+  // gamma_register > gamma_gess > gamma_gebp for finite kc, mc.
+  const double g_reg = 2.0 / (1.0 / 8 + 1.0 / 6);
+  const double g_gess = agm::gamma_gess(8, 6, 512);
+  const double g_gebp = agm::gamma_gebp(8, 6, 512, 56);
+  EXPECT_GT(g_reg, g_gess);
+  EXPECT_GT(g_gess, g_gebp);
+  EXPECT_GT(g_gebp, 3.0);
+}
+
+TEST(LayerGammas, ImproveWithLargerBlocks) {
+  EXPECT_GT(agm::gamma_gess(8, 6, 512), agm::gamma_gess(8, 6, 64));
+  EXPECT_GT(agm::gamma_gebp(8, 6, 512, 56), agm::gamma_gebp(8, 6, 512, 8));
+}
+
+TEST(InstructionMix, SectionVAPercentages) {
+  const auto& m = agm::xgene();
+  // 4x4: 66.7%, 8x4: 72.7%, 8x6: 77.4% arithmetic instructions.
+  EXPECT_NEAR(agm::kernel_instruction_mix(4, 4, m).arithmetic_fraction(), 0.667, 0.001);
+  EXPECT_NEAR(agm::kernel_instruction_mix(8, 4, m).arithmetic_fraction(), 0.727, 0.001);
+  EXPECT_NEAR(agm::kernel_instruction_mix(8, 6, m).arithmetic_fraction(), 0.774, 0.001);
+}
+
+TEST(InstructionMix, LdrFmlaRatios) {
+  const auto& m = agm::xgene();
+  // 8x6 executes 7 loads and 24 fmlas per iteration (Section V-A).
+  const auto mix86 = agm::kernel_instruction_mix(8, 6, m);
+  EXPECT_DOUBLE_EQ(mix86.loads_per_iter, 7.0);
+  EXPECT_DOUBLE_EQ(mix86.fmla_per_iter, 24.0);
+  const auto mix84 = agm::kernel_instruction_mix(8, 4, m);
+  EXPECT_DOUBLE_EQ(mix84.loads_per_iter, 6.0);
+  EXPECT_DOUBLE_EQ(mix84.fmla_per_iter, 16.0);
+}
+
+TEST(GebpTraffic, CensusMatchesFormulas) {
+  ag::BlockSizes bs;
+  bs.mr = 8;
+  bs.nr = 6;
+  bs.kc = 512;
+  bs.mc = 56;
+  bs.nc = 1920;
+  const auto t = agm::gebp_traffic(bs, 56, 1920, 512);
+  EXPECT_DOUBLE_EQ(t.flops, 2.0 * 56 * 1920 * 512);
+  EXPECT_DOUBLE_EQ(t.a_l2_to_l1, 56.0 * 512 * 320);  // nc/nr = 320 passes
+  EXPECT_DOUBLE_EQ(t.b_l1_to_reg, 512.0 * 1920 * 7);  // mc/mr = 7 passes
+  EXPECT_DOUBLE_EQ(t.b_l3_to_l2, 512.0 * 1920);
+  EXPECT_DOUBLE_EQ(t.c_mem_to_reg, 2.0 * 56 * 1920);
+  // The census gamma approaches the closed form Eq. (16).
+  EXPECT_NEAR(t.gamma(), agm::gamma_gebp(8, 6, 512, 56), 0.2);
+}
+
+TEST(GebpTraffic, GammaImprovesWithGamma16Ordering) {
+  ag::BlockSizes bs86{8, 6, 512, 56, 1920};
+  ag::BlockSizes bs44{4, 4, 768, 32, 1280};
+  const double g86 = agm::gebp_traffic(bs86, 56, 1920, 512).gamma();
+  const double g44 = agm::gebp_traffic(bs44, 32, 1280, 768).gamma();
+  EXPECT_GT(g86, g44);
+}

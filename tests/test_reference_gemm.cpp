@@ -1,0 +1,148 @@
+// Reference DGEMM oracle tests: hand-computed cases, BLAS semantics
+// (alpha/beta/transpose/layout), argument validation, and agreement
+// between the naive and blocked reference implementations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "blas/compare.hpp"
+#include "blas/reference_gemm.hpp"
+#include "common/matrix.hpp"
+
+using ag::Layout;
+using ag::Matrix;
+using ag::Trans;
+
+namespace {
+
+TEST(ReferenceGemm, HandComputed2x2) {
+  // A = [1 2; 3 4], B = [5 6; 7 8] (column-major): C = A*B.
+  const double a[] = {1, 3, 2, 4};
+  const double b[] = {5, 7, 6, 8};
+  double c[4] = {};
+  ag::reference_dgemm(Layout::ColMajor, Trans::NoTrans, Trans::NoTrans, 2, 2, 2, 1.0, a, 2, b,
+                      2, 0.0, c, 2);
+  EXPECT_DOUBLE_EQ(c[0], 19);  // 1*5 + 2*7
+  EXPECT_DOUBLE_EQ(c[1], 43);  // 3*5 + 4*7
+  EXPECT_DOUBLE_EQ(c[2], 22);
+  EXPECT_DOUBLE_EQ(c[3], 50);
+}
+
+TEST(ReferenceGemm, AlphaBetaSemantics) {
+  const double a[] = {2};
+  const double b[] = {3};
+  double c[1] = {10};
+  ag::reference_dgemm(Layout::ColMajor, Trans::NoTrans, Trans::NoTrans, 1, 1, 1, 2.0, a, 1, b,
+                      1, 0.5, c, 1);
+  EXPECT_DOUBLE_EQ(c[0], 2.0 * 6 + 0.5 * 10);
+}
+
+TEST(ReferenceGemm, BetaZeroOverwritesNaN) {
+  // BLAS requires beta == 0 to overwrite C even if it holds NaN.
+  const double a[] = {1};
+  const double b[] = {1};
+  double c[1] = {std::nan("")};
+  ag::reference_dgemm(Layout::ColMajor, Trans::NoTrans, Trans::NoTrans, 1, 1, 1, 1.0, a, 1, b,
+                      1, 0.0, c, 1);
+  EXPECT_DOUBLE_EQ(c[0], 1.0);
+}
+
+TEST(ReferenceGemm, KZeroScalesOnly) {
+  double c[2] = {3, 4};
+  ag::reference_dgemm(Layout::ColMajor, Trans::NoTrans, Trans::NoTrans, 2, 1, 0, 1.0, nullptr,
+                      2, nullptr, 1, 2.0, c, 2);
+  EXPECT_DOUBLE_EQ(c[0], 6);
+  EXPECT_DOUBLE_EQ(c[1], 8);
+}
+
+TEST(ReferenceGemm, TransposeA) {
+  // op(A) = A^T with A = [1 2; 3 4] stored col-major => op(A) = [1 3; 2 4].
+  const double a[] = {1, 3, 2, 4};
+  const double b[] = {1, 0, 0, 1};  // identity
+  double c[4] = {};
+  ag::reference_dgemm(Layout::ColMajor, Trans::Trans, Trans::NoTrans, 2, 2, 2, 1.0, a, 2, b, 2,
+                      0.0, c, 2);
+  EXPECT_DOUBLE_EQ(c[0], 1);
+  EXPECT_DOUBLE_EQ(c[1], 2);
+  EXPECT_DOUBLE_EQ(c[2], 3);
+  EXPECT_DOUBLE_EQ(c[3], 4);
+}
+
+TEST(ReferenceGemm, RowMajorMatchesColMajorTransposed) {
+  ag::Xoshiro256 rng(3);
+  Matrix<double> a(4, 3);
+  Matrix<double> b(3, 5);
+  a.fill_random(rng);
+  b.fill_random(rng);
+  Matrix<double> c_col(4, 5);
+  c_col.fill(0);
+  ag::reference_dgemm(Layout::ColMajor, Trans::NoTrans, Trans::NoTrans, 4, 5, 3, 1.0, a.data(),
+                      a.ld(), b.data(), b.ld(), 0.0, c_col.data(), c_col.ld());
+  // Row-major with swapped operands: C_rm = B_cm-data treated as row-major
+  // A^T etc. Compute the same product via the row-major entry point by
+  // viewing the column-major arrays as row-major transposes.
+  Matrix<double> c_rm(5, 4);  // row-major 4x5 = col-major 5x4 storage
+  c_rm.fill(0);
+  ag::reference_dgemm(Layout::RowMajor, Trans::Trans, Trans::Trans, 4, 5, 3, 1.0, a.data(), 4,
+                      b.data(), 3, 0.0, c_rm.data(), 5);
+  for (ag::index_t i = 0; i < 4; ++i)
+    for (ag::index_t j = 0; j < 5; ++j)
+      EXPECT_NEAR(c_col(i, j), c_rm(j, i), 1e-12) << i << "," << j;
+}
+
+TEST(ReferenceGemm, ValidatesArguments) {
+  double x[4] = {};
+  EXPECT_THROW(ag::reference_dgemm(Layout::ColMajor, Trans::NoTrans, Trans::NoTrans, -1, 1, 1,
+                                   1.0, x, 1, x, 1, 0.0, x, 1),
+               ag::InvalidArgument);
+  // lda too small for a 2xk NoTrans A.
+  EXPECT_THROW(ag::reference_dgemm(Layout::ColMajor, Trans::NoTrans, Trans::NoTrans, 2, 1, 1,
+                                   1.0, x, 1, x, 1, 0.0, x, 2),
+               ag::InvalidArgument);
+  EXPECT_THROW(ag::reference_dgemm(Layout::ColMajor, Trans::NoTrans, Trans::NoTrans, 2, 1, 1,
+                                   1.0, nullptr, 2, x, 1, 0.0, x, 2),
+               ag::InvalidArgument);
+}
+
+TEST(ReferenceGemm, MZeroIsNoOp) {
+  double c[1] = {7};
+  ag::reference_dgemm(Layout::ColMajor, Trans::NoTrans, Trans::NoTrans, 0, 0, 5, 1.0, nullptr,
+                      1, nullptr, 5, 0.0, c, 1);
+  EXPECT_DOUBLE_EQ(c[0], 7);  // untouched
+}
+
+struct Shape {
+  ag::index_t m, n, k;
+};
+
+class BlockedVsNaive : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(BlockedVsNaive, AllTransposeCombos) {
+  const auto [m, n, k] = GetParam();
+  for (Trans ta : {Trans::NoTrans, Trans::Trans}) {
+    for (Trans tb : {Trans::NoTrans, Trans::Trans}) {
+      const ag::index_t a_rows = ta == Trans::NoTrans ? m : k;
+      const ag::index_t a_cols = ta == Trans::NoTrans ? k : m;
+      const ag::index_t b_rows = tb == Trans::NoTrans ? k : n;
+      const ag::index_t b_cols = tb == Trans::NoTrans ? n : k;
+      auto a = ag::random_matrix(a_rows, a_cols, 11);
+      auto b = ag::random_matrix(b_rows, b_cols, 13);
+      auto c1 = ag::random_matrix(m, n, 17);
+      Matrix<double> c2(c1);
+      ag::reference_dgemm(Layout::ColMajor, ta, tb, m, n, k, 1.5, a.data(), a.ld(), b.data(),
+                          b.ld(), 0.5, c1.data(), c1.ld());
+      ag::blocked_dgemm(Layout::ColMajor, ta, tb, m, n, k, 1.5, a.data(), a.ld(), b.data(),
+                        b.ld(), 0.5, c2.data(), c2.ld());
+      const auto cmp = ag::compare_gemm_result(c2.view(), c1.view(), k, 1.5, 1.0, 1.0, 0.5, 1.0);
+      EXPECT_TRUE(cmp.ok) << "ta=" << ag::to_string(ta) << " tb=" << ag::to_string(tb)
+                          << " diff=" << cmp.max_diff << " bound=" << cmp.bound;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, BlockedVsNaive,
+                         ::testing::Values(Shape{1, 1, 1}, Shape{7, 5, 3}, Shape{64, 64, 64},
+                                           Shape{65, 63, 130}, Shape{128, 17, 96},
+                                           Shape{33, 129, 65}));
+
+}  // namespace

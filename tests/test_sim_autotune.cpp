@@ -1,0 +1,74 @@
+// Auto-tuner tests (future-work extension): the tuner's winner is at
+// least as good as the analytic solution under the model's own objective,
+// the analytic solution ranks near the top, and option plumbing works.
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "model/machine.hpp"
+#include "sim/autotune.hpp"
+
+using ag::sim::autotune_block_sizes;
+using ag::sim::TuneOptions;
+
+namespace {
+TuneOptions quick_options() {
+  TuneOptions o;
+  o.sizes = {1024, 3072};
+  o.kc_candidates = {256, 384, 512, 640};
+  o.mc_candidates = {24, 40, 56, 72, 96};
+  o.nc_candidates = {1280, 1792, 1920, 2048};
+  return o;
+}
+}  // namespace
+
+TEST(AutotuneTest, WinnerBeatsOrMatchesAnalytic) {
+  const auto r = autotune_block_sizes(ag::model::xgene(), {8, 6}, 1, quick_options());
+  EXPECT_GE(r.best.avg_efficiency, r.analytic.avg_efficiency - 1e-9);
+  EXPECT_EQ(r.evaluated, 4 * 5 * 4);
+}
+
+TEST(AutotuneTest, AnalyticSolutionIsNearOptimal) {
+  // The paper's central claim: the Eqs. (15)-(20) solution needs no
+  // tuning. The tuned optimum must not beat it by more than 2 points.
+  const auto r = autotune_block_sizes(ag::model::xgene(), {8, 6}, 1, quick_options());
+  EXPECT_LT(r.best.avg_efficiency - r.analytic.avg_efficiency, 0.02);
+}
+
+TEST(AutotuneTest, TopListSortedAndSized) {
+  const auto r = autotune_block_sizes(ag::model::xgene(), {8, 6}, 1, quick_options());
+  ASSERT_LE(r.top.size(), 10u);
+  ASSERT_GE(r.top.size(), 2u);
+  for (std::size_t i = 1; i < r.top.size(); ++i)
+    EXPECT_GE(r.top[i - 1].avg_efficiency, r.top[i].avg_efficiency);
+  EXPECT_EQ(r.top.front().avg_efficiency, r.best.avg_efficiency);
+}
+
+TEST(AutotuneTest, McCandidatesRoundedToMr) {
+  TuneOptions o = quick_options();
+  o.mc_candidates = {30, 58};  // not multiples of 8
+  const auto r = autotune_block_sizes(ag::model::xgene(), {8, 6}, 1, o);
+  for (const auto& c : r.top) EXPECT_EQ(c.blocks.mc % 8, 0);
+}
+
+TEST(AutotuneTest, ThreadedTuningShrinksMc) {
+  // With eight threads the shared-L2 penalty pushes the tuned mc down,
+  // as the paper's Eq. (19) predicts analytically.
+  TuneOptions o = quick_options();
+  const auto r1 = autotune_block_sizes(ag::model::xgene(), {8, 6}, 1, o);
+  const auto r8 = autotune_block_sizes(ag::model::xgene(), {8, 6}, 8, o);
+  EXPECT_LE(r8.best.blocks.mc, r1.best.blocks.mc);
+}
+
+TEST(AutotuneTest, DefaultGridsNonEmpty) {
+  TuneOptions o;
+  o.sizes = {2048};
+  const auto r = autotune_block_sizes(ag::model::xgene(), {8, 6}, 1, o);
+  EXPECT_GT(r.evaluated, 100);
+}
+
+TEST(AutotuneTest, RequiresSizes) {
+  TuneOptions o;
+  o.sizes.clear();
+  EXPECT_THROW(autotune_block_sizes(ag::model::xgene(), {8, 6}, 1, o),
+               ag::InvalidArgument);
+}

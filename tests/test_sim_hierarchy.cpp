@@ -1,0 +1,105 @@
+// Multi-core hierarchy routing: L1 -> shared-L2 -> L3 -> memory, counter
+// semantics, prefetch levels, and cache sharing between module partners.
+#include <gtest/gtest.h>
+
+#include "model/machine.hpp"
+#include "sim/hierarchy.hpp"
+
+using ag::sim::AccessType;
+using ag::sim::Hierarchy;
+using ag::sim::Served;
+
+TEST(HierarchyTest, ColdAccessServedByMemoryThenCaches) {
+  Hierarchy h(ag::model::xgene());
+  EXPECT_EQ(h.access(0, 0x1000, 8, AccessType::Read), Served::Memory);
+  EXPECT_EQ(h.access(0, 0x1000, 8, AccessType::Read), Served::L1);
+  EXPECT_EQ(h.memory_reads(), 1u);
+}
+
+TEST(HierarchyTest, ModulePartnersShareL2) {
+  Hierarchy h(ag::model::xgene());
+  h.access(0, 0x2000, 8, AccessType::Read);  // core 0 warms L2 of module 0
+  EXPECT_EQ(h.access(1, 0x2000, 8, AccessType::Read), Served::L2);  // partner
+  EXPECT_EQ(h.access(2, 0x2000, 8, AccessType::Read), Served::L3);  // other module
+}
+
+TEST(HierarchyTest, AllCoresShareL3) {
+  Hierarchy h(ag::model::xgene());
+  h.access(0, 0x3000, 8, AccessType::Read);
+  for (int core = 2; core < 8; core += 2)
+    EXPECT_EQ(h.access(core, 0x3000, 8, AccessType::Read), Served::L3) << core;
+}
+
+TEST(HierarchyTest, MultiLineAccessSplits) {
+  Hierarchy h(ag::model::xgene());
+  // 128 bytes spanning 2 lines: two memory reads on cold access.
+  h.access(0, 0x4000, 128, AccessType::Read);
+  EXPECT_EQ(h.memory_reads(), 2u);
+  // Unaligned 64-byte access spanning 2 lines.
+  h.access(0, 0x5020, 64, AccessType::Read);
+  EXPECT_EQ(h.memory_reads(), 4u);
+}
+
+TEST(HierarchyTest, LoadInstructionCounting) {
+  Hierarchy h(ag::model::xgene());
+  // One 64-byte request representing 4 x 128-bit ldr instructions.
+  h.access(0, 0x6000, 64, AccessType::Read, 4);
+  EXPECT_EQ(h.counters(0).l1_dcache_loads, 4u);
+  EXPECT_EQ(h.counters(0).l1_dcache_load_misses, 1u);  // one line missed
+  h.access(0, 0x6000, 64, AccessType::Read, 4);
+  EXPECT_EQ(h.counters(0).l1_dcache_loads, 8u);
+  EXPECT_EQ(h.counters(0).l1_dcache_load_misses, 1u);
+}
+
+TEST(HierarchyTest, StoresCountedSeparately) {
+  Hierarchy h(ag::model::xgene());
+  h.access(0, 0x7000, 64, AccessType::Write, 4);
+  EXPECT_EQ(h.counters(0).l1_dcache_stores, 4u);
+  EXPECT_EQ(h.counters(0).l1_dcache_loads, 0u);
+}
+
+TEST(HierarchyTest, PrefetchL1FillsWithoutCounting) {
+  Hierarchy h(ag::model::xgene());
+  h.access(0, 0x8000, 64, AccessType::PrefetchL1, 0);
+  EXPECT_EQ(h.counters(0).l1_dcache_loads, 0u);
+  EXPECT_EQ(h.access(0, 0x8000, 8, AccessType::Read), Served::L1);
+}
+
+TEST(HierarchyTest, PrefetchL2FillsL2NotL1) {
+  Hierarchy h(ag::model::xgene());
+  h.access(0, 0x9000, 64, AccessType::PrefetchL2, 0);
+  EXPECT_FALSE(h.l1(0).contains(0x9000));
+  EXPECT_TRUE(h.l2_of_core(0).contains(0x9000));
+  EXPECT_EQ(h.access(0, 0x9000, 8, AccessType::Read), Served::L2);
+}
+
+TEST(HierarchyTest, DirtyL1EvictionWritesBackToL2) {
+  ag::model::MachineConfig m = ag::model::xgene();
+  m.l1d = {512, 2, 64};  // tiny L1 to force evictions quickly
+  Hierarchy h(m);
+  h.access(0, 0x0000, 8, AccessType::Write);
+  // Stream two more lines into set 0 (set stride = 4 * 64 = 256).
+  h.access(0, 0x0100, 8, AccessType::Read);
+  h.access(0, 0x0200, 8, AccessType::Read);  // evicts dirty 0x0000
+  EXPECT_FALSE(h.l1(0).contains(0x0000));
+  EXPECT_TRUE(h.l2_of_core(0).contains(0x0000));  // written back, still dirty there
+}
+
+TEST(HierarchyTest, ConservationHitsPlusMisses) {
+  Hierarchy h(ag::model::xgene());
+  for (int i = 0; i < 100; ++i)
+    h.access(i % 8, 0x10000 + static_cast<ag::sim::addr_t>(i % 16) * 64, 8, AccessType::Read);
+  std::uint64_t l1_accesses = 0;
+  for (int c = 0; c < 8; ++c) l1_accesses += h.l1(c).stats().accesses();
+  EXPECT_EQ(l1_accesses, 100u);
+}
+
+TEST(HierarchyTest, ResetAndClearStats) {
+  Hierarchy h(ag::model::xgene());
+  h.access(0, 0x1000, 8, AccessType::Read);
+  h.clear_stats();
+  EXPECT_EQ(h.total_counters().l1_dcache_loads, 0u);
+  EXPECT_TRUE(h.l1(0).contains(0x1000));  // contents survive clear_stats
+  h.reset();
+  EXPECT_FALSE(h.l1(0).contains(0x1000));
+}

@@ -1,0 +1,146 @@
+// Pipeline model: Table IV reproduction (the paper's LDR:FMLA
+// micro-benchmark), peak-bound sanity, dependence stalls, and the rename /
+// WAR behaviour that underlies the register-rotation ablation.
+#include <gtest/gtest.h>
+
+#include "isa/instruction.hpp"
+#include "sim/pipeline.hpp"
+
+using ag::isa::Instr;
+using ag::isa::Opcode;
+using ag::isa::Program;
+using ag::sim::PipelineConfig;
+using ag::sim::PipelineResult;
+using ag::sim::simulate_ldr_fmla_ratio;
+using ag::sim::simulate_program;
+using ag::sim::table4_reference;
+
+namespace {
+Instr fmla(int dst, int srca, int srcb) {
+  Instr i;
+  i.op = Opcode::Fmla;
+  i.dst = dst;
+  i.srca = srca;
+  i.srcb = srcb;
+  i.lane = 0;
+  return i;
+}
+Instr ldr(int dst) {
+  Instr i;
+  i.op = Opcode::Ldr;
+  i.dst = dst;
+  i.stream = ag::isa::Stream::A;
+  return i;
+}
+}  // namespace
+
+TEST(PipelineTest, PureFmlaRunsAtPeak) {
+  Program p;
+  for (int i = 0; i < 24; ++i) p.instrs.push_back(fmla(8 + i, 8 + (i + 7) % 24, 8 + (i + 13) % 24));
+  const PipelineConfig cfg;
+  const PipelineResult r = simulate_program(p, 100, cfg);
+  EXPECT_NEAR(r.efficiency(cfg.fma_cycles), 1.0, 0.01);
+}
+
+TEST(PipelineTest, Table4PointsWithinTolerance) {
+  // The two issue-port constants are calibrated against Table IV; every
+  // published point must reproduce within 2.5 percentage points.
+  const PipelineConfig cfg;
+  for (const auto& pt : table4_reference()) {
+    const double eff = simulate_ldr_fmla_ratio(pt.ldrs, pt.fmlas, cfg);
+    EXPECT_NEAR(eff, pt.efficiency, 0.025)
+        << "ratio " << pt.ldrs << ":" << pt.fmlas;
+  }
+}
+
+TEST(PipelineTest, EfficiencyMonotoneInArithmeticFraction) {
+  // Table IV's key observation: a larger share of arithmetic instructions
+  // gives higher efficiency.
+  const PipelineConfig cfg;
+  double prev = 0;
+  for (int f = 1; f <= 6; ++f) {
+    const double eff = simulate_ldr_fmla_ratio(1, f, cfg);
+    EXPECT_GT(eff, prev) << "1:" << f;
+    prev = eff;
+  }
+}
+
+TEST(PipelineTest, KernelMixOrdering) {
+  // 1:2 (4x4) < 6:16 (8x4) < 7:24 (8x6): the paper's ceiling ordering.
+  const PipelineConfig cfg;
+  const double e44 = simulate_ldr_fmla_ratio(1, 2, cfg);
+  const double e84 = simulate_ldr_fmla_ratio(6, 16, cfg);
+  const double e86 = simulate_ldr_fmla_ratio(7, 24, cfg);
+  EXPECT_LT(e44, e84);
+  EXPECT_LT(e84, e86);
+  EXPECT_NEAR(e86, 0.915, 0.02);  // the paper's upper bound for 8x6
+}
+
+TEST(PipelineTest, RawDependenceStalls) {
+  // fmla immediately consuming a load's result stalls for the load-use
+  // latency; spacing the pair apart hides it.
+  Program tight;
+  tight.instrs.push_back(ldr(0));
+  tight.instrs.push_back(fmla(8, 0, 9));
+  Program spaced;
+  spaced.instrs.push_back(ldr(0));
+  for (int i = 0; i < 6; ++i) spaced.instrs.push_back(fmla(10 + i, 20, 21));
+  spaced.instrs.push_back(fmla(8, 0, 9));
+  // Single pass: in steady-state loops an OoO core hides the independent
+  // load by running it ahead; the stall is a cold-start phenomenon.
+  const PipelineConfig cfg;
+  const auto rt = simulate_program(tight, 1, cfg);
+  const auto rs = simulate_program(spaced, 1, cfg);
+  EXPECT_GT(rt.raw_stall_cycles, 0.0);
+  EXPECT_NEAR(rs.raw_stall_cycles, 0.0, 1e-9);
+}
+
+TEST(PipelineTest, WarStallsOnlyWithoutRename) {
+  // ldr overwriting a register just read: free with renaming, delayed
+  // without — the paper's Section V-A experiment ("the same efficiencies
+  // remain" with renaming on).
+  Program p;
+  p.instrs.push_back(fmla(8, 0, 1));
+  p.instrs.push_back(ldr(0));  // WAR on v0
+  PipelineConfig with_rename;
+  with_rename.rename = true;
+  PipelineConfig without;
+  without.rename = false;
+  const auto r1 = simulate_program(p, 50, with_rename);
+  const auto r2 = simulate_program(p, 50, without);
+  EXPECT_NEAR(r1.war_stall_cycles, 0.0, 1e-9);
+  EXPECT_GT(r2.war_stall_cycles, 0.0);
+  EXPECT_GT(r2.cycles, r1.cycles);
+}
+
+TEST(PipelineTest, PrefetchCostsLessThanLoad) {
+  Program with_prfm;
+  for (int i = 0; i < 8; ++i) with_prfm.instrs.push_back(fmla(8 + i, 20, 21));
+  Instr prfm;
+  prfm.op = Opcode::Prfm;
+  prfm.stream = ag::isa::Stream::A;
+  with_prfm.instrs.push_back(prfm);
+  Program with_ldr = with_prfm;
+  with_ldr.instrs.back() = ldr(0);
+  const PipelineConfig cfg;
+  EXPECT_LE(simulate_program(with_prfm, 100, cfg).cycles,
+            simulate_program(with_ldr, 100, cfg).cycles);
+}
+
+TEST(PipelineTest, CalibrationRecoversDefaults) {
+  double rms = 0;
+  const PipelineConfig fit = ag::sim::calibrate_to_table4(&rms);
+  EXPECT_LT(rms, 0.02);  // within 2 points RMS of Table IV
+  EXPECT_NEAR(fit.fmla_port, PipelineConfig{}.fmla_port, 0.08);
+  EXPECT_NEAR(fit.ldr_port, PipelineConfig{}.ldr_port, 0.08);
+}
+
+TEST(PipelineTest, InstructionCountsReported) {
+  Program p;
+  p.instrs.push_back(ldr(0));
+  p.instrs.push_back(fmla(8, 0, 1));
+  const auto r = simulate_program(p, 10, PipelineConfig{});
+  EXPECT_EQ(r.instructions, 20u);
+  EXPECT_EQ(r.fmla, 10u);
+  EXPECT_EQ(r.ldr, 10u);
+}

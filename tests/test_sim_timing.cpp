@@ -1,0 +1,171 @@
+// DGEMM timing model tests: kernel ceilings reproduce the paper's
+// ordering and magnitudes, efficiency rises with matrix size and
+// saturates near the paper's peaks, threading behaviour matches Figure
+// 12/14 qualitatively, rotation and block-size ablations move in the
+// paper's direction (Figure 13, Table VI).
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+#include "core/block_sizes.hpp"
+#include "model/machine.hpp"
+#include "sim/timing.hpp"
+
+using ag::BlockSizes;
+using ag::KernelShape;
+using ag::sim::DgemmEstimate;
+using ag::sim::estimate_dgemm;
+using ag::sim::kernel_efficiency_ceiling;
+using ag::sim::TimingOptions;
+
+namespace {
+const ag::model::MachineConfig& mach() { return ag::model::xgene(); }
+}  // namespace
+
+TEST(KernelCeiling, OrderingAcrossShapes) {
+  const double e86 = kernel_efficiency_ceiling(mach(), {8, 6});
+  const double e84 = kernel_efficiency_ceiling(mach(), {8, 4});
+  const double e44 = kernel_efficiency_ceiling(mach(), {4, 4});
+  const double e55 = kernel_efficiency_ceiling(mach(), {5, 5});
+  EXPECT_GT(e86, e84);
+  EXPECT_GT(e84, e55);
+  EXPECT_GT(e55, e44);
+  // The 8x6 ceiling sits near the paper's 91.5% micro-benchmark bound
+  // (slightly below: the real kernel also issues prefetches).
+  EXPECT_GT(e86, 0.86);
+  EXPECT_LT(e86, 0.93);
+  EXPECT_NEAR(e44, 0.80, 0.04);
+}
+
+TEST(KernelCeiling, RotationAblation) {
+  TimingOptions with;
+  TimingOptions without;
+  without.rotate = false;
+  const double e_rot = kernel_efficiency_ceiling(mach(), {8, 6}, with);
+  const double e_fix = kernel_efficiency_ceiling(mach(), {8, 6}, without);
+  EXPECT_GT(e_rot, e_fix);            // Figure 13's direction
+  EXPECT_LT(e_rot - e_fix, 0.15);     // and a plausible magnitude
+}
+
+TEST(Estimate, EfficiencyRisesAndSaturatesSerial) {
+  const BlockSizes bs = ag::paper_block_sizes({8, 6}, 1);
+  double prev = 0;
+  for (std::int64_t size : {256, 512, 1024, 2048, 4096}) {
+    const DgemmEstimate e = estimate_dgemm(mach(), bs, size, 1);
+    EXPECT_GT(e.efficiency, prev * 0.995) << size;  // essentially monotone
+    prev = e.efficiency;
+  }
+  // Saturation near the paper's 87.2% serial peak.
+  EXPECT_GT(prev, 0.82);
+  EXPECT_LT(prev, 0.92);
+}
+
+TEST(Estimate, SerialKernelOrderingMatchesFigure11) {
+  const std::int64_t size = 2048;
+  const double e86 =
+      estimate_dgemm(mach(), ag::paper_block_sizes({8, 6}, 1), size, 1).efficiency;
+  const double e84 =
+      estimate_dgemm(mach(), ag::paper_block_sizes({8, 4}, 1), size, 1).efficiency;
+  const double e44 =
+      estimate_dgemm(mach(), ag::paper_block_sizes({4, 4}, 1), size, 1).efficiency;
+  const double e55 =
+      estimate_dgemm(mach(), ag::paper_block_sizes({5, 5}, 1), size, 1).efficiency;
+  EXPECT_GT(e86, e84);
+  EXPECT_GT(e84, e55);
+  EXPECT_GT(e55, e44);
+}
+
+TEST(Estimate, GflopsScaleWithThreads) {
+  const std::int64_t size = 3072;
+  const double g1 =
+      estimate_dgemm(mach(), ag::paper_block_sizes({8, 6}, 1), size, 1).gflops;
+  const double g2 =
+      estimate_dgemm(mach(), ag::paper_block_sizes({8, 6}, 2), size, 2).gflops;
+  const double g4 =
+      estimate_dgemm(mach(), ag::paper_block_sizes({8, 6}, 4), size, 4).gflops;
+  const double g8 =
+      estimate_dgemm(mach(), ag::paper_block_sizes({8, 6}, 8), size, 8).gflops;
+  EXPECT_GT(g2, g1 * 1.7);
+  EXPECT_GT(g4, g2 * 1.6);
+  EXPECT_GT(g8, g4 * 1.5);
+  // Eight-thread peak in the neighbourhood of the paper's 32.7 Gflops.
+  EXPECT_GT(g8, 28.0);
+  EXPECT_LT(g8, 38.4);
+}
+
+TEST(Estimate, ParallelEfficiencyBelowSerial) {
+  // Table V: 85.3% (8 threads) < 87.2% (1 thread) for 8x6.
+  const std::int64_t size = 4096;
+  const double e1 =
+      estimate_dgemm(mach(), ag::paper_block_sizes({8, 6}, 1), size, 1).efficiency;
+  const double e8 =
+      estimate_dgemm(mach(), ag::paper_block_sizes({8, 6}, 8), size, 8).efficiency;
+  EXPECT_LT(e8, e1);
+  EXPECT_GT(e8, e1 - 0.10);
+}
+
+TEST(Estimate, SmallSizesLoseEfficiencyUnderThreads) {
+  // Figure 12: at small sizes the 8-thread curve sits far below peak.
+  const double e_small =
+      estimate_dgemm(mach(), ag::paper_block_sizes({8, 6}, 8), 256, 8).efficiency;
+  const double e_big =
+      estimate_dgemm(mach(), ag::paper_block_sizes({8, 6}, 8), 4096, 8).efficiency;
+  EXPECT_LT(e_small, e_big - 0.08);
+}
+
+TEST(Estimate, Table6SerialBlockSizes) {
+  // 512x56x1920 (ours) vs 320x96x1536 (Goto heuristic): ours at least as
+  // good serially (paper: 87.2% vs 86.4%).
+  const std::int64_t size = 4096;
+  const BlockSizes ours = ag::paper_block_sizes({8, 6}, 1);
+  BlockSizes goto_bs = ours;
+  goto_bs.kc = 320;
+  goto_bs.mc = 96;
+  goto_bs.nc = 1536;
+  const double e_ours = estimate_dgemm(mach(), ours, size, 1).efficiency;
+  const double e_goto = estimate_dgemm(mach(), goto_bs, size, 1).efficiency;
+  EXPECT_GE(e_ours, e_goto - 0.002);
+}
+
+TEST(Estimate, Table6ThreadedOversizedMcPenalised) {
+  // With eight threads, keeping the serial mc=56 overflows the shared L2
+  // (2 x 56 x 512 x 8 bytes > 7/8 of 256K): the paper measures 85.3% ->
+  // 80.4%. The model must show a clear drop.
+  const std::int64_t size = 4096;
+  const BlockSizes good = ag::paper_block_sizes({8, 6}, 8);  // mc=24
+  BlockSizes bad = good;
+  bad.mc = 56;
+  bad.nc = 1920;
+  const double e_good = estimate_dgemm(mach(), good, size, 8).efficiency;
+  const double e_bad = estimate_dgemm(mach(), bad, size, 8).efficiency;
+  EXPECT_GT(e_good, e_bad + 0.02);
+}
+
+TEST(Estimate, BreakdownComponentsPositiveAndConsistent) {
+  const DgemmEstimate e =
+      estimate_dgemm(mach(), ag::paper_block_sizes({8, 6}, 1), 1024, 1);
+  EXPECT_GT(e.kernel_cycles, 0);
+  EXPECT_GT(e.c_update_cycles, 0);
+  EXPECT_GT(e.pack_cycles, 0);
+  EXPECT_EQ(e.sync_cycles, 0);  // serial
+  EXPECT_GT(e.gflops, 0);
+  EXPECT_GT(e.seconds, 0);
+  EXPECT_GT(e.kernel_ceiling, 0.8);
+}
+
+TEST(Estimate, RectangularShapes) {
+  const BlockSizes bs = ag::paper_block_sizes({8, 6}, 1);
+  const DgemmEstimate tall =
+      ag::sim::estimate_dgemm_mnk(mach(), bs, 8192, 256, 1024, 1);
+  const DgemmEstimate wide =
+      ag::sim::estimate_dgemm_mnk(mach(), bs, 256, 8192, 1024, 1);
+  EXPECT_GT(tall.efficiency, 0.5);
+  EXPECT_GT(wide.efficiency, 0.5);
+}
+
+TEST(Estimate, ValidatesArguments) {
+  EXPECT_THROW(estimate_dgemm(mach(), ag::paper_block_sizes({8, 6}, 1), 128, 0),
+               ag::InvalidArgument);
+  EXPECT_THROW(estimate_dgemm(mach(), ag::paper_block_sizes({8, 6}, 1), 0, 1),
+               ag::InvalidArgument);
+}

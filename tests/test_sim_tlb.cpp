@@ -1,0 +1,87 @@
+// TLB model and TLB-aware blocking (the paper's future-work extension):
+// unit behaviour (capacity, LRU, range translation), integration with the
+// traced GEBP, and the analytic page-working-set constraint.
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "core/block_sizes.hpp"
+#include "model/cache_blocking.hpp"
+#include "model/machine.hpp"
+#include "sim/tlb.hpp"
+#include "sim/trace.hpp"
+
+using ag::sim::Tlb;
+
+TEST(TlbTest, HitAfterMiss) {
+  Tlb tlb({4, 4096});
+  EXPECT_FALSE(tlb.access(0x1000));
+  EXPECT_TRUE(tlb.access(0x1008));  // same page
+  EXPECT_FALSE(tlb.access(0x2000));
+  EXPECT_EQ(tlb.stats().misses, 2u);
+  EXPECT_EQ(tlb.stats().hits, 1u);
+}
+
+TEST(TlbTest, LruEvictionAtCapacity) {
+  Tlb tlb({2, 4096});
+  tlb.access(0x0000);
+  tlb.access(0x1000);
+  tlb.access(0x0000);           // page 0 is MRU
+  tlb.access(0x2000);           // evicts page 1 (LRU)
+  EXPECT_TRUE(tlb.contains(0x0000));
+  EXPECT_FALSE(tlb.contains(0x1000));
+  EXPECT_TRUE(tlb.contains(0x2000));
+}
+
+TEST(TlbTest, RangeSpanningPages) {
+  Tlb tlb({8, 4096});
+  EXPECT_EQ(tlb.access_range(0x0FF0, 0x40), 2);  // crosses a page boundary
+  EXPECT_EQ(tlb.access_range(0x0FF0, 0x40), 0);  // both now resident
+}
+
+TEST(TlbTest, WorkingSetWithinCapacityNeverMissesAgain) {
+  Tlb tlb({48, 4096});
+  for (int rep = 0; rep < 3; ++rep)
+    for (ag::sim::addr_t p = 0; p < 40; ++p) tlb.access(p * 4096);
+  EXPECT_EQ(tlb.stats().misses, 40u);  // only the cold pass
+}
+
+TEST(TlbTest, ResetClears) {
+  Tlb tlb({4, 4096});
+  tlb.access(0x1000);
+  tlb.reset();
+  EXPECT_FALSE(tlb.contains(0x1000));
+  EXPECT_EQ(tlb.stats().accesses(), 0u);
+}
+
+TEST(TlbBlocking, PagesPerGebpArithmetic) {
+  const auto& m = ag::model::xgene();
+  // kc=512: A block of mc rows = mc*512*8/4096 = mc pages; B sliver
+  // 512*6*8/4096 = 6 pages; C tile columns = 6 pages.
+  EXPECT_EQ(ag::model::tlb_pages_per_gebp(m, {8, 6}, 512, 56), 56 + 6 + 6);
+  EXPECT_EQ(ag::model::tlb_pages_per_gebp(m, {8, 6}, 512, 24), 24 + 6 + 6);
+}
+
+TEST(TlbBlocking, ConstrainedMcBelowPaperMc) {
+  const auto& m = ag::model::xgene();
+  const auto mc = ag::model::tlb_constrained_mc(m, {8, 6}, 512);
+  EXPECT_EQ(mc % 8, 0);
+  // 48 entries - 8 reserve = 40 budget; mc + 12 <= 40 => mc <= 28 -> 24.
+  EXPECT_EQ(mc, 24);
+  EXPECT_LT(mc, 56);  // the paper's cache-derived mc overflows this DTLB
+}
+
+TEST(TlbTrace, MissesCountedAndMonotoneInMc) {
+  const auto& m = ag::model::xgene();
+  std::uint64_t misses_small = 0, misses_large = 0;
+  for (auto [mc, out] :
+       {std::pair<std::int64_t, std::uint64_t*>{24, &misses_small}, {96, &misses_large}}) {
+    ag::sim::TraceConfig cfg;
+    cfg.blocks = ag::paper_block_sizes({8, 6}, 1);
+    cfg.blocks.mc = mc;
+    const auto r = ag::sim::trace_dgemm(m, cfg, 512, 512, 512);
+    *out = r.totals.dtlb_misses;
+  }
+  EXPECT_GT(misses_small, 0u);
+  // Oversized mc thrashes the DTLB on every sliver pass.
+  EXPECT_GT(misses_large, misses_small);
+}

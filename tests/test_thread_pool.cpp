@@ -1,0 +1,129 @@
+// Thread pool, barrier and range partitioning tests.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "common/check.hpp"
+#include "threading/thread_pool.hpp"
+
+using ag::Barrier;
+using ag::partition_range;
+using ag::Range;
+using ag::ThreadPool;
+
+TEST(ThreadPoolTest, RunsAllRanksOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(4);
+  pool.run([&](int rank) { hits[static_cast<std::size_t>(rank)]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  int value = 0;
+  pool.run([&](int rank) {
+    EXPECT_EQ(rank, 0);
+    value = 42;
+  });
+  EXPECT_EQ(value, 42);
+}
+
+TEST(ThreadPoolTest, RepeatedRegionsAccumulate) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 50; ++i) pool.run([&](int) { counter++; });
+  EXPECT_EQ(counter.load(), 150);
+}
+
+TEST(ThreadPoolTest, WorkerExceptionPropagates) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.run([](int rank) {
+    if (rank == 2) throw std::runtime_error("boom");
+  }),
+               std::runtime_error);
+  // The pool must remain usable afterwards.
+  std::atomic<int> counter{0};
+  pool.run([&](int) { counter++; });
+  EXPECT_EQ(counter.load(), 4);
+}
+
+TEST(ThreadPoolTest, CallerExceptionPropagates) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.run([](int rank) {
+    if (rank == 0) throw std::logic_error("caller");
+  }),
+               std::logic_error);
+}
+
+TEST(ThreadPoolTest, RejectsZeroThreads) { EXPECT_THROW(ThreadPool(0), ag::InvalidArgument); }
+
+TEST(BarrierTest, SynchronisesPhases) {
+  ThreadPool pool(4);
+  Barrier barrier(4);
+  std::atomic<int> phase1{0};
+  std::vector<int> seen(4, -1);
+  pool.run([&](int rank) {
+    phase1++;
+    barrier.arrive_and_wait();
+    // After the barrier every rank must observe all phase-1 increments.
+    seen[static_cast<std::size_t>(rank)] = phase1.load();
+  });
+  for (int s : seen) EXPECT_EQ(s, 4);
+}
+
+TEST(BarrierTest, ReusableAcrossGenerations) {
+  ThreadPool pool(3);
+  Barrier barrier(3);
+  std::atomic<int> counter{0};
+  pool.run([&](int) {
+    for (int i = 0; i < 20; ++i) {
+      counter++;
+      barrier.arrive_and_wait();
+    }
+  });
+  EXPECT_EQ(counter.load(), 60);
+}
+
+TEST(PartitionTest, CoversRangeWithoutOverlap) {
+  for (std::int64_t total : {0, 1, 7, 64, 100, 1001}) {
+    for (int parts : {1, 2, 3, 8}) {
+      for (std::int64_t align : {1, 8, 24}) {
+        std::int64_t covered = 0;
+        std::int64_t prev_end = 0;
+        for (int p = 0; p < parts; ++p) {
+          const Range r = partition_range(total, parts, p, align);
+          EXPECT_EQ(r.begin, prev_end);
+          EXPECT_LE(r.begin, r.end);
+          prev_end = r.end;
+          covered += r.size();
+          // Every part that does not contain the ragged tail is aligned.
+          if (r.end < total) EXPECT_EQ(r.size() % align, 0) << "interior chunk alignment";
+        }
+        EXPECT_EQ(prev_end, total);
+        EXPECT_EQ(covered, total);
+      }
+    }
+  }
+}
+
+TEST(PartitionTest, BalancedWithinOneChunk) {
+  // Parts differ by at most one aligned chunk, plus the ragged tail of the
+  // part that owns the end of the range.
+  const std::int64_t total = 1000, align = 24;
+  std::int64_t lo = total, hi = 0;
+  for (int p = 0; p < 8; ++p) {
+    const Range r = partition_range(total, 8, p, align);
+    lo = std::min(lo, r.size());
+    hi = std::max(hi, r.size());
+  }
+  EXPECT_LT(hi - lo, 2 * align);
+}
+
+TEST(PartitionTest, InvalidArgumentsThrow) {
+  EXPECT_THROW(partition_range(10, 0, 0, 1), ag::InvalidArgument);
+  EXPECT_THROW(partition_range(10, 2, 2, 1), ag::InvalidArgument);
+  EXPECT_THROW(partition_range(10, 2, 0, 0), ag::InvalidArgument);
+}
