@@ -5,9 +5,13 @@
 // unpacked blocking mirror the paper.
 #include <benchmark/benchmark.h>
 
+#include <iostream>
+
 #include "blas/reference_gemm.hpp"
 #include "common/matrix.hpp"
 #include "core/gemm.hpp"
+#include "obs/gemm_stats.hpp"
+#include "obs/report.hpp"
 
 namespace {
 
@@ -42,6 +46,27 @@ void bench_blocked_reference(benchmark::State& state) {
       benchmark::Counter::kIsIterationInvariantRate, benchmark::Counter::kIs1000);
 }
 
+// One instrumented pass per configuration: attach a GemmStats collector,
+// rerun the dgemm, and print the per-layer breakdown next to the blocking
+// arithmetic and the Section III gamma ratios.
+void print_stats_report(ag::KernelShape shape, int threads, ag::index_t n) {
+  auto a = ag::random_matrix(n, n, 1);
+  auto b = ag::random_matrix(n, n, 2);
+  auto c = ag::random_matrix(n, n, 3);
+  ag::Context ctx(shape, threads);
+  ag::obs::GemmStats stats;
+  ctx.set_stats(&stats);
+  // Warm-up untimed, then one recorded call.
+  ag::dgemm(ag::Layout::ColMajor, ag::Trans::NoTrans, ag::Trans::NoTrans, n, n, n, 1.0,
+            a.data(), a.ld(), b.data(), b.ld(), 1.0, c.data(), c.ld(), ctx);
+  stats.reset();
+  ag::dgemm(ag::Layout::ColMajor, ag::Trans::NoTrans, ag::Trans::NoTrans, n, n, n, 1.0,
+            a.data(), a.ld(), b.data(), b.ld(), 1.0, c.data(), c.ld(), ctx);
+  std::cout << "\n--- " << shape.to_string() << ", " << threads
+            << (threads == 1 ? " thread ---\n" : " threads ---\n")
+            << ag::obs::format_report(stats.totals(), n, n, n, ctx.block_sizes());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -56,5 +81,13 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+
+  if (ag::obs::stats_compiled_in) {
+    std::cout << "\n================ per-layer stats (obs::GemmStats) ================\n";
+    print_stats_report(ag::KernelShape{8, 6}, 1, 512);
+    print_stats_report(ag::KernelShape{8, 6}, 2, 512);
+  } else {
+    std::cout << "\n(per-layer stats compiled out: rebuild with -DARMGEMM_STATS=ON)\n";
+  }
   return 0;
 }

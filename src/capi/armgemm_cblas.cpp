@@ -1,15 +1,25 @@
 #include "capi/armgemm_cblas.h"
 
 #include <atomic>
+#include <fstream>
 
 #include "blas3/blas3.hpp"
 #include "common/check.hpp"
 #include "core/gemm.hpp"
 #include "core/sgemm.hpp"
+#include "obs/gemm_stats.hpp"
 
 namespace {
 
 std::atomic<int> g_threads{1};
+std::atomic<bool> g_stats_enabled{false};
+
+/// Process-wide collector shared by every host thread's context; the
+/// per-slot atomics make concurrent recording race-free.
+ag::obs::GemmStats& global_stats() {
+  static ag::obs::GemmStats stats;
+  return stats;
+}
 
 ag::Layout to_layout(CBLAS_ORDER o) {
   return o == CblasColMajor ? ag::Layout::ColMajor : ag::Layout::RowMajor;
@@ -22,11 +32,15 @@ ag::Uplo to_uplo(CBLAS_UPLO u) { return u == CblasUpper ? ag::Uplo::Upper : ag::
 ag::Diag to_diag(CBLAS_DIAG d) { return d == CblasNonUnit ? ag::Diag::NonUnit : ag::Diag::Unit; }
 ag::Side to_side(CBLAS_SIDE s) { return s == CblasLeft ? ag::Side::Left : ag::Side::Right; }
 
-/// Per-thread-count context cache shared by all cblas_* calls.
+/// Context cache for cblas_* calls: one per host thread, so concurrent
+/// callers never mutate a shared Context when armgemm_set_num_threads or
+/// armgemm_stats_enable changes the process-wide configuration mid-flight
+/// (each thread re-syncs at its own next call).
 ag::Context& context() {
-  static ag::Context ctx(ag::KernelShape{8, 6}, 1);
+  thread_local ag::Context ctx(ag::KernelShape{8, 6}, 1);
   const int want = g_threads.load();
   if (ctx.threads() != want) ctx.set_threads(want);
+  ctx.set_stats(g_stats_enabled.load(std::memory_order_relaxed) ? &global_stats() : nullptr);
   return ctx;
 }
 
@@ -111,5 +125,44 @@ void armgemm_set_num_threads(int threads) {
 }
 
 int armgemm_get_num_threads(void) { return g_threads.load(); }
+
+void armgemm_stats_enable(void) { g_stats_enabled.store(true, std::memory_order_relaxed); }
+
+void armgemm_stats_disable(void) { g_stats_enabled.store(false, std::memory_order_relaxed); }
+
+int armgemm_stats_enabled(void) {
+  return g_stats_enabled.load(std::memory_order_relaxed) ? 1 : 0;
+}
+
+void armgemm_stats_reset(void) { global_stats().reset(); }
+
+void armgemm_stats_get(armgemm_stats_snapshot* out) {
+  if (!out) return;
+  const ag::obs::LayerCounters t = global_stats().totals();
+  out->gemm_calls = t.gemm_calls;
+  out->pack_a_calls = t.pack_a_calls;
+  out->pack_b_calls = t.pack_b_calls;
+  out->gebp_calls = t.gebp_calls;
+  out->kernel_calls = t.kernel_calls;
+  out->pack_a_bytes = t.pack_a_bytes;
+  out->pack_b_bytes = t.pack_b_bytes;
+  out->c_bytes = t.c_bytes;
+  out->pack_a_seconds = t.pack_a_seconds;
+  out->pack_b_seconds = t.pack_b_seconds;
+  out->gebp_seconds = t.gebp_seconds;
+  out->barrier_seconds = t.barrier_seconds;
+  out->total_seconds = t.total_seconds;
+  out->flops = t.flops;
+  out->gflops = t.gflops();
+  out->gamma = t.gamma();
+}
+
+int armgemm_stats_write_json(const char* path) {
+  if (!path) return -1;
+  std::ofstream os(path);
+  if (!os) return -1;
+  os << global_stats().to_json() << "\n";
+  return os ? 0 : -1;
+}
 
 }  // extern "C"

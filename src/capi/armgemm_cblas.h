@@ -46,9 +46,48 @@ void cblas_dtrsm(CBLAS_ORDER order, CBLAS_SIDE side, CBLAS_UPLO uplo, CBLAS_TRAN
                  double* b, int ldb);
 
 /* Thread count used by subsequent cblas_* calls in this process
- * (default 1). Analogous to openblas_set_num_threads. */
+ * (default 1). Analogous to openblas_set_num_threads. Takes effect for
+ * each calling thread at its next cblas_* call; in-flight calls finish
+ * with the thread count they started with. */
 void armgemm_set_num_threads(int threads);
 int armgemm_get_num_threads(void);
+
+/* ---- Per-layer instrumentation (process-wide, off by default) ----
+ *
+ * When enabled, every cblas_dgemm call records per-layer counters into
+ * one shared collector: packing time/bytes, GEBP time and kernel
+ * invocations, C traffic, barrier wait. Aggregation is race-free across
+ * both pool threads and host threads. In a library built with
+ * -DARMGEMM_STATS=OFF these calls succeed but every counter stays zero.
+ */
+
+typedef struct armgemm_stats_snapshot {
+  unsigned long long gemm_calls;
+  unsigned long long pack_a_calls, pack_b_calls;
+  unsigned long long gebp_calls, kernel_calls;
+  unsigned long long pack_a_bytes, pack_b_bytes, c_bytes;
+  double pack_a_seconds, pack_b_seconds, gebp_seconds;
+  double barrier_seconds, total_seconds;
+  double flops;
+  double gflops; /* flops / total_seconds * 1e-9 */
+  double gamma;  /* flops per 8-byte word moved (Eq. 2 of the paper) */
+} armgemm_stats_snapshot;
+
+/* Turns collection on/off for subsequent cblas_* calls. Enabling does
+ * not reset previously accumulated counters. */
+void armgemm_stats_enable(void);
+void armgemm_stats_disable(void);
+int armgemm_stats_enabled(void);
+
+/* Zeroes all accumulated counters. */
+void armgemm_stats_reset(void);
+
+/* Snapshot of the totals aggregated across every thread. */
+void armgemm_stats_get(armgemm_stats_snapshot* out);
+
+/* Writes the full JSON report ({"totals": ..., "threads": [...]}) to
+ * `path`. Returns 0 on success, -1 on I/O failure. */
+int armgemm_stats_write_json(const char* path);
 
 #ifdef __cplusplus
 }

@@ -7,6 +7,7 @@
 
 #include "core/block_sizes.hpp"
 #include "kernels/microkernel.hpp"
+#include "obs/gemm_stats.hpp"
 #include "threading/thread_pool.hpp"
 
 namespace ag {
@@ -32,6 +33,26 @@ class Context {
   Context& set_block_sizes(const BlockSizes& bs);
   Context& set_threads(int threads);
 
+  /// Attaches a per-layer stats collector (non-owning; pass nullptr to
+  /// detach). The collector must outlive every dgemm call made with this
+  /// context. In an ARMGEMM_STATS_DISABLED build the attachment is kept
+  /// but stats() always yields nullptr, so no counters are recorded.
+  Context& set_stats(obs::GemmStats* stats) {
+    stats_ = stats;
+    return *this;
+  }
+
+  /// Collector the driver records into, or nullptr when disabled. Folds
+  /// to a compile-time nullptr when stats are compiled out, making every
+  /// `if (ctx.stats())` hook dead code.
+  obs::GemmStats* stats() const {
+#ifdef ARMGEMM_STATS_DISABLED
+    return nullptr;
+#else
+    return stats_;
+#endif
+  }
+
   /// Pool shared by every dgemm call made with this context; created on
   /// first parallel use.
   ThreadPool& pool() const;
@@ -43,6 +64,7 @@ class Context {
   const Microkernel* kernel_;
   BlockSizes block_sizes_;
   int threads_;
+  obs::GemmStats* stats_ = nullptr;
   mutable std::unique_ptr<ThreadPool> pool_;
 };
 

@@ -7,8 +7,11 @@
 #include "common/aligned_buffer.hpp"
 #include "common/check.hpp"
 #include "common/math_util.hpp"
+#include "common/timer.hpp"
 #include "core/gebp.hpp"
 #include "core/packing.hpp"
+#include "obs/gemm_stats.hpp"
+#include "obs/tracer.hpp"
 
 namespace ag {
 namespace {
@@ -31,6 +34,9 @@ void gemm_serial(Trans trans_a, Trans trans_b, index_t m, index_t n, index_t k, 
                  index_t ldc, const Context& ctx) {
   const BlockSizes& bs = ctx.block_sizes();
   const Microkernel& kernel = ctx.kernel();
+  obs::GemmStats* stats = ctx.stats();
+  obs::ThreadSlot* slot = stats ? &stats->slot(0) : nullptr;
+  obs::Tracer* tracer = stats ? stats->tracer() : nullptr;
 
   AlignedBuffer<double> packed_a(static_cast<std::size_t>(
       packed_a_size(std::min(bs.mc, m), std::min(bs.kc, k), bs.mr)));
@@ -41,12 +47,19 @@ void gemm_serial(Trans trans_a, Trans trans_b, index_t m, index_t n, index_t k, 
     const index_t nc = std::min(bs.nc, n - jj);
     for (index_t kk = 0; kk < k; kk += bs.kc) {      // layer 2
       const index_t kc = std::min(bs.kc, k - kk);
-      pack_b(trans_b, b, ldb, kk, jj, kc, nc, bs.nr, packed_b.data());
+      {
+        obs::Tracer::Region region(tracer, 0, "pack_b");
+        pack_b(trans_b, b, ldb, kk, jj, kc, nc, bs.nr, packed_b.data(), slot);
+      }
       for (index_t ii = 0; ii < m; ii += bs.mc) {    // layer 3
         const index_t mc = std::min(bs.mc, m - ii);
-        pack_a(trans_a, a, lda, ii, kk, mc, kc, bs.mr, packed_a.data());
+        {
+          obs::Tracer::Region region(tracer, 0, "pack_a");
+          pack_a(trans_a, a, lda, ii, kk, mc, kc, bs.mr, packed_a.data(), slot);
+        }
+        obs::Tracer::Region region(tracer, 0, "gebp");
         gebp(mc, nc, kc, alpha, packed_a.data(), packed_b.data(), c + ii + jj * ldc, ldc,
-             kernel);
+             kernel, slot);
       }
     }
   }
@@ -61,6 +74,7 @@ void gemm_parallel(Trans trans_a, Trans trans_b, index_t m, index_t n, index_t k
   const BlockSizes& bs = ctx.block_sizes();
   const Microkernel& kernel = ctx.kernel();
   const int nthreads = ctx.threads();
+  obs::GemmStats* stats = ctx.stats();
 
   AlignedBuffer<double> packed_b(static_cast<std::size_t>(
       packed_b_size(std::min(bs.kc, k), std::min(bs.nc, n), bs.nr)));
@@ -72,6 +86,10 @@ void gemm_parallel(Trans trans_a, Trans trans_b, index_t m, index_t n, index_t k
   Barrier barrier(nthreads);
 
   ctx.pool().run([&](int rank) {
+    obs::ThreadSlot* slot = stats ? &stats->slot(rank) : nullptr;
+    obs::Tracer* tracer = stats ? stats->tracer() : nullptr;
+    double barrier_wait = 0;
+    double* const wait_acc = slot ? &barrier_wait : nullptr;
     for (index_t jj = 0; jj < n; jj += bs.nc) {      // layer 1
       const index_t nc = std::min(bs.nc, n - jj);
       const index_t b_slivers = ceil_div(nc, static_cast<index_t>(bs.nr));
@@ -79,23 +97,41 @@ void gemm_parallel(Trans trans_a, Trans trans_b, index_t m, index_t n, index_t k
         const index_t kc = std::min(bs.kc, k - kk);
         // Cooperative packing of the shared B panel.
         const Range bp = partition_range(b_slivers, nthreads, rank, 1);
-        pack_b_slivers(trans_b, b, ldb, kk, jj, kc, nc, bs.nr, bp.begin, bp.end,
-                       packed_b.data());
-        barrier.arrive_and_wait();
+        {
+          obs::Tracer::Region region(tracer, rank, "pack_b");
+          pack_b_slivers(trans_b, b, ldb, kk, jj, kc, nc, bs.nr, bp.begin, bp.end,
+                         packed_b.data(), slot);
+        }
+        barrier.arrive_and_wait(wait_acc);
         // Layer 3 split across threads, each share mc-aligned (Figure 9).
         const Range rows = partition_range(m, nthreads, rank, bs.mc);
         for (index_t ii = rows.begin; ii < rows.end; ii += bs.mc) {
           const index_t mc = std::min(bs.mc, rows.end - ii);
-          pack_a(trans_a, a, lda, ii, kk, mc, kc, bs.mr,
-                 packed_a[static_cast<std::size_t>(rank)].data());
+          {
+            obs::Tracer::Region region(tracer, rank, "pack_a");
+            pack_a(trans_a, a, lda, ii, kk, mc, kc, bs.mr,
+                   packed_a[static_cast<std::size_t>(rank)].data(), slot);
+          }
+          obs::Tracer::Region region(tracer, rank, "gebp");
           gebp(mc, nc, kc, alpha, packed_a[static_cast<std::size_t>(rank)].data(),
-               packed_b.data(), c + ii + jj * ldc, ldc, kernel);
+               packed_b.data(), c + ii + jj * ldc, ldc, kernel, slot);
         }
         // B panel is reused as scratch next iteration; everyone must be done.
-        barrier.arrive_and_wait();
+        barrier.arrive_and_wait(wait_acc);
       }
     }
+    if (slot) slot->add_barrier_wait(barrier_wait);
   });
+}
+
+void run_gemm(Trans trans_a, Trans trans_b, index_t m, index_t n, index_t k, double alpha,
+              const double* a, index_t lda, const double* b, index_t ldb, double* c,
+              index_t ldc, const Context& ctx) {
+  if (ctx.threads() > 1 && m > ctx.block_sizes().mr) {
+    gemm_parallel(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, c, ldc, ctx);
+  } else {
+    gemm_serial(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, c, ldc, ctx);
+  }
 }
 
 }  // namespace
@@ -108,19 +144,30 @@ void dgemm(Layout layout, Trans trans_a, Trans trans_b, std::int64_t m, std::int
 
   if (layout == Layout::RowMajor) {
     // Row-major C = op(A) op(B) is column-major C^T = op(B)^T op(A)^T.
+    // The recursive call performs (and records) the actual work.
     dgemm(Layout::ColMajor, trans_b, trans_a, n, m, k, alpha, b, ldb, a, lda, beta, c, ldc,
           ctx);
     return;
   }
 
+  obs::GemmStats* stats = ctx.stats();
+  if (stats) {
+    obs::Tracer::Region region(stats->tracer(), 0, "dgemm");
+    Timer t;
+    scale_panel(c, ldc, m, n, beta);
+    const bool computed = k != 0 && alpha != 0.0;
+    if (computed) run_gemm(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, c, ldc, ctx);
+    const double flops =
+        computed ? 2.0 * static_cast<double>(m) * static_cast<double>(n) *
+                       static_cast<double>(k)
+                 : 0.0;
+    stats->slot(0).add_call(flops, t.seconds());
+    return;
+  }
+
   scale_panel(c, ldc, m, n, beta);
   if (k == 0 || alpha == 0.0) return;
-
-  if (ctx.threads() > 1 && m > ctx.block_sizes().mr) {
-    gemm_parallel(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, c, ldc, ctx);
-  } else {
-    gemm_serial(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, c, ldc, ctx);
-  }
+  run_gemm(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, c, ldc, ctx);
 }
 
 }  // namespace ag

@@ -19,6 +19,10 @@
 
 namespace ag {
 
+namespace obs {
+struct ThreadSlot;
+}
+
 /// Number of doubles a packed mc x kc A block occupies (mr-row padded).
 index_t packed_a_size(index_t mc, index_t kc, int mr);
 
@@ -40,5 +44,18 @@ void pack_b(Trans trans, const double* b, index_t ldb, index_t row0, index_t col
 void pack_b_slivers(Trans trans, const double* b, index_t ldb, index_t row0, index_t col0,
                     index_t kc, index_t nc, int nr, index_t sliver_begin, index_t sliver_end,
                     double* dst);
+
+/// Instrumented variants: identical packing, but when `slot` is non-null
+/// they additionally record one pack call, the bytes written into the
+/// packed buffer (padding included), and the elapsed time. The sliver
+/// variant records nothing for an empty range, so cooperative ranks that
+/// received no slivers do not inflate the call count.
+void pack_a(Trans trans, const double* a, index_t lda, index_t row0, index_t col0, index_t mc,
+            index_t kc, int mr, double* dst, obs::ThreadSlot* slot);
+void pack_b(Trans trans, const double* b, index_t ldb, index_t row0, index_t col0, index_t kc,
+            index_t nc, int nr, double* dst, obs::ThreadSlot* slot);
+void pack_b_slivers(Trans trans, const double* b, index_t ldb, index_t row0, index_t col0,
+                    index_t kc, index_t nc, int nr, index_t sliver_begin, index_t sliver_end,
+                    double* dst, obs::ThreadSlot* slot);
 
 }  // namespace ag

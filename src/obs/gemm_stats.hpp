@@ -1,0 +1,158 @@
+// Opt-in per-layer GEMM instrumentation (the measurement side of the
+// paper's Section III model).
+//
+// A GemmStats collector is attached to a Context; the dgemm driver then
+// records, per pool thread, how long each blocking layer ran and how many
+// bytes it moved: pack-A / pack-B time and bytes (layers 3/2), GEBP time
+// and register-kernel invocations (layers 4-7), C traffic, and barrier
+// wait. Totals aggregate race-free across threads because every counter
+// is a relaxed atomic in a cache-line-sized per-rank slot.
+//
+// Cost model: with no collector attached the hot path pays one pointer
+// test per *block* (not per kernel tile); compiling with
+// ARMGEMM_STATS_DISABLED folds even that away (Context::stats() becomes a
+// constant nullptr).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ag::obs {
+
+class Tracer;
+
+/// True when the library was compiled with stats hooks (the default);
+/// false under -DARMGEMM_STATS=OFF (ARMGEMM_STATS_DISABLED).
+inline constexpr bool stats_compiled_in =
+#ifdef ARMGEMM_STATS_DISABLED
+    false;
+#else
+    true;
+#endif
+
+/// One snapshot of the per-layer counters. Plain data: safe to copy,
+/// compare and serialize. Byte counts are bytes *written to / read from
+/// packed buffers and C*, i.e. the words W of Eq. (2) times 8.
+struct LayerCounters {
+  std::uint64_t gemm_calls = 0;
+  std::uint64_t pack_a_calls = 0;    // one per packed mc x kc block of A
+  std::uint64_t pack_b_calls = 0;    // one per pack_b / pack_b_slivers call
+  std::uint64_t gebp_calls = 0;      // one per GEBP block-panel multiply
+  std::uint64_t kernel_calls = 0;    // register-kernel (mr x nr tile) invocations
+  std::uint64_t pack_a_bytes = 0;    // bytes written into packed A buffers
+  std::uint64_t pack_b_bytes = 0;    // bytes written into packed B panels
+  std::uint64_t c_bytes = 0;         // C panel traffic: read + write per GEBP
+  double pack_a_seconds = 0;
+  double pack_b_seconds = 0;
+  double gebp_seconds = 0;
+  double barrier_seconds = 0;        // time ranks waited at the B-panel barrier
+  double total_seconds = 0;          // wall time inside dgemm (driver thread)
+  double flops = 0;                  // 2*m*n*k per call
+
+  LayerCounters& operator+=(const LayerCounters& o);
+
+  /// Bytes moved through all counted channels.
+  double total_bytes() const {
+    return static_cast<double>(pack_a_bytes + pack_b_bytes + c_bytes);
+  }
+  /// Effective compute-to-memory ratio gamma = F / W (Eq. 2), in
+  /// flops per 8-byte word across the counted traffic.
+  double gamma() const;
+  /// Achieved Gflops over the recorded wall time.
+  double gflops() const;
+  /// Time recorded outside pack/GEBP/barrier (loop overhead, beta-scale).
+  double other_seconds() const;
+
+  /// One JSON object with every field plus the derived metrics.
+  std::string to_json() const;
+};
+
+/// Cache-line-sized accumulator for one pool rank. All adds are relaxed
+/// atomics, so slots stay race-free even if two host threads ever share a
+/// rank (e.g. concurrent serial calls through one collector).
+struct alignas(64) ThreadSlot {
+  std::atomic<std::uint64_t> gemm_calls{0};
+  std::atomic<std::uint64_t> pack_a_calls{0};
+  std::atomic<std::uint64_t> pack_b_calls{0};
+  std::atomic<std::uint64_t> gebp_calls{0};
+  std::atomic<std::uint64_t> kernel_calls{0};
+  std::atomic<std::uint64_t> pack_a_bytes{0};
+  std::atomic<std::uint64_t> pack_b_bytes{0};
+  std::atomic<std::uint64_t> c_bytes{0};
+  std::atomic<double> pack_a_seconds{0};
+  std::atomic<double> pack_b_seconds{0};
+  std::atomic<double> gebp_seconds{0};
+  std::atomic<double> barrier_seconds{0};
+  std::atomic<double> total_seconds{0};
+  std::atomic<double> flops{0};
+
+  void add_pack_a(std::uint64_t bytes, double seconds);
+  void add_pack_b(std::uint64_t bytes, double seconds);
+  void add_gebp(std::uint64_t kernels, std::uint64_t bytes_c, double seconds);
+  void add_call(double fl, double seconds);
+  void add_barrier_wait(double seconds);
+
+  LayerCounters snapshot() const;
+  void reset();
+};
+static_assert(sizeof(ThreadSlot) <= 128, "keep one slot within two cache lines");
+
+/// The collector. Attach with Context::set_stats(&stats); detach with
+/// set_stats(nullptr) before destroying it. One collector may serve many
+/// sequential calls; reset() between phases to segment measurements.
+class GemmStats {
+ public:
+  static constexpr int kDefaultMaxThreads = 64;
+
+  explicit GemmStats(int max_threads = kDefaultMaxThreads);
+
+  /// Accumulator for a pool rank. Ranks beyond max_threads share the last
+  /// slot (counts stay exact; per-thread attribution saturates).
+  ThreadSlot& slot(int rank);
+
+  int max_threads() const { return static_cast<int>(slots_.size()); }
+
+  /// Zeroes every slot (not synchronized with in-flight recording).
+  void reset();
+
+  /// Sum of all per-thread slots.
+  LayerCounters totals() const;
+
+  /// Per-rank snapshots for ranks that recorded anything.
+  std::vector<LayerCounters> per_thread() const;
+
+  /// {"totals": {...}, "threads": [{...}, ...]}
+  std::string to_json() const;
+
+  /// Optional scoped-region tracer fed by the same instrumentation
+  /// points; null (default) disables region capture.
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+  Tracer* tracer() const { return tracer_; }
+
+ private:
+  std::vector<ThreadSlot> slots_;
+  Tracer* tracer_ = nullptr;
+};
+
+/// Accumulates the elapsed lifetime of the object into an atomic seconds
+/// counter; no-op when constructed with nullptr.
+class ScopedSeconds {
+ public:
+  explicit ScopedSeconds(std::atomic<double>* acc);
+  ~ScopedSeconds();
+
+  ScopedSeconds(const ScopedSeconds&) = delete;
+  ScopedSeconds& operator=(const ScopedSeconds&) = delete;
+
+ private:
+  std::atomic<double>* acc_;
+  double t0_ = 0;
+};
+
+/// Relaxed add for atomic doubles (CAS loop; fetch_add(double) is C++20
+/// but not yet universally lock-free-lowered).
+void atomic_add(std::atomic<double>& acc, double v);
+
+}  // namespace ag::obs

@@ -1,0 +1,124 @@
+#include "obs/report.hpp"
+
+#include <sstream>
+
+#include "obs/expected.hpp"
+
+namespace ag::obs {
+
+namespace {
+
+std::string human_bytes(double bytes) {
+  const char* unit = "B";
+  if (bytes >= 1e9) {
+    bytes /= 1e9;
+    unit = "GB";
+  } else if (bytes >= 1e6) {
+    bytes /= 1e6;
+    unit = "MB";
+  } else if (bytes >= 1e3) {
+    bytes /= 1e3;
+    unit = "KB";
+  }
+  return Table::fmt(bytes, 2) + " " + unit;
+}
+
+std::string bandwidth(double bytes, double seconds) {
+  if (seconds <= 0) return "-";
+  return Table::fmt(bytes / seconds / 1e9, 2) + " GB/s";
+}
+
+std::string share(double seconds, double total) {
+  if (total <= 0) return "-";
+  return Table::fmt_pct(seconds / total);
+}
+
+void compare_row(Table& t, const char* name, double measured, double model, int precision = 0) {
+  std::vector<std::string> row{name, Table::fmt(measured, precision),
+                               Table::fmt(model, precision)};
+  row.push_back(model != 0 ? Table::fmt_pct(measured / model - 1.0, 2) : "-");
+  t.add_row(std::move(row));
+}
+
+}  // namespace
+
+Table layer_breakdown_table(const LayerCounters& m) {
+  Table t({"layer", "time (s)", "share", "calls", "bytes", "bandwidth"});
+  const double total = m.total_seconds;
+  t.add_row({"pack-A (layer 3)", Table::fmt(m.pack_a_seconds, 6), share(m.pack_a_seconds, total),
+             Table::fmt_int(static_cast<long long>(m.pack_a_calls)),
+             human_bytes(static_cast<double>(m.pack_a_bytes)),
+             bandwidth(static_cast<double>(m.pack_a_bytes), m.pack_a_seconds)});
+  t.add_row({"pack-B (layer 2)", Table::fmt(m.pack_b_seconds, 6), share(m.pack_b_seconds, total),
+             Table::fmt_int(static_cast<long long>(m.pack_b_calls)),
+             human_bytes(static_cast<double>(m.pack_b_bytes)),
+             bandwidth(static_cast<double>(m.pack_b_bytes), m.pack_b_seconds)});
+  t.add_row({"GEBP (layers 4-7)", Table::fmt(m.gebp_seconds, 6), share(m.gebp_seconds, total),
+             Table::fmt_int(static_cast<long long>(m.gebp_calls)),
+             human_bytes(static_cast<double>(m.c_bytes)),
+             bandwidth(static_cast<double>(m.c_bytes), m.gebp_seconds)});
+  t.add_row({"barrier wait", Table::fmt(m.barrier_seconds, 6), share(m.barrier_seconds, total),
+             "-", "-", "-"});
+  t.add_row({"other (driver)", Table::fmt(m.other_seconds(), 6),
+             share(m.other_seconds(), total), "-", "-", "-"});
+  t.add_row({"total", Table::fmt(total, 6), "100.0%",
+             Table::fmt_int(static_cast<long long>(m.gemm_calls)),
+             human_bytes(m.total_bytes()), bandwidth(m.total_bytes(), total)});
+  return t;
+}
+
+Table measured_vs_model_table(const LayerCounters& measured, std::int64_t m, std::int64_t n,
+                              std::int64_t k, const BlockSizes& bs) {
+  const LayerCounters want = expected_gemm_counters(m, n, k, bs);
+  Table t({"counter", "measured", "model", "delta"});
+  compare_row(t, "pack_a_bytes", static_cast<double>(measured.pack_a_bytes),
+              static_cast<double>(want.pack_a_bytes));
+  compare_row(t, "pack_b_bytes", static_cast<double>(measured.pack_b_bytes),
+              static_cast<double>(want.pack_b_bytes));
+  compare_row(t, "c_bytes", static_cast<double>(measured.c_bytes),
+              static_cast<double>(want.c_bytes));
+  compare_row(t, "pack_a_calls", static_cast<double>(measured.pack_a_calls),
+              static_cast<double>(want.pack_a_calls));
+  compare_row(t, "gebp_calls", static_cast<double>(measured.gebp_calls),
+              static_cast<double>(want.gebp_calls));
+  compare_row(t, "kernel_calls", static_cast<double>(measured.kernel_calls),
+              static_cast<double>(want.kernel_calls));
+  compare_row(t, "flops", measured.flops, want.flops);
+  compare_row(t, "gamma (F/W, Eq. 2)", measured.gamma(), want.gamma(), 3);
+  return t;
+}
+
+std::string format_report(const LayerCounters& measured, std::int64_t m, std::int64_t n,
+                          std::int64_t k, const BlockSizes& bs, const ReportOptions& opts) {
+  std::ostringstream os;
+  os << "per-layer breakdown (" << m << "x" << n << "x" << k << ", blocks "
+     << bs.mr << "x" << bs.nr << ", kc=" << bs.kc << ", mc=" << bs.mc << ", nc=" << bs.nc
+     << "):\n";
+  os << layer_breakdown_table(measured).to_text();
+  os << "\nmeasured vs blocking-arithmetic model:\n";
+  os << measured_vs_model_table(measured, m, n, k, bs).to_text();
+
+  os << "\nperf-model ratios: gamma_gess (Eq. 14) = "
+     << Table::fmt(model::gamma_gess(bs.mr, bs.nr, bs.kc), 3)
+     << ", gamma_gebp (Eq. 16) = "
+     << Table::fmt(model::gamma_gebp(bs.mr, bs.nr, bs.kc, bs.mc), 3)
+     << ", measured effective gamma = " << Table::fmt(measured.gamma(), 3) << "\n";
+  os << "achieved: " << Table::fmt(measured.gflops(), 3) << " Gflops in "
+     << Table::fmt(measured.total_seconds, 6) << " s\n";
+
+  if (opts.peak_gflops > 0) {
+    const double eff = measured.gflops() / opts.peak_gflops;
+    const double gamma_model = model::gamma_gebp(bs.mr, bs.nr, bs.kc, bs.mc);
+    const double bound_flops =
+        model::perf_lower_bound(gamma_model, opts.cost, opts.psi_c);
+    // perf_lower_bound is per core; peak per core is 1/mu, so the model's
+    // efficiency bound is simply bound * mu.
+    os << "efficiency: measured " << Table::fmt_pct(eff) << " of "
+       << Table::fmt(opts.peak_gflops, 2) << " Gflops peak; Eq. (6) model bound "
+       << Table::fmt_pct(bound_flops * opts.cost.mu) << " ("
+       << Table::fmt(bound_flops * 1e-9, 2) << " Gflops/core)\n";
+  }
+  return os.str();
+}
+
+}  // namespace ag::obs

@@ -1,0 +1,43 @@
+// Measured-vs-model reporting on top of GemmStats: render the per-layer
+// breakdown a collector recorded, next to what the blocking arithmetic
+// (obs::expected_gemm_counters) and the paper's Section III performance
+// model (model/perf_model) predict for the same problem. Shared by
+// bench/native_dgemm and the fig11/fig12 reproductions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/table.hpp"
+#include "core/block_sizes.hpp"
+#include "model/perf_model.hpp"
+#include "obs/gemm_stats.hpp"
+
+namespace ag::obs {
+
+struct ReportOptions {
+  /// Machine peak in Gflops for the thread count used; > 0 adds measured
+  /// and model efficiency lines.
+  double peak_gflops = 0;
+  /// Cost parameters for the Eq. (6) performance bound; used only when
+  /// peak_gflops > 0.
+  model::CostParams cost;
+  double psi_c = 1.0;
+};
+
+/// Measured per-layer table: time, share of wall time, bytes, bandwidth.
+Table layer_breakdown_table(const LayerCounters& measured);
+
+/// Counter-by-counter comparison of a measurement against the blocking
+/// arithmetic for an m x n x k problem, plus the gamma ratios of
+/// Eqs. (14)/(16). "model" cells are exact predictions; "delta" is
+/// measured/model - 1.
+Table measured_vs_model_table(const LayerCounters& measured, std::int64_t m, std::int64_t n,
+                              std::int64_t k, const BlockSizes& bs);
+
+/// Both tables plus the derived efficiency summary, ready to print.
+std::string format_report(const LayerCounters& measured, std::int64_t m, std::int64_t n,
+                          std::int64_t k, const BlockSizes& bs,
+                          const ReportOptions& opts = {});
+
+}  // namespace ag::obs

@@ -1,0 +1,111 @@
+#include "obs/tracer.hpp"
+
+#include <chrono>
+#include <ostream>
+#include <sstream>
+
+namespace ag::obs {
+
+namespace {
+
+double steady_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void json_escape(std::ostream& os, const char* s) {
+  for (; *s; ++s) {
+    if (*s == '"' || *s == '\\') os << '\\';
+    os << *s;
+  }
+}
+
+}  // namespace
+
+Tracer::Tracer(int max_threads, std::size_t max_events_per_lane)
+    : lanes_(static_cast<std::size_t>(max_threads < 1 ? 1 : max_threads)),
+      max_events_per_lane_(max_events_per_lane),
+      epoch_(steady_seconds()) {}
+
+Tracer::Lane& Tracer::lane(int rank) {
+  std::size_t i = rank < 0 ? 0 : static_cast<std::size_t>(rank);
+  if (i >= lanes_.size()) i = lanes_.size() - 1;
+  return lanes_[i];
+}
+
+double Tracer::now() const { return steady_seconds() - epoch_; }
+
+void Tracer::record(int rank, const char* name, double t0, double dur) {
+  Lane& l = lane(rank);
+  std::lock_guard lock(l.mutex);
+  if (l.events.size() >= max_events_per_lane_) {
+    ++l.dropped;
+    return;
+  }
+  if (l.events.capacity() == 0) l.events.reserve(256);
+  l.events.push_back(Event{name, t0, dur});
+}
+
+Tracer::Region::Region(Tracer* tracer, int rank, const char* name)
+    : tracer_(tracer), rank_(rank), name_(name) {
+  if (tracer_) t0_ = tracer_->now();
+}
+
+Tracer::Region::~Region() {
+  if (tracer_) tracer_->record(rank_, name_, t0_, tracer_->now() - t0_);
+}
+
+std::size_t Tracer::event_count() const {
+  std::size_t n = 0;
+  for (const auto& l : lanes_) {
+    std::lock_guard lock(l.mutex);
+    n += l.events.size();
+  }
+  return n;
+}
+
+std::size_t Tracer::dropped_events() const {
+  std::size_t n = 0;
+  for (const auto& l : lanes_) {
+    std::lock_guard lock(l.mutex);
+    n += l.dropped;
+  }
+  return n;
+}
+
+void Tracer::clear() {
+  for (auto& l : lanes_) {
+    std::lock_guard lock(l.mutex);
+    l.events.clear();
+    l.dropped = 0;
+  }
+  epoch_ = steady_seconds();
+}
+
+void Tracer::write_json(std::ostream& os) const {
+  os << "[";
+  bool first = true;
+  for (std::size_t rank = 0; rank < lanes_.size(); ++rank) {
+    const Lane& l = lanes_[rank];
+    std::lock_guard lock(l.mutex);
+    for (const Event& e : l.events) {
+      if (!first) os << ",\n";
+      first = false;
+      os << "{\"name\":\"";
+      json_escape(os, e.name);
+      os << "\",\"ph\":\"X\",\"pid\":0,\"tid\":" << rank << ",\"ts\":" << e.t0 * 1e6
+         << ",\"dur\":" << e.dur * 1e6 << "}";
+    }
+  }
+  os << "]";
+}
+
+std::string Tracer::to_json() const {
+  std::ostringstream os;
+  os.precision(9);
+  write_json(os);
+  return os.str();
+}
+
+}  // namespace ag::obs

@@ -1,0 +1,81 @@
+// Scoped-region tracer: records named (begin, duration) intervals per
+// pool rank and emits them as a Chrome trace-event JSON array
+// (chrome://tracing / Perfetto "X" complete events, microsecond units).
+//
+// Designed for block-granular regions (one pack or GEBP call each, never
+// per kernel tile), so a mutex per rank lane is cheap relative to the
+// region bodies. Region names must be string literals or otherwise
+// outlive the tracer — they are stored as pointers, not copied.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ag::obs {
+
+class Tracer {
+ public:
+  /// `max_threads` lanes; events from higher ranks land in the last lane.
+  /// `max_events_per_lane` bounds memory: once a lane is full further
+  /// events are counted (dropped_events) but not stored.
+  explicit Tracer(int max_threads = 64, std::size_t max_events_per_lane = 1 << 16);
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Records one region on `rank` starting `t0` seconds after the tracer
+  /// epoch (construction or last clear()) and lasting `dur` seconds.
+  void record(int rank, const char* name, double t0, double dur);
+
+  /// Seconds since the tracer epoch, for callers timing regions manually.
+  double now() const;
+
+  /// RAII region: times construction-to-destruction and records it.
+  class Region {
+   public:
+    Region(Tracer* tracer, int rank, const char* name);
+    ~Region();
+    Region(const Region&) = delete;
+    Region& operator=(const Region&) = delete;
+
+   private:
+    Tracer* tracer_;
+    int rank_;
+    const char* name_;
+    double t0_ = 0;
+  };
+
+  std::size_t event_count() const;
+  std::size_t dropped_events() const;
+
+  /// Drops all recorded events and restarts the epoch.
+  void clear();
+
+  /// Chrome trace-event JSON: [{"name":...,"ph":"X","pid":0,"tid":rank,
+  /// "ts":micros,"dur":micros}, ...].
+  void write_json(std::ostream& os) const;
+  std::string to_json() const;
+
+ private:
+  struct Event {
+    const char* name;
+    double t0;
+    double dur;
+  };
+  struct Lane {
+    mutable std::mutex mutex;
+    std::vector<Event> events;
+    std::size_t dropped = 0;
+  };
+
+  Lane& lane(int rank);
+
+  std::vector<Lane> lanes_;
+  std::size_t max_events_per_lane_;
+  double epoch_;
+};
+
+}  // namespace ag::obs

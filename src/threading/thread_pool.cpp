@@ -1,9 +1,30 @@
 #include "threading/thread_pool.hpp"
 
+#include <chrono>
+
 #include "common/check.hpp"
 #include "common/math_util.hpp"
 
 namespace ag {
+
+void Barrier::arrive_and_wait(double* wait_seconds) {
+  const auto t0 = wait_seconds ? std::chrono::steady_clock::now()
+                               : std::chrono::steady_clock::time_point{};
+  {
+    std::unique_lock lock(mutex_);
+    const std::uint64_t gen = generation_;
+    if (++arrived_ == parties_) {
+      arrived_ = 0;
+      ++generation_;
+      cv_.notify_all();
+    } else {
+      cv_.wait(lock, [&] { return generation_ != gen; });
+    }
+  }
+  if (wait_seconds)
+    *wait_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
 
 ThreadPool::ThreadPool(int num_threads) : num_threads_(num_threads) {
   AG_CHECK_MSG(num_threads >= 1, "thread pool needs >= 1 thread, got " << num_threads);

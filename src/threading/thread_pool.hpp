@@ -54,17 +54,12 @@ class Barrier {
  public:
   explicit Barrier(int parties) : parties_(parties) {}
 
-  void arrive_and_wait() {
-    std::unique_lock lock(mutex_);
-    const std::uint64_t gen = generation_;
-    if (++arrived_ == parties_) {
-      arrived_ = 0;
-      ++generation_;
-      cv_.notify_all();
-    } else {
-      cv_.wait(lock, [&] { return generation_ != gen; });
-    }
-  }
+  void arrive_and_wait() { arrive_and_wait(nullptr); }
+
+  /// As arrive_and_wait(), but when `wait_seconds` is non-null adds the
+  /// time this rank spent blocked (arrival to release) to it — the
+  /// load-imbalance signal the per-layer stats report as barrier wait.
+  void arrive_and_wait(double* wait_seconds);
 
  private:
   int parties_;

@@ -1,0 +1,157 @@
+// CBLAS C API edge cases: degenerate sizes, the beta == 0 "overwrite, do
+// not read" contract with NaN/Inf garbage in C, and RowMajor/transpose
+// combinations cross-checked against the equivalent ColMajor call.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "capi/armgemm_cblas.h"
+#include "common/rng.hpp"
+
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+std::vector<double> random_buffer(std::size_t count, std::uint64_t seed) {
+  ag::Xoshiro256 rng(seed);
+  std::vector<double> v(count);
+  for (auto& x : v) x = rng.uniform(-1.0, 1.0);
+  return v;
+}
+
+TEST(CapiEdge, DegenerateSizesLeaveCUntouchedOrScaled) {
+  // m == 0 or n == 0: no element of C is referenced at all.
+  std::vector<double> a(4, kNaN), b(4, kNaN);
+  std::vector<double> c = {1.0, 2.0, 3.0, 4.0};
+  cblas_dgemm(CblasColMajor, CblasNoTrans, CblasNoTrans, 0, 2, 1, 1.0, a.data(), 1, b.data(),
+              1, 2.0, c.data(), 1);
+  cblas_dgemm(CblasColMajor, CblasNoTrans, CblasNoTrans, 2, 0, 1, 1.0, a.data(), 2, b.data(),
+              1, 2.0, c.data(), 2);
+  EXPECT_EQ(c, (std::vector<double>{1.0, 2.0, 3.0, 4.0}));
+
+  // k == 0: C := beta * C, with A and B never referenced.
+  cblas_dgemm(CblasColMajor, CblasNoTrans, CblasNoTrans, 2, 2, 0, 1.0, a.data(), 2, b.data(),
+              1, 0.5, c.data(), 2);
+  EXPECT_EQ(c, (std::vector<double>{0.5, 1.0, 1.5, 2.0}));
+
+  // alpha == 0 with k > 0: A and B may hold anything, C := beta * C.
+  cblas_dgemm(CblasColMajor, CblasNoTrans, CblasNoTrans, 2, 2, 1, 0.0, a.data(), 2, b.data(),
+              1, 2.0, c.data(), 2);
+  EXPECT_EQ(c, (std::vector<double>{1.0, 2.0, 3.0, 4.0}));
+}
+
+TEST(CapiEdge, BetaZeroOverwritesNaNAndInfInC) {
+  const int m = 17, n = 13, k = 9;
+  auto a = random_buffer(static_cast<std::size_t>(m) * k, 1);
+  auto b = random_buffer(static_cast<std::size_t>(k) * n, 2);
+
+  // Expected value from a C initialized to zero with beta = 1.
+  std::vector<double> want(static_cast<std::size_t>(m) * n, 0.0);
+  cblas_dgemm(CblasColMajor, CblasNoTrans, CblasNoTrans, m, n, k, 1.0, a.data(), m, b.data(),
+              k, 1.0, want.data(), m);
+
+  // beta = 0 must fully overwrite a C poisoned with NaN and Inf — if any
+  // path reads C first (0 * NaN = NaN), the result is poisoned.
+  std::vector<double> c(static_cast<std::size_t>(m) * n);
+  for (std::size_t i = 0; i < c.size(); ++i) c[i] = (i % 2) ? kNaN : kInf;
+  cblas_dgemm(CblasColMajor, CblasNoTrans, CblasNoTrans, m, n, k, 1.0, a.data(), m, b.data(),
+              k, 0.0, c.data(), m);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    ASSERT_TRUE(std::isfinite(c[i])) << "C[" << i << "] = " << c[i];
+    ASSERT_DOUBLE_EQ(c[i], want[i]) << i;
+  }
+
+  // Same contract for alpha == 0 && beta == 0: C := 0 exactly.
+  for (std::size_t i = 0; i < c.size(); ++i) c[i] = (i % 2) ? kNaN : kInf;
+  cblas_dgemm(CblasColMajor, CblasNoTrans, CblasNoTrans, m, n, k, 0.0, a.data(), m, b.data(),
+              k, 0.0, c.data(), m);
+  for (std::size_t i = 0; i < c.size(); ++i) ASSERT_EQ(c[i], 0.0) << i;
+
+  // And for k == 0 && beta == 0.
+  for (std::size_t i = 0; i < c.size(); ++i) c[i] = (i % 2) ? kNaN : kInf;
+  cblas_dgemm(CblasColMajor, CblasNoTrans, CblasNoTrans, m, n, 0, 1.0, a.data(), m, b.data(),
+              k > 0 ? k : 1, 0.0, c.data(), m);
+  for (std::size_t i = 0; i < c.size(); ++i) ASSERT_EQ(c[i], 0.0) << i;
+}
+
+// Every RowMajor transpose combination must agree with the ColMajor call
+// on explicitly transposed data. Row-major X (r x c, ld = c) holds the
+// same bytes as column-major X^T (c x r, ld = c), so we compute in both
+// conventions and compare C element by element.
+class CapiRowMajorCross : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(CapiRowMajorCross, MatchesColMajor) {
+  const bool trans_a = GetParam().first != 0;
+  const bool trans_b = GetParam().second != 0;
+  const int m = 19, n = 11, k = 7;
+  const double alpha = 1.25, beta = -0.5;
+
+  const int a_rows = trans_a ? k : m, a_cols = trans_a ? m : k;
+  const int b_rows = trans_b ? n : k, b_cols = trans_b ? k : n;
+
+  // Row-major operands, ld == logical column count.
+  auto a = random_buffer(static_cast<std::size_t>(a_rows) * a_cols, 11);
+  auto b = random_buffer(static_cast<std::size_t>(b_rows) * b_cols, 12);
+  auto c0 = random_buffer(static_cast<std::size_t>(m) * n, 13);
+
+  std::vector<double> c_row = c0;
+  cblas_dgemm(CblasRowMajor, trans_a ? CblasTrans : CblasNoTrans,
+              trans_b ? CblasTrans : CblasNoTrans, m, n, k, alpha, a.data(), a_cols, b.data(),
+              b_cols, beta, c_row.data(), n);
+
+  // The same buffers read as column-major are the transposed matrices, so
+  // the ColMajor call computes C^T = alpha op(B)^T op(A)^T + beta C^T.
+  std::vector<double> c_col = c0;  // row-major C == col-major C^T (n x m, ld n)
+  cblas_dgemm(CblasColMajor, trans_b ? CblasTrans : CblasNoTrans,
+              trans_a ? CblasTrans : CblasNoTrans, n, m, k, alpha, b.data(), b_cols, a.data(),
+              a_cols, beta, c_col.data(), n);
+
+  for (std::size_t i = 0; i < c_row.size(); ++i)
+    ASSERT_DOUBLE_EQ(c_row[i], c_col[i]) << "flat index " << i;
+
+  // ConjTrans must behave exactly like Trans for the real-valued routine.
+  if (trans_a || trans_b) {
+    std::vector<double> c_conj = c0;
+    cblas_dgemm(CblasRowMajor, trans_a ? CblasConjTrans : CblasNoTrans,
+                trans_b ? CblasConjTrans : CblasNoTrans, m, n, k, alpha, a.data(), a_cols,
+                b.data(), b_cols, beta, c_conj.data(), n);
+    EXPECT_EQ(c_conj, c_row);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTransCombos, CapiRowMajorCross,
+                         ::testing::Values(std::pair<int, int>{0, 0}, std::pair<int, int>{0, 1},
+                                           std::pair<int, int>{1, 0},
+                                           std::pair<int, int>{1, 1}));
+
+TEST(CapiEdge, RowMajorBetaZeroWithPoisonedC) {
+  const int m = 9, n = 15, k = 5;
+  auto a = random_buffer(static_cast<std::size_t>(m) * k, 21);
+  auto b = random_buffer(static_cast<std::size_t>(k) * n, 22);
+
+  std::vector<double> want(static_cast<std::size_t>(m) * n, 0.0);
+  cblas_dgemm(CblasRowMajor, CblasNoTrans, CblasNoTrans, m, n, k, 1.0, a.data(), k, b.data(),
+              n, 1.0, want.data(), n);
+
+  std::vector<double> c(static_cast<std::size_t>(m) * n, kNaN);
+  cblas_dgemm(CblasRowMajor, CblasNoTrans, CblasNoTrans, m, n, k, 1.0, a.data(), k, b.data(),
+              n, 0.0, c.data(), n);
+  for (std::size_t i = 0; i < c.size(); ++i) ASSERT_DOUBLE_EQ(c[i], want[i]) << i;
+}
+
+TEST(CapiEdge, SetNumThreadsIgnoresInvalidValues) {
+  const int before = armgemm_get_num_threads();
+  armgemm_set_num_threads(0);
+  EXPECT_EQ(armgemm_get_num_threads(), before);
+  armgemm_set_num_threads(-3);
+  EXPECT_EQ(armgemm_get_num_threads(), before);
+  armgemm_set_num_threads(2);
+  EXPECT_EQ(armgemm_get_num_threads(), 2);
+  armgemm_set_num_threads(before);
+  EXPECT_EQ(armgemm_get_num_threads(), before);
+}
+
+}  // namespace

@@ -2,13 +2,19 @@
 // (the "batched GEMM" usage pattern) must be correct both when each
 // caller has its own Context and when they share one read-only serial
 // Context (per-call scratch buffers make the serial path reentrant).
+// The *SetThreads* stress cases additionally race thread-count
+// reconfiguration (Context::set_threads on per-thread contexts,
+// armgemm_set_num_threads on the process-global C API state) against
+// in-flight dgemm calls; run them under -DAG_SANITIZE=thread.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <thread>
 #include <vector>
 
 #include "blas/compare.hpp"
 #include "blas/reference_gemm.hpp"
+#include "capi/armgemm_cblas.h"
 #include "common/matrix.hpp"
 #include "core/gemm.hpp"
 
@@ -57,6 +63,77 @@ TEST(ConcurrentGemm, SharedSerialContext) {
     });
   }
   for (auto& w : workers) w.join();
+  for (const auto& p : problems) verify(p);
+}
+
+// Each host thread owns a Context and keeps flipping its thread count
+// between dgemm calls while its siblings are mid-flight on theirs: pool
+// teardown/recreation in one context must never perturb another.
+TEST(ConcurrentGemm, SetThreadsRacingInFlightCallsOnSeparateContexts) {
+  constexpr int kThreads = 4;
+  constexpr int kReps = 8;
+  std::vector<Problem> problems;
+  for (int i = 0; i < kThreads; ++i)
+    problems.push_back(make_problem(120 + 8 * i, 72 + 6 * i, 48 + 4 * i, 3000 + 10 * i));
+
+  std::vector<std::thread> workers;
+  for (int i = 0; i < kThreads; ++i) {
+    workers.emplace_back([&problems, i] {
+      ag::Context ctx(ag::KernelShape{8, 6}, 1);
+      auto& p = problems[static_cast<std::size_t>(i)];
+      for (int rep = 0; rep < kReps; ++rep) {
+        ctx.set_threads(1 + (rep + i) % 3);  // 1, 2, 3 threads in rotation
+        Matrix<double> c(p.c_ref);
+        ag::dgemm(ag::Layout::ColMajor, ag::Trans::NoTrans, ag::Trans::NoTrans, p.m, p.n, p.k,
+                  1.0, p.a.data(), p.a.ld(), p.b.data(), p.b.ld(), 1.0, c.data(), c.ld(), ctx);
+        p.c = std::move(c);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  for (const auto& p : problems) verify(p);
+}
+
+// armgemm_set_num_threads mutates process-global state while cblas_dgemm
+// calls are in flight on other host threads. Each caller owns a
+// thread-local context, so the new count may only be observed between
+// calls — results must stay correct throughout and TSan must stay quiet.
+TEST(ConcurrentGemm, CapiSetNumThreadsRacingInFlightCalls) {
+  constexpr int kWorkers = 3;
+  constexpr int kReps = 10;
+  const int threads_before = armgemm_get_num_threads();
+  std::vector<Problem> problems;
+  for (int i = 0; i < kWorkers; ++i)
+    problems.push_back(make_problem(100 + 9 * i, 80 + 7 * i, 56 + 5 * i, 4000 + 10 * i));
+
+  std::atomic<bool> stop{false};
+  std::thread controller([&stop] {
+    int t = 1;
+    while (!stop.load()) {
+      armgemm_set_num_threads(1 + t % 4);
+      ++t;
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> workers;
+  for (int i = 0; i < kWorkers; ++i) {
+    workers.emplace_back([&problems, i] {
+      auto& p = problems[static_cast<std::size_t>(i)];
+      for (int rep = 0; rep < kReps; ++rep) {
+        Matrix<double> c(p.c_ref);
+        cblas_dgemm(CblasColMajor, CblasNoTrans, CblasNoTrans, static_cast<int>(p.m),
+                    static_cast<int>(p.n), static_cast<int>(p.k), 1.0, p.a.data(),
+                    static_cast<int>(p.a.ld()), p.b.data(), static_cast<int>(p.b.ld()), 1.0,
+                    c.data(), static_cast<int>(c.ld()));
+        p.c = std::move(c);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  stop.store(true);
+  controller.join();
+  armgemm_set_num_threads(threads_before);
   for (const auto& p : problems) verify(p);
 }
 

@@ -1,0 +1,194 @@
+// Randomized property/fuzz pass over the optimized dgemm.
+//
+// Each iteration draws a random problem — m/n/k including 0 and 1, all
+// four transpose combinations, both storage layouts, alpha/beta from
+// {0, 1, -1, random}, odd leading-dimension padding, serial and parallel
+// contexts across kernel shapes — and checks the optimized result against
+// reference_dgemm elementwise with a Higham-style backward-error bound:
+//
+//   |Copt - Cref|_ij <= 2 * gamma_{k+2} * (|alpha| (|opA||opB|)_ij
+//                                          + |beta C0|_ij),
+//   gamma_n = n*u / (1 - n*u)   (Higham, ASNA 2e, Ch. 3),
+//
+// i.e. both results lie within the error of *some* correctly rounded
+// summation order, so their distance is at most twice that radius — no
+// fixed epsilon anywhere. Out-of-bounds reads are caught by poisoning
+// every padding element (beyond the logical rows/cols and in the ld gap)
+// with NaN: one stray load poisons the result and trips the bound.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+#include "blas/reference_gemm.hpp"
+#include "common/rng.hpp"
+#include "core/gemm.hpp"
+
+using ag::index_t;
+using ag::Layout;
+using ag::Trans;
+
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+/// A stored matrix in either layout with padded leading dimension; every
+/// element not in the logical rows x cols region is NaN.
+struct Operand {
+  std::vector<double> data;
+  index_t rows = 0, cols = 0, ld = 0;
+  Layout layout = Layout::ColMajor;
+
+  double& at(index_t i, index_t j) {
+    return layout == Layout::ColMajor ? data[static_cast<std::size_t>(i + j * ld)]
+                                      : data[static_cast<std::size_t>(i * ld + j)];
+  }
+  double at(index_t i, index_t j) const {
+    return layout == Layout::ColMajor ? data[static_cast<std::size_t>(i + j * ld)]
+                                      : data[static_cast<std::size_t>(i * ld + j)];
+  }
+};
+
+Operand make_operand(Layout layout, index_t rows, index_t cols, index_t pad,
+                     ag::Xoshiro256& rng) {
+  Operand op;
+  op.layout = layout;
+  op.rows = rows;
+  op.cols = cols;
+  const index_t minor = layout == Layout::ColMajor ? rows : cols;
+  const index_t major = layout == Layout::ColMajor ? cols : rows;
+  op.ld = std::max<index_t>(minor + pad, 1);
+  op.data.assign(static_cast<std::size_t>(op.ld * std::max<index_t>(major, 1)), kNaN);
+  for (index_t i = 0; i < rows; ++i)
+    for (index_t j = 0; j < cols; ++j) op.at(i, j) = rng.uniform(-1.0, 1.0);
+  return op;
+}
+
+Operand abs_of(const Operand& src) {
+  Operand op = src;
+  for (index_t i = 0; i < op.rows; ++i)
+    for (index_t j = 0; j < op.cols; ++j) op.at(i, j) = std::fabs(src.at(i, j));
+  return op;
+}
+
+double pick_scalar(ag::Xoshiro256& rng) {
+  switch (rng.next_below(4)) {
+    case 0: return 0.0;
+    case 1: return 1.0;
+    case 2: return -1.0;
+    default: return rng.uniform(-2.0, 2.0);
+  }
+}
+
+/// gamma_n = n*u/(1 - n*u): the relative error accrued by n rounded ops.
+double higham_gamma(std::int64_t n) {
+  const double u = std::numeric_limits<double>::epsilon() / 2.0;
+  const double nu = static_cast<double>(n) * u;
+  return nu / (1.0 - nu);
+}
+
+TEST(GemmFuzz, RandomizedAgainstReferenceWithBackwardErrorBound) {
+  ag::Xoshiro256 rng(0xf00df00d);
+  const index_t dims[] = {0, 1, 2, 3, 5, 7, 8, 9, 13, 16, 17, 24, 31, 33, 48, 57, 64};
+  const index_t ndims = static_cast<index_t>(sizeof(dims) / sizeof(dims[0]));
+  const index_t pads[] = {0, 1, 3, 7};
+
+  // Contexts are reused so the fuzz loop doesn't rebuild thread pools.
+  ag::Context contexts[] = {
+      ag::Context(ag::KernelShape{8, 6}, 1), ag::Context(ag::KernelShape{8, 4}, 1),
+      ag::Context(ag::KernelShape{4, 4}, 1), ag::Context(ag::KernelShape{8, 6}, 2),
+      ag::Context(ag::KernelShape{8, 6}, 4)};
+  const int ncontexts = static_cast<int>(sizeof(contexts) / sizeof(contexts[0]));
+
+  int checked_elements = 0;
+  for (int iter = 0; iter < 220; ++iter) {
+    const index_t m = dims[rng.next_below(ndims)];
+    const index_t n = dims[rng.next_below(ndims)];
+    const index_t k = dims[rng.next_below(ndims)];
+    const Trans ta = rng.next_below(2) ? Trans::Trans : Trans::NoTrans;
+    const Trans tb = rng.next_below(2) ? Trans::Trans : Trans::NoTrans;
+    const Layout layout = rng.next_below(2) ? Layout::RowMajor : Layout::ColMajor;
+    const double alpha = pick_scalar(rng);
+    const double beta = pick_scalar(rng);
+    const ag::Context& ctx = contexts[rng.next_below(ncontexts)];
+
+    const index_t a_rows = ta == Trans::NoTrans ? m : k;
+    const index_t a_cols = ta == Trans::NoTrans ? k : m;
+    const index_t b_rows = tb == Trans::NoTrans ? k : n;
+    const index_t b_cols = tb == Trans::NoTrans ? n : k;
+
+    Operand a = make_operand(layout, a_rows, a_cols, pads[rng.next_below(4)], rng);
+    Operand b = make_operand(layout, b_rows, b_cols, pads[rng.next_below(4)], rng);
+    Operand c0 = make_operand(layout, m, n, pads[rng.next_below(4)], rng);
+
+    Operand c_ref = c0;
+    ag::reference_dgemm(layout, ta, tb, m, n, k, alpha, a.data.data(), a.ld, b.data.data(),
+                        b.ld, beta, c_ref.data.data(), c_ref.ld);
+
+    Operand c_opt = c0;
+    ag::dgemm(layout, ta, tb, m, n, k, alpha, a.data.data(), a.ld, b.data.data(), b.ld, beta,
+              c_opt.data.data(), c_opt.ld, ctx);
+
+    // |opA| |opB|, the matrix the componentwise bound scales with.
+    Operand p = make_operand(layout, m, n, 0, rng);
+    Operand a_abs = abs_of(a), b_abs = abs_of(b);
+    ag::reference_dgemm(layout, ta, tb, m, n, k, 1.0, a_abs.data.data(), a_abs.ld,
+                        b_abs.data.data(), b_abs.ld, 0.0, p.data.data(), p.ld);
+
+    const double g = higham_gamma(k + 2);
+    std::ostringstream what;
+    what << "iter " << iter << ": " << m << "x" << n << "x" << k << " "
+         << ag::to_string(ta) << ag::to_string(tb) << " " << ag::to_string(layout)
+         << " alpha=" << alpha << " beta=" << beta << " lda=" << a.ld << " ldb=" << b.ld
+         << " ldc=" << c_opt.ld;
+    for (index_t j = 0; j < n; ++j) {
+      for (index_t i = 0; i < m; ++i) {
+        const double ref = c_ref.at(i, j);
+        const double opt = c_opt.at(i, j);
+        ASSERT_FALSE(std::isnan(opt)) << what.str() << " C(" << i << "," << j
+                                      << ") is NaN: stray read of poisoned padding?";
+        const double bound =
+            2.0 * g * (std::fabs(alpha) * p.at(i, j) + std::fabs(beta * c0.at(i, j)));
+        ASSERT_LE(std::fabs(opt - ref), bound)
+            << what.str() << " C(" << i << "," << j << ") opt=" << opt << " ref=" << ref;
+        ++checked_elements;
+      }
+    }
+
+    // Padding in C (both the ld gap and everything outside m x n) must
+    // never be written: it still holds the NaNs we planted.
+    for (std::size_t idx = 0; idx < c_opt.data.size(); ++idx) {
+      if (std::isnan(c0.data[idx])) {
+        ASSERT_TRUE(std::isnan(c_opt.data[idx]))
+            << what.str() << " wrote to padding at flat index " << idx;
+      }
+    }
+  }
+  // Make sure the generator actually produced nontrivial work.
+  EXPECT_GT(checked_elements, 50000);
+}
+
+TEST(GemmFuzz, ZeroDimensionedProblemsAreNoOps) {
+  ag::Xoshiro256 rng(42);
+  ag::Context ctx(ag::KernelShape{8, 6}, 1);
+  const index_t cases[][3] = {{0, 5, 3}, {5, 0, 3}, {5, 3, 0}, {0, 0, 0}, {1, 1, 0}};
+  for (const auto& shape : cases) {
+    const index_t m = shape[0], n = shape[1], k = shape[2];
+    Operand a = make_operand(Layout::ColMajor, m, k, 1, rng);
+    Operand b = make_operand(Layout::ColMajor, k, n, 1, rng);
+    Operand c0 = make_operand(Layout::ColMajor, m, n, 1, rng);
+    Operand c_ref = c0, c_opt = c0;
+    ag::reference_dgemm(Layout::ColMajor, Trans::NoTrans, Trans::NoTrans, m, n, k, 1.5,
+                        a.data.data(), a.ld, b.data.data(), b.ld, 0.5, c_ref.data.data(),
+                        c_ref.ld);
+    ag::dgemm(Layout::ColMajor, Trans::NoTrans, Trans::NoTrans, m, n, k, 1.5, a.data.data(),
+              a.ld, b.data.data(), b.ld, 0.5, c_opt.data.data(), c_opt.ld, ctx);
+    for (index_t j = 0; j < n; ++j)
+      for (index_t i = 0; i < m; ++i) ASSERT_EQ(c_ref.at(i, j), c_opt.at(i, j));
+  }
+}
+
+}  // namespace
