@@ -10,8 +10,12 @@
 #include "blas/reference_gemm.hpp"
 #include "common/matrix.hpp"
 #include "core/gemm.hpp"
+#include "model/machine.hpp"
+#include "obs/calibrate.hpp"
 #include "obs/gemm_stats.hpp"
+#include "obs/pmu.hpp"
 #include "obs/report.hpp"
+#include "sim/trace.hpp"
 
 namespace {
 
@@ -46,25 +50,43 @@ void bench_blocked_reference(benchmark::State& state) {
       benchmark::Counter::kIsIterationInvariantRate, benchmark::Counter::kIs1000);
 }
 
-// One instrumented pass per configuration: attach a GemmStats collector,
-// rerun the dgemm, and print the per-layer breakdown next to the blocking
-// arithmetic and the Section III gamma ratios.
-void print_stats_report(ag::KernelShape shape, int threads, ag::index_t n) {
+// One instrumented pass per configuration: attach a GemmStats collector
+// plus a PMU collector, rerun the dgemm, and print the per-layer
+// breakdown next to the blocking arithmetic and the Section III gamma
+// ratios, followed by the hardware-counter section cross-validated
+// against the cache simulator and the calibrated roofline.
+void print_stats_report(ag::KernelShape shape, int threads, ag::index_t n,
+                        const ag::obs::CalibrationResult& cal) {
   auto a = ag::random_matrix(n, n, 1);
   auto b = ag::random_matrix(n, n, 2);
   auto c = ag::random_matrix(n, n, 3);
   ag::Context ctx(shape, threads);
   ag::obs::GemmStats stats;
+  ag::obs::PmuCollector pmu;
+  stats.set_pmu(&pmu);
   ctx.set_stats(&stats);
   // Warm-up untimed, then one recorded call.
   ag::dgemm(ag::Layout::ColMajor, ag::Trans::NoTrans, ag::Trans::NoTrans, n, n, n, 1.0,
             a.data(), a.ld(), b.data(), b.ld(), 1.0, c.data(), c.ld(), ctx);
   stats.reset();
+  pmu.reset();
   ag::dgemm(ag::Layout::ColMajor, ag::Trans::NoTrans, ag::Trans::NoTrans, n, n, n, 1.0,
             a.data(), a.ld(), b.data(), b.ld(), 1.0, c.data(), c.ld(), ctx);
   std::cout << "\n--- " << shape.to_string() << ", " << threads
             << (threads == 1 ? " thread ---\n" : " threads ---\n")
             << ag::obs::format_report(stats.totals(), n, n, n, ctx.block_sizes());
+
+  // The cache-simulator prediction for the same run feeds the Table VII
+  // style hw-vs-sim cross-check (sim sits above obs, so it is passed in).
+  ag::sim::TraceConfig tcfg;
+  tcfg.blocks = ctx.block_sizes();
+  tcfg.threads = threads;
+  const auto sim = ag::sim::trace_dgemm(ag::model::xgene(), tcfg, n, n, n);
+  ag::obs::HwReportInputs in;
+  in.sim_l1_miss_rate = sim.l1_load_miss_rate();
+  in.peak_gflops = cal.peak_gflops * threads;
+  in.mem_gbytes_per_s = cal.pi > 0 ? 8.0 / cal.pi * 1e-9 : 0;
+  std::cout << ag::obs::format_hw_report(pmu, stats.totals(), ctx.block_sizes(), in);
 }
 
 }  // namespace
@@ -84,8 +106,11 @@ int main(int argc, char** argv) {
 
   if (ag::obs::stats_compiled_in) {
     std::cout << "\n================ per-layer stats (obs::GemmStats) ================\n";
-    print_stats_report(ag::KernelShape{8, 6}, 1, 512);
-    print_stats_report(ag::KernelShape{8, 6}, 2, 512);
+    ag::obs::CalibrationOptions copts;
+    copts.seconds_per_probe = 0.02;
+    const ag::obs::CalibrationResult cal = ag::obs::calibrate(copts);
+    print_stats_report(ag::KernelShape{8, 6}, 1, 512, cal);
+    print_stats_report(ag::KernelShape{8, 6}, 2, 512, cal);
   } else {
     std::cout << "\n(per-layer stats compiled out: rebuild with -DARMGEMM_STATS=ON)\n";
   }

@@ -1,0 +1,288 @@
+// Benchmark-regression harness: sweeps dgemm over sizes x thread counts,
+// emits a schema-versioned BENCH_<host>_<date>.json (gflops, efficiency
+// against the calibrated peak, per-layer time/byte counters, hardware
+// PMU totals with provenance), and — given --baseline=<file> — compares
+// efficiency point-by-point against a previous run, exiting nonzero when
+// any configuration regressed beyond --threshold.
+//
+//   regress --out=now.json                      # record a run
+//   regress --baseline=then.json                # record + gate
+//   regress --baseline=then.json --inject-regression=0.5   # gate self-test
+//
+// Exit codes: 0 ok, 1 efficiency regression, 2 usage/baseline error.
+// tools/bench_diff.py renders the same files side by side.
+#include <cstdio>
+#include <ctime>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#if !defined(_WIN32)
+#include <unistd.h>
+#endif
+
+#include "bench_util.hpp"
+#include "common/json.hpp"
+#include "common/matrix.hpp"
+#include "common/timer.hpp"
+#include "core/gemm.hpp"
+#include "obs/calibrate.hpp"
+#include "obs/gemm_stats.hpp"
+#include "obs/pmu.hpp"
+
+namespace {
+
+constexpr const char* kSchema = "armgemm-bench/1";
+
+struct RunResult {
+  std::int64_t n = 0;  // square problems: m = n = k
+  int threads = 1;
+  double best_seconds = 0;
+  double gflops = 0;
+  double efficiency = 0;  // gflops / (threads * calibrated per-core peak)
+  ag::obs::LayerCounters layers;
+  ag::obs::PmuCounts pmu;
+  std::uint64_t pmu_discarded = 0;
+};
+
+std::string host_name() {
+#if !defined(_WIN32)
+  char buf[256] = {0};
+  if (gethostname(buf, sizeof(buf) - 1) == 0 && buf[0]) return buf;
+#endif
+  return "unknown-host";
+}
+
+std::string date_stamp() {
+  std::time_t t = std::time(nullptr);
+  std::tm tm{};
+#if defined(_WIN32)
+  localtime_s(&tm, &t);
+#else
+  localtime_r(&t, &tm);
+#endif
+  char buf[16];
+  std::strftime(buf, sizeof(buf), "%Y%m%d", &tm);
+  return buf;
+}
+
+std::vector<int> thread_list(const ag::CliArgs& args) {
+  const std::string raw = args.get("threads", "1,2");
+  std::vector<int> out;
+  std::size_t pos = 0;
+  while (pos < raw.size()) {
+    std::size_t next = raw.find(',', pos);
+    if (next == std::string::npos) next = raw.size();
+    out.push_back(std::stoi(raw.substr(pos, next - pos)));
+    pos = next + 1;
+  }
+  return out;
+}
+
+RunResult run_config(std::int64_t n, int threads, int reps, double peak_per_core,
+                     double inject) {
+  auto a = ag::random_matrix(n, n, 1);
+  auto b = ag::random_matrix(n, n, 2);
+  auto c = ag::random_matrix(n, n, 3);
+  ag::Context ctx(ag::KernelShape{8, 6}, threads);
+  ag::obs::GemmStats stats;
+  ag::obs::PmuCollector pmu;
+  stats.set_pmu(&pmu);
+  ctx.set_stats(&stats);
+
+  const auto call = [&] {
+    ag::dgemm(ag::Layout::ColMajor, ag::Trans::NoTrans, ag::Trans::NoTrans, n, n, n, 1.0,
+              a.data(), a.ld(), b.data(), b.ld(), 1.0, c.data(), c.ld(), ctx);
+  };
+  call();  // warm-up: page in buffers, spin up the pool, open counters
+  stats.reset();
+  pmu.reset();
+
+  RunResult r;
+  r.n = n;
+  r.threads = threads;
+  r.best_seconds = 1e300;
+  for (int i = 0; i < reps; ++i) {
+    ag::Timer t;
+    call();
+    r.best_seconds = std::min(r.best_seconds, t.seconds());
+  }
+  const double flops = 2.0 * static_cast<double>(n) * n * n;
+  r.gflops = inject * flops / r.best_seconds * 1e-9;
+  r.efficiency = peak_per_core > 0 ? r.gflops / (peak_per_core * threads) : 0;
+  r.layers = stats.totals();
+  r.pmu = pmu.layer_totals(ag::obs::PmuLayer::kTotal);
+  r.pmu_discarded = pmu.discarded_regions();
+  return r;
+}
+
+void json_layers(std::ostream& os, const ag::obs::LayerCounters& t) {
+  os.precision(9);
+  os << "{\"pack_a_seconds\":" << t.pack_a_seconds
+     << ",\"pack_b_seconds\":" << t.pack_b_seconds
+     << ",\"gebp_seconds\":" << t.gebp_seconds
+     << ",\"barrier_seconds\":" << t.barrier_seconds
+     << ",\"total_seconds\":" << t.total_seconds << ",\"pack_a_bytes\":" << t.pack_a_bytes
+     << ",\"pack_b_bytes\":" << t.pack_b_bytes << ",\"c_bytes\":" << t.c_bytes
+     << ",\"kernel_calls\":" << t.kernel_calls << ",\"gebp_calls\":" << t.gebp_calls << "}";
+}
+
+void json_pmu(std::ostream& os, const RunResult& r) {
+  using ag::obs::PmuEvent;
+  os << "{\"cycles\":" << r.pmu[PmuEvent::kCycles]
+     << ",\"instructions\":" << r.pmu[PmuEvent::kInstructions]
+     << ",\"l1d_access\":" << r.pmu[PmuEvent::kL1dAccess]
+     << ",\"l1d_refill\":" << r.pmu[PmuEvent::kL1dRefill]
+     << ",\"l2_refill\":" << r.pmu[PmuEvent::kL2Refill]
+     << ",\"stall_cycles\":" << r.pmu[PmuEvent::kStallCycles]
+     << ",\"branch_misses\":" << r.pmu[PmuEvent::kBranchMisses]
+     << ",\"task_clock_ns\":" << r.pmu[PmuEvent::kTaskClockNs]
+     << ",\"discarded_regions\":" << r.pmu_discarded << "}";
+}
+
+std::string report_json(const std::vector<RunResult>& results,
+                        const ag::obs::CalibrationResult& cal, int reps) {
+  std::ostringstream os;
+  os.precision(9);
+  os << "{\"schema\":\"" << kSchema << "\",\"host\":\"" << host_name() << "\",\"date\":\""
+     << date_stamp() << "\",\"reps\":" << reps
+     << ",\"pmu_hardware\":" << (ag::obs::PmuGroup::hardware_available() ? "true" : "false")
+     << ",\"peak_gflops_per_core\":" << cal.peak_gflops << ",\"calibration\":" << cal.to_json()
+     << ",\"results\":[";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const RunResult& r = results[i];
+    if (i) os << ",";
+    os << "{\"n\":" << r.n << ",\"threads\":" << r.threads
+       << ",\"best_seconds\":" << r.best_seconds << ",\"gflops\":" << r.gflops
+       << ",\"efficiency\":" << r.efficiency << ",\"layers\":";
+    json_layers(os, r.layers);
+    os << ",\"pmu\":";
+    json_pmu(os, r);
+    os << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+/// Compares each current result against the baseline entry with the same
+/// (n, threads); returns the number of regressions beyond `threshold`
+/// (relative efficiency drop), printing one line per comparison.
+int compare_against_baseline(const std::vector<RunResult>& results,
+                             const ag::JsonValue& baseline, double threshold) {
+  const ag::JsonValue& base_results = baseline["results"];
+  int regressions = 0;
+  for (const RunResult& r : results) {
+    const ag::JsonValue* match = nullptr;
+    for (const ag::JsonValue& b : base_results.items())
+      if (static_cast<std::int64_t>(b["n"].as_number()) == r.n &&
+          static_cast<int>(b["threads"].as_number()) == r.threads)
+        match = &b;
+    if (!match) {
+      std::cout << "  n=" << r.n << " threads=" << r.threads << ": no baseline entry\n";
+      continue;
+    }
+    const double base_eff = (*match)["efficiency"].as_number();
+    const double drop = base_eff > 0 ? (base_eff - r.efficiency) / base_eff : 0;
+    const bool bad = drop > threshold;
+    std::cout << "  n=" << r.n << " threads=" << r.threads << ": efficiency "
+              << ag::Table::fmt_pct(base_eff) << " -> " << ag::Table::fmt_pct(r.efficiency)
+              << " (" << (drop >= 0 ? "-" : "+") << ag::Table::fmt_pct(std::abs(drop))
+              << " rel) " << (bad ? "REGRESSION" : "ok") << "\n";
+    regressions += bad ? 1 : 0;
+  }
+  return regressions;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ag::CliArgs args(argc, argv);
+  if (!ag::obs::stats_compiled_in) {
+    std::cerr << "regress: library built with -DARMGEMM_STATS=OFF; per-layer counters "
+                 "would all read zero\n";
+  }
+
+  const std::vector<std::int64_t> sizes = agbench::size_list(args, {128, 256, 384});
+  const std::vector<int> threads = thread_list(args);
+  const int reps = static_cast<int>(args.get_int("reps", 3));
+  const double threshold = args.get_double("threshold", 0.10);
+  const double inject = args.get_double("inject-regression", 1.0);
+  for (std::int64_t n : sizes)
+    if (n <= 0) {
+      std::cerr << "regress: --sizes entries must be positive (got " << n << ")\n";
+      return 2;
+    }
+  for (int t : threads)
+    if (t <= 0) {
+      std::cerr << "regress: --threads entries must be positive (got " << t << ")\n";
+      return 2;
+    }
+  if (reps <= 0) {
+    std::cerr << "regress: --reps must be positive (got " << reps << ")\n";
+    return 2;
+  }
+
+  ag::obs::CalibrationOptions copts;
+  copts.seconds_per_probe = args.get_double("probe-seconds", 0.02);
+  copts.fma_chains = static_cast<int>(args.get_int("fma-chains", copts.fma_chains));
+  const ag::obs::CalibrationResult cal = ag::obs::calibrate(copts);
+  std::cout << "calibrated peak " << ag::Table::fmt(cal.peak_gflops, 2)
+            << " Gflops/core (mu " << cal.mu << " s/flop, pi " << cal.pi << " s/word, psi_c "
+            << ag::Table::fmt(cal.psi_c, 3) << ", counters "
+            << (cal.used_hardware_counters ? "hw" : "fallback") << ")\n";
+
+  std::vector<RunResult> results;
+  for (std::int64_t n : sizes)
+    for (int t : threads) {
+      results.push_back(run_config(n, t, reps, cal.peak_gflops, inject));
+      const RunResult& r = results.back();
+      std::cout << "n=" << r.n << " threads=" << r.threads << ": "
+                << ag::Table::fmt(r.gflops, 2) << " Gflops, efficiency "
+                << ag::Table::fmt_pct(r.efficiency) << "\n";
+    }
+
+  const std::string out_path =
+      args.get("out", "BENCH_" + host_name() + "_" + date_stamp() + ".json");
+  {
+    std::ofstream os(out_path);
+    if (!os) {
+      std::cerr << "regress: cannot write " << out_path << "\n";
+      return 2;
+    }
+    os << report_json(results, cal, reps) << "\n";
+  }
+  std::cout << "wrote " << out_path << "\n";
+
+  const std::string baseline_path = args.get("baseline", "");
+  if (baseline_path.empty()) return 0;
+
+  std::ifstream in(baseline_path);
+  if (!in) {
+    std::cerr << "regress: cannot read baseline " << baseline_path << "\n";
+    return 2;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  std::string err;
+  const ag::JsonValue baseline = ag::JsonValue::parse(buf.str(), &err);
+  if (baseline.is_null()) {
+    std::cerr << "regress: baseline parse error: " << err << "\n";
+    return 2;
+  }
+  if (baseline["schema"].as_string() != kSchema) {
+    std::cerr << "regress: baseline schema \"" << baseline["schema"].as_string()
+              << "\" != \"" << kSchema << "\"\n";
+    return 2;
+  }
+  std::cout << "comparing against " << baseline_path << " (threshold "
+            << ag::Table::fmt_pct(threshold) << " relative efficiency drop)\n";
+  const int regressions = compare_against_baseline(results, baseline, threshold);
+  if (regressions > 0) {
+    std::cerr << "regress: " << regressions << " configuration(s) regressed\n";
+    return 1;
+  }
+  std::cout << "no regressions\n";
+  return 0;
+}

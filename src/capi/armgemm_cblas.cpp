@@ -8,17 +8,26 @@
 #include "core/gemm.hpp"
 #include "core/sgemm.hpp"
 #include "obs/gemm_stats.hpp"
+#include "obs/pmu.hpp"
 
 namespace {
 
 std::atomic<int> g_threads{1};
 std::atomic<bool> g_stats_enabled{false};
+std::atomic<bool> g_pmu_enabled{false};
 
 /// Process-wide collector shared by every host thread's context; the
 /// per-slot atomics make concurrent recording race-free.
 ag::obs::GemmStats& global_stats() {
   static ag::obs::GemmStats stats;
   return stats;
+}
+
+/// Process-wide hardware-counter collector; attached to global_stats()
+/// by armgemm_pmu_enable (its per-rank mutexes make recording race-free).
+ag::obs::PmuCollector& global_pmu() {
+  static ag::obs::PmuCollector pmu;
+  return pmu;
 }
 
 ag::Layout to_layout(CBLAS_ORDER o) {
@@ -155,14 +164,48 @@ void armgemm_stats_get(armgemm_stats_snapshot* out) {
   out->flops = t.flops;
   out->gflops = t.gflops();
   out->gamma = t.gamma();
+
+  const ag::obs::PmuCounts hw = global_pmu().layer_totals(ag::obs::PmuLayer::kTotal);
+  out->pmu_cycles = hw[ag::obs::PmuEvent::kCycles];
+  out->pmu_instructions = hw[ag::obs::PmuEvent::kInstructions];
+  out->pmu_l1d_access = hw[ag::obs::PmuEvent::kL1dAccess];
+  out->pmu_l1d_refill = hw[ag::obs::PmuEvent::kL1dRefill];
+  out->pmu_l2_refill = hw[ag::obs::PmuEvent::kL2Refill];
+  out->pmu_stall_cycles = hw[ag::obs::PmuEvent::kStallCycles];
+  out->pmu_branch_misses = hw[ag::obs::PmuEvent::kBranchMisses];
+  out->pmu_task_clock_ns = hw[ag::obs::PmuEvent::kTaskClockNs];
+  out->pmu_hardware = global_pmu().any_hardware() ? 1 : 0;
 }
 
 int armgemm_stats_write_json(const char* path) {
   if (!path) return -1;
   std::ofstream os(path);
   if (!os) return -1;
-  os << global_stats().to_json() << "\n";
+  // Splice the PMU object into the stats report's top-level object.
+  std::string js = global_stats().to_json();
+  const std::size_t brace = js.rfind('}');
+  if (brace != std::string::npos)
+    js = js.substr(0, brace) + ",\"pmu\":" + global_pmu().to_json() + "}";
+  os << js << "\n";
   return os ? 0 : -1;
+}
+
+void armgemm_pmu_enable(void) {
+  g_pmu_enabled.store(true, std::memory_order_relaxed);
+  global_stats().set_pmu(&global_pmu());
+}
+
+void armgemm_pmu_disable(void) {
+  g_pmu_enabled.store(false, std::memory_order_relaxed);
+  global_stats().set_pmu(nullptr);
+}
+
+int armgemm_pmu_enabled(void) {
+  return g_pmu_enabled.load(std::memory_order_relaxed) ? 1 : 0;
+}
+
+int armgemm_pmu_available(void) {
+  return ag::obs::PmuGroup::hardware_available() ? 1 : 0;
 }
 
 }  // extern "C"

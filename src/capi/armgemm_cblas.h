@@ -71,7 +71,32 @@ typedef struct armgemm_stats_snapshot {
   double flops;
   double gflops; /* flops / total_seconds * 1e-9 */
   double gamma;  /* flops per 8-byte word moved (Eq. 2 of the paper) */
+
+  /* Hardware-counter totals for the whole-call layer, summed over pool
+   * ranks. All zero unless armgemm_pmu_enable() was on during the calls.
+   * When the host has no usable PMU the cycles fall back to a synthetic
+   * nanosecond count and pmu_hardware reports 0; see pmu_hardware. */
+  unsigned long long pmu_cycles, pmu_instructions;
+  unsigned long long pmu_l1d_access, pmu_l1d_refill, pmu_l2_refill;
+  unsigned long long pmu_stall_cycles, pmu_branch_misses;
+  unsigned long long pmu_task_clock_ns;
+  int pmu_hardware; /* 1 when at least one real hardware counter opened */
 } armgemm_stats_snapshot;
+
+/* Attaches (or detaches) the process-wide hardware performance-counter
+ * collector to the stats layer. Requires armgemm_stats_enable() as well:
+ * PMU regions piggyback on the stats instrumentation. Safe on hosts
+ * without perf counters -- collection degrades to timestamp-derived
+ * synthetic cycles (see armgemm_pmu_available). */
+void armgemm_pmu_enable(void);
+void armgemm_pmu_disable(void);
+int armgemm_pmu_enabled(void);
+
+/* 1 when this process can open at least one real hardware PMU counter
+ * right now (perf_event_paranoid, container seccomp and ARMGEMM_PMU=off
+ * all make this 0). Collection still works when 0, with synthetic
+ * provenance. */
+int armgemm_pmu_available(void);
 
 /* Turns collection on/off for subsequent cblas_* calls. Enabling does
  * not reset previously accumulated counters. */
@@ -85,8 +110,10 @@ void armgemm_stats_reset(void);
 /* Snapshot of the totals aggregated across every thread. */
 void armgemm_stats_get(armgemm_stats_snapshot* out);
 
-/* Writes the full JSON report ({"totals": ..., "threads": [...]}) to
- * `path`. Returns 0 on success, -1 on I/O failure. */
+/* Writes the full JSON report ({"totals": ..., "threads": [...],
+ * "pmu": {...}}) to `path`. The "pmu" object carries per-event
+ * provenance (hw/sw/syn) and per-layer counter totals. Returns 0 on
+ * success, -1 on I/O failure. */
 int armgemm_stats_write_json(const char* path);
 
 #ifdef __cplusplus

@@ -1,0 +1,190 @@
+#include "common/json.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace ag {
+
+namespace {
+const JsonValue& null_value() {
+  static const JsonValue v;
+  return v;
+}
+}  // namespace
+
+const JsonValue& JsonValue::operator[](const std::string& key) const {
+  const auto it = obj_.find(key);
+  return it == obj_.end() ? null_value() : it->second;
+}
+
+class JsonParser {
+ public:
+  JsonParser(const std::string& text, std::string* error) : text_(text), error_(error) {}
+
+  JsonValue run() {
+    JsonValue v = value();
+    skip_ws();
+    if (!failed_ && pos_ != text_.size()) fail("trailing characters");
+    return failed_ ? JsonValue{} : v;
+  }
+
+ private:
+  void fail(const char* what) {
+    if (!failed_ && error_) *error_ = std::string(what) + " at byte " + std::to_string(pos_);
+    failed_ = true;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(const char* word) {
+    const std::size_t len = std::char_traits<char>::length(word);
+    if (text_.compare(pos_, len, word) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  JsonValue value() {
+    skip_ws();
+    if (failed_ || pos_ >= text_.size()) {
+      fail("unexpected end of input");
+      return {};
+    }
+    const char c = text_[pos_];
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') return string_value();
+    if (c == 't' || c == 'f') return bool_value();
+    if (c == 'n') {
+      if (!literal("null")) fail("bad literal");
+      return {};
+    }
+    return number();
+  }
+
+  JsonValue object() {
+    JsonValue v;
+    v.kind_ = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    if (consume('}')) return v;
+    do {
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        fail("expected object key");
+        return {};
+      }
+      std::string key = parse_string();
+      if (!consume(':')) {
+        fail("expected ':'");
+        return {};
+      }
+      v.obj_[std::move(key)] = value();
+      if (failed_) return {};
+    } while (consume(','));
+    if (!consume('}')) fail("expected '}'");
+    return v;
+  }
+
+  JsonValue array() {
+    JsonValue v;
+    v.kind_ = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    if (consume(']')) return v;
+    do {
+      v.arr_.push_back(value());
+      if (failed_) return {};
+    } while (consume(','));
+    if (!consume(']')) fail("expected ']'");
+    return v;
+  }
+
+  JsonValue string_value() {
+    JsonValue v;
+    v.kind_ = JsonValue::Kind::kString;
+    v.str_ = parse_string();
+    return v;
+  }
+
+  std::string parse_string() {
+    std::string out;
+    ++pos_;  // opening '"'
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u':
+          // Report files never emit \u; decode to '?' rather than fail.
+          pos_ = std::min(pos_ + 4, text_.size());
+          out.push_back('?');
+          break;
+        default: fail("bad escape"); return out;
+      }
+    }
+    fail("unterminated string");
+    return out;
+  }
+
+  JsonValue bool_value() {
+    JsonValue v;
+    v.kind_ = JsonValue::Kind::kBool;
+    if (literal("true")) {
+      v.bool_ = true;
+    } else if (literal("false")) {
+      v.bool_ = false;
+    } else {
+      fail("bad literal");
+      return {};
+    }
+    return v;
+  }
+
+  JsonValue number() {
+    const char* start = text_.c_str() + pos_;
+    char* end = nullptr;
+    const double d = std::strtod(start, &end);
+    if (end == start) {
+      fail("bad number");
+      return {};
+    }
+    pos_ += static_cast<std::size_t>(end - start);
+    JsonValue v;
+    v.kind_ = JsonValue::Kind::kNumber;
+    v.num_ = d;
+    return v;
+  }
+
+  const std::string& text_;
+  std::string* error_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+JsonValue JsonValue::parse(const std::string& text, std::string* error) {
+  return JsonParser(text, error).run();
+}
+
+}  // namespace ag

@@ -1,0 +1,52 @@
+// Minimal JSON DOM: enough to read back the library's own emitted
+// reports (bench/regress baselines, stats dumps). Parses the full JSON
+// grammar minus \u surrogate pairs (escapes decode to '?'); numbers are
+// doubles. Not a streaming parser — inputs are small report files.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ag {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+
+  /// Typed access with defaults (wrong kind returns the default).
+  bool as_bool(bool dflt = false) const { return kind_ == Kind::kBool ? bool_ : dflt; }
+  double as_number(double dflt = 0) const { return kind_ == Kind::kNumber ? num_ : dflt; }
+  const std::string& as_string() const { return str_; }
+
+  const std::vector<JsonValue>& items() const { return arr_; }
+  std::size_t size() const { return arr_.size(); }
+
+  /// Object member lookup; a shared null value when absent or not an
+  /// object, so lookups chain without null checks.
+  const JsonValue& operator[](const std::string& key) const;
+  bool has(const std::string& key) const { return obj_.count(key) != 0; }
+
+  /// Parses `text`; on failure returns a null value and, when `error` is
+  /// non-null, a one-line description with the byte offset.
+  static JsonValue parse(const std::string& text, std::string* error = nullptr);
+
+ private:
+  friend class JsonParser;
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double num_ = 0;
+  std::string str_;
+  std::vector<JsonValue> arr_;
+  std::map<std::string, JsonValue> obj_;
+};
+
+}  // namespace ag

@@ -11,6 +11,7 @@
 #include "core/gebp.hpp"
 #include "core/packing.hpp"
 #include "obs/gemm_stats.hpp"
+#include "obs/pmu.hpp"
 #include "obs/tracer.hpp"
 
 namespace ag {
@@ -37,6 +38,7 @@ void gemm_serial(Trans trans_a, Trans trans_b, index_t m, index_t n, index_t k, 
   obs::GemmStats* stats = ctx.stats();
   obs::ThreadSlot* slot = stats ? &stats->slot(0) : nullptr;
   obs::Tracer* tracer = stats ? stats->tracer() : nullptr;
+  obs::PmuCollector* pmu = stats ? stats->pmu() : nullptr;
 
   AlignedBuffer<double> packed_a(static_cast<std::size_t>(
       packed_a_size(std::min(bs.mc, m), std::min(bs.kc, k), bs.mr)));
@@ -45,19 +47,25 @@ void gemm_serial(Trans trans_a, Trans trans_b, index_t m, index_t n, index_t k, 
 
   for (index_t jj = 0; jj < n; jj += bs.nc) {        // layer 1
     const index_t nc = std::min(bs.nc, n - jj);
+    const index_t jc = jj / bs.nc;
     for (index_t kk = 0; kk < k; kk += bs.kc) {      // layer 2
       const index_t kc = std::min(bs.kc, k - kk);
+      const index_t pc = kk / bs.kc;
       {
-        obs::Tracer::Region region(tracer, 0, "pack_b");
+        obs::Tracer::Region region(tracer, 0, "pack_b", {-1, jc, pc});
+        obs::PmuRegion hw(pmu, 0, obs::PmuLayer::kPackB);
         pack_b(trans_b, b, ldb, kk, jj, kc, nc, bs.nr, packed_b.data(), slot);
       }
       for (index_t ii = 0; ii < m; ii += bs.mc) {    // layer 3
         const index_t mc = std::min(bs.mc, m - ii);
+        const index_t ic = ii / bs.mc;
         {
-          obs::Tracer::Region region(tracer, 0, "pack_a");
+          obs::Tracer::Region region(tracer, 0, "pack_a", {ic, jc, pc});
+          obs::PmuRegion hw(pmu, 0, obs::PmuLayer::kPackA);
           pack_a(trans_a, a, lda, ii, kk, mc, kc, bs.mr, packed_a.data(), slot);
         }
-        obs::Tracer::Region region(tracer, 0, "gebp");
+        obs::Tracer::Region region(tracer, 0, "gebp", {ic, jc, pc});
+        obs::PmuRegion hw(pmu, 0, obs::PmuLayer::kGebp);
         gebp(mc, nc, kc, alpha, packed_a.data(), packed_b.data(), c + ii + jj * ldc, ldc,
              kernel, slot);
       }
@@ -88,35 +96,46 @@ void gemm_parallel(Trans trans_a, Trans trans_b, index_t m, index_t n, index_t k
   ctx.pool().run([&](int rank) {
     obs::ThreadSlot* slot = stats ? &stats->slot(rank) : nullptr;
     obs::Tracer* tracer = stats ? stats->tracer() : nullptr;
+    obs::PmuCollector* pmu = stats ? stats->pmu() : nullptr;
     double barrier_wait = 0;
     double* const wait_acc = slot ? &barrier_wait : nullptr;
     for (index_t jj = 0; jj < n; jj += bs.nc) {      // layer 1
       const index_t nc = std::min(bs.nc, n - jj);
       const index_t b_slivers = ceil_div(nc, static_cast<index_t>(bs.nr));
+      const index_t jc = jj / bs.nc;
       for (index_t kk = 0; kk < k; kk += bs.kc) {    // layer 2
         const index_t kc = std::min(bs.kc, k - kk);
+        const index_t pc = kk / bs.kc;
         // Cooperative packing of the shared B panel.
         const Range bp = partition_range(b_slivers, nthreads, rank, 1);
         {
-          obs::Tracer::Region region(tracer, rank, "pack_b");
+          obs::Tracer::Region region(tracer, rank, "pack_b", {-1, jc, pc});
+          obs::PmuRegion hw(pmu, rank, obs::PmuLayer::kPackB);
           pack_b_slivers(trans_b, b, ldb, kk, jj, kc, nc, bs.nr, bp.begin, bp.end,
                          packed_b.data(), slot);
         }
-        barrier.arrive_and_wait(wait_acc);
+        {
+          obs::PmuRegion hw(pmu, rank, obs::PmuLayer::kBarrier);
+          barrier.arrive_and_wait(wait_acc);
+        }
         // Layer 3 split across threads, each share mc-aligned (Figure 9).
         const Range rows = partition_range(m, nthreads, rank, bs.mc);
         for (index_t ii = rows.begin; ii < rows.end; ii += bs.mc) {
           const index_t mc = std::min(bs.mc, rows.end - ii);
+          const index_t ic = ii / bs.mc;
           {
-            obs::Tracer::Region region(tracer, rank, "pack_a");
+            obs::Tracer::Region region(tracer, rank, "pack_a", {ic, jc, pc});
+            obs::PmuRegion hw(pmu, rank, obs::PmuLayer::kPackA);
             pack_a(trans_a, a, lda, ii, kk, mc, kc, bs.mr,
                    packed_a[static_cast<std::size_t>(rank)].data(), slot);
           }
-          obs::Tracer::Region region(tracer, rank, "gebp");
+          obs::Tracer::Region region(tracer, rank, "gebp", {ic, jc, pc});
+          obs::PmuRegion hw(pmu, rank, obs::PmuLayer::kGebp);
           gebp(mc, nc, kc, alpha, packed_a[static_cast<std::size_t>(rank)].data(),
                packed_b.data(), c + ii + jj * ldc, ldc, kernel, slot);
         }
         // B panel is reused as scratch next iteration; everyone must be done.
+        obs::PmuRegion hw(pmu, rank, obs::PmuLayer::kBarrier);
         barrier.arrive_and_wait(wait_acc);
       }
     }
@@ -153,6 +172,7 @@ void dgemm(Layout layout, Trans trans_a, Trans trans_b, std::int64_t m, std::int
   obs::GemmStats* stats = ctx.stats();
   if (stats) {
     obs::Tracer::Region region(stats->tracer(), 0, "dgemm");
+    obs::PmuRegion hw(stats->pmu(), 0, obs::PmuLayer::kTotal);
     Timer t;
     scale_panel(c, ldc, m, n, beta);
     const bool computed = k != 0 && alpha != 0.0;

@@ -1,0 +1,82 @@
+// Empirical calibration of the Section III model parameters.
+//
+// The paper's Eq. (1)-(6) performance bound is parameterized by mu
+// (seconds per flop at peak), pi (seconds per word moved) and the overlap
+// function psi(gamma). PR 1 assumed these from the machine description;
+// this module derives them from the silicon the library actually runs on,
+// in the micro-benchmarked spirit of the paper's Table IV:
+//
+//   mu  — a register-resident FMA throughput probe: several independent
+//         accumulator chains, unrolled, so the FP pipes are the limit.
+//         A second, fully dependent chain measures the FMA result latency
+//         (the paper's 4-to-6-cycle accumulation hazard behind register
+//         rotation, Section V-B).
+//   pi  — a pointer-chase over a footprint far beyond the last-level
+//         cache: each load depends on the previous one, so the measured
+//         seconds/load is the un-overlapped per-word memory cost.
+//   psi — a combined probe streams two out-of-cache arrays through FMAs
+//         (gamma = 1) and compares against the pure-compute and
+//         pure-memory times; the unhidden fraction of memory time fits
+//         the model's psi(gamma) = 1/(1 + c*gamma) at the probe's gamma.
+//
+// All probes report wall seconds (the unit of mu/pi); when hardware
+// counters are available a PmuGroup additionally attributes cycles to the
+// probes (cycles_per_fma), cross-checking the timestamp path.
+#pragma once
+
+#include <string>
+
+#include "model/perf_model.hpp"
+
+namespace ag::obs {
+
+struct CalibrationOptions {
+  /// Wall-time budget per micro-probe. The default keeps a full
+  /// calibrate() under ~0.5 s; tests shrink it further.
+  double seconds_per_probe = 0.05;
+  /// Pointer-chase / streaming footprint; must exceed the last-level
+  /// cache for pi to measure memory, not cache.
+  std::int64_t memory_bytes = 64ll << 20;
+  /// Independent accumulator chains in the throughput probe; rounded to
+  /// 8/16/32/64 (the instantiated probe bodies). 32 doubles = eight
+  /// 256-bit vectors, covering a 4-deep FMA latency x 2 pipes after
+  /// vectorization.
+  int fma_chains = 32;
+};
+
+struct CalibrationResult {
+  double mu = 0;              // s/flop, independent chains (throughput)
+  double fma_latency_s = 0;   // s/flop, one dependent chain (latency)
+  double pi = 0;              // s/word, dependent out-of-cache loads
+  double psi_c = 1.0;         // c in psi(gamma) = 1/(1 + c*gamma)
+  double measured_psi = 1.0;  // unhidden memory fraction at gamma_probe
+  double gamma_probe = 1.0;   // flops/word of the overlap probe
+  double peak_gflops = 0;     // 1e-9 / mu
+  bool used_hardware_counters = false;
+  double cycles_per_fma = 0;  // PMU cycles per FMA in the throughput probe
+                              // (synthetic "cycles" are ns when no PMU)
+
+  /// The calibrated cost parameters for Eq. (6).
+  model::CostParams cost_params(double kappa = 0.125) const {
+    model::CostParams p;
+    p.mu = mu;
+    p.pi = pi;
+    p.kappa = kappa;
+    return p;
+  }
+
+  std::string to_json() const;
+};
+
+/// Runs every probe. Deterministic given the options; ~3x probe budget.
+CalibrationResult calibrate(const CalibrationOptions& opts = {});
+
+/// Individual probes (each returns the quantity documented above).
+double measure_fma_throughput(const CalibrationOptions& opts);   // s/flop
+double measure_fma_latency(const CalibrationOptions& opts);      // s/flop
+double measure_memory_word_cost(const CalibrationOptions& opts); // s/word
+/// Unhidden memory fraction psi at the probe's gamma (written to
+/// *gamma_probe when non-null); in [0, 1].
+double measure_overlap_psi(const CalibrationOptions& opts, double* gamma_probe);
+
+}  // namespace ag::obs

@@ -22,6 +22,7 @@
 namespace ag::obs {
 
 class Tracer;
+class PmuCollector;
 
 /// True when the library was compiled with stats hooks (the default);
 /// false under -DARMGEMM_STATS=OFF (ARMGEMM_STATS_DISABLED).
@@ -131,9 +132,15 @@ class GemmStats {
   void set_tracer(Tracer* tracer) { tracer_ = tracer; }
   Tracer* tracer() const { return tracer_; }
 
+  /// Optional hardware-counter collector (obs/pmu) fed by the same
+  /// instrumentation points; null (default) disables PMU capture.
+  void set_pmu(PmuCollector* pmu) { pmu_ = pmu; }
+  PmuCollector* pmu() const { return pmu_; }
+
  private:
   std::vector<ThreadSlot> slots_;
   Tracer* tracer_ = nullptr;
+  PmuCollector* pmu_ = nullptr;
 };
 
 /// Accumulates the elapsed lifetime of the object into an atomic seconds

@@ -12,6 +12,7 @@
 #include "core/block_sizes.hpp"
 #include "model/perf_model.hpp"
 #include "obs/gemm_stats.hpp"
+#include "obs/pmu.hpp"
 
 namespace ag::obs {
 
@@ -39,5 +40,41 @@ Table measured_vs_model_table(const LayerCounters& measured, std::int64_t m, std
 std::string format_report(const LayerCounters& measured, std::int64_t m, std::int64_t n,
                           std::int64_t k, const BlockSizes& bs,
                           const ReportOptions& opts = {});
+
+/// Simulator predictions and roofline parameters for the hardware report.
+/// The cache-simulator numbers are passed in by the caller (src/sim sits
+/// above obs in the layering), <0 meaning "not simulated".
+struct HwReportInputs {
+  double sim_l1_miss_rate = -1;   // sim::trace_dgemm L1 read-miss prediction
+  double sim_l2_miss_rate = -1;   // last-level analogue
+  double peak_gflops = 0;         // roofline compute roof (calibrated or nominal)
+  double mem_gbytes_per_s = 0;    // roofline memory roof (e.g. 8/pi * 1e-9)
+  /// Relative disagreement between measured hardware and a prediction
+  /// above which the comparison row is flagged "DIVERGES".
+  double divergence_threshold = 0.5;
+};
+
+/// Per-layer hardware-counter table: cycles, instructions, IPC, L1d
+/// accesses/refills and miss rate, L2 refills, backend-stall fraction,
+/// branch misses — one row per blocking layer, with the counter
+/// provenance (hw/sw/syn) in the header line of the report.
+Table pmu_layer_table(const PmuCollector& pmu);
+
+/// Cross-validation of the measured hardware events against the cache
+/// simulator and the analytic Section III/V model: L1d miss rate
+/// (Table VII methodology), instructions-per-flop of the GEBP layer
+/// against the Eq. (8) kernel instruction mix (Table V methodology), and
+/// IPC/stall context rows. Rows with both a measurement and a prediction
+/// get a verdict column ("ok" or "DIVERGES(...)"). Works in fallback
+/// mode: synthetic/unavailable measurements are printed as "-" and never
+/// flagged.
+Table hw_model_comparison_table(const PmuCollector& pmu, const LayerCounters& measured,
+                                const BlockSizes& bs, const HwReportInputs& in);
+
+/// The hardware section ready to print: counter provenance line, per-layer
+/// table, cross-validation table, and a roofline summary when the roof
+/// parameters are set.
+std::string format_hw_report(const PmuCollector& pmu, const LayerCounters& measured,
+                             const BlockSizes& bs, const HwReportInputs& in = {});
 
 }  // namespace ag::obs

@@ -37,6 +37,11 @@ Tracer::Lane& Tracer::lane(int rank) {
 double Tracer::now() const { return steady_seconds() - epoch_; }
 
 void Tracer::record(int rank, const char* name, double t0, double dur) {
+  record(rank, name, t0, dur, BlockArgs{});
+}
+
+void Tracer::record(int rank, const char* name, double t0, double dur,
+                    const BlockArgs& args) {
   Lane& l = lane(rank);
   std::lock_guard lock(l.mutex);
   if (l.events.size() >= max_events_per_lane_) {
@@ -44,7 +49,7 @@ void Tracer::record(int rank, const char* name, double t0, double dur) {
     return;
   }
   if (l.events.capacity() == 0) l.events.reserve(256);
-  l.events.push_back(Event{name, t0, dur});
+  l.events.push_back(Event{name, t0, dur, args});
 }
 
 Tracer::Region::Region(Tracer* tracer, int rank, const char* name)
@@ -52,8 +57,13 @@ Tracer::Region::Region(Tracer* tracer, int rank, const char* name)
   if (tracer_) t0_ = tracer_->now();
 }
 
+Tracer::Region::Region(Tracer* tracer, int rank, const char* name, const BlockArgs& args)
+    : tracer_(tracer), rank_(rank), name_(name), args_(args) {
+  if (tracer_) t0_ = tracer_->now();
+}
+
 Tracer::Region::~Region() {
-  if (tracer_) tracer_->record(rank_, name_, t0_, tracer_->now() - t0_);
+  if (tracer_) tracer_->record(rank_, name_, t0_, tracer_->now() - t0_, args_);
 }
 
 std::size_t Tracer::event_count() const {
@@ -86,6 +96,22 @@ void Tracer::clear() {
 void Tracer::write_json(std::ostream& os) const {
   os << "[";
   bool first = true;
+  const auto emit_metadata = [&](const char* what, std::size_t tid, const std::string& name) {
+    if (!first) os << ",\n";
+    first = false;
+    os << "{\"name\":\"" << what << "\",\"ph\":\"M\",\"pid\":0,\"tid\":" << tid
+       << ",\"args\":{\"name\":\"" << name << "\"}}";
+  };
+  // process_name / thread_name metadata make the timeline self-describing
+  // in chrome://tracing and Perfetto; only lanes with events get a name.
+  emit_metadata("process_name", 0, "armgemm");
+  for (std::size_t rank = 0; rank < lanes_.size(); ++rank) {
+    const Lane& l = lanes_[rank];
+    std::lock_guard lock(l.mutex);
+    if (l.events.empty()) continue;
+    emit_metadata("thread_name", rank,
+                  rank == 0 ? "rank 0 (driver)" : "rank " + std::to_string(rank));
+  }
   for (std::size_t rank = 0; rank < lanes_.size(); ++rank) {
     const Lane& l = lanes_[rank];
     std::lock_guard lock(l.mutex);
@@ -95,7 +121,22 @@ void Tracer::write_json(std::ostream& os) const {
       os << "{\"name\":\"";
       json_escape(os, e.name);
       os << "\",\"ph\":\"X\",\"pid\":0,\"tid\":" << rank << ",\"ts\":" << e.t0 * 1e6
-         << ",\"dur\":" << e.dur * 1e6 << "}";
+         << ",\"dur\":" << e.dur * 1e6;
+      if (e.args.any()) {
+        os << ",\"args\":{";
+        bool first_arg = true;
+        const auto arg = [&](const char* key, std::int64_t v) {
+          if (v < 0) return;
+          if (!first_arg) os << ",";
+          first_arg = false;
+          os << "\"" << key << "\":" << v;
+        };
+        arg("jc", e.args.jc);
+        arg("pc", e.args.pc);
+        arg("ic", e.args.ic);
+        os << "}";
+      }
+      os << "}";
     }
   }
   os << "]";

@@ -9,12 +9,25 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <iosfwd>
 #include <mutex>
 #include <string>
 #include <vector>
 
 namespace ag::obs {
+
+/// Block coordinates of a traced region, attached as Chrome-trace `args`
+/// so timelines are self-describing: jc/pc/ic are the layer-1/2/3 block
+/// ordinals (jj/nc, kk/kc, ii/mc of the Figure 2 loops). -1 means "not
+/// applicable at this layer" and is omitted from the JSON.
+struct BlockArgs {
+  std::int64_t ic = -1;
+  std::int64_t jc = -1;
+  std::int64_t pc = -1;
+
+  bool any() const { return ic >= 0 || jc >= 0 || pc >= 0; }
+};
 
 class Tracer {
  public:
@@ -29,14 +42,17 @@ class Tracer {
   /// Records one region on `rank` starting `t0` seconds after the tracer
   /// epoch (construction or last clear()) and lasting `dur` seconds.
   void record(int rank, const char* name, double t0, double dur);
+  void record(int rank, const char* name, double t0, double dur, const BlockArgs& args);
 
   /// Seconds since the tracer epoch, for callers timing regions manually.
   double now() const;
 
-  /// RAII region: times construction-to-destruction and records it.
+  /// RAII region: times construction-to-destruction and records it. The
+  /// BlockArgs overload tags the event with its block coordinates.
   class Region {
    public:
     Region(Tracer* tracer, int rank, const char* name);
+    Region(Tracer* tracer, int rank, const char* name, const BlockArgs& args);
     ~Region();
     Region(const Region&) = delete;
     Region& operator=(const Region&) = delete;
@@ -45,6 +61,7 @@ class Tracer {
     Tracer* tracer_;
     int rank_;
     const char* name_;
+    BlockArgs args_;
     double t0_ = 0;
   };
 
@@ -54,8 +71,11 @@ class Tracer {
   /// Drops all recorded events and restarts the epoch.
   void clear();
 
-  /// Chrome trace-event JSON: [{"name":...,"ph":"X","pid":0,"tid":rank,
-  /// "ts":micros,"dur":micros}, ...].
+  /// Chrome trace-event JSON: leading "M"-phase process_name/thread_name
+  /// metadata (process "armgemm", one named lane per rank), then one "X"
+  /// complete event per region with block-index args when recorded:
+  /// {"name":...,"ph":"X","pid":0,"tid":rank,"ts":micros,"dur":micros,
+  ///  "args":{"jc":...,"pc":...,"ic":...}}.
   void write_json(std::ostream& os) const;
   std::string to_json() const;
 
@@ -64,6 +84,7 @@ class Tracer {
     const char* name;
     double t0;
     double dur;
+    BlockArgs args;
   };
   struct Lane {
     mutable std::mutex mutex;

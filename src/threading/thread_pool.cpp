@@ -1,11 +1,33 @@
 #include "threading/thread_pool.hpp"
 
 #include <chrono>
+#include <cstdio>
+
+#if defined(__linux__)
+#include <pthread.h>
+#endif
 
 #include "common/check.hpp"
 #include "common/math_util.hpp"
 
 namespace ag {
+
+namespace {
+
+/// Names the calling thread so tracer timelines, `perf`, gdb and
+/// /proc/<pid>/task line up with the pool's rank numbering. Best-effort:
+/// the 15-character kernel limit and non-Linux hosts are ignored.
+void name_current_thread(int rank) {
+#if defined(__linux__)
+  char name[16];
+  std::snprintf(name, sizeof(name), "armgemm-w%d", rank);
+  pthread_setname_np(pthread_self(), name);
+#else
+  (void)rank;
+#endif
+}
+
+}  // namespace
 
 void Barrier::arrive_and_wait(double* wait_seconds) {
   const auto t0 = wait_seconds ? std::chrono::steady_clock::now()
@@ -72,6 +94,7 @@ void ThreadPool::run(const std::function<void(int)>& fn) {
 }
 
 void ThreadPool::worker_loop(int rank) {
+  name_current_thread(rank);
   std::uint64_t seen_generation = 0;
   for (;;) {
     const std::function<void(int)>* task;

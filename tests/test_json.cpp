@@ -1,0 +1,116 @@
+// The minimal JSON DOM that reads the library's own reports back (bench
+// baselines, PMU dumps): full-grammar happy paths, the documented \u
+// degradation, chained lookups on absent keys, and parse errors that
+// carry a byte offset instead of silently returning garbage.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/json.hpp"
+
+using ag::JsonValue;
+
+namespace {
+
+TEST(Json, ParsesScalars) {
+  std::string err;
+  EXPECT_TRUE(JsonValue::parse("null", &err).is_null());
+  EXPECT_TRUE(JsonValue::parse("true").as_bool());
+  EXPECT_FALSE(JsonValue::parse("false").as_bool(true));
+  EXPECT_DOUBLE_EQ(JsonValue::parse("42").as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(JsonValue::parse("-3.5e2").as_number(), -350.0);
+  EXPECT_EQ(JsonValue::parse("\"hi\"").as_string(), "hi");
+  EXPECT_EQ(JsonValue::parse("  \"ws\"  ").as_string(), "ws");
+}
+
+TEST(Json, ParsesNestedStructure) {
+  std::string err;
+  const JsonValue v = JsonValue::parse(
+      R"({"schema":"armgemm-bench/1","reps":3,"ok":true,
+          "results":[{"n":128,"eff":0.81},{"n":256,"eff":0.84}]})",
+      &err);
+  ASSERT_TRUE(v.is_object()) << err;
+  EXPECT_EQ(v["schema"].as_string(), "armgemm-bench/1");
+  EXPECT_DOUBLE_EQ(v["reps"].as_number(), 3.0);
+  EXPECT_TRUE(v["ok"].as_bool());
+  ASSERT_TRUE(v["results"].is_array());
+  ASSERT_EQ(v["results"].size(), 2u);
+  EXPECT_DOUBLE_EQ(v["results"].items()[1]["eff"].as_number(), 0.84);
+  EXPECT_TRUE(v.has("schema"));
+  EXPECT_FALSE(v.has("missing"));
+}
+
+TEST(Json, StringEscapes) {
+  const JsonValue v = JsonValue::parse(R"("a\"b\\c\n\t\/d")");
+  EXPECT_EQ(v.as_string(), "a\"b\\c\n\t/d");
+  // \u escapes are documented to degrade to '?', not to fail.
+  EXPECT_EQ(JsonValue::parse("\"x\\u0041y\"").as_string(), "x?y");
+}
+
+TEST(Json, MissingKeysChainToNull) {
+  const JsonValue v = JsonValue::parse(R"({"a":{"b":1}})");
+  EXPECT_DOUBLE_EQ(v["a"]["b"].as_number(), 1.0);
+  // Any depth of absent keys stays a safe null with defaults.
+  EXPECT_TRUE(v["a"]["nope"].is_null());
+  EXPECT_TRUE(v["x"]["y"]["z"].is_null());
+  EXPECT_DOUBLE_EQ(v["x"]["y"].as_number(-7.0), -7.0);
+  EXPECT_TRUE(v["x"].as_string().empty());
+  // Indexing a non-object (number) also yields null, not a crash.
+  EXPECT_TRUE(v["a"]["b"]["deeper"].is_null());
+}
+
+TEST(Json, EmptyContainers) {
+  const JsonValue obj = JsonValue::parse("{}");
+  ASSERT_TRUE(obj.is_object());
+  EXPECT_FALSE(obj.has("anything"));
+  const JsonValue arr = JsonValue::parse("[]");
+  ASSERT_TRUE(arr.is_array());
+  EXPECT_EQ(arr.size(), 0u);
+}
+
+TEST(Json, ErrorsReportByteOffsets) {
+  const char* bad[] = {"",        "{",         "{\"a\":}", "[1,2",      "\"unterminated",
+                       "{}extra", "{\"a\" 1}", "tru",      "[1,,2]",    "{1:2}",
+                       "nul",     "\"bad\\q\""};
+  for (const char* text : bad) {
+    std::string err;
+    const JsonValue v = JsonValue::parse(text, &err);
+    EXPECT_TRUE(v.is_null()) << text;
+    EXPECT_NE(err.find("at byte"), std::string::npos) << text << " -> " << err;
+  }
+}
+
+TEST(Json, TrailingGarbageRejectedWithOffset) {
+  std::string err;
+  EXPECT_TRUE(JsonValue::parse("{} x", &err).is_null());
+  EXPECT_NE(err.find("trailing"), std::string::npos);
+  EXPECT_NE(err.find("at byte 3"), std::string::npos) << err;
+}
+
+TEST(Json, WrongKindAccessorsReturnDefaults) {
+  const JsonValue num = JsonValue::parse("5");
+  EXPECT_FALSE(num.is_object());
+  EXPECT_TRUE(num.as_string().empty());
+  EXPECT_FALSE(num.as_bool());
+  EXPECT_EQ(num.size(), 0u);
+  const JsonValue str = JsonValue::parse("\"5\"");
+  EXPECT_DOUBLE_EQ(str.as_number(1.5), 1.5);
+}
+
+TEST(Json, RoundTripsOwnReports) {
+  // The exact shape bench/regress emits: schema header + nested layers.
+  const std::string doc =
+      R"({"schema":"armgemm-bench/1","host":"ci","pmu_hardware":false,)"
+      R"("peak_gflops_per_core":42.5,"results":[{"n":64,"threads":1,)"
+      R"("efficiency":0.77,"layers":{"gebp_seconds":0.001},)"
+      R"("pmu":{"cycles":123456789,"discarded_regions":0}}]})";
+  std::string err;
+  const JsonValue v = JsonValue::parse(doc, &err);
+  ASSERT_TRUE(v.is_object()) << err;
+  const JsonValue& r = v["results"].items()[0];
+  EXPECT_DOUBLE_EQ(r["pmu"]["cycles"].as_number(), 123456789.0);
+  EXPECT_DOUBLE_EQ(r["layers"]["gebp_seconds"].as_number(), 0.001);
+  EXPECT_FALSE(v["pmu_hardware"].as_bool(true));
+}
+
+}  // namespace

@@ -228,6 +228,12 @@ TEST(ObsStats, TracerRecordsRegionsAndEmitsChromeTraceJson) {
   EXPECT_EQ(json.back(), ']');
   for (const char* key : {"\"dgemm\"", "\"pack_b\"", "\"gebp\"", "\"ph\":\"X\"", "\"tid\""})
     EXPECT_NE(json.find(key), std::string::npos) << key << " missing";
+  // Chrome-trace polish: process/thread metadata events plus block
+  // ordinals on the instrumented regions.
+  for (const char* key : {"\"ph\":\"M\"", "\"process_name\"", "\"thread_name\"",
+                          "\"armgemm\"", "rank 0 (driver)", "\"args\"", "\"jc\":0",
+                          "\"ic\":0", "\"pc\":0"})
+    EXPECT_NE(json.find(key), std::string::npos) << key << " missing in " << json;
   tracer.clear();
   EXPECT_EQ(tracer.event_count(), 0u);
 }

@@ -1,10 +1,16 @@
 // Thread pool, barrier and range partitioning tests.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <numeric>
 #include <set>
+#include <string>
 #include <vector>
+
+#if defined(__linux__)
+#include <pthread.h>
+#endif
 
 #include "common/check.hpp"
 #include "threading/thread_pool.hpp"
@@ -30,6 +36,24 @@ TEST(ThreadPoolTest, SingleThreadRunsInline) {
   });
   EXPECT_EQ(value, 42);
 }
+
+#if defined(__linux__)
+TEST(ThreadPoolTest, WorkersAreNamedByRank) {
+  // Worker threads carry "armgemm-w<rank>" names so external profilers
+  // and /proc line up with the pool's rank numbering. Rank 0 is the
+  // caller's own thread and keeps its name.
+  ThreadPool pool(3);
+  std::array<std::string, 3> names;
+  pool.run([&](int rank) {
+    char buf[32] = {0};
+    pthread_getname_np(pthread_self(), buf, sizeof(buf));
+    names[static_cast<std::size_t>(rank)] = buf;
+  });
+  EXPECT_EQ(names[1], "armgemm-w1");
+  EXPECT_EQ(names[2], "armgemm-w2");
+  EXPECT_NE(names[0], "armgemm-w0");  // caller participates unrenamed
+}
+#endif
 
 TEST(ThreadPoolTest, RepeatedRegionsAccumulate) {
   ThreadPool pool(3);

@@ -1,0 +1,197 @@
+#!/usr/bin/env python3
+"""Render and compare bench/regress BENCH_*.json reports.
+
+Usage:
+  bench_diff.py REPORT.json                 # pretty-print one run
+  bench_diff.py BASE.json NEW.json          # side-by-side diff, nonzero
+                                            # exit on efficiency regression
+  bench_diff.py --check-schema REPORT.json  # validate schema only
+  bench_diff.py --self-test                 # built-in schema/diff tests
+
+Stdlib only (json/argparse); the schema is versioned as
+"armgemm-bench/1" and produced by bench/regress.cpp.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "armgemm-bench/1"
+
+TOP_LEVEL_REQUIRED = {
+    "schema": str,
+    "host": str,
+    "date": str,
+    "reps": (int, float),
+    "pmu_hardware": bool,
+    "peak_gflops_per_core": (int, float),
+    "calibration": dict,
+    "results": list,
+}
+
+RESULT_REQUIRED = {
+    "n": (int, float),
+    "threads": (int, float),
+    "best_seconds": (int, float),
+    "gflops": (int, float),
+    "efficiency": (int, float),
+    "layers": dict,
+    "pmu": dict,
+}
+
+
+def validate(report):
+    """Returns a list of schema problems (empty when valid)."""
+    problems = []
+    if not isinstance(report, dict):
+        return ["top level is not an object"]
+    for key, types in TOP_LEVEL_REQUIRED.items():
+        if key not in report:
+            problems.append(f"missing top-level key: {key}")
+        elif not isinstance(report[key], types):
+            problems.append(f"wrong type for {key}: {type(report[key]).__name__}")
+    if report.get("schema") not in (None, SCHEMA):
+        problems.append(f"schema is {report['schema']!r}, expected {SCHEMA!r}")
+    for i, r in enumerate(report.get("results", [])):
+        if not isinstance(r, dict):
+            problems.append(f"results[{i}] is not an object")
+            continue
+        for key, types in RESULT_REQUIRED.items():
+            if key not in r:
+                problems.append(f"results[{i}] missing key: {key}")
+            elif not isinstance(r[key], types):
+                problems.append(f"results[{i}].{key} has wrong type")
+    return problems
+
+
+def load(path):
+    with open(path, encoding="utf-8") as f:
+        report = json.load(f)
+    problems = validate(report)
+    if problems:
+        raise ValueError(f"{path}: " + "; ".join(problems))
+    return report
+
+
+def key(result):
+    return (int(result["n"]), int(result["threads"]))
+
+
+def print_report(report):
+    print(f"host {report['host']}  date {report['date']}  "
+          f"peak {report['peak_gflops_per_core']:.2f} Gflops/core  "
+          f"pmu {'hw' if report['pmu_hardware'] else 'fallback'}")
+    print(f"{'n':>6} {'thr':>4} {'Gflops':>9} {'eff':>7} {'GEBP s':>10} {'pack s':>10} "
+          f"{'barrier s':>10}")
+    for r in report["results"]:
+        layers = r["layers"]
+        pack = layers.get("pack_a_seconds", 0) + layers.get("pack_b_seconds", 0)
+        print(f"{int(r['n']):>6} {int(r['threads']):>4} {r['gflops']:>9.2f} "
+              f"{r['efficiency']:>6.1%} {layers.get('gebp_seconds', 0):>10.4f} "
+              f"{pack:>10.4f} {layers.get('barrier_seconds', 0):>10.4f}")
+
+
+def diff(base, new, threshold):
+    """Prints the comparison; returns the number of regressions."""
+    base_by_key = {key(r): r for r in base["results"]}
+    regressions = 0
+    print(f"{'n':>6} {'thr':>4} {'base eff':>9} {'new eff':>9} {'rel delta':>10}  verdict")
+    for r in new["results"]:
+        b = base_by_key.get(key(r))
+        if b is None:
+            print(f"{int(r['n']):>6} {int(r['threads']):>4} {'-':>9} "
+                  f"{r['efficiency']:>8.1%} {'-':>10}  new config")
+            continue
+        base_eff, new_eff = b["efficiency"], r["efficiency"]
+        drop = (base_eff - new_eff) / base_eff if base_eff > 0 else 0.0
+        bad = drop > threshold
+        regressions += bad
+        print(f"{int(r['n']):>6} {int(r['threads']):>4} {base_eff:>8.1%} {new_eff:>8.1%} "
+              f"{-drop:>+10.1%}  {'REGRESSION' if bad else 'ok'}")
+    return regressions
+
+
+def make_sample(eff_scale=1.0):
+    return {
+        "schema": SCHEMA,
+        "host": "self-test",
+        "date": "19700101",
+        "reps": 3,
+        "pmu_hardware": False,
+        "peak_gflops_per_core": 10.0,
+        "calibration": {"mu": 1e-10},
+        "results": [
+            {
+                "n": 128,
+                "threads": 1,
+                "best_seconds": 0.001,
+                "gflops": 8.0 * eff_scale,
+                "efficiency": 0.8 * eff_scale,
+                "layers": {"gebp_seconds": 0.0008},
+                "pmu": {"cycles": 1000},
+            }
+        ],
+    }
+
+
+def self_test():
+    ok = make_sample()
+    assert validate(ok) == [], validate(ok)
+
+    bad = make_sample()
+    del bad["results"][0]["efficiency"]
+    bad["schema"] = "armgemm-bench/999"
+    problems = validate(bad)
+    assert any("schema" in p for p in problems), problems
+    assert any("efficiency" in p for p in problems), problems
+
+    assert diff(make_sample(), make_sample(), 0.10) == 0
+    assert diff(make_sample(), make_sample(eff_scale=0.5), 0.10) == 1
+    assert diff(make_sample(), make_sample(eff_scale=0.95), 0.10) == 0
+
+    rt = json.loads(json.dumps(make_sample()))
+    assert validate(rt) == []
+    print("bench_diff self-test: all checks passed")
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("reports", nargs="*", help="one report to print, or BASE NEW to diff")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="relative efficiency drop treated as a regression")
+    parser.add_argument("--check-schema", action="store_true",
+                        help="validate the report(s) and exit")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run built-in schema/diff tests")
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return self_test()
+    if not args.reports or len(args.reports) > 2:
+        parser.error("expected 1 report (print/validate) or 2 (diff)")
+
+    try:
+        reports = [load(p) for p in args.reports]
+    except (OSError, ValueError, json.JSONDecodeError) as e:
+        print(f"bench_diff: {e}", file=sys.stderr)
+        return 2
+
+    if args.check_schema:
+        for path in args.reports:
+            print(f"{path}: schema ok")
+        return 0
+    if len(reports) == 1:
+        print_report(reports[0])
+        return 0
+    regressions = diff(reports[0], reports[1], args.threshold)
+    if regressions:
+        print(f"bench_diff: {regressions} regression(s)", file=sys.stderr)
+        return 1
+    print("no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
