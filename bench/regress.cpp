@@ -1,13 +1,22 @@
-// Benchmark-regression harness: sweeps dgemm over sizes x thread counts,
-// emits a schema-versioned BENCH_<host>_<date>.json (gflops, efficiency
-// against the calibrated peak, per-layer time/byte counters, hardware
-// PMU totals with provenance), and — given --baseline=<file> — compares
-// efficiency point-by-point against a previous run, exiting nonzero when
-// any configuration regressed beyond --threshold.
+// Benchmark-regression harness: sweeps dgemm over (m, n, k) points x
+// thread counts, emits a schema-versioned BENCH_<host>_<date>.json
+// (gflops, efficiency against the calibrated peak, per-layer time/byte
+// counters, hardware PMU totals with provenance), and — given
+// --baseline=<file> — compares efficiency point-by-point against a
+// previous run, exiting nonzero when any configuration regressed beyond
+// --threshold.
 //
 //   regress --out=now.json                      # record a run
 //   regress --baseline=then.json                # record + gate
 //   regress --baseline=then.json --inject-regression=0.5   # gate self-test
+//   regress --sizes=64,128                      # only those squares
+//   regress --shapes=2048x64x64,64x2048x64      # only those shapes
+//
+// With neither --sizes nor --shapes the default sweep covers large
+// squares, small squares that exercise the no-pack fast path, and
+// tall/wide-skinny shapes that exercise the 2-D dynamic scheduler.
+// Baselines written by schema armgemm-bench/1 (square-only, keyed by
+// "n") are still accepted: missing m/k default to n.
 //
 // Exit codes: 0 ok, 1 efficiency regression, 2 usage/baseline error.
 // tools/bench_diff.py renders the same files side by side.
@@ -34,10 +43,15 @@
 
 namespace {
 
-constexpr const char* kSchema = "armgemm-bench/1";
+constexpr const char* kSchema = "armgemm-bench/2";
+constexpr const char* kSchemaV1 = "armgemm-bench/1";  // square-only baselines
+
+struct BenchShape {
+  std::int64_t m = 0, n = 0, k = 0;
+};
 
 struct RunResult {
-  std::int64_t n = 0;  // square problems: m = n = k
+  std::int64_t m = 0, n = 0, k = 0;
   int threads = 1;
   double best_seconds = 0;
   double gflops = 0;
@@ -81,11 +95,11 @@ std::vector<int> thread_list(const ag::CliArgs& args) {
   return out;
 }
 
-RunResult run_config(std::int64_t n, int threads, int reps, double peak_per_core,
+RunResult run_config(BenchShape sh, int threads, int reps, double peak_per_core,
                      double inject) {
-  auto a = ag::random_matrix(n, n, 1);
-  auto b = ag::random_matrix(n, n, 2);
-  auto c = ag::random_matrix(n, n, 3);
+  auto a = ag::random_matrix(sh.m, sh.k, 1);
+  auto b = ag::random_matrix(sh.k, sh.n, 2);
+  auto c = ag::random_matrix(sh.m, sh.n, 3);
   ag::Context ctx(ag::KernelShape{8, 6}, threads);
   ag::obs::GemmStats stats;
   ag::obs::PmuCollector pmu;
@@ -93,15 +107,17 @@ RunResult run_config(std::int64_t n, int threads, int reps, double peak_per_core
   ctx.set_stats(&stats);
 
   const auto call = [&] {
-    ag::dgemm(ag::Layout::ColMajor, ag::Trans::NoTrans, ag::Trans::NoTrans, n, n, n, 1.0,
-              a.data(), a.ld(), b.data(), b.ld(), 1.0, c.data(), c.ld(), ctx);
+    ag::dgemm(ag::Layout::ColMajor, ag::Trans::NoTrans, ag::Trans::NoTrans, sh.m, sh.n, sh.k,
+              1.0, a.data(), a.ld(), b.data(), b.ld(), 1.0, c.data(), c.ld(), ctx);
   };
   call();  // warm-up: page in buffers, spin up the pool, open counters
   stats.reset();
   pmu.reset();
 
   RunResult r;
-  r.n = n;
+  r.m = sh.m;
+  r.n = sh.n;
+  r.k = sh.k;
   r.threads = threads;
   r.best_seconds = 1e300;
   for (int i = 0; i < reps; ++i) {
@@ -109,7 +125,8 @@ RunResult run_config(std::int64_t n, int threads, int reps, double peak_per_core
     call();
     r.best_seconds = std::min(r.best_seconds, t.seconds());
   }
-  const double flops = 2.0 * static_cast<double>(n) * n * n;
+  const double flops = 2.0 * static_cast<double>(sh.m) * static_cast<double>(sh.n) *
+                       static_cast<double>(sh.k);
   r.gflops = inject * flops / r.best_seconds * 1e-9;
   r.efficiency = peak_per_core > 0 ? r.gflops / (peak_per_core * threads) : 0;
   r.layers = stats.totals();
@@ -124,9 +141,11 @@ void json_layers(std::ostream& os, const ag::obs::LayerCounters& t) {
      << ",\"pack_b_seconds\":" << t.pack_b_seconds
      << ",\"gebp_seconds\":" << t.gebp_seconds
      << ",\"barrier_seconds\":" << t.barrier_seconds
+     << ",\"small_seconds\":" << t.small_seconds
      << ",\"total_seconds\":" << t.total_seconds << ",\"pack_a_bytes\":" << t.pack_a_bytes
      << ",\"pack_b_bytes\":" << t.pack_b_bytes << ",\"c_bytes\":" << t.c_bytes
-     << ",\"kernel_calls\":" << t.kernel_calls << ",\"gebp_calls\":" << t.gebp_calls << "}";
+     << ",\"kernel_calls\":" << t.kernel_calls << ",\"gebp_calls\":" << t.gebp_calls
+     << ",\"small_calls\":" << t.small_calls << "}";
 }
 
 void json_pmu(std::ostream& os, const RunResult& r) {
@@ -154,7 +173,8 @@ std::string report_json(const std::vector<RunResult>& results,
   for (std::size_t i = 0; i < results.size(); ++i) {
     const RunResult& r = results[i];
     if (i) os << ",";
-    os << "{\"n\":" << r.n << ",\"threads\":" << r.threads
+    os << "{\"m\":" << r.m << ",\"n\":" << r.n << ",\"k\":" << r.k
+       << ",\"threads\":" << r.threads
        << ",\"best_seconds\":" << r.best_seconds << ",\"gflops\":" << r.gflops
        << ",\"efficiency\":" << r.efficiency << ",\"layers\":";
     json_layers(os, r.layers);
@@ -166,33 +186,77 @@ std::string report_json(const std::vector<RunResult>& results,
   return os.str();
 }
 
+std::string shape_label(std::int64_t m, std::int64_t n, std::int64_t k) {
+  std::ostringstream os;
+  if (m == n && n == k)
+    os << "n=" << n;
+  else
+    os << "shape=" << m << "x" << n << "x" << k;
+  return os.str();
+}
+
 /// Compares each current result against the baseline entry with the same
-/// (n, threads); returns the number of regressions beyond `threshold`
-/// (relative efficiency drop), printing one line per comparison.
+/// (m, n, k, threads); returns the number of regressions beyond
+/// `threshold` (relative efficiency drop), printing one line per
+/// comparison. Schema-1 baselines carry only "n": their m and k default
+/// to n, so square points still match.
 int compare_against_baseline(const std::vector<RunResult>& results,
                              const ag::JsonValue& baseline, double threshold) {
   const ag::JsonValue& base_results = baseline["results"];
   int regressions = 0;
   for (const RunResult& r : results) {
     const ag::JsonValue* match = nullptr;
-    for (const ag::JsonValue& b : base_results.items())
-      if (static_cast<std::int64_t>(b["n"].as_number()) == r.n &&
+    for (const ag::JsonValue& b : base_results.items()) {
+      const std::int64_t bn = static_cast<std::int64_t>(b["n"].as_number());
+      const std::int64_t bm = b["m"].is_null() ? bn : static_cast<std::int64_t>(b["m"].as_number());
+      const std::int64_t bk = b["k"].is_null() ? bn : static_cast<std::int64_t>(b["k"].as_number());
+      if (bm == r.m && bn == r.n && bk == r.k &&
           static_cast<int>(b["threads"].as_number()) == r.threads)
         match = &b;
+    }
+    const std::string label = shape_label(r.m, r.n, r.k);
     if (!match) {
-      std::cout << "  n=" << r.n << " threads=" << r.threads << ": no baseline entry\n";
+      std::cout << "  " << label << " threads=" << r.threads << ": no baseline entry\n";
       continue;
     }
     const double base_eff = (*match)["efficiency"].as_number();
     const double drop = base_eff > 0 ? (base_eff - r.efficiency) / base_eff : 0;
     const bool bad = drop > threshold;
-    std::cout << "  n=" << r.n << " threads=" << r.threads << ": efficiency "
+    std::cout << "  " << label << " threads=" << r.threads << ": efficiency "
               << ag::Table::fmt_pct(base_eff) << " -> " << ag::Table::fmt_pct(r.efficiency)
               << " (" << (drop >= 0 ? "-" : "+") << ag::Table::fmt_pct(std::abs(drop))
               << " rel) " << (bad ? "REGRESSION" : "ok") << "\n";
     regressions += bad ? 1 : 0;
   }
   return regressions;
+}
+
+/// "MxNxK" (e.g. 2048x64x64) or a bare "N" meaning an NxNxN square.
+bool parse_shape(const std::string& token, BenchShape* out) {
+  std::int64_t v[3] = {0, 0, 0};
+  int idx = 0;
+  std::size_t pos = 0;
+  while (pos <= token.size() && idx < 3) {
+    std::size_t next = token.find('x', pos);
+    if (next == std::string::npos) next = token.size();
+    try {
+      v[idx++] = std::stoll(token.substr(pos, next - pos));
+    } catch (...) {
+      return false;
+    }
+    pos = next + 1;
+    if (pos > token.size()) break;
+  }
+  if (idx == 1) {
+    out->m = out->n = out->k = v[0];
+  } else if (idx == 3) {
+    out->m = v[0];
+    out->n = v[1];
+    out->k = v[2];
+  } else {
+    return false;
+  }
+  return out->m > 0 && out->n > 0 && out->k > 0;
 }
 
 }  // namespace
@@ -204,16 +268,48 @@ int main(int argc, char** argv) {
                  "would all read zero\n";
   }
 
-  const std::vector<std::int64_t> sizes = agbench::size_list(args, {128, 256, 384});
+  // Point list: --sizes picks squares, --shapes picks MxNxK points; either
+  // flag alone restricts the sweep to exactly what it names. The default
+  // sweep mixes the classic large squares with small squares (no-pack
+  // fast path) and tall/wide-skinny shapes (2-D dynamic scheduling).
+  std::vector<BenchShape> points;
+  if (args.has("sizes") || args.has("shapes")) {
+    for (std::int64_t n : agbench::size_list(args, {})) {
+      if (n <= 0) {
+        std::cerr << "regress: --sizes entries must be positive (got " << n << ")\n";
+        return 2;
+      }
+      points.push_back({n, n, n});
+    }
+    const std::string raw_shapes = args.get("shapes", "");
+    std::size_t pos = 0;
+    while (pos < raw_shapes.size()) {
+      std::size_t next = raw_shapes.find(',', pos);
+      if (next == std::string::npos) next = raw_shapes.size();
+      BenchShape sh;
+      if (!parse_shape(raw_shapes.substr(pos, next - pos), &sh)) {
+        std::cerr << "regress: bad --shapes entry \"" << raw_shapes.substr(pos, next - pos)
+                  << "\" (want MxNxK or N)\n";
+        return 2;
+      }
+      points.push_back(sh);
+      pos = next + 1;
+    }
+  } else {
+    for (std::int64_t n : {std::int64_t{32}, std::int64_t{48}, std::int64_t{64},
+                           std::int64_t{128}, std::int64_t{256}, std::int64_t{384}})
+      points.push_back({n, n, n});
+    points.push_back({2048, 64, 64});  // tall-skinny: many mc blocks, narrow panel
+    points.push_back({64, 2048, 64});  // wide-skinny: one mc block, many panels
+  }
+  if (points.empty()) {
+    std::cerr << "regress: empty point list\n";
+    return 2;
+  }
   const std::vector<int> threads = thread_list(args);
   const int reps = static_cast<int>(args.get_int("reps", 3));
   const double threshold = args.get_double("threshold", 0.10);
   const double inject = args.get_double("inject-regression", 1.0);
-  for (std::int64_t n : sizes)
-    if (n <= 0) {
-      std::cerr << "regress: --sizes entries must be positive (got " << n << ")\n";
-      return 2;
-    }
   for (int t : threads)
     if (t <= 0) {
       std::cerr << "regress: --threads entries must be positive (got " << t << ")\n";
@@ -234,11 +330,11 @@ int main(int argc, char** argv) {
             << (cal.used_hardware_counters ? "hw" : "fallback") << ")\n";
 
   std::vector<RunResult> results;
-  for (std::int64_t n : sizes)
+  for (const BenchShape& sh : points)
     for (int t : threads) {
-      results.push_back(run_config(n, t, reps, cal.peak_gflops, inject));
+      results.push_back(run_config(sh, t, reps, cal.peak_gflops, inject));
       const RunResult& r = results.back();
-      std::cout << "n=" << r.n << " threads=" << r.threads << ": "
+      std::cout << shape_label(r.m, r.n, r.k) << " threads=" << r.threads << ": "
                 << ag::Table::fmt(r.gflops, 2) << " Gflops, efficiency "
                 << ag::Table::fmt_pct(r.efficiency) << "\n";
     }
@@ -271,9 +367,10 @@ int main(int argc, char** argv) {
     std::cerr << "regress: baseline parse error: " << err << "\n";
     return 2;
   }
-  if (baseline["schema"].as_string() != kSchema) {
-    std::cerr << "regress: baseline schema \"" << baseline["schema"].as_string()
-              << "\" != \"" << kSchema << "\"\n";
+  const std::string base_schema = baseline["schema"].as_string();
+  if (base_schema != kSchema && base_schema != kSchemaV1) {
+    std::cerr << "regress: baseline schema \"" << base_schema << "\" is neither \""
+              << kSchema << "\" nor \"" << kSchemaV1 << "\"\n";
     return 2;
   }
   std::cout << "comparing against " << baseline_path << " (threshold "

@@ -5,6 +5,7 @@
 
 #include "blas3/blas3.hpp"
 #include "common/check.hpp"
+#include "common/knobs.hpp"
 #include "core/gemm.hpp"
 #include "core/sgemm.hpp"
 #include "obs/gemm_stats.hpp"
@@ -135,6 +136,14 @@ void armgemm_set_num_threads(int threads) {
 
 int armgemm_get_num_threads(void) { return g_threads.load(); }
 
+void armgemm_set_spin_us(long long us) { ag::set_spin_wait_us(us); }
+
+long long armgemm_get_spin_us(void) { return ag::spin_wait_us(); }
+
+void armgemm_set_small_mnk(long long t) { ag::set_small_gemm_mnk(t); }
+
+long long armgemm_get_small_mnk(void) { return ag::small_gemm_mnk(); }
+
 void armgemm_stats_enable(void) { g_stats_enabled.store(true, std::memory_order_relaxed); }
 
 void armgemm_stats_disable(void) { g_stats_enabled.store(false, std::memory_order_relaxed); }
@@ -175,6 +184,9 @@ void armgemm_stats_get(armgemm_stats_snapshot* out) {
   out->pmu_branch_misses = hw[ag::obs::PmuEvent::kBranchMisses];
   out->pmu_task_clock_ns = hw[ag::obs::PmuEvent::kTaskClockNs];
   out->pmu_hardware = global_pmu().any_hardware() ? 1 : 0;
+
+  out->small_calls = t.small_calls;
+  out->small_seconds = t.small_seconds;
 }
 
 int armgemm_stats_write_json(const char* path) {

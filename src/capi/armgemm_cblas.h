@@ -52,6 +52,21 @@ void cblas_dtrsm(CBLAS_ORDER order, CBLAS_SIDE side, CBLAS_UPLO uplo, CBLAS_TRAN
 void armgemm_set_num_threads(int threads);
 int armgemm_get_num_threads(void);
 
+/* ---- Runtime knobs (process-wide) ----
+ *
+ * Spin window of the hybrid barriers / fork-join edges, in microseconds:
+ * waiters busy-poll this long (exponential cpu_relax backoff) before
+ * blocking on the OS. 0 blocks immediately. Defaults to the
+ * ARMGEMM_SPIN_US environment variable, else 50. */
+void armgemm_set_spin_us(long long us);
+long long armgemm_get_spin_us(void);
+
+/* Small-matrix fast-path threshold T: problems with m*n*k <= T^3 skip
+ * packing and the blocked loop nest entirely. 0 disables the fast path.
+ * Defaults to the ARMGEMM_SMALL_MNK environment variable, else 6. */
+void armgemm_set_small_mnk(long long t);
+long long armgemm_get_small_mnk(void);
+
 /* ---- Per-layer instrumentation (process-wide, off by default) ----
  *
  * When enabled, every cblas_dgemm call records per-layer counters into
@@ -81,6 +96,11 @@ typedef struct armgemm_stats_snapshot {
   unsigned long long pmu_stall_cycles, pmu_branch_misses;
   unsigned long long pmu_task_clock_ns;
   int pmu_hardware; /* 1 when at least one real hardware counter opened */
+
+  /* Small-matrix fast path (appended in runtime-overhaul revision; keep
+   * at the end for layout compatibility with older snapshots). */
+  unsigned long long small_calls;
+  double small_seconds;
 } armgemm_stats_snapshot;
 
 /* Attaches (or detaches) the process-wide hardware performance-counter

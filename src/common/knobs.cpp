@@ -1,0 +1,63 @@
+#include "common/knobs.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace ag {
+namespace {
+
+constexpr std::int64_t kDefaultSpinUs = 50;
+// Measured crossover on the dev host: with the per-context packing
+// scratch reused across calls, the blocked path beats the no-pack axpy
+// nest from about 8x8x8 up; the fast path wins clearly at 6^3 and below.
+// Conservative default — raise via ARMGEMM_SMALL_MNK on machines where
+// packing is relatively more expensive.
+constexpr std::int64_t kDefaultSmallMnk = 6;
+
+std::int64_t env_int64(const char* name, std::int64_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || raw[0] == '\0') return fallback;
+  char* end = nullptr;
+  const long long v = std::strtoll(raw, &end, 10);
+  if (end == raw || v < 0) return fallback;  // malformed / negative: ignore
+  return static_cast<std::int64_t>(v);
+}
+
+std::atomic<std::int64_t>& spin_us_knob() {
+  static std::atomic<std::int64_t> v{env_int64("ARMGEMM_SPIN_US", kDefaultSpinUs)};
+  return v;
+}
+
+std::atomic<std::int64_t>& small_mnk_knob() {
+  static std::atomic<std::int64_t> v{env_int64("ARMGEMM_SMALL_MNK", kDefaultSmallMnk)};
+  return v;
+}
+
+}  // namespace
+
+std::int64_t spin_wait_us() { return spin_us_knob().load(std::memory_order_relaxed); }
+
+void set_spin_wait_us(std::int64_t us) {
+  spin_us_knob().store(us < 0 ? 0 : us, std::memory_order_relaxed);
+}
+
+std::int64_t small_gemm_mnk() { return small_mnk_knob().load(std::memory_order_relaxed); }
+
+void set_small_gemm_mnk(std::int64_t t) {
+  small_mnk_knob().store(t < 0 ? 0 : t, std::memory_order_relaxed);
+}
+
+bool use_small_gemm(std::int64_t m, std::int64_t n, std::int64_t k) {
+  const std::int64_t t = small_gemm_mnk();
+  if (t <= 0 || m <= 0 || n <= 0 || k <= 0) return false;
+  // Decide m*n*k <= t^3 without overflow. For t >= 2^21, t^3 exceeds
+  // int64 range, so every representable product qualifies.
+  if (t >= (std::int64_t{1} << 21)) return true;
+  const std::int64_t t3 = t * t * t;
+  if (m > t3) return false;
+  if (n > t3 / m) return false;  // m*n > t3 implies the product does too
+  const std::int64_t mn = m * n;
+  return k <= t3 / mn;  // exact: k > floor(t3/mn) <=> k*mn > t3
+}
+
+}  // namespace ag

@@ -1,0 +1,35 @@
+// Process-wide runtime knobs for the parallel GEMM runtime.
+//
+// Two tunables the runtime overhaul exposes (README "Runtime knobs"):
+//
+//   ARMGEMM_SPIN_US    - microseconds a rank spins (with cpu_relax backoff)
+//                        at a barrier / fork-join edge before blocking on
+//                        the OS. 0 disables spinning entirely.
+//   ARMGEMM_SMALL_MNK  - threshold T of the no-pack small-matrix fast
+//                        path: problems with m*n*k <= T^3 skip packing and
+//                        the blocked loop nest. 0 disables the fast path.
+//
+// Each knob reads its environment variable once at first use; the setters
+// override the value process-wide afterwards (exposed through the C API as
+// armgemm_set_spin_us / armgemm_set_small_mnk). The predicate lives in
+// src/common because both the core driver and obs/expected (the blocking
+// arithmetic model) must agree on which path a given shape takes.
+#pragma once
+
+#include <cstdint>
+
+namespace ag {
+
+/// Spin budget in microseconds before a waiter falls back to blocking.
+std::int64_t spin_wait_us();
+void set_spin_wait_us(std::int64_t us);
+
+/// Small-matrix fast-path threshold T (fast path when m*n*k <= T^3).
+std::int64_t small_gemm_mnk();
+void set_small_gemm_mnk(std::int64_t t);
+
+/// True when (m, n, k) should take the no-pack small-matrix fast path
+/// under the current threshold. Overflow-safe for any int64 dimensions.
+bool use_small_gemm(std::int64_t m, std::int64_t n, std::int64_t k);
+
+}  // namespace ag

@@ -1,22 +1,50 @@
 #include "core/context.hpp"
 
+#include <mutex>
+
 #include "common/check.hpp"
 
 namespace ag {
+
+struct ScratchPool {
+  std::mutex mutex;
+  std::vector<std::unique_ptr<GemmScratch>> free_list;
+};
+
+Context::ScratchLease::~ScratchLease() {
+  if (!pool_ || !scratch_) return;
+  std::lock_guard lock(pool_->mutex);
+  pool_->free_list.push_back(std::move(scratch_));
+}
+
+Context::ScratchLease Context::acquire_scratch() const {
+  std::unique_ptr<GemmScratch> scratch;
+  {
+    std::lock_guard lock(scratch_pool_->mutex);
+    if (!scratch_pool_->free_list.empty()) {
+      scratch = std::move(scratch_pool_->free_list.back());
+      scratch_pool_->free_list.pop_back();
+    }
+  }
+  if (!scratch) scratch = std::make_unique<GemmScratch>();
+  return ScratchLease(scratch_pool_, std::move(scratch));
+}
 
 Context::Context() : Context(KernelShape{8, 6}, 1) {}
 
 Context::Context(const std::string& kernel_name, int threads)
     : kernel_(&microkernel_by_name(kernel_name)),
       block_sizes_(default_block_sizes(kernel_->shape, threads)),
-      threads_(threads) {
+      threads_(threads),
+      scratch_pool_(std::make_shared<ScratchPool>()) {
   AG_CHECK(threads >= 1);
 }
 
 Context::Context(KernelShape shape, int threads)
     : kernel_(&best_microkernel(shape)),
       block_sizes_(default_block_sizes(shape, threads)),
-      threads_(threads) {
+      threads_(threads),
+      scratch_pool_(std::make_shared<ScratchPool>()) {
   AG_CHECK(threads >= 1);
 }
 

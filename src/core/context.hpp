@@ -1,16 +1,41 @@
 // Execution context for the optimized DGEMM: kernel choice, block sizes,
-// thread count, and the (lazily created, persistent) thread pool.
+// thread count, reusable packing scratch, and the (lazily created,
+// persistent) thread pool.
 #pragma once
 
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "common/aligned_buffer.hpp"
 #include "core/block_sizes.hpp"
 #include "kernels/microkernel.hpp"
 #include "obs/gemm_stats.hpp"
 #include "threading/thread_pool.hpp"
 
 namespace ag {
+
+/// Packing buffers for one in-flight GEMM: a double-buffered shared B
+/// panel (the parallel driver packs panel pc+1 while computing panel pc)
+/// and one A block per rank. Buffers grow monotonically via ensure(), so
+/// steady-state repeated calls allocate nothing.
+struct GemmScratch {
+  AlignedBuffer<double> packed_b[2];
+  std::vector<AlignedBuffer<double>> packed_a;
+
+  /// Grows the buffers to hold a `b_elems`-double B panel (x2 when
+  /// `double_buffer`) and `a_elems`-double A blocks for `ranks` ranks.
+  void reserve(std::size_t b_elems, std::size_t a_elems, int ranks, bool double_buffer) {
+    packed_b[0].ensure(b_elems);
+    if (double_buffer) packed_b[1].ensure(b_elems);
+    if (packed_a.size() < static_cast<std::size_t>(ranks))
+      packed_a.resize(static_cast<std::size_t>(ranks));
+    for (int r = 0; r < ranks; ++r) packed_a[static_cast<std::size_t>(r)].ensure(a_elems);
+  }
+};
+
+// Free list of GemmScratch objects (defined in context.cpp).
+struct ScratchPool;
 
 class Context {
  public:
@@ -53,6 +78,34 @@ class Context {
 #endif
   }
 
+  /// Checked-out GemmScratch; returns it to the context's free list on
+  /// destruction. See acquire_scratch().
+  class ScratchLease {
+   public:
+    ScratchLease(ScratchLease&&) noexcept = default;
+    ScratchLease& operator=(ScratchLease&&) noexcept = default;
+    ~ScratchLease();
+
+    GemmScratch& operator*() const { return *scratch_; }
+    GemmScratch* operator->() const { return scratch_.get(); }
+
+   private:
+    friend class Context;
+    ScratchLease(std::shared_ptr<ScratchPool> pool, std::unique_ptr<GemmScratch> scratch)
+        : pool_(std::move(pool)), scratch_(std::move(scratch)) {}
+
+    std::shared_ptr<ScratchPool> pool_;
+    std::unique_ptr<GemmScratch> scratch_;
+  };
+
+  /// Borrows a reusable packing-scratch object. Buffers grow monotonically
+  /// and persist across calls, so the steady-state hot path allocates
+  /// nothing. Thread-safe: concurrent dgemm calls sharing one const
+  /// Context (e.g. the capi's thread_local context pattern, or tests that
+  /// share a serial context across host threads) each get their own
+  /// scratch; the free list hands the warmest one back first.
+  ScratchLease acquire_scratch() const;
+
   /// Pool shared by every dgemm call made with this context; created on
   /// first parallel use.
   ThreadPool& pool() const;
@@ -66,6 +119,9 @@ class Context {
   int threads_;
   obs::GemmStats* stats_ = nullptr;
   mutable std::unique_ptr<ThreadPool> pool_;
+  // shared_ptr so outstanding leases keep the free list alive across
+  // Context moves and destruction.
+  mutable std::shared_ptr<ScratchPool> scratch_pool_;
 };
 
 }  // namespace ag

@@ -1,15 +1,18 @@
 #include "core/gemm.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <vector>
 
 #include "blas/reference_gemm.hpp"
 #include "common/aligned_buffer.hpp"
 #include "common/check.hpp"
+#include "common/knobs.hpp"
 #include "common/math_util.hpp"
 #include "common/timer.hpp"
 #include "core/gebp.hpp"
 #include "core/packing.hpp"
+#include "core/schedule.hpp"
 #include "obs/gemm_stats.hpp"
 #include "obs/pmu.hpp"
 #include "obs/tracer.hpp"
@@ -29,10 +32,48 @@ void scale_panel(double* c, index_t ldc, index_t m, index_t n, double beta) {
   }
 }
 
+// No-pack fast path for small problems (m*n*k <= ARMGEMM_SMALL_MNK^3):
+// packing and the blocked loop nest cost more than they save when the
+// operands fit in cache, so accumulate C directly with an axpy-style
+// (j, l, i) nest. C has already been scaled by beta. Always serial — at
+// these sizes a fork-join costs more than the multiply.
+void gemm_small(Trans trans_a, Trans trans_b, index_t m, index_t n, index_t k, double alpha,
+                const double* a, index_t lda, const double* b, index_t ldb, double* c,
+                index_t ldc, const Context& ctx) {
+  obs::GemmStats* stats = ctx.stats();
+  obs::ThreadSlot* slot = stats ? &stats->slot(0) : nullptr;
+  obs::Tracer::Region region(stats ? stats->tracer() : nullptr, 0, "small_gemm");
+  obs::PmuRegion hw(stats ? stats->pmu() : nullptr, 0, obs::PmuLayer::kSmall);
+  Timer t;
+  const bool ta = trans_a != Trans::NoTrans;
+  const bool tb = trans_b != Trans::NoTrans;
+  for (index_t j = 0; j < n; ++j) {
+    double* cj = c + j * ldc;
+    for (index_t l = 0; l < k; ++l) {
+      const double blj = tb ? b[j + l * ldb] : b[l + j * ldb];
+      if (blj == 0.0) continue;
+      const double scale = alpha * blj;
+      if (!ta) {
+        const double* al = a + l * lda;
+        for (index_t i = 0; i < m; ++i) cj[i] += scale * al[i];
+      } else {
+        for (index_t i = 0; i < m; ++i) cj[i] += scale * a[l + i * lda];
+      }
+    }
+  }
+  if (slot) {
+    slot->add_small(t.seconds());
+    // One read + one write of C; the operands stream straight from the
+    // caller's buffers, so there is no packed traffic to account.
+    slot->c_bytes.fetch_add(static_cast<std::uint64_t>(2 * m * n) * sizeof(double),
+                            std::memory_order_relaxed);
+  }
+}
+
 // Serial column-major driver; C has already been scaled by beta.
 void gemm_serial(Trans trans_a, Trans trans_b, index_t m, index_t n, index_t k, double alpha,
                  const double* a, index_t lda, const double* b, index_t ldb, double* c,
-                 index_t ldc, const Context& ctx) {
+                 index_t ldc, const Context& ctx, GemmScratch& scratch) {
   const BlockSizes& bs = ctx.block_sizes();
   const Microkernel& kernel = ctx.kernel();
   obs::GemmStats* stats = ctx.stats();
@@ -40,10 +81,13 @@ void gemm_serial(Trans trans_a, Trans trans_b, index_t m, index_t n, index_t k, 
   obs::Tracer* tracer = stats ? stats->tracer() : nullptr;
   obs::PmuCollector* pmu = stats ? stats->pmu() : nullptr;
 
-  AlignedBuffer<double> packed_a(static_cast<std::size_t>(
-      packed_a_size(std::min(bs.mc, m), std::min(bs.kc, k), bs.mr)));
-  AlignedBuffer<double> packed_b(static_cast<std::size_t>(
-      packed_b_size(std::min(bs.kc, k), std::min(bs.nc, n), bs.nr)));
+  scratch.reserve(static_cast<std::size_t>(
+                      packed_b_size(std::min(bs.kc, k), std::min(bs.nc, n), bs.nr)),
+                  static_cast<std::size_t>(
+                      packed_a_size(std::min(bs.mc, m), std::min(bs.kc, k), bs.mr)),
+                  1, /*double_buffer=*/false);
+  double* const packed_a = scratch.packed_a[0].data();
+  double* const packed_b = scratch.packed_b[0].data();
 
   for (index_t jj = 0; jj < n; jj += bs.nc) {        // layer 1
     const index_t nc = std::min(bs.nc, n - jj);
@@ -54,7 +98,7 @@ void gemm_serial(Trans trans_a, Trans trans_b, index_t m, index_t n, index_t k, 
       {
         obs::Tracer::Region region(tracer, 0, "pack_b", {-1, jc, pc});
         obs::PmuRegion hw(pmu, 0, obs::PmuLayer::kPackB);
-        pack_b(trans_b, b, ldb, kk, jj, kc, nc, bs.nr, packed_b.data(), slot);
+        pack_b(trans_b, b, ldb, kk, jj, kc, nc, bs.nr, packed_b, slot);
       }
       for (index_t ii = 0; ii < m; ii += bs.mc) {    // layer 3
         const index_t mc = std::min(bs.mc, m - ii);
@@ -62,94 +106,153 @@ void gemm_serial(Trans trans_a, Trans trans_b, index_t m, index_t n, index_t k, 
         {
           obs::Tracer::Region region(tracer, 0, "pack_a", {ic, jc, pc});
           obs::PmuRegion hw(pmu, 0, obs::PmuLayer::kPackA);
-          pack_a(trans_a, a, lda, ii, kk, mc, kc, bs.mr, packed_a.data(), slot);
+          pack_a(trans_a, a, lda, ii, kk, mc, kc, bs.mr, packed_a, slot);
         }
         obs::Tracer::Region region(tracer, 0, "gebp", {ic, jc, pc});
         obs::PmuRegion hw(pmu, 0, obs::PmuLayer::kGebp);
-        gebp(mc, nc, kc, alpha, packed_a.data(), packed_b.data(), c + ii + jj * ldc, ldc,
-             kernel, slot);
+        gebp(mc, nc, kc, alpha, packed_a, packed_b, c + ii + jj * ldc, ldc, kernel, slot);
       }
     }
   }
 }
 
-// Parallel column-major driver (Figure 9): the layer-3 loop over blocks of
-// A is split across threads; the packed B panel is shared and packed
-// cooperatively. C has already been scaled by beta.
-void gemm_parallel(Trans trans_a, Trans trans_b, index_t m, index_t n, index_t k, double alpha,
-                   const double* a, index_t lda, const double* b, index_t ldb, double* c,
-                   index_t ldc, const Context& ctx) {
+// Parallel column-major driver (Figure 9, pipelined): the (jj, kk) loop
+// nest is flattened into a sequence of kc x nc panels of B. The shared
+// packed-B panel is double-buffered — while ranks compute panel p out of
+// buf[p % 2] they first cooperatively pack panel p+1 into the other
+// buffer — so only ONE barrier per panel remains on the critical path
+// (the classic schedule needed two: packed-before-compute and
+// computed-before-repack). Within a panel, layer-3 work is claimed
+// dynamically from a per-panel atomic ticket counter over the
+// PanelSchedule block grid, which falls back to a 2-D (m x n) split when
+// there are fewer mc row blocks than ranks. C has already been scaled by
+// beta.
+void gemm_parallel(Trans trans_a, Trans trans_b, index_t m, index_t n, index_t k,
+                   double alpha, const double* a, index_t lda, const double* b, index_t ldb,
+                   double* c, index_t ldc, const Context& ctx, GemmScratch& scratch,
+                   int nthreads) {
   const BlockSizes& bs = ctx.block_sizes();
   const Microkernel& kernel = ctx.kernel();
-  const int nthreads = ctx.threads();
   obs::GemmStats* stats = ctx.stats();
 
-  AlignedBuffer<double> packed_b(static_cast<std::size_t>(
-      packed_b_size(std::min(bs.kc, k), std::min(bs.nc, n), bs.nr)));
-  std::vector<AlignedBuffer<double>> packed_a(static_cast<std::size_t>(nthreads));
-  const std::size_t a_elems = static_cast<std::size_t>(
-      packed_a_size(std::min(bs.mc, m), std::min(bs.kc, k), bs.mr));
-  for (auto& buf : packed_a) buf = AlignedBuffer<double>(a_elems);
+  struct Panel {
+    index_t jj, nc, kk, kc, jc, pc;
+  };
+  std::vector<Panel> panels;
+  std::vector<PanelSchedule> plans;
+  for (index_t jj = 0; jj < n; jj += bs.nc) {      // layer 1
+    const index_t nc = std::min(bs.nc, n - jj);
+    for (index_t kk = 0; kk < k; kk += bs.kc) {    // layer 2
+      panels.push_back({jj, nc, kk, std::min(bs.kc, k - kk), jj / bs.nc, kk / bs.kc});
+      plans.emplace_back(m, nc, bs.mc, bs.nr, nthreads);
+    }
+  }
+  const index_t npanels = static_cast<index_t>(panels.size());
+  std::vector<std::atomic<index_t>> tickets(panels.size());
+  for (auto& t : tickets) t.store(0, std::memory_order_relaxed);
+
+  scratch.reserve(static_cast<std::size_t>(
+                      packed_b_size(std::min(bs.kc, k), std::min(bs.nc, n), bs.nr)),
+                  static_cast<std::size_t>(
+                      packed_a_size(std::min(bs.mc, m), std::min(bs.kc, k), bs.mr)),
+                  nthreads, /*double_buffer=*/npanels > 1);
+  double* const bbuf[2] = {scratch.packed_b[0].data(),
+                           npanels > 1 ? scratch.packed_b[1].data()
+                                       : scratch.packed_b[0].data()};
 
   Barrier barrier(nthreads);
 
-  ctx.pool().run([&](int rank) {
-    obs::ThreadSlot* slot = stats ? &stats->slot(rank) : nullptr;
-    obs::Tracer* tracer = stats ? stats->tracer() : nullptr;
-    obs::PmuCollector* pmu = stats ? stats->pmu() : nullptr;
-    double barrier_wait = 0;
-    double* const wait_acc = slot ? &barrier_wait : nullptr;
-    for (index_t jj = 0; jj < n; jj += bs.nc) {      // layer 1
-      const index_t nc = std::min(bs.nc, n - jj);
-      const index_t b_slivers = ceil_div(nc, static_cast<index_t>(bs.nr));
-      const index_t jc = jj / bs.nc;
-      for (index_t kk = 0; kk < k; kk += bs.kc) {    // layer 2
-        const index_t kc = std::min(bs.kc, k - kk);
-        const index_t pc = kk / bs.kc;
-        // Cooperative packing of the shared B panel.
-        const Range bp = partition_range(b_slivers, nthreads, rank, 1);
-        {
-          obs::Tracer::Region region(tracer, rank, "pack_b", {-1, jc, pc});
+  ctx.pool().run(
+      [&](int rank) {
+        obs::ThreadSlot* slot = stats ? &stats->slot(rank) : nullptr;
+        obs::Tracer* tracer = stats ? stats->tracer() : nullptr;
+        obs::PmuCollector* pmu = stats ? stats->pmu() : nullptr;
+        double barrier_wait = 0;
+        double* const wait_acc = slot ? &barrier_wait : nullptr;
+        double* const my_packed_a = scratch.packed_a[static_cast<std::size_t>(rank)].data();
+
+        const auto pack_panel = [&](index_t p) {
+          const Panel& panel = panels[static_cast<std::size_t>(p)];
+          const index_t slivers = ceil_div(panel.nc, static_cast<index_t>(bs.nr));
+          const Range bp = partition_range(slivers, nthreads, rank, 1);
+          obs::Tracer::Region region(tracer, rank, "pack_b", {-1, panel.jc, panel.pc});
           obs::PmuRegion hw(pmu, rank, obs::PmuLayer::kPackB);
-          pack_b_slivers(trans_b, b, ldb, kk, jj, kc, nc, bs.nr, bp.begin, bp.end,
-                         packed_b.data(), slot);
-        }
+          pack_b_slivers(trans_b, b, ldb, panel.kk, panel.jj, panel.kc, panel.nc, bs.nr,
+                         bp.begin, bp.end, bbuf[p & 1], slot);
+        };
+
+        // Prologue: panel 0 must be fully packed before anyone computes.
+        pack_panel(0);
         {
           obs::PmuRegion hw(pmu, rank, obs::PmuLayer::kBarrier);
           barrier.arrive_and_wait(wait_acc);
         }
-        // Layer 3 split across threads, each share mc-aligned (Figure 9).
-        const Range rows = partition_range(m, nthreads, rank, bs.mc);
-        for (index_t ii = rows.begin; ii < rows.end; ii += bs.mc) {
-          const index_t mc = std::min(bs.mc, rows.end - ii);
-          const index_t ic = ii / bs.mc;
-          {
-            obs::Tracer::Region region(tracer, rank, "pack_a", {ic, jc, pc});
-            obs::PmuRegion hw(pmu, rank, obs::PmuLayer::kPackA);
-            pack_a(trans_a, a, lda, ii, kk, mc, kc, bs.mr,
-                   packed_a[static_cast<std::size_t>(rank)].data(), slot);
+        for (index_t p = 0; p < npanels; ++p) {
+          // Overlap: pack the next panel before computing this one, so
+          // another rank's leftover compute hides our pack time (and
+          // vice versa).
+          if (p + 1 < npanels) pack_panel(p + 1);
+
+          const Panel& panel = panels[static_cast<std::size_t>(p)];
+          const PanelSchedule& plan = plans[static_cast<std::size_t>(p)];
+          const double* const panel_b = bbuf[p & 1];
+          std::atomic<index_t>& ticket = tickets[static_cast<std::size_t>(p)];
+          index_t packed_ii = -1;
+          for (;;) {
+            const index_t t = ticket.fetch_add(1, std::memory_order_relaxed);
+            if (t >= plan.total_blocks()) break;
+            const GemmBlock blk = plan.block(t);
+            const index_t ic = blk.ii / bs.mc;
+            if (blk.ii != packed_ii) {
+              obs::Tracer::Region region(tracer, rank, "pack_a", {ic, panel.jc, panel.pc});
+              obs::PmuRegion hw(pmu, rank, obs::PmuLayer::kPackA);
+              pack_a(trans_a, a, lda, blk.ii, panel.kk, blk.mc, panel.kc, bs.mr, my_packed_a,
+                     slot);
+              packed_ii = blk.ii;
+            }
+            obs::Tracer::Region region(tracer, rank, "gebp", {ic, panel.jc, panel.pc});
+            obs::PmuRegion hw(pmu, rank, obs::PmuLayer::kGebp);
+            gebp(blk.mc, blk.nb, panel.kc, alpha, my_packed_a,
+                 panel_b + blk.sliver0 * panel.kc * bs.nr,
+                 c + blk.ii + (panel.jj + blk.jb) * ldc, ldc, kernel, slot);
           }
-          obs::Tracer::Region region(tracer, rank, "gebp", {ic, jc, pc});
-          obs::PmuRegion hw(pmu, rank, obs::PmuLayer::kGebp);
-          gebp(mc, nc, kc, alpha, packed_a[static_cast<std::size_t>(rank)].data(),
-               packed_b.data(), c + ii + jj * ldc, ldc, kernel, slot);
+          // One barrier per panel: it certifies both "panel p fully
+          // computed" (its buffer may be repacked two panels on) and
+          // "panel p+1 fully packed" (computable next iteration). After
+          // the last panel the pool join itself is the sync point.
+          if (p + 1 < npanels) {
+            obs::PmuRegion hw(pmu, rank, obs::PmuLayer::kBarrier);
+            barrier.arrive_and_wait(wait_acc);
+          }
         }
-        // B panel is reused as scratch next iteration; everyone must be done.
-        obs::PmuRegion hw(pmu, rank, obs::PmuLayer::kBarrier);
-        barrier.arrive_and_wait(wait_acc);
-      }
-    }
-    if (slot) slot->add_barrier_wait(barrier_wait);
-  });
+        if (slot) slot->add_barrier_wait(barrier_wait);
+      },
+      nthreads);
 }
 
 void run_gemm(Trans trans_a, Trans trans_b, index_t m, index_t n, index_t k, double alpha,
               const double* a, index_t lda, const double* b, index_t ldb, double* c,
               index_t ldc, const Context& ctx) {
-  if (ctx.threads() > 1 && m > ctx.block_sizes().mr) {
-    gemm_parallel(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, c, ldc, ctx);
+  if (use_small_gemm(m, n, k)) {
+    gemm_small(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, c, ldc, ctx);
+    return;
+  }
+  int eff = 1;
+  const BlockSizes& bs = ctx.block_sizes();
+  if (ctx.threads() > 1 && m > bs.mr) {
+    // Clamp the rank count to the parallelism actually available in the
+    // widest panel; surplus ranks would only add barrier traffic. One
+    // block total means one rank would own all work: run serial.
+    const PanelSchedule probe(m, std::min(bs.nc, n), bs.mc, bs.nr, ctx.threads());
+    eff = static_cast<int>(
+        std::min<index_t>(ctx.threads(), probe.total_blocks()));
+  }
+  Context::ScratchLease scratch = ctx.acquire_scratch();
+  if (eff > 1) {
+    gemm_parallel(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, c, ldc, ctx, *scratch,
+                  eff);
   } else {
-    gemm_serial(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, c, ldc, ctx);
+    gemm_serial(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, c, ldc, ctx, *scratch);
   }
 }
 

@@ -1,0 +1,43 @@
+#include "core/schedule.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/math_util.hpp"
+
+namespace ag {
+
+PanelSchedule::PanelSchedule(index_t m, index_t nc, index_t mc, int nr, int nthreads)
+    : m_(m), nc_(nc), mc_(mc), nr_(nr) {
+  AG_CHECK(m >= 1 && nc >= 1 && mc >= 1 && nr >= 1 && nthreads >= 1);
+  row_blocks_ = ceil_div(m, mc);
+  const index_t slivers = ceil_div(nc, static_cast<index_t>(nr));
+  if (row_blocks_ >= nthreads || nthreads == 1) {
+    // Enough mc blocks for everyone: 1-D tickets over full-width blocks.
+    col_groups_ = 1;
+    slivers_per_group_ = slivers;
+  } else {
+    // 2-D fallback: split the panel width so the grid has at least
+    // ~2 blocks per rank (headroom for dynamic balancing), bounded by
+    // the sliver count.
+    const index_t want = ceil_div<index_t>(2 * nthreads, row_blocks_);
+    const index_t groups = std::clamp<index_t>(want, 1, slivers);
+    slivers_per_group_ = ceil_div(slivers, groups);
+    col_groups_ = ceil_div(slivers, slivers_per_group_);  // drop empty tail groups
+  }
+}
+
+GemmBlock PanelSchedule::block(index_t ticket) const {
+  AG_CHECK(ticket >= 0 && ticket < total_blocks());
+  const index_t r = ticket / col_groups_;
+  const index_t g = ticket % col_groups_;
+  GemmBlock b;
+  b.ii = r * mc_;
+  b.mc = std::min(mc_, m_ - b.ii);
+  b.sliver0 = g * slivers_per_group_;
+  b.jb = b.sliver0 * nr_;
+  b.nb = std::min(slivers_per_group_ * nr_, nc_ - b.jb);
+  return b;
+}
+
+}  // namespace ag

@@ -1,0 +1,65 @@
+// Dynamic block scheduling for the parallel layer-3 loop.
+//
+// The paper's Figure 9 splits the m dimension statically across threads in
+// mc-aligned shares. That leaves ranks idle whenever ceil(m/mc) is not a
+// multiple of nthreads, and starves all but a few ranks outright on
+// tall-skinny or small-m shapes. PanelSchedule instead enumerates the
+// (mc x sub-panel) blocks of one C panel as a flat ticket space that ranks
+// claim from an atomic counter:
+//
+//   * When there are at least as many mc row blocks as ranks, the panel is
+//     decomposed 1-D (one ticket per mc block, the full nc width each) —
+//     identical block shapes to the static schedule, but claimed first-
+//     come-first-served so a rank that finishes early takes the next block
+//     instead of idling at the barrier.
+//   * When ceil(m/mc) < nthreads, the panel falls back to a 2-D (m x n)
+//     decomposition: the nc width is split into nr-aligned column groups
+//     so every rank still gets work. Column groups map directly onto the
+//     sliver-major packed-B layout (group g starts at sliver g *
+//     slivers_per_col, i.e. byte offset g * slivers_per_col * kc * nr).
+//
+// Tickets enumerate blocks row-major-within-column-groups (consecutive
+// tickets share the same mc row block) so a rank claiming adjacent tickets
+// reuses its packed A block. Any (mc, nr)-aligned decomposition computes
+// bitwise-identical C regardless of which rank claims which block, because
+// each mr x nr register tile accumulates over the full kc in a fixed order.
+#pragma once
+
+#include <cstdint>
+
+namespace ag {
+
+using index_t = std::int64_t;
+
+/// One claimed unit of layer-3 work inside a C panel.
+struct GemmBlock {
+  index_t ii = 0;       // first row of the mc block
+  index_t mc = 0;       // rows in this block (<= bs.mc)
+  index_t jb = 0;       // first column within the panel (nr-aligned)
+  index_t nb = 0;       // columns in this block
+  index_t sliver0 = 0;  // first packed-B sliver of the column group (jb / nr)
+};
+
+/// Ticket -> block mapping for one (m x nc) C panel.
+class PanelSchedule {
+ public:
+  /// `m` rows and `nc` panel columns, blocked by `mc` and grouped into
+  /// nr-aligned column groups sized so that `nthreads` ranks all get work.
+  PanelSchedule(index_t m, index_t nc, index_t mc, int nr, int nthreads);
+
+  index_t row_blocks() const { return row_blocks_; }
+  index_t col_groups() const { return col_groups_; }
+  index_t total_blocks() const { return row_blocks_ * col_groups_; }
+
+  /// Block for `ticket` in [0, total_blocks()).
+  GemmBlock block(index_t ticket) const;
+
+ private:
+  index_t m_ = 0, nc_ = 0, mc_ = 0;
+  int nr_ = 1;
+  index_t row_blocks_ = 0;
+  index_t col_groups_ = 0;
+  index_t slivers_per_group_ = 0;
+};
+
+}  // namespace ag

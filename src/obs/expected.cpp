@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/knobs.hpp"
 #include "common/math_util.hpp"
 
 namespace ag::obs {
@@ -13,6 +14,15 @@ LayerCounters expected_gemm_counters(std::int64_t m, std::int64_t n, std::int64_
   c.gemm_calls = 1;
   c.flops = 2.0 * static_cast<double>(m) * static_cast<double>(n) * static_cast<double>(k);
   if (k <= 0) return c;
+
+  // The driver's dispatch is part of the contract being modelled: shapes
+  // under the small-matrix threshold never pack, so the model predicts a
+  // single fast-path multiply and no packed-buffer traffic.
+  if (use_small_gemm(m, n, k)) {
+    c.small_calls = 1;
+    c.c_bytes = static_cast<std::uint64_t>(2 * m * n) * 8;  // C read + write
+    return c;
+  }
 
   const auto u = [](std::int64_t v) { return static_cast<std::uint64_t>(v); };
   const std::int64_t mr = bs.mr, nr = bs.nr;

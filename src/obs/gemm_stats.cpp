@@ -39,12 +39,14 @@ LayerCounters& LayerCounters::operator+=(const LayerCounters& o) {
   pack_b_calls += o.pack_b_calls;
   gebp_calls += o.gebp_calls;
   kernel_calls += o.kernel_calls;
+  small_calls += o.small_calls;
   pack_a_bytes += o.pack_a_bytes;
   pack_b_bytes += o.pack_b_bytes;
   c_bytes += o.c_bytes;
   pack_a_seconds += o.pack_a_seconds;
   pack_b_seconds += o.pack_b_seconds;
   gebp_seconds += o.gebp_seconds;
+  small_seconds += o.small_seconds;
   barrier_seconds += o.barrier_seconds;
   total_seconds += o.total_seconds;
   flops += o.flops;
@@ -61,7 +63,8 @@ double LayerCounters::gflops() const {
 }
 
 double LayerCounters::other_seconds() const {
-  const double accounted = pack_a_seconds + pack_b_seconds + gebp_seconds + barrier_seconds;
+  const double accounted =
+      pack_a_seconds + pack_b_seconds + gebp_seconds + small_seconds + barrier_seconds;
   return total_seconds > accounted ? total_seconds - accounted : 0.0;
 }
 
@@ -75,12 +78,14 @@ std::string LayerCounters::to_json() const {
   json_field(os, "pack_b_calls", pack_b_calls, first);
   json_field(os, "gebp_calls", gebp_calls, first);
   json_field(os, "kernel_calls", kernel_calls, first);
+  json_field(os, "small_calls", small_calls, first);
   json_field(os, "pack_a_bytes", pack_a_bytes, first);
   json_field(os, "pack_b_bytes", pack_b_bytes, first);
   json_field(os, "c_bytes", c_bytes, first);
   json_field(os, "pack_a_seconds", pack_a_seconds, first);
   json_field(os, "pack_b_seconds", pack_b_seconds, first);
   json_field(os, "gebp_seconds", gebp_seconds, first);
+  json_field(os, "small_seconds", small_seconds, first);
   json_field(os, "barrier_seconds", barrier_seconds, first);
   json_field(os, "total_seconds", total_seconds, first);
   json_field(os, "flops", flops, first);
@@ -109,6 +114,11 @@ void ThreadSlot::add_gebp(std::uint64_t kernels, std::uint64_t bytes_c, double s
   atomic_add(gebp_seconds, seconds);
 }
 
+void ThreadSlot::add_small(double seconds) {
+  small_calls.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(small_seconds, seconds);
+}
+
 void ThreadSlot::add_call(double fl, double seconds) {
   gemm_calls.fetch_add(1, std::memory_order_relaxed);
   atomic_add(flops, fl);
@@ -124,12 +134,14 @@ LayerCounters ThreadSlot::snapshot() const {
   c.pack_b_calls = pack_b_calls.load(std::memory_order_relaxed);
   c.gebp_calls = gebp_calls.load(std::memory_order_relaxed);
   c.kernel_calls = kernel_calls.load(std::memory_order_relaxed);
+  c.small_calls = small_calls.load(std::memory_order_relaxed);
   c.pack_a_bytes = pack_a_bytes.load(std::memory_order_relaxed);
   c.pack_b_bytes = pack_b_bytes.load(std::memory_order_relaxed);
   c.c_bytes = c_bytes.load(std::memory_order_relaxed);
   c.pack_a_seconds = pack_a_seconds.load(std::memory_order_relaxed);
   c.pack_b_seconds = pack_b_seconds.load(std::memory_order_relaxed);
   c.gebp_seconds = gebp_seconds.load(std::memory_order_relaxed);
+  c.small_seconds = small_seconds.load(std::memory_order_relaxed);
   c.barrier_seconds = barrier_seconds.load(std::memory_order_relaxed);
   c.total_seconds = total_seconds.load(std::memory_order_relaxed);
   c.flops = flops.load(std::memory_order_relaxed);
@@ -142,12 +154,14 @@ void ThreadSlot::reset() {
   pack_b_calls.store(0, std::memory_order_relaxed);
   gebp_calls.store(0, std::memory_order_relaxed);
   kernel_calls.store(0, std::memory_order_relaxed);
+  small_calls.store(0, std::memory_order_relaxed);
   pack_a_bytes.store(0, std::memory_order_relaxed);
   pack_b_bytes.store(0, std::memory_order_relaxed);
   c_bytes.store(0, std::memory_order_relaxed);
   pack_a_seconds.store(0, std::memory_order_relaxed);
   pack_b_seconds.store(0, std::memory_order_relaxed);
   gebp_seconds.store(0, std::memory_order_relaxed);
+  small_seconds.store(0, std::memory_order_relaxed);
   barrier_seconds.store(0, std::memory_order_relaxed);
   total_seconds.store(0, std::memory_order_relaxed);
   flops.store(0, std::memory_order_relaxed);
@@ -177,7 +191,7 @@ std::vector<LayerCounters> GemmStats::per_thread() const {
   for (const auto& s : slots_) {
     LayerCounters c = s.snapshot();
     if (c.gemm_calls || c.pack_a_calls || c.pack_b_calls || c.gebp_calls ||
-        c.barrier_seconds > 0)
+        c.small_calls || c.barrier_seconds > 0)
       out.push_back(c);
   }
   return out;

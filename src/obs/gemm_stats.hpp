@@ -42,12 +42,14 @@ struct LayerCounters {
   std::uint64_t pack_b_calls = 0;    // one per pack_b / pack_b_slivers call
   std::uint64_t gebp_calls = 0;      // one per GEBP block-panel multiply
   std::uint64_t kernel_calls = 0;    // register-kernel (mr x nr tile) invocations
+  std::uint64_t small_calls = 0;     // no-pack small-matrix fast-path multiplies
   std::uint64_t pack_a_bytes = 0;    // bytes written into packed A buffers
   std::uint64_t pack_b_bytes = 0;    // bytes written into packed B panels
   std::uint64_t c_bytes = 0;         // C panel traffic: read + write per GEBP
   double pack_a_seconds = 0;
   double pack_b_seconds = 0;
   double gebp_seconds = 0;
+  double small_seconds = 0;          // time inside the small-matrix fast path
   double barrier_seconds = 0;        // time ranks waited at the B-panel barrier
   double total_seconds = 0;          // wall time inside dgemm (driver thread)
   double flops = 0;                  // 2*m*n*k per call
@@ -63,7 +65,8 @@ struct LayerCounters {
   double gamma() const;
   /// Achieved Gflops over the recorded wall time.
   double gflops() const;
-  /// Time recorded outside pack/GEBP/barrier (loop overhead, beta-scale).
+  /// Time recorded outside pack/GEBP/small/barrier (loop overhead,
+  /// beta-scale).
   double other_seconds() const;
 
   /// One JSON object with every field plus the derived metrics.
@@ -79,12 +82,14 @@ struct alignas(64) ThreadSlot {
   std::atomic<std::uint64_t> pack_b_calls{0};
   std::atomic<std::uint64_t> gebp_calls{0};
   std::atomic<std::uint64_t> kernel_calls{0};
+  std::atomic<std::uint64_t> small_calls{0};
   std::atomic<std::uint64_t> pack_a_bytes{0};
   std::atomic<std::uint64_t> pack_b_bytes{0};
   std::atomic<std::uint64_t> c_bytes{0};
   std::atomic<double> pack_a_seconds{0};
   std::atomic<double> pack_b_seconds{0};
   std::atomic<double> gebp_seconds{0};
+  std::atomic<double> small_seconds{0};
   std::atomic<double> barrier_seconds{0};
   std::atomic<double> total_seconds{0};
   std::atomic<double> flops{0};
@@ -92,6 +97,7 @@ struct alignas(64) ThreadSlot {
   void add_pack_a(std::uint64_t bytes, double seconds);
   void add_pack_b(std::uint64_t bytes, double seconds);
   void add_gebp(std::uint64_t kernels, std::uint64_t bytes_c, double seconds);
+  void add_small(double seconds);
   void add_call(double fl, double seconds);
   void add_barrier_wait(double seconds);
 

@@ -77,6 +77,7 @@ const char* to_string(PmuLayer l) {
     case PmuLayer::kGebp: return "gebp";
     case PmuLayer::kBarrier: return "barrier";
     case PmuLayer::kKernel: return "kernel";
+    case PmuLayer::kSmall: return "small";
     case PmuLayer::kCount: break;
   }
   return "?";

@@ -138,6 +138,7 @@ enum class PmuLayer : int {
   kGebp,
   kBarrier,
   kKernel,
+  kSmall,  // no-pack small-matrix fast path (whole multiply, one region)
   kCount
 };
 inline constexpr int kPmuLayerCount = static_cast<int>(PmuLayer::kCount);

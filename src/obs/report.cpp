@@ -60,6 +60,10 @@ Table layer_breakdown_table(const LayerCounters& m) {
              Table::fmt_int(static_cast<long long>(m.gebp_calls)),
              human_bytes(static_cast<double>(m.c_bytes)),
              bandwidth(static_cast<double>(m.c_bytes), m.gebp_seconds)});
+  if (m.small_calls)
+    t.add_row({"small fast path", Table::fmt(m.small_seconds, 6),
+               share(m.small_seconds, total),
+               Table::fmt_int(static_cast<long long>(m.small_calls)), "-", "-"});
   t.add_row({"barrier wait", Table::fmt(m.barrier_seconds, 6), share(m.barrier_seconds, total),
              "-", "-", "-"});
   t.add_row({"other (driver)", Table::fmt(m.other_seconds(), 6),
@@ -86,6 +90,8 @@ Table measured_vs_model_table(const LayerCounters& measured, std::int64_t m, std
               static_cast<double>(want.gebp_calls));
   compare_row(t, "kernel_calls", static_cast<double>(measured.kernel_calls),
               static_cast<double>(want.kernel_calls));
+  compare_row(t, "small_calls", static_cast<double>(measured.small_calls),
+              static_cast<double>(want.small_calls));
   compare_row(t, "flops", measured.flops, want.flops);
   compare_row(t, "gamma (F/W, Eq. 2)", measured.gamma(), want.gamma(), 3);
   return t;
@@ -128,7 +134,8 @@ namespace {
 
 const PmuLayer kReportedLayers[] = {PmuLayer::kTotal,   PmuLayer::kPackA,
                                     PmuLayer::kPackB,   PmuLayer::kGebp,
-                                    PmuLayer::kBarrier, PmuLayer::kKernel};
+                                    PmuLayer::kBarrier, PmuLayer::kKernel,
+                                    PmuLayer::kSmall};
 
 std::string count_cell(std::uint64_t v) {
   if (v == 0) return "0";

@@ -9,6 +9,7 @@
 
 #include "common/check.hpp"
 #include "common/math_util.hpp"
+#include "threading/spin.hpp"
 
 namespace ag {
 
@@ -32,15 +33,28 @@ void name_current_thread(int rank) {
 void Barrier::arrive_and_wait(double* wait_seconds) {
   const auto t0 = wait_seconds ? std::chrono::steady_clock::now()
                                : std::chrono::steady_clock::time_point{};
-  {
-    std::unique_lock lock(mutex_);
-    const std::uint64_t gen = generation_;
-    if (++arrived_ == parties_) {
-      arrived_ = 0;
-      ++generation_;
-      cv_.notify_all();
-    } else {
-      cv_.wait(lock, [&] { return generation_ != gen; });
+  const std::uint64_t gen = generation_.load(std::memory_order_acquire);
+  if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
+    // Last arrival releases the generation. arrived_ is reset before the
+    // generation store publishes it, so next-generation arrivals (which
+    // only start after observing the new generation) see a clean count.
+    arrived_.store(0, std::memory_order_relaxed);
+    {
+      // The empty-looking critical section orders the store against
+      // cv_.wait's predicate check, preventing a lost wakeup.
+      std::lock_guard lock(mutex_);
+      generation_.store(gen + 1, std::memory_order_release);
+    }
+    cv_.notify_all();
+  } else {
+    SpinWait spinner;
+    while (generation_.load(std::memory_order_acquire) == gen) {
+      if (!spinner.spin()) {
+        std::unique_lock lock(mutex_);
+        cv_.wait(lock,
+                 [&] { return generation_.load(std::memory_order_acquire) != gen; });
+        break;
+      }
     }
   }
   if (wait_seconds)
@@ -56,26 +70,32 @@ ThreadPool::ThreadPool(int num_threads) : num_threads_(num_threads) {
 }
 
 ThreadPool::~ThreadPool() {
+  shutdown_.store(true, std::memory_order_release);
   {
     std::lock_guard lock(mutex_);
-    shutdown_ = true;
-    ++generation_;
+    generation_.fetch_add(1, std::memory_order_release);
   }
   start_cv_.notify_all();
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::run(const std::function<void(int)>& fn) {
-  if (num_threads_ == 1) {
+void ThreadPool::run(const std::function<void(int)>& fn, int active) {
+  AG_CHECK_MSG(active >= 1 && active <= num_threads_,
+               "active ranks " << active << " outside [1, " << num_threads_ << "]");
+  if (num_threads_ == 1 || active == 1) {
     fn(0);
     return;
   }
   {
     std::lock_guard lock(mutex_);
     task_ = &fn;
-    pending_ = num_threads_ - 1;
+    active_ = active;
     first_error_ = nullptr;
-    ++generation_;
+    // Every worker checks in once per generation even when it is not an
+    // active rank, so the join below synchronizes with all of them and
+    // the next region may safely rewrite task_/active_.
+    pending_.store(num_threads_ - 1, std::memory_order_relaxed);
+    generation_.fetch_add(1, std::memory_order_release);
   }
   start_cv_.notify_all();
 
@@ -86,35 +106,65 @@ void ThreadPool::run(const std::function<void(int)>& fn) {
     caller_error = std::current_exception();
   }
 
-  std::unique_lock lock(mutex_);
-  done_cv_.wait(lock, [&] { return pending_ == 0; });
-  task_ = nullptr;
+  SpinWait spinner;
+  while (pending_.load(std::memory_order_acquire) != 0) {
+    if (!spinner.spin()) {
+      std::unique_lock lock(mutex_);
+      done_cv_.wait(lock, [&] { return pending_.load(std::memory_order_acquire) == 0; });
+      break;
+    }
+  }
+  {
+    std::lock_guard lock(mutex_);
+    task_ = nullptr;
+  }
   if (caller_error) std::rethrow_exception(caller_error);
-  if (first_error_) std::rethrow_exception(first_error_);
+  std::exception_ptr worker_error;
+  {
+    std::lock_guard lock(mutex_);
+    worker_error = first_error_;
+  }
+  if (worker_error) std::rethrow_exception(worker_error);
 }
 
 void ThreadPool::worker_loop(int rank) {
   name_current_thread(rank);
-  std::uint64_t seen_generation = 0;
+  std::uint64_t seen = 0;
   for (;;) {
-    const std::function<void(int)>* task;
-    {
-      std::unique_lock lock(mutex_);
-      start_cv_.wait(lock, [&] { return generation_ != seen_generation; });
-      seen_generation = generation_;
-      if (shutdown_) return;
-      task = task_;
+    std::uint64_t gen = generation_.load(std::memory_order_acquire);
+    if (gen == seen) {
+      SpinWait spinner;
+      while ((gen = generation_.load(std::memory_order_acquire)) == seen) {
+        if (!spinner.spin()) {
+          std::unique_lock lock(mutex_);
+          start_cv_.wait(
+              lock, [&] { return generation_.load(std::memory_order_acquire) != seen; });
+          gen = generation_.load(std::memory_order_acquire);
+          break;
+        }
+      }
     }
+    seen = gen;
+    if (shutdown_.load(std::memory_order_acquire)) return;
+    // task_/active_ were written before the generation bump we acquired.
+    const std::function<void(int)>* task = task_;
+    const int active = active_;
     std::exception_ptr error;
-    try {
-      (*task)(rank);
-    } catch (...) {
-      error = std::current_exception();
+    if (rank < active) {
+      try {
+        (*task)(rank);
+      } catch (...) {
+        error = std::current_exception();
+      }
     }
-    {
+    if (error) {
       std::lock_guard lock(mutex_);
-      if (error && !first_error_) first_error_ = error;
-      if (--pending_ == 0) done_cv_.notify_all();
+      if (!first_error_) first_error_ = error;
+    }
+    if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Last worker out: pair with the caller's predicate check.
+      { std::lock_guard lock(mutex_); }
+      done_cv_.notify_one();
     }
   }
 }

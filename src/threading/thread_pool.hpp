@@ -4,8 +4,14 @@
 // (the calling thread participates as rank 0), matching the paper's model
 // of one thread per core cooperating on a single GEMM. Workers persist
 // across calls so repeated GEMMs do not pay thread creation cost.
+//
+// Fork-join edges and the Barrier are hybrid spin-then-block: waiters spin
+// for a bounded window (ARMGEMM_SPIN_US, see threading/spin.hpp) before
+// parking on a condition variable, so back-to-back GEMM calls and per-panel
+// syncs stay syscall-free while long idle periods still release the core.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -30,7 +36,13 @@ class ThreadPool {
   /// Runs fn(rank) for rank in [0, num_threads) concurrently; returns when
   /// every rank has finished. The first exception thrown by any rank is
   /// rethrown on the caller. Not reentrant.
-  void run(const std::function<void(int)>& fn);
+  void run(const std::function<void(int)>& fn) { run(fn, num_threads_); }
+
+  /// As run(fn), but only ranks in [0, active) execute fn; the remaining
+  /// workers stay idle for this region. The GEMM driver clamps `active` to
+  /// the available block count so surplus ranks never pay barrier traffic.
+  /// active == 1 runs fn(0) inline without waking any worker.
+  void run(const std::function<void(int)>& fn, int active);
 
  private:
   void worker_loop(int rank);
@@ -38,18 +50,24 @@ class ThreadPool {
   int num_threads_;
   std::vector<std::thread> workers_;
 
+  // Region hand-off: generation_ publishes task_/active_ (written under
+  // mutex_, read by workers after an acquire load of generation_);
+  // pending_ counts workers that have not finished the current region.
   std::mutex mutex_;
   std::condition_variable start_cv_;
   std::condition_variable done_cv_;
   const std::function<void(int)>* task_ = nullptr;
-  std::uint64_t generation_ = 0;
-  int pending_ = 0;
-  bool shutdown_ = false;
-  std::exception_ptr first_error_;
+  int active_ = 0;
+  std::atomic<std::uint64_t> generation_{0};
+  std::atomic<int> pending_{0};
+  std::atomic<bool> shutdown_{false};
+  std::exception_ptr first_error_;  // guarded by mutex_
 };
 
 /// Reusable barrier for ranks cooperating inside a pool region (e.g. "wait
-/// until the shared B panel is fully packed", Figure 9).
+/// until the shared B panel is fully packed", Figure 9). Hybrid: arrivals
+/// spin with exponential cpu_relax backoff for the ARMGEMM_SPIN_US window,
+/// then block on a condition variable.
 class Barrier {
  public:
   explicit Barrier(int parties) : parties_(parties) {}
@@ -57,14 +75,15 @@ class Barrier {
   void arrive_and_wait() { arrive_and_wait(nullptr); }
 
   /// As arrive_and_wait(), but when `wait_seconds` is non-null adds the
-  /// time this rank spent blocked (arrival to release) to it — the
-  /// load-imbalance signal the per-layer stats report as barrier wait.
+  /// time this rank spent waiting (arrival to release, spinning included)
+  /// to it — the load-imbalance signal the per-layer stats report as
+  /// barrier wait.
   void arrive_and_wait(double* wait_seconds);
 
  private:
   int parties_;
-  int arrived_ = 0;
-  std::uint64_t generation_ = 0;
+  std::atomic<int> arrived_{0};
+  std::atomic<std::uint64_t> generation_{0};
   std::mutex mutex_;
   std::condition_variable cv_;
 };
@@ -72,8 +91,8 @@ class Barrier {
 /// Contiguous 1-D range partitioning, chunk-aligned.
 ///
 /// Splits [0, total) into `parts` contiguous ranges whose lengths are
-/// multiples of `align` (except possibly the last), as the layer-3 parallel
-/// loop requires each thread's share of M to be a multiple of mc alignment.
+/// multiples of `align` (except possibly the last), as cooperative packing
+/// requires each thread's share of the B slivers to be contiguous.
 struct Range {
   std::int64_t begin = 0;
   std::int64_t end = 0;

@@ -1,0 +1,46 @@
+// RAII guards for the process-wide runtime knobs (common/knobs.hpp), so
+// tests can pin a policy without leaking it into other tests in the same
+// binary.
+#pragma once
+
+#include <cstdint>
+
+#include "common/knobs.hpp"
+
+namespace agtest {
+
+/// Pins the small-matrix fast-path threshold for the guard's lifetime.
+/// ScopedSmallMnk(0) forces every shape down the packed/blocked path —
+/// used by tests that assert pack-layer blocking arithmetic on shapes
+/// that would otherwise dispatch to the fast path.
+class ScopedSmallMnk {
+ public:
+  explicit ScopedSmallMnk(std::int64_t t) : prev_(ag::small_gemm_mnk()) {
+    ag::set_small_gemm_mnk(t);
+  }
+  ~ScopedSmallMnk() { ag::set_small_gemm_mnk(prev_); }
+
+  ScopedSmallMnk(const ScopedSmallMnk&) = delete;
+  ScopedSmallMnk& operator=(const ScopedSmallMnk&) = delete;
+
+ private:
+  std::int64_t prev_;
+};
+
+/// Pins the barrier/fork-join spin window for the guard's lifetime.
+/// ScopedSpinUs(0) forces the immediate-block path.
+class ScopedSpinUs {
+ public:
+  explicit ScopedSpinUs(std::int64_t us) : prev_(ag::spin_wait_us()) {
+    ag::set_spin_wait_us(us);
+  }
+  ~ScopedSpinUs() { ag::set_spin_wait_us(prev_); }
+
+  ScopedSpinUs(const ScopedSpinUs&) = delete;
+  ScopedSpinUs& operator=(const ScopedSpinUs&) = delete;
+
+ private:
+  std::int64_t prev_;
+};
+
+}  // namespace agtest

@@ -15,6 +15,7 @@
 #include "obs/expected.hpp"
 #include "obs/gemm_stats.hpp"
 #include "obs/pmu.hpp"
+#include "scoped_knobs.hpp"
 
 using ag::index_t;
 using ag::obs::PmuCollector;
@@ -164,6 +165,9 @@ TEST(PmuRegionTest, NullCollectorIsNoOp) {
 
 TEST(PmuCollector, SerialDgemmAttributesRegionsPerLayer) {
   if (!ag::obs::stats_compiled_in) GTEST_SKIP() << "stats compiled out";
+  // 32x24x16 sits under the default fast-path threshold; pin the packed
+  // path so the per-layer region arithmetic applies.
+  agtest::ScopedSmallMnk pack_path(0);
   const ag::BlockSizes bs = tiny_blocks();
   ag::Context ctx(ag::KernelShape{8, 6}, 1);
   ctx.set_block_sizes(bs);
@@ -214,7 +218,8 @@ TEST(PmuCollector, ParallelDgemmAttributesBarriersWithoutDiscards) {
   EXPECT_GT(pmu.layer_regions(PmuLayer::kPackA), 0u);
   EXPECT_GT(pmu.layer_regions(PmuLayer::kPackB), 0u);
   EXPECT_GT(pmu.layer_regions(PmuLayer::kGebp), 0u);
-  // Two barrier regions per (jc, pc) iteration per rank.
+  // One barrier region per k-panel per rank (pipelined packing folded
+  // the second sync away), and nranks divides the total.
   EXPECT_GT(pmu.layer_regions(PmuLayer::kBarrier), 0u);
   EXPECT_EQ(pmu.layer_regions(PmuLayer::kBarrier) % 2, 0u);
   // Pool ranks keep stable owner threads, so no delta is ever discarded.

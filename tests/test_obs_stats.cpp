@@ -12,12 +12,14 @@
 #include <string>
 
 #include "capi/armgemm_cblas.h"
+#include "common/knobs.hpp"
 #include "common/matrix.hpp"
 #include "core/gemm.hpp"
 #include "obs/expected.hpp"
 #include "obs/gemm_stats.hpp"
 #include "obs/report.hpp"
 #include "obs/tracer.hpp"
+#include "scoped_knobs.hpp"
 
 using ag::index_t;
 
@@ -82,7 +84,9 @@ TEST(ObsStats, ByHandArithmeticOneBlock) {
   if (!ag::obs::stats_compiled_in) GTEST_SKIP() << "stats compiled out";
   // 16x12x8 with kc=8, mc=16, nc=12 is exactly one (jj, kk, ii) iteration:
   // one B panel of ceil(12/6)=2 slivers, one A block of ceil(16/8)=2
-  // slivers, one GEBP call dispatching 2*2 register kernels.
+  // slivers, one GEBP call dispatching 2*2 register kernels. The shape is
+  // below the default fast-path threshold, so pin it to the packed path.
+  agtest::ScopedSmallMnk pack_path(0);
   ag::Context ctx(ag::KernelShape{8, 6}, 1);
   ctx.set_block_sizes(tiny_blocks(8, 6));
   ag::obs::GemmStats stats;
@@ -96,6 +100,30 @@ TEST(ObsStats, ByHandArithmeticOneBlock) {
   EXPECT_EQ(t.pack_a_bytes, 16u * 8u * 8u);        // mc*kc doubles
   EXPECT_EQ(t.pack_b_bytes, 8u * 12u * 8u);        // kc*nc doubles
   EXPECT_EQ(t.c_bytes, 2u * 16u * 12u * 8u);       // C read + write
+  EXPECT_DOUBLE_EQ(t.flops, 2.0 * 16 * 12 * 8);
+}
+
+TEST(ObsStats, ByHandArithmeticSmallFastPath) {
+  if (!ag::obs::stats_compiled_in) GTEST_SKIP() << "stats compiled out";
+  // 16x12x8 sits under the threshold: one small_gemm region, no packing,
+  // no GEBP, and C traffic of one read + one write of the full matrix.
+  agtest::ScopedSmallMnk fast_path(32);
+  ag::Context ctx(ag::KernelShape{8, 6}, 1);
+  ctx.set_block_sizes(tiny_blocks(8, 6));
+  ag::obs::GemmStats stats;
+  ctx.set_stats(&stats);
+  run_dgemm(ctx, 16, 12, 8);
+  const auto t = stats.totals();
+  EXPECT_EQ(t.gemm_calls, 1u);
+  EXPECT_EQ(t.small_calls, 1u);
+  EXPECT_EQ(t.pack_a_calls, 0u);
+  EXPECT_EQ(t.pack_b_calls, 0u);
+  EXPECT_EQ(t.gebp_calls, 0u);
+  EXPECT_EQ(t.kernel_calls, 0u);
+  EXPECT_EQ(t.pack_a_bytes, 0u);
+  EXPECT_EQ(t.pack_b_bytes, 0u);
+  EXPECT_EQ(t.c_bytes, 2u * 16u * 12u * 8u);
+  EXPECT_GT(t.small_seconds, 0.0);
   EXPECT_DOUBLE_EQ(t.flops, 2.0 * 16 * 12 * 8);
 }
 
@@ -258,6 +286,13 @@ TEST(ObsStatsCapi, EnableCollectRoundTrip) {
   armgemm_stats_reset();
   ASSERT_EQ(armgemm_stats_enabled(), 0);
 
+  // Pin the packed path through the C API (24x20x16 would otherwise take
+  // the small-matrix fast path and record no kernel calls); doubles as a
+  // round-trip test of the knob itself.
+  const long long prev_small = armgemm_get_small_mnk();
+  armgemm_set_small_mnk(0);
+  ASSERT_EQ(armgemm_get_small_mnk(), 0ll);
+
   // Disabled: nothing is recorded.
   {
     auto a = ag::random_matrix(24, 16, 21), b = ag::random_matrix(16, 20, 22),
@@ -299,6 +334,8 @@ TEST(ObsStatsCapi, EnableCollectRoundTrip) {
   EXPECT_NE(buf.str().find("\"totals\""), std::string::npos);
   std::remove(path);
   armgemm_stats_reset();
+  armgemm_set_small_mnk(prev_small);
+  EXPECT_EQ(armgemm_get_small_mnk(), prev_small);
 }
 
 }  // namespace

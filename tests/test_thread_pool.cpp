@@ -6,6 +6,7 @@
 #include <numeric>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #if defined(__linux__)
@@ -13,6 +14,7 @@
 #endif
 
 #include "common/check.hpp"
+#include "scoped_knobs.hpp"
 #include "threading/thread_pool.hpp"
 
 using ag::Barrier;
@@ -84,6 +86,62 @@ TEST(ThreadPoolTest, CallerExceptionPropagates) {
 
 TEST(ThreadPoolTest, RejectsZeroThreads) { EXPECT_THROW(ThreadPool(0), ag::InvalidArgument); }
 
+TEST(ThreadPoolTest, ActiveSubsetRunsOnlyLowRanks) {
+  // run(fn, active) lets a region use fewer ranks than the pool owns
+  // (e.g. when a problem has fewer blocks than threads) without resizing.
+  ThreadPool pool(4);
+  for (int active = 1; active <= 4; ++active) {
+    std::vector<std::atomic<int>> hits(4);
+    pool.run([&](int rank) { hits[static_cast<std::size_t>(rank)]++; }, active);
+    for (int r = 0; r < 4; ++r)
+      EXPECT_EQ(hits[static_cast<std::size_t>(r)].load(), r < active ? 1 : 0)
+          << "active=" << active << " rank=" << r;
+  }
+}
+
+TEST(ThreadPoolTest, ActiveOneRunsInlineOnCaller) {
+  ThreadPool pool(4);
+  const auto caller = std::this_thread::get_id();
+  std::thread::id ran_on;
+  pool.run([&](int rank) {
+    EXPECT_EQ(rank, 0);
+    ran_on = std::this_thread::get_id();
+  },
+           1);
+  EXPECT_EQ(ran_on, caller);
+}
+
+TEST(ThreadPoolTest, ActiveSubsetAlternatesWithFullRegions) {
+  // Idle ranks must stay synchronized with the fork-join protocol so the
+  // next region (possibly wider) never deadlocks or double-runs.
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    const int active = 1 + i % 4;
+    pool.run([&](int) { counter++; }, active);
+  }
+  // Sum over i of (1 + i%4) for i in [0, 100): 25 full cycles of 1+2+3+4.
+  EXPECT_EQ(counter.load(), 250);
+}
+
+TEST(ThreadPoolTest, ActiveSubsetExceptionPropagates) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.run([](int rank) {
+    if (rank == 1) throw std::runtime_error("subset boom");
+  },
+                        3),
+               std::runtime_error);
+  std::atomic<int> counter{0};
+  pool.run([&](int) { counter++; });
+  EXPECT_EQ(counter.load(), 4);
+}
+
+TEST(ThreadPoolTest, RejectsActiveOutOfRange) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.run([](int) {}, 0), ag::InvalidArgument);
+  EXPECT_THROW(pool.run([](int) {}, 3), ag::InvalidArgument);
+}
+
 TEST(BarrierTest, SynchronisesPhases) {
   ThreadPool pool(4);
   Barrier barrier(4);
@@ -109,6 +167,46 @@ TEST(BarrierTest, ReusableAcrossGenerations) {
     }
   });
   EXPECT_EQ(counter.load(), 60);
+}
+
+// Stress the hybrid barrier down both of its paths: a generous spin
+// window keeps waiters on the busy-poll fast path; a zero window forces
+// every waiter straight onto the condvar slow path. Phase counters verify
+// no rank ever runs ahead or drops a generation either way.
+void barrier_stress(std::int64_t spin_us) {
+  agtest::ScopedSpinUs spin(spin_us);
+  constexpr int kRanks = 4;
+  constexpr int kPhases = 200;
+  ThreadPool pool(kRanks);
+  Barrier barrier(kRanks);
+  std::vector<std::atomic<int>> phase(kRanks);
+  pool.run([&](int rank) {
+    for (int p = 0; p < kPhases; ++p) {
+      phase[static_cast<std::size_t>(rank)].store(p, std::memory_order_relaxed);
+      barrier.arrive_and_wait();
+      // Between two barriers every rank must be in the same phase.
+      for (int r = 0; r < kRanks; ++r)
+        ASSERT_EQ(phase[static_cast<std::size_t>(r)].load(std::memory_order_relaxed), p)
+            << "rank " << rank << " saw rank " << r << " out of phase at " << p;
+      barrier.arrive_and_wait();
+    }
+  });
+}
+
+TEST(BarrierTest, HybridSpinPathSurvivesStress) { barrier_stress(/*spin_us=*/1000); }
+
+TEST(BarrierTest, ImmediateBlockPathSurvivesStress) { barrier_stress(/*spin_us=*/0); }
+
+TEST(BarrierTest, WaitTimeAccumulatorReportsNonNegative) {
+  ThreadPool pool(2);
+  Barrier barrier(2);
+  std::array<double, 2> waited = {-1.0, -1.0};
+  pool.run([&](int rank) {
+    double acc = 0.0;
+    for (int i = 0; i < 5; ++i) barrier.arrive_and_wait(&acc);
+    waited[static_cast<std::size_t>(rank)] = acc;
+  });
+  for (double w : waited) EXPECT_GE(w, 0.0);
 }
 
 TEST(PartitionTest, CoversRangeWithoutOverlap) {

@@ -9,14 +9,17 @@ Usage:
   bench_diff.py --self-test                 # built-in schema/diff tests
 
 Stdlib only (json/argparse); the schema is versioned as
-"armgemm-bench/1" and produced by bench/regress.cpp.
+"armgemm-bench/2" (shaped m x n x k points) and produced by
+bench/regress.cpp. Schema-1 reports (square-only, keyed by "n") are
+accepted for both printing and diffing: missing m/k default to n.
 """
 
 import argparse
 import json
 import sys
 
-SCHEMA = "armgemm-bench/1"
+SCHEMA = "armgemm-bench/2"
+SCHEMA_V1 = "armgemm-bench/1"  # square-only; m and k implied by n
 
 TOP_LEVEL_REQUIRED = {
     "schema": str,
@@ -50,8 +53,9 @@ def validate(report):
             problems.append(f"missing top-level key: {key}")
         elif not isinstance(report[key], types):
             problems.append(f"wrong type for {key}: {type(report[key]).__name__}")
-    if report.get("schema") not in (None, SCHEMA):
-        problems.append(f"schema is {report['schema']!r}, expected {SCHEMA!r}")
+    if report.get("schema") not in (None, SCHEMA, SCHEMA_V1):
+        problems.append(
+            f"schema is {report['schema']!r}, expected {SCHEMA!r} or {SCHEMA_V1!r}")
     for i, r in enumerate(report.get("results", [])):
         if not isinstance(r, dict):
             problems.append(f"results[{i}] is not an object")
@@ -74,63 +78,73 @@ def load(path):
 
 
 def key(result):
-    return (int(result["n"]), int(result["threads"]))
+    n = int(result["n"])
+    return (int(result.get("m", n)), n, int(result.get("k", n)),
+            int(result["threads"]))
+
+
+def shape_label(result):
+    m, n, k, _ = key(result)
+    return str(n) if m == n == k else f"{m}x{n}x{k}"
 
 
 def print_report(report):
     print(f"host {report['host']}  date {report['date']}  "
           f"peak {report['peak_gflops_per_core']:.2f} Gflops/core  "
           f"pmu {'hw' if report['pmu_hardware'] else 'fallback'}")
-    print(f"{'n':>6} {'thr':>4} {'Gflops':>9} {'eff':>7} {'GEBP s':>10} {'pack s':>10} "
-          f"{'barrier s':>10}")
+    print(f"{'shape':>14} {'thr':>4} {'Gflops':>9} {'eff':>7} {'GEBP s':>10} {'pack s':>10} "
+          f"{'barrier s':>10} {'small s':>10}")
     for r in report["results"]:
         layers = r["layers"]
         pack = layers.get("pack_a_seconds", 0) + layers.get("pack_b_seconds", 0)
-        print(f"{int(r['n']):>6} {int(r['threads']):>4} {r['gflops']:>9.2f} "
+        print(f"{shape_label(r):>14} {int(r['threads']):>4} {r['gflops']:>9.2f} "
               f"{r['efficiency']:>6.1%} {layers.get('gebp_seconds', 0):>10.4f} "
-              f"{pack:>10.4f} {layers.get('barrier_seconds', 0):>10.4f}")
+              f"{pack:>10.4f} {layers.get('barrier_seconds', 0):>10.4f} "
+              f"{layers.get('small_seconds', 0):>10.4f}")
 
 
 def diff(base, new, threshold):
     """Prints the comparison; returns the number of regressions."""
     base_by_key = {key(r): r for r in base["results"]}
     regressions = 0
-    print(f"{'n':>6} {'thr':>4} {'base eff':>9} {'new eff':>9} {'rel delta':>10}  verdict")
+    print(f"{'shape':>14} {'thr':>4} {'base eff':>9} {'new eff':>9} {'rel delta':>10}  verdict")
     for r in new["results"]:
         b = base_by_key.get(key(r))
         if b is None:
-            print(f"{int(r['n']):>6} {int(r['threads']):>4} {'-':>9} "
+            print(f"{shape_label(r):>14} {int(r['threads']):>4} {'-':>9} "
                   f"{r['efficiency']:>8.1%} {'-':>10}  new config")
             continue
         base_eff, new_eff = b["efficiency"], r["efficiency"]
         drop = (base_eff - new_eff) / base_eff if base_eff > 0 else 0.0
         bad = drop > threshold
         regressions += bad
-        print(f"{int(r['n']):>6} {int(r['threads']):>4} {base_eff:>8.1%} {new_eff:>8.1%} "
+        print(f"{shape_label(r):>14} {int(r['threads']):>4} {base_eff:>8.1%} {new_eff:>8.1%} "
               f"{-drop:>+10.1%}  {'REGRESSION' if bad else 'ok'}")
     return regressions
 
 
-def make_sample(eff_scale=1.0):
+def make_sample(eff_scale=1.0, schema=SCHEMA):
+    result = {
+        "n": 128,
+        "threads": 1,
+        "best_seconds": 0.001,
+        "gflops": 8.0 * eff_scale,
+        "efficiency": 0.8 * eff_scale,
+        "layers": {"gebp_seconds": 0.0008, "small_seconds": 0.0},
+        "pmu": {"cycles": 1000},
+    }
+    if schema == SCHEMA:
+        result["m"] = result["k"] = 128
+        result["layers"]["small_calls"] = 0
     return {
-        "schema": SCHEMA,
+        "schema": schema,
         "host": "self-test",
         "date": "19700101",
         "reps": 3,
         "pmu_hardware": False,
         "peak_gflops_per_core": 10.0,
         "calibration": {"mu": 1e-10},
-        "results": [
-            {
-                "n": 128,
-                "threads": 1,
-                "best_seconds": 0.001,
-                "gflops": 8.0 * eff_scale,
-                "efficiency": 0.8 * eff_scale,
-                "layers": {"gebp_seconds": 0.0008},
-                "pmu": {"cycles": 1000},
-            }
-        ],
+        "results": [result],
     }
 
 
@@ -148,6 +162,20 @@ def self_test():
     assert diff(make_sample(), make_sample(), 0.10) == 0
     assert diff(make_sample(), make_sample(eff_scale=0.5), 0.10) == 1
     assert diff(make_sample(), make_sample(eff_scale=0.95), 0.10) == 0
+
+    # Schema-1 reports validate and key against schema-2 square points:
+    # {"n": 128} must match {"m": 128, "n": 128, "k": 128}.
+    v1 = make_sample(schema=SCHEMA_V1)
+    assert validate(v1) == [], validate(v1)
+    assert key(v1["results"][0]) == key(make_sample()["results"][0])
+    assert diff(v1, make_sample(eff_scale=0.5), 0.10) == 1
+    assert diff(v1, make_sample(), 0.10) == 0
+
+    # Shaped points never collide with squares of the same n.
+    skinny = make_sample()
+    skinny["results"][0]["m"] = 2048
+    assert key(skinny["results"][0]) != key(make_sample()["results"][0])
+    assert shape_label(skinny["results"][0]) == "2048x128x128"
 
     rt = json.loads(json.dumps(make_sample()))
     assert validate(rt) == []
