@@ -18,7 +18,12 @@
 // Baselines written by schema armgemm-bench/1 (square-only, keyed by
 // "n") are still accepted: missing m/k default to n.
 //
-// Exit codes: 0 ok, 1 efficiency regression, 2 usage/baseline error.
+// Points missing from the baseline are never silently skipped: they are
+// listed with a warning, and --unknown=fail turns them into a gate
+// failure (default --unknown=warn).
+//
+// Exit codes: 0 ok, 1 efficiency regression (or unmatched points under
+// --unknown=fail), 2 usage/baseline error.
 // tools/bench_diff.py renders the same files side by side.
 #include <cstdio>
 #include <ctime>
@@ -199,9 +204,11 @@ std::string shape_label(std::int64_t m, std::int64_t n, std::int64_t k) {
 /// (m, n, k, threads); returns the number of regressions beyond
 /// `threshold` (relative efficiency drop), printing one line per
 /// comparison. Schema-1 baselines carry only "n": their m and k default
-/// to n, so square points still match.
+/// to n, so square points still match. Points with no baseline entry are
+/// appended to `unknown` — they must never silently pass the gate.
 int compare_against_baseline(const std::vector<RunResult>& results,
-                             const ag::JsonValue& baseline, double threshold) {
+                             const ag::JsonValue& baseline, double threshold,
+                             std::vector<std::string>* unknown) {
   const ag::JsonValue& base_results = baseline["results"];
   int regressions = 0;
   for (const RunResult& r : results) {
@@ -216,7 +223,9 @@ int compare_against_baseline(const std::vector<RunResult>& results,
     }
     const std::string label = shape_label(r.m, r.n, r.k);
     if (!match) {
-      std::cout << "  " << label << " threads=" << r.threads << ": no baseline entry\n";
+      std::cout << "  " << label << " threads=" << r.threads
+                << ": no baseline entry (NOT gated)\n";
+      if (unknown) unknown->push_back(label + " threads=" + std::to_string(r.threads));
       continue;
     }
     const double base_eff = (*match)["efficiency"].as_number();
@@ -373,13 +382,32 @@ int main(int argc, char** argv) {
               << kSchema << "\" nor \"" << kSchemaV1 << "\"\n";
     return 2;
   }
+  const std::string unknown_mode = args.get("unknown", "warn");
+  if (unknown_mode != "warn" && unknown_mode != "fail") {
+    std::cerr << "regress: --unknown must be warn or fail (got \"" << unknown_mode
+              << "\")\n";
+    return 2;
+  }
   std::cout << "comparing against " << baseline_path << " (threshold "
             << ag::Table::fmt_pct(threshold) << " relative efficiency drop)\n";
-  const int regressions = compare_against_baseline(results, baseline, threshold);
+  std::vector<std::string> unknown;
+  const int regressions = compare_against_baseline(results, baseline, threshold, &unknown);
+  if (!unknown.empty()) {
+    // A gate that only checks matched points would silently shrink as the
+    // sweep evolves; make the uncovered set loud (and fatal on request).
+    std::cerr << "regress: WARNING: " << unknown.size()
+              << " configuration(s) have no baseline entry and were not gated:\n";
+    for (const std::string& u : unknown) std::cerr << "  " << u << "\n";
+    std::cerr << "regress: re-record the baseline to cover them"
+              << (unknown_mode == "fail" ? " (--unknown=fail: treating as failure)"
+                                         : "")
+              << "\n";
+  }
   if (regressions > 0) {
     std::cerr << "regress: " << regressions << " configuration(s) regressed\n";
     return 1;
   }
+  if (!unknown.empty() && unknown_mode == "fail") return 1;
   std::cout << "no regressions\n";
   return 0;
 }

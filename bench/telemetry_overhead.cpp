@@ -1,0 +1,149 @@
+// Measures the serving-telemetry tax on the dgemm hot path and gates it
+// against the layer's cost contract (<= 1% on a 64^3 call when enabled).
+//
+// Method: interleaved batches of identical calls with telemetry off and
+// on (A/B/A/B...), taking the per-call median over many batch pairs so
+// frequency drift and scheduler noise hit both sides alike. The model is
+// injected (no calibration inside the timed region) and the metrics path
+// is cleared (no file dumps).
+//
+//   telemetry_overhead                          # 64^3, gate at 1%
+//   telemetry_overhead --size=64 --max-overhead=0.05
+//   telemetry_overhead --pairs=25 --batch=400
+//   telemetry_overhead --metrics-out=m.prom     # also dump m.prom + m.prom.json
+//
+// Exit codes: 0 within budget, 1 over budget, 2 usage error. Prints one
+// parseable line: "telemetry_overhead: off=... on=... overhead=...".
+// --metrics-out writes the Prometheus + JSON exposition of the run's
+// recorded state afterwards (CI keeps these as an artifact).
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/knobs.hpp"
+#include "common/matrix.hpp"
+#include "common/timer.hpp"
+#include "core/gemm.hpp"
+#include "model/perf_model.hpp"
+#include "obs/telemetry.hpp"
+
+namespace {
+
+bool parse_flag(const std::string& arg, const std::string& name, std::string* value) {
+  const std::string prefix = "--" + name + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *value = arg.substr(prefix.size());
+  return true;
+}
+
+/// Seconds per call for one batch of identical dgemm calls.
+double time_batch(ag::Context& ctx, const ag::Matrix<double>& a, const ag::Matrix<double>& b,
+                  ag::Matrix<double>& c, std::int64_t s, int batch) {
+  ag::Timer t;
+  for (int i = 0; i < batch; ++i) {
+    ag::dgemm(ag::Layout::ColMajor, ag::Trans::NoTrans, ag::Trans::NoTrans, s, s, s, 1.0,
+              a.data(), a.ld(), b.data(), b.ld(), 0.0, c.data(), c.ld(), ctx);
+  }
+  return t.seconds() / batch;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::int64_t size = 64;
+  int pairs = 15;
+  int batch = 200;
+  double max_overhead = 0.01;
+  std::string metrics_out;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string v;
+    if (parse_flag(argv[i], "size", &v)) {
+      size = std::atoll(v.c_str());
+    } else if (parse_flag(argv[i], "pairs", &v)) {
+      pairs = std::atoi(v.c_str());
+    } else if (parse_flag(argv[i], "batch", &v)) {
+      batch = std::atoi(v.c_str());
+    } else if (parse_flag(argv[i], "max-overhead", &v)) {
+      max_overhead = std::atof(v.c_str());
+    } else if (parse_flag(argv[i], "metrics-out", &v)) {
+      metrics_out = v;
+    } else {
+      std::cerr << "telemetry_overhead: unknown argument " << argv[i] << "\n";
+      return 2;
+    }
+  }
+  if (size <= 0 || pairs <= 0 || batch <= 0) {
+    std::cerr << "telemetry_overhead: size/pairs/batch must be positive\n";
+    return 2;
+  }
+
+  if (!ag::obs::stats_compiled_in) {
+    // -DARMGEMM_STATS=OFF: the layer is compiled out; nothing to gate.
+    std::cout << "telemetry_overhead: stats compiled out, overhead=0\n";
+    return 0;
+  }
+
+  // Deterministic setup: no calibration stall, no file dumps, and a
+  // bounded flight ring, so the timed region is pure recording cost.
+  ag::set_metrics_path("");
+  ag::obs::telemetry_set_model(10.0, ag::model::CostParams{1e-10, 1e-9, 0.125}, 1.0);
+  ag::obs::telemetry_enable();
+  ag::obs::telemetry_reset();
+  ag::obs::telemetry_disable();
+
+  ag::Context ctx(ag::KernelShape{8, 6}, 1);
+  auto a = ag::random_matrix(size, size, 601);
+  auto b = ag::random_matrix(size, size, 602);
+  auto c = ag::random_matrix(size, size, 603);
+
+  // Warm-up: fault pages, settle the frequency governor, fill caches.
+  time_batch(ctx, a, b, c, size, batch);
+
+  // Alternate the measurement order inside each pair (off/on, then
+  // on/off) so a monotonic frequency or thermal ramp biases neither side;
+  // gate on the fastest batch per side, which rejects one-sided noise
+  // spikes (page faults, scheduler preemption) that medians let through.
+  std::vector<double> off, on;
+  off.reserve(pairs);
+  on.reserve(pairs);
+  for (int p = 0; p < pairs; ++p) {
+    for (int leg = 0; leg < 2; ++leg) {
+      const bool telemetry_on = (leg == 0) == (p % 2 == 1);
+      if (telemetry_on) {
+        ag::obs::telemetry_enable();
+        on.push_back(time_batch(ctx, a, b, c, size, batch));
+      } else {
+        ag::obs::telemetry_disable();
+        off.push_back(time_batch(ctx, a, b, c, size, batch));
+      }
+    }
+  }
+  ag::obs::telemetry_disable();
+
+  const double off_best = *std::min_element(off.begin(), off.end());
+  const double on_best = *std::min_element(on.begin(), on.end());
+  const double overhead = off_best > 0 ? (on_best - off_best) / off_best : 0.0;
+
+  std::printf(
+      "telemetry_overhead: size=%lld batch=%d pairs=%d off=%.3e on=%.3e "
+      "overhead=%+.4f (budget %.4f)\n",
+      static_cast<long long>(size), batch, pairs, off_best, on_best, overhead, max_overhead);
+  if (!metrics_out.empty()) {
+    if (ag::obs::telemetry_write_metrics(metrics_out) != 0) {
+      std::cerr << "telemetry_overhead: failed to write " << metrics_out << "\n";
+      return 2;
+    }
+    std::printf("telemetry_overhead: wrote %s and %s.json\n", metrics_out.c_str(),
+                metrics_out.c_str());
+  }
+  if (overhead > max_overhead) {
+    std::cerr << "telemetry_overhead: over budget\n";
+    return 1;
+  }
+  return 0;
+}

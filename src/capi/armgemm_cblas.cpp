@@ -1,6 +1,8 @@
 #include "capi/armgemm_cblas.h"
 
+#include <algorithm>
 #include <atomic>
+#include <cstring>
 #include <fstream>
 
 #include "blas3/blas3.hpp"
@@ -10,6 +12,7 @@
 #include "core/sgemm.hpp"
 #include "obs/gemm_stats.hpp"
 #include "obs/pmu.hpp"
+#include "obs/telemetry.hpp"
 
 namespace {
 
@@ -219,5 +222,104 @@ int armgemm_pmu_enabled(void) {
 int armgemm_pmu_available(void) {
   return ag::obs::PmuGroup::hardware_available() ? 1 : 0;
 }
+
+void armgemm_telemetry_enable(void) { ag::obs::telemetry_enable(); }
+
+void armgemm_telemetry_disable(void) { ag::obs::telemetry_disable(); }
+
+int armgemm_telemetry_enabled(void) { return ag::obs::telemetry_enabled() ? 1 : 0; }
+
+void armgemm_telemetry_reset(void) { ag::obs::telemetry_reset(); }
+
+void armgemm_telemetry_set_model(double peak_gflops_per_core, double mu, double pi,
+                                 double kappa, double psi_c) {
+  ag::model::CostParams cost;
+  cost.mu = mu;
+  cost.pi = pi;
+  cost.kappa = kappa;
+  ag::obs::telemetry_set_model(peak_gflops_per_core, cost, psi_c);
+}
+
+void armgemm_telemetry_latency(int shape_kind, armgemm_latency_summary* out) {
+  if (!out) return;
+  *out = armgemm_latency_summary{};
+  const ag::obs::TelemetrySnapshot snap = ag::obs::telemetry_snapshot();
+  ag::obs::LatencyHistogram lat;
+  ag::obs::EfficiencyHistogram eff;
+  for (const ag::obs::ClassSnapshot& c : snap.classes) {
+    if (shape_kind >= 0 && static_cast<int>(c.shape.kind) != shape_kind) continue;
+    lat += c.latency;
+    eff += c.efficiency;
+  }
+  out->calls = lat.total;
+  out->p50_seconds = ag::obs::latency_quantile(lat, 0.50);
+  out->p95_seconds = ag::obs::latency_quantile(lat, 0.95);
+  out->p99_seconds = ag::obs::latency_quantile(lat, 0.99);
+  out->max_seconds = lat.max;
+  out->mean_seconds = lat.mean();
+  out->mean_efficiency = eff.mean();
+}
+
+unsigned long long armgemm_telemetry_anomaly_count(void) {
+  return ag::obs::telemetry_anomaly_count();
+}
+
+int armgemm_telemetry_drift_ewma(int shape_kind, double* fast_ewma,
+                                 double* reference_ewma) {
+  const ag::obs::TelemetrySnapshot snap = ag::obs::telemetry_snapshot();
+  const ag::obs::ClassSnapshot* pick = nullptr;
+  double worst = -1;
+  for (const ag::obs::ClassSnapshot& c : snap.classes) {
+    if (shape_kind >= 0 && static_cast<int>(c.shape.kind) != shape_kind) continue;
+    if (c.drift_samples == 0 || c.drift_reference <= 0) continue;
+    const double div = std::abs(c.drift_fast / c.drift_reference - 1.0);
+    if (div > worst) {
+      worst = div;
+      pick = &c;
+    }
+  }
+  if (!pick) return 0;
+  if (fast_ewma) *fast_ewma = pick->drift_fast;
+  if (reference_ewma) *reference_ewma = pick->drift_reference;
+  return 1;
+}
+
+long long armgemm_metrics_render(int format, char* buf, size_t len) {
+  std::string text;
+  if (format == 0) {
+    text = ag::obs::telemetry_render_prometheus();
+  } else if (format == 1) {
+    text = ag::obs::telemetry_render_json();
+  } else {
+    return -1;
+  }
+  if (buf && len > 0) {
+    const size_t copy = std::min(len - 1, text.size());
+    std::memcpy(buf, text.data(), copy);
+    buf[copy] = '\0';
+  }
+  return static_cast<long long>(text.size());
+}
+
+int armgemm_metrics_write(const char* path) {
+  return ag::obs::telemetry_write_metrics(path ? path : "");
+}
+
+void armgemm_set_metrics_path(const char* path) {
+  ag::set_metrics_path(path ? path : "");
+}
+
+int armgemm_flight_dump(const char* path) {
+  if (!path) return -1;
+  return ag::obs::telemetry_dump_flight(path);
+}
+
+void armgemm_set_flight_depth(long long depth) { ag::set_flight_depth(depth); }
+
+long long armgemm_get_flight_depth(void) { return ag::flight_depth(); }
+
+void armgemm_set_drift_threshold(double threshold) { ag::set_drift_threshold(threshold); }
+
+double armgemm_get_drift_threshold(void) { return ag::drift_threshold(); }
 
 }  // extern "C"

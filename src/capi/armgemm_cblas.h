@@ -8,6 +8,8 @@
 #ifndef ARMGEMM_CBLAS_H_
 #define ARMGEMM_CBLAS_H_
 
+#include <stddef.h>
+
 #ifdef __cplusplus
 extern "C" {
 #endif
@@ -135,6 +137,83 @@ void armgemm_stats_get(armgemm_stats_snapshot* out);
  * provenance (hw/sw/syn) and per-layer counter totals. Returns 0 on
  * success, -1 on I/O failure. */
 int armgemm_stats_write_json(const char* path);
+
+/* ---- Serving telemetry (process-wide, off by default) ----
+ *
+ * Always-on-capable observability for serving traffic: per-thread
+ * lock-free latency/efficiency histograms keyed by call-shape class, a
+ * per-thread flight recorder of recent calls, Prometheus/JSON metrics
+ * exposition, and a model-drift anomaly detector comparing measured
+ * efficiency against the paper's Section III expectation. The first
+ * enable calibrates the expected-efficiency model (~tens of ms) unless
+ * armgemm_telemetry_set_model() injected one. SIGUSR2 requests a metrics
+ * dump to the ARMGEMM_METRICS_PATH file at the next recorded call. In a
+ * library built with -DARMGEMM_STATS=OFF these calls succeed but record
+ * nothing. */
+
+void armgemm_telemetry_enable(void);
+void armgemm_telemetry_disable(void);
+int armgemm_telemetry_enabled(void);
+
+/* Zeroes every histogram, flight ring, drift state and anomaly record;
+ * flight rings take the current flight-depth knob. */
+void armgemm_telemetry_reset(void);
+
+/* Injects the expected-efficiency model instead of calibrating:
+ * peak Gflops of one core, mu (s/flop), pi (s/word), kappa, and the c of
+ * psi(gamma) = 1/(1 + c*gamma). peak <= 0 clears the model (the next
+ * enable re-calibrates). */
+void armgemm_telemetry_set_model(double peak_gflops_per_core, double mu, double pi,
+                                 double kappa, double psi_c);
+
+typedef struct armgemm_latency_summary {
+  unsigned long long calls;
+  double p50_seconds, p95_seconds, p99_seconds, max_seconds;
+  double mean_seconds;
+  double mean_efficiency; /* Gflops fraction of threads x peak; 0 unknown */
+} armgemm_latency_summary;
+
+/* Latency/efficiency summary merged over every thread. shape_kind: 0
+ * small fast-path, 1 skinny, 2 square, 3 large, -1 all shapes. */
+void armgemm_telemetry_latency(int shape_kind, armgemm_latency_summary* out);
+
+/* Drift onsets (sustained measured-vs-expected divergence) since the last
+ * reset. */
+unsigned long long armgemm_telemetry_anomaly_count(void);
+
+/* Fast and reference EWMA of the measured/expected efficiency ratio for
+ * the most-divergent shape class of `shape_kind` (-1: any kind). Returns
+ * 1 and fills the out-params when some class has samples, else 0. */
+int armgemm_telemetry_drift_ewma(int shape_kind, double* fast_ewma, double* reference_ewma);
+
+/* Renders the merged telemetry state into `buf`: format 0 = Prometheus
+ * text exposition (0.0.4), 1 = one JSON document. Snprintf contract:
+ * returns the full length (excluding the terminator) and writes at most
+ * len-1 bytes plus a NUL; call with len 0 to size. Negative on error. */
+long long armgemm_metrics_render(int format, char* buf, size_t len);
+
+/* Writes the Prometheus text to `path` and the JSON document to
+ * "<path>.json". NULL or "" uses the ARMGEMM_METRICS_PATH knob. Returns 0
+ * on success, -1 when no path is configured or I/O fails. */
+int armgemm_metrics_write(const char* path);
+
+/* Overrides the ARMGEMM_METRICS_PATH knob ("" disables file dumps). */
+void armgemm_set_metrics_path(const char* path);
+
+/* Writes just the merged flight-recorder array (recent calls, oldest
+ * first) to `path` as JSON. Returns 0 on success, -1 on failure. */
+int armgemm_flight_dump(const char* path);
+
+/* Flight-recorder ring depth per recording thread (applies to rings
+ * created or reset afterwards). Defaults to ARMGEMM_FLIGHT_DEPTH, else
+ * 256; 0 disables the recorder. */
+void armgemm_set_flight_depth(long long depth);
+long long armgemm_get_flight_depth(void);
+
+/* Relative divergence |fast/reference - 1| of the drift EWMAs that flags
+ * an anomaly. Defaults to ARMGEMM_DRIFT_THRESHOLD, else 0.25. */
+void armgemm_set_drift_threshold(double threshold);
+double armgemm_get_drift_threshold(void);
 
 #ifdef __cplusplus
 }

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <mutex>
 
 namespace ag {
 namespace {
@@ -33,6 +34,45 @@ std::atomic<std::int64_t>& small_mnk_knob() {
   return v;
 }
 
+constexpr std::int64_t kDefaultFlightDepth = 256;
+constexpr double kDefaultDriftThreshold = 0.25;
+
+double env_double(const char* name, double fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || raw[0] == '\0') return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(raw, &end);
+  if (end == raw || !(v > 0)) return fallback;  // malformed / non-positive: ignore
+  return v;
+}
+
+std::atomic<std::int64_t>& flight_depth_knob() {
+  static std::atomic<std::int64_t> v{env_int64("ARMGEMM_FLIGHT_DEPTH", kDefaultFlightDepth)};
+  return v;
+}
+
+std::atomic<double>& drift_threshold_knob() {
+  static std::atomic<double> v{env_double("ARMGEMM_DRIFT_THRESHOLD", kDefaultDriftThreshold)};
+  return v;
+}
+
+// The only string-valued knob; reads are rare (dump time), so a mutex is
+// simpler than a lock-free string scheme.
+struct MetricsPathKnob {
+  std::mutex mutex;
+  std::string path;
+};
+
+MetricsPathKnob& metrics_path_knob() {
+  static MetricsPathKnob* k = [] {
+    auto* fresh = new MetricsPathKnob;  // leaky: read at process-exit dump time
+    const char* raw = std::getenv("ARMGEMM_METRICS_PATH");
+    if (raw) fresh->path = raw;
+    return fresh;
+  }();
+  return *k;
+}
+
 }  // namespace
 
 std::int64_t spin_wait_us() { return spin_us_knob().load(std::memory_order_relaxed); }
@@ -58,6 +98,35 @@ bool use_small_gemm(std::int64_t m, std::int64_t n, std::int64_t k) {
   if (n > t3 / m) return false;  // m*n > t3 implies the product does too
   const std::int64_t mn = m * n;
   return k <= t3 / mn;  // exact: k > floor(t3/mn) <=> k*mn > t3
+}
+
+std::string metrics_path() {
+  MetricsPathKnob& k = metrics_path_knob();
+  std::lock_guard lock(k.mutex);
+  return k.path;
+}
+
+void set_metrics_path(const std::string& path) {
+  MetricsPathKnob& k = metrics_path_knob();
+  std::lock_guard lock(k.mutex);
+  k.path = path;
+}
+
+std::int64_t flight_depth() {
+  return flight_depth_knob().load(std::memory_order_relaxed);
+}
+
+void set_flight_depth(std::int64_t depth) {
+  flight_depth_knob().store(depth < 0 ? 0 : depth, std::memory_order_relaxed);
+}
+
+double drift_threshold() {
+  return drift_threshold_knob().load(std::memory_order_relaxed);
+}
+
+void set_drift_threshold(double threshold) {
+  drift_threshold_knob().store(threshold > 0 ? threshold : kDefaultDriftThreshold,
+                               std::memory_order_relaxed);
 }
 
 }  // namespace ag

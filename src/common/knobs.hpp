@@ -9,14 +9,27 @@
 //                        path: problems with m*n*k <= T^3 skip packing and
 //                        the blocked loop nest. 0 disables the fast path.
 //
+// The serving-telemetry layer (obs/telemetry) adds three more:
+//
+//   ARMGEMM_METRICS_PATH    - file the Prometheus text exposition is
+//                             written to (plus <path>.json); empty
+//                             disables file dumps.
+//   ARMGEMM_FLIGHT_DEPTH    - per-thread flight-recorder ring depth
+//                             (records retained per lane); 0 disables.
+//   ARMGEMM_DRIFT_THRESHOLD - relative divergence |fast/reference - 1| of
+//                             the measured-vs-expected efficiency EWMAs
+//                             that flags a model-drift anomaly.
+//
 // Each knob reads its environment variable once at first use; the setters
 // override the value process-wide afterwards (exposed through the C API as
-// armgemm_set_spin_us / armgemm_set_small_mnk). The predicate lives in
+// armgemm_set_spin_us / armgemm_set_small_mnk / armgemm_set_flight_depth /
+// armgemm_set_drift_threshold). The small-matrix predicate lives in
 // src/common because both the core driver and obs/expected (the blocking
 // arithmetic model) must agree on which path a given shape takes.
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 namespace ag {
 
@@ -31,5 +44,18 @@ void set_small_gemm_mnk(std::int64_t t);
 /// True when (m, n, k) should take the no-pack small-matrix fast path
 /// under the current threshold. Overflow-safe for any int64 dimensions.
 bool use_small_gemm(std::int64_t m, std::int64_t n, std::int64_t k);
+
+/// Metrics exposition target path ("" = file dumps disabled).
+std::string metrics_path();
+void set_metrics_path(const std::string& path);
+
+/// Flight-recorder ring depth per telemetry lane (0 = recorder off).
+std::int64_t flight_depth();
+void set_flight_depth(std::int64_t depth);
+
+/// Drift-anomaly divergence threshold (relative; non-positive and
+/// malformed values fall back to the default).
+double drift_threshold();
+void set_drift_threshold(double threshold);
 
 }  // namespace ag

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <vector>
 
 #include "blas/reference_gemm.hpp"
@@ -15,6 +16,7 @@
 #include "core/schedule.hpp"
 #include "obs/gemm_stats.hpp"
 #include "obs/pmu.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/tracer.hpp"
 
 namespace ag {
@@ -62,11 +64,10 @@ void gemm_small(Trans trans_a, Trans trans_b, index_t m, index_t n, index_t k, d
     }
   }
   if (slot) {
-    slot->add_small(t.seconds());
     // One read + one write of C; the operands stream straight from the
     // caller's buffers, so there is no packed traffic to account.
-    slot->c_bytes.fetch_add(static_cast<std::uint64_t>(2 * m * n) * sizeof(double),
-                            std::memory_order_relaxed);
+    slot->add_small(t.seconds(),
+                    static_cast<std::uint64_t>(2 * m * n) * sizeof(double));
   }
 }
 
@@ -168,7 +169,10 @@ void gemm_parallel(Trans trans_a, Trans trans_b, index_t m, index_t n, index_t k
         obs::Tracer* tracer = stats ? stats->tracer() : nullptr;
         obs::PmuCollector* pmu = stats ? stats->pmu() : nullptr;
         double barrier_wait = 0;
-        double* const wait_acc = slot ? &barrier_wait : nullptr;
+        // Telemetry wants the per-worker wait signal even with no
+        // GemmStats collector attached.
+        double* const wait_acc =
+            (slot || obs::telemetry_active()) ? &barrier_wait : nullptr;
         double* const my_packed_a = scratch.packed_a[static_cast<std::size_t>(rank)].data();
 
         const auto pack_panel = [&](index_t p) {
@@ -226,16 +230,24 @@ void gemm_parallel(Trans trans_a, Trans trans_b, index_t m, index_t n, index_t k
           }
         }
         if (slot) slot->add_barrier_wait(barrier_wait);
+        if (wait_acc && obs::telemetry_active())
+          obs::telemetry_record_barrier_wait(barrier_wait);
       },
       nthreads);
 }
 
-void run_gemm(Trans trans_a, Trans trans_b, index_t m, index_t n, index_t k, double alpha,
-              const double* a, index_t lda, const double* b, index_t ldb, double* c,
-              index_t ldc, const Context& ctx) {
+/// How run_gemm executed one call; feeds the serving-telemetry record.
+struct RunInfo {
+  obs::ScheduleKind schedule = obs::ScheduleKind::kSerial;
+  int threads = 1;
+};
+
+RunInfo run_gemm(Trans trans_a, Trans trans_b, index_t m, index_t n, index_t k, double alpha,
+                 const double* a, index_t lda, const double* b, index_t ldb, double* c,
+                 index_t ldc, const Context& ctx) {
   if (use_small_gemm(m, n, k)) {
     gemm_small(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, c, ldc, ctx);
-    return;
+    return {obs::ScheduleKind::kSmall, 1};
   }
   int eff = 1;
   const BlockSizes& bs = ctx.block_sizes();
@@ -251,9 +263,10 @@ void run_gemm(Trans trans_a, Trans trans_b, index_t m, index_t n, index_t k, dou
   if (eff > 1) {
     gemm_parallel(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, c, ldc, ctx, *scratch,
                   eff);
-  } else {
-    gemm_serial(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, c, ldc, ctx, *scratch);
+    return {obs::ScheduleKind::kParallel, eff};
   }
+  gemm_serial(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, c, ldc, ctx, *scratch);
+  return {obs::ScheduleKind::kSerial, 1};
 }
 
 }  // namespace
@@ -273,18 +286,27 @@ void dgemm(Layout layout, Trans trans_a, Trans trans_b, std::int64_t m, std::int
   }
 
   obs::GemmStats* stats = ctx.stats();
-  if (stats) {
-    obs::Tracer::Region region(stats->tracer(), 0, "dgemm");
-    obs::PmuRegion hw(stats->pmu(), 0, obs::PmuLayer::kTotal);
-    Timer t;
+  const bool telemetry = obs::telemetry_active();
+  if (stats || telemetry) {
+    obs::Tracer::Region region(stats ? stats->tracer() : nullptr, 0, "dgemm");
+    obs::PmuRegion hw(stats ? stats->pmu() : nullptr, 0, obs::PmuLayer::kTotal);
+    const auto t0 = std::chrono::steady_clock::now();
     scale_panel(c, ldc, m, n, beta);
     const bool computed = k != 0 && alpha != 0.0;
-    if (computed) run_gemm(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, c, ldc, ctx);
+    RunInfo run;
+    if (computed)
+      run = run_gemm(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, c, ldc, ctx);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double seconds = std::chrono::duration<double>(t1 - t0).count();
     const double flops =
         computed ? 2.0 * static_cast<double>(m) * static_cast<double>(n) *
                        static_cast<double>(k)
                  : 0.0;
-    stats->slot(0).add_call(flops, t.seconds());
+    if (stats) stats->slot(0).add_call(flops, seconds);
+    if (telemetry && computed)
+      obs::telemetry_record_call(
+          m, n, k, run.threads, run.schedule, seconds, ctx.block_sizes(),
+          std::chrono::duration<double>(t1.time_since_epoch()).count());
     return;
   }
 

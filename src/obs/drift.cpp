@@ -1,0 +1,46 @@
+#include "obs/drift.hpp"
+
+#include <cmath>
+
+namespace ag::obs {
+
+double DriftDetector::divergence() const {
+  if (samples_ == 0 || slow_ <= 0) return 0.0;
+  return std::abs(fast_ / slow_ - 1.0);
+}
+
+DriftDetector::Event DriftDetector::observe(double ratio) {
+  if (!std::isfinite(ratio) || ratio <= 0) return Event::kNone;
+  if (samples_ == 0) {
+    fast_ = slow_ = ratio;
+  } else {
+    fast_ += cfg_.fast_alpha * (ratio - fast_);
+    // The reference only learns while behaviour is considered normal;
+    // otherwise a long anomaly would become the new normal and the
+    // recovery edge would never be seen.
+    if (!in_drift_) slow_ += cfg_.slow_alpha * (ratio - slow_);
+  }
+  ++samples_;
+
+  const double div = divergence();
+  if (!in_drift_) {
+    if (samples_ >= cfg_.min_samples && div > cfg_.threshold) {
+      in_drift_ = true;
+      ++anomalies_;
+      return Event::kTriggered;
+    }
+  } else if (div < cfg_.threshold * cfg_.rearm_fraction) {
+    in_drift_ = false;
+    return Event::kRecovered;
+  }
+  return Event::kNone;
+}
+
+void DriftDetector::reset() {
+  fast_ = slow_ = 0;
+  samples_ = 0;
+  anomalies_ = 0;
+  in_drift_ = false;
+}
+
+}  // namespace ag::obs

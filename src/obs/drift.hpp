@@ -1,0 +1,71 @@
+// Model-drift anomaly detection for the serving-telemetry layer.
+//
+// Each call class feeds the detector the ratio of measured to
+// model-expected efficiency (obs/expected blocking arithmetic priced with
+// the obs/calibrate cost constants). Two EWMAs of that ratio run at
+// different horizons:
+//
+//   fast  — tracks recent behaviour (default alpha 0.08, ~12-call memory)
+//   slow  — the established reference for this class (alpha 0.004)
+//
+// The detector fires when the fast EWMA diverges from the reference by
+// more than the configured threshold for the *current* sample — i.e. the
+// divergence is already smoothed by the fast EWMA, so a single outlier
+// call cannot trigger it, while a sustained step shift does within a few
+// dozen calls. While in the drift state the reference is frozen (the
+// anomaly must not be absorbed into the baseline it is measured against);
+// it thaws when the fast EWMA returns within threshold*rearm_fraction of
+// the reference, which is also when a recovery event is reported.
+//
+// The class is deliberately pure and single-threaded: the telemetry layer
+// serializes access per shape class, and the unit tests drive it with
+// synthetic efficiency series (no-drift, step-drift, recovery).
+#pragma once
+
+#include <cstdint>
+
+namespace ag::obs {
+
+struct DriftConfig {
+  double fast_alpha = 0.08;    // newest-sample weight of the fast EWMA
+  double slow_alpha = 0.004;   // newest-sample weight of the reference EWMA
+  double threshold = 0.25;     // relative |fast/slow - 1| that triggers
+  double rearm_fraction = 0.5; // recovery hysteresis, as a fraction of threshold
+  std::uint64_t min_samples = 32;  // warm-up before the detector may fire
+};
+
+class DriftDetector {
+ public:
+  enum class Event { kNone = 0, kTriggered, kRecovered };
+
+  explicit DriftDetector(const DriftConfig& cfg = {}) : cfg_(cfg) {}
+
+  /// Feeds one measured/expected efficiency ratio; returns the state
+  /// transition this sample caused (almost always kNone). Non-finite and
+  /// non-positive ratios are ignored.
+  Event observe(double ratio);
+
+  double fast_ewma() const { return fast_; }
+  double reference_ewma() const { return slow_; }
+  /// |fast/reference - 1|; 0 before any sample.
+  double divergence() const;
+  std::uint64_t samples() const { return samples_; }
+  bool in_drift() const { return in_drift_; }
+  std::uint64_t anomalies() const { return anomalies_; }
+  const DriftConfig& config() const { return cfg_; }
+  /// Replaces the configuration without disturbing the EWMA state (the
+  /// telemetry layer applies runtime threshold-knob changes this way).
+  void set_config(const DriftConfig& cfg) { cfg_ = cfg; }
+
+  void reset();
+
+ private:
+  DriftConfig cfg_;
+  double fast_ = 0;
+  double slow_ = 0;
+  std::uint64_t samples_ = 0;
+  std::uint64_t anomalies_ = 0;
+  bool in_drift_ = false;
+};
+
+}  // namespace ag::obs

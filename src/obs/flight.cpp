@@ -1,0 +1,82 @@
+#include "obs/flight.hpp"
+
+#include <sstream>
+
+namespace ag::obs {
+
+const char* to_string(ScheduleKind k) {
+  switch (k) {
+    case ScheduleKind::kSmall: return "small";
+    case ScheduleKind::kSerial: return "serial";
+    case ScheduleKind::kParallel: return "parallel";
+    default: return "?";
+  }
+}
+
+std::string CallRecord::to_json() const {
+  std::ostringstream os;
+  os.precision(9);
+  os << "{\"t\":" << t << ",\"m\":" << m << ",\"n\":" << n << ",\"k\":" << k
+     << ",\"threads\":" << threads << ",\"schedule\":\"" << to_string(schedule)
+     << "\",\"shape_class\":" << shape_class << ",\"seconds\":" << seconds
+     << ",\"gflops\":" << gflops << ",\"efficiency\":" << efficiency
+     << ",\"expected_gflops\":" << expected_gflops
+     << ",\"pmu_hardware\":" << (pmu_hardware ? "true" : "false") << "}";
+  return os.str();
+}
+
+void FlightRecorder::record(const CallRecord& r) {
+  std::lock_guard lock(mutex_);
+  if (ring_.empty()) return;
+  ring_[static_cast<std::size_t>(head_ % ring_.size())] = r;
+  ++head_;
+}
+
+std::vector<CallRecord> FlightRecorder::recent() const {
+  std::lock_guard lock(mutex_);
+  std::vector<CallRecord> out;
+  if (ring_.empty()) return out;
+  const std::uint64_t n = head_ < ring_.size() ? head_ : ring_.size();
+  out.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = head_ - n; i < head_; ++i)
+    out.push_back(ring_[static_cast<std::size_t>(i % ring_.size())]);
+  return out;
+}
+
+std::size_t FlightRecorder::depth() const {
+  std::lock_guard lock(mutex_);
+  return ring_.size();
+}
+
+std::uint64_t FlightRecorder::recorded() const {
+  std::lock_guard lock(mutex_);
+  return head_;
+}
+
+void FlightRecorder::reset(std::int64_t depth) {
+  std::lock_guard lock(mutex_);
+  head_ = 0;
+  if (depth > 0) {
+    ring_.clear();
+    ring_.resize(static_cast<std::size_t>(depth));
+  }
+}
+
+void FlightRecorder::resize(std::size_t depth) {
+  std::lock_guard lock(mutex_);
+  ring_.resize(depth);
+  head_ = 0;
+}
+
+std::string flight_to_json(const std::vector<CallRecord>& records) {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    if (i) os << ",";
+    os << records[i].to_json();
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace ag::obs

@@ -95,60 +95,105 @@ std::string LayerCounters::to_json() const {
   return os.str();
 }
 
+namespace {
+
+/// Seqlock write section for one ThreadSlot update. The fence after the
+/// odd bump orders it before the (relaxed) field updates; the release
+/// bump at the end orders the updates before the even version a reader
+/// validates against.
+class SlotWrite {
+ public:
+  explicit SlotWrite(std::atomic<std::uint64_t>& version) : version_(version) {
+    version_.fetch_add(1, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+  }
+  ~SlotWrite() { version_.fetch_add(1, std::memory_order_release); }
+
+  SlotWrite(const SlotWrite&) = delete;
+  SlotWrite& operator=(const SlotWrite&) = delete;
+
+ private:
+  std::atomic<std::uint64_t>& version_;
+};
+
+}  // namespace
+
 void ThreadSlot::add_pack_a(std::uint64_t bytes, double seconds) {
+  SlotWrite write(version);
   pack_a_calls.fetch_add(1, std::memory_order_relaxed);
   pack_a_bytes.fetch_add(bytes, std::memory_order_relaxed);
   atomic_add(pack_a_seconds, seconds);
 }
 
 void ThreadSlot::add_pack_b(std::uint64_t bytes, double seconds) {
+  SlotWrite write(version);
   pack_b_calls.fetch_add(1, std::memory_order_relaxed);
   pack_b_bytes.fetch_add(bytes, std::memory_order_relaxed);
   atomic_add(pack_b_seconds, seconds);
 }
 
 void ThreadSlot::add_gebp(std::uint64_t kernels, std::uint64_t bytes_c, double seconds) {
+  SlotWrite write(version);
   gebp_calls.fetch_add(1, std::memory_order_relaxed);
   kernel_calls.fetch_add(kernels, std::memory_order_relaxed);
   c_bytes.fetch_add(bytes_c, std::memory_order_relaxed);
   atomic_add(gebp_seconds, seconds);
 }
 
-void ThreadSlot::add_small(double seconds) {
+void ThreadSlot::add_small(double seconds, std::uint64_t bytes_c) {
+  SlotWrite write(version);
   small_calls.fetch_add(1, std::memory_order_relaxed);
+  c_bytes.fetch_add(bytes_c, std::memory_order_relaxed);
   atomic_add(small_seconds, seconds);
 }
 
 void ThreadSlot::add_call(double fl, double seconds) {
+  SlotWrite write(version);
   gemm_calls.fetch_add(1, std::memory_order_relaxed);
   atomic_add(flops, fl);
   atomic_add(total_seconds, seconds);
 }
 
-void ThreadSlot::add_barrier_wait(double seconds) { atomic_add(barrier_seconds, seconds); }
+void ThreadSlot::add_barrier_wait(double seconds) {
+  SlotWrite write(version);
+  atomic_add(barrier_seconds, seconds);
+}
 
 LayerCounters ThreadSlot::snapshot() const {
+  // Seqlock read: retry while a writer is mid-update (odd version) or a
+  // write completed between the two version loads. Bounded so a pathological
+  // recording storm (or two host threads sharing the slot, where parity
+  // alone cannot prove quiescence) degrades to per-field atomicity
+  // instead of livelock.
+  constexpr int kMaxRetries = 1024;
   LayerCounters c;
-  c.gemm_calls = gemm_calls.load(std::memory_order_relaxed);
-  c.pack_a_calls = pack_a_calls.load(std::memory_order_relaxed);
-  c.pack_b_calls = pack_b_calls.load(std::memory_order_relaxed);
-  c.gebp_calls = gebp_calls.load(std::memory_order_relaxed);
-  c.kernel_calls = kernel_calls.load(std::memory_order_relaxed);
-  c.small_calls = small_calls.load(std::memory_order_relaxed);
-  c.pack_a_bytes = pack_a_bytes.load(std::memory_order_relaxed);
-  c.pack_b_bytes = pack_b_bytes.load(std::memory_order_relaxed);
-  c.c_bytes = c_bytes.load(std::memory_order_relaxed);
-  c.pack_a_seconds = pack_a_seconds.load(std::memory_order_relaxed);
-  c.pack_b_seconds = pack_b_seconds.load(std::memory_order_relaxed);
-  c.gebp_seconds = gebp_seconds.load(std::memory_order_relaxed);
-  c.small_seconds = small_seconds.load(std::memory_order_relaxed);
-  c.barrier_seconds = barrier_seconds.load(std::memory_order_relaxed);
-  c.total_seconds = total_seconds.load(std::memory_order_relaxed);
-  c.flops = flops.load(std::memory_order_relaxed);
+  for (int attempt = 0; attempt < kMaxRetries; ++attempt) {
+    const std::uint64_t v0 = version.load(std::memory_order_acquire);
+    if (v0 & 1) continue;
+    c.gemm_calls = gemm_calls.load(std::memory_order_relaxed);
+    c.pack_a_calls = pack_a_calls.load(std::memory_order_relaxed);
+    c.pack_b_calls = pack_b_calls.load(std::memory_order_relaxed);
+    c.gebp_calls = gebp_calls.load(std::memory_order_relaxed);
+    c.kernel_calls = kernel_calls.load(std::memory_order_relaxed);
+    c.small_calls = small_calls.load(std::memory_order_relaxed);
+    c.pack_a_bytes = pack_a_bytes.load(std::memory_order_relaxed);
+    c.pack_b_bytes = pack_b_bytes.load(std::memory_order_relaxed);
+    c.c_bytes = c_bytes.load(std::memory_order_relaxed);
+    c.pack_a_seconds = pack_a_seconds.load(std::memory_order_relaxed);
+    c.pack_b_seconds = pack_b_seconds.load(std::memory_order_relaxed);
+    c.gebp_seconds = gebp_seconds.load(std::memory_order_relaxed);
+    c.small_seconds = small_seconds.load(std::memory_order_relaxed);
+    c.barrier_seconds = barrier_seconds.load(std::memory_order_relaxed);
+    c.total_seconds = total_seconds.load(std::memory_order_relaxed);
+    c.flops = flops.load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (version.load(std::memory_order_relaxed) == v0) return c;
+  }
   return c;
 }
 
 void ThreadSlot::reset() {
+  SlotWrite write(version);
   gemm_calls.store(0, std::memory_order_relaxed);
   pack_a_calls.store(0, std::memory_order_relaxed);
   pack_b_calls.store(0, std::memory_order_relaxed);

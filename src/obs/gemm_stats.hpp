@@ -76,6 +76,15 @@ struct LayerCounters {
 /// Cache-line-sized accumulator for one pool rank. All adds are relaxed
 /// atomics, so slots stay race-free even if two host threads ever share a
 /// rank (e.g. concurrent serial calls through one collector).
+///
+/// Snapshot consistency: every add_* (and reset) brackets its field
+/// updates in a seqlock version — odd while an update is in flight. A
+/// snapshot that observes a version change retries, so it never mixes
+/// fields from before and after one recording (e.g. a call's flops
+/// without its seconds) as long as one thread records into the slot at a
+/// time — the pool's invariant. If two host threads ever share slot 0
+/// concurrently, counts stay exact (atomics) and the snapshot degrades
+/// to per-field atomicity after a bounded number of retries.
 struct alignas(64) ThreadSlot {
   std::atomic<std::uint64_t> gemm_calls{0};
   std::atomic<std::uint64_t> pack_a_calls{0};
@@ -93,18 +102,21 @@ struct alignas(64) ThreadSlot {
   std::atomic<double> barrier_seconds{0};
   std::atomic<double> total_seconds{0};
   std::atomic<double> flops{0};
+  /// Seqlock version: odd while an add_*/reset is updating the fields.
+  std::atomic<std::uint64_t> version{0};
 
   void add_pack_a(std::uint64_t bytes, double seconds);
   void add_pack_b(std::uint64_t bytes, double seconds);
   void add_gebp(std::uint64_t kernels, std::uint64_t bytes_c, double seconds);
-  void add_small(double seconds);
+  void add_small(double seconds, std::uint64_t bytes_c);
   void add_call(double fl, double seconds);
   void add_barrier_wait(double seconds);
 
+  /// Consistent multi-field read (see the seqlock note above).
   LayerCounters snapshot() const;
   void reset();
 };
-static_assert(sizeof(ThreadSlot) <= 128, "keep one slot within two cache lines");
+static_assert(sizeof(ThreadSlot) <= 192, "keep one slot within three cache lines");
 
 /// The collector. Attach with Context::set_stats(&stats); detach with
 /// set_stats(nullptr) before destroying it. One collector may serve many

@@ -1,0 +1,776 @@
+#include "obs/telemetry.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+#if !defined(_WIN32)
+#include <signal.h>
+#endif
+
+#include "common/knobs.hpp"
+#include "obs/calibrate.hpp"
+#include "obs/expected.hpp"
+#include "obs/pmu.hpp"
+
+namespace ag::obs {
+
+namespace detail {
+
+namespace {
+bool env_enabled_initial() {
+  // ARMGEMM_TELEMETRY=1/on enables recording from the first call; setting
+  // a metrics path implies the caller wants the exposition running.
+  const char* raw = std::getenv("ARMGEMM_TELEMETRY");
+  if (raw && (raw[0] == '1' || raw[0] == 'o' || raw[0] == 'y')) return true;
+  const char* path = std::getenv("ARMGEMM_METRICS_PATH");
+  return path != nullptr && path[0] != '\0';
+}
+}  // namespace
+
+std::atomic<bool> g_telemetry_enabled{env_enabled_initial()};
+
+}  // namespace detail
+
+const char* to_string(ShapeKind k) {
+  switch (k) {
+    case ShapeKind::kSmall: return "small";
+    case ShapeKind::kSkinny: return "skinny";
+    case ShapeKind::kSquare: return "square";
+    case ShapeKind::kLarge: return "large";
+    default: return "?";
+  }
+}
+
+ShapeClass ShapeClass::from_index(int index) {
+  ShapeClass sc;
+  if (index < 0) index = 0;
+  if (index >= kShapeClasses) index = kShapeClasses - 1;
+  sc.kind = static_cast<ShapeKind>(index / kShapeDecades);
+  sc.decade = index % kShapeDecades;
+  return sc;
+}
+
+ShapeClass ShapeClass::classify(std::int64_t m, std::int64_t n, std::int64_t k) {
+  ShapeClass sc;
+  const double p = static_cast<double>(m) * static_cast<double>(n) * static_cast<double>(k);
+  int d = 0;
+  double decade_edge = 10.0;
+  while (d < kShapeDecades - 1 && p >= decade_edge) {
+    ++d;
+    decade_edge *= 10.0;
+  }
+  sc.decade = d;
+  if (use_small_gemm(m, n, k)) {
+    sc.kind = ShapeKind::kSmall;
+    return sc;
+  }
+  const std::int64_t mx = std::max(m, std::max(n, k));
+  const std::int64_t mn = std::min(m, std::min(n, k));
+  if (mx >= 4 * mn) {
+    sc.kind = ShapeKind::kSkinny;
+  } else if (p >= 16777216.0) {  // 256^3: operands no longer cache-resident
+    sc.kind = ShapeKind::kLarge;
+  } else {
+    sc.kind = ShapeKind::kSquare;
+  }
+  return sc;
+}
+
+std::string ShapeClass::label() const {
+  std::ostringstream os;
+  os << to_string(kind) << "/d" << decade;
+  return os.str();
+}
+
+namespace {
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Per-shape-class recording state of one lane, allocated on first use so
+/// idle classes cost one null pointer each.
+struct ClassHists {
+  AtomicHistogram<kLatencyBuckets> latency;      // nanoseconds
+  AtomicHistogram<kEfficiencyBuckets> efficiency;  // micro-fractions
+};
+
+/// One recording thread's telemetry state. Lanes are created on a
+/// thread's first record (or eagerly by telemetry_register_thread), live
+/// for the process lifetime, and are only ever appended to the registry —
+/// so recorders touch no registry lock on the hot path.
+struct Lane {
+  mutable std::mutex name_mutex;
+  std::string name;
+  std::array<std::atomic<ClassHists*>, kShapeClasses> classes{};
+  AtomicHistogram<kLatencyBuckets> barrier_wait;  // nanoseconds
+  std::atomic<FlightRecorder*> flight{nullptr};
+
+  ~Lane() {
+    for (auto& slot : classes) delete slot.load(std::memory_order_relaxed);
+    delete flight.load(std::memory_order_relaxed);
+  }
+
+  ClassHists& class_hists(int idx) {
+    auto& slot = classes[static_cast<std::size_t>(idx)];
+    ClassHists* p = slot.load(std::memory_order_acquire);
+    if (!p) {
+      auto* fresh = new ClassHists;
+      if (slot.compare_exchange_strong(p, fresh, std::memory_order_acq_rel))
+        p = fresh;
+      else
+        delete fresh;  // another recorder won; p holds the winner
+    }
+    return *p;
+  }
+
+  FlightRecorder& flight_rec() {
+    FlightRecorder* p = flight.load(std::memory_order_acquire);
+    if (!p) {
+      auto* fresh = new FlightRecorder(static_cast<std::size_t>(flight_depth()));
+      if (flight.compare_exchange_strong(p, fresh, std::memory_order_acq_rel))
+        p = fresh;
+      else
+        delete fresh;
+    }
+    return *p;
+  }
+
+  std::string get_name() const {
+    std::lock_guard lock(name_mutex);
+    return name;
+  }
+};
+
+struct DriftState {
+  std::mutex mutex;
+  DriftDetector detector;
+};
+
+constexpr std::size_t kMaxAnomalyEvents = 64;
+
+struct Telemetry {
+  // Hot-path fields first: every record_call reads epoch, model_state and
+  // peak_gflops and checks dump_requested, so they share the leading cache
+  // lines instead of sitting after the multi-KB drift array.
+  std::atomic<double> epoch{0};
+
+  // Expected-efficiency model. model_state: 0 = absent, 1 = one thread is
+  // building it, 2 = ready. The parameters are individually atomic so a
+  // concurrent set_model never tears a reader.
+  std::atomic<int> model_state{0};
+  std::atomic<bool> model_injected{false};
+  std::atomic<double> peak_gflops{0};
+  std::atomic<double> mu{0}, pi{0}, kappa{0.125}, psi_c{1.0};
+
+  std::atomic<bool> dump_requested{false};
+  std::atomic<bool> dump_in_progress{false};
+  std::atomic<bool> signal_installed{false};
+
+  std::mutex lanes_mutex;
+  std::vector<std::unique_ptr<Lane>> lanes;
+
+  std::array<DriftState, kShapeClasses> drift;
+  std::mutex anomalies_mutex;
+  std::vector<AnomalyEvent> anomalies;       // bounded; oldest dropped
+  std::atomic<std::uint64_t> anomaly_count{0};
+
+  Telemetry() { epoch.store(now_seconds(), std::memory_order_relaxed); }
+};
+
+std::atomic<Telemetry*> g_instance{nullptr};
+
+Telemetry& T() {
+  static Telemetry* t = [] {
+    auto* fresh = new Telemetry;  // leaky: reachable via g_instance, safe in signal handlers
+    g_instance.store(fresh, std::memory_order_release);
+    return fresh;
+  }();
+  return *t;
+}
+
+thread_local Lane* t_lane = nullptr;
+
+Lane& local_lane() {
+  if (t_lane) return *t_lane;
+  Telemetry& t = T();
+  std::lock_guard lock(t.lanes_mutex);
+  auto lane = std::make_unique<Lane>();
+  {
+    std::lock_guard name_lock(lane->name_mutex);
+    lane->name = "host-" + std::to_string(t.lanes.size());
+  }
+  t_lane = lane.get();
+  t.lanes.push_back(std::move(lane));
+  return *t_lane;
+}
+
+#if !defined(_WIN32)
+void sigusr2_handler(int) {
+  // Async-signal-safe: one relaxed store; the dump itself happens on the
+  // next recorded call.
+  Telemetry* t = g_instance.load(std::memory_order_relaxed);
+  if (t) t->dump_requested.store(true, std::memory_order_relaxed);
+}
+#endif
+
+void ensure_signal_handler() {
+#if !defined(_WIN32)
+  Telemetry& t = T();
+  if (t.signal_installed.exchange(true, std::memory_order_acq_rel)) return;
+  struct sigaction sa {};
+  sa.sa_handler = sigusr2_handler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_RESTART;
+  sigaction(SIGUSR2, &sa, nullptr);
+#endif
+}
+
+/// Builds the expected-efficiency model once per process: injected
+/// parameters win; otherwise a short obs/calibrate run (~tens of ms)
+/// derives mu/pi/psi from the host. Only the CAS winner pays; concurrent
+/// recorders skip model-derived metrics until state turns ready.
+void ensure_model() {
+  Telemetry& t = T();
+  int expected = 0;
+  if (!t.model_state.compare_exchange_strong(expected, 1, std::memory_order_acq_rel))
+    return;  // ready (2) or another thread is building (1)
+  ensure_signal_handler();
+  if (!t.model_injected.load(std::memory_order_acquire)) {
+    CalibrationOptions opts;
+    opts.seconds_per_probe = 0.004;   // keep first-call stall in the tens of ms
+    opts.memory_bytes = 16ll << 20;
+    const CalibrationResult cal = calibrate(opts);
+    t.peak_gflops.store(cal.peak_gflops, std::memory_order_relaxed);
+    t.mu.store(cal.mu, std::memory_order_relaxed);
+    t.pi.store(cal.pi, std::memory_order_relaxed);
+    t.kappa.store(0.125, std::memory_order_relaxed);
+    t.psi_c.store(cal.psi_c, std::memory_order_relaxed);
+  }
+  t.model_state.store(2, std::memory_order_release);
+}
+
+bool model_ready() { return T().model_state.load(std::memory_order_acquire) == 2; }
+
+/// Expected Gflops for one call under the Section III model, memoized per
+/// thread (direct-mapped, 8 entries) so shape-repeating serving traffic
+/// pays a few compares per call.
+struct MemoEntry {
+  std::int64_t m = -1, n = -1, k = -1;
+  int threads = 0;
+  std::int64_t mc = 0, nc = 0, kc = 0;
+  double expected_gflops = 0;
+};
+thread_local std::array<MemoEntry, 8> t_memo;
+
+double expected_gflops_for(std::int64_t m, std::int64_t n, std::int64_t k, int threads,
+                           const BlockSizes& bs) {
+  const std::uint64_t h = static_cast<std::uint64_t>(m) * 1315423911ull ^
+                          static_cast<std::uint64_t>(n) * 2654435761ull ^
+                          static_cast<std::uint64_t>(k) * 97531ull ^
+                          static_cast<std::uint64_t>(threads);
+  MemoEntry& e = t_memo[h & 7];
+  if (e.m == m && e.n == n && e.k == k && e.threads == threads && e.mc == bs.mc &&
+      e.nc == bs.nc && e.kc == bs.kc)
+    return e.expected_gflops;
+
+  Telemetry& t = T();
+  const LayerCounters exp = expected_gemm_counters(m, n, k, bs);
+  const double flops = exp.flops;
+  double words = exp.total_bytes() / 8.0;
+  if (words <= 0) words = 1;
+  model::CostParams cost;
+  cost.mu = t.mu.load(std::memory_order_relaxed);
+  cost.pi = t.pi.load(std::memory_order_relaxed);
+  cost.kappa = t.kappa.load(std::memory_order_relaxed);
+  const double per_core =
+      model::perf_lower_bound(flops / words, cost, t.psi_c.load(std::memory_order_relaxed));
+  const double expected = static_cast<double>(threads) * per_core * 1e-9;
+
+  e = {m, n, k, threads, bs.mc, bs.nc, bs.kc, expected};
+  return expected;
+}
+
+void note_anomaly(Telemetry& t, const AnomalyEvent& ev) {
+  if (!ev.recovered) t.anomaly_count.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard lock(t.anomalies_mutex);
+  if (t.anomalies.size() >= kMaxAnomalyEvents)
+    t.anomalies.erase(t.anomalies.begin());
+  t.anomalies.push_back(ev);
+}
+
+// ---- rendering helpers ---------------------------------------------------
+
+void json_hist(std::ostream& os, const LatencyHistogram& h) {
+  os << "{\"count\":" << h.total << ",\"mean\":" << h.mean() << ",\"max\":" << h.max
+     << ",\"p50\":" << latency_quantile(h, 0.50) << ",\"p95\":" << latency_quantile(h, 0.95)
+     << ",\"p99\":" << latency_quantile(h, 0.99) << ",\"buckets\":[";
+  bool first = true;
+  for (int i = 0; i < kLatencyBuckets; ++i) {
+    if (!h.counts[i]) continue;
+    if (!first) os << ",";
+    first = false;
+    os << "[" << static_cast<double>(latency_bucket_lower_ns(i)) * 1e-9 << ","
+       << h.counts[i] << "]";
+  }
+  os << "]}";
+}
+
+void json_eff_hist(std::ostream& os, const EfficiencyHistogram& h) {
+  os << "{\"count\":" << h.total << ",\"mean\":" << h.mean() << ",\"max\":" << h.max
+     << ",\"buckets\":[";
+  bool first = true;
+  for (int i = 0; i < kEfficiencyBuckets; ++i) {
+    if (!h.counts[i]) continue;
+    if (!first) os << ",";
+    first = false;
+    os << "[" << efficiency_bucket_lower(i) << "," << h.counts[i] << "]";
+  }
+  os << "]}";
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) < 0x20) continue;  // labels are plain ASCII
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---- hot-path entry points -----------------------------------------------
+
+void telemetry_record_call(std::int64_t m, std::int64_t n, std::int64_t k, int threads,
+                           ScheduleKind schedule, double seconds, const BlockSizes& bs,
+                           double end_time_seconds) {
+#ifdef ARMGEMM_STATS_DISABLED
+  (void)m; (void)n; (void)k; (void)threads; (void)schedule; (void)seconds; (void)bs;
+  (void)end_time_seconds;
+#else
+  if (!telemetry_active()) return;
+  Telemetry& t = T();
+  if (t.model_state.load(std::memory_order_acquire) == 0) ensure_model();
+
+  Lane& lane = local_lane();
+  const ShapeClass sc = ShapeClass::classify(m, n, k);
+  const int ci = sc.index();
+  const double flops = 2.0 * static_cast<double>(m) * static_cast<double>(n) *
+                       static_cast<double>(k);
+  const double gflops = seconds > 0 ? flops / seconds * 1e-9 : 0.0;
+
+  ClassHists& hists = lane.class_hists(ci);
+  const double ns_d = seconds > 0 ? seconds * 1e9 : 0.0;
+  const std::uint64_t ns = static_cast<std::uint64_t>(ns_d < 1.8e19 ? ns_d : 1.8e19);
+  hists.latency.record(latency_bucket(ns), ns);
+
+  const double peak = t.peak_gflops.load(std::memory_order_relaxed);
+  double efficiency = 0.0;
+  if (peak > 0 && threads > 0) efficiency = gflops / (peak * static_cast<double>(threads));
+  const double eff_clamped = std::min(std::max(efficiency, 0.0), 1e6);
+  hists.efficiency.record(efficiency_bucket(efficiency),
+                          static_cast<std::uint64_t>(eff_clamped * 1e6));
+
+  CallRecord rec;
+  rec.t = (end_time_seconds >= 0 ? end_time_seconds : now_seconds()) -
+          t.epoch.load(std::memory_order_relaxed);
+  rec.m = m;
+  rec.n = n;
+  rec.k = k;
+  rec.threads = threads;
+  rec.schedule = schedule;
+  rec.shape_class = ci;
+  rec.seconds = seconds;
+  rec.gflops = gflops;
+  rec.efficiency = efficiency;
+  // Probe PMU provenance once per process: hardware_available() costs a
+  // perf_event_open/close syscall pair, far too hot for the record path.
+  static const bool pmu_hw = PmuGroup::hardware_available();
+  rec.pmu_hardware = pmu_hw;
+
+  if (model_ready()) {
+    rec.expected_gflops = expected_gflops_for(m, n, k, threads, bs);
+    if (rec.expected_gflops > 0 && gflops > 0) {
+      const double ratio = gflops / rec.expected_gflops;
+      DriftState& ds = t.drift[static_cast<std::size_t>(ci)];
+      DriftDetector::Event ev;
+      AnomalyEvent anomaly;
+      const double thr = drift_threshold();
+      {
+        std::lock_guard lock(ds.mutex);
+        if (ds.detector.config().threshold != thr) {
+          DriftConfig cfg = ds.detector.config();
+          cfg.threshold = thr;
+          ds.detector.set_config(cfg);
+        }
+        ev = ds.detector.observe(ratio);
+        anomaly.fast_ewma = ds.detector.fast_ewma();
+        anomaly.reference_ewma = ds.detector.reference_ewma();
+        anomaly.threshold = thr;
+      }
+      if (ev != DriftDetector::Event::kNone) {
+        anomaly.t = rec.t;
+        anomaly.shape_class = ci;
+        anomaly.recovered = ev == DriftDetector::Event::kRecovered;
+        anomaly.trigger = rec;
+        note_anomaly(t, anomaly);
+        // Drift onset auto-dumps the flight recorder + metrics (when a
+        // metrics path is configured).
+        if (!anomaly.recovered) t.dump_requested.store(true, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  lane.flight_rec().record(rec);
+
+  if (t.dump_requested.load(std::memory_order_relaxed) &&
+      t.dump_requested.exchange(false, std::memory_order_acq_rel))
+    telemetry_write_metrics("");
+#endif
+}
+
+void telemetry_record_barrier_wait(double seconds) {
+#ifdef ARMGEMM_STATS_DISABLED
+  (void)seconds;
+#else
+  if (!telemetry_active()) return;
+  Lane& lane = local_lane();
+  const double ns_d = seconds > 0 ? seconds * 1e9 : 0.0;
+  const std::uint64_t ns = static_cast<std::uint64_t>(ns_d < 1.8e19 ? ns_d : 1.8e19);
+  lane.barrier_wait.record(latency_bucket(ns), ns);
+#endif
+}
+
+void telemetry_register_thread(const std::string& name) {
+#ifdef ARMGEMM_STATS_DISABLED
+  (void)name;
+#else
+  Lane& lane = local_lane();
+  std::lock_guard lock(lane.name_mutex);
+  lane.name = name;
+#endif
+}
+
+// ---- lifecycle -----------------------------------------------------------
+
+void telemetry_enable() {
+  if constexpr (!stats_compiled_in) return;
+  ensure_signal_handler();
+  ensure_model();
+  detail::g_telemetry_enabled.store(true, std::memory_order_relaxed);
+}
+
+void telemetry_disable() {
+  detail::g_telemetry_enabled.store(false, std::memory_order_relaxed);
+}
+
+bool telemetry_enabled() {
+  return detail::g_telemetry_enabled.load(std::memory_order_relaxed);
+}
+
+void telemetry_reset() {
+  Telemetry& t = T();
+  {
+    std::lock_guard lock(t.lanes_mutex);
+    for (auto& lane : t.lanes) {
+      for (auto& slot : lane->classes) {
+        ClassHists* h = slot.load(std::memory_order_acquire);
+        if (h) {
+          h->latency.reset();
+          h->efficiency.reset();
+        }
+      }
+      lane->barrier_wait.reset();
+      FlightRecorder* f = lane->flight.load(std::memory_order_acquire);
+      if (f) f->reset(flight_depth());
+    }
+  }
+  for (auto& ds : t.drift) {
+    std::lock_guard lock(ds.mutex);
+    ds.detector.reset();
+  }
+  {
+    std::lock_guard lock(t.anomalies_mutex);
+    t.anomalies.clear();
+  }
+  t.anomaly_count.store(0, std::memory_order_relaxed);
+  t.dump_requested.store(false, std::memory_order_relaxed);
+  t.epoch.store(now_seconds(), std::memory_order_relaxed);
+}
+
+void telemetry_set_model(double peak_gflops_per_core, const model::CostParams& cost,
+                         double psi_c) {
+  Telemetry& t = T();
+  if (peak_gflops_per_core <= 0) {
+    t.model_injected.store(false, std::memory_order_release);
+    t.peak_gflops.store(0, std::memory_order_relaxed);
+    t.model_state.store(0, std::memory_order_release);
+    return;
+  }
+  t.peak_gflops.store(peak_gflops_per_core, std::memory_order_relaxed);
+  t.mu.store(cost.mu, std::memory_order_relaxed);
+  t.pi.store(cost.pi, std::memory_order_relaxed);
+  t.kappa.store(cost.kappa, std::memory_order_relaxed);
+  t.psi_c.store(psi_c, std::memory_order_relaxed);
+  t.model_injected.store(true, std::memory_order_release);
+  t.model_state.store(2, std::memory_order_release);
+}
+
+// ---- snapshot ------------------------------------------------------------
+
+TelemetrySnapshot telemetry_snapshot() {
+  Telemetry& t = T();
+  TelemetrySnapshot s;
+  s.enabled = telemetry_enabled();
+  s.uptime_seconds = now_seconds() - t.epoch.load(std::memory_order_relaxed);
+  s.peak_gflops_per_core =
+      model_ready() ? t.peak_gflops.load(std::memory_order_relaxed) : 0.0;
+  s.anomaly_count = t.anomaly_count.load(std::memory_order_relaxed);
+
+  std::lock_guard lock(t.lanes_mutex);
+  for (int ci = 0; ci < kShapeClasses; ++ci) {
+    LatencyHistogram lat;
+    EfficiencyHistogram eff;
+    for (const auto& lane : t.lanes) {
+      const ClassHists* h = lane->classes[static_cast<std::size_t>(ci)].load(
+          std::memory_order_acquire);
+      if (!h) continue;
+      lat += h->latency.snapshot(1e-9);
+      eff += h->efficiency.snapshot(1e-6);
+    }
+    if (lat.total == 0) continue;
+    ClassSnapshot cs;
+    cs.shape = ShapeClass::from_index(ci);
+    cs.calls = lat.total;
+    cs.latency = lat;
+    cs.efficiency = eff;
+    cs.p50 = latency_quantile(lat, 0.50);
+    cs.p95 = latency_quantile(lat, 0.95);
+    cs.p99 = latency_quantile(lat, 0.99);
+    {
+      DriftState& ds = t.drift[static_cast<std::size_t>(ci)];
+      std::lock_guard drift_lock(ds.mutex);
+      cs.drift_fast = ds.detector.fast_ewma();
+      cs.drift_reference = ds.detector.reference_ewma();
+      cs.drift_samples = ds.detector.samples();
+      cs.in_drift = ds.detector.in_drift();
+      cs.anomalies = ds.detector.anomalies();
+    }
+    s.total_calls += cs.calls;
+    s.classes.push_back(std::move(cs));
+  }
+
+  for (const auto& lane : t.lanes) {
+    const FlightRecorder* f = lane->flight.load(std::memory_order_acquire);
+    if (f) {
+      s.flight_recorded += f->recorded();
+      auto recent = f->recent();
+      s.flight.insert(s.flight.end(), recent.begin(), recent.end());
+    }
+    const LatencyHistogram bw = lane->barrier_wait.snapshot(1e-9);
+    if (bw.total > 0) s.workers.push_back({lane->get_name(), bw});
+  }
+  std::stable_sort(s.flight.begin(), s.flight.end(),
+                   [](const CallRecord& a, const CallRecord& b) { return a.t < b.t; });
+
+  {
+    std::lock_guard anomaly_lock(t.anomalies_mutex);
+    s.anomalies = t.anomalies;
+  }
+  return s;
+}
+
+// ---- exposition ----------------------------------------------------------
+
+std::string telemetry_render_prometheus() {
+  const TelemetrySnapshot s = telemetry_snapshot();
+  std::ostringstream os;
+  os.precision(9);
+
+  os << "# HELP armgemm_telemetry_enabled 1 when call recording is on.\n"
+        "# TYPE armgemm_telemetry_enabled gauge\n"
+     << "armgemm_telemetry_enabled " << (s.enabled ? 1 : 0) << "\n";
+  os << "# HELP armgemm_peak_gflops_per_core Calibrated or injected per-core peak.\n"
+        "# TYPE armgemm_peak_gflops_per_core gauge\n"
+     << "armgemm_peak_gflops_per_core " << s.peak_gflops_per_core << "\n";
+  os << "# HELP armgemm_calls_total GEMM calls recorded per shape class.\n"
+        "# TYPE armgemm_calls_total counter\n";
+  for (const ClassSnapshot& c : s.classes)
+    os << "armgemm_calls_total{kind=\"" << to_string(c.shape.kind) << "\",decade=\""
+       << c.shape.decade << "\"} " << c.calls << "\n";
+
+  os << "# HELP armgemm_call_latency_seconds Per-call wall time by shape class.\n"
+        "# TYPE armgemm_call_latency_seconds histogram\n";
+  for (const ClassSnapshot& c : s.classes) {
+    const std::string labels = std::string("kind=\"") + to_string(c.shape.kind) +
+                               "\",decade=\"" + std::to_string(c.shape.decade) + "\"";
+    std::uint64_t cum = 0;
+    for (int i = 0; i < kLatencyBuckets; ++i) {
+      if (!c.latency.counts[i]) continue;
+      cum += c.latency.counts[i];
+      if (i == kLatencyBuckets - 1) break;  // the +Inf line covers overflow
+      os << "armgemm_call_latency_seconds_bucket{" << labels << ",le=\""
+         << static_cast<double>(latency_bucket_upper_ns(i)) * 1e-9 << "\"} " << cum << "\n";
+    }
+    os << "armgemm_call_latency_seconds_bucket{" << labels << ",le=\"+Inf\"} "
+       << c.latency.total << "\n";
+    os << "armgemm_call_latency_seconds_sum{" << labels << "} " << c.latency.sum << "\n";
+    os << "armgemm_call_latency_seconds_count{" << labels << "} " << c.latency.total << "\n";
+  }
+
+  os << "# HELP armgemm_call_latency_quantile_seconds Merged latency quantiles.\n"
+        "# TYPE armgemm_call_latency_quantile_seconds gauge\n";
+  for (const ClassSnapshot& c : s.classes) {
+    const std::string labels = std::string("kind=\"") + to_string(c.shape.kind) +
+                               "\",decade=\"" + std::to_string(c.shape.decade) + "\"";
+    os << "armgemm_call_latency_quantile_seconds{" << labels << ",quantile=\"0.5\"} "
+       << c.p50 << "\n";
+    os << "armgemm_call_latency_quantile_seconds{" << labels << ",quantile=\"0.95\"} "
+       << c.p95 << "\n";
+    os << "armgemm_call_latency_quantile_seconds{" << labels << ",quantile=\"0.99\"} "
+       << c.p99 << "\n";
+    os << "armgemm_call_latency_quantile_seconds{" << labels << ",quantile=\"1\"} "
+       << c.latency.max << "\n";
+  }
+
+  os << "# HELP armgemm_efficiency Gflops fraction of threads x peak.\n"
+        "# TYPE armgemm_efficiency histogram\n";
+  for (const ClassSnapshot& c : s.classes) {
+    const std::string labels = std::string("kind=\"") + to_string(c.shape.kind) +
+                               "\",decade=\"" + std::to_string(c.shape.decade) + "\"";
+    std::uint64_t cum = 0;
+    for (int i = 0; i < kEfficiencyBuckets; ++i) {
+      if (!c.efficiency.counts[i]) continue;
+      cum += c.efficiency.counts[i];
+      if (i == kEfficiencyBuckets - 1) break;
+      os << "armgemm_efficiency_bucket{" << labels << ",le=\""
+         << efficiency_bucket_lower(i + 1) << "\"} " << cum << "\n";
+    }
+    os << "armgemm_efficiency_bucket{" << labels << ",le=\"+Inf\"} " << c.efficiency.total
+       << "\n";
+    os << "armgemm_efficiency_sum{" << labels << "} " << c.efficiency.sum << "\n";
+    os << "armgemm_efficiency_count{" << labels << "} " << c.efficiency.total << "\n";
+  }
+
+  os << "# HELP armgemm_drift_ewma Fast EWMA of measured/expected efficiency.\n"
+        "# TYPE armgemm_drift_ewma gauge\n";
+  for (const ClassSnapshot& c : s.classes) {
+    const std::string labels = std::string("kind=\"") + to_string(c.shape.kind) +
+                               "\",decade=\"" + std::to_string(c.shape.decade) + "\"";
+    os << "armgemm_drift_ewma{" << labels << "} " << c.drift_fast << "\n";
+    os << "armgemm_drift_reference{" << labels << "} " << c.drift_reference << "\n";
+    os << "armgemm_drift_state{" << labels << "} " << (c.in_drift ? 1 : 0) << "\n";
+  }
+  os << "# HELP armgemm_drift_anomalies_total Drift onsets since the epoch.\n"
+        "# TYPE armgemm_drift_anomalies_total counter\n"
+     << "armgemm_drift_anomalies_total " << s.anomaly_count << "\n";
+  os << "# HELP armgemm_flight_records_total Calls the flight recorder has seen.\n"
+        "# TYPE armgemm_flight_records_total counter\n"
+     << "armgemm_flight_records_total " << s.flight_recorded << "\n";
+
+  os << "# HELP armgemm_barrier_wait_seconds Per-worker barrier wait per parallel call.\n"
+        "# TYPE armgemm_barrier_wait_seconds summary\n";
+  for (const WorkerSnapshot& w : s.workers) {
+    os << "armgemm_barrier_wait_seconds_sum{worker=\"" << w.name << "\"} "
+       << w.barrier_wait.sum << "\n";
+    os << "armgemm_barrier_wait_seconds_count{worker=\"" << w.name << "\"} "
+       << w.barrier_wait.total << "\n";
+  }
+  return os.str();
+}
+
+std::string telemetry_render_json() {
+  const TelemetrySnapshot s = telemetry_snapshot();
+  std::ostringstream os;
+  os.precision(9);
+  os << "{\"schema\":\"armgemm-telemetry/1\",\"enabled\":" << (s.enabled ? "true" : "false")
+     << ",\"uptime_seconds\":" << s.uptime_seconds
+     << ",\"peak_gflops_per_core\":" << s.peak_gflops_per_core
+     << ",\"total_calls\":" << s.total_calls << ",\"anomaly_count\":" << s.anomaly_count
+     << ",\"flight_recorded\":" << s.flight_recorded << ",\"classes\":[";
+  for (std::size_t i = 0; i < s.classes.size(); ++i) {
+    const ClassSnapshot& c = s.classes[i];
+    if (i) os << ",";
+    os << "{\"kind\":\"" << to_string(c.shape.kind) << "\",\"decade\":" << c.shape.decade
+       << ",\"calls\":" << c.calls << ",\"latency\":";
+    json_hist(os, c.latency);
+    os << ",\"efficiency\":";
+    json_eff_hist(os, c.efficiency);
+    os << ",\"drift\":{\"ewma\":" << c.drift_fast << ",\"reference\":" << c.drift_reference
+       << ",\"samples\":" << c.drift_samples
+       << ",\"in_drift\":" << (c.in_drift ? "true" : "false")
+       << ",\"anomalies\":" << c.anomalies << "}}";
+  }
+  os << "],\"anomalies\":[";
+  for (std::size_t i = 0; i < s.anomalies.size(); ++i) {
+    const AnomalyEvent& a = s.anomalies[i];
+    if (i) os << ",";
+    os << "{\"t\":" << a.t << ",\"class\":\""
+       << ShapeClass::from_index(a.shape_class).label() << "\""
+       << ",\"recovered\":" << (a.recovered ? "true" : "false")
+       << ",\"ewma\":" << a.fast_ewma << ",\"reference\":" << a.reference_ewma
+       << ",\"threshold\":" << a.threshold << ",\"trigger\":" << a.trigger.to_json() << "}";
+  }
+  os << "],\"workers\":[";
+  for (std::size_t i = 0; i < s.workers.size(); ++i) {
+    const WorkerSnapshot& w = s.workers[i];
+    if (i) os << ",";
+    os << "{\"name\":\"" << json_escape(w.name) << "\",\"barrier_wait\":";
+    json_hist(os, w.barrier_wait);
+    os << "}";
+  }
+  os << "],\"flight\":" << flight_to_json(s.flight) << "}";
+  return os.str();
+}
+
+int telemetry_write_metrics(const std::string& path) {
+  Telemetry& t = T();
+  // A drift-triggered dump during the dump's own rendering must not
+  // recurse; one dump at a time is plenty.
+  if (t.dump_in_progress.exchange(true, std::memory_order_acq_rel)) return -1;
+  struct Release {
+    std::atomic<bool>& flag;
+    ~Release() { flag.store(false, std::memory_order_release); }
+  } release{t.dump_in_progress};
+
+  const std::string target = path.empty() ? metrics_path() : path;
+  if (target.empty()) return -1;
+  {
+    std::ofstream os(target);
+    if (!os) return -1;
+    os << telemetry_render_prometheus();
+    if (!os) return -1;
+  }
+  {
+    std::ofstream os(target + ".json");
+    if (!os) return -1;
+    os << telemetry_render_json() << "\n";
+    if (!os) return -1;
+  }
+  return 0;
+}
+
+int telemetry_dump_flight(const std::string& path) {
+  if (path.empty()) return -1;
+  std::ofstream os(path);
+  if (!os) return -1;
+  os << flight_to_json(telemetry_snapshot().flight) << "\n";
+  return os ? 0 : -1;
+}
+
+std::uint64_t telemetry_anomaly_count() {
+  return T().anomaly_count.load(std::memory_order_relaxed);
+}
+
+}  // namespace ag::obs

@@ -1,0 +1,191 @@
+// Always-on serving telemetry: the layer that watches the library while
+// it serves real traffic, as opposed to the on-demand GemmStats /
+// PMU / tracer machinery that instruments one measured run.
+//
+// Per recording thread (host callers and pool workers each get a lane):
+//
+//   * lock-free log-bucketed latency histograms and linear Gflops-
+//     efficiency histograms, keyed by call-shape class (small fast-path /
+//     skinny / square / large crossed with the m*n*k decade), mergeable
+//     on snapshot into p50/p95/p99/max and efficiency distributions;
+//   * a flight recorder — fixed-depth ring of recent CallRecords
+//     (ARMGEMM_FLIGHT_DEPTH) — dumped as JSON on demand, on SIGUSR2, and
+//     automatically when the drift detector fires;
+//   * a per-worker barrier-wait histogram (the load-imbalance signal).
+//
+// Per shape class, a model-drift detector (obs/drift) runs an EWMA of
+// measured-vs-expected efficiency, where "expected" prices the
+// obs/expected blocking arithmetic with the obs/calibrate cost constants
+// (Section III model). Sustained divergence beyond
+// ARMGEMM_DRIFT_THRESHOLD records an anomaly (with the triggering call)
+// and dumps the metrics + flight state to ARMGEMM_METRICS_PATH.
+//
+// Exposition: telemetry_render_prometheus() (text format 0.0.4) and
+// telemetry_render_json(); telemetry_write_metrics() writes both (path
+// and path.json). The C API mirrors these as armgemm_metrics_render /
+// armgemm_metrics_write plus histogram/anomaly accessors.
+//
+// Cost contract: with telemetry disabled the dgemm hook is one relaxed
+// atomic load; enabled, a 64x64x64 call pays well under 1% (verified by
+// bench/telemetry_overhead). Under -DARMGEMM_STATS=OFF telemetry_active()
+// folds to a compile-time false and the whole layer is dead code.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/block_sizes.hpp"
+#include "model/perf_model.hpp"
+#include "obs/drift.hpp"
+#include "obs/flight.hpp"
+#include "obs/gemm_stats.hpp"
+#include "obs/histogram.hpp"
+
+namespace ag::obs {
+
+// ---- shape classification ------------------------------------------------
+
+/// Coarse call-shape kinds. kSmall tracks the driver's no-pack fast-path
+/// dispatch exactly (common/knobs use_small_gemm); the rest split on
+/// aspect ratio and problem volume.
+enum class ShapeKind : int { kSmall = 0, kSkinny, kSquare, kLarge, kCount };
+inline constexpr int kShapeKindCount = static_cast<int>(ShapeKind::kCount);
+const char* to_string(ShapeKind k);
+
+inline constexpr int kShapeDecades = 13;  // floor(log10(m*n*k)) clamped to [0, 12]
+inline constexpr int kShapeClasses = kShapeKindCount * kShapeDecades;
+
+struct ShapeClass {
+  ShapeKind kind = ShapeKind::kSquare;
+  int decade = 0;
+
+  int index() const { return static_cast<int>(kind) * kShapeDecades + decade; }
+  static ShapeClass from_index(int index);
+  /// Classifies one column-major call shape. Skinny: max dim >= 4x min
+  /// dim. Large: square-ish with m*n*k >= 256^3. Small: the fast path.
+  static ShapeClass classify(std::int64_t m, std::int64_t n, std::int64_t k);
+
+  std::string label() const;  // e.g. "square/d6"
+};
+
+// ---- hot-path hooks ------------------------------------------------------
+
+namespace detail {
+extern std::atomic<bool> g_telemetry_enabled;
+}
+
+/// The dgemm hot-path test: one relaxed load when stats are compiled in,
+/// a compile-time false under -DARMGEMM_STATS=OFF.
+inline bool telemetry_active() {
+  if constexpr (!stats_compiled_in) return false;
+  return detail::g_telemetry_enabled.load(std::memory_order_relaxed);
+}
+
+/// Records one completed call (driver thread). `bs` prices the expected-
+/// efficiency model for the drift detector; results are memoized per
+/// thread, so steady-state shape-repeating traffic pays a lookup only.
+/// `end_time_seconds` is the steady-clock timestamp (seconds since the
+/// clock's epoch) at which the call finished; callers that already read
+/// the clock to compute `seconds` pass it to spare the record path a
+/// third clock read. Negative means "read the clock here".
+void telemetry_record_call(std::int64_t m, std::int64_t n, std::int64_t k, int threads,
+                           ScheduleKind schedule, double seconds, const BlockSizes& bs,
+                           double end_time_seconds = -1.0);
+
+/// Records one rank's barrier wait for the just-finished parallel call
+/// into the calling thread's lane.
+void telemetry_record_barrier_wait(double seconds);
+
+/// Pre-creates (and names) the calling thread's telemetry lane; pool
+/// workers call this at startup so the first recorded call never
+/// allocates. Idempotent; renames the lane on repeat calls.
+void telemetry_register_thread(const std::string& name);
+
+// ---- lifecycle -----------------------------------------------------------
+
+/// Turns recording on. The first enable (or the first enable after a
+/// model reset) derives the expected-efficiency model: from
+/// telemetry_set_model() if it was called, otherwise from a short
+/// obs/calibrate run (~tens of milliseconds, once per process).
+/// Also installs the SIGUSR2 dump handler (POSIX hosts).
+void telemetry_enable();
+void telemetry_disable();
+bool telemetry_enabled();
+
+/// Zeroes every histogram, flight ring, drift state and anomaly record,
+/// and restarts the epoch. Lanes persist. Flight rings are re-sized to
+/// the current ARMGEMM_FLIGHT_DEPTH.
+void telemetry_reset();
+
+/// Injects the performance model used for expected efficiency (tests and
+/// benchmarks use this to stay deterministic and skip calibration).
+/// peak_gflops_per_core <= 0 clears the model so the next enable
+/// re-calibrates.
+void telemetry_set_model(double peak_gflops_per_core, const model::CostParams& cost,
+                         double psi_c);
+
+// ---- snapshot + exposition -----------------------------------------------
+
+struct AnomalyEvent {
+  double t = 0;               // seconds since epoch
+  int shape_class = 0;
+  bool recovered = false;     // false: drift onset; true: recovery edge
+  double fast_ewma = 0;
+  double reference_ewma = 0;
+  double threshold = 0;
+  CallRecord trigger;         // the call whose sample crossed the edge
+};
+
+struct ClassSnapshot {
+  ShapeClass shape;
+  std::uint64_t calls = 0;
+  LatencyHistogram latency;       // seconds
+  EfficiencyHistogram efficiency; // fraction of threads * peak
+  double p50 = 0, p95 = 0, p99 = 0;  // seconds
+  double drift_fast = 0, drift_reference = 0;
+  std::uint64_t drift_samples = 0;
+  bool in_drift = false;
+  std::uint64_t anomalies = 0;
+};
+
+struct WorkerSnapshot {
+  std::string name;
+  LatencyHistogram barrier_wait;  // seconds per parallel call
+};
+
+struct TelemetrySnapshot {
+  bool enabled = false;
+  double uptime_seconds = 0;       // since epoch
+  double peak_gflops_per_core = 0; // 0 until the model is ready
+  std::uint64_t total_calls = 0;
+  std::uint64_t anomaly_count = 0; // drift onsets since epoch
+  std::uint64_t flight_recorded = 0;
+  std::vector<ClassSnapshot> classes;     // only classes that saw calls
+  std::vector<AnomalyEvent> anomalies;    // bounded, oldest dropped
+  std::vector<CallRecord> flight;         // merged over lanes, time-ordered
+  std::vector<WorkerSnapshot> workers;    // lanes with barrier-wait data
+};
+
+/// Merged state across every lane. Safe concurrently with recording.
+TelemetrySnapshot telemetry_snapshot();
+
+/// Prometheus text exposition (format 0.0.4) of the merged state.
+std::string telemetry_render_prometheus();
+/// The same state as one JSON document ({"schema":"armgemm-telemetry/1"}).
+std::string telemetry_render_json();
+
+/// Writes the Prometheus text to `path` and the JSON document to
+/// `path` + ".json". Empty path uses the ARMGEMM_METRICS_PATH knob.
+/// Returns 0 on success, -1 when no path is configured or I/O fails.
+int telemetry_write_metrics(const std::string& path = "");
+
+/// Writes just the merged flight-recorder array to `path` as JSON.
+int telemetry_dump_flight(const std::string& path);
+
+/// Drift onsets recorded since the epoch.
+std::uint64_t telemetry_anomaly_count();
+
+}  // namespace ag::obs

@@ -9,6 +9,7 @@
 
 #include "common/check.hpp"
 #include "common/math_util.hpp"
+#include "obs/telemetry.hpp"
 #include "threading/spin.hpp"
 
 namespace ag {
@@ -129,6 +130,9 @@ void ThreadPool::run(const std::function<void(int)>& fn, int active) {
 
 void ThreadPool::worker_loop(int rank) {
   name_current_thread(rank);
+  // Pre-create this worker's telemetry lane (named to match the pthread
+  // name) so the first recorded call never takes the registry lock.
+  obs::telemetry_register_thread("armgemm-w" + std::to_string(rank));
   std::uint64_t seen = 0;
   for (;;) {
     std::uint64_t gen = generation_.load(std::memory_order_acquire);

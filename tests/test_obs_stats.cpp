@@ -6,10 +6,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "capi/armgemm_cblas.h"
 #include "common/knobs.hpp"
@@ -336,6 +338,71 @@ TEST(ObsStatsCapi, EnableCollectRoundTrip) {
   armgemm_stats_reset();
   armgemm_set_small_mnk(prev_small);
   EXPECT_EQ(armgemm_get_small_mnk(), prev_small);
+}
+
+// A snapshot taken while calls are in flight must never mix the fields
+// of one recording: add_call updates gemm_calls, flops and total_seconds
+// inside one seqlock write section, so every snapshot sees either all of
+// a call's contributions or none. The writer records calls with flops
+// exactly 2.0 and seconds exactly 1.0 per call; any snapshot where
+// flops != 2 * gemm_calls (or seconds != gemm_calls) is a torn read of
+// the kind the plain relaxed-load snapshot allowed.
+TEST(GemmStatsSnapshot, NoTornReadsUnderConcurrentRecording) {
+  ag::obs::GemmStats stats(1);
+  ag::obs::ThreadSlot& slot = stats.slot(0);
+  std::atomic<bool> stop{false};
+
+  std::thread writer([&] {
+    // do-while: even if the reader finishes its iterations before this
+    // thread is first scheduled, at least one call gets recorded.
+    do {
+      slot.add_call(2.0, 1.0);
+      // Brief quiescent window between calls (as real traffic has), so
+      // the bounded-retry reader can always find a consistent read.
+      for (volatile int spin = 0; spin < 64; ++spin) {
+      }
+    } while (!stop.load(std::memory_order_relaxed));
+  });
+
+  int checked = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const ag::obs::LayerCounters c = stats.totals();
+    const double calls = static_cast<double>(c.gemm_calls);
+    EXPECT_DOUBLE_EQ(c.flops, 2.0 * calls)
+        << "snapshot tore between flops and gemm_calls at iteration " << i;
+    EXPECT_DOUBLE_EQ(c.total_seconds, calls)
+        << "snapshot tore between total_seconds and gemm_calls at iteration " << i;
+    ++checked;
+  }
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
+  EXPECT_EQ(checked, 20000);
+  EXPECT_GT(stats.totals().gemm_calls, 0ull);
+}
+
+// Same property across reset(): a reset is itself a seqlock write, so a
+// concurrent snapshot lands fully before or fully after it — never a mix
+// of zeroed and pre-reset fields.
+TEST(GemmStatsSnapshot, ResetIsAtomicAgainstSnapshots) {
+  ag::obs::GemmStats stats(1);
+  ag::obs::ThreadSlot& slot = stats.slot(0);
+  std::atomic<bool> stop{false};
+
+  std::thread writer([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      slot.add_call(2.0, 1.0);
+      slot.reset();
+      for (volatile int spin = 0; spin < 64; ++spin) {
+      }
+    }
+  });
+
+  for (int i = 0; i < 20000; ++i) {
+    const ag::obs::LayerCounters c = stats.totals();
+    EXPECT_DOUBLE_EQ(c.flops, 2.0 * static_cast<double>(c.gemm_calls));
+  }
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
 }
 
 }  // namespace

@@ -104,15 +104,24 @@ def print_report(report):
 
 
 def diff(base, new, threshold):
-    """Prints the comparison; returns the number of regressions."""
+    """Prints the comparison; returns (regressions, unmatched).
+
+    `unmatched` counts configurations present on only one side — new
+    configs with no baseline plus baseline configs the new run dropped.
+    Both are listed explicitly so a shrinking sweep can never silently
+    pass the gate; --require-match turns them into a failure.
+    """
     base_by_key = {key(r): r for r in base["results"]}
+    new_keys = {key(r) for r in new["results"]}
     regressions = 0
+    unmatched = []
     print(f"{'shape':>14} {'thr':>4} {'base eff':>9} {'new eff':>9} {'rel delta':>10}  verdict")
     for r in new["results"]:
         b = base_by_key.get(key(r))
         if b is None:
             print(f"{shape_label(r):>14} {int(r['threads']):>4} {'-':>9} "
-                  f"{r['efficiency']:>8.1%} {'-':>10}  new config")
+                  f"{r['efficiency']:>8.1%} {'-':>10}  new config (NOT gated)")
+            unmatched.append(f"{shape_label(r)} threads={int(r['threads'])} (no baseline)")
             continue
         base_eff, new_eff = b["efficiency"], r["efficiency"]
         drop = (base_eff - new_eff) / base_eff if base_eff > 0 else 0.0
@@ -120,7 +129,18 @@ def diff(base, new, threshold):
         regressions += bad
         print(f"{shape_label(r):>14} {int(r['threads']):>4} {base_eff:>8.1%} {new_eff:>8.1%} "
               f"{-drop:>+10.1%}  {'REGRESSION' if bad else 'ok'}")
-    return regressions
+    for k, b in base_by_key.items():
+        if k not in new_keys:
+            print(f"{shape_label(b):>14} {int(b['threads']):>4} {b['efficiency']:>8.1%} "
+                  f"{'-':>9} {'-':>10}  dropped from new run (NOT gated)")
+            unmatched.append(
+                f"{shape_label(b)} threads={int(b['threads'])} (missing from new run)")
+    if unmatched:
+        print(f"bench_diff: WARNING: {len(unmatched)} configuration(s) not gated:",
+              file=sys.stderr)
+        for u in unmatched:
+            print(f"  {u}", file=sys.stderr)
+    return regressions, unmatched
 
 
 def make_sample(eff_scale=1.0, schema=SCHEMA):
@@ -159,17 +179,35 @@ def self_test():
     assert any("schema" in p for p in problems), problems
     assert any("efficiency" in p for p in problems), problems
 
-    assert diff(make_sample(), make_sample(), 0.10) == 0
-    assert diff(make_sample(), make_sample(eff_scale=0.5), 0.10) == 1
-    assert diff(make_sample(), make_sample(eff_scale=0.95), 0.10) == 0
+    assert diff(make_sample(), make_sample(), 0.10) == (0, [])
+    assert diff(make_sample(), make_sample(eff_scale=0.5), 0.10) == (1, [])
+    assert diff(make_sample(), make_sample(eff_scale=0.95), 0.10) == (0, [])
 
     # Schema-1 reports validate and key against schema-2 square points:
     # {"n": 128} must match {"m": 128, "n": 128, "k": 128}.
     v1 = make_sample(schema=SCHEMA_V1)
     assert validate(v1) == [], validate(v1)
     assert key(v1["results"][0]) == key(make_sample()["results"][0])
-    assert diff(v1, make_sample(eff_scale=0.5), 0.10) == 1
-    assert diff(v1, make_sample(), 0.10) == 0
+    assert diff(v1, make_sample(eff_scale=0.5), 0.10) == (1, [])
+    assert diff(v1, make_sample(), 0.10) == (0, [])
+
+    # Unmatched configurations are reported in both directions, never
+    # silently: a new config with no baseline and a baseline config the
+    # new run dropped each produce one unmatched entry (and no
+    # regression by themselves).
+    extra = make_sample()
+    extra["results"].append(dict(extra["results"][0], n=256, m=256, k=256))
+    n_reg, unmatched = diff(make_sample(), extra, 0.10)
+    assert n_reg == 0 and len(unmatched) == 1, (n_reg, unmatched)
+    assert "no baseline" in unmatched[0], unmatched
+    n_reg, unmatched = diff(extra, make_sample(), 0.10)
+    assert n_reg == 0 and len(unmatched) == 1, (n_reg, unmatched)
+    assert "missing from new run" in unmatched[0], unmatched
+    # Disjoint reports: every config on both sides is unmatched.
+    other = make_sample()
+    other["results"][0].update(n=512, m=512, k=512)
+    n_reg, unmatched = diff(make_sample(), other, 0.10)
+    assert n_reg == 0 and len(unmatched) == 2, (n_reg, unmatched)
 
     # Shaped points never collide with squares of the same n.
     skinny = make_sample()
@@ -189,6 +227,8 @@ def main(argv):
     parser.add_argument("reports", nargs="*", help="one report to print, or BASE NEW to diff")
     parser.add_argument("--threshold", type=float, default=0.10,
                         help="relative efficiency drop treated as a regression")
+    parser.add_argument("--require-match", action="store_true",
+                        help="fail when any configuration exists on only one side")
     parser.add_argument("--check-schema", action="store_true",
                         help="validate the report(s) and exit")
     parser.add_argument("--self-test", action="store_true",
@@ -213,9 +253,13 @@ def main(argv):
     if len(reports) == 1:
         print_report(reports[0])
         return 0
-    regressions = diff(reports[0], reports[1], args.threshold)
+    regressions, unmatched = diff(reports[0], reports[1], args.threshold)
     if regressions:
         print(f"bench_diff: {regressions} regression(s)", file=sys.stderr)
+        return 1
+    if unmatched and args.require_match:
+        print(f"bench_diff: {len(unmatched)} unmatched configuration(s) "
+              "with --require-match", file=sys.stderr)
         return 1
     print("no regressions")
     return 0
