@@ -22,7 +22,7 @@ void bench_kernel(benchmark::State& state, const ag::Microkernel& kernel) {
   for (std::size_t i = 0; i < c.size(); ++i) c[i] = 0;
 
   for (auto _ : state) {
-    kernel.fn(kc, 1.0, a.data(), b.data(), c.data(), mr);
+    kernel.fn(kc, 1.0, a.data(), b.data(), 1.0, c.data(), mr);
     benchmark::DoNotOptimize(c.data());
     benchmark::ClobberMemory();
   }

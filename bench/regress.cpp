@@ -15,8 +15,12 @@
 // With neither --sizes nor --shapes the default sweep covers large
 // squares, small squares that exercise the no-pack fast path, and
 // tall/wide-skinny shapes that exercise the 2-D dynamic scheduler.
+// Every run additionally records four packing-bandwidth points (pack_a /
+// pack_b x NoTrans/Trans at native_packing's shapes), gated on GB/s.
 // Baselines written by schema armgemm-bench/1 (square-only, keyed by
-// "n") are still accepted: missing m/k default to n.
+// "n") and /2 (no packing points) are still accepted: missing m/k
+// default to n, and packing points absent from the baseline are
+// reported as ungated.
 //
 // Points missing from the baseline are never silently skipped: they are
 // listed with a warning, and --unknown=fail turns them into a gate
@@ -38,17 +42,20 @@
 #endif
 
 #include "bench_util.hpp"
+#include "common/aligned_buffer.hpp"
 #include "common/json.hpp"
 #include "common/matrix.hpp"
 #include "common/timer.hpp"
 #include "core/gemm.hpp"
+#include "core/packing.hpp"
 #include "obs/calibrate.hpp"
 #include "obs/gemm_stats.hpp"
 #include "obs/pmu.hpp"
 
 namespace {
 
-constexpr const char* kSchema = "armgemm-bench/2";
+constexpr const char* kSchema = "armgemm-bench/3";
+constexpr const char* kSchemaV2 = "armgemm-bench/2";  // no packing-bandwidth points
 constexpr const char* kSchemaV1 = "armgemm-bench/1";  // square-only baselines
 
 struct BenchShape {
@@ -140,6 +147,52 @@ RunResult run_config(BenchShape sh, int threads, int reps, double peak_per_core,
   return r;
 }
 
+// Packing-bandwidth point (native_packing's shapes): one per layer x
+// trans combination, gated on GB/s like the dgemm points are on
+// efficiency. These catch regressions in the vectorized packers that
+// whole-GEMM timings can wash out.
+struct PackResult {
+  const char* op = "";     // "pack_a" | "pack_b"
+  const char* trans = "";  // "N" | "T"
+  double best_seconds = 0;
+  double gbps = 0;  // source bytes moved / best_seconds
+};
+
+std::vector<PackResult> run_packing_points(int reps, double inject) {
+  constexpr ag::index_t mc = 56, nc = 1920, kc = 512;
+  constexpr int mr = 8, nr = 6;
+  constexpr int iters = 8;  // packs per timed rep: one pack alone is too brief
+  std::vector<PackResult> out;
+  for (const bool is_a : {true, false}) {
+    const double bytes = static_cast<double>(is_a ? mc * kc : kc * nc) * sizeof(double);
+    for (const ag::Trans trans : {ag::Trans::NoTrans, ag::Trans::Trans}) {
+      const bool no_trans = trans == ag::Trans::NoTrans;
+      const ag::index_t rows = is_a ? (no_trans ? mc : kc) : (no_trans ? kc : nc);
+      const ag::index_t cols = is_a ? (no_trans ? kc : mc) : (no_trans ? nc : kc);
+      auto src = ag::random_matrix(rows, cols, is_a ? 1 : 2);
+      ag::AlignedBuffer<double> dst(static_cast<std::size_t>(
+          is_a ? ag::packed_a_size(mc, kc, mr) : ag::packed_b_size(kc, nc, nr)));
+      PackResult r;
+      r.op = is_a ? "pack_a" : "pack_b";
+      r.trans = no_trans ? "N" : "T";
+      r.best_seconds = 1e300;
+      for (int rep = 0; rep < reps + 1; ++rep) {  // first rep doubles as warm-up
+        ag::Timer t;
+        for (int i = 0; i < iters; ++i) {
+          if (is_a)
+            ag::pack_a(trans, src.data(), src.ld(), 0, 0, mc, kc, mr, dst.data());
+          else
+            ag::pack_b(trans, src.data(), src.ld(), 0, 0, kc, nc, nr, dst.data());
+        }
+        if (rep > 0) r.best_seconds = std::min(r.best_seconds, t.seconds() / iters);
+      }
+      r.gbps = inject * bytes / r.best_seconds * 1e-9;
+      out.push_back(r);
+    }
+  }
+  return out;
+}
+
 void json_layers(std::ostream& os, const ag::obs::LayerCounters& t) {
   os.precision(9);
   os << "{\"pack_a_seconds\":" << t.pack_a_seconds
@@ -167,14 +220,23 @@ void json_pmu(std::ostream& os, const RunResult& r) {
 }
 
 std::string report_json(const std::vector<RunResult>& results,
+                        const std::vector<PackResult>& packing,
                         const ag::obs::CalibrationResult& cal, int reps) {
   std::ostringstream os;
   os.precision(9);
   os << "{\"schema\":\"" << kSchema << "\",\"host\":\"" << host_name() << "\",\"date\":\""
      << date_stamp() << "\",\"reps\":" << reps
      << ",\"pmu_hardware\":" << (ag::obs::PmuGroup::hardware_available() ? "true" : "false")
+     << ",\"packing_isa\":\"" << ag::packing_isa() << "\""
      << ",\"peak_gflops_per_core\":" << cal.peak_gflops << ",\"calibration\":" << cal.to_json()
-     << ",\"results\":[";
+     << ",\"packing\":[";
+  for (std::size_t i = 0; i < packing.size(); ++i) {
+    const PackResult& p = packing[i];
+    if (i) os << ",";
+    os << "{\"op\":\"" << p.op << "\",\"trans\":\"" << p.trans
+       << "\",\"best_seconds\":" << p.best_seconds << ",\"gbps\":" << p.gbps << "}";
+  }
+  os << "],\"results\":[";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const RunResult& r = results[i];
     if (i) os << ",";
@@ -235,6 +297,39 @@ int compare_against_baseline(const std::vector<RunResult>& results,
               << ag::Table::fmt_pct(base_eff) << " -> " << ag::Table::fmt_pct(r.efficiency)
               << " (" << (drop >= 0 ? "-" : "+") << ag::Table::fmt_pct(std::abs(drop))
               << " rel) " << (bad ? "REGRESSION" : "ok") << "\n";
+    regressions += bad ? 1 : 0;
+  }
+  return regressions;
+}
+
+/// Gates the packing-bandwidth points on relative GB/s drop, mirroring
+/// the efficiency gate. Baselines recorded by schema 1/2 carry no
+/// "packing" array: every point lands in `unknown` (never silently
+/// passes), and re-recording the baseline covers them.
+int compare_packing_against_baseline(const std::vector<PackResult>& packing,
+                                     const ag::JsonValue& baseline, double threshold,
+                                     std::vector<std::string>* unknown) {
+  const ag::JsonValue& base_packing = baseline["packing"];
+  int regressions = 0;
+  for (const PackResult& p : packing) {
+    const ag::JsonValue* match = nullptr;
+    if (!base_packing.is_null()) {
+      for (const ag::JsonValue& b : base_packing.items())
+        if (b["op"].as_string() == p.op && b["trans"].as_string() == p.trans) match = &b;
+    }
+    const std::string label = std::string("packing ") + p.op + "/" + p.trans;
+    if (!match) {
+      std::cout << "  " << label << ": no baseline entry (NOT gated)\n";
+      if (unknown) unknown->push_back(label);
+      continue;
+    }
+    const double base_gbps = (*match)["gbps"].as_number();
+    const double drop = base_gbps > 0 ? (base_gbps - p.gbps) / base_gbps : 0;
+    const bool bad = drop > threshold;
+    std::cout << "  " << label << ": " << ag::Table::fmt(base_gbps, 2) << " -> "
+              << ag::Table::fmt(p.gbps, 2) << " GB/s (" << (drop >= 0 ? "-" : "+")
+              << ag::Table::fmt_pct(std::abs(drop)) << " rel) "
+              << (bad ? "REGRESSION" : "ok") << "\n";
     regressions += bad ? 1 : 0;
   }
   return regressions;
@@ -348,6 +443,11 @@ int main(int argc, char** argv) {
                 << ag::Table::fmt_pct(r.efficiency) << "\n";
     }
 
+  const std::vector<PackResult> packing = run_packing_points(reps, inject);
+  for (const PackResult& p : packing)
+    std::cout << "packing " << p.op << "/" << p.trans << " (" << ag::packing_isa()
+              << "): " << ag::Table::fmt(p.gbps, 2) << " GB/s\n";
+
   const std::string out_path =
       args.get("out", "BENCH_" + host_name() + "_" + date_stamp() + ".json");
   {
@@ -356,7 +456,7 @@ int main(int argc, char** argv) {
       std::cerr << "regress: cannot write " << out_path << "\n";
       return 2;
     }
-    os << report_json(results, cal, reps) << "\n";
+    os << report_json(results, packing, cal, reps) << "\n";
   }
   std::cout << "wrote " << out_path << "\n";
 
@@ -377,9 +477,9 @@ int main(int argc, char** argv) {
     return 2;
   }
   const std::string base_schema = baseline["schema"].as_string();
-  if (base_schema != kSchema && base_schema != kSchemaV1) {
-    std::cerr << "regress: baseline schema \"" << base_schema << "\" is neither \""
-              << kSchema << "\" nor \"" << kSchemaV1 << "\"\n";
+  if (base_schema != kSchema && base_schema != kSchemaV2 && base_schema != kSchemaV1) {
+    std::cerr << "regress: baseline schema \"" << base_schema << "\" is none of \""
+              << kSchema << "\", \"" << kSchemaV2 << "\", \"" << kSchemaV1 << "\"\n";
     return 2;
   }
   const std::string unknown_mode = args.get("unknown", "warn");
@@ -391,7 +491,8 @@ int main(int argc, char** argv) {
   std::cout << "comparing against " << baseline_path << " (threshold "
             << ag::Table::fmt_pct(threshold) << " relative efficiency drop)\n";
   std::vector<std::string> unknown;
-  const int regressions = compare_against_baseline(results, baseline, threshold, &unknown);
+  int regressions = compare_against_baseline(results, baseline, threshold, &unknown);
+  regressions += compare_packing_against_baseline(packing, baseline, threshold, &unknown);
   if (!unknown.empty()) {
     // A gate that only checks matched points would silently shrink as the
     // sweep evolves; make the uncovered set loud (and fatal on request).

@@ -147,6 +147,14 @@ void armgemm_set_small_mnk(long long t) { ag::set_small_gemm_mnk(t); }
 
 long long armgemm_get_small_mnk(void) { return ag::small_gemm_mnk(); }
 
+void armgemm_set_prea_bytes(long long bytes) { ag::set_prefetch_a_bytes(bytes); }
+
+long long armgemm_get_prea_bytes(void) { return ag::prefetch_a_bytes(); }
+
+void armgemm_set_preb_bytes(long long bytes) { ag::set_prefetch_b_bytes(bytes); }
+
+long long armgemm_get_preb_bytes(void) { return ag::prefetch_b_bytes(); }
+
 void armgemm_stats_enable(void) { g_stats_enabled.store(true, std::memory_order_relaxed); }
 
 void armgemm_stats_disable(void) { g_stats_enabled.store(false, std::memory_order_relaxed); }

@@ -69,6 +69,15 @@ long long armgemm_get_spin_us(void);
 void armgemm_set_small_mnk(long long t);
 long long armgemm_get_small_mnk(void);
 
+/* Register-kernel software-prefetch distances, in bytes ahead of the
+ * packed A / packed B streams (paper Section IV-B; defaults from the
+ * ARMGEMM_PREA / ARMGEMM_PREB environment variables, else 1024 / 24576).
+ * 0 disables that stream's prefetch. */
+void armgemm_set_prea_bytes(long long bytes);
+long long armgemm_get_prea_bytes(void);
+void armgemm_set_preb_bytes(long long bytes);
+long long armgemm_get_preb_bytes(void);
+
 /* ---- Per-layer instrumentation (process-wide, off by default) ----
  *
  * When enabled, every cblas_dgemm call records per-layer counters into

@@ -34,6 +34,20 @@ std::atomic<std::int64_t>& small_mnk_knob() {
   return v;
 }
 
+// Paper Table III / Figure 8: the tuned prfm distances of the 8x6 kernel.
+constexpr std::int64_t kDefaultPreaBytes = 1024;
+constexpr std::int64_t kDefaultPrebBytes = 24576;
+
+std::atomic<std::int64_t>& prea_knob() {
+  static std::atomic<std::int64_t> v{env_int64("ARMGEMM_PREA", kDefaultPreaBytes)};
+  return v;
+}
+
+std::atomic<std::int64_t>& preb_knob() {
+  static std::atomic<std::int64_t> v{env_int64("ARMGEMM_PREB", kDefaultPrebBytes)};
+  return v;
+}
+
 constexpr std::int64_t kDefaultFlightDepth = 256;
 constexpr double kDefaultDriftThreshold = 0.25;
 
@@ -98,6 +112,18 @@ bool use_small_gemm(std::int64_t m, std::int64_t n, std::int64_t k) {
   if (n > t3 / m) return false;  // m*n > t3 implies the product does too
   const std::int64_t mn = m * n;
   return k <= t3 / mn;  // exact: k > floor(t3/mn) <=> k*mn > t3
+}
+
+std::int64_t prefetch_a_bytes() { return prea_knob().load(std::memory_order_relaxed); }
+
+void set_prefetch_a_bytes(std::int64_t bytes) {
+  prea_knob().store(bytes < 0 ? 0 : bytes, std::memory_order_relaxed);
+}
+
+std::int64_t prefetch_b_bytes() { return preb_knob().load(std::memory_order_relaxed); }
+
+void set_prefetch_b_bytes(std::int64_t bytes) {
+  preb_knob().store(bytes < 0 ? 0 : bytes, std::memory_order_relaxed);
 }
 
 std::string metrics_path() {

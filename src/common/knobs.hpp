@@ -9,6 +9,15 @@
 //                        path: problems with m*n*k <= T^3 skip packing and
 //                        the blocked loop nest. 0 disables the fast path.
 //
+// The memory-traffic work adds the paper's kernel prefetch distances
+// (Section IV-B, Table III):
+//
+//   ARMGEMM_PREA       - bytes the register kernels prefetch ahead of the
+//                        packed-A stream each k-step (paper default 1024).
+//                        0 disables the A-stream prefetch.
+//   ARMGEMM_PREB       - bytes prefetched ahead of the packed-B stream
+//                        (paper default 24576). 0 disables.
+//
 // The serving-telemetry layer (obs/telemetry) adds three more:
 //
 //   ARMGEMM_METRICS_PATH    - file the Prometheus text exposition is
@@ -44,6 +53,14 @@ void set_small_gemm_mnk(std::int64_t t);
 /// True when (m, n, k) should take the no-pack small-matrix fast path
 /// under the current threshold. Overflow-safe for any int64 dimensions.
 bool use_small_gemm(std::int64_t m, std::int64_t n, std::int64_t k);
+
+/// Kernel prefetch distance (bytes) ahead of the packed-A stream; 0 off.
+std::int64_t prefetch_a_bytes();
+void set_prefetch_a_bytes(std::int64_t bytes);
+
+/// Kernel prefetch distance (bytes) ahead of the packed-B stream; 0 off.
+std::int64_t prefetch_b_bytes();
+void set_prefetch_b_bytes(std::int64_t bytes);
 
 /// Metrics exposition target path ("" = file dumps disabled).
 std::string metrics_path();

@@ -1,10 +1,12 @@
 // GEBP: the inner kernel of the Goto algorithm (layers 4-6 of Figure 2).
 //
 // Multiplies a packed mc x kc block of A by a packed kc x nc panel of B,
-// accumulating alpha * A * B into an mc x nc panel of C. The double loop
-// over nr-slivers of B (layer 5, "GEBS") and mr-slivers of A (layer 6,
-// "GESS") dispatches to the register kernel; edge tiles go through a
-// zero-initialised local tile so microkernels never see partial shapes.
+// updating an mc x nc panel of C as C = beta*C + alpha*A*B (the fused-beta
+// microkernel contract; drivers pass the caller's beta for the first
+// k-panel and 1 afterwards). The double loop over nr-slivers of B (layer
+// 5, "GEBS") and mr-slivers of A (layer 6, "GESS") dispatches to the
+// register kernel; edge tiles go through a local padded tile so
+// microkernels never see partial shapes.
 #pragma once
 
 #include <cstdint>
@@ -21,14 +23,15 @@ struct ThreadSlot;
 /// `packed_b`: pack_b output for a kc x nc panel (nr-padded).
 /// `c`: column-major mc x nc panel with leading dimension ldc.
 void gebp(index_t mc, index_t nc, index_t kc, double alpha, const double* packed_a,
-          const double* packed_b, double* c, index_t ldc, const Microkernel& kernel);
+          const double* packed_b, double beta, double* c, index_t ldc,
+          const Microkernel& kernel);
 
 /// Instrumented variant: when `slot` is non-null additionally records the
 /// GEBP call, the ceil(mc/mr)*ceil(nc/nr) register-kernel invocations it
 /// dispatches (edge tiles included), the 2*mc*nc*8 bytes of C traffic
 /// (read + write), and the elapsed time.
 void gebp(index_t mc, index_t nc, index_t kc, double alpha, const double* packed_a,
-          const double* packed_b, double* c, index_t ldc, const Microkernel& kernel,
+          const double* packed_b, double beta, double* c, index_t ldc, const Microkernel& kernel,
           obs::ThreadSlot* slot);
 
 }  // namespace ag

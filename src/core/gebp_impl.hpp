@@ -14,10 +14,16 @@ using index_t = std::int64_t;
 inline constexpr int kMaxMr = 32;
 inline constexpr int kMaxNr = 32;
 
-/// KernelFn: void(index_t kc, T alpha, const T* a, const T* b, T* c, index_t ldc).
+/// KernelFn: void(index_t kc, T alpha, const T* a, const T* b, T beta, T* c, index_t ldc).
+///
+/// `beta` follows the microkernel contract (C = beta*C + alpha*A*B per
+/// tile): the drivers pass the caller's beta for the first k-panel and 1
+/// for the rest, which removes the standalone scale-of-C sweep. Edge tiles
+/// run the kernel with beta == 0 into a local padded tile and merge with
+/// the same three-way epilogue, so beta == 0 stays NaN/Inf-safe there too.
 template <typename T, typename KernelFn>
 void gebp_t(index_t mc, index_t nc, index_t kc, T alpha, const T* packed_a, const T* packed_b,
-            T* c, index_t ldc, KernelFn kernel, int mr, int nr) {
+            T beta, T* c, index_t ldc, KernelFn kernel, int mr, int nr) {
   AG_CHECK(mr <= kMaxMr && nr <= kMaxNr);
   if (mc <= 0 || nc <= 0 || kc <= 0) return;
 
@@ -29,12 +35,21 @@ void gebp_t(index_t mc, index_t nc, index_t kc, T alpha, const T* packed_a, cons
       const T* a_sliver = packed_a + (i0 / mr) * mr * kc;
       T* c_tile = c + i0 + j0 * ldc;
       if (rows == mr && cols == nr) {
-        kernel(kc, alpha, a_sliver, b_sliver, c_tile, ldc);
+        kernel(kc, alpha, a_sliver, b_sliver, beta, c_tile, ldc);
       } else {
-        alignas(64) T tile[kMaxMr * kMaxNr] = {};
-        kernel(kc, alpha, a_sliver, b_sliver, tile, mr);
-        for (index_t j = 0; j < cols; ++j)
-          for (index_t i = 0; i < rows; ++i) c_tile[i + j * ldc] += tile[i + j * mr];
+        alignas(64) T tile[kMaxMr * kMaxNr];
+        kernel(kc, alpha, a_sliver, b_sliver, T(0), tile, mr);
+        if (beta == T(0)) {
+          for (index_t j = 0; j < cols; ++j)
+            for (index_t i = 0; i < rows; ++i) c_tile[i + j * ldc] = tile[i + j * mr];
+        } else if (beta == T(1)) {
+          for (index_t j = 0; j < cols; ++j)
+            for (index_t i = 0; i < rows; ++i) c_tile[i + j * ldc] += tile[i + j * mr];
+        } else {
+          for (index_t j = 0; j < cols; ++j)
+            for (index_t i = 0; i < rows; ++i)
+              c_tile[i + j * ldc] = beta * c_tile[i + j * ldc] + tile[i + j * mr];
+        }
       }
     }
   }

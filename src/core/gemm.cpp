@@ -22,6 +22,9 @@
 namespace ag {
 namespace {
 
+// Only used when no multiply runs at all (k == 0 or alpha == 0): with the
+// beta epilogue fused into the microkernels, the compute paths never make
+// a standalone pass over C.
 void scale_panel(double* c, index_t ldc, index_t m, index_t n, double beta) {
   if (beta == 1.0) return;
   for (index_t j = 0; j < n; ++j) {
@@ -37,11 +40,13 @@ void scale_panel(double* c, index_t ldc, index_t m, index_t n, double beta) {
 // No-pack fast path for small problems (m*n*k <= ARMGEMM_SMALL_MNK^3):
 // packing and the blocked loop nest cost more than they save when the
 // operands fit in cache, so accumulate C directly with an axpy-style
-// (j, l, i) nest. C has already been scaled by beta. Always serial — at
-// these sizes a fork-join costs more than the multiply.
+// (j, l, i) nest. beta is applied per column right before that column's
+// accumulation, while its line is hot (beta == 0 overwrites, so NaN/Inf
+// garbage never propagates). Always serial — at these sizes a fork-join
+// costs more than the multiply.
 void gemm_small(Trans trans_a, Trans trans_b, index_t m, index_t n, index_t k, double alpha,
-                const double* a, index_t lda, const double* b, index_t ldb, double* c,
-                index_t ldc, const Context& ctx) {
+                const double* a, index_t lda, const double* b, index_t ldb, double beta,
+                double* c, index_t ldc, const Context& ctx) {
   obs::GemmStats* stats = ctx.stats();
   obs::ThreadSlot* slot = stats ? &stats->slot(0) : nullptr;
   obs::Tracer::Region region(stats ? stats->tracer() : nullptr, 0, "small_gemm");
@@ -51,6 +56,11 @@ void gemm_small(Trans trans_a, Trans trans_b, index_t m, index_t n, index_t k, d
   const bool tb = trans_b != Trans::NoTrans;
   for (index_t j = 0; j < n; ++j) {
     double* cj = c + j * ldc;
+    if (beta == 0.0) {
+      std::fill(cj, cj + m, 0.0);
+    } else if (beta != 1.0) {
+      for (index_t i = 0; i < m; ++i) cj[i] *= beta;
+    }
     for (index_t l = 0; l < k; ++l) {
       const double blj = tb ? b[j + l * ldb] : b[l + j * ldb];
       if (blj == 0.0) continue;
@@ -71,10 +81,13 @@ void gemm_small(Trans trans_a, Trans trans_b, index_t m, index_t n, index_t k, d
   }
 }
 
-// Serial column-major driver; C has already been scaled by beta.
+// Serial column-major driver. beta rides into GEBP with the first k-panel
+// (kk == 0) of each column panel — the jj -> kk -> ii loop order guarantees
+// every C element's first update in its jj panel comes from kk == 0 — and
+// later k-panels accumulate with beta == 1.
 void gemm_serial(Trans trans_a, Trans trans_b, index_t m, index_t n, index_t k, double alpha,
-                 const double* a, index_t lda, const double* b, index_t ldb, double* c,
-                 index_t ldc, const Context& ctx, GemmScratch& scratch) {
+                 const double* a, index_t lda, const double* b, index_t ldb, double beta,
+                 double* c, index_t ldc, const Context& ctx, GemmScratch& scratch) {
   const BlockSizes& bs = ctx.block_sizes();
   const Microkernel& kernel = ctx.kernel();
   obs::GemmStats* stats = ctx.stats();
@@ -111,7 +124,8 @@ void gemm_serial(Trans trans_a, Trans trans_b, index_t m, index_t n, index_t k, 
         }
         obs::Tracer::Region region(tracer, 0, "gebp", {ic, jc, pc});
         obs::PmuRegion hw(pmu, 0, obs::PmuLayer::kGebp);
-        gebp(mc, nc, kc, alpha, packed_a, packed_b, c + ii + jj * ldc, ldc, kernel, slot);
+        gebp(mc, nc, kc, alpha, packed_a, packed_b, kk == 0 ? beta : 1.0,
+             c + ii + jj * ldc, ldc, kernel, slot);
       }
     }
   }
@@ -126,12 +140,16 @@ void gemm_serial(Trans trans_a, Trans trans_b, index_t m, index_t n, index_t k, 
 // computed-before-repack). Within a panel, layer-3 work is claimed
 // dynamically from a per-panel atomic ticket counter over the
 // PanelSchedule block grid, which falls back to a 2-D (m x n) split when
-// there are fewer mc row blocks than ranks. C has already been scaled by
-// beta.
+// there are fewer mc row blocks than ranks. beta rides into GEBP with the
+// pc == 0 panels (the first k-panel of each column panel): panels run in
+// sequence with a barrier between them, and each block of a panel is
+// claimed by exactly one rank, so every C element sees its pc == 0 update
+// first and exactly once. The serial pre-fork sweep over all of C that
+// beta used to cost is gone.
 void gemm_parallel(Trans trans_a, Trans trans_b, index_t m, index_t n, index_t k,
                    double alpha, const double* a, index_t lda, const double* b, index_t ldb,
-                   double* c, index_t ldc, const Context& ctx, GemmScratch& scratch,
-                   int nthreads) {
+                   double beta, double* c, index_t ldc, const Context& ctx,
+                   GemmScratch& scratch, int nthreads) {
   const BlockSizes& bs = ctx.block_sizes();
   const Microkernel& kernel = ctx.kernel();
   obs::GemmStats* stats = ctx.stats();
@@ -217,7 +235,7 @@ void gemm_parallel(Trans trans_a, Trans trans_b, index_t m, index_t n, index_t k
             obs::Tracer::Region region(tracer, rank, "gebp", {ic, panel.jc, panel.pc});
             obs::PmuRegion hw(pmu, rank, obs::PmuLayer::kGebp);
             gebp(blk.mc, blk.nb, panel.kc, alpha, my_packed_a,
-                 panel_b + blk.sliver0 * panel.kc * bs.nr,
+                 panel_b + blk.sliver0 * panel.kc * bs.nr, panel.pc == 0 ? beta : 1.0,
                  c + blk.ii + (panel.jj + blk.jb) * ldc, ldc, kernel, slot);
           }
           // One barrier per panel: it certifies both "panel p fully
@@ -243,10 +261,10 @@ struct RunInfo {
 };
 
 RunInfo run_gemm(Trans trans_a, Trans trans_b, index_t m, index_t n, index_t k, double alpha,
-                 const double* a, index_t lda, const double* b, index_t ldb, double* c,
-                 index_t ldc, const Context& ctx) {
+                 const double* a, index_t lda, const double* b, index_t ldb, double beta,
+                 double* c, index_t ldc, const Context& ctx) {
   if (use_small_gemm(m, n, k)) {
-    gemm_small(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, c, ldc, ctx);
+    gemm_small(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc, ctx);
     return {obs::ScheduleKind::kSmall, 1};
   }
   int eff = 1;
@@ -261,11 +279,11 @@ RunInfo run_gemm(Trans trans_a, Trans trans_b, index_t m, index_t n, index_t k, 
   }
   Context::ScratchLease scratch = ctx.acquire_scratch();
   if (eff > 1) {
-    gemm_parallel(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, c, ldc, ctx, *scratch,
-                  eff);
+    gemm_parallel(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc, ctx,
+                  *scratch, eff);
     return {obs::ScheduleKind::kParallel, eff};
   }
-  gemm_serial(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, c, ldc, ctx, *scratch);
+  gemm_serial(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc, ctx, *scratch);
   return {obs::ScheduleKind::kSerial, 1};
 }
 
@@ -291,11 +309,12 @@ void dgemm(Layout layout, Trans trans_a, Trans trans_b, std::int64_t m, std::int
     obs::Tracer::Region region(stats ? stats->tracer() : nullptr, 0, "dgemm");
     obs::PmuRegion hw(stats ? stats->pmu() : nullptr, 0, obs::PmuLayer::kTotal);
     const auto t0 = std::chrono::steady_clock::now();
-    scale_panel(c, ldc, m, n, beta);
     const bool computed = k != 0 && alpha != 0.0;
     RunInfo run;
     if (computed)
-      run = run_gemm(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, c, ldc, ctx);
+      run = run_gemm(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc, ctx);
+    else
+      scale_panel(c, ldc, m, n, beta);
     const auto t1 = std::chrono::steady_clock::now();
     const double seconds = std::chrono::duration<double>(t1 - t0).count();
     const double flops =
@@ -310,9 +329,11 @@ void dgemm(Layout layout, Trans trans_a, Trans trans_b, std::int64_t m, std::int
     return;
   }
 
-  scale_panel(c, ldc, m, n, beta);
-  if (k == 0 || alpha == 0.0) return;
-  run_gemm(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, c, ldc, ctx);
+  if (k == 0 || alpha == 0.0) {
+    scale_panel(c, ldc, m, n, beta);
+    return;
+  }
+  run_gemm(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc, ctx);
 }
 
 }  // namespace ag

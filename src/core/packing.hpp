@@ -23,6 +23,10 @@ namespace obs {
 struct ThreadSlot;
 }
 
+/// Name of the SIMD lowering the shipping packers use on this build:
+/// "avx2", "neon", or "scalar".
+const char* packing_isa();
+
 /// Number of doubles a packed mc x kc A block occupies (mr-row padded).
 index_t packed_a_size(index_t mc, index_t kc, int mr);
 
@@ -44,6 +48,14 @@ void pack_b(Trans trans, const double* b, index_t ldb, index_t row0, index_t col
 void pack_b_slivers(Trans trans, const double* b, index_t ldb, index_t row0, index_t col0,
                     index_t kc, index_t nc, int nr, index_t sliver_begin, index_t sliver_end,
                     double* dst);
+
+/// Scalar reference packers: the plain Figure-3 element loops the SIMD
+/// fast paths are verified against (and the only path on builds without
+/// a SIMD lowering). Bitwise-identical output to pack_a / pack_b.
+void pack_a_reference(Trans trans, const double* a, index_t lda, index_t row0, index_t col0,
+                      index_t mc, index_t kc, int mr, double* dst);
+void pack_b_reference(Trans trans, const double* b, index_t ldb, index_t row0, index_t col0,
+                      index_t kc, index_t nc, int nr, double* dst);
 
 /// Instrumented variants: identical packing, but when `slot` is non-null
 /// they additionally record one pack call, the bytes written into the

@@ -1,6 +1,24 @@
 // Scalar-type-generic packing implementations (Figure 3 layouts).
 // The double-precision entry points in packing.hpp delegate here; the
 // single-precision GEMM instantiates them for float.
+//
+// Two implementations of each routine:
+//
+//   pack_a_scalar_t / pack_b_slivers_scalar_t — the straightforward
+//     element loops. These are the semantic reference: the property
+//     tests compare every fast path against them bit-for-bit, and they
+//     remain the only path for scalar types without a SIMD lowering.
+//
+//   pack_a_t / pack_b_slivers_t — the shipping entry points. On hosts
+//     with AVX2 or NEON they route full slivers through vectorized
+//     copies (unit-stride sources) or in-register transposes (strided
+//     sources), with software prefetch ahead of both the source and
+//     destination streams. Edge slivers and pad columns always take the
+//     scalar tail, so the fast path never sees a partial shape.
+//
+// The packed destination is only guaranteed SIMD-aligned at offset 0
+// (AlignedBuffer), not at every sliver boundary (mr or nr need not be a
+// multiple of the vector width), so all fast-path stores are unaligned.
 #pragma once
 
 #include <algorithm>
@@ -9,6 +27,12 @@
 #include "blas/gemm_types.hpp"
 #include "common/check.hpp"
 #include "common/math_util.hpp"
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#elif defined(__aarch64__)
+#include <arm_neon.h>
+#endif
 
 namespace ag::detail {
 
@@ -24,9 +48,13 @@ index_t packed_b_size_t(index_t kc, index_t nc, int nr) {
   return round_up(nc, static_cast<index_t>(nr)) * kc;
 }
 
+// ---------------------------------------------------------------------------
+// Scalar reference paths.
+// ---------------------------------------------------------------------------
+
 template <typename T>
-void pack_a_t(Trans trans, const T* a, index_t lda, index_t row0, index_t col0, index_t mc,
-              index_t kc, int mr, T* dst) {
+void pack_a_scalar_t(Trans trans, const T* a, index_t lda, index_t row0, index_t col0,
+                     index_t mc, index_t kc, int mr, T* dst) {
   AG_DCHECK(mc >= 0 && kc >= 0 && mr > 0);
   for (index_t i0 = 0; i0 < mc; i0 += mr) {
     const index_t rows = std::min<index_t>(mr, mc - i0);
@@ -52,9 +80,9 @@ void pack_a_t(Trans trans, const T* a, index_t lda, index_t row0, index_t col0, 
 }
 
 template <typename T>
-void pack_b_slivers_t(Trans trans, const T* b, index_t ldb, index_t row0, index_t col0,
-                      index_t kc, index_t nc, int nr, index_t sliver_begin, index_t sliver_end,
-                      T* dst) {
+void pack_b_slivers_scalar_t(Trans trans, const T* b, index_t ldb, index_t row0, index_t col0,
+                             index_t kc, index_t nc, int nr, index_t sliver_begin,
+                             index_t sliver_end, T* dst) {
   AG_DCHECK(kc >= 0 && nc >= 0 && nr > 0);
   AG_DCHECK(sliver_begin >= 0 && sliver_begin <= sliver_end);
   for (index_t s = sliver_begin; s < sliver_end; ++s) {
@@ -79,6 +107,251 @@ void pack_b_slivers_t(Trans trans, const T* b, index_t ldb, index_t row0, index_
         out += nr;
       }
     }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SIMD helpers. PackSimd<T>::enabled gates the fast paths per scalar type;
+// kTranspose is the square in-register transpose tile (4x4 doubles /
+// floats on AVX2, 2x2 doubles / 4x4 floats on NEON).
+// ---------------------------------------------------------------------------
+
+// How far (in k-steps, i.e. source columns/rows) the packing loops
+// prefetch ahead of the load stream. One k-step of a sliver is at most
+// ~12 doubles, so 8 steps keeps roughly a dozen lines in flight without
+// running past the kc window too often.
+inline constexpr index_t kPackPrefetchSteps = 8;
+
+template <typename T>
+struct PackSimd {
+  static constexpr bool enabled = false;
+  static constexpr int kTranspose = 1;
+};
+
+#if defined(__AVX2__)
+
+template <>
+struct PackSimd<double> {
+  static constexpr bool enabled = true;
+  static constexpr int kTranspose = 4;
+
+  // dst[0:n] = src[0:n], unaligned, vector main loop + scalar tail.
+  static void copy(const double* src, double* dst, index_t n) {
+    index_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+      _mm256_storeu_pd(dst + i, _mm256_loadu_pd(src + i));
+      _mm256_storeu_pd(dst + i + 4, _mm256_loadu_pd(src + i + 4));
+    }
+    for (; i + 4 <= n; i += 4) _mm256_storeu_pd(dst + i, _mm256_loadu_pd(src + i));
+    for (; i < n; ++i) dst[i] = src[i];
+  }
+
+  // dst[q*dst_stride + r] = src[q + r*src_stride] for q, r in [0, 4):
+  // a 4x4 transpose from row-strided source to row-strided destination.
+  static void transpose(const double* src, index_t src_stride, double* dst,
+                        index_t dst_stride) {
+    const __m256d r0 = _mm256_loadu_pd(src);
+    const __m256d r1 = _mm256_loadu_pd(src + src_stride);
+    const __m256d r2 = _mm256_loadu_pd(src + 2 * src_stride);
+    const __m256d r3 = _mm256_loadu_pd(src + 3 * src_stride);
+    const __m256d t0 = _mm256_unpacklo_pd(r0, r1);  // 00 10 02 12
+    const __m256d t1 = _mm256_unpackhi_pd(r0, r1);  // 01 11 03 13
+    const __m256d t2 = _mm256_unpacklo_pd(r2, r3);  // 20 30 22 32
+    const __m256d t3 = _mm256_unpackhi_pd(r2, r3);  // 21 31 23 33
+    _mm256_storeu_pd(dst, _mm256_permute2f128_pd(t0, t2, 0x20));
+    _mm256_storeu_pd(dst + dst_stride, _mm256_permute2f128_pd(t1, t3, 0x20));
+    _mm256_storeu_pd(dst + 2 * dst_stride, _mm256_permute2f128_pd(t0, t2, 0x31));
+    _mm256_storeu_pd(dst + 3 * dst_stride, _mm256_permute2f128_pd(t1, t3, 0x31));
+  }
+};
+
+template <>
+struct PackSimd<float> {
+  static constexpr bool enabled = true;
+  static constexpr int kTranspose = 4;
+
+  static void copy(const float* src, float* dst, index_t n) {
+    index_t i = 0;
+    for (; i + 8 <= n; i += 8) _mm256_storeu_ps(dst + i, _mm256_loadu_ps(src + i));
+    for (; i + 4 <= n; i += 4) _mm_storeu_ps(dst + i, _mm_loadu_ps(src + i));
+    for (; i < n; ++i) dst[i] = src[i];
+  }
+
+  static void transpose(const float* src, index_t src_stride, float* dst,
+                        index_t dst_stride) {
+    __m128 r0 = _mm_loadu_ps(src);
+    __m128 r1 = _mm_loadu_ps(src + src_stride);
+    __m128 r2 = _mm_loadu_ps(src + 2 * src_stride);
+    __m128 r3 = _mm_loadu_ps(src + 3 * src_stride);
+    _MM_TRANSPOSE4_PS(r0, r1, r2, r3);
+    _mm_storeu_ps(dst, r0);
+    _mm_storeu_ps(dst + dst_stride, r1);
+    _mm_storeu_ps(dst + 2 * dst_stride, r2);
+    _mm_storeu_ps(dst + 3 * dst_stride, r3);
+  }
+};
+
+#elif defined(__aarch64__)
+
+template <>
+struct PackSimd<double> {
+  static constexpr bool enabled = true;
+  static constexpr int kTranspose = 2;
+
+  static void copy(const double* src, double* dst, index_t n) {
+    index_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+      vst1q_f64(dst + i, vld1q_f64(src + i));
+      vst1q_f64(dst + i + 2, vld1q_f64(src + i + 2));
+    }
+    for (; i + 2 <= n; i += 2) vst1q_f64(dst + i, vld1q_f64(src + i));
+    for (; i < n; ++i) dst[i] = src[i];
+  }
+
+  static void transpose(const double* src, index_t src_stride, double* dst,
+                        index_t dst_stride) {
+    const float64x2_t r0 = vld1q_f64(src);               // 00 01
+    const float64x2_t r1 = vld1q_f64(src + src_stride);  // 10 11
+    vst1q_f64(dst, vzip1q_f64(r0, r1));                  // 00 10
+    vst1q_f64(dst + dst_stride, vzip2q_f64(r0, r1));     // 01 11
+  }
+};
+
+template <>
+struct PackSimd<float> {
+  static constexpr bool enabled = true;
+  static constexpr int kTranspose = 4;
+
+  static void copy(const float* src, float* dst, index_t n) {
+    index_t i = 0;
+    for (; i + 4 <= n; i += 4) vst1q_f32(dst + i, vld1q_f32(src + i));
+    for (; i < n; ++i) dst[i] = src[i];
+  }
+
+  static void transpose(const float* src, index_t src_stride, float* dst,
+                        index_t dst_stride) {
+    const float32x4_t r0 = vld1q_f32(src);
+    const float32x4_t r1 = vld1q_f32(src + src_stride);
+    const float32x4_t r2 = vld1q_f32(src + 2 * src_stride);
+    const float32x4_t r3 = vld1q_f32(src + 3 * src_stride);
+    const float32x4x2_t p01 = vtrnq_f32(r0, r1);  // [00 10 02 12], [01 11 03 13]
+    const float32x4x2_t p23 = vtrnq_f32(r2, r3);  // [20 30 22 32], [21 31 23 33]
+    vst1q_f32(dst, vcombine_f32(vget_low_f32(p01.val[0]), vget_low_f32(p23.val[0])));
+    vst1q_f32(dst + dst_stride,
+              vcombine_f32(vget_low_f32(p01.val[1]), vget_low_f32(p23.val[1])));
+    vst1q_f32(dst + 2 * dst_stride,
+              vcombine_f32(vget_high_f32(p01.val[0]), vget_high_f32(p23.val[0])));
+    vst1q_f32(dst + 3 * dst_stride,
+              vcombine_f32(vget_high_f32(p01.val[1]), vget_high_f32(p23.val[1])));
+  }
+};
+
+#endif  // __AVX2__ / __aarch64__
+
+/// Short name of the packing lowering compiled into this build.
+inline const char* pack_isa_name() {
+#if defined(__AVX2__)
+  return "avx2";
+#elif defined(__aarch64__)
+  return "neon";
+#else
+  return "scalar";
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// Fast-path bodies. Both treat one FULL sliver (rows == mr / cols == nr);
+// the dispatchers below fall back to the scalar reference everywhere else.
+// ---------------------------------------------------------------------------
+
+// Unit-stride case: each of the kc steps copies `width` contiguous source
+// elements to `width` contiguous destination elements. Used by pack-A
+// NoTrans (columns of A) and pack-B Trans (rows of B).
+template <typename T>
+void pack_copy_sliver(const T* src, index_t src_stride, T* dst, int width, index_t kc) {
+  using S = PackSimd<T>;
+  for (index_t p = 0; p < kc; ++p) {
+    if (p + kPackPrefetchSteps < kc) {
+      __builtin_prefetch(src + (p + kPackPrefetchSteps) * src_stride, 0, 3);
+      __builtin_prefetch(dst + kPackPrefetchSteps * width, 1, 3);
+    }
+    S::copy(src + p * src_stride, dst, width);
+    dst += width;
+  }
+}
+
+// Strided case: destination step p wants source elements {src[p + r*stride]}
+// for r in [0, width) — a transpose. Runs B x B in-register transposes over
+// full tiles (B = PackSimd<T>::kTranspose), scalar loops on the ragged
+// right/bottom fringes.
+template <typename T>
+void pack_transpose_sliver(const T* src, index_t src_stride, T* dst, int width, index_t kc) {
+  using S = PackSimd<T>;
+  constexpr int B = S::kTranspose;
+  const int rblocks = width / B * B;  // r rounded down to a multiple of B
+  index_t p = 0;
+  for (; p + B <= kc; p += B) {
+    int r = 0;
+    for (; r < rblocks; r += B) {
+      if (p + B + kPackPrefetchSteps < kc)
+        __builtin_prefetch(src + (p + B + kPackPrefetchSteps) + r * src_stride, 0, 3);
+      S::transpose(src + p + r * src_stride, src_stride, dst + p * width + r, width);
+    }
+    for (; r < width; ++r)
+      for (int q = 0; q < B; ++q) dst[(p + q) * width + r] = src[(p + q) + r * src_stride];
+  }
+  for (; p < kc; ++p)
+    for (int r = 0; r < width; ++r) dst[p * width + r] = src[p + r * src_stride];
+}
+
+// ---------------------------------------------------------------------------
+// Dispatching entry points (the shipping pack_a_t / pack_b_slivers_t).
+// ---------------------------------------------------------------------------
+
+template <typename T>
+void pack_a_t(Trans trans, const T* a, index_t lda, index_t row0, index_t col0, index_t mc,
+              index_t kc, int mr, T* dst) {
+  if constexpr (PackSimd<T>::enabled) {
+    AG_DCHECK(mc >= 0 && kc >= 0 && mr > 0);
+    const index_t full = mc / mr * mr;  // slivers with all mr rows present
+    for (index_t i0 = 0; i0 < full; i0 += mr) {
+      T* out = dst + i0 * kc;
+      if (trans == Trans::NoTrans) {
+        pack_copy_sliver(a + (row0 + i0) + col0 * lda, lda, out, mr, kc);
+      } else {
+        pack_transpose_sliver(a + col0 + (row0 + i0) * lda, lda, out, mr, kc);
+      }
+    }
+    if (full < mc)  // zero-padded edge sliver: scalar reference
+      pack_a_scalar_t(trans, a, lda, row0 + full, col0, mc - full, kc, mr, dst + full * kc);
+  } else {
+    pack_a_scalar_t(trans, a, lda, row0, col0, mc, kc, mr, dst);
+  }
+}
+
+template <typename T>
+void pack_b_slivers_t(Trans trans, const T* b, index_t ldb, index_t row0, index_t col0,
+                      index_t kc, index_t nc, int nr, index_t sliver_begin, index_t sliver_end,
+                      T* dst) {
+  if constexpr (PackSimd<T>::enabled) {
+    AG_DCHECK(kc >= 0 && nc >= 0 && nr > 0);
+    AG_DCHECK(sliver_begin >= 0 && sliver_begin <= sliver_end);
+    for (index_t s = sliver_begin; s < sliver_end; ++s) {
+      const index_t j0 = s * nr;
+      if (nc - j0 < nr) {  // zero-padded edge sliver: scalar reference
+        pack_b_slivers_scalar_t(trans, b, ldb, row0, col0, kc, nc, nr, s, s + 1, dst);
+        continue;
+      }
+      T* out = dst + s * nr * kc;
+      if (trans == Trans::NoTrans) {
+        pack_transpose_sliver(b + row0 + (col0 + j0) * ldb, ldb, out, nr, kc);
+      } else {
+        pack_copy_sliver(b + (col0 + j0) + row0 * ldb, ldb, out, nr, kc);
+      }
+    }
+  } else {
+    pack_b_slivers_scalar_t(trans, b, ldb, row0, col0, kc, nc, nr, sliver_begin, sliver_end,
+                            dst);
   }
 }
 

@@ -43,9 +43,13 @@ void scale_panel(float* c, index_t ldc, index_t m, index_t n, float beta) {
   }
 }
 
+// beta is fused into the first k-panel's GEBP (kk == 0; later panels
+// accumulate with beta == 1), so no standalone sweep over C runs. Each
+// rank owns a static row range for the whole jj/kk nest, so every C
+// element sees its kk == 0 update first and exactly once.
 void sgemm_colmajor(Trans trans_a, Trans trans_b, index_t m, index_t n, index_t k, float alpha,
-                    const float* a, index_t lda, const float* b, index_t ldb, float* c,
-                    index_t ldc, const SgemmOptions& options) {
+                    const float* a, index_t lda, const float* b, index_t ldb, float beta,
+                    float* c, index_t ldc, const SgemmOptions& options) {
   const SBlocks bs = resolve_blocks(options);
   const SMicrokernel& kernel = best_smicrokernel();
   const int nthreads = std::max(1, options.threads);
@@ -72,8 +76,9 @@ void sgemm_colmajor(Trans trans_a, Trans trans_b, index_t m, index_t n, index_t 
           const index_t mc = std::min(bs.mc, rows.end - ii);
           float* pa = packed_a[static_cast<std::size_t>(rank)].data();
           detail::pack_a_t(trans_a, a, lda, ii, kk, mc, kc, bs.mr, pa);
-          detail::gebp_t<float>(mc, nc, kc, alpha, pa, packed_b.data(), c + ii + jj * ldc,
-                                ldc, kernel.fn, bs.mr, bs.nr);
+          detail::gebp_t<float>(mc, nc, kc, alpha, pa, packed_b.data(),
+                                kk == 0 ? beta : 1.0f, c + ii + jj * ldc, ldc, kernel.fn,
+                                bs.mr, bs.nr);
         }
         if (barrier) barrier->arrive_and_wait();
       }
@@ -130,9 +135,11 @@ void sgemm(Layout layout, Trans trans_a, Trans trans_b, index_t m, index_t n, in
           options);
     return;
   }
-  scale_panel(c, ldc, m, n, beta);
-  if (k == 0 || alpha == 0.0f) return;
-  sgemm_colmajor(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, c, ldc, options);
+  if (k == 0 || alpha == 0.0f) {
+    scale_panel(c, ldc, m, n, beta);
+    return;
+  }
+  sgemm_colmajor(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc, options);
 }
 
 void reference_sgemm(Layout layout, Trans trans_a, Trans trans_b, index_t m, index_t n,

@@ -15,13 +15,13 @@ namespace ag {
 bool avx2_kernels_available();
 
 #if defined(__AVX2__) && defined(__FMA__)
-void avx2_microkernel_8x6(index_t kc, double alpha, const double* a, const double* b, double* c,
+void avx2_microkernel_8x6(index_t kc, double alpha, const double* a, const double* b, double beta, double* c,
                           index_t ldc);
-void avx2_microkernel_8x4(index_t kc, double alpha, const double* a, const double* b, double* c,
+void avx2_microkernel_8x4(index_t kc, double alpha, const double* a, const double* b, double beta, double* c,
                           index_t ldc);
-void avx2_microkernel_4x4(index_t kc, double alpha, const double* a, const double* b, double* c,
+void avx2_microkernel_4x4(index_t kc, double alpha, const double* a, const double* b, double beta, double* c,
                           index_t ldc);
-void avx2_microkernel_12x4(index_t kc, double alpha, const double* a, const double* b, double* c,
+void avx2_microkernel_12x4(index_t kc, double alpha, const double* a, const double* b, double beta, double* c,
                            index_t ldc);
 #endif
 

@@ -2,7 +2,9 @@
 //
 // The accumulator tile lives in local variables that the compiler keeps in
 // (vector) registers for the shapes used here; the loop structure matches
-// the rank-1-update formulation of the paper's layer 7.
+// the rank-1-update formulation of the paper's layer 7. The epilogue
+// applies the fused beta per the microkernel contract: beta == 0 stores
+// without reading C, beta == 1 accumulates, otherwise scale-and-add.
 #pragma once
 
 #include "kernels/microkernel.hpp"
@@ -10,8 +12,8 @@
 namespace ag {
 
 template <int MR, int NR>
-void generic_microkernel(index_t kc, double alpha, const double* a, const double* b, double* c,
-                         index_t ldc) {
+void generic_microkernel(index_t kc, double alpha, const double* a, const double* b,
+                         double beta, double* c, index_t ldc) {
   double acc[MR][NR] = {};
   for (index_t p = 0; p < kc; ++p) {
     for (int j = 0; j < NR; ++j) {
@@ -21,26 +23,35 @@ void generic_microkernel(index_t kc, double alpha, const double* a, const double
     a += MR;
     b += NR;
   }
-  for (int j = 0; j < NR; ++j)
-    for (int i = 0; i < MR; ++i) c[i + j * ldc] += alpha * acc[i][j];
+  if (beta == 0.0) {
+    for (int j = 0; j < NR; ++j)
+      for (int i = 0; i < MR; ++i) c[i + j * ldc] = alpha * acc[i][j];
+  } else if (beta == 1.0) {
+    for (int j = 0; j < NR; ++j)
+      for (int i = 0; i < MR; ++i) c[i + j * ldc] += alpha * acc[i][j];
+  } else {
+    for (int j = 0; j < NR; ++j)
+      for (int i = 0; i < MR; ++i)
+        c[i + j * ldc] = beta * c[i + j * ldc] + alpha * acc[i][j];
+  }
 }
 
 // Explicitly instantiated in generic_kernels.cpp for the paper's shapes.
 extern template void generic_microkernel<8, 6>(index_t, double, const double*, const double*,
-                                               double*, index_t);
+                                               double, double*, index_t);
 extern template void generic_microkernel<8, 4>(index_t, double, const double*, const double*,
-                                               double*, index_t);
+                                               double, double*, index_t);
 extern template void generic_microkernel<4, 4>(index_t, double, const double*, const double*,
-                                               double*, index_t);
+                                               double, double*, index_t);
 extern template void generic_microkernel<5, 5>(index_t, double, const double*, const double*,
-                                               double*, index_t);
+                                               double, double*, index_t);
 extern template void generic_microkernel<6, 8>(index_t, double, const double*, const double*,
-                                               double*, index_t);
+                                               double, double*, index_t);
 extern template void generic_microkernel<12, 4>(index_t, double, const double*, const double*,
-                                                double*, index_t);
+                                                double, double*, index_t);
 extern template void generic_microkernel<2, 2>(index_t, double, const double*, const double*,
-                                               double*, index_t);
+                                               double, double*, index_t);
 extern template void generic_microkernel<1, 1>(index_t, double, const double*, const double*,
-                                               double*, index_t);
+                                               double, double*, index_t);
 
 }  // namespace ag

@@ -2,15 +2,29 @@
 //
 // A microkernel performs the innermost computation of the Goto algorithm:
 // a sequence of kc rank-1 updates of an mr x nr tile of C using packed
-// slivers of A and B (Figure 2, layer 7 of the paper):
+// slivers of A and B (Figure 2, layer 7 of the paper), with the BLAS beta
+// fused into the epilogue:
 //
-//   C[0:mr, 0:nr] += alpha * sum_{p=0}^{kc-1} a[p*mr + i] * b[p*nr + j]
+//   C[0:mr, 0:nr] = beta * C + alpha * sum_{p=0}^{kc-1} a[p*mr + i] * b[p*nr + j]
+//
+// beta == 1 is the classic accumulate; beta == 0 OVERWRITES the tile
+// without ever reading it (so NaN/Inf garbage in C is replaced, per BLAS
+// semantics, and the C read traffic disappears); any other beta scales
+// the tile in the same load-modify-store the accumulate already pays.
+// Fusing beta here is what lets the GEMM drivers drop their standalone
+// serial sweep over C before the blocked loops.
 //
 // `a` points at an mr x kc sliver packed column-by-column (mr contiguous
 // elements per k-step); `b` points at a kc x nr sliver packed row-by-row
 // (nr contiguous elements per k-step); `c` is an mr x nr column-major tile
 // with leading dimension ldc. All pointers are valid for full tiles; the
 // GEBP driver routes partial edge tiles through a padded buffer.
+//
+// The SIMD kernels additionally issue software prefetches: the packed A
+// and B streams are prefetched ARMGEMM_PREA / ARMGEMM_PREB bytes ahead
+// inside the k-loop (paper Section IV-B distances by default), and the C
+// tile is prefetched before the k-loop so its lines arrive by epilogue
+// time.
 //
 // Alignment contract: `a` and `b` point into packing buffers allocated
 // with at least 32-byte (SIMD) alignment; the SIMD kernels use aligned
@@ -26,7 +40,7 @@ namespace ag {
 using index_t = std::int64_t;
 
 using MicrokernelFn = void (*)(index_t kc, double alpha, const double* a, const double* b,
-                               double* c, index_t ldc);
+                               double beta, double* c, index_t ldc);
 
 /// Register block shape (the paper's mr x nr).
 struct KernelShape {

@@ -1,5 +1,7 @@
 #include "kernels/neon_kernels.hpp"
 
+#include "common/knobs.hpp"
+
 #if defined(__aarch64__)
 #include <arm_neon.h>
 #endif
@@ -16,14 +18,45 @@ bool neon_kernels_available() {
 
 #if defined(__aarch64__)
 
-void neon_microkernel_8x6(index_t kc, double alpha, const double* a, const double* b, double* c,
-                          index_t ldc) {
+namespace {
+
+// Knob bytes -> element offsets, resolved once per kernel invocation. These
+// map to the paper's prfm PREA/PREB distances (Section IV-B, Table III).
+inline index_t prea_elems() {
+  return static_cast<index_t>(prefetch_a_bytes()) / static_cast<index_t>(sizeof(double));
+}
+inline index_t preb_elems() {
+  return static_cast<index_t>(prefetch_b_bytes()) / static_cast<index_t>(sizeof(double));
+}
+
+// Warm the C tile's lines before the k-loop so the epilogue's loads (or
+// stores, for beta == 0) land on resident lines. One column of an mr-row
+// double tile spans at most two 64-byte lines.
+template <int MR, int NR>
+inline void prefetch_c_tile(const double* c, index_t ldc) {
+  for (int j = 0; j < NR; ++j) {
+    const double* cj = c + j * ldc;
+    __builtin_prefetch(cj, 1, 3);
+    if constexpr (MR * sizeof(double) > 64) __builtin_prefetch(cj + 8, 1, 3);
+  }
+}
+
+}  // namespace
+
+void neon_microkernel_8x6(index_t kc, double alpha, const double* a, const double* b,
+                          double beta, double* c, index_t ldc) {
   // acc[h][j]: rows 2h..2h+1 of column j — the paper's v8..v31 tile.
   float64x2_t acc[4][6];
   for (auto& row : acc)
     for (auto& v : row) v = vdupq_n_f64(0.0);
 
+  const index_t prea = prea_elems();
+  const index_t preb = preb_elems();
+  prefetch_c_tile<8, 6>(c, ldc);
+
   for (index_t p = 0; p < kc; ++p) {
+    if (prea) __builtin_prefetch(a + prea, 0, 3);
+    if (preb) __builtin_prefetch(b + preb, 0, 3);
     const float64x2_t a0 = vld1q_f64(a);
     const float64x2_t a1 = vld1q_f64(a + 2);
     const float64x2_t a2 = vld1q_f64(a + 4);
@@ -62,58 +95,116 @@ void neon_microkernel_8x6(index_t kc, double alpha, const double* a, const doubl
   }
 
   const float64x2_t va = vdupq_n_f64(alpha);
-  for (int j = 0; j < 6; ++j) {
-    double* cj = c + j * ldc;
-    for (int h = 0; h < 4; ++h) {
-      float64x2_t cv = vld1q_f64(cj + 2 * h);
-      cv = vfmaq_f64(cv, va, acc[h][j]);
-      vst1q_f64(cj + 2 * h, cv);
+  if (beta == 0.0) {
+    // Overwrite without reading C: NaN/Inf garbage must not propagate.
+    for (int j = 0; j < 6; ++j) {
+      double* cj = c + j * ldc;
+      for (int h = 0; h < 4; ++h) vst1q_f64(cj + 2 * h, vmulq_f64(va, acc[h][j]));
+    }
+  } else if (beta == 1.0) {
+    for (int j = 0; j < 6; ++j) {
+      double* cj = c + j * ldc;
+      for (int h = 0; h < 4; ++h) {
+        float64x2_t cv = vld1q_f64(cj + 2 * h);
+        cv = vfmaq_f64(cv, va, acc[h][j]);
+        vst1q_f64(cj + 2 * h, cv);
+      }
+    }
+  } else {
+    const float64x2_t vb = vdupq_n_f64(beta);
+    for (int j = 0; j < 6; ++j) {
+      double* cj = c + j * ldc;
+      for (int h = 0; h < 4; ++h) {
+        float64x2_t cv = vmulq_f64(va, acc[h][j]);
+        cv = vfmaq_f64(cv, vb, vld1q_f64(cj + 2 * h));
+        vst1q_f64(cj + 2 * h, cv);
+      }
     }
   }
 }
 
-void neon_microkernel_8x4(index_t kc, double alpha, const double* a, const double* b, double* c,
-                          index_t ldc) {
+void neon_microkernel_8x4(index_t kc, double alpha, const double* a, const double* b,
+                          double beta, double* c, index_t ldc) {
   float64x2_t acc[4][4];
   for (auto& row : acc)
     for (auto& v : row) v = vdupq_n_f64(0.0);
 
+  const index_t prea = prea_elems();
+  const index_t preb = preb_elems();
+  prefetch_c_tile<8, 4>(c, ldc);
+
   for (index_t p = 0; p < kc; ++p) {
+    if (prea) __builtin_prefetch(a + prea, 0, 3);
+    if (preb) __builtin_prefetch(b + preb, 0, 3);
     const float64x2_t a0 = vld1q_f64(a);
     const float64x2_t a1 = vld1q_f64(a + 2);
     const float64x2_t a2 = vld1q_f64(a + 4);
     const float64x2_t a3 = vld1q_f64(a + 6);
     const float64x2_t b01 = vld1q_f64(b);
     const float64x2_t b23 = vld1q_f64(b + 2);
-    for (int h = 0; h < 4; ++h) {
-      const float64x2_t ah = h == 0 ? a0 : h == 1 ? a1 : h == 2 ? a2 : a3;
-      acc[h][0] = vfmaq_laneq_f64(acc[h][0], ah, b01, 0);
-      acc[h][1] = vfmaq_laneq_f64(acc[h][1], ah, b01, 1);
-      acc[h][2] = vfmaq_laneq_f64(acc[h][2], ah, b23, 0);
-      acc[h][3] = vfmaq_laneq_f64(acc[h][3], ah, b23, 1);
-    }
+
+    acc[0][0] = vfmaq_laneq_f64(acc[0][0], a0, b01, 0);
+    acc[1][0] = vfmaq_laneq_f64(acc[1][0], a1, b01, 0);
+    acc[2][0] = vfmaq_laneq_f64(acc[2][0], a2, b01, 0);
+    acc[3][0] = vfmaq_laneq_f64(acc[3][0], a3, b01, 0);
+    acc[0][1] = vfmaq_laneq_f64(acc[0][1], a0, b01, 1);
+    acc[1][1] = vfmaq_laneq_f64(acc[1][1], a1, b01, 1);
+    acc[2][1] = vfmaq_laneq_f64(acc[2][1], a2, b01, 1);
+    acc[3][1] = vfmaq_laneq_f64(acc[3][1], a3, b01, 1);
+    acc[0][2] = vfmaq_laneq_f64(acc[0][2], a0, b23, 0);
+    acc[1][2] = vfmaq_laneq_f64(acc[1][2], a1, b23, 0);
+    acc[2][2] = vfmaq_laneq_f64(acc[2][2], a2, b23, 0);
+    acc[3][2] = vfmaq_laneq_f64(acc[3][2], a3, b23, 0);
+    acc[0][3] = vfmaq_laneq_f64(acc[0][3], a0, b23, 1);
+    acc[1][3] = vfmaq_laneq_f64(acc[1][3], a1, b23, 1);
+    acc[2][3] = vfmaq_laneq_f64(acc[2][3], a2, b23, 1);
+    acc[3][3] = vfmaq_laneq_f64(acc[3][3], a3, b23, 1);
+
     a += 8;
     b += 4;
   }
 
   const float64x2_t va = vdupq_n_f64(alpha);
-  for (int j = 0; j < 4; ++j) {
-    double* cj = c + j * ldc;
-    for (int h = 0; h < 4; ++h) {
-      float64x2_t cv = vld1q_f64(cj + 2 * h);
-      cv = vfmaq_f64(cv, va, acc[h][j]);
-      vst1q_f64(cj + 2 * h, cv);
+  if (beta == 0.0) {
+    for (int j = 0; j < 4; ++j) {
+      double* cj = c + j * ldc;
+      for (int h = 0; h < 4; ++h) vst1q_f64(cj + 2 * h, vmulq_f64(va, acc[h][j]));
+    }
+  } else if (beta == 1.0) {
+    for (int j = 0; j < 4; ++j) {
+      double* cj = c + j * ldc;
+      for (int h = 0; h < 4; ++h) {
+        float64x2_t cv = vld1q_f64(cj + 2 * h);
+        cv = vfmaq_f64(cv, va, acc[h][j]);
+        vst1q_f64(cj + 2 * h, cv);
+      }
+    }
+  } else {
+    const float64x2_t vb = vdupq_n_f64(beta);
+    for (int j = 0; j < 4; ++j) {
+      double* cj = c + j * ldc;
+      for (int h = 0; h < 4; ++h) {
+        float64x2_t cv = vmulq_f64(va, acc[h][j]);
+        cv = vfmaq_f64(cv, vb, vld1q_f64(cj + 2 * h));
+        vst1q_f64(cj + 2 * h, cv);
+      }
     }
   }
 }
 
-void neon_microkernel_4x4(index_t kc, double alpha, const double* a, const double* b, double* c,
-                          index_t ldc) {
+void neon_microkernel_4x4(index_t kc, double alpha, const double* a, const double* b,
+                          double beta, double* c, index_t ldc) {
   float64x2_t acc[2][4];
   for (auto& row : acc)
     for (auto& v : row) v = vdupq_n_f64(0.0);
 
+  const index_t prea = prea_elems();
+  const index_t preb = preb_elems();
+  prefetch_c_tile<4, 4>(c, ldc);
+
   for (index_t p = 0; p < kc; ++p) {
+    if (prea) __builtin_prefetch(a + prea, 0, 3);
+    if (preb) __builtin_prefetch(b + preb, 0, 3);
     const float64x2_t a0 = vld1q_f64(a);
     const float64x2_t a1 = vld1q_f64(a + 2);
     const float64x2_t b01 = vld1q_f64(b);
@@ -131,12 +222,29 @@ void neon_microkernel_4x4(index_t kc, double alpha, const double* a, const doubl
   }
 
   const float64x2_t va = vdupq_n_f64(alpha);
-  for (int j = 0; j < 4; ++j) {
-    double* cj = c + j * ldc;
-    for (int h = 0; h < 2; ++h) {
-      float64x2_t cv = vld1q_f64(cj + 2 * h);
-      cv = vfmaq_f64(cv, va, acc[h][j]);
-      vst1q_f64(cj + 2 * h, cv);
+  if (beta == 0.0) {
+    for (int j = 0; j < 4; ++j) {
+      double* cj = c + j * ldc;
+      for (int h = 0; h < 2; ++h) vst1q_f64(cj + 2 * h, vmulq_f64(va, acc[h][j]));
+    }
+  } else if (beta == 1.0) {
+    for (int j = 0; j < 4; ++j) {
+      double* cj = c + j * ldc;
+      for (int h = 0; h < 2; ++h) {
+        float64x2_t cv = vld1q_f64(cj + 2 * h);
+        cv = vfmaq_f64(cv, va, acc[h][j]);
+        vst1q_f64(cj + 2 * h, cv);
+      }
+    }
+  } else {
+    const float64x2_t vb = vdupq_n_f64(beta);
+    for (int j = 0; j < 4; ++j) {
+      double* cj = c + j * ldc;
+      for (int h = 0; h < 2; ++h) {
+        float64x2_t cv = vmulq_f64(va, acc[h][j]);
+        cv = vfmaq_f64(cv, vb, vld1q_f64(cj + 2 * h));
+        vst1q_f64(cj + 2 * h, cv);
+      }
     }
   }
 }

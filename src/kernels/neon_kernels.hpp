@@ -16,11 +16,11 @@ namespace ag {
 bool neon_kernels_available();
 
 #if defined(__aarch64__)
-void neon_microkernel_8x6(index_t kc, double alpha, const double* a, const double* b, double* c,
+void neon_microkernel_8x6(index_t kc, double alpha, const double* a, const double* b, double beta, double* c,
                           index_t ldc);
-void neon_microkernel_8x4(index_t kc, double alpha, const double* a, const double* b, double* c,
+void neon_microkernel_8x4(index_t kc, double alpha, const double* a, const double* b, double beta, double* c,
                           index_t ldc);
-void neon_microkernel_4x4(index_t kc, double alpha, const double* a, const double* b, double* c,
+void neon_microkernel_4x4(index_t kc, double alpha, const double* a, const double* b, double beta, double* c,
                           index_t ldc);
 #endif
 

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/knobs.hpp"
 
 #if defined(__AVX2__) && defined(__FMA__)
 #include <immintrin.h>
@@ -14,13 +15,22 @@ namespace {
 #if defined(__AVX2__) && defined(__FMA__)
 // 16x6 float kernel: 12 ymm accumulators (2 rows of 8 floats x 6
 // columns), mirroring the structure of the double-precision 8x6 kernel.
-void avx2_smicrokernel_16x6(index_t kc, float alpha, const float* a, const float* b, float* c,
-                            index_t ldc) {
+void avx2_smicrokernel_16x6(index_t kc, float alpha, const float* a, const float* b, float beta,
+                            float* c, index_t ldc) {
   __m256 acc[2][6];
   for (auto& row : acc)
     for (auto& v : row) v = _mm256_setzero_ps();
 
+  const index_t prea =
+      static_cast<index_t>(prefetch_a_bytes()) / static_cast<index_t>(sizeof(float));
+  const index_t preb =
+      static_cast<index_t>(prefetch_b_bytes()) / static_cast<index_t>(sizeof(float));
+  for (int j = 0; j < 6; ++j)
+    _mm_prefetch(reinterpret_cast<const char*>(c + j * ldc), _MM_HINT_T0);
+
   for (index_t p = 0; p < kc; ++p) {
+    if (prea) _mm_prefetch(reinterpret_cast<const char*>(a + prea), _MM_HINT_T0);
+    if (preb) _mm_prefetch(reinterpret_cast<const char*>(b + preb), _MM_HINT_T0);
     const __m256 a0 = _mm256_load_ps(a);
     const __m256 a1 = _mm256_load_ps(a + 8);
     for (int j = 0; j < 6; ++j) {
@@ -33,10 +43,27 @@ void avx2_smicrokernel_16x6(index_t kc, float alpha, const float* a, const float
   }
 
   const __m256 va = _mm256_set1_ps(alpha);
-  for (int j = 0; j < 6; ++j) {
-    float* cj = c + j * ldc;
-    _mm256_storeu_ps(cj, _mm256_fmadd_ps(va, acc[0][j], _mm256_loadu_ps(cj)));
-    _mm256_storeu_ps(cj + 8, _mm256_fmadd_ps(va, acc[1][j], _mm256_loadu_ps(cj + 8)));
+  if (beta == 0.0f) {
+    for (int j = 0; j < 6; ++j) {
+      float* cj = c + j * ldc;
+      _mm256_storeu_ps(cj, _mm256_mul_ps(va, acc[0][j]));
+      _mm256_storeu_ps(cj + 8, _mm256_mul_ps(va, acc[1][j]));
+    }
+  } else if (beta == 1.0f) {
+    for (int j = 0; j < 6; ++j) {
+      float* cj = c + j * ldc;
+      _mm256_storeu_ps(cj, _mm256_fmadd_ps(va, acc[0][j], _mm256_loadu_ps(cj)));
+      _mm256_storeu_ps(cj + 8, _mm256_fmadd_ps(va, acc[1][j], _mm256_loadu_ps(cj + 8)));
+    }
+  } else {
+    const __m256 vb = _mm256_set1_ps(beta);
+    for (int j = 0; j < 6; ++j) {
+      float* cj = c + j * ldc;
+      _mm256_storeu_ps(cj,
+                       _mm256_fmadd_ps(vb, _mm256_loadu_ps(cj), _mm256_mul_ps(va, acc[0][j])));
+      _mm256_storeu_ps(
+          cj + 8, _mm256_fmadd_ps(vb, _mm256_loadu_ps(cj + 8), _mm256_mul_ps(va, acc[1][j])));
+    }
   }
 }
 #endif

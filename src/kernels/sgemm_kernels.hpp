@@ -13,7 +13,7 @@ namespace ag {
 using index_t = std::int64_t;
 
 using SMicrokernelFn = void (*)(index_t kc, float alpha, const float* a, const float* b,
-                                float* c, index_t ldc);
+                                float beta, float* c, index_t ldc);
 
 struct SMicrokernel {
   std::string name;
@@ -22,10 +22,11 @@ struct SMicrokernel {
   SMicrokernelFn fn = nullptr;
 };
 
-/// Generic scalar float kernel, any shape.
+/// Generic scalar float kernel, any shape. Same fused-beta contract as the
+/// double-precision microkernels: beta == 0 overwrites without reading C.
 template <int MR, int NR>
-void generic_smicrokernel(index_t kc, float alpha, const float* a, const float* b, float* c,
-                          index_t ldc) {
+void generic_smicrokernel(index_t kc, float alpha, const float* a, const float* b, float beta,
+                          float* c, index_t ldc) {
   float acc[MR][NR] = {};
   for (index_t p = 0; p < kc; ++p) {
     for (int j = 0; j < NR; ++j) {
@@ -35,8 +36,17 @@ void generic_smicrokernel(index_t kc, float alpha, const float* a, const float* 
     a += MR;
     b += NR;
   }
-  for (int j = 0; j < NR; ++j)
-    for (int i = 0; i < MR; ++i) c[i + j * ldc] += alpha * acc[i][j];
+  if (beta == 0.0f) {
+    for (int j = 0; j < NR; ++j)
+      for (int i = 0; i < MR; ++i) c[i + j * ldc] = alpha * acc[i][j];
+  } else if (beta == 1.0f) {
+    for (int j = 0; j < NR; ++j)
+      for (int i = 0; i < MR; ++i) c[i + j * ldc] += alpha * acc[i][j];
+  } else {
+    for (int j = 0; j < NR; ++j)
+      for (int i = 0; i < MR; ++i)
+        c[i + j * ldc] = beta * c[i + j * ldc] + alpha * acc[i][j];
+  }
 }
 
 /// Best available float kernel on this build (AVX2 16x6 on x86 hosts,

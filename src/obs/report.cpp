@@ -4,6 +4,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "common/knobs.hpp"
 #include "model/machine.hpp"
 #include "obs/expected.hpp"
 
@@ -112,6 +113,9 @@ std::string format_report(const LayerCounters& measured, std::int64_t m, std::in
      << ", gamma_gebp (Eq. 16) = "
      << Table::fmt(model::gamma_gebp(bs.mr, bs.nr, bs.kc, bs.mc), 3)
      << ", measured effective gamma = " << Table::fmt(measured.gamma(), 3) << "\n";
+  os << "kernel prefetch: PREA=" << prefetch_a_bytes() << " B, PREB=" << prefetch_b_bytes()
+     << " B (Section IV-B model PREB = kc*nr*8 = "
+     << static_cast<long long>(bs.kc) * bs.nr * 8 << " B)\n";
   os << "achieved: " << Table::fmt(measured.gflops(), 3) << " Gflops in "
      << Table::fmt(measured.total_seconds, 6) << " s\n";
 

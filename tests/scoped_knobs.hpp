@@ -43,4 +43,26 @@ class ScopedSpinUs {
   std::int64_t prev_;
 };
 
+/// Pins the kernel software-prefetch distances (ARMGEMM_PREA/PREB) for
+/// the guard's lifetime. ScopedPrefetch(0, 0) turns both streams off.
+class ScopedPrefetch {
+ public:
+  ScopedPrefetch(std::int64_t prea_bytes, std::int64_t preb_bytes)
+      : prev_a_(ag::prefetch_a_bytes()), prev_b_(ag::prefetch_b_bytes()) {
+    ag::set_prefetch_a_bytes(prea_bytes);
+    ag::set_prefetch_b_bytes(preb_bytes);
+  }
+  ~ScopedPrefetch() {
+    ag::set_prefetch_a_bytes(prev_a_);
+    ag::set_prefetch_b_bytes(prev_b_);
+  }
+
+  ScopedPrefetch(const ScopedPrefetch&) = delete;
+  ScopedPrefetch& operator=(const ScopedPrefetch&) = delete;
+
+ private:
+  std::int64_t prev_a_;
+  std::int64_t prev_b_;
+};
+
 }  // namespace agtest

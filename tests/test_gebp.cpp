@@ -32,7 +32,7 @@ void run_gebp_case(const std::string& kernel_name, index_t mc, index_t nc, index
   ag::pack_a(Trans::NoTrans, a.data(), a.ld(), 0, 0, mc, kc, mr, pa.data());
   ag::pack_b(Trans::NoTrans, b.data(), b.ld(), 0, 0, kc, nc, nr, pb.data());
 
-  ag::gebp(mc, nc, kc, alpha, pa.data(), pb.data(), c.data(), c.ld(), kernel);
+  ag::gebp(mc, nc, kc, alpha, pa.data(), pb.data(), 1.0, c.data(), c.ld(), kernel);
   ag::reference_dgemm(ag::Layout::ColMajor, Trans::NoTrans, Trans::NoTrans, mc, nc, kc, alpha,
                       a.data(), a.ld(), b.data(), b.ld(), 1.0, c_ref.data(), c_ref.ld());
 
@@ -70,9 +70,9 @@ TEST(Gebp, ZeroDimensionsAreNoOps) {
   const ag::Microkernel& kernel = ag::microkernel_by_name("generic_4x4");
   double c[4] = {1, 2, 3, 4};
   double dummy = 0;
-  ag::gebp(0, 2, 2, 1.0, &dummy, &dummy, c, 2, kernel);
-  ag::gebp(2, 0, 2, 1.0, &dummy, &dummy, c, 2, kernel);
-  ag::gebp(2, 2, 0, 1.0, &dummy, &dummy, c, 2, kernel);
+  ag::gebp(0, 2, 2, 1.0, &dummy, &dummy, 1.0, c, 2, kernel);
+  ag::gebp(2, 0, 2, 1.0, &dummy, &dummy, 1.0, c, 2, kernel);
+  ag::gebp(2, 2, 0, 1.0, &dummy, &dummy, 1.0, c, 2, kernel);
   EXPECT_DOUBLE_EQ(c[0], 1);
   EXPECT_DOUBLE_EQ(c[3], 4);
 }
@@ -92,7 +92,7 @@ TEST(Gebp, EdgeTilesDoNotTouchBeyondPanel) {
   ag::AlignedBuffer<double> pb(static_cast<std::size_t>(ag::packed_b_size(kc, nc, 6)));
   ag::pack_a(Trans::NoTrans, a.data(), a.ld(), 0, 0, mc, kc, 8, pa.data());
   ag::pack_b(Trans::NoTrans, b.data(), b.ld(), 0, 0, kc, nc, 6, pb.data());
-  ag::gebp(mc, nc, kc, 1.0, pa.data(), pb.data(), c.data(), ldc, kernel);
+  ag::gebp(mc, nc, kc, 1.0, pa.data(), pb.data(), 1.0, c.data(), ldc, kernel);
   for (index_t j = 0; j < nc; ++j)
     for (index_t i = mc; i < ldc; ++i) EXPECT_EQ(c(i, j), 777.0) << i << "," << j;
 }

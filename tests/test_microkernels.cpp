@@ -47,7 +47,7 @@ void run_case(const Microkernel& k, index_t kc, double alpha, index_t ldc_extra)
   for (auto& v : c1) v = rng.uniform(-1, 1);
   std::vector<double> c2 = c1;
 
-  k.fn(kc, alpha, a.data(), b.data(), c1.data(), ldc);
+  k.fn(kc, alpha, a.data(), b.data(), 1.0, c1.data(), ldc);
   reference_update(mr, nr, kc, alpha, a.data(), b.data(), c2.data(), ldc);
 
   const double tol = 1e-13 * static_cast<double>(kc ? kc : 1);
@@ -121,8 +121,8 @@ TEST(Consistency, SimdMatchesScalar) {
     for (std::size_t i = 0; i < a.size(); ++i) a[i] = rng.uniform(-1, 1);
     for (std::size_t i = 0; i < b.size(); ++i) b[i] = rng.uniform(-1, 1);
     std::vector<double> c1(static_cast<std::size_t>(mr * nr), 0.0), c2 = c1;
-    k.fn(kc, 1.0, a.data(), b.data(), c1.data(), mr);
-    scalar.fn(kc, 1.0, a.data(), b.data(), c2.data(), mr);
+    k.fn(kc, 1.0, a.data(), b.data(), 1.0, c1.data(), mr);
+    scalar.fn(kc, 1.0, a.data(), b.data(), 1.0, c2.data(), mr);
     for (std::size_t i = 0; i < c1.size(); ++i)
       EXPECT_NEAR(c1[i], c2[i], 1e-12) << k.name << " elem " << i;
   }

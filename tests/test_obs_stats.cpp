@@ -278,7 +278,7 @@ TEST(ObsStats, ReportTablesRender) {
   run_dgemm(ctx, 64, 48, 32);
   const std::string report =
       ag::obs::format_report(stats.totals(), 64, 48, 32, bs);
-  for (const char* key : {"pack-A", "pack-B", "GEBP", "gamma", "measured vs"})
+  for (const char* key : {"pack-A", "pack-B", "GEBP", "gamma", "measured vs", "PREA", "PREB"})
     EXPECT_NE(report.find(key), std::string::npos) << key << " missing in:\n" << report;
   // Counter rows must agree exactly, so every delta prints as 0.00%.
   EXPECT_EQ(report.find("nan"), std::string::npos);

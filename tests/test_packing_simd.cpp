@@ -1,0 +1,143 @@
+// Property tests for the SIMD packing fast paths (packing_impl.hpp): the
+// shipping pack_a_t / pack_b_slivers_t must be BIT-exact with the scalar
+// reference loops over randomized transposes, leading dimensions, block
+// shapes (including edge slivers and mc < mr / nc < nr), sliver
+// sub-ranges, and unaligned source/destination pointers — for double and
+// float. Bitwise comparison (memcmp), not approximate: packing is pure
+// data movement, so any difference is a bug.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <random>
+#include <vector>
+
+#include "core/packing.hpp"
+#include "core/packing_impl.hpp"
+
+using ag::index_t;
+using ag::Trans;
+
+namespace {
+
+template <typename T>
+std::vector<T> random_storage(std::size_t n, std::mt19937& rng) {
+  std::uniform_real_distribution<double> dist(-2.0, 2.0);
+  std::vector<T> v(n);
+  for (auto& x : v) x = static_cast<T>(dist(rng));
+  return v;
+}
+
+template <typename T>
+class PackSimdMatchesScalar : public ::testing::Test {};
+
+using PackTypes = ::testing::Types<double, float>;
+TYPED_TEST_SUITE(PackSimdMatchesScalar, PackTypes);
+
+// Randomized A-block packing: every (trans, lda, row0/col0, mc, kc, mr)
+// combination the blocked drivers can produce, plus element-offset source
+// and destination bases so the vector loops see unaligned pointers.
+TYPED_TEST(PackSimdMatchesScalar, PackA) {
+  using T = TypeParam;
+  std::mt19937 rng(20260806);
+  const int mrs[] = {4, 6, 8, 12};
+  for (int iter = 0; iter < 300; ++iter) {
+    const int mr = mrs[rng() % 4];
+    const index_t mc = 1 + static_cast<index_t>(rng() % 40);  // edge slivers and mc < mr
+    const index_t kc = 1 + static_cast<index_t>(rng() % 48);
+    const index_t row0 = static_cast<index_t>(rng() % 3);
+    const index_t col0 = static_cast<index_t>(rng() % 3);
+    const Trans trans = (rng() & 1u) ? Trans::Trans : Trans::NoTrans;
+    // Stored-matrix extents covering the op(A)(row0.., col0..) block.
+    const index_t min_ld = trans == Trans::NoTrans ? row0 + mc : col0 + kc;
+    const index_t lda = min_ld + static_cast<index_t>(rng() % 5);  // odd strides included
+    const index_t ncols = trans == Trans::NoTrans ? col0 + kc : row0 + mc;
+    const std::size_t src_off = rng() % 4;  // unaligned source base
+    const std::size_t dst_off = rng() % 4;  // unaligned destination base
+    const auto storage = random_storage<T>(
+        src_off + static_cast<std::size_t>(lda * ncols), rng);
+    const T* a = storage.data() + src_off;
+
+    const auto sz = static_cast<std::size_t>(ag::detail::packed_a_size_t<T>(mc, kc, mr));
+    std::vector<T> fast(dst_off + sz, T(-7)), ref(dst_off + sz, T(-7));
+    ag::detail::pack_a_t(trans, a, lda, row0, col0, mc, kc, mr, fast.data() + dst_off);
+    ag::detail::pack_a_scalar_t(trans, a, lda, row0, col0, mc, kc, mr, ref.data() + dst_off);
+    ASSERT_EQ(0, std::memcmp(fast.data(), ref.data(), fast.size() * sizeof(T)))
+        << "pack_a mismatch: trans=" << ag::to_string(trans) << " lda=" << lda
+        << " row0=" << row0 << " col0=" << col0 << " mc=" << mc << " kc=" << kc
+        << " mr=" << mr << " src_off=" << src_off << " dst_off=" << dst_off;
+  }
+}
+
+// Randomized B-panel packing, including partial sliver ranges as produced
+// by the cooperative parallel packer (Figure 9 work splitting).
+TYPED_TEST(PackSimdMatchesScalar, PackBSlivers) {
+  using T = TypeParam;
+  std::mt19937 rng(8062026);
+  const int nrs[] = {4, 6, 8, 16};
+  for (int iter = 0; iter < 300; ++iter) {
+    const int nr = nrs[rng() % 4];
+    const index_t nc = 1 + static_cast<index_t>(rng() % 52);  // edge slivers and nc < nr
+    const index_t kc = 1 + static_cast<index_t>(rng() % 48);
+    const index_t row0 = static_cast<index_t>(rng() % 3);
+    const index_t col0 = static_cast<index_t>(rng() % 3);
+    const Trans trans = (rng() & 1u) ? Trans::Trans : Trans::NoTrans;
+    const index_t min_ld = trans == Trans::NoTrans ? row0 + kc : col0 + nc;
+    const index_t ldb = min_ld + static_cast<index_t>(rng() % 5);
+    const index_t ncols = trans == Trans::NoTrans ? col0 + nc : row0 + kc;
+    const std::size_t src_off = rng() % 4;
+    const std::size_t dst_off = rng() % 4;
+    const auto storage = random_storage<T>(
+        src_off + static_cast<std::size_t>(ldb * ncols), rng);
+    const T* b = storage.data() + src_off;
+
+    const index_t nslivers = ag::ceil_div(nc, static_cast<index_t>(nr));
+    const index_t sb = static_cast<index_t>(rng() % static_cast<unsigned>(nslivers));
+    const index_t se =
+        sb + 1 + static_cast<index_t>(rng() % static_cast<unsigned>(nslivers - sb));
+
+    const auto sz = static_cast<std::size_t>(ag::detail::packed_b_size_t<T>(kc, nc, nr));
+    std::vector<T> fast(dst_off + sz, T(-7)), ref(dst_off + sz, T(-7));
+    ag::detail::pack_b_slivers_t(trans, b, ldb, row0, col0, kc, nc, nr, sb, se,
+                                 fast.data() + dst_off);
+    ag::detail::pack_b_slivers_scalar_t(trans, b, ldb, row0, col0, kc, nc, nr, sb, se,
+                                        ref.data() + dst_off);
+    ASSERT_EQ(0, std::memcmp(fast.data(), ref.data(), fast.size() * sizeof(T)))
+        << "pack_b_slivers mismatch: trans=" << ag::to_string(trans) << " ldb=" << ldb
+        << " row0=" << row0 << " col0=" << col0 << " kc=" << kc << " nc=" << nc
+        << " nr=" << nr << " slivers=[" << sb << "," << se << ") src_off=" << src_off
+        << " dst_off=" << dst_off;
+  }
+}
+
+// The public double-precision entry points must agree with the exported
+// scalar reference wrappers (the pair the regress packing points time).
+TEST(PackPublicApi, MatchesExportedReference) {
+  std::mt19937 rng(7);
+  const index_t mc = 29, kc = 37, nc = 41;
+  const int mr = 8, nr = 6;
+  for (Trans trans : {Trans::NoTrans, Trans::Trans}) {
+    const index_t lda = 80;  // big enough for either orientation of a 70x70 source
+    const auto storage = random_storage<double>(static_cast<std::size_t>(lda * 70), rng);
+
+    const auto a_sz = static_cast<std::size_t>(ag::packed_a_size(mc, kc, mr));
+    std::vector<double> a_fast(a_sz, -7.0), a_ref(a_sz, -7.0);
+    ag::pack_a(trans, storage.data(), lda, 2, 1, mc, kc, mr, a_fast.data());
+    ag::pack_a_reference(trans, storage.data(), lda, 2, 1, mc, kc, mr, a_ref.data());
+    EXPECT_EQ(0, std::memcmp(a_fast.data(), a_ref.data(), a_sz * sizeof(double)))
+        << "pack_a trans=" << ag::to_string(trans);
+
+    const auto b_sz = static_cast<std::size_t>(ag::packed_b_size(kc, nc, nr));
+    std::vector<double> b_fast(b_sz, -7.0), b_ref(b_sz, -7.0);
+    ag::pack_b(trans, storage.data(), lda, 1, 2, kc, nc, nr, b_fast.data());
+    ag::pack_b_reference(trans, storage.data(), lda, 1, 2, kc, nc, nr, b_ref.data());
+    EXPECT_EQ(0, std::memcmp(b_fast.data(), b_ref.data(), b_sz * sizeof(double)))
+        << "pack_b trans=" << ag::to_string(trans);
+  }
+}
+
+TEST(PackPublicApi, IsaNameIsKnown) {
+  const std::string isa = ag::packing_isa();
+  EXPECT_TRUE(isa == "avx2" || isa == "neon" || isa == "scalar") << isa;
+}
+
+}  // namespace

@@ -33,7 +33,7 @@ TEST(SKernels, AllMatchScalarReference) {
     for (std::size_t i = 0; i < a.size(); ++i) a[i] = static_cast<float>(rng.uniform(-1, 1));
     for (std::size_t i = 0; i < b.size(); ++i) b[i] = static_cast<float>(rng.uniform(-1, 1));
     std::vector<float> c1(static_cast<std::size_t>(mr * nr), 0.5f), c2 = c1;
-    k.fn(kc, 2.0f, a.data(), b.data(), c1.data(), mr);
+    k.fn(kc, 2.0f, a.data(), b.data(), 1.0f, c1.data(), mr);
     for (index_t p = 0; p < kc; ++p)
       for (int j = 0; j < nr; ++j)
         for (int i = 0; i < mr; ++i)

@@ -9,16 +9,19 @@ Usage:
   bench_diff.py --self-test                 # built-in schema/diff tests
 
 Stdlib only (json/argparse); the schema is versioned as
-"armgemm-bench/2" (shaped m x n x k points) and produced by
-bench/regress.cpp. Schema-1 reports (square-only, keyed by "n") are
-accepted for both printing and diffing: missing m/k default to n.
+"armgemm-bench/3" (shaped m x n x k points plus packing-bandwidth
+points) and produced by bench/regress.cpp. Schema-2 reports (no
+"packing" array) and schema-1 reports (square-only, keyed by "n") are
+accepted for both printing and diffing: missing m/k default to n, and
+packing points appear as unmatched rather than failing validation.
 """
 
 import argparse
 import json
 import sys
 
-SCHEMA = "armgemm-bench/2"
+SCHEMA = "armgemm-bench/3"
+SCHEMA_V2 = "armgemm-bench/2"  # no packing-bandwidth points
 SCHEMA_V1 = "armgemm-bench/1"  # square-only; m and k implied by n
 
 TOP_LEVEL_REQUIRED = {
@@ -42,6 +45,13 @@ RESULT_REQUIRED = {
     "pmu": dict,
 }
 
+PACKING_REQUIRED = {
+    "op": str,
+    "trans": str,
+    "best_seconds": (int, float),
+    "gbps": (int, float),
+}
+
 
 def validate(report):
     """Returns a list of schema problems (empty when valid)."""
@@ -53,9 +63,21 @@ def validate(report):
             problems.append(f"missing top-level key: {key}")
         elif not isinstance(report[key], types):
             problems.append(f"wrong type for {key}: {type(report[key]).__name__}")
-    if report.get("schema") not in (None, SCHEMA, SCHEMA_V1):
+    if report.get("schema") not in (None, SCHEMA, SCHEMA_V2, SCHEMA_V1):
         problems.append(
-            f"schema is {report['schema']!r}, expected {SCHEMA!r} or {SCHEMA_V1!r}")
+            f"schema is {report['schema']!r}, expected {SCHEMA!r}, "
+            f"{SCHEMA_V2!r} or {SCHEMA_V1!r}")
+    if report.get("schema") == SCHEMA and not isinstance(report.get("packing"), list):
+        problems.append("schema 3 report missing packing array")
+    for i, p in enumerate(report.get("packing", []) or []):
+        if not isinstance(p, dict):
+            problems.append(f"packing[{i}] is not an object")
+            continue
+        for key, types in PACKING_REQUIRED.items():
+            if key not in p:
+                problems.append(f"packing[{i}] missing key: {key}")
+            elif not isinstance(p[key], types):
+                problems.append(f"packing[{i}].{key} has wrong type")
     for i, r in enumerate(report.get("results", [])):
         if not isinstance(r, dict):
             problems.append(f"results[{i}] is not an object")
@@ -88,10 +110,20 @@ def shape_label(result):
     return str(n) if m == n == k else f"{m}x{n}x{k}"
 
 
+def pack_key(point):
+    return (point["op"], point["trans"])
+
+
+def pack_label(point):
+    return f"{point['op']}/{point['trans']}"
+
+
 def print_report(report):
     print(f"host {report['host']}  date {report['date']}  "
           f"peak {report['peak_gflops_per_core']:.2f} Gflops/core  "
           f"pmu {'hw' if report['pmu_hardware'] else 'fallback'}")
+    for p in report.get("packing", []):
+        print(f"packing {pack_label(p):>10}: {p['gbps']:.2f} GB/s")
     print(f"{'shape':>14} {'thr':>4} {'Gflops':>9} {'eff':>7} {'GEBP s':>10} {'pack s':>10} "
           f"{'barrier s':>10} {'small s':>10}")
     for r in report["results"]:
@@ -135,6 +167,25 @@ def diff(base, new, threshold):
                   f"{'-':>9} {'-':>10}  dropped from new run (NOT gated)")
             unmatched.append(
                 f"{shape_label(b)} threads={int(b['threads'])} (missing from new run)")
+    # Packing-bandwidth points: gated on relative GB/s drop, same rules.
+    base_packs = {pack_key(p): p for p in base.get("packing", [])}
+    new_pack_keys = {pack_key(p) for p in new.get("packing", [])}
+    for p in new.get("packing", []):
+        b = base_packs.get(pack_key(p))
+        if b is None:
+            print(f"packing {pack_label(p)}: {p['gbps']:.2f} GB/s, "
+                  "no baseline entry (NOT gated)")
+            unmatched.append(f"packing {pack_label(p)} (no baseline)")
+            continue
+        drop = (b["gbps"] - p["gbps"]) / b["gbps"] if b["gbps"] > 0 else 0.0
+        bad = drop > threshold
+        regressions += bad
+        print(f"packing {pack_label(p)}: {b['gbps']:.2f} -> {p['gbps']:.2f} GB/s "
+              f"({-drop:+.1%})  {'REGRESSION' if bad else 'ok'}")
+    for k, b in base_packs.items():
+        if k not in new_pack_keys:
+            print(f"packing {pack_label(b)}: dropped from new run (NOT gated)")
+            unmatched.append(f"packing {pack_label(b)} (missing from new run)")
     if unmatched:
         print(f"bench_diff: WARNING: {len(unmatched)} configuration(s) not gated:",
               file=sys.stderr)
@@ -143,7 +194,7 @@ def diff(base, new, threshold):
     return regressions, unmatched
 
 
-def make_sample(eff_scale=1.0, schema=SCHEMA):
+def make_sample(eff_scale=1.0, schema=SCHEMA, pack_scale=1.0):
     result = {
         "n": 128,
         "threads": 1,
@@ -153,10 +204,10 @@ def make_sample(eff_scale=1.0, schema=SCHEMA):
         "layers": {"gebp_seconds": 0.0008, "small_seconds": 0.0},
         "pmu": {"cycles": 1000},
     }
-    if schema == SCHEMA:
+    if schema != SCHEMA_V1:
         result["m"] = result["k"] = 128
         result["layers"]["small_calls"] = 0
-    return {
+    report = {
         "schema": schema,
         "host": "self-test",
         "date": "19700101",
@@ -166,6 +217,13 @@ def make_sample(eff_scale=1.0, schema=SCHEMA):
         "calibration": {"mu": 1e-10},
         "results": [result],
     }
+    if schema == SCHEMA:
+        report["packing"] = [
+            {"op": op, "trans": trans, "best_seconds": 0.0001,
+             "gbps": 10.0 * pack_scale}
+            for op in ("pack_a", "pack_b") for trans in ("N", "T")
+        ]
+    return report
 
 
 def self_test():
@@ -183,13 +241,32 @@ def self_test():
     assert diff(make_sample(), make_sample(eff_scale=0.5), 0.10) == (1, [])
     assert diff(make_sample(), make_sample(eff_scale=0.95), 0.10) == (0, [])
 
+    # Packing points gate on GB/s: all four regress here, none at 0.95x.
+    n_reg, unmatched = diff(make_sample(), make_sample(pack_scale=0.5), 0.10)
+    assert (n_reg, unmatched) == (4, []), (n_reg, unmatched)
+    assert diff(make_sample(), make_sample(pack_scale=0.95), 0.10) == (0, [])
+    # A schema-3 report without packing fails validation ...
+    no_pack = make_sample()
+    del no_pack["packing"]
+    assert any("packing" in p for p in validate(no_pack)), validate(no_pack)
+    # ... but a schema-2 baseline (no packing at all) diffs cleanly, with
+    # the new run's packing points reported as unmatched, never gated.
+    v2 = make_sample(schema=SCHEMA_V2)
+    assert validate(v2) == [], validate(v2)
+    n_reg, unmatched = diff(v2, make_sample(pack_scale=0.1), 0.10)
+    assert n_reg == 0 and len(unmatched) == 4, (n_reg, unmatched)
+
     # Schema-1 reports validate and key against schema-2 square points:
     # {"n": 128} must match {"m": 128, "n": 128, "k": 128}.
     v1 = make_sample(schema=SCHEMA_V1)
     assert validate(v1) == [], validate(v1)
     assert key(v1["results"][0]) == key(make_sample()["results"][0])
-    assert diff(v1, make_sample(eff_scale=0.5), 0.10) == (1, [])
-    assert diff(v1, make_sample(), 0.10) == (0, [])
+    # Against a v1 baseline the new run's packing points are unmatched
+    # (reported, never gated); the efficiency gate still fires.
+    n_reg, unmatched = diff(v1, make_sample(eff_scale=0.5), 0.10)
+    assert n_reg == 1 and len(unmatched) == 4, (n_reg, unmatched)
+    n_reg, unmatched = diff(v1, make_sample(), 0.10)
+    assert n_reg == 0 and len(unmatched) == 4, (n_reg, unmatched)
 
     # Unmatched configurations are reported in both directions, never
     # silently: a new config with no baseline and a baseline config the
