@@ -16,11 +16,13 @@
 // squares, small squares that exercise the no-pack fast path, and
 // tall/wide-skinny shapes that exercise the 2-D dynamic scheduler.
 // Every run additionally records four packing-bandwidth points (pack_a /
-// pack_b x NoTrans/Trans at native_packing's shapes), gated on GB/s.
+// pack_b x NoTrans/Trans at native_packing's shapes), gated on GB/s, and
+// two batched points (64 small squares, 8 tall-skinny entries sharing
+// one B) through dgemm_strided_batch, gated on aggregate Gflops.
 // Baselines written by schema armgemm-bench/1 (square-only, keyed by
-// "n") and /2 (no packing points) are still accepted: missing m/k
-// default to n, and packing points absent from the baseline are
-// reported as ungated.
+// "n"), /2 (no packing points) and /3 (no batched points) are still
+// accepted: missing m/k default to n, and packing/batch points absent
+// from the baseline are reported as ungated.
 //
 // Points missing from the baseline are never silently skipped: they are
 // listed with a warning, and --unknown=fail turns them into a gate
@@ -47,6 +49,7 @@
 #include "common/matrix.hpp"
 #include "common/timer.hpp"
 #include "core/gemm.hpp"
+#include "core/gemm_batch.hpp"
 #include "core/packing.hpp"
 #include "obs/calibrate.hpp"
 #include "obs/gemm_stats.hpp"
@@ -54,7 +57,8 @@
 
 namespace {
 
-constexpr const char* kSchema = "armgemm-bench/3";
+constexpr const char* kSchema = "armgemm-bench/4";
+constexpr const char* kSchemaV3 = "armgemm-bench/3";  // no batched points
 constexpr const char* kSchemaV2 = "armgemm-bench/2";  // no packing-bandwidth points
 constexpr const char* kSchemaV1 = "armgemm-bench/1";  // square-only baselines
 
@@ -193,6 +197,79 @@ std::vector<PackResult> run_packing_points(int reps, double inject) {
   return out;
 }
 
+// Batched-GEMM point: `count` uniform entries submitted as one
+// dgemm_strided_batch call to the persistent pool, gated on aggregate
+// Gflops like the dgemm points are on efficiency. `speedup` (batch call
+// vs a loop of dgemm calls over the same entries) is recorded for
+// reporting but not gated — it is a ratio of two noisy timings.
+struct BatchResult {
+  const char* label = "";  // "batch64_small" | "batch8_skinny"
+  std::int64_t m = 0, n = 0, k = 0, count = 0;
+  int threads = 1;
+  double best_seconds = 0;
+  double gflops = 0;       // aggregate over all entries
+  double loop_seconds = 0; // best time of the sequential-calls loop
+  double speedup = 0;      // loop_seconds / best_seconds
+};
+
+BatchResult run_batch_point(const char* label, std::int64_t m, std::int64_t n, std::int64_t k,
+                            std::int64_t count, int threads, int reps, double inject) {
+  const std::int64_t stride_a = m * k, stride_b = 0, stride_c = m * n;  // shared B
+  auto a = ag::random_matrix(m, k * count, 11);  // count A panels back to back
+  auto b = ag::random_matrix(k, n, 12);
+  auto c = ag::random_matrix(m, n * count, 13);
+  ag::Context ctx(ag::KernelShape{8, 6}, threads);
+
+  BatchResult r;
+  r.label = label;
+  r.m = m;
+  r.n = n;
+  r.k = k;
+  r.count = count;
+  r.threads = threads;
+  r.best_seconds = 1e300;
+  r.loop_seconds = 1e300;
+  const auto batch_call = [&] {
+    ag::dgemm_strided_batch(ag::Layout::ColMajor, ag::Trans::NoTrans, ag::Trans::NoTrans, m,
+                            n, k, 1.0, a.data(), m, stride_a, b.data(), b.ld(), stride_b, 1.0,
+                            c.data(), m, stride_c, count, ctx);
+  };
+  const auto loop_call = [&] {
+    for (std::int64_t i = 0; i < count; ++i)
+      ag::dgemm(ag::Layout::ColMajor, ag::Trans::NoTrans, ag::Trans::NoTrans, m, n, k, 1.0,
+                a.data() + i * stride_a, m, b.data(), b.ld(), 1.0, c.data() + i * stride_c, m,
+                ctx);
+  };
+  batch_call();  // warm-up: page in buffers, spin up the persistent pool
+  loop_call();
+  for (int i = 0; i < reps; ++i) {
+    ag::Timer tb;
+    batch_call();
+    r.best_seconds = std::min(r.best_seconds, tb.seconds());
+    ag::Timer tl;
+    loop_call();
+    r.loop_seconds = std::min(r.loop_seconds, tl.seconds());
+  }
+  const double flops = 2.0 * static_cast<double>(m) * static_cast<double>(n) *
+                       static_cast<double>(k) * static_cast<double>(count);
+  r.gflops = inject * flops / r.best_seconds * 1e-9;
+  r.speedup = r.loop_seconds / r.best_seconds;
+  return r;
+}
+
+std::vector<BatchResult> run_batch_points(const std::vector<int>& threads, int reps,
+                                          double inject) {
+  std::vector<BatchResult> out;
+  for (int t : threads) {
+    // 64 small squares: per-entry work is tiny, so submission overhead
+    // (the fork/join the persistent pool eliminates) dominates.
+    out.push_back(run_batch_point("batch64_small", 64, 64, 64, 64, t, reps, inject));
+    // 8 tall-skinny entries sharing one B: panel-cache reuse territory.
+    out.push_back(run_batch_point("batch8_skinny", 512, 48, 48, 8, t, reps, inject));
+  }
+  return out;
+}
+
 void json_layers(std::ostream& os, const ag::obs::LayerCounters& t) {
   os.precision(9);
   os << "{\"pack_a_seconds\":" << t.pack_a_seconds
@@ -221,6 +298,7 @@ void json_pmu(std::ostream& os, const RunResult& r) {
 
 std::string report_json(const std::vector<RunResult>& results,
                         const std::vector<PackResult>& packing,
+                        const std::vector<BatchResult>& batches,
                         const ag::obs::CalibrationResult& cal, int reps) {
   std::ostringstream os;
   os.precision(9);
@@ -235,6 +313,15 @@ std::string report_json(const std::vector<RunResult>& results,
     if (i) os << ",";
     os << "{\"op\":\"" << p.op << "\",\"trans\":\"" << p.trans
        << "\",\"best_seconds\":" << p.best_seconds << ",\"gbps\":" << p.gbps << "}";
+  }
+  os << "],\"batch\":[";
+  for (std::size_t i = 0; i < batches.size(); ++i) {
+    const BatchResult& b = batches[i];
+    if (i) os << ",";
+    os << "{\"label\":\"" << b.label << "\",\"m\":" << b.m << ",\"n\":" << b.n
+       << ",\"k\":" << b.k << ",\"count\":" << b.count << ",\"threads\":" << b.threads
+       << ",\"best_seconds\":" << b.best_seconds << ",\"gflops\":" << b.gflops
+       << ",\"loop_seconds\":" << b.loop_seconds << ",\"speedup\":" << b.speedup << "}";
   }
   os << "],\"results\":[";
   for (std::size_t i = 0; i < results.size(); ++i) {
@@ -328,6 +415,41 @@ int compare_packing_against_baseline(const std::vector<PackResult>& packing,
     const bool bad = drop > threshold;
     std::cout << "  " << label << ": " << ag::Table::fmt(base_gbps, 2) << " -> "
               << ag::Table::fmt(p.gbps, 2) << " GB/s (" << (drop >= 0 ? "-" : "+")
+              << ag::Table::fmt_pct(std::abs(drop)) << " rel) "
+              << (bad ? "REGRESSION" : "ok") << "\n";
+    regressions += bad ? 1 : 0;
+  }
+  return regressions;
+}
+
+/// Gates the batched points on relative aggregate-Gflops drop, keyed by
+/// (label, threads). Baselines from schema 1-3 carry no "batch" array:
+/// those points land in `unknown` until the baseline is re-recorded.
+int compare_batch_against_baseline(const std::vector<BatchResult>& batches,
+                                   const ag::JsonValue& baseline, double threshold,
+                                   std::vector<std::string>* unknown) {
+  const ag::JsonValue& base_batch = baseline["batch"];
+  int regressions = 0;
+  for (const BatchResult& p : batches) {
+    const ag::JsonValue* match = nullptr;
+    if (!base_batch.is_null()) {
+      for (const ag::JsonValue& b : base_batch.items())
+        if (b["label"].as_string() == p.label &&
+            static_cast<int>(b["threads"].as_number()) == p.threads)
+          match = &b;
+    }
+    const std::string label =
+        std::string("batch ") + p.label + " threads=" + std::to_string(p.threads);
+    if (!match) {
+      std::cout << "  " << label << ": no baseline entry (NOT gated)\n";
+      if (unknown) unknown->push_back(label);
+      continue;
+    }
+    const double base_gflops = (*match)["gflops"].as_number();
+    const double drop = base_gflops > 0 ? (base_gflops - p.gflops) / base_gflops : 0;
+    const bool bad = drop > threshold;
+    std::cout << "  " << label << ": " << ag::Table::fmt(base_gflops, 2) << " -> "
+              << ag::Table::fmt(p.gflops, 2) << " Gflops (" << (drop >= 0 ? "-" : "+")
               << ag::Table::fmt_pct(std::abs(drop)) << " rel) "
               << (bad ? "REGRESSION" : "ok") << "\n";
     regressions += bad ? 1 : 0;
@@ -448,6 +570,12 @@ int main(int argc, char** argv) {
     std::cout << "packing " << p.op << "/" << p.trans << " (" << ag::packing_isa()
               << "): " << ag::Table::fmt(p.gbps, 2) << " GB/s\n";
 
+  const std::vector<BatchResult> batches = run_batch_points(threads, reps, inject);
+  for (const BatchResult& b : batches)
+    std::cout << "batch " << b.label << " threads=" << b.threads << ": "
+              << ag::Table::fmt(b.gflops, 2) << " Gflops, " << ag::Table::fmt(b.speedup, 2)
+              << "x vs loop of calls\n";
+
   const std::string out_path =
       args.get("out", "BENCH_" + host_name() + "_" + date_stamp() + ".json");
   {
@@ -456,7 +584,7 @@ int main(int argc, char** argv) {
       std::cerr << "regress: cannot write " << out_path << "\n";
       return 2;
     }
-    os << report_json(results, packing, cal, reps) << "\n";
+    os << report_json(results, packing, batches, cal, reps) << "\n";
   }
   std::cout << "wrote " << out_path << "\n";
 
@@ -477,9 +605,11 @@ int main(int argc, char** argv) {
     return 2;
   }
   const std::string base_schema = baseline["schema"].as_string();
-  if (base_schema != kSchema && base_schema != kSchemaV2 && base_schema != kSchemaV1) {
+  if (base_schema != kSchema && base_schema != kSchemaV3 && base_schema != kSchemaV2 &&
+      base_schema != kSchemaV1) {
     std::cerr << "regress: baseline schema \"" << base_schema << "\" is none of \""
-              << kSchema << "\", \"" << kSchemaV2 << "\", \"" << kSchemaV1 << "\"\n";
+              << kSchema << "\", \"" << kSchemaV3 << "\", \"" << kSchemaV2 << "\", \""
+              << kSchemaV1 << "\"\n";
     return 2;
   }
   const std::string unknown_mode = args.get("unknown", "warn");
@@ -493,6 +623,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> unknown;
   int regressions = compare_against_baseline(results, baseline, threshold, &unknown);
   regressions += compare_packing_against_baseline(packing, baseline, threshold, &unknown);
+  regressions += compare_batch_against_baseline(batches, baseline, threshold, &unknown);
   if (!unknown.empty()) {
     // A gate that only checks matched points would silently shrink as the
     // sweep evolves; make the uncovered set loud (and fatal on request).

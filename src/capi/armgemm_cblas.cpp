@@ -4,11 +4,13 @@
 #include <atomic>
 #include <cstring>
 #include <fstream>
+#include <vector>
 
 #include "blas3/blas3.hpp"
 #include "common/check.hpp"
 #include "common/knobs.hpp"
 #include "core/gemm.hpp"
+#include "core/gemm_batch.hpp"
 #include "core/sgemm.hpp"
 #include "obs/gemm_stats.hpp"
 #include "obs/pmu.hpp"
@@ -133,6 +135,42 @@ void cblas_dtrsm(CBLAS_ORDER order, CBLAS_SIDE side, CBLAS_UPLO uplo, CBLAS_TRAN
   }
 }
 
+void armgemm_dgemm_batch(CBLAS_ORDER order, const CBLAS_TRANSPOSE* trans_a,
+                         const CBLAS_TRANSPOSE* trans_b, const int64_t* m, const int64_t* n,
+                         const int64_t* k, const double* alpha, const double** a,
+                         const int64_t* lda, const double** b, const int64_t* ldb,
+                         const double* beta, double** c, const int64_t* ldc, int64_t count) {
+  if (count <= 0) return;
+  std::vector<ag::GemmBatchEntry> entries(static_cast<std::size_t>(count));
+  for (int64_t i = 0; i < count; ++i) {
+    ag::GemmBatchEntry& e = entries[static_cast<std::size_t>(i)];
+    e.trans_a = to_trans(trans_a[i]);
+    e.trans_b = to_trans(trans_b[i]);
+    e.m = m[i];
+    e.n = n[i];
+    e.k = k[i];
+    e.alpha = alpha[i];
+    e.a = a[i];
+    e.lda = lda[i];
+    e.b = b[i];
+    e.ldb = ldb[i];
+    e.beta = beta[i];
+    e.c = c[i];
+    e.ldc = ldc[i];
+  }
+  ag::dgemm_batch(to_layout(order), entries.data(), count, context());
+}
+
+void armgemm_dgemm_strided_batch(CBLAS_ORDER order, CBLAS_TRANSPOSE trans_a,
+                                 CBLAS_TRANSPOSE trans_b, int64_t m, int64_t n, int64_t k,
+                                 double alpha, const double* a, int64_t lda, int64_t stride_a,
+                                 const double* b, int64_t ldb, int64_t stride_b, double beta,
+                                 double* c, int64_t ldc, int64_t stride_c, int64_t count) {
+  ag::dgemm_strided_batch(to_layout(order), to_trans(trans_a), to_trans(trans_b), m, n, k,
+                          alpha, a, lda, stride_a, b, ldb, stride_b, beta, c, ldc, stride_c,
+                          count, context());
+}
+
 void armgemm_set_num_threads(int threads) {
   if (threads >= 1) g_threads.store(threads);
 }
@@ -154,6 +192,14 @@ long long armgemm_get_prea_bytes(void) { return ag::prefetch_a_bytes(); }
 void armgemm_set_preb_bytes(long long bytes) { ag::set_prefetch_b_bytes(bytes); }
 
 long long armgemm_get_preb_bytes(void) { return ag::prefetch_b_bytes(); }
+
+void armgemm_set_queue_depth(long long depth) { ag::set_queue_depth(depth); }
+
+long long armgemm_get_queue_depth(void) { return ag::queue_depth(); }
+
+void armgemm_set_panel_cache_mb(long long mb) { ag::set_panel_cache_mb(mb); }
+
+long long armgemm_get_panel_cache_mb(void) { return ag::panel_cache_mb(); }
 
 void armgemm_stats_enable(void) { g_stats_enabled.store(true, std::memory_order_relaxed); }
 
@@ -266,6 +312,21 @@ void armgemm_telemetry_latency(int shape_kind, armgemm_latency_summary* out) {
   out->max_seconds = lat.max;
   out->mean_seconds = lat.mean();
   out->mean_efficiency = eff.mean();
+}
+
+void armgemm_telemetry_queue_wait(armgemm_latency_summary* out) {
+  if (!out) return;
+  *out = armgemm_latency_summary{};
+  const ag::obs::TelemetrySnapshot snap = ag::obs::telemetry_snapshot();
+  ag::obs::LatencyHistogram wait;
+  for (const ag::obs::WorkerSnapshot& w : snap.workers) wait += w.queue_wait;
+  out->calls = wait.total;
+  out->p50_seconds = ag::obs::latency_quantile(wait, 0.50);
+  out->p95_seconds = ag::obs::latency_quantile(wait, 0.95);
+  out->p99_seconds = ag::obs::latency_quantile(wait, 0.99);
+  out->max_seconds = wait.max;
+  out->mean_seconds = wait.mean();
+  // Efficiency is not meaningful for queue wait; leave mean_efficiency 0.
 }
 
 unsigned long long armgemm_telemetry_anomaly_count(void) {

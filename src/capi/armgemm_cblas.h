@@ -9,6 +9,7 @@
 #define ARMGEMM_CBLAS_H_
 
 #include <stddef.h>
+#include <stdint.h>
 
 #ifdef __cplusplus
 extern "C" {
@@ -47,6 +48,32 @@ void cblas_dtrsm(CBLAS_ORDER order, CBLAS_SIDE side, CBLAS_UPLO uplo, CBLAS_TRAN
                  CBLAS_DIAG diag, int m, int n, double alpha, const double* a, int lda,
                  double* b, int ldb);
 
+/* ---- Batched GEMM (persistent serving runtime) ----
+ *
+ * Runs `count` independent double-precision GEMMs as one submission to a
+ * process-wide persistent task pool: no per-entry fork/join, work
+ * stealing across entries, and same-B entries share one packed panel per
+ * batch call (see ARMGEMM_PANEL_CACHE_MB). Entries must not alias each
+ * other's C; sharing A or B operands across entries is encouraged. The
+ * arrays hold one element per entry. Small entries (armgemm small-mnk
+ * fast path) skip the packing machinery entirely. Results are
+ * bitwise-identical at every thread count. */
+void armgemm_dgemm_batch(CBLAS_ORDER order, const CBLAS_TRANSPOSE* trans_a,
+                         const CBLAS_TRANSPOSE* trans_b, const int64_t* m, const int64_t* n,
+                         const int64_t* k, const double* alpha, const double** a,
+                         const int64_t* lda, const double** b, const int64_t* ldb,
+                         const double* beta, double** c, const int64_t* ldc, int64_t count);
+
+/* Uniform batch: entry i uses a + i*stride_a, b + i*stride_b,
+ * c + i*stride_c with a shared shape and scalars. stride_a or stride_b of
+ * 0 shares that operand across every entry; stride_c must be at least one
+ * full C footprint (ldc * stored columns) so C panels cannot overlap. */
+void armgemm_dgemm_strided_batch(CBLAS_ORDER order, CBLAS_TRANSPOSE trans_a,
+                                 CBLAS_TRANSPOSE trans_b, int64_t m, int64_t n, int64_t k,
+                                 double alpha, const double* a, int64_t lda, int64_t stride_a,
+                                 const double* b, int64_t ldb, int64_t stride_b, double beta,
+                                 double* c, int64_t ldc, int64_t stride_c, int64_t count);
+
 /* Thread count used by subsequent cblas_* calls in this process
  * (default 1). Analogous to openblas_set_num_threads. Takes effect for
  * each calling thread at its next cblas_* call; in-flight calls finish
@@ -77,6 +104,19 @@ void armgemm_set_prea_bytes(long long bytes);
 long long armgemm_get_prea_bytes(void);
 void armgemm_set_preb_bytes(long long bytes);
 long long armgemm_get_preb_bytes(void);
+
+/* Admission limit of the persistent batch pool's work queue, in tickets:
+ * submissions beyond this many outstanding run inline on the submitting
+ * caller (backpressure) instead of enqueueing. Defaults to the
+ * ARMGEMM_QUEUE_DEPTH environment variable, else 1024. */
+void armgemm_set_queue_depth(long long depth);
+long long armgemm_get_queue_depth(void);
+
+/* Capacity of the keyed packed-B panel cache shared by same-B batch
+ * entries, in MiB. 0 disables caching (every ticket packs privately).
+ * Defaults to the ARMGEMM_PANEL_CACHE_MB environment variable, else 64. */
+void armgemm_set_panel_cache_mb(long long mb);
+long long armgemm_get_panel_cache_mb(void);
 
 /* ---- Per-layer instrumentation (process-wide, off by default) ----
  *
@@ -183,8 +223,13 @@ typedef struct armgemm_latency_summary {
 } armgemm_latency_summary;
 
 /* Latency/efficiency summary merged over every thread. shape_kind: 0
- * small fast-path, 1 skinny, 2 square, 3 large, -1 all shapes. */
+ * small fast-path, 1 skinny, 2 square, 3 large, 4 batch entries, -1 all
+ * shapes. */
 void armgemm_telemetry_latency(int shape_kind, armgemm_latency_summary* out);
+
+/* Queue-wait summary of batch tickets (submit-to-execution-start delay in
+ * the persistent pool), merged over every recording thread. */
+void armgemm_telemetry_queue_wait(armgemm_latency_summary* out);
 
 /* Drift onsets (sustained measured-vs-expected divergence) since the last
  * reset. */

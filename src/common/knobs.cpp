@@ -48,6 +48,26 @@ std::atomic<std::int64_t>& preb_knob() {
   return v;
 }
 
+// The queue depth bounds memory held by outstanding tickets, not
+// parallelism: a batch of small entries enqueues one ticket per entry, so
+// 1024 comfortably covers the serving sweet spot while still shedding
+// load (inline execution) under pathological fan-in.
+constexpr std::int64_t kDefaultQueueDepth = 1024;
+// Packed-B panels of the default blocking are kc*nc*8 bytes (a few MiB);
+// 64 MiB holds the panels of a few dozen distinct B operands per batch.
+constexpr std::int64_t kDefaultPanelCacheMb = 64;
+
+std::atomic<std::int64_t>& queue_depth_knob() {
+  static std::atomic<std::int64_t> v{env_int64("ARMGEMM_QUEUE_DEPTH", kDefaultQueueDepth)};
+  return v;
+}
+
+std::atomic<std::int64_t>& panel_cache_mb_knob() {
+  static std::atomic<std::int64_t> v{
+      env_int64("ARMGEMM_PANEL_CACHE_MB", kDefaultPanelCacheMb)};
+  return v;
+}
+
 constexpr std::int64_t kDefaultFlightDepth = 256;
 constexpr double kDefaultDriftThreshold = 0.25;
 
@@ -124,6 +144,20 @@ std::int64_t prefetch_b_bytes() { return preb_knob().load(std::memory_order_rela
 
 void set_prefetch_b_bytes(std::int64_t bytes) {
   preb_knob().store(bytes < 0 ? 0 : bytes, std::memory_order_relaxed);
+}
+
+std::int64_t queue_depth() { return queue_depth_knob().load(std::memory_order_relaxed); }
+
+void set_queue_depth(std::int64_t depth) {
+  queue_depth_knob().store(depth < 1 ? 1 : depth, std::memory_order_relaxed);
+}
+
+std::int64_t panel_cache_mb() {
+  return panel_cache_mb_knob().load(std::memory_order_relaxed);
+}
+
+void set_panel_cache_mb(std::int64_t mb) {
+  panel_cache_mb_knob().store(mb < 0 ? 0 : mb, std::memory_order_relaxed);
 }
 
 std::string metrics_path() {

@@ -20,6 +20,18 @@
 //
 // The serving-telemetry layer (obs/telemetry) adds three more:
 //
+// The batched-GEMM serving runtime adds two queueing knobs:
+//
+//   ARMGEMM_QUEUE_DEPTH     - admission limit of the persistent batch
+//                             pool's cross-call work queue: tickets beyond
+//                             this many outstanding run inline on the
+//                             submitting caller (backpressure) instead of
+//                             being enqueued.
+//   ARMGEMM_PANEL_CACHE_MB  - capacity of the keyed packed-B panel cache
+//                             shared by same-B batch entries, in MiB.
+//                             0 disables caching (every ticket packs
+//                             privately).
+//
 //   ARMGEMM_METRICS_PATH    - file the Prometheus text exposition is
 //                             written to (plus <path>.json); empty
 //                             disables file dumps.
@@ -61,6 +73,15 @@ void set_prefetch_a_bytes(std::int64_t bytes);
 /// Kernel prefetch distance (bytes) ahead of the packed-B stream; 0 off.
 std::int64_t prefetch_b_bytes();
 void set_prefetch_b_bytes(std::int64_t bytes);
+
+/// Admission limit of the persistent batch pool's work queue (tickets);
+/// submissions beyond this many outstanding run inline on the caller.
+std::int64_t queue_depth();
+void set_queue_depth(std::int64_t depth);
+
+/// Packed-B panel cache capacity in MiB (0 = caching off).
+std::int64_t panel_cache_mb();
+void set_panel_cache_mb(std::int64_t mb);
 
 /// Metrics exposition target path ("" = file dumps disabled).
 std::string metrics_path();

@@ -12,6 +12,7 @@
 #include "common/math_util.hpp"
 #include "common/timer.hpp"
 #include "core/gebp.hpp"
+#include "core/gemm_internal.hpp"
 #include "core/packing.hpp"
 #include "core/schedule.hpp"
 #include "obs/gemm_stats.hpp"
@@ -20,7 +21,8 @@
 #include "obs/tracer.hpp"
 
 namespace ag {
-namespace {
+
+namespace detail {
 
 // Only used when no multiply runs at all (k == 0 or alpha == 0): with the
 // beta epilogue fused into the microkernels, the compute paths never make
@@ -37,21 +39,14 @@ void scale_panel(double* c, index_t ldc, index_t m, index_t n, double beta) {
   }
 }
 
-// No-pack fast path for small problems (m*n*k <= ARMGEMM_SMALL_MNK^3):
-// packing and the blocked loop nest cost more than they save when the
-// operands fit in cache, so accumulate C directly with an axpy-style
-// (j, l, i) nest. beta is applied per column right before that column's
-// accumulation, while its line is hot (beta == 0 overwrites, so NaN/Inf
-// garbage never propagates). Always serial — at these sizes a fork-join
-// costs more than the multiply.
-void gemm_small(Trans trans_a, Trans trans_b, index_t m, index_t n, index_t k, double alpha,
-                const double* a, index_t lda, const double* b, index_t ldb, double beta,
-                double* c, index_t ldc, const Context& ctx) {
-  obs::GemmStats* stats = ctx.stats();
-  obs::ThreadSlot* slot = stats ? &stats->slot(0) : nullptr;
-  obs::Tracer::Region region(stats ? stats->tracer() : nullptr, 0, "small_gemm");
-  obs::PmuRegion hw(stats ? stats->pmu() : nullptr, 0, obs::PmuLayer::kSmall);
-  Timer t;
+// No-pack nest for small problems: accumulate C directly with an
+// axpy-style (j, l, i) loop order. beta is applied per column right
+// before that column's accumulation, while its line is hot (beta == 0
+// overwrites, so NaN/Inf garbage never propagates). Always serial — at
+// these sizes a fork-join costs more than the multiply.
+void gemm_small_nest(Trans trans_a, Trans trans_b, index_t m, index_t n, index_t k,
+                     double alpha, const double* a, index_t lda, const double* b, index_t ldb,
+                     double beta, double* c, index_t ldc) {
   const bool ta = trans_a != Trans::NoTrans;
   const bool tb = trans_b != Trans::NoTrans;
   for (index_t j = 0; j < n; ++j) {
@@ -73,6 +68,26 @@ void gemm_small(Trans trans_a, Trans trans_b, index_t m, index_t n, index_t k, d
       }
     }
   }
+}
+
+}  // namespace detail
+
+namespace {
+
+using detail::scale_panel;
+
+// Stats-recording wrapper of the no-pack fast path for small problems
+// (m*n*k <= ARMGEMM_SMALL_MNK^3): packing and the blocked loop nest cost
+// more than they save when the operands fit in cache.
+void gemm_small(Trans trans_a, Trans trans_b, index_t m, index_t n, index_t k, double alpha,
+                const double* a, index_t lda, const double* b, index_t ldb, double beta,
+                double* c, index_t ldc, const Context& ctx) {
+  obs::GemmStats* stats = ctx.stats();
+  obs::ThreadSlot* slot = stats ? &stats->slot(0) : nullptr;
+  obs::Tracer::Region region(stats ? stats->tracer() : nullptr, 0, "small_gemm");
+  obs::PmuRegion hw(stats ? stats->pmu() : nullptr, 0, obs::PmuLayer::kSmall);
+  Timer t;
+  detail::gemm_small_nest(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
   if (slot) {
     // One read + one write of C; the operands stream straight from the
     // caller's buffers, so there is no packed traffic to account.

@@ -1,0 +1,259 @@
+#include "core/gemm_batch.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <vector>
+
+#include "blas/reference_gemm.hpp"
+#include "common/check.hpp"
+#include "common/knobs.hpp"
+#include "common/math_util.hpp"
+#include "core/gebp.hpp"
+#include "core/gemm_internal.hpp"
+#include "core/packing.hpp"
+#include "core/panel_cache.hpp"
+#include "obs/telemetry.hpp"
+#include "threading/persistent_pool.hpp"
+#include "threading/thread_pool.hpp"
+
+namespace ag {
+namespace {
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Cap on row-range tickets per blocked entry. A fixed shape-independent
+/// cap (rather than the worker count) keeps the decomposition — and hence
+/// the accumulation order — identical at every thread count, which the
+/// bitwise-determinism guarantee requires. Eight tickets saturate the
+/// target 8-core part for a single-entry batch; multi-entry batches get
+/// their parallelism across entries anyway.
+constexpr index_t kMaxTicketsPerEntry = 8;
+
+enum class EntryKind { kScale, kSmall, kBlocked };
+
+struct EntryState {
+  GemmBatchEntry e;  // normalized to column-major
+  EntryKind kind = EntryKind::kBlocked;
+  int tickets = 0;
+  std::atomic<index_t> remaining{0};
+  // Written by the runner of this entry's local ticket 0; read by the
+  // runner of the last-finishing ticket (ordered by the release sequence
+  // on `remaining`).
+  double start_seconds = 0;
+  double queue_wait_seconds = 0;
+};
+
+struct Ticket {
+  EntryState* entry;
+  int local;       // index within the entry's tickets
+  index_t row0, rows;  // row range (kBlocked only)
+};
+
+/// Serial blocked nest over one entry's [row0, row0 + rows) C rows,
+/// sharing packed B panels through the cache. Loop order and beta
+/// placement match gemm_serial, so each C element of the range sees the
+/// exact accumulation order of a serial run.
+void run_blocked_rows(const GemmBatchEntry& e, index_t row0, index_t rows, const Context& ctx,
+                      std::uint64_t epoch) {
+  const BlockSizes& bs = ctx.block_sizes();
+  const Microkernel& kernel = ctx.kernel();
+  PanelCache& cache = PanelCache::instance();
+
+  Context::ScratchLease lease = ctx.acquire_scratch();
+  GemmScratch& scratch = *lease;
+  scratch.reserve(
+      static_cast<std::size_t>(
+          packed_b_size(std::min(bs.kc, e.k), std::min(bs.nc, e.n), bs.nr)),
+      static_cast<std::size_t>(
+          packed_a_size(std::min(bs.mc, rows), std::min(bs.kc, e.k), bs.mr)),
+      1, /*double_buffer=*/false);
+  double* const packed_a = scratch.packed_a[0].data();
+
+  for (index_t jj = 0; jj < e.n; jj += bs.nc) {
+    const index_t nc = std::min(bs.nc, e.n - jj);
+    for (index_t kk = 0; kk < e.k; kk += bs.kc) {
+      const index_t kc = std::min(bs.kc, e.k - kk);
+      const index_t b_elems = packed_b_size(kc, nc, bs.nr);
+
+      PanelKey key;
+      key.b = e.b;
+      key.ldb = e.ldb;
+      key.trans = e.trans_b;
+      key.kk = kk;
+      key.jj = jj;
+      key.kc = kc;
+      key.nc = nc;
+      key.nr = bs.nr;
+      key.epoch = epoch;
+      std::shared_ptr<const PackedPanel> shared = cache.get_or_pack(
+          key, b_elems,
+          [&](double* dst) { pack_b(e.trans_b, e.b, e.ldb, kk, jj, kc, nc, bs.nr, dst); });
+      const double* panel_b;
+      if (shared) {
+        panel_b = shared->data();
+      } else {
+        // Cache off or full: pack privately (bitwise-identical panel).
+        pack_b(e.trans_b, e.b, e.ldb, kk, jj, kc, nc, bs.nr, scratch.packed_b[0].data());
+        panel_b = scratch.packed_b[0].data();
+      }
+
+      for (index_t ii = row0; ii < row0 + rows; ii += bs.mc) {
+        const index_t mc = std::min(bs.mc, row0 + rows - ii);
+        pack_a(e.trans_a, e.a, e.lda, ii, kk, mc, kc, bs.mr, packed_a);
+        gebp(mc, nc, kc, e.alpha, packed_a, panel_b, kk == 0 ? e.beta : 1.0,
+             e.c + ii + jj * e.ldc, e.ldc, kernel);
+      }
+    }
+  }
+}
+
+struct BatchSource final : TaskSource {
+  const Context* ctx = nullptr;
+  std::uint64_t epoch = 0;
+  bool telemetry = false;
+  std::vector<Ticket> tickets;
+
+  void run_ticket(std::int64_t t, double queue_wait_seconds) override {
+    const Ticket& tk = tickets[static_cast<std::size_t>(t)];
+    EntryState& st = *tk.entry;
+    if (tk.local == 0) {
+      st.start_seconds = now_seconds();
+      st.queue_wait_seconds = queue_wait_seconds;
+    }
+    const GemmBatchEntry& e = st.e;
+    switch (st.kind) {
+      case EntryKind::kScale:
+        detail::scale_panel(e.c, e.ldc, e.m, e.n, e.beta);
+        break;
+      case EntryKind::kSmall:
+        detail::gemm_small_nest(e.trans_a, e.trans_b, e.m, e.n, e.k, e.alpha, e.a, e.lda,
+                                e.b, e.ldb, e.beta, e.c, e.ldc);
+        break;
+      case EntryKind::kBlocked:
+        run_blocked_rows(e, tk.row0, tk.rows, *ctx, epoch);
+        break;
+    }
+    if (st.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1 && telemetry &&
+        st.kind != EntryKind::kScale) {
+      obs::telemetry_record_batch_entry(e.m, e.n, e.k, ctx->threads(),
+                                        now_seconds() - st.start_seconds,
+                                        st.queue_wait_seconds);
+    }
+  }
+};
+
+/// Number of row-range tickets for a blocked entry: one per mc block up
+/// to the fixed cap. Pure function of shape + blocking (determinism).
+index_t blocked_tickets(index_t m, index_t mc) {
+  return std::min<index_t>(ceil_div(m, mc), kMaxTicketsPerEntry);
+}
+
+}  // namespace
+
+void dgemm_batch(Layout layout, const GemmBatchEntry* entries, index_t count,
+                 const Context& ctx) {
+  AG_CHECK_MSG(count >= 0, "negative batch count " << count);
+  if (count == 0) return;
+  AG_CHECK_MSG(entries != nullptr, "null entries array with count " << count);
+
+  // Validate everything up front: a bad entry must fail the whole call
+  // before any C has been touched.
+  for (index_t i = 0; i < count; ++i) {
+    const GemmBatchEntry& e = entries[i];
+    validate_gemm_args(layout, e.trans_a, e.trans_b, e.m, e.n, e.k, e.a, e.lda, e.b, e.ldb,
+                       e.c, e.ldc);
+  }
+
+  const BlockSizes& bs = ctx.block_sizes();
+  std::deque<EntryState> states;  // deque: EntryState holds an atomic
+  for (index_t i = 0; i < count; ++i) {
+    GemmBatchEntry e = entries[i];
+    if (layout == Layout::RowMajor) {
+      // Row-major C = op(A) op(B) is column-major C^T = op(B)^T op(A)^T.
+      std::swap(e.m, e.n);
+      std::swap(e.a, e.b);
+      std::swap(e.lda, e.ldb);
+      std::swap(e.trans_a, e.trans_b);
+    }
+    if (e.m == 0 || e.n == 0) continue;  // nothing to do, not even beta
+    EntryState& st = states.emplace_back();
+    st.e = e;
+    if (e.k == 0 || e.alpha == 0.0) {
+      st.kind = EntryKind::kScale;
+      st.tickets = 1;
+    } else if (use_small_gemm(e.m, e.n, e.k)) {
+      st.kind = EntryKind::kSmall;
+      st.tickets = 1;
+    } else {
+      st.kind = EntryKind::kBlocked;
+      st.tickets = static_cast<int>(blocked_tickets(e.m, bs.mc));
+    }
+    st.remaining.store(st.tickets, std::memory_order_relaxed);
+  }
+  if (states.empty()) return;
+
+  BatchSource src;
+  src.ctx = &ctx;
+  // New epoch per batch call: B may have been mutated or re-used at the
+  // same address since the previous call, so no panel packed before this
+  // point may be served (the aliasing hazard).
+  src.epoch = PanelCache::instance().begin_epoch();
+  src.telemetry = obs::telemetry_active();
+  for (EntryState& st : states) {
+    if (st.kind != EntryKind::kBlocked) {
+      src.tickets.push_back({&st, 0, 0, st.e.m});
+      continue;
+    }
+    for (int s = 0; s < st.tickets; ++s) {
+      const Range r = partition_range(st.e.m, st.tickets, s, bs.mc);
+      if (r.size() == 0) continue;  // cap > blocks cannot happen, but be safe
+      src.tickets.push_back({&st, s, r.begin, r.size()});
+    }
+  }
+
+  PersistentPool& pool = PersistentPool::instance();
+  pool.ensure_workers(ctx.threads() - 1);
+  pool.execute(src, static_cast<std::int64_t>(src.tickets.size()));
+}
+
+void dgemm_strided_batch(Layout layout, Trans trans_a, Trans trans_b, index_t m, index_t n,
+                         index_t k, double alpha, const double* a, index_t lda,
+                         index_t stride_a, const double* b, index_t ldb, index_t stride_b,
+                         double beta, double* c, index_t ldc, index_t stride_c, index_t count,
+                         const Context& ctx) {
+  AG_CHECK_MSG(count >= 0, "negative batch count " << count);
+  if (count == 0 || m == 0 || n == 0) return;
+  AG_CHECK_MSG(stride_a >= 0 && stride_b >= 0 && stride_c >= 0,
+               "negative stride: a=" << stride_a << " b=" << stride_b << " c=" << stride_c);
+  // C panels must be disjoint; a full C occupies ldc * (storage columns).
+  const index_t c_span = ldc * (layout == Layout::ColMajor ? n : m);
+  AG_CHECK_MSG(count == 1 || stride_c >= c_span,
+               "stride_c " << stride_c << " overlaps C panels (need >= " << c_span << ")");
+
+  std::vector<GemmBatchEntry> entries(static_cast<std::size_t>(count));
+  for (index_t i = 0; i < count; ++i) {
+    GemmBatchEntry& e = entries[static_cast<std::size_t>(i)];
+    e.trans_a = trans_a;
+    e.trans_b = trans_b;
+    e.m = m;
+    e.n = n;
+    e.k = k;
+    e.alpha = alpha;
+    e.a = a + i * stride_a;
+    e.lda = lda;
+    e.b = b + i * stride_b;
+    e.ldb = ldb;
+    e.beta = beta;
+    e.c = c + i * stride_c;
+    e.ldc = ldc;
+  }
+  dgemm_batch(layout, entries.data(), count, ctx);
+}
+
+}  // namespace ag

@@ -1,0 +1,25 @@
+// Internal driver pieces shared between the single-call driver
+// (core/gemm.cpp) and the batch driver (core/gemm_batch.cpp). Not part of
+// the public surface.
+#pragma once
+
+#include "blas/gemm_types.hpp"
+#include "kernels/microkernel.hpp"
+
+namespace ag::detail {
+
+/// beta-only epilogue: C := beta * C over an m x n panel. Used when no
+/// multiply runs at all (k == 0 or alpha == 0).
+void scale_panel(double* c, index_t ldc, index_t m, index_t n, double beta);
+
+/// The no-pack small-matrix axpy nest (C := alpha op(A) op(B) + beta C,
+/// column-major), without any instrumentation. Deterministic (j, l, i)
+/// accumulation order; beta applied per column before its accumulation.
+/// The stats-recording wrapper lives in gemm.cpp; batch tickets call this
+/// directly because per-rank stats slots are not meaningful for tickets
+/// that run on arbitrary pool threads.
+void gemm_small_nest(Trans trans_a, Trans trans_b, index_t m, index_t n, index_t k,
+                     double alpha, const double* a, index_t lda, const double* b, index_t ldb,
+                     double beta, double* c, index_t ldc);
+
+}  // namespace ag::detail

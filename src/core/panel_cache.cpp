@@ -1,0 +1,117 @@
+#include "core/panel_cache.hpp"
+
+#include "common/knobs.hpp"
+#include "threading/spin.hpp"
+
+namespace ag {
+
+PanelCache& PanelCache::instance() {
+  // Leaky singleton: in-flight batch workers may hold panels during
+  // static destruction.
+  static PanelCache* cache = new PanelCache;
+  return *cache;
+}
+
+std::uint64_t PanelCache::begin_epoch() {
+  std::lock_guard lock(mutex_);
+  map_.clear();
+  order_.clear();
+  bytes_ = 0;
+  return epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
+}
+
+std::shared_ptr<const PackedPanel> PanelCache::get_or_pack(
+    const PanelKey& key, index_t elems, const std::function<void(double*)>& pack) {
+  const std::int64_t cap_mb = panel_cache_mb();
+  if (cap_mb <= 0 || elems <= 0) {
+    bypasses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  const std::size_t cap = static_cast<std::size_t>(cap_mb) << 20;
+  const std::size_t bytes = static_cast<std::size_t>(elems) * sizeof(double);
+
+  std::shared_ptr<PackedPanel> panel;
+  bool packer = false;
+  {
+    std::lock_guard lock(mutex_);
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      panel = it->second;
+      hits_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      if (bytes > cap) {
+        bypasses_.fetch_add(1, std::memory_order_relaxed);
+        return nullptr;
+      }
+      // FIFO-evict until the new panel fits. Evicting a panel mid-pack is
+      // fine: its packer and waiters hold shared_ptrs, so it completes and
+      // is consumed — it just stops being shareable by later requests.
+      while (bytes_ + bytes > cap && !order_.empty()) {
+        auto victim = map_.find(order_.front());
+        order_.pop_front();
+        if (victim == map_.end()) continue;  // already dropped by an epoch
+        bytes_ -= victim->second->bytes_;
+        map_.erase(victim);
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (bytes_ + bytes > cap) {
+        bypasses_.fetch_add(1, std::memory_order_relaxed);
+        return nullptr;
+      }
+      panel = std::make_shared<PackedPanel>();
+      panel->bytes_ = bytes;
+      bytes_ += bytes;
+      map_.emplace(key, panel);
+      order_.push_back(key);
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      packer = true;
+    }
+  }
+
+  if (packer) {
+    // Allocate and pack outside the map lock: other keys proceed in
+    // parallel, and same-key requesters wait on this panel only.
+    panel->buf_.ensure(static_cast<std::size_t>(elems));
+    pack(panel->buf_.data());
+    panel->ready_.store(true, std::memory_order_release);
+    // The empty critical section pairs with the waiter's predicate check.
+    { std::lock_guard lock(panel->mutex_); }
+    panel->cv_.notify_all();
+    inserts_.fetch_add(1, std::memory_order_relaxed);
+    return panel;
+  }
+
+  if (!panel->ready_.load(std::memory_order_acquire)) {
+    SpinWait spinner;
+    while (!panel->ready_.load(std::memory_order_acquire)) {
+      if (!spinner.spin()) {
+        std::unique_lock lock(panel->mutex_);
+        panel->cv_.wait(lock, [&] {
+          return panel->ready_.load(std::memory_order_acquire);
+        });
+        break;
+      }
+    }
+  }
+  return panel;
+}
+
+PanelCache::Stats PanelCache::stats() const {
+  Stats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.inserts = inserts_.load(std::memory_order_relaxed);
+  s.bypasses = bypasses_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void PanelCache::reset_stats() {
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+  inserts_.store(0, std::memory_order_relaxed);
+  bypasses_.store(0, std::memory_order_relaxed);
+  evictions_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace ag

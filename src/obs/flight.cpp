@@ -9,6 +9,7 @@ const char* to_string(ScheduleKind k) {
     case ScheduleKind::kSmall: return "small";
     case ScheduleKind::kSerial: return "serial";
     case ScheduleKind::kParallel: return "parallel";
+    case ScheduleKind::kBatch: return "batch";
     default: return "?";
   }
 }

@@ -17,8 +17,9 @@
 
 namespace ag::obs {
 
-/// How the driver executed a call (core/gemm.cpp dispatch).
-enum class ScheduleKind : int { kSmall = 0, kSerial, kParallel, kCount };
+/// How the driver executed a call (core/gemm.cpp dispatch; kBatch marks
+/// one entry of a dgemm_batch call run through the persistent queue).
+enum class ScheduleKind : int { kSmall = 0, kSerial, kParallel, kBatch, kCount };
 const char* to_string(ScheduleKind k);
 
 /// One completed dgemm call as the flight recorder remembers it.

@@ -43,6 +43,7 @@ const char* to_string(ShapeKind k) {
     case ShapeKind::kSkinny: return "skinny";
     case ShapeKind::kSquare: return "square";
     case ShapeKind::kLarge: return "large";
+    case ShapeKind::kBatch: return "batch";
     default: return "?";
   }
 }
@@ -112,6 +113,7 @@ struct Lane {
   std::string name;
   std::array<std::atomic<ClassHists*>, kShapeClasses> classes{};
   AtomicHistogram<kLatencyBuckets> barrier_wait;  // nanoseconds
+  AtomicHistogram<kLatencyBuckets> queue_wait;    // nanoseconds, batch tickets
   std::atomic<FlightRecorder*> flight{nullptr};
 
   ~Lane() {
@@ -440,6 +442,59 @@ void telemetry_record_call(std::int64_t m, std::int64_t n, std::int64_t k, int t
 #endif
 }
 
+void telemetry_record_batch_entry(std::int64_t m, std::int64_t n, std::int64_t k,
+                                  int threads, double service_seconds,
+                                  double queue_wait_seconds) {
+#ifdef ARMGEMM_STATS_DISABLED
+  (void)m; (void)n; (void)k; (void)threads; (void)service_seconds;
+  (void)queue_wait_seconds;
+#else
+  if (!telemetry_active()) return;
+  Telemetry& t = T();
+  if (t.model_state.load(std::memory_order_acquire) == 0) ensure_model();
+  Lane& lane = local_lane();
+
+  // Same decade as classify() would assign, but forced into the batch kind.
+  ShapeClass sc = ShapeClass::classify(m, n, k);
+  sc.kind = ShapeKind::kBatch;
+  const int ci = sc.index();
+
+  const double flops = 2.0 * static_cast<double>(m) * static_cast<double>(n) *
+                       static_cast<double>(k);
+  const double gflops = service_seconds > 0 ? flops / service_seconds * 1e-9 : 0.0;
+
+  ClassHists& hists = lane.class_hists(ci);
+  const double ns_d = service_seconds > 0 ? service_seconds * 1e9 : 0.0;
+  const std::uint64_t ns = static_cast<std::uint64_t>(ns_d < 1.8e19 ? ns_d : 1.8e19);
+  hists.latency.record(latency_bucket(ns), ns);
+
+  const double peak = t.peak_gflops.load(std::memory_order_relaxed);
+  double efficiency = 0.0;
+  if (peak > 0 && threads > 0) efficiency = gflops / (peak * static_cast<double>(threads));
+  const double eff_clamped = std::min(std::max(efficiency, 0.0), 1e6);
+  hists.efficiency.record(efficiency_bucket(efficiency),
+                          static_cast<std::uint64_t>(eff_clamped * 1e6));
+
+  const double qw_ns_d = queue_wait_seconds > 0 ? queue_wait_seconds * 1e9 : 0.0;
+  const std::uint64_t qw_ns =
+      static_cast<std::uint64_t>(qw_ns_d < 1.8e19 ? qw_ns_d : 1.8e19);
+  lane.queue_wait.record(latency_bucket(qw_ns), qw_ns);
+
+  CallRecord rec;
+  rec.t = now_seconds() - t.epoch.load(std::memory_order_relaxed);
+  rec.m = m;
+  rec.n = n;
+  rec.k = k;
+  rec.threads = threads;
+  rec.schedule = ScheduleKind::kBatch;
+  rec.shape_class = ci;
+  rec.seconds = service_seconds;
+  rec.gflops = gflops;
+  rec.efficiency = efficiency;
+  lane.flight_rec().record(rec);
+#endif
+}
+
 void telemetry_record_barrier_wait(double seconds) {
 #ifdef ARMGEMM_STATS_DISABLED
   (void)seconds;
@@ -492,6 +547,7 @@ void telemetry_reset() {
         }
       }
       lane->barrier_wait.reset();
+      lane->queue_wait.reset();
       FlightRecorder* f = lane->flight.load(std::memory_order_acquire);
       if (f) f->reset(flight_depth());
     }
@@ -579,7 +635,9 @@ TelemetrySnapshot telemetry_snapshot() {
       s.flight.insert(s.flight.end(), recent.begin(), recent.end());
     }
     const LatencyHistogram bw = lane->barrier_wait.snapshot(1e-9);
-    if (bw.total > 0) s.workers.push_back({lane->get_name(), bw});
+    const LatencyHistogram qw = lane->queue_wait.snapshot(1e-9);
+    if (bw.total > 0 || qw.total > 0)
+      s.workers.push_back({lane->get_name(), bw, qw});
   }
   std::stable_sort(s.flight.begin(), s.flight.end(),
                    [](const CallRecord& a, const CallRecord& b) { return a.t < b.t; });
@@ -687,6 +745,22 @@ std::string telemetry_render_prometheus() {
     os << "armgemm_barrier_wait_seconds_count{worker=\"" << w.name << "\"} "
        << w.barrier_wait.total << "\n";
   }
+
+  os << "# HELP armgemm_queue_wait_seconds Batch-ticket submit-to-start wait per worker.\n"
+        "# TYPE armgemm_queue_wait_seconds summary\n";
+  for (const WorkerSnapshot& w : s.workers) {
+    if (w.queue_wait.total == 0) continue;
+    const std::string labels = std::string("worker=\"") + w.name + "\"";
+    os << "armgemm_queue_wait_seconds{" << labels << ",quantile=\"0.5\"} "
+       << latency_quantile(w.queue_wait, 0.50) << "\n";
+    os << "armgemm_queue_wait_seconds{" << labels << ",quantile=\"0.95\"} "
+       << latency_quantile(w.queue_wait, 0.95) << "\n";
+    os << "armgemm_queue_wait_seconds{" << labels << ",quantile=\"0.99\"} "
+       << latency_quantile(w.queue_wait, 0.99) << "\n";
+    os << "armgemm_queue_wait_seconds_sum{" << labels << "} " << w.queue_wait.sum << "\n";
+    os << "armgemm_queue_wait_seconds_count{" << labels << "} " << w.queue_wait.total
+       << "\n";
+  }
   return os.str();
 }
 
@@ -728,6 +802,8 @@ std::string telemetry_render_json() {
     if (i) os << ",";
     os << "{\"name\":\"" << json_escape(w.name) << "\",\"barrier_wait\":";
     json_hist(os, w.barrier_wait);
+    os << ",\"queue_wait\":";
+    json_hist(os, w.queue_wait);
     os << "}";
   }
   os << "],\"flight\":" << flight_to_json(s.flight) << "}";

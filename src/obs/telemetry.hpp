@@ -49,9 +49,13 @@ namespace ag::obs {
 // ---- shape classification ------------------------------------------------
 
 /// Coarse call-shape kinds. kSmall tracks the driver's no-pack fast-path
-/// dispatch exactly (common/knobs use_small_gemm); the rest split on
-/// aspect ratio and problem volume.
-enum class ShapeKind : int { kSmall = 0, kSkinny, kSquare, kLarge, kCount };
+/// dispatch exactly (common/knobs use_small_gemm); kSkinny/kSquare/kLarge
+/// split on aspect ratio and problem volume. kBatch is never produced by
+/// classify(): entries of a dgemm_batch call land there explicitly (via
+/// telemetry_record_batch_entry) so serving traffic through the
+/// persistent queue is distinguishable from loose calls of the same
+/// shape.
+enum class ShapeKind : int { kSmall = 0, kSkinny, kSquare, kLarge, kBatch, kCount };
 inline constexpr int kShapeKindCount = static_cast<int>(ShapeKind::kCount);
 const char* to_string(ShapeKind k);
 
@@ -94,6 +98,16 @@ inline bool telemetry_active() {
 void telemetry_record_call(std::int64_t m, std::int64_t n, std::int64_t k, int threads,
                            ScheduleKind schedule, double seconds, const BlockSizes& bs,
                            double end_time_seconds = -1.0);
+
+/// Records one completed entry of a dgemm_batch call into the `batch`
+/// shape class (decade still from m*n*k): service latency + efficiency
+/// into the class histograms, `queue_wait_seconds` (submission-to-start
+/// delay in the persistent pool's queue) into the recording thread's
+/// queue-wait histogram, and a kBatch flight record. Batch entries skip
+/// the drift detector — queue wait would alias as model drift.
+void telemetry_record_batch_entry(std::int64_t m, std::int64_t n, std::int64_t k,
+                                  int threads, double service_seconds,
+                                  double queue_wait_seconds);
 
 /// Records one rank's barrier wait for the just-finished parallel call
 /// into the calling thread's lane.
@@ -154,6 +168,7 @@ struct ClassSnapshot {
 struct WorkerSnapshot {
   std::string name;
   LatencyHistogram barrier_wait;  // seconds per parallel call
+  LatencyHistogram queue_wait;    // seconds per batch ticket (submit -> start)
 };
 
 struct TelemetrySnapshot {

@@ -1,0 +1,235 @@
+#include "threading/persistent_pool.hpp"
+
+#include <chrono>
+#include <cstdio>
+
+#if defined(__linux__)
+#include <pthread.h>
+#endif
+
+#include "common/knobs.hpp"
+#include "obs/telemetry.hpp"
+#include "threading/spin.hpp"
+
+namespace ag {
+
+namespace {
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Batch workers get their own name prefix ("armgemm-b") so timelines and
+/// /proc distinguish them from the fork-join pool's "armgemm-w" ranks.
+void name_batch_thread(int rank) {
+#if defined(__linux__)
+  char name[16];
+  std::snprintf(name, sizeof(name), "armgemm-b%d", rank);
+  pthread_setname_np(pthread_self(), name);
+#else
+  (void)rank;
+#endif
+}
+
+}  // namespace
+
+PersistentPool& PersistentPool::instance() {
+  // Leaky singleton: retiring the workers during static destruction would
+  // race other translation units' teardown; the OS reclaims the threads.
+  static PersistentPool* pool = new PersistentPool;
+  return *pool;
+}
+
+void PersistentPool::resize(int n) {
+  if (n < 0) n = 0;
+  std::lock_guard lock(resize_mutex_);
+  const int cur = static_cast<int>(threads_.size());
+  if (n > cur) {
+    target_.store(n, std::memory_order_release);
+    threads_.reserve(static_cast<std::size_t>(n));
+    for (int r = cur; r < n; ++r) threads_.emplace_back([this, r] { worker_loop(r); });
+  } else if (n < cur) {
+    target_.store(n, std::memory_order_release);
+    // The empty critical section orders the target_ store against a
+    // blocked worker's predicate check (no lost retirement wakeup).
+    { std::lock_guard wl(work_mutex_); }
+    work_cv_.notify_all();
+    for (int r = n; r < cur; ++r) threads_[static_cast<std::size_t>(r)].join();
+    threads_.resize(static_cast<std::size_t>(n));
+  }
+}
+
+void PersistentPool::ensure_workers(int n) {
+  if (n <= target_.load(std::memory_order_acquire)) return;
+  std::lock_guard lock(resize_mutex_);
+  const int cur = static_cast<int>(threads_.size());
+  if (n <= cur) return;
+  target_.store(n, std::memory_order_release);
+  threads_.reserve(static_cast<std::size_t>(n));
+  for (int r = cur; r < n; ++r) threads_.emplace_back([this, r] { worker_loop(r); });
+}
+
+void PersistentPool::wake_workers() {
+  {
+    std::lock_guard lock(work_mutex_);
+    work_epoch_.fetch_add(1, std::memory_order_release);
+  }
+  work_cv_.notify_all();
+}
+
+bool PersistentPool::try_pop(int home, Item* out) {
+  for (int i = 0; i < kShards; ++i) {
+    Shard& s = shards_[static_cast<std::size_t>((home + i) % kShards)];
+    std::lock_guard lock(s.mutex);
+    if (s.items.empty()) continue;
+    if (i == 0) {
+      // Home shard drains FIFO (oldest ticket first keeps queue waits
+      // honest); thieves take from the back to reduce interference.
+      *out = s.items.front();
+      s.items.pop_front();
+    } else {
+      *out = s.items.back();
+      s.items.pop_back();
+    }
+    queued_.fetch_sub(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+void PersistentPool::run_item(const Item& item) {
+  const double wait = now_seconds() - item.submit_seconds;
+  Submission& sub = *item.sub;
+  try {
+    sub.source->run_ticket(item.ticket, wait > 0 ? wait : 0.0);
+  } catch (...) {
+    std::lock_guard lock(sub.error_mutex);
+    if (!sub.failed.exchange(true, std::memory_order_acq_rel))
+      sub.first_error = std::current_exception();
+  }
+  finish_ticket(sub);
+}
+
+void PersistentPool::finish_ticket(Submission& sub) {
+  // After this decrement reaches zero the submission may be destroyed by
+  // the waiting caller, so `sub` must not be touched again. The notify
+  // goes through pool-lifetime state only.
+  if (sub.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    { std::lock_guard lock(done_mutex_); }
+    done_cv_.notify_all();
+  }
+}
+
+void PersistentPool::execute(TaskSource& source, std::int64_t n_tickets) {
+  if (n_tickets <= 0) return;
+  Submission sub;
+  sub.source = &source;
+  sub.remaining.store(n_tickets, std::memory_order_relaxed);
+
+  // Enqueue under the admission limit; overflow runs inline below. The
+  // limit check is advisory (concurrent submitters may briefly overshoot
+  // by a few tickets) — it bounds memory, not exact occupancy.
+  const std::int64_t depth = queue_depth();
+  const double submit_t = now_seconds();
+  std::int64_t inline_from = n_tickets;
+  std::int64_t enqueued = 0;
+  for (std::int64_t t = 0; t < n_tickets; ++t) {
+    if (queued_.load(std::memory_order_relaxed) >= depth) {
+      inline_from = t;
+      break;
+    }
+    Shard& s = shards_[static_cast<std::size_t>(
+        submit_cursor_.fetch_add(1, std::memory_order_relaxed) % kShards)];
+    {
+      std::lock_guard lock(s.mutex);
+      s.items.push_back({&sub, t, submit_t});
+    }
+    queued_.fetch_add(1, std::memory_order_relaxed);
+    ++enqueued;
+  }
+  if (enqueued > 0 && target_.load(std::memory_order_acquire) > 0) wake_workers();
+
+  // Overflow tickets first (the queue rejected them; the caller owes them
+  // cycles before helping with anything else), then help drain.
+  for (std::int64_t t = inline_from; t < n_tickets; ++t) {
+    try {
+      source.run_ticket(t, 0.0);
+    } catch (...) {
+      std::lock_guard lock(sub.error_mutex);
+      if (!sub.failed.exchange(true, std::memory_order_acq_rel))
+        sub.first_error = std::current_exception();
+    }
+    finish_ticket(sub);
+  }
+
+  // Help: run whatever is poppable (any submission's tickets) until ours
+  // completes. When nothing is poppable every one of our tickets is
+  // already claimed — by a worker or by this loop — so blocking is safe
+  // even with zero workers.
+  SpinWait spinner;
+  while (sub.remaining.load(std::memory_order_acquire) != 0) {
+    Item item;
+    if (try_pop(0, &item)) {
+      run_item(item);
+      spinner = SpinWait();
+      continue;
+    }
+    if (!spinner.spin()) {
+      std::unique_lock lock(done_mutex_);
+      done_cv_.wait(lock, [&] {
+        return sub.remaining.load(std::memory_order_acquire) == 0;
+      });
+    }
+  }
+
+  if (sub.failed.load(std::memory_order_acquire)) {
+    std::exception_ptr err;
+    {
+      std::lock_guard lock(sub.error_mutex);
+      err = sub.first_error;
+    }
+    if (err) std::rethrow_exception(err);
+  }
+}
+
+void PersistentPool::worker_loop(int rank) {
+  name_batch_thread(rank);
+  obs::telemetry_register_thread("armgemm-b" + std::to_string(rank));
+  const int home = rank % kShards;
+  Item item;
+  for (;;) {
+    if (rank >= target_.load(std::memory_order_acquire)) return;
+    if (try_pop(home, &item)) {
+      run_item(item);
+      continue;
+    }
+    // Idle: snapshot the work epoch, re-check the queue (an item pushed
+    // before the snapshot is either visible in a shard or its epoch bump
+    // is ahead of the snapshot), then spin-wait and finally block.
+    const std::uint64_t seen = work_epoch_.load(std::memory_order_acquire);
+    if (try_pop(home, &item)) {
+      run_item(item);
+      continue;
+    }
+    const auto wake = [&] {
+      return work_epoch_.load(std::memory_order_acquire) != seen ||
+             rank >= target_.load(std::memory_order_acquire);
+    };
+    SpinWait spinner;
+    bool woken = false;
+    while (spinner.spin()) {
+      if (wake()) {
+        woken = true;
+        break;
+      }
+    }
+    if (!woken) {
+      std::unique_lock lock(work_mutex_);
+      work_cv_.wait(lock, wake);
+    }
+  }
+}
+
+}  // namespace ag

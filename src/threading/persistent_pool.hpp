@@ -1,0 +1,140 @@
+// Persistent task scheduler for batched GEMM serving.
+//
+// Unlike the fork-join ThreadPool (which gangs exactly nthreads ranks on
+// one parallel region and joins them per call), the PersistentPool keeps a
+// process-lifetime set of workers draining a cross-call work queue of
+// tickets. Submissions from any number of caller threads interleave in
+// the same queue, so a batch of small GEMMs never pays one fork/join per
+// entry, and concurrent batch calls share the worker set instead of
+// oversubscribing the host with per-caller pools.
+//
+// Structure:
+//
+//   * The queue is sharded (kShards mutex-protected deques) so concurrent
+//     submitters and workers rarely contend on the same lock. Workers
+//     prefer their home shard (rank % kShards) and steal from the others
+//     round-robin when it is empty.
+//   * Callers always help: execute() runs tickets itself until its
+//     submission completes, so a pool resized to zero workers still makes
+//     progress (and a single-threaded context needs no workers at all).
+//   * Admission control: at most ARMGEMM_QUEUE_DEPTH tickets may be
+//     enqueued across all submissions; tickets beyond that run inline on
+//     the submitting caller (backpressure sheds load instead of growing
+//     the queue without bound).
+//   * Idle workers spin for the ARMGEMM_SPIN_US window (threading/spin)
+//     before blocking, same hybrid policy as the fork-join pool.
+//
+// Every ticket's queue wait (submit to execution start) is reported back
+// through TaskSource::run_ticket so the batch driver can record it in the
+// serving telemetry.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ag {
+
+/// One submission's work: tickets [0, n_tickets) handed to
+/// PersistentPool::execute. run_ticket must be safe to call concurrently
+/// for distinct tickets from any thread (workers and helping callers).
+class TaskSource {
+ public:
+  virtual ~TaskSource() = default;
+
+  /// Runs ticket `ticket`. `queue_wait_seconds` is how long the ticket sat
+  /// in the queue before a thread picked it up (0 for tickets the
+  /// admission limit forced inline on the caller).
+  virtual void run_ticket(std::int64_t ticket, double queue_wait_seconds) = 0;
+};
+
+class PersistentPool {
+ public:
+  PersistentPool(const PersistentPool&) = delete;
+  PersistentPool& operator=(const PersistentPool&) = delete;
+
+  /// The process-wide pool (created on first use, never destroyed — the
+  /// serving queue must outlive static-destruction-order vagaries).
+  static PersistentPool& instance();
+
+  /// Current worker-thread count (callers always help on top of this).
+  int workers() const { return target_.load(std::memory_order_acquire); }
+
+  /// Sets the worker count to `n` (>= 0). Growing spawns threads;
+  /// shrinking retires and joins the surplus after they finish their
+  /// current ticket. Safe concurrently with execute() from other threads:
+  /// queued work keeps draining because callers help.
+  void resize(int n);
+
+  /// Grows to at least `n` workers; never shrinks (concurrent contexts
+  /// with different thread counts keep the largest requested set).
+  void ensure_workers(int n);
+
+  /// Runs tickets [0, n_tickets) of `source`, returning when all have
+  /// finished. The caller executes tickets alongside the workers. Tickets
+  /// the ARMGEMM_QUEUE_DEPTH admission limit rejects run inline on the
+  /// caller in submission order. Exceptions thrown by run_ticket are
+  /// collected and the first one is rethrown here after every ticket of
+  /// this submission has been claimed.
+  void execute(TaskSource& source, std::int64_t n_tickets);
+
+  /// Tickets currently sitting in the queue (diagnostics / tests).
+  std::int64_t queued() const { return queued_.load(std::memory_order_acquire); }
+
+ private:
+  PersistentPool() = default;
+
+  static constexpr int kShards = 8;
+
+  struct Submission {
+    TaskSource* source = nullptr;
+    std::atomic<std::int64_t> remaining{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr first_error;  // guarded by error_mutex
+    std::mutex error_mutex;
+  };
+
+  struct Item {
+    Submission* sub;
+    std::int64_t ticket;
+    double submit_seconds;
+  };
+
+  struct Shard {
+    std::mutex mutex;
+    std::deque<Item> items;
+  };
+
+  void worker_loop(int rank);
+  bool try_pop(int home, Item* out);
+  void run_item(const Item& item);
+  void finish_ticket(Submission& sub);
+  void wake_workers();
+
+  Shard shards_[kShards];
+  std::atomic<std::int64_t> queued_{0};
+  std::atomic<std::uint64_t> submit_cursor_{0};  // round-robin shard pick
+
+  // Worker lifecycle. threads_ is guarded by resize_mutex_; target_ is the
+  // count workers compare their rank against to decide to retire.
+  std::mutex resize_mutex_;
+  std::vector<std::thread> threads_;
+  std::atomic<int> target_{0};
+
+  // Work-available signal: epoch bumps under work_mutex_ before notify, so
+  // a worker that saw empty shards re-checks after any submit.
+  std::mutex work_mutex_;
+  std::condition_variable work_cv_;
+  std::atomic<std::uint64_t> work_epoch_{0};
+
+  // Completion signal shared by all submissions (pool-lifetime, so no
+  // notify-after-destruction hazard on the caller's stack Submission).
+  std::mutex done_mutex_;
+  std::condition_variable done_cv_;
+};
+
+}  // namespace ag

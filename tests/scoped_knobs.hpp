@@ -65,4 +65,38 @@ class ScopedPrefetch {
   std::int64_t prev_b_;
 };
 
+/// Pins the persistent-pool admission limit (ARMGEMM_QUEUE_DEPTH) for the
+/// guard's lifetime. ScopedQueueDepth(1) forces near-total overflow, so
+/// almost every batch ticket runs inline on its caller.
+class ScopedQueueDepth {
+ public:
+  explicit ScopedQueueDepth(std::int64_t depth) : prev_(ag::queue_depth()) {
+    ag::set_queue_depth(depth);
+  }
+  ~ScopedQueueDepth() { ag::set_queue_depth(prev_); }
+
+  ScopedQueueDepth(const ScopedQueueDepth&) = delete;
+  ScopedQueueDepth& operator=(const ScopedQueueDepth&) = delete;
+
+ private:
+  std::int64_t prev_;
+};
+
+/// Pins the packed-panel cache capacity (ARMGEMM_PANEL_CACHE_MB) for the
+/// guard's lifetime. ScopedPanelCacheMb(0) disables panel sharing, so
+/// every batch ticket packs B privately.
+class ScopedPanelCacheMb {
+ public:
+  explicit ScopedPanelCacheMb(std::int64_t mb) : prev_(ag::panel_cache_mb()) {
+    ag::set_panel_cache_mb(mb);
+  }
+  ~ScopedPanelCacheMb() { ag::set_panel_cache_mb(prev_); }
+
+  ScopedPanelCacheMb(const ScopedPanelCacheMb&) = delete;
+  ScopedPanelCacheMb& operator=(const ScopedPanelCacheMb&) = delete;
+
+ private:
+  std::int64_t prev_;
+};
+
 }  // namespace agtest

@@ -17,6 +17,8 @@
 #include "capi/armgemm_cblas.h"
 #include "common/matrix.hpp"
 #include "core/gemm.hpp"
+#include "core/gemm_batch.hpp"
+#include "threading/persistent_pool.hpp"
 
 using ag::index_t;
 using ag::Matrix;
@@ -134,6 +136,60 @@ TEST(ConcurrentGemm, CapiSetNumThreadsRacingInFlightCalls) {
   stop.store(true);
   controller.join();
   armgemm_set_num_threads(threads_before);
+  for (const auto& p : problems) verify(p);
+}
+
+// Batch submissions racing PersistentPool::resize: a controller keeps
+// growing and shrinking the persistent worker set (including all the way
+// to zero workers) while callers push batches through the queue. Shrink
+// joins surplus workers mid-stream and grow spawns into a live queue;
+// callers always help execute, so forward progress must hold even in the
+// zero-worker window. Results must stay correct throughout; run under
+// -DAG_SANITIZE=thread for the race proof.
+TEST(ConcurrentGemm, BatchCallsRacingPersistentPoolResize) {
+  constexpr int kCallers = 3;
+  constexpr int kReps = 6;
+  std::vector<Problem> problems;
+  for (int i = 0; i < kCallers; ++i)
+    problems.push_back(make_problem(96 + 8 * i, 64 + 6 * i, 48 + 4 * i, 5000 + 10 * i));
+
+  std::atomic<bool> stop{false};
+  std::thread controller([&stop] {
+    int t = 0;
+    while (!stop.load()) {
+      ag::PersistentPool::instance().resize(t % 4);  // 0..3 workers in rotation
+      ++t;
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> callers;
+  for (int i = 0; i < kCallers; ++i) {
+    callers.emplace_back([&problems, i] {
+      ag::Context ctx(ag::KernelShape{8, 6}, 3);
+      auto& p = problems[static_cast<std::size_t>(i)];
+      for (int rep = 0; rep < kReps; ++rep) {
+        Matrix<double> c(p.c_ref);
+        ag::GemmBatchEntry e;
+        e.m = p.m;
+        e.n = p.n;
+        e.k = p.k;
+        e.alpha = 1.0;
+        e.beta = 1.0;
+        e.a = p.a.data();
+        e.lda = p.a.ld();
+        e.b = p.b.data();
+        e.ldb = p.b.ld();
+        e.c = c.data();
+        e.ldc = c.ld();
+        ag::dgemm_batch(ag::Layout::ColMajor, &e, 1, ctx);
+        p.c = std::move(c);
+      }
+    });
+  }
+  for (auto& w : callers) w.join();
+  stop.store(true);
+  controller.join();
   for (const auto& p : problems) verify(p);
 }
 

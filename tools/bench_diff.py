@@ -9,18 +9,20 @@ Usage:
   bench_diff.py --self-test                 # built-in schema/diff tests
 
 Stdlib only (json/argparse); the schema is versioned as
-"armgemm-bench/3" (shaped m x n x k points plus packing-bandwidth
-points) and produced by bench/regress.cpp. Schema-2 reports (no
-"packing" array) and schema-1 reports (square-only, keyed by "n") are
-accepted for both printing and diffing: missing m/k default to n, and
-packing points appear as unmatched rather than failing validation.
+"armgemm-bench/4" (shaped m x n x k points, packing-bandwidth points and
+batched-GEMM points) and produced by bench/regress.cpp. Older reports —
+schema 3 (no "batch" array), schema 2 (no "packing" array) and schema 1
+(square-only, keyed by "n") — are accepted for both printing and
+diffing: missing m/k default to n, and packing/batch points appear as
+unmatched rather than failing validation.
 """
 
 import argparse
 import json
 import sys
 
-SCHEMA = "armgemm-bench/3"
+SCHEMA = "armgemm-bench/4"
+SCHEMA_V3 = "armgemm-bench/3"  # no batched-GEMM points
 SCHEMA_V2 = "armgemm-bench/2"  # no packing-bandwidth points
 SCHEMA_V1 = "armgemm-bench/1"  # square-only; m and k implied by n
 
@@ -52,6 +54,15 @@ PACKING_REQUIRED = {
     "gbps": (int, float),
 }
 
+BATCH_REQUIRED = {
+    "label": str,
+    "count": (int, float),
+    "threads": (int, float),
+    "best_seconds": (int, float),
+    "gflops": (int, float),
+    "speedup": (int, float),
+}
+
 
 def validate(report):
     """Returns a list of schema problems (empty when valid)."""
@@ -63,12 +74,24 @@ def validate(report):
             problems.append(f"missing top-level key: {key}")
         elif not isinstance(report[key], types):
             problems.append(f"wrong type for {key}: {type(report[key]).__name__}")
-    if report.get("schema") not in (None, SCHEMA, SCHEMA_V2, SCHEMA_V1):
+    if report.get("schema") not in (None, SCHEMA, SCHEMA_V3, SCHEMA_V2, SCHEMA_V1):
         problems.append(
             f"schema is {report['schema']!r}, expected {SCHEMA!r}, "
-            f"{SCHEMA_V2!r} or {SCHEMA_V1!r}")
-    if report.get("schema") == SCHEMA and not isinstance(report.get("packing"), list):
-        problems.append("schema 3 report missing packing array")
+            f"{SCHEMA_V3!r}, {SCHEMA_V2!r} or {SCHEMA_V1!r}")
+    if (report.get("schema") in (SCHEMA, SCHEMA_V3)
+            and not isinstance(report.get("packing"), list)):
+        problems.append("schema 3+ report missing packing array")
+    if report.get("schema") == SCHEMA and not isinstance(report.get("batch"), list):
+        problems.append("schema 4 report missing batch array")
+    for i, b in enumerate(report.get("batch", []) or []):
+        if not isinstance(b, dict):
+            problems.append(f"batch[{i}] is not an object")
+            continue
+        for key, types in BATCH_REQUIRED.items():
+            if key not in b:
+                problems.append(f"batch[{i}] missing key: {key}")
+            elif not isinstance(b[key], types):
+                problems.append(f"batch[{i}].{key} has wrong type")
     for i, p in enumerate(report.get("packing", []) or []):
         if not isinstance(p, dict):
             problems.append(f"packing[{i}] is not an object")
@@ -118,12 +141,23 @@ def pack_label(point):
     return f"{point['op']}/{point['trans']}"
 
 
+def batch_key(point):
+    return (point["label"], int(point["threads"]))
+
+
+def batch_label(point):
+    return f"{point['label']} threads={int(point['threads'])}"
+
+
 def print_report(report):
     print(f"host {report['host']}  date {report['date']}  "
           f"peak {report['peak_gflops_per_core']:.2f} Gflops/core  "
           f"pmu {'hw' if report['pmu_hardware'] else 'fallback'}")
     for p in report.get("packing", []):
         print(f"packing {pack_label(p):>10}: {p['gbps']:.2f} GB/s")
+    for b in report.get("batch", []):
+        print(f"batch {batch_label(b)}: {b['gflops']:.2f} Gflops "
+              f"({b['speedup']:.2f}x vs loop of calls)")
     print(f"{'shape':>14} {'thr':>4} {'Gflops':>9} {'eff':>7} {'GEBP s':>10} {'pack s':>10} "
           f"{'barrier s':>10} {'small s':>10}")
     for r in report["results"]:
@@ -186,6 +220,25 @@ def diff(base, new, threshold):
         if k not in new_pack_keys:
             print(f"packing {pack_label(b)}: dropped from new run (NOT gated)")
             unmatched.append(f"packing {pack_label(b)} (missing from new run)")
+    # Batched points: gated on relative aggregate-Gflops drop, same rules.
+    base_batches = {batch_key(b): b for b in base.get("batch", [])}
+    new_batch_keys = {batch_key(b) for b in new.get("batch", [])}
+    for p in new.get("batch", []):
+        b = base_batches.get(batch_key(p))
+        if b is None:
+            print(f"batch {batch_label(p)}: {p['gflops']:.2f} Gflops, "
+                  "no baseline entry (NOT gated)")
+            unmatched.append(f"batch {batch_label(p)} (no baseline)")
+            continue
+        drop = (b["gflops"] - p["gflops"]) / b["gflops"] if b["gflops"] > 0 else 0.0
+        bad = drop > threshold
+        regressions += bad
+        print(f"batch {batch_label(p)}: {b['gflops']:.2f} -> {p['gflops']:.2f} Gflops "
+              f"({-drop:+.1%})  {'REGRESSION' if bad else 'ok'}")
+    for k, b in base_batches.items():
+        if k not in new_batch_keys:
+            print(f"batch {batch_label(b)}: dropped from new run (NOT gated)")
+            unmatched.append(f"batch {batch_label(b)} (missing from new run)")
     if unmatched:
         print(f"bench_diff: WARNING: {len(unmatched)} configuration(s) not gated:",
               file=sys.stderr)
@@ -194,7 +247,7 @@ def diff(base, new, threshold):
     return regressions, unmatched
 
 
-def make_sample(eff_scale=1.0, schema=SCHEMA, pack_scale=1.0):
+def make_sample(eff_scale=1.0, schema=SCHEMA, pack_scale=1.0, batch_scale=1.0):
     result = {
         "n": 128,
         "threads": 1,
@@ -217,11 +270,18 @@ def make_sample(eff_scale=1.0, schema=SCHEMA, pack_scale=1.0):
         "calibration": {"mu": 1e-10},
         "results": [result],
     }
-    if schema == SCHEMA:
+    if schema in (SCHEMA, SCHEMA_V3):
         report["packing"] = [
             {"op": op, "trans": trans, "best_seconds": 0.0001,
              "gbps": 10.0 * pack_scale}
             for op in ("pack_a", "pack_b") for trans in ("N", "T")
+        ]
+    if schema == SCHEMA:
+        report["batch"] = [
+            {"label": label, "m": 64, "n": 64, "k": 64, "count": 64, "threads": 1,
+             "best_seconds": 0.001, "gflops": 6.0 * batch_scale,
+             "loop_seconds": 0.002, "speedup": 2.0}
+            for label in ("batch64_small", "batch8_skinny")
         ]
     return report
 
@@ -245,28 +305,41 @@ def self_test():
     n_reg, unmatched = diff(make_sample(), make_sample(pack_scale=0.5), 0.10)
     assert (n_reg, unmatched) == (4, []), (n_reg, unmatched)
     assert diff(make_sample(), make_sample(pack_scale=0.95), 0.10) == (0, [])
-    # A schema-3 report without packing fails validation ...
+    # Batched points gate on aggregate Gflops: both regress at 0.5x.
+    n_reg, unmatched = diff(make_sample(), make_sample(batch_scale=0.5), 0.10)
+    assert (n_reg, unmatched) == (2, []), (n_reg, unmatched)
+    assert diff(make_sample(), make_sample(batch_scale=0.95), 0.10) == (0, [])
+    # A schema-4 report without packing or batch fails validation ...
     no_pack = make_sample()
     del no_pack["packing"]
     assert any("packing" in p for p in validate(no_pack)), validate(no_pack)
-    # ... but a schema-2 baseline (no packing at all) diffs cleanly, with
-    # the new run's packing points reported as unmatched, never gated.
+    no_batch = make_sample()
+    del no_batch["batch"]
+    assert any("batch" in p for p in validate(no_batch)), validate(no_batch)
+    # ... but a schema-3 baseline (packing, no batch) diffs cleanly, with
+    # the new run's batch points reported as unmatched, never gated.
+    v3 = make_sample(schema=SCHEMA_V3)
+    assert validate(v3) == [], validate(v3)
+    n_reg, unmatched = diff(v3, make_sample(batch_scale=0.1), 0.10)
+    assert n_reg == 0 and len(unmatched) == 2, (n_reg, unmatched)
+    # A schema-2 baseline (no packing either) leaves packing AND batch
+    # points unmatched.
     v2 = make_sample(schema=SCHEMA_V2)
     assert validate(v2) == [], validate(v2)
     n_reg, unmatched = diff(v2, make_sample(pack_scale=0.1), 0.10)
-    assert n_reg == 0 and len(unmatched) == 4, (n_reg, unmatched)
+    assert n_reg == 0 and len(unmatched) == 6, (n_reg, unmatched)
 
     # Schema-1 reports validate and key against schema-2 square points:
     # {"n": 128} must match {"m": 128, "n": 128, "k": 128}.
     v1 = make_sample(schema=SCHEMA_V1)
     assert validate(v1) == [], validate(v1)
     assert key(v1["results"][0]) == key(make_sample()["results"][0])
-    # Against a v1 baseline the new run's packing points are unmatched
-    # (reported, never gated); the efficiency gate still fires.
+    # Against a v1 baseline the new run's packing and batch points are
+    # unmatched (reported, never gated); the efficiency gate still fires.
     n_reg, unmatched = diff(v1, make_sample(eff_scale=0.5), 0.10)
-    assert n_reg == 1 and len(unmatched) == 4, (n_reg, unmatched)
+    assert n_reg == 1 and len(unmatched) == 6, (n_reg, unmatched)
     n_reg, unmatched = diff(v1, make_sample(), 0.10)
-    assert n_reg == 0 and len(unmatched) == 4, (n_reg, unmatched)
+    assert n_reg == 0 and len(unmatched) == 6, (n_reg, unmatched)
 
     # Unmatched configurations are reported in both directions, never
     # silently: a new config with no baseline and a baseline config the
