@@ -6,12 +6,22 @@
 //   batch_throughput                          # default shape sweep
 //   batch_throughput --shape=64x64x64 --count=64 --threads=1,4
 //   batch_throughput --reps=20 --cache-mb=0   # panel sharing off
+//   batch_throughput --metrics-out=m.prom     # telemetry on; dump exposition
+//   batch_throughput --trace-out=t.json       # Chrome trace of one batch call
 //
 // Reports aggregate Gflops for both modes and the batch/loop speedup.
 // The small-entry regime is where the batch path earns its keep: per-call
 // fork/join overhead is amortized once across the whole batch.
+//
+// --metrics-out runs the sweep with serving telemetry enabled (injected
+// model, so no calibration stall) and writes the Prometheus + JSON
+// exposition afterwards — scheduler and panel-cache sections included,
+// ready for `armgemm-top --once`. --trace-out re-runs the last sweep
+// point once with a Tracer attached and writes the per-ticket scheduling
+// timeline (worker lanes, steal/cache args, queue-depth counters).
 #include <algorithm>
 #include <cstdint>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -22,6 +32,10 @@
 #include "common/timer.hpp"
 #include "core/gemm.hpp"
 #include "core/gemm_batch.hpp"
+#include "model/perf_model.hpp"
+#include "obs/gemm_stats.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/tracer.hpp"
 
 namespace {
 
@@ -59,6 +73,16 @@ int main(int argc, char** argv) {
   const int reps = static_cast<int>(args.get_int("reps", 10));
   const std::int64_t cache_mb = args.get_int("cache-mb", ag::panel_cache_mb());
   ag::set_panel_cache_mb(cache_mb);
+  const std::string metrics_out = args.get("metrics-out", "");
+  const std::string trace_out = args.get("trace-out", "");
+
+  if (!metrics_out.empty()) {
+    // Telemetry on for the whole sweep: inject the model (no calibration
+    // stall) and suppress knob-path dumps; we write explicitly at the end.
+    ag::set_metrics_path("");
+    ag::obs::telemetry_set_model(10.0, ag::model::CostParams{1e-10, 1e-9, 0.125}, 1.0);
+    ag::obs::telemetry_enable();
+  }
 
   std::vector<Point> points;
   if (args.has("shape")) {
@@ -125,6 +149,43 @@ int main(int argc, char** argv) {
                   static_cast<long long>(pt.k), static_cast<long long>(pt.count), t,
                   flops / batch_s * 1e-9, flops / loop_s * 1e-9, loop_s / batch_s);
     }
+  }
+
+  if (!trace_out.empty()) {
+    // One traced batch call at the last sweep point with the widest gang:
+    // enough concurrency that the trace shows real lanes, steals and
+    // queue-depth movement rather than a caller-only timeline.
+    const Point& pt = points.back();
+    const int t = *std::max_element(threads.begin(), threads.end());
+    const std::int64_t stride_a = pt.m * pt.k, stride_c = pt.m * pt.n;
+    auto a = ag::random_matrix(pt.m, pt.k * pt.count, 11);
+    auto b = ag::random_matrix(pt.k, pt.n, 12);
+    auto c = ag::random_matrix(pt.m, pt.n * pt.count, 13);
+    ag::obs::Tracer tracer;
+    ag::obs::GemmStats stats;
+    stats.set_tracer(&tracer);
+    ag::Context ctx(ag::KernelShape{8, 6}, t);
+    ctx.set_stats(&stats);
+    ag::dgemm_strided_batch(ag::Layout::ColMajor, ag::Trans::NoTrans, ag::Trans::NoTrans, pt.m,
+                            pt.n, pt.k, 1.0, a.data(), pt.m, stride_a, b.data(), b.ld(), 0, 1.0,
+                            c.data(), pt.m, stride_c, pt.count, ctx);
+    ctx.set_stats(nullptr);
+    std::ofstream os(trace_out);
+    if (!os) {
+      std::cerr << "batch_throughput: cannot write " << trace_out << "\n";
+      return 1;
+    }
+    tracer.write_json(os);
+    std::cout << "trace: " << trace_out << " (" << pt.count << " entries of " << pt.m << "x"
+              << pt.n << "x" << pt.k << ", " << t << " threads)\n";
+  }
+
+  if (!metrics_out.empty()) {
+    if (ag::obs::telemetry_write_metrics(metrics_out) != 0) {
+      std::cerr << "batch_throughput: cannot write " << metrics_out << "\n";
+      return 1;
+    }
+    std::cout << "metrics: " << metrics_out << " (+ .json)\n";
   }
   return 0;
 }

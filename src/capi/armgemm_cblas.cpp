@@ -391,4 +391,50 @@ void armgemm_set_drift_threshold(double threshold) { ag::set_drift_threshold(thr
 
 double armgemm_get_drift_threshold(void) { return ag::drift_threshold(); }
 
+int armgemm_scheduler_stats_get(armgemm_scheduler_stats* out) {
+  if (!out) return 0;
+  *out = armgemm_scheduler_stats{};
+  if (!ag::obs::scheduler_stats_available()) return 0;
+  const ag::obs::SchedulerStats s = ag::obs::scheduler_stats();
+  out->workers = s.workers;
+  out->queued = static_cast<long long>(s.queued);
+  out->submissions = s.submissions;
+  out->tickets_enqueued = s.tickets_enqueued;
+  out->tickets_inline = s.tickets_inline;
+  for (const ag::obs::SchedulerWorkerStats& w : s.per_worker) {
+    out->tickets_run += w.tickets_run;
+    out->tickets_stolen += w.tickets_stolen;
+    out->steal_attempts += w.steal_attempts;
+    out->steal_failures += w.steal_failures;
+    out->blocks += w.blocks;
+    if (w.name != "callers") {
+      out->busy_seconds += w.busy_seconds;
+      out->idle_seconds += w.idle_seconds;
+    }
+  }
+  out->utilization = s.utilization();
+  out->steal_imbalance = s.steal_imbalance();
+  return 1;
+}
+
+int armgemm_panel_cache_stats_get(armgemm_panel_cache_stats* out) {
+  if (!out) return 0;
+  *out = armgemm_panel_cache_stats{};
+  if (!ag::obs::panel_cache_stats_available()) return 0;
+  const ag::obs::PanelCacheStats s = ag::obs::panel_cache_stats();
+  out->hits = s.hits;
+  out->misses = s.misses;
+  out->inserts = s.inserts;
+  out->bypasses = s.bypasses;
+  out->evictions = s.evictions;
+  out->wait_stalls = s.wait_stalls;
+  out->wait_seconds = s.wait_seconds;
+  out->epochs = s.epochs;
+  out->resident_bytes = s.resident_bytes;
+  out->peak_bytes = s.peak_bytes;
+  out->resident_panels = s.resident_panels;
+  out->hit_rate = s.hit_rate();
+  return 1;
+}
+
 }  // extern "C"

@@ -269,6 +269,51 @@ long long armgemm_get_flight_depth(void);
 void armgemm_set_drift_threshold(double threshold);
 double armgemm_get_drift_threshold(void);
 
+/* ---- Serving-runtime introspection (scheduler + panel cache) ----
+ *
+ * Merged snapshots of the persistent batch pool's scheduler counters and
+ * the packed-B panel cache. Both getters return 1 and fill `out` once the
+ * respective runtime singleton has come up (i.e. after the first batch
+ * call), else 0 with `out` zeroed. In a -DARMGEMM_STATS=OFF build the
+ * scheduler counters read zero; the cache counters remain live (cold
+ * path). */
+
+typedef struct armgemm_scheduler_stats {
+  int workers;                        /* pool worker threads right now */
+  long long queued;                   /* tickets waiting in the queue */
+  unsigned long long submissions;     /* batch submissions executed */
+  unsigned long long tickets_enqueued;
+  unsigned long long tickets_inline;  /* admission overflow, ran on callers */
+  unsigned long long tickets_run;     /* total over workers + callers */
+  unsigned long long tickets_stolen;  /* popped from a foreign shard */
+  unsigned long long steal_attempts;
+  unsigned long long steal_failures;
+  unsigned long long blocks;          /* spin-window expiries -> OS block */
+  double busy_seconds;                /* summed over worker lanes */
+  double idle_seconds;
+  double utilization;                 /* busy / (busy + idle) over workers */
+  double steal_imbalance;             /* max/mean tickets run per worker */
+} armgemm_scheduler_stats;
+
+int armgemm_scheduler_stats_get(armgemm_scheduler_stats* out);
+
+typedef struct armgemm_panel_cache_stats {
+  unsigned long long hits;
+  unsigned long long misses;
+  unsigned long long inserts;
+  unsigned long long bypasses;        /* caching off / would not fit */
+  unsigned long long evictions;
+  unsigned long long wait_stalls;     /* hits that waited on a mid-pack panel */
+  double wait_seconds;
+  unsigned long long epochs;          /* sharing epochs begun (batch calls) */
+  unsigned long long resident_bytes;
+  unsigned long long peak_bytes;
+  unsigned long long resident_panels;
+  double hit_rate;                    /* hits / (hits + misses) */
+} armgemm_panel_cache_stats;
+
+int armgemm_panel_cache_stats_get(armgemm_panel_cache_stats* out);
+
 #ifdef __cplusplus
 }
 #endif

@@ -14,7 +14,9 @@
 #include "core/gemm_internal.hpp"
 #include "core/packing.hpp"
 #include "core/panel_cache.hpp"
+#include "obs/gemm_stats.hpp"
 #include "obs/telemetry.hpp"
+#include "obs/tracer.hpp"
 #include "threading/persistent_pool.hpp"
 #include "threading/thread_pool.hpp"
 
@@ -41,7 +43,11 @@ struct EntryState {
   GemmBatchEntry e;  // normalized to column-major
   EntryKind kind = EntryKind::kBlocked;
   int tickets = 0;
+  int shape_class = -1;  // batch ShapeClass index, for cache attribution
   std::atomic<index_t> remaining{0};
+  // Panel-cache outcomes summed over this entry's tickets (read by the
+  // last finisher for the telemetry record).
+  std::atomic<std::uint64_t> cache_hits{0}, cache_misses{0};
   // Written by the runner of this entry's local ticket 0; read by the
   // runner of the last-finishing ticket (ordered by the release sequence
   // on `remaining`).
@@ -55,12 +61,19 @@ struct Ticket {
   index_t row0, rows;  // row range (kBlocked only)
 };
 
+/// Panel-cache outcomes of one ticket (span args + entry accumulation).
+struct TicketCacheCounts {
+  std::uint64_t hits = 0, misses = 0;
+};
+
 /// Serial blocked nest over one entry's [row0, row0 + rows) C rows,
 /// sharing packed B panels through the cache. Loop order and beta
 /// placement match gemm_serial, so each C element of the range sees the
 /// exact accumulation order of a serial run.
-void run_blocked_rows(const GemmBatchEntry& e, index_t row0, index_t rows, const Context& ctx,
-                      std::uint64_t epoch) {
+TicketCacheCounts run_blocked_rows(const GemmBatchEntry& e, index_t row0, index_t rows,
+                                   const Context& ctx, std::uint64_t epoch,
+                                   int shape_class) {
+  TicketCacheCounts counts;
   const BlockSizes& bs = ctx.block_sizes();
   const Microkernel& kernel = ctx.kernel();
   PanelCache& cache = PanelCache::instance();
@@ -91,9 +104,13 @@ void run_blocked_rows(const GemmBatchEntry& e, index_t row0, index_t rows, const
       key.nc = nc;
       key.nr = bs.nr;
       key.epoch = epoch;
+      PanelCache::Outcome outcome = PanelCache::Outcome::kBypass;
       std::shared_ptr<const PackedPanel> shared = cache.get_or_pack(
           key, b_elems,
-          [&](double* dst) { pack_b(e.trans_b, e.b, e.ldb, kk, jj, kc, nc, bs.nr, dst); });
+          [&](double* dst) { pack_b(e.trans_b, e.b, e.ldb, kk, jj, kc, nc, bs.nr, dst); },
+          shape_class, &outcome);
+      if (outcome == PanelCache::Outcome::kHit) ++counts.hits;
+      if (outcome == PanelCache::Outcome::kMiss) ++counts.misses;
       const double* panel_b;
       if (shared) {
         panel_b = shared->data();
@@ -111,22 +128,38 @@ void run_blocked_rows(const GemmBatchEntry& e, index_t row0, index_t rows, const
       }
     }
   }
+  return counts;
 }
 
 struct BatchSource final : TaskSource {
   const Context* ctx = nullptr;
+  obs::Tracer* tracer = nullptr;
   std::uint64_t epoch = 0;
   bool telemetry = false;
   std::vector<Ticket> tickets;
 
-  void run_ticket(std::int64_t t, double queue_wait_seconds) override {
+  /// Timeline lane for a runner: lane 0 is the submitting/helping caller,
+  /// pool worker r lands on lane r + 1 (dgemm_batch names them).
+  static int trace_lane(int runner_rank) { return runner_rank + 1; }
+
+  void run_ticket(std::int64_t t, const TicketInfo& info) override {
     const Ticket& tk = tickets[static_cast<std::size_t>(t)];
     EntryState& st = *tk.entry;
     if (tk.local == 0) {
       st.start_seconds = now_seconds();
-      st.queue_wait_seconds = queue_wait_seconds;
+      st.queue_wait_seconds = info.queue_wait_seconds;
+    }
+    double span_t0 = 0;
+    if (tracer) {
+      span_t0 = tracer->now();
+      // Queue depth right after this ticket's pop; inline-overflow tickets
+      // never entered the queue, so they carry no depth sample.
+      if (!info.inline_overflow)
+        tracer->counter("queue_depth", span_t0,
+                        static_cast<double>(info.queue_depth));
     }
     const GemmBatchEntry& e = st.e;
+    TicketCacheCounts cache;
     switch (st.kind) {
       case EntryKind::kScale:
         detail::scale_panel(e.c, e.ldc, e.m, e.n, e.beta);
@@ -136,14 +169,32 @@ struct BatchSource final : TaskSource {
                                 e.b, e.ldb, e.beta, e.c, e.ldc);
         break;
       case EntryKind::kBlocked:
-        run_blocked_rows(e, tk.row0, tk.rows, *ctx, epoch);
+        cache = run_blocked_rows(e, tk.row0, tk.rows, *ctx, epoch, st.shape_class);
         break;
+    }
+    if (cache.hits) st.cache_hits.fetch_add(cache.hits, std::memory_order_relaxed);
+    if (cache.misses) st.cache_misses.fetch_add(cache.misses, std::memory_order_relaxed);
+    if (tracer) {
+      const char* name = st.kind == EntryKind::kScale   ? "ticket/scale"
+                         : st.kind == EntryKind::kSmall ? "ticket/small"
+                                                        : "ticket/blocked";
+      obs::BlockArgs args;
+      args.with("ticket", t)
+          .with("wait_us",
+                static_cast<std::int64_t>(info.queue_wait_seconds * 1e6))
+          .with("stolen", info.stolen ? 1 : 0)
+          .with("cache_hits", static_cast<std::int64_t>(cache.hits))
+          .with("cache_misses", static_cast<std::int64_t>(cache.misses));
+      if (info.shard >= 0) args.with("shard", info.shard);
+      tracer->record(trace_lane(info.runner_rank), name, span_t0,
+                     tracer->now() - span_t0, args);
     }
     if (st.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1 && telemetry &&
         st.kind != EntryKind::kScale) {
-      obs::telemetry_record_batch_entry(e.m, e.n, e.k, ctx->threads(),
-                                        now_seconds() - st.start_seconds,
-                                        st.queue_wait_seconds);
+      obs::telemetry_record_batch_entry(
+          e.m, e.n, e.k, ctx->threads(), now_seconds() - st.start_seconds,
+          st.queue_wait_seconds, st.cache_hits.load(std::memory_order_relaxed),
+          st.cache_misses.load(std::memory_order_relaxed));
     }
   }
 };
@@ -194,6 +245,11 @@ void dgemm_batch(Layout layout, const GemmBatchEntry* entries, index_t count,
       st.kind = EntryKind::kBlocked;
       st.tickets = static_cast<int>(blocked_tickets(e.m, bs.mc));
     }
+    // Cache hits/misses are attributed to the batch shape class (same
+    // class telemetry_record_batch_entry files the latency under).
+    obs::ShapeClass sc = obs::ShapeClass::classify(e.m, e.n, e.k);
+    sc.kind = obs::ShapeKind::kBatch;
+    st.shape_class = sc.index();
     st.remaining.store(st.tickets, std::memory_order_relaxed);
   }
   if (states.empty()) return;
@@ -205,6 +261,18 @@ void dgemm_batch(Layout layout, const GemmBatchEntry* entries, index_t count,
   // point may be served (the aliasing hazard).
   src.epoch = PanelCache::instance().begin_epoch();
   src.telemetry = obs::telemetry_active();
+  src.tracer = ctx.stats() ? ctx.stats()->tracer() : nullptr;
+  if (src.tracer) {
+    // Label the scheduling timeline: lane 0 is the submitting caller,
+    // lanes 1..N are the persistent-pool workers. The pool is grow-only
+    // and shared across contexts, so name every live worker — a worker
+    // another caller spun up can still steal this submission's tickets.
+    src.tracer->set_lane_name(0, "caller");
+    const int live = PersistentPool::instance().workers();
+    for (int r = 0; r < std::max(live, ctx.threads() - 1); ++r)
+      src.tracer->set_lane_name(BatchSource::trace_lane(r),
+                                "armgemm-pw" + std::to_string(r));
+  }
   for (EntryState& st : states) {
     if (st.kind != EntryKind::kBlocked) {
       src.tickets.push_back({&st, 0, 0, st.e.m});

@@ -1,18 +1,38 @@
 #include "core/panel_cache.hpp"
 
+#include <chrono>
+
 #include "common/knobs.hpp"
 #include "threading/spin.hpp"
 
 namespace ag {
 
+namespace {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
 PanelCache& PanelCache::instance() {
   // Leaky singleton: in-flight batch workers may hold panels during
-  // static destruction.
-  static PanelCache* cache = new PanelCache;
+  // static destruction. The obs snapshot source registers here (once,
+  // under the magic-static guard) because obs cannot link back to core.
+  static PanelCache* cache = [] {
+    auto* c = new PanelCache;
+    obs::set_panel_cache_stats_source(
+        +[] { return PanelCache::instance().stats(); });
+    return c;
+  }();
   return *cache;
 }
 
 std::uint64_t PanelCache::begin_epoch() {
+  epochs_.fetch_add(1, std::memory_order_relaxed);
   std::lock_guard lock(mutex_);
   map_.clear();
   order_.clear();
@@ -21,10 +41,12 @@ std::uint64_t PanelCache::begin_epoch() {
 }
 
 std::shared_ptr<const PackedPanel> PanelCache::get_or_pack(
-    const PanelKey& key, index_t elems, const std::function<void(double*)>& pack) {
+    const PanelKey& key, index_t elems, const std::function<void(double*)>& pack,
+    int shape_class, Outcome* outcome) {
   const std::int64_t cap_mb = panel_cache_mb();
   if (cap_mb <= 0 || elems <= 0) {
     bypasses_.fetch_add(1, std::memory_order_relaxed);
+    if (outcome) *outcome = Outcome::kBypass;
     return nullptr;
   }
   const std::size_t cap = static_cast<std::size_t>(cap_mb) << 20;
@@ -38,9 +60,11 @@ std::shared_ptr<const PackedPanel> PanelCache::get_or_pack(
     if (it != map_.end()) {
       panel = it->second;
       hits_.fetch_add(1, std::memory_order_relaxed);
+      by_class_[shape_class].hits++;
     } else {
       if (bytes > cap) {
         bypasses_.fetch_add(1, std::memory_order_relaxed);
+        if (outcome) *outcome = Outcome::kBypass;
         return nullptr;
       }
       // FIFO-evict until the new panel fits. Evicting a panel mid-pack is
@@ -56,14 +80,17 @@ std::shared_ptr<const PackedPanel> PanelCache::get_or_pack(
       }
       if (bytes_ + bytes > cap) {
         bypasses_.fetch_add(1, std::memory_order_relaxed);
+        if (outcome) *outcome = Outcome::kBypass;
         return nullptr;
       }
       panel = std::make_shared<PackedPanel>();
       panel->bytes_ = bytes;
       bytes_ += bytes;
+      if (bytes_ > peak_bytes_) peak_bytes_ = bytes_;
       map_.emplace(key, panel);
       order_.push_back(key);
       misses_.fetch_add(1, std::memory_order_relaxed);
+      by_class_[shape_class].misses++;
       packer = true;
     }
   }
@@ -78,10 +105,16 @@ std::shared_ptr<const PackedPanel> PanelCache::get_or_pack(
     { std::lock_guard lock(panel->mutex_); }
     panel->cv_.notify_all();
     inserts_.fetch_add(1, std::memory_order_relaxed);
+    if (outcome) *outcome = Outcome::kMiss;
     return panel;
   }
 
   if (!panel->ready_.load(std::memory_order_acquire)) {
+    // A hit on a panel still mid-pack: the wait is time this ticket spends
+    // stalled on another thread's packing (counted so operators can see
+    // pack contention as distinct from clean hits).
+    const std::uint64_t wait_start = now_ns();
+    wait_stalls_.fetch_add(1, std::memory_order_relaxed);
     SpinWait spinner;
     while (!panel->ready_.load(std::memory_order_acquire)) {
       if (!spinner.spin()) {
@@ -92,7 +125,9 @@ std::shared_ptr<const PackedPanel> PanelCache::get_or_pack(
         break;
       }
     }
+    wait_ns_.fetch_add(now_ns() - wait_start, std::memory_order_relaxed);
   }
+  if (outcome) *outcome = Outcome::kHit;
   return panel;
 }
 
@@ -103,6 +138,24 @@ PanelCache::Stats PanelCache::stats() const {
   s.inserts = inserts_.load(std::memory_order_relaxed);
   s.bypasses = bypasses_.load(std::memory_order_relaxed);
   s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.wait_stalls = wait_stalls_.load(std::memory_order_relaxed);
+  s.wait_seconds =
+      static_cast<double>(wait_ns_.load(std::memory_order_relaxed)) * 1e-9;
+  s.epochs = epochs_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard lock(mutex_);
+    s.resident_bytes = static_cast<std::uint64_t>(bytes_);
+    s.peak_bytes = static_cast<std::uint64_t>(peak_bytes_);
+    s.resident_panels = static_cast<std::uint64_t>(map_.size());
+    s.by_class.reserve(by_class_.size());
+    for (const auto& [cls, counts] : by_class_) {
+      Stats::ClassStats c;
+      c.shape_class = cls;
+      c.hits = counts.hits;
+      c.misses = counts.misses;
+      s.by_class.push_back(c);
+    }
+  }
   return s;
 }
 
@@ -112,6 +165,12 @@ void PanelCache::reset_stats() {
   inserts_.store(0, std::memory_order_relaxed);
   bypasses_.store(0, std::memory_order_relaxed);
   evictions_.store(0, std::memory_order_relaxed);
+  wait_stalls_.store(0, std::memory_order_relaxed);
+  wait_ns_.store(0, std::memory_order_relaxed);
+  epochs_.store(0, std::memory_order_relaxed);
+  std::lock_guard lock(mutex_);
+  by_class_.clear();
+  peak_bytes_ = bytes_;
 }
 
 }  // namespace ag

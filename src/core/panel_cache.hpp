@@ -30,12 +30,14 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
 
 #include "blas/gemm_types.hpp"
 #include "common/aligned_buffer.hpp"
+#include "obs/runtime_introspect.hpp"
 
 namespace ag {
 
@@ -98,13 +100,13 @@ class PanelCache {
   /// The process-wide cache shared by every batch call.
   static PanelCache& instance();
 
-  struct Stats {
-    std::uint64_t hits = 0;       // served an already-present panel
-    std::uint64_t misses = 0;     // key absent; requester packed it
-    std::uint64_t inserts = 0;    // panels published (== misses)
-    std::uint64_t bypasses = 0;   // caching off / would not fit
-    std::uint64_t evictions = 0;  // panels dropped to make room
-  };
+  /// Snapshot type shared with the obs exposition (hits, misses, inserts,
+  /// bypasses, evictions, wait stalls, residency, per-shape-class counts).
+  using Stats = obs::PanelCacheStats;
+
+  /// What one get_or_pack request turned into (for caller-side telemetry;
+  /// the cache also counts these internally).
+  enum class Outcome { kHit, kMiss, kBypass };
 
   /// Starts a new sharing epoch and drops every entry (in-flight users
   /// keep their panels alive through the returned shared_ptrs). Every
@@ -121,9 +123,14 @@ class PanelCache {
   /// holds `elems` doubles) if this is the first request. Returns nullptr
   /// when the cache is off or the panel cannot fit (caller packs into its
   /// private scratch). Blocks briefly when another thread is mid-pack for
-  /// the same key.
+  /// the same key. `shape_class` (obs::ShapeClass::index(); -1 = untagged)
+  /// attributes the hit/miss to the requesting entry's shape class in the
+  /// stats breakdown; `outcome`, when non-null, reports what the request
+  /// turned into.
   std::shared_ptr<const PackedPanel> get_or_pack(const PanelKey& key, index_t elems,
-                                                 const std::function<void(double*)>& pack);
+                                                 const std::function<void(double*)>& pack,
+                                                 int shape_class = -1,
+                                                 Outcome* outcome = nullptr);
 
   Stats stats() const;
   void reset_stats();
@@ -131,14 +138,20 @@ class PanelCache {
  private:
   PanelCache() = default;
 
+  struct ClassCounts {
+    std::uint64_t hits = 0, misses = 0;
+  };
+
   mutable std::mutex mutex_;
   std::unordered_map<PanelKey, std::shared_ptr<PackedPanel>, PanelKeyHash> map_;
   std::deque<PanelKey> order_;  // insertion order, for FIFO eviction
   std::size_t bytes_ = 0;       // sum of resident panels' bytes
+  std::size_t peak_bytes_ = 0;  // high-water bytes_ (survives epochs/resets)
+  std::map<int, ClassCounts> by_class_;  // keyed by shape class; guarded by mutex_
   std::atomic<std::uint64_t> epoch_{0};
 
   std::atomic<std::uint64_t> hits_{0}, misses_{0}, inserts_{0}, bypasses_{0},
-      evictions_{0};
+      evictions_{0}, wait_stalls_{0}, wait_ns_{0}, epochs_{0};
 };
 
 }  // namespace ag

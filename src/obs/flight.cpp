@@ -22,7 +22,12 @@ std::string CallRecord::to_json() const {
      << "\",\"shape_class\":" << shape_class << ",\"seconds\":" << seconds
      << ",\"gflops\":" << gflops << ",\"efficiency\":" << efficiency
      << ",\"expected_gflops\":" << expected_gflops
-     << ",\"pmu_hardware\":" << (pmu_hardware ? "true" : "false") << "}";
+     << ",\"pmu_hardware\":" << (pmu_hardware ? "true" : "false");
+  if (schedule == ScheduleKind::kBatch) {
+    os << ",\"queue_wait_seconds\":" << queue_wait_seconds
+       << ",\"cache_hits\":" << cache_hits << ",\"cache_misses\":" << cache_misses;
+  }
+  os << "}";
   return os.str();
 }
 

@@ -34,8 +34,13 @@ struct CallRecord {
   double efficiency = 0;        // gflops / (threads * calibrated peak); 0 unknown
   double expected_gflops = 0;   // Section III model prediction; 0 unknown
   bool pmu_hardware = false;    // provenance: real PMU counters in this process
+  // Batch-entry scheduling detail (kBatch records; zero otherwise):
+  double queue_wait_seconds = 0;    // submit -> first-ticket-start delay
+  std::uint64_t cache_hits = 0;     // panel-cache hits over the entry's tickets
+  std::uint64_t cache_misses = 0;   // panel-cache misses (panels this entry packed)
 
-  /// One JSON object (all fields; schedule as a string).
+  /// One JSON object (all fields; schedule as a string; the batch
+  /// scheduling fields appear only on kBatch records).
   std::string to_json() const;
 };
 

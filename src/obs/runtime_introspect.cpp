@@ -1,0 +1,40 @@
+#include "obs/runtime_introspect.hpp"
+
+#include <atomic>
+
+namespace ag::obs {
+
+namespace {
+
+std::atomic<SchedulerStatsFn> g_scheduler_source{nullptr};
+std::atomic<PanelCacheStatsFn> g_panel_cache_source{nullptr};
+
+}  // namespace
+
+void set_scheduler_stats_source(SchedulerStatsFn fn) {
+  g_scheduler_source.store(fn, std::memory_order_release);
+}
+
+void set_panel_cache_stats_source(PanelCacheStatsFn fn) {
+  g_panel_cache_source.store(fn, std::memory_order_release);
+}
+
+bool scheduler_stats_available() {
+  return g_scheduler_source.load(std::memory_order_acquire) != nullptr;
+}
+
+bool panel_cache_stats_available() {
+  return g_panel_cache_source.load(std::memory_order_acquire) != nullptr;
+}
+
+SchedulerStats scheduler_stats() {
+  const SchedulerStatsFn fn = g_scheduler_source.load(std::memory_order_acquire);
+  return fn ? fn() : SchedulerStats{};
+}
+
+PanelCacheStats panel_cache_stats() {
+  const PanelCacheStatsFn fn = g_panel_cache_source.load(std::memory_order_acquire);
+  return fn ? fn() : PanelCacheStats{};
+}
+
+}  // namespace ag::obs

@@ -1,0 +1,128 @@
+// Runtime introspection: snapshot types and source registration for the
+// serving runtime's scheduler (threading/persistent_pool) and packed-B
+// panel cache (core/panel_cache).
+//
+// Layering: obs never links threading or core, so it cannot call
+// PersistentPool::instance() itself. Instead the pool and the cache
+// register a snapshot *source* (a plain function pointer) here when their
+// process-wide singletons come up, and the telemetry exposition pulls
+// through that indirection. Until a source registers (i.e. until the
+// first batch call touches the runtime) the snapshots report
+// `registered == false` and renderers skip the section.
+//
+// The structs are plain data: safe to copy out of locks, serialize, and
+// mirror into the C API.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ag::obs {
+
+/// One scheduler lane's counters: a persistent-pool worker, or the
+/// merged "callers" lane (every submitting thread that helped drain the
+/// queue records there).
+struct SchedulerWorkerStats {
+  std::string name;                  // "armgemm-pw<rank>" or "callers"
+  std::uint64_t tickets_run = 0;     // tickets executed (queue pops + inline)
+  std::uint64_t tickets_stolen = 0;  // pops from a non-home shard
+  std::uint64_t tickets_inline = 0;  // admission-overflow tickets (callers only)
+  std::uint64_t steal_attempts = 0;  // foreign-shard probes
+  std::uint64_t steal_failures = 0;  // foreign-shard probes that found nothing
+  std::uint64_t blocks = 0;          // spin window expired -> OS block transitions
+  double busy_seconds = 0;           // time inside run_ticket
+  double idle_seconds = 0;           // time scanning/spinning/blocked (workers)
+
+  /// Busy fraction of the observed lifetime; 0 when nothing recorded.
+  double utilization() const {
+    const double total = busy_seconds + idle_seconds;
+    return total > 0 ? busy_seconds / total : 0.0;
+  }
+};
+
+/// Merged scheduler snapshot of the persistent batch pool.
+struct SchedulerStats {
+  int workers = 0;                       // current worker-thread count
+  std::int64_t queued = 0;               // tickets sitting in the queue now
+  std::uint64_t submissions = 0;         // execute() calls since process start
+  std::uint64_t tickets_enqueued = 0;    // tickets that entered the queue
+  std::uint64_t tickets_inline = 0;      // tickets admission forced inline
+  std::vector<SchedulerWorkerStats> per_worker;  // workers, then "callers"
+
+  /// Pool-wide busy fraction over the worker lanes (callers excluded:
+  /// their idle time is not the pool's).
+  double utilization() const {
+    double busy = 0, total = 0;
+    for (const SchedulerWorkerStats& w : per_worker) {
+      if (w.name == "callers") continue;
+      busy += w.busy_seconds;
+      total += w.busy_seconds + w.idle_seconds;
+    }
+    return total > 0 ? busy / total : 0.0;
+  }
+
+  /// Max-over-mean tickets_run across worker lanes: 1.0 = perfectly
+  /// balanced, rising as stealing fails to even out the load. 0 when no
+  /// worker ran a ticket (e.g. caller-only draining).
+  double steal_imbalance() const {
+    std::uint64_t max_run = 0, sum = 0;
+    int lanes = 0;
+    for (const SchedulerWorkerStats& w : per_worker) {
+      if (w.name == "callers") continue;
+      ++lanes;
+      sum += w.tickets_run;
+      if (w.tickets_run > max_run) max_run = w.tickets_run;
+    }
+    if (lanes == 0 || sum == 0) return 0.0;
+    const double mean = static_cast<double>(sum) / lanes;
+    return static_cast<double>(max_run) / mean;
+  }
+};
+
+/// Packed-B panel-cache snapshot (core/panel_cache). The per-class
+/// breakdown keys hits/misses by the requesting entry's telemetry shape
+/// class (ShapeClass::index()); -1 collects untagged requests.
+struct PanelCacheStats {
+  std::uint64_t hits = 0;        // served an already-present panel
+  std::uint64_t misses = 0;      // key absent; requester packed it
+  std::uint64_t inserts = 0;     // panels published (packs; == misses)
+  std::uint64_t bypasses = 0;    // caching off / would not fit
+  std::uint64_t evictions = 0;   // panels dropped to make room
+  std::uint64_t wait_stalls = 0; // hits that had to wait for a mid-pack panel
+  double wait_seconds = 0;       // total time spent in those waits
+  std::uint64_t epochs = 0;      // begin_epoch() calls (batch-call count)
+  std::uint64_t resident_bytes = 0;  // bytes of panels resident right now
+  std::uint64_t peak_bytes = 0;      // high-water resident_bytes
+  std::uint64_t resident_panels = 0; // panels resident right now
+
+  struct ClassStats {
+    int shape_class = -1;  // obs::ShapeClass::index(); -1 = untagged
+    std::uint64_t hits = 0, misses = 0;
+  };
+  std::vector<ClassStats> by_class;
+
+  double hit_rate() const {
+    const std::uint64_t lookups = hits + misses;
+    return lookups > 0 ? static_cast<double>(hits) / static_cast<double>(lookups) : 0.0;
+  }
+};
+
+using SchedulerStatsFn = SchedulerStats (*)();
+using PanelCacheStatsFn = PanelCacheStats (*)();
+
+/// Registers the process-wide scheduler / panel-cache snapshot source.
+/// Called once by PersistentPool::instance() / PanelCache::instance();
+/// later registrations overwrite (harmless: the sources are idempotent).
+void set_scheduler_stats_source(SchedulerStatsFn fn);
+void set_panel_cache_stats_source(PanelCacheStatsFn fn);
+
+bool scheduler_stats_available();
+bool panel_cache_stats_available();
+
+/// Snapshots through the registered source; default-constructed (empty)
+/// when no source has registered yet.
+SchedulerStats scheduler_stats();
+PanelCacheStats panel_cache_stats();
+
+}  // namespace ag::obs

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <memory>
@@ -444,10 +445,12 @@ void telemetry_record_call(std::int64_t m, std::int64_t n, std::int64_t k, int t
 
 void telemetry_record_batch_entry(std::int64_t m, std::int64_t n, std::int64_t k,
                                   int threads, double service_seconds,
-                                  double queue_wait_seconds) {
+                                  double queue_wait_seconds,
+                                  std::uint64_t cache_hits,
+                                  std::uint64_t cache_misses) {
 #ifdef ARMGEMM_STATS_DISABLED
   (void)m; (void)n; (void)k; (void)threads; (void)service_seconds;
-  (void)queue_wait_seconds;
+  (void)queue_wait_seconds; (void)cache_hits; (void)cache_misses;
 #else
   if (!telemetry_active()) return;
   Telemetry& t = T();
@@ -491,6 +494,9 @@ void telemetry_record_batch_entry(std::int64_t m, std::int64_t n, std::int64_t k
   rec.seconds = service_seconds;
   rec.gflops = gflops;
   rec.efficiency = efficiency;
+  rec.queue_wait_seconds = queue_wait_seconds;
+  rec.cache_hits = cache_hits;
+  rec.cache_misses = cache_misses;
   lane.flight_rec().record(rec);
 #endif
 }
@@ -646,6 +652,13 @@ TelemetrySnapshot telemetry_snapshot() {
     std::lock_guard anomaly_lock(t.anomalies_mutex);
     s.anomalies = t.anomalies;
   }
+
+  // Serving-runtime introspection, pulled through the registered sources
+  // (empty until the pool / cache singleton has come up).
+  s.scheduler_available = scheduler_stats_available();
+  if (s.scheduler_available) s.scheduler = scheduler_stats();
+  s.panel_cache_available = panel_cache_stats_available();
+  if (s.panel_cache_available) s.panel_cache = panel_cache_stats();
   return s;
 }
 
@@ -727,7 +740,19 @@ std::string telemetry_render_prometheus() {
     const std::string labels = std::string("kind=\"") + to_string(c.shape.kind) +
                                "\",decade=\"" + std::to_string(c.shape.decade) + "\"";
     os << "armgemm_drift_ewma{" << labels << "} " << c.drift_fast << "\n";
+  }
+  os << "# HELP armgemm_drift_reference Slow EWMA baseline the fast EWMA is compared to.\n"
+        "# TYPE armgemm_drift_reference gauge\n";
+  for (const ClassSnapshot& c : s.classes) {
+    const std::string labels = std::string("kind=\"") + to_string(c.shape.kind) +
+                               "\",decade=\"" + std::to_string(c.shape.decade) + "\"";
     os << "armgemm_drift_reference{" << labels << "} " << c.drift_reference << "\n";
+  }
+  os << "# HELP armgemm_drift_state 1 while the class is flagged as drifting.\n"
+        "# TYPE armgemm_drift_state gauge\n";
+  for (const ClassSnapshot& c : s.classes) {
+    const std::string labels = std::string("kind=\"") + to_string(c.shape.kind) +
+                               "\",decade=\"" + std::to_string(c.shape.decade) + "\"";
     os << "armgemm_drift_state{" << labels << "} " << (c.in_drift ? 1 : 0) << "\n";
   }
   os << "# HELP armgemm_drift_anomalies_total Drift onsets since the epoch.\n"
@@ -760,6 +785,124 @@ std::string telemetry_render_prometheus() {
     os << "armgemm_queue_wait_seconds_sum{" << labels << "} " << w.queue_wait.sum << "\n";
     os << "armgemm_queue_wait_seconds_count{" << labels << "} " << w.queue_wait.total
        << "\n";
+  }
+
+  if (s.scheduler_available) {
+    const SchedulerStats& sch = s.scheduler;
+    os << "# HELP armgemm_scheduler_workers Persistent-pool worker threads.\n"
+          "# TYPE armgemm_scheduler_workers gauge\n"
+       << "armgemm_scheduler_workers " << sch.workers << "\n";
+    os << "# HELP armgemm_scheduler_queue_depth Tickets waiting in the queue now.\n"
+          "# TYPE armgemm_scheduler_queue_depth gauge\n"
+       << "armgemm_scheduler_queue_depth " << sch.queued << "\n";
+    os << "# HELP armgemm_scheduler_submissions_total Batch submissions executed.\n"
+          "# TYPE armgemm_scheduler_submissions_total counter\n"
+       << "armgemm_scheduler_submissions_total " << sch.submissions << "\n";
+    os << "# HELP armgemm_scheduler_tickets_enqueued_total Tickets admitted to the queue.\n"
+          "# TYPE armgemm_scheduler_tickets_enqueued_total counter\n"
+       << "armgemm_scheduler_tickets_enqueued_total " << sch.tickets_enqueued << "\n";
+    os << "# HELP armgemm_scheduler_tickets_inline_total Tickets the admission limit ran inline.\n"
+          "# TYPE armgemm_scheduler_tickets_inline_total counter\n"
+       << "armgemm_scheduler_tickets_inline_total " << sch.tickets_inline << "\n";
+    os << "# HELP armgemm_scheduler_utilization Pool-wide busy fraction over worker lanes.\n"
+          "# TYPE armgemm_scheduler_utilization gauge\n"
+       << "armgemm_scheduler_utilization " << sch.utilization() << "\n";
+    os << "# HELP armgemm_scheduler_steal_imbalance Max-over-mean tickets run per worker.\n"
+          "# TYPE armgemm_scheduler_steal_imbalance gauge\n"
+       << "armgemm_scheduler_steal_imbalance " << sch.steal_imbalance() << "\n";
+
+    os << "# HELP armgemm_worker_tickets_total Tickets run per scheduler lane.\n"
+          "# TYPE armgemm_worker_tickets_total counter\n";
+    for (const SchedulerWorkerStats& w : sch.per_worker)
+      os << "armgemm_worker_tickets_total{worker=\"" << w.name << "\"} "
+         << w.tickets_run << "\n";
+    os << "# HELP armgemm_worker_tickets_stolen_total Tickets popped from a foreign shard.\n"
+          "# TYPE armgemm_worker_tickets_stolen_total counter\n";
+    for (const SchedulerWorkerStats& w : sch.per_worker)
+      os << "armgemm_worker_tickets_stolen_total{worker=\"" << w.name << "\"} "
+         << w.tickets_stolen << "\n";
+    os << "# HELP armgemm_worker_steal_attempts_total Foreign-shard probes.\n"
+          "# TYPE armgemm_worker_steal_attempts_total counter\n";
+    for (const SchedulerWorkerStats& w : sch.per_worker)
+      os << "armgemm_worker_steal_attempts_total{worker=\"" << w.name << "\"} "
+         << w.steal_attempts << "\n";
+    os << "# HELP armgemm_worker_steal_failures_total Foreign-shard probes that found nothing.\n"
+          "# TYPE armgemm_worker_steal_failures_total counter\n";
+    for (const SchedulerWorkerStats& w : sch.per_worker)
+      os << "armgemm_worker_steal_failures_total{worker=\"" << w.name << "\"} "
+         << w.steal_failures << "\n";
+    os << "# HELP armgemm_worker_blocks_total Spin-window expiries that fell back to an OS block.\n"
+          "# TYPE armgemm_worker_blocks_total counter\n";
+    for (const SchedulerWorkerStats& w : sch.per_worker)
+      os << "armgemm_worker_blocks_total{worker=\"" << w.name << "\"} " << w.blocks
+         << "\n";
+    os << "# HELP armgemm_worker_busy_seconds_total Time inside run_ticket per lane.\n"
+          "# TYPE armgemm_worker_busy_seconds_total counter\n";
+    for (const SchedulerWorkerStats& w : sch.per_worker)
+      os << "armgemm_worker_busy_seconds_total{worker=\"" << w.name << "\"} "
+         << w.busy_seconds << "\n";
+    os << "# HELP armgemm_worker_idle_seconds_total Time scanning/spinning/blocked per lane.\n"
+          "# TYPE armgemm_worker_idle_seconds_total counter\n";
+    for (const SchedulerWorkerStats& w : sch.per_worker)
+      os << "armgemm_worker_idle_seconds_total{worker=\"" << w.name << "\"} "
+         << w.idle_seconds << "\n";
+    os << "# HELP armgemm_worker_utilization Busy fraction of the observed lifetime per lane.\n"
+          "# TYPE armgemm_worker_utilization gauge\n";
+    for (const SchedulerWorkerStats& w : sch.per_worker)
+      os << "armgemm_worker_utilization{worker=\"" << w.name << "\"} "
+         << w.utilization() << "\n";
+  }
+
+  if (s.panel_cache_available) {
+    const PanelCacheStats& pc = s.panel_cache;
+    os << "# HELP armgemm_panel_cache_hits_total Packed-B panels served from the cache.\n"
+          "# TYPE armgemm_panel_cache_hits_total counter\n"
+       << "armgemm_panel_cache_hits_total " << pc.hits << "\n";
+    os << "# HELP armgemm_panel_cache_misses_total Requests that packed a fresh panel.\n"
+          "# TYPE armgemm_panel_cache_misses_total counter\n"
+       << "armgemm_panel_cache_misses_total " << pc.misses << "\n";
+    os << "# HELP armgemm_panel_cache_bypasses_total Requests the cache declined.\n"
+          "# TYPE armgemm_panel_cache_bypasses_total counter\n"
+       << "armgemm_panel_cache_bypasses_total " << pc.bypasses << "\n";
+    os << "# HELP armgemm_panel_cache_evictions_total Panels dropped to make room.\n"
+          "# TYPE armgemm_panel_cache_evictions_total counter\n"
+       << "armgemm_panel_cache_evictions_total " << pc.evictions << "\n";
+    os << "# HELP armgemm_panel_cache_wait_stalls_total Hits that waited on a mid-pack panel.\n"
+          "# TYPE armgemm_panel_cache_wait_stalls_total counter\n"
+       << "armgemm_panel_cache_wait_stalls_total " << pc.wait_stalls << "\n";
+    os << "# HELP armgemm_panel_cache_wait_seconds_total Time spent in those waits.\n"
+          "# TYPE armgemm_panel_cache_wait_seconds_total counter\n"
+       << "armgemm_panel_cache_wait_seconds_total " << pc.wait_seconds << "\n";
+    os << "# HELP armgemm_panel_cache_epochs_total Sharing epochs begun (batch calls).\n"
+          "# TYPE armgemm_panel_cache_epochs_total counter\n"
+       << "armgemm_panel_cache_epochs_total " << pc.epochs << "\n";
+    os << "# HELP armgemm_panel_cache_resident_bytes Bytes of panels resident now.\n"
+          "# TYPE armgemm_panel_cache_resident_bytes gauge\n"
+       << "armgemm_panel_cache_resident_bytes " << pc.resident_bytes << "\n";
+    os << "# HELP armgemm_panel_cache_peak_bytes High-water resident bytes.\n"
+          "# TYPE armgemm_panel_cache_peak_bytes gauge\n"
+       << "armgemm_panel_cache_peak_bytes " << pc.peak_bytes << "\n";
+    os << "# HELP armgemm_panel_cache_resident_panels Panels resident now.\n"
+          "# TYPE armgemm_panel_cache_resident_panels gauge\n"
+       << "armgemm_panel_cache_resident_panels " << pc.resident_panels << "\n";
+    os << "# HELP armgemm_panel_cache_hit_rate hits / (hits + misses) since start.\n"
+          "# TYPE armgemm_panel_cache_hit_rate gauge\n"
+       << "armgemm_panel_cache_hit_rate " << pc.hit_rate() << "\n";
+    if (!pc.by_class.empty()) {
+      const auto class_label = [](int idx) {
+        return idx < 0 ? std::string("untagged") : ShapeClass::from_index(idx).label();
+      };
+      os << "# HELP armgemm_panel_cache_class_hits_total Cache hits by requesting shape class.\n"
+            "# TYPE armgemm_panel_cache_class_hits_total counter\n";
+      for (const PanelCacheStats::ClassStats& c : pc.by_class)
+        os << "armgemm_panel_cache_class_hits_total{class=\"" << class_label(c.shape_class)
+           << "\"} " << c.hits << "\n";
+      os << "# HELP armgemm_panel_cache_class_misses_total Cache misses by requesting shape class.\n"
+            "# TYPE armgemm_panel_cache_class_misses_total counter\n";
+      for (const PanelCacheStats::ClassStats& c : pc.by_class)
+        os << "armgemm_panel_cache_class_misses_total{class=\"" << class_label(c.shape_class)
+           << "\"} " << c.misses << "\n";
+    }
   }
   return os.str();
 }
@@ -806,7 +949,55 @@ std::string telemetry_render_json() {
     json_hist(os, w.queue_wait);
     os << "}";
   }
-  os << "],\"flight\":" << flight_to_json(s.flight) << "}";
+  os << "],\"scheduler\":";
+  if (!s.scheduler_available) {
+    os << "null";
+  } else {
+    const SchedulerStats& sch = s.scheduler;
+    os << "{\"workers\":" << sch.workers << ",\"queued\":" << sch.queued
+       << ",\"submissions\":" << sch.submissions
+       << ",\"tickets_enqueued\":" << sch.tickets_enqueued
+       << ",\"tickets_inline\":" << sch.tickets_inline
+       << ",\"utilization\":" << sch.utilization()
+       << ",\"steal_imbalance\":" << sch.steal_imbalance() << ",\"per_worker\":[";
+    for (std::size_t i = 0; i < sch.per_worker.size(); ++i) {
+      const SchedulerWorkerStats& w = sch.per_worker[i];
+      if (i) os << ",";
+      os << "{\"name\":\"" << json_escape(w.name) << "\",\"tickets_run\":" << w.tickets_run
+         << ",\"tickets_stolen\":" << w.tickets_stolen
+         << ",\"tickets_inline\":" << w.tickets_inline
+         << ",\"steal_attempts\":" << w.steal_attempts
+         << ",\"steal_failures\":" << w.steal_failures << ",\"blocks\":" << w.blocks
+         << ",\"busy_seconds\":" << w.busy_seconds
+         << ",\"idle_seconds\":" << w.idle_seconds
+         << ",\"utilization\":" << w.utilization() << "}";
+    }
+    os << "]}";
+  }
+  os << ",\"panel_cache\":";
+  if (!s.panel_cache_available) {
+    os << "null";
+  } else {
+    const PanelCacheStats& pc = s.panel_cache;
+    os << "{\"hits\":" << pc.hits << ",\"misses\":" << pc.misses
+       << ",\"inserts\":" << pc.inserts << ",\"bypasses\":" << pc.bypasses
+       << ",\"evictions\":" << pc.evictions << ",\"wait_stalls\":" << pc.wait_stalls
+       << ",\"wait_seconds\":" << pc.wait_seconds << ",\"epochs\":" << pc.epochs
+       << ",\"resident_bytes\":" << pc.resident_bytes
+       << ",\"peak_bytes\":" << pc.peak_bytes
+       << ",\"resident_panels\":" << pc.resident_panels
+       << ",\"hit_rate\":" << pc.hit_rate() << ",\"by_class\":[";
+    for (std::size_t i = 0; i < pc.by_class.size(); ++i) {
+      const PanelCacheStats::ClassStats& c = pc.by_class[i];
+      if (i) os << ",";
+      os << "{\"class\":\""
+         << (c.shape_class < 0 ? std::string("untagged")
+                               : ShapeClass::from_index(c.shape_class).label())
+         << "\",\"hits\":" << c.hits << ",\"misses\":" << c.misses << "}";
+    }
+    os << "]}";
+  }
+  os << ",\"flight\":" << flight_to_json(s.flight) << "}";
   return os.str();
 }
 
@@ -822,18 +1013,23 @@ int telemetry_write_metrics(const std::string& path) {
 
   const std::string target = path.empty() ? metrics_path() : path;
   if (target.empty()) return -1;
-  {
-    std::ofstream os(target);
-    if (!os) return -1;
-    os << telemetry_render_prometheus();
-    if (!os) return -1;
-  }
-  {
-    std::ofstream os(target + ".json");
-    if (!os) return -1;
-    os << telemetry_render_json() << "\n";
-    if (!os) return -1;
-  }
+  // Publish atomically: write <path>.tmp, then rename over the target.
+  // rename(2) within a directory is atomic on POSIX, so a concurrent
+  // scraper (or armgemm-top) always reads either the previous complete
+  // file or the new complete file, never a torn prefix.
+  const auto publish = [](const std::string& dest, const std::string& body) {
+    const std::string tmp = dest + ".tmp";
+    {
+      std::ofstream os(tmp);
+      if (!os) return false;
+      os << body;
+      os.flush();
+      if (!os) return false;
+    }
+    return std::rename(tmp.c_str(), dest.c_str()) == 0;
+  };
+  if (!publish(target, telemetry_render_prometheus())) return -1;
+  if (!publish(target + ".json", telemetry_render_json() + "\n")) return -1;
   return 0;
 }
 

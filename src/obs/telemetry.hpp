@@ -43,6 +43,7 @@
 #include "obs/flight.hpp"
 #include "obs/gemm_stats.hpp"
 #include "obs/histogram.hpp"
+#include "obs/runtime_introspect.hpp"
 
 namespace ag::obs {
 
@@ -103,11 +104,14 @@ void telemetry_record_call(std::int64_t m, std::int64_t n, std::int64_t k, int t
 /// shape class (decade still from m*n*k): service latency + efficiency
 /// into the class histograms, `queue_wait_seconds` (submission-to-start
 /// delay in the persistent pool's queue) into the recording thread's
-/// queue-wait histogram, and a kBatch flight record. Batch entries skip
+/// queue-wait histogram, and a kBatch flight record carrying the queue
+/// wait plus the entry's panel-cache hit/miss totals. Batch entries skip
 /// the drift detector — queue wait would alias as model drift.
 void telemetry_record_batch_entry(std::int64_t m, std::int64_t n, std::int64_t k,
                                   int threads, double service_seconds,
-                                  double queue_wait_seconds);
+                                  double queue_wait_seconds,
+                                  std::uint64_t cache_hits = 0,
+                                  std::uint64_t cache_misses = 0);
 
 /// Records one rank's barrier wait for the just-finished parallel call
 /// into the calling thread's lane.
@@ -182,6 +186,14 @@ struct TelemetrySnapshot {
   std::vector<AnomalyEvent> anomalies;    // bounded, oldest dropped
   std::vector<CallRecord> flight;         // merged over lanes, time-ordered
   std::vector<WorkerSnapshot> workers;    // lanes with barrier-wait data
+
+  // Serving-runtime introspection (obs/runtime_introspect). The
+  // *_available flags are false until the pool / cache singleton has come
+  // up and registered its source; renderers skip the sections then.
+  bool scheduler_available = false;
+  SchedulerStats scheduler;
+  bool panel_cache_available = false;
+  PanelCacheStats panel_cache;
 };
 
 /// Merged state across every lane. Safe concurrently with recording.

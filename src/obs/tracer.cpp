@@ -52,6 +52,22 @@ void Tracer::record(int rank, const char* name, double t0, double dur,
   l.events.push_back(Event{name, t0, dur, args});
 }
 
+void Tracer::counter(const char* name, double t, double value) {
+  std::lock_guard lock(counter_mutex_);
+  if (counters_.size() >= max_events_per_lane_) {
+    ++counter_dropped_;
+    return;
+  }
+  if (counters_.capacity() == 0) counters_.reserve(256);
+  counters_.push_back(CounterEvent{name, t, value});
+}
+
+void Tracer::set_lane_name(int rank, const std::string& name) {
+  Lane& l = lane(rank);
+  std::lock_guard lock(l.mutex);
+  l.name = name;
+}
+
 Tracer::Region::Region(Tracer* tracer, int rank, const char* name)
     : tracer_(tracer), rank_(rank), name_(name) {
   if (tracer_) t0_ = tracer_->now();
@@ -75,13 +91,19 @@ std::size_t Tracer::event_count() const {
   return n;
 }
 
+std::size_t Tracer::counter_event_count() const {
+  std::lock_guard lock(counter_mutex_);
+  return counters_.size();
+}
+
 std::size_t Tracer::dropped_events() const {
   std::size_t n = 0;
   for (const auto& l : lanes_) {
     std::lock_guard lock(l.mutex);
     n += l.dropped;
   }
-  return n;
+  std::lock_guard lock(counter_mutex_);
+  return n + counter_dropped_;
 }
 
 void Tracer::clear() {
@@ -89,6 +111,12 @@ void Tracer::clear() {
     std::lock_guard lock(l.mutex);
     l.events.clear();
     l.dropped = 0;
+    l.name.clear();
+  }
+  {
+    std::lock_guard lock(counter_mutex_);
+    counters_.clear();
+    counter_dropped_ = 0;
   }
   epoch_ = steady_seconds();
 }
@@ -109,8 +137,10 @@ void Tracer::write_json(std::ostream& os) const {
     const Lane& l = lanes_[rank];
     std::lock_guard lock(l.mutex);
     if (l.events.empty()) continue;
-    emit_metadata("thread_name", rank,
-                  rank == 0 ? "rank 0 (driver)" : "rank " + std::to_string(rank));
+    std::string name = l.name;
+    if (name.empty())
+      name = rank == 0 ? "rank 0 (driver)" : "rank " + std::to_string(rank);
+    emit_metadata("thread_name", rank, name);
   }
   for (std::size_t rank = 0; rank < lanes_.size(); ++rank) {
     const Lane& l = lanes_[rank];
@@ -134,9 +164,30 @@ void Tracer::write_json(std::ostream& os) const {
         arg("jc", e.args.jc);
         arg("pc", e.args.pc);
         arg("ic", e.args.ic);
+        for (int i = 0; i < e.args.n_extra; ++i) {
+          if (!first_arg) os << ",";
+          first_arg = false;
+          os << "\"";
+          json_escape(os, e.args.extra[i].key);
+          os << "\":" << e.args.extra[i].value;
+        }
         os << "}";
       }
       os << "}";
+    }
+  }
+  {
+    // Counter series: Chrome "C" events render as a stacked chart named
+    // after the event; the series value rides in args under the same key.
+    std::lock_guard lock(counter_mutex_);
+    for (const CounterEvent& c : counters_) {
+      if (!first) os << ",\n";
+      first = false;
+      os << "{\"name\":\"";
+      json_escape(os, c.name);
+      os << "\",\"ph\":\"C\",\"pid\":0,\"ts\":" << c.t * 1e6 << ",\"args\":{\"";
+      json_escape(os, c.name);
+      os << "\":" << c.value << "}}";
     }
   }
   os << "]";

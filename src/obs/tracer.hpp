@@ -21,12 +21,32 @@ namespace ag::obs {
 /// so timelines are self-describing: jc/pc/ic are the layer-1/2/3 block
 /// ordinals (jj/nc, kk/kc, ii/mc of the Figure 2 loops). -1 means "not
 /// applicable at this layer" and is omitted from the JSON.
+///
+/// Up to kMaxExtra additional named integer args can ride along (the
+/// batch driver tags ticket spans with shard / steal / queue-wait /
+/// cache-outcome values). Keys must outlive the tracer, same as region
+/// names; the fixed array keeps Event trivially copyable and allocation-
+/// free on the record path.
 struct BlockArgs {
   std::int64_t ic = -1;
   std::int64_t jc = -1;
   std::int64_t pc = -1;
 
-  bool any() const { return ic >= 0 || jc >= 0 || pc >= 0; }
+  static constexpr int kMaxExtra = 6;
+  struct Extra {
+    const char* key = nullptr;
+    std::int64_t value = 0;
+  };
+  Extra extra[kMaxExtra] = {};
+  int n_extra = 0;
+
+  /// Appends key=value (dropped silently once kMaxExtra is reached).
+  BlockArgs& with(const char* key, std::int64_t value) {
+    if (n_extra < kMaxExtra) extra[n_extra++] = Extra{key, value};
+    return *this;
+  }
+
+  bool any() const { return ic >= 0 || jc >= 0 || pc >= 0 || n_extra > 0; }
 };
 
 class Tracer {
@@ -43,6 +63,18 @@ class Tracer {
   /// epoch (construction or last clear()) and lasting `dur` seconds.
   void record(int rank, const char* name, double t0, double dur);
   void record(int rank, const char* name, double t0, double dur, const BlockArgs& args);
+
+  /// Records one sample of a named process-wide counter series at time
+  /// `t` (seconds after the epoch). Emitted as a Chrome "C" counter event,
+  /// which chrome://tracing / Perfetto render as a stacked area chart
+  /// (the batch driver feeds queue depth through this). `name` must
+  /// outlive the tracer. Bounded by the same per-lane cap.
+  void counter(const char* name, double t, double value);
+
+  /// Names the timeline lane for `rank` (thread_name metadata in the
+  /// JSON). Unnamed lanes fall back to "rank N". The batch driver labels
+  /// its lanes "caller" / "armgemm-pw<r>".
+  void set_lane_name(int rank, const std::string& name);
 
   /// Seconds since the tracer epoch, for callers timing regions manually.
   double now() const;
@@ -65,7 +97,8 @@ class Tracer {
     double t0_ = 0;
   };
 
-  std::size_t event_count() const;
+  std::size_t event_count() const;       // region events (all lanes)
+  std::size_t counter_event_count() const;
   std::size_t dropped_events() const;
 
   /// Drops all recorded events and restarts the epoch.
@@ -90,11 +123,20 @@ class Tracer {
     mutable std::mutex mutex;
     std::vector<Event> events;
     std::size_t dropped = 0;
+    std::string name;  // empty -> "rank N" fallback in write_json
+  };
+  struct CounterEvent {
+    const char* name;
+    double t;
+    double value;
   };
 
   Lane& lane(int rank);
 
   std::vector<Lane> lanes_;
+  mutable std::mutex counter_mutex_;
+  std::vector<CounterEvent> counters_;
+  std::size_t counter_dropped_ = 0;
   std::size_t max_events_per_lane_;
   double epoch_;
 };

@@ -8,6 +8,7 @@
 #endif
 
 #include "common/knobs.hpp"
+#include "obs/gemm_stats.hpp"
 #include "obs/telemetry.hpp"
 #include "threading/spin.hpp"
 
@@ -21,12 +22,19 @@ double now_seconds() {
       .count();
 }
 
-/// Batch workers get their own name prefix ("armgemm-b") so timelines and
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Batch workers get their own name prefix ("armgemm-pw") so timelines and
 /// /proc distinguish them from the fork-join pool's "armgemm-w" ranks.
 void name_batch_thread(int rank) {
 #if defined(__linux__)
   char name[16];
-  std::snprintf(name, sizeof(name), "armgemm-b%d", rank);
+  std::snprintf(name, sizeof(name), "armgemm-pw%d", rank);
   pthread_setname_np(pthread_self(), name);
 #else
   (void)rank;
@@ -38,7 +46,14 @@ void name_batch_thread(int rank) {
 PersistentPool& PersistentPool::instance() {
   // Leaky singleton: retiring the workers during static destruction would
   // race other translation units' teardown; the OS reclaims the threads.
-  static PersistentPool* pool = new PersistentPool;
+  // The obs snapshot source registers here (once, under the magic-static
+  // guard) because obs cannot link back to threading.
+  static PersistentPool* pool = [] {
+    auto* p = new PersistentPool;
+    obs::set_scheduler_stats_source(
+        +[] { return PersistentPool::instance().stats(); });
+    return p;
+  }();
   return *pool;
 }
 
@@ -48,6 +63,8 @@ void PersistentPool::resize(int n) {
   const int cur = static_cast<int>(threads_.size());
   if (n > cur) {
     target_.store(n, std::memory_order_release);
+    if (n > peak_workers_.load(std::memory_order_relaxed))
+      peak_workers_.store(n, std::memory_order_relaxed);
     threads_.reserve(static_cast<std::size_t>(n));
     for (int r = cur; r < n; ++r) threads_.emplace_back([this, r] { worker_loop(r); });
   } else if (n < cur) {
@@ -67,6 +84,8 @@ void PersistentPool::ensure_workers(int n) {
   const int cur = static_cast<int>(threads_.size());
   if (n <= cur) return;
   target_.store(n, std::memory_order_release);
+  if (n > peak_workers_.load(std::memory_order_relaxed))
+    peak_workers_.store(n, std::memory_order_relaxed);
   threads_.reserve(static_cast<std::size_t>(n));
   for (int r = cur; r < n; ++r) threads_.emplace_back([this, r] { worker_loop(r); });
 }
@@ -79,35 +98,74 @@ void PersistentPool::wake_workers() {
   work_cv_.notify_all();
 }
 
-bool PersistentPool::try_pop(int home, Item* out) {
+bool PersistentPool::try_pop(int home, Item* out, PopInfo* pop, SchedCounters* sc) {
   for (int i = 0; i < kShards; ++i) {
-    Shard& s = shards_[static_cast<std::size_t>((home + i) % kShards)];
+    const int shard = (home + i) % kShards;
+    Shard& s = shards_[static_cast<std::size_t>(shard)];
     std::lock_guard lock(s.mutex);
-    if (s.items.empty()) continue;
+    if (s.items.empty()) {
+      // A foreign probe that comes up empty is a failed steal; the home
+      // shard being empty is just an idle scan.
+      if constexpr (obs::stats_compiled_in) {
+        if (sc != nullptr && i != 0) {
+          sc->steal_attempts.fetch_add(1, std::memory_order_relaxed);
+          sc->steal_failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      continue;
+    }
     if (i == 0) {
       // Home shard drains FIFO (oldest ticket first keeps queue waits
       // honest); thieves take from the back to reduce interference.
       *out = s.items.front();
       s.items.pop_front();
     } else {
+      if constexpr (obs::stats_compiled_in) {
+        if (sc != nullptr)
+          sc->steal_attempts.fetch_add(1, std::memory_order_relaxed);
+      }
       *out = s.items.back();
       s.items.pop_back();
     }
-    queued_.fetch_sub(1, std::memory_order_relaxed);
+    const std::int64_t after =
+        queued_.fetch_sub(1, std::memory_order_relaxed) - 1;
+    pop->shard = shard;
+    pop->stolen = (i != 0);
+    pop->depth_after = after;
     return true;
   }
   return false;
 }
 
-void PersistentPool::run_item(const Item& item) {
+void PersistentPool::run_item(const Item& item, const PopInfo& pop,
+                              int runner_rank, SchedCounters* sc) {
   const double wait = now_seconds() - item.submit_seconds;
+  TicketInfo info;
+  info.queue_wait_seconds = wait > 0 ? wait : 0.0;
+  info.runner_rank = runner_rank;
+  info.shard = pop.shard;
+  info.stolen = pop.stolen;
+  info.inline_overflow = false;
+  info.queue_depth = pop.depth_after;
+
+  std::uint64_t t0 = 0;
+  if constexpr (obs::stats_compiled_in) {
+    if (sc != nullptr) t0 = now_ns();
+  }
   Submission& sub = *item.sub;
   try {
-    sub.source->run_ticket(item.ticket, wait > 0 ? wait : 0.0);
+    sub.source->run_ticket(item.ticket, info);
   } catch (...) {
     std::lock_guard lock(sub.error_mutex);
     if (!sub.failed.exchange(true, std::memory_order_acq_rel))
       sub.first_error = std::current_exception();
+  }
+  if constexpr (obs::stats_compiled_in) {
+    if (sc != nullptr) {
+      sc->busy_ns.fetch_add(now_ns() - t0, std::memory_order_relaxed);
+      sc->run.fetch_add(1, std::memory_order_relaxed);
+      if (pop.stolen) sc->stolen.fetch_add(1, std::memory_order_relaxed);
+    }
   }
   finish_ticket(sub);
 }
@@ -151,15 +209,33 @@ void PersistentPool::execute(TaskSource& source, std::int64_t n_tickets) {
   }
   if (enqueued > 0 && target_.load(std::memory_order_acquire) > 0) wake_workers();
 
+  if constexpr (obs::stats_compiled_in) {
+    submissions_.fetch_add(1, std::memory_order_relaxed);
+    enqueued_total_.fetch_add(static_cast<std::uint64_t>(enqueued),
+                              std::memory_order_relaxed);
+    inline_total_.fetch_add(static_cast<std::uint64_t>(n_tickets - inline_from),
+                            std::memory_order_relaxed);
+  }
+
   // Overflow tickets first (the queue rejected them; the caller owes them
   // cycles before helping with anything else), then help drain.
   for (std::int64_t t = inline_from; t < n_tickets; ++t) {
+    TicketInfo info;
+    info.inline_overflow = true;
+    std::uint64_t t0 = 0;
+    if constexpr (obs::stats_compiled_in) t0 = now_ns();
     try {
-      source.run_ticket(t, 0.0);
+      source.run_ticket(t, info);
     } catch (...) {
       std::lock_guard lock(sub.error_mutex);
       if (!sub.failed.exchange(true, std::memory_order_acq_rel))
         sub.first_error = std::current_exception();
+    }
+    if constexpr (obs::stats_compiled_in) {
+      caller_counters_.busy_ns.fetch_add(now_ns() - t0,
+                                         std::memory_order_relaxed);
+      caller_counters_.run.fetch_add(1, std::memory_order_relaxed);
+      caller_counters_.inline_run.fetch_add(1, std::memory_order_relaxed);
     }
     finish_ticket(sub);
   }
@@ -171,12 +247,15 @@ void PersistentPool::execute(TaskSource& source, std::int64_t n_tickets) {
   SpinWait spinner;
   while (sub.remaining.load(std::memory_order_acquire) != 0) {
     Item item;
-    if (try_pop(0, &item)) {
-      run_item(item);
+    PopInfo pop;
+    if (try_pop(0, &item, &pop, &caller_counters_)) {
+      run_item(item, pop, /*runner_rank=*/-1, &caller_counters_);
       spinner = SpinWait();
       continue;
     }
     if (!spinner.spin()) {
+      if constexpr (obs::stats_compiled_in)
+        caller_counters_.blocks.fetch_add(1, std::memory_order_relaxed);
       std::unique_lock lock(done_mutex_);
       done_cv_.wait(lock, [&] {
         return sub.remaining.load(std::memory_order_acquire) == 0;
@@ -196,21 +275,43 @@ void PersistentPool::execute(TaskSource& source, std::int64_t n_tickets) {
 
 void PersistentPool::worker_loop(int rank) {
   name_batch_thread(rank);
-  obs::telemetry_register_thread("armgemm-b" + std::to_string(rank));
+  obs::telemetry_register_thread("armgemm-pw" + std::to_string(rank));
+  SchedCounters& sc = slot(rank);
   const int home = rank % kShards;
   Item item;
+  PopInfo pop;
+  // Idle time accrues from the end of one ticket to the start of the
+  // next (scan + spin + block); busy time is measured inside run_item.
+  std::uint64_t idle_start = 0;
+  if constexpr (obs::stats_compiled_in) idle_start = now_ns();
+  const auto note_idle_end = [&] {
+    if constexpr (obs::stats_compiled_in) {
+      const std::uint64_t t = now_ns();
+      sc.idle_ns.fetch_add(t - idle_start, std::memory_order_relaxed);
+    }
+  };
+  const auto note_idle_begin = [&] {
+    if constexpr (obs::stats_compiled_in) idle_start = now_ns();
+  };
   for (;;) {
-    if (rank >= target_.load(std::memory_order_acquire)) return;
-    if (try_pop(home, &item)) {
-      run_item(item);
+    if (rank >= target_.load(std::memory_order_acquire)) {
+      note_idle_end();
+      return;
+    }
+    if (try_pop(home, &item, &pop, &sc)) {
+      note_idle_end();
+      run_item(item, pop, rank, &sc);
+      note_idle_begin();
       continue;
     }
     // Idle: snapshot the work epoch, re-check the queue (an item pushed
     // before the snapshot is either visible in a shard or its epoch bump
     // is ahead of the snapshot), then spin-wait and finally block.
     const std::uint64_t seen = work_epoch_.load(std::memory_order_acquire);
-    if (try_pop(home, &item)) {
-      run_item(item);
+    if (try_pop(home, &item, &pop, &sc)) {
+      note_idle_end();
+      run_item(item, pop, rank, &sc);
+      note_idle_begin();
       continue;
     }
     const auto wake = [&] {
@@ -226,10 +327,64 @@ void PersistentPool::worker_loop(int rank) {
       }
     }
     if (!woken) {
+      if constexpr (obs::stats_compiled_in)
+        sc.blocks.fetch_add(1, std::memory_order_relaxed);
       std::unique_lock lock(work_mutex_);
       work_cv_.wait(lock, wake);
     }
   }
+}
+
+obs::SchedulerStats PersistentPool::stats() const {
+  obs::SchedulerStats out;
+  out.workers = target_.load(std::memory_order_acquire);
+  out.queued = queued_.load(std::memory_order_acquire);
+  out.submissions = submissions_.load(std::memory_order_relaxed);
+  out.tickets_enqueued = enqueued_total_.load(std::memory_order_relaxed);
+  out.tickets_inline = inline_total_.load(std::memory_order_relaxed);
+
+  const auto read_lane = [](const SchedCounters& sc, const std::string& name) {
+    obs::SchedulerWorkerStats w;
+    w.name = name;
+    w.tickets_run = sc.run.load(std::memory_order_relaxed);
+    w.tickets_stolen = sc.stolen.load(std::memory_order_relaxed);
+    w.tickets_inline = sc.inline_run.load(std::memory_order_relaxed);
+    w.steal_attempts = sc.steal_attempts.load(std::memory_order_relaxed);
+    w.steal_failures = sc.steal_failures.load(std::memory_order_relaxed);
+    w.blocks = sc.blocks.load(std::memory_order_relaxed);
+    w.busy_seconds =
+        static_cast<double>(sc.busy_ns.load(std::memory_order_relaxed)) * 1e-9;
+    w.idle_seconds =
+        static_cast<double>(sc.idle_ns.load(std::memory_order_relaxed)) * 1e-9;
+    return w;
+  };
+
+  int lanes = peak_workers_.load(std::memory_order_relaxed);
+  if (lanes > kMaxCounterSlots) lanes = kMaxCounterSlots;
+  out.per_worker.reserve(static_cast<std::size_t>(lanes) + 1);
+  for (int r = 0; r < lanes; ++r)
+    out.per_worker.push_back(
+        read_lane(worker_counters_[r], "armgemm-pw" + std::to_string(r)));
+  out.per_worker.push_back(read_lane(caller_counters_, "callers"));
+  return out;
+}
+
+void PersistentPool::reset_stats() {
+  const auto zero = [](SchedCounters& sc) {
+    sc.run.store(0, std::memory_order_relaxed);
+    sc.stolen.store(0, std::memory_order_relaxed);
+    sc.inline_run.store(0, std::memory_order_relaxed);
+    sc.steal_attempts.store(0, std::memory_order_relaxed);
+    sc.steal_failures.store(0, std::memory_order_relaxed);
+    sc.blocks.store(0, std::memory_order_relaxed);
+    sc.busy_ns.store(0, std::memory_order_relaxed);
+    sc.idle_ns.store(0, std::memory_order_relaxed);
+  };
+  for (SchedCounters& sc : worker_counters_) zero(sc);
+  zero(caller_counters_);
+  submissions_.store(0, std::memory_order_relaxed);
+  enqueued_total_.store(0, std::memory_order_relaxed);
+  inline_total_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace ag

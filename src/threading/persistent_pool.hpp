@@ -24,9 +24,19 @@
 //   * Idle workers spin for the ARMGEMM_SPIN_US window (threading/spin)
 //     before blocking, same hybrid policy as the fork-join pool.
 //
-// Every ticket's queue wait (submit to execution start) is reported back
-// through TaskSource::run_ticket so the batch driver can record it in the
-// serving telemetry.
+// Introspection: every scheduling decision is counted into lock-free
+// per-worker slots (tickets run/stolen/inline, steal attempts/failures,
+// spin-to-block transitions, busy/idle nanoseconds) plus one merged
+// "callers" slot for helping submitters. stats() merges them into an
+// obs::SchedulerStats snapshot, which instance() registers as the
+// process-wide scheduler source for the telemetry exposition. Counter
+// updates are relaxed stores on ticket granularity (never per kernel
+// tile) and compile out entirely under -DARMGEMM_STATS=OFF.
+//
+// Every ticket's scheduling provenance (queue wait, runner rank, shard,
+// steal origin, queue depth at pop) is reported back through
+// TaskSource::run_ticket so the batch driver can record it in the serving
+// telemetry and the Chrome-trace timeline.
 #pragma once
 
 #include <atomic>
@@ -37,7 +47,21 @@
 #include <thread>
 #include <vector>
 
+#include "obs/runtime_introspect.hpp"
+
 namespace ag {
+
+/// Scheduling provenance of one ticket, handed to run_ticket.
+struct TicketInfo {
+  /// How long the ticket sat in the queue before a thread picked it up
+  /// (0 for tickets the admission limit forced inline on the caller).
+  double queue_wait_seconds = 0;
+  int runner_rank = -1;   ///< pool worker rank; -1 = a helping/submitting caller
+  int shard = -1;         ///< shard the ticket was popped from; -1 = never queued
+  bool stolen = false;    ///< popped from a non-home shard
+  bool inline_overflow = false;  ///< admission limit ran it inline on the caller
+  std::int64_t queue_depth = 0;  ///< tickets left in the queue right after the pop
+};
 
 /// One submission's work: tickets [0, n_tickets) handed to
 /// PersistentPool::execute. run_ticket must be safe to call concurrently
@@ -46,10 +70,8 @@ class TaskSource {
  public:
   virtual ~TaskSource() = default;
 
-  /// Runs ticket `ticket`. `queue_wait_seconds` is how long the ticket sat
-  /// in the queue before a thread picked it up (0 for tickets the
-  /// admission limit forced inline on the caller).
-  virtual void run_ticket(std::int64_t ticket, double queue_wait_seconds) = 0;
+  /// Runs ticket `ticket`; `info` carries its scheduling provenance.
+  virtual void run_ticket(std::int64_t ticket, const TicketInfo& info) = 0;
 };
 
 class PersistentPool {
@@ -85,10 +107,24 @@ class PersistentPool {
   /// Tickets currently sitting in the queue (diagnostics / tests).
   std::int64_t queued() const { return queued_.load(std::memory_order_acquire); }
 
+  /// Merged scheduler snapshot: per-worker counters (plus the "callers"
+  /// lane), queue depth, submission totals. Lock-free reads of relaxed
+  /// counters — safe concurrently with execute(). All-zero under
+  /// -DARMGEMM_STATS=OFF.
+  obs::SchedulerStats stats() const;
+
+  /// Zeroes every scheduler counter (tests segment measurements with
+  /// this; concurrent recording may slip an increment past the reset).
+  void reset_stats();
+
  private:
   PersistentPool() = default;
 
   static constexpr int kShards = 8;
+  /// Per-worker counter slots; ranks beyond this share the last slot
+  /// (counts stay exact, per-worker attribution saturates — mirrors
+  /// GemmStats::kDefaultMaxThreads).
+  static constexpr int kMaxCounterSlots = 64;
 
   struct Submission {
     TaskSource* source = nullptr;
@@ -109,21 +145,54 @@ class PersistentPool {
     std::deque<Item> items;
   };
 
+  /// Where try_pop found an item.
+  struct PopInfo {
+    int shard = -1;
+    bool stolen = false;
+    std::int64_t depth_after = 0;
+  };
+
+  /// One scheduler lane's counters. Relaxed atomics: each slot is
+  /// written by one worker (or, for the caller slot, by any number of
+  /// submitting threads — still exact, just merged). alignas keeps slots
+  /// off each other's cache lines.
+  struct alignas(64) SchedCounters {
+    std::atomic<std::uint64_t> run{0};
+    std::atomic<std::uint64_t> stolen{0};
+    std::atomic<std::uint64_t> inline_run{0};
+    std::atomic<std::uint64_t> steal_attempts{0};
+    std::atomic<std::uint64_t> steal_failures{0};
+    std::atomic<std::uint64_t> blocks{0};
+    std::atomic<std::uint64_t> busy_ns{0};
+    std::atomic<std::uint64_t> idle_ns{0};
+  };
+
   void worker_loop(int rank);
-  bool try_pop(int home, Item* out);
-  void run_item(const Item& item);
+  bool try_pop(int home, Item* out, PopInfo* pop, SchedCounters* sc);
+  void run_item(const Item& item, const PopInfo& pop, int runner_rank, SchedCounters* sc);
   void finish_ticket(Submission& sub);
   void wake_workers();
+  SchedCounters& slot(int rank) {
+    return worker_counters_[rank < kMaxCounterSlots ? rank : kMaxCounterSlots - 1];
+  }
 
   Shard shards_[kShards];
   std::atomic<std::int64_t> queued_{0};
   std::atomic<std::uint64_t> submit_cursor_{0};  // round-robin shard pick
+
+  // Scheduler introspection (see stats()).
+  SchedCounters worker_counters_[kMaxCounterSlots];
+  SchedCounters caller_counters_;
+  std::atomic<std::uint64_t> submissions_{0};
+  std::atomic<std::uint64_t> enqueued_total_{0};
+  std::atomic<std::uint64_t> inline_total_{0};
 
   // Worker lifecycle. threads_ is guarded by resize_mutex_; target_ is the
   // count workers compare their rank against to decide to retire.
   std::mutex resize_mutex_;
   std::vector<std::thread> threads_;
   std::atomic<int> target_{0};
+  std::atomic<int> peak_workers_{0};  // high-water rank count (stats lanes)
 
   // Work-available signal: epoch bumps under work_mutex_ before notify, so
   // a worker that saw empty shards re-checks after any submit.
