@@ -1,24 +1,191 @@
-// Extension (the paper's Section VI future work): auto-tuning. Sweeps
-// (kc, mc, nc) against the calibrated timing model and compares the
-// empirical winner with the analytic Eqs. (15)-(20) solution.
+// Extension (the paper's Section VI future work): auto-tuning.
+//
+// Two modes:
+//
+//   default   - model-based sweep: (kc, mc, nc) against the calibrated
+//               timing model, compared with the analytic Eqs. (15)-(20)
+//               solution (the original ablation);
+//   --native  - drives the REAL closed-loop tuner (src/tune): resolves
+//               each --sizes shape through tune::resolve (analytic
+//               proposal + measured probes under ARMGEMM_TUNE_BUDGET_MS)
+//               and, when ARMGEMM_TUNE_CACHE is set, persists the
+//               winners so a later process starts warm.
+//
+// --json emits one machine-readable document on stdout instead of the
+// human tables (CI parses it to build the tuning-cache artifact).
+#include <cstdio>
 #include <iostream>
+#include <string>
 
 #include "bench_util.hpp"
 #include "common/cli.hpp"
+#include "common/json.hpp"
+#include "common/knobs.hpp"
 #include "common/table.hpp"
+#include "core/tuning.hpp"
 #include "model/machine.hpp"
 #include "sim/autotune.hpp"
+#include "tune/tune.hpp"
+
+namespace {
+
+std::string fmt_fixed(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+const char* tune_mode_name(int mode) {
+  switch (mode) {
+    case ag::kTuneModeOff:
+      return "off";
+    case ag::kTuneModeAnalytic:
+      return "analytic";
+    default:
+      return "on";
+  }
+}
+
+int run_native(const ag::CliArgs& args, bool json) {
+  const int threads = static_cast<int>(args.get_int("threads", 1));
+  const std::vector<std::int64_t> sizes =
+      agbench::size_list(args, {256, 512, 1024, 2048});
+
+  ag::ensure_tune_probe_runner();
+  if (args.get_bool("retune", false)) ag::tune::force_retune();
+
+  struct Row {
+    std::int64_t size;
+    const ag::tune::TunedConfig* cfg;
+  };
+  std::vector<Row> rows;
+  for (std::int64_t s : sizes)
+    rows.push_back({s, ag::tune::resolve(ag::tune::Precision::kF64, s, s, s, threads)});
+
+  // Persist the resolved state when a cache path is configured (the
+  // tuner auto-saves probed winners too; this also covers analytic-only
+  // sessions so CI always gets an artifact).
+  const int saved = ag::tune::save_cache();
+  const ag::obs::TuneStats stats = ag::tune::stats();
+
+  if (json) {
+    ag::JsonWriter w;
+    w.begin_object();
+    w.key("schema").value("armgemm-autotune/1");
+    w.key("native").value(true);
+    w.key("mode").value(tune_mode_name(ag::tune_mode()));
+    w.key("threads").value(threads);
+    w.key("budget_ms").value(static_cast<std::int64_t>(ag::tune_budget_ms()));
+    w.key("cache_path").value(ag::tune_cache_path());
+    w.key("cache_saved").value(saved == 0);
+    w.key("results");
+    w.begin_array();
+    for (const Row& r : rows) {
+      w.begin_object();
+      w.key("size").value(static_cast<std::int64_t>(r.size));
+      if (r.cfg) {
+        w.key("kernel").value(r.cfg->kernel_name);
+        w.key("kc").value(static_cast<std::int64_t>(r.cfg->kc));
+        w.key("mc").value(static_cast<std::int64_t>(r.cfg->mc));
+        w.key("nc").value(static_cast<std::int64_t>(r.cfg->nc));
+        w.key("source").value(ag::tune::to_string(r.cfg->source));
+        w.key("gflops").value(r.cfg->gflops);
+      } else {
+        w.key("source").value("off");
+      }
+      w.end_object();
+    }
+    w.end_array();
+    w.key("stats");
+    w.begin_object();
+    w.key("probes_run").value(static_cast<std::uint64_t>(stats.probes_run));
+    w.key("probe_ms_spent").value(stats.probe_ms_spent);
+    w.key("cache_entries_loaded")
+        .value(static_cast<std::uint64_t>(stats.cache_entries_loaded));
+    w.key("cache_rejected").value(static_cast<std::uint64_t>(stats.cache_rejected));
+    w.key("invalidations").value(static_cast<std::uint64_t>(stats.invalidations));
+    w.key("saves").value(static_cast<std::uint64_t>(stats.saves));
+    w.end_object();
+    w.end_object();
+    std::cout << w.str() << "\n";
+    return 0;
+  }
+
+  agbench::banner("Extension", "closed-loop autotuner (native tuner, measured probes)");
+  std::cout << "\nmode=" << tune_mode_name(ag::tune_mode()) << " threads=" << threads
+            << " budget=" << ag::tune_budget_ms() << "ms cache="
+            << (ag::tune_cache_path().empty() ? "(none)" : ag::tune_cache_path()) << "\n\n";
+  ag::Table t({"size", "kernel", "kc x mc x nc", "source", "probe Gflops"});
+  for (const Row& r : rows) {
+    if (!r.cfg) {
+      t.add_row({std::to_string(r.size), "-", "-", "off", "-"});
+      continue;
+    }
+    t.add_row({std::to_string(r.size), r.cfg->kernel_name,
+               std::to_string(r.cfg->kc) + " x " + std::to_string(r.cfg->mc) + " x " +
+                   std::to_string(r.cfg->nc),
+               ag::tune::to_string(r.cfg->source),
+               r.cfg->gflops > 0 ? fmt_fixed(r.cfg->gflops, 2) : "-"});
+  }
+  agbench::emit(args, t);
+  std::cout << "\nprobes=" << stats.probes_run << " probe_ms="
+            << fmt_fixed(stats.probe_ms_spent, 1)
+            << " cache_loaded=" << stats.cache_entries_loaded
+            << " saves=" << stats.saves << "\n";
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   ag::CliArgs args(argc, argv);
-  agbench::banner("Extension", "auto-tuned vs analytic block sizes (future work)");
-  const int threads = static_cast<int>(args.get_int("threads", 1));
+  const bool json = args.get_bool("json", false);
+  if (args.get_bool("native", false)) return run_native(args, json);
 
+  const int threads = static_cast<int>(args.get_int("threads", 1));
   ag::sim::TuneOptions opts;
   opts.sizes = agbench::size_list(args, {1024, 2048, 4096});
   const auto result =
       ag::sim::autotune_block_sizes(ag::model::xgene(), {8, 6}, threads, opts);
 
+  if (json) {
+    ag::JsonWriter w;
+    w.begin_object();
+    w.key("schema").value("armgemm-autotune/1");
+    w.key("native").value(false);
+    w.key("threads").value(threads);
+    w.key("evaluated").value(static_cast<std::int64_t>(result.evaluated));
+    w.key("top");
+    w.begin_array();
+    for (const auto& c : result.top) {
+      w.begin_object();
+      w.key("kc").value(static_cast<std::int64_t>(c.blocks.kc));
+      w.key("mc").value(static_cast<std::int64_t>(c.blocks.mc));
+      w.key("nc").value(static_cast<std::int64_t>(c.blocks.nc));
+      w.key("avg_efficiency").value(c.avg_efficiency);
+      w.end_object();
+    }
+    w.end_array();
+    w.key("analytic");
+    w.begin_object();
+    w.key("kc").value(static_cast<std::int64_t>(result.analytic.blocks.kc));
+    w.key("mc").value(static_cast<std::int64_t>(result.analytic.blocks.mc));
+    w.key("nc").value(static_cast<std::int64_t>(result.analytic.blocks.nc));
+    w.key("avg_efficiency").value(result.analytic.avg_efficiency);
+    w.end_object();
+    w.key("best");
+    w.begin_object();
+    w.key("kc").value(static_cast<std::int64_t>(result.best.blocks.kc));
+    w.key("mc").value(static_cast<std::int64_t>(result.best.blocks.mc));
+    w.key("nc").value(static_cast<std::int64_t>(result.best.blocks.nc));
+    w.key("avg_efficiency").value(result.best.avg_efficiency);
+    w.end_object();
+    w.end_object();
+    std::cout << w.str() << "\n";
+    return 0;
+  }
+
+  agbench::banner("Extension", "auto-tuned vs analytic block sizes (future work)");
   std::cout << "\nEvaluated " << result.evaluated << " (kc, mc, nc) configurations at "
             << threads << " thread(s).\n\n";
   ag::Table t({"rank", "kc x mc x nc", "avg efficiency"});

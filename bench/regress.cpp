@@ -19,10 +19,14 @@
 // pack_b x NoTrans/Trans at native_packing's shapes), gated on GB/s, and
 // two batched points (64 small squares, 8 tall-skinny entries sharing
 // one B) through dgemm_strided_batch, gated on aggregate Gflops.
-// Baselines written by schema armgemm-bench/1 (square-only, keyed by
-// "n"), /2 (no packing points) and /3 (no batched points) are still
-// accepted: missing m/k default to n, and packing/batch points absent
-// from the baseline are reported as ungated.
+// Schema 5 adds one autotune point per thread count (256^3 through a
+// pinned context vs a tunable one), gated live — the closed-loop tuner
+// must never lose to the paper/host defaults — and against the
+// baseline's tuned Gflops. Baselines written by schema armgemm-bench/1
+// (square-only, keyed by "n"), /2 (no packing points), /3 (no batched
+// points) and /4 (no autotune points) are still accepted: missing m/k
+// default to n, and points absent from the baseline are reported as
+// ungated.
 //
 // Points missing from the baseline are never silently skipped: they are
 // listed with a warning, and --unknown=fail turns them into a gate
@@ -57,7 +61,8 @@
 
 namespace {
 
-constexpr const char* kSchema = "armgemm-bench/4";
+constexpr const char* kSchema = "armgemm-bench/5";
+constexpr const char* kSchemaV4 = "armgemm-bench/4";  // no autotune points
 constexpr const char* kSchemaV3 = "armgemm-bench/3";  // no batched points
 constexpr const char* kSchemaV2 = "armgemm-bench/2";  // no packing-bandwidth points
 constexpr const char* kSchemaV1 = "armgemm-bench/1";  // square-only baselines
@@ -270,6 +275,65 @@ std::vector<BatchResult> run_batch_points(const std::vector<int>& threads, int r
   return out;
 }
 
+// Autotune point (schema 5): the same dgemm timed through a pinned
+// context (paper/host defaults, exactly the pre-tuner behavior) and a
+// tunable one (the closed-loop tuner resolves kernel + blocking). Gated
+// LIVE — tuned must not lose to default beyond the threshold even without
+// a baseline — and against the baseline's tuned Gflops when present.
+struct TuneResult {
+  std::int64_t n = 0;  // n x n x n square
+  int threads = 1;
+  double default_gflops = 0;  // pinned context
+  double tuned_gflops = 0;    // tunable context
+  double ratio = 0;           // tuned / default
+};
+
+TuneResult run_tune_point(std::int64_t n, int threads, int reps, double inject) {
+  auto a = ag::random_matrix(n, n, 21);
+  auto b = ag::random_matrix(n, n, 22);
+  auto c = ag::random_matrix(n, n, 23);
+  const double flops = 2.0 * static_cast<double>(n) * static_cast<double>(n) *
+                       static_cast<double>(n);
+
+  TuneResult r;
+  r.n = n;
+  r.threads = threads;
+  const auto best_of = [&](ag::Context& ctx) {
+    const auto call = [&] {
+      ag::dgemm(ag::Layout::ColMajor, ag::Trans::NoTrans, ag::Trans::NoTrans, n, n, n, 1.0,
+                a.data(), a.ld(), b.data(), b.ld(), 1.0, c.data(), c.ld(), ctx);
+    };
+    call();  // warm-up (for the tunable context this runs the probes)
+    double best = 1e300;
+    // Floor of 3 timed reps regardless of --reps: this point feeds a
+    // live gate, and one noisy measurement must not fail the run.
+    for (int i = 0; i < std::max(reps, 3); ++i) {
+      ag::Timer t;
+      call();
+      best = std::min(best, t.seconds());
+    }
+    return flops / best * 1e-9;
+  };
+  {
+    ag::Context pinned(ag::KernelShape{8, 6}, threads);
+    r.default_gflops = best_of(pinned);
+  }
+  {
+    ag::Context tuned(ag::KernelShape{8, 6}, threads);
+    tuned.set_tunable(true);
+    r.tuned_gflops = inject * best_of(tuned);
+  }
+  r.ratio = r.default_gflops > 0 ? r.tuned_gflops / r.default_gflops : 0;
+  return r;
+}
+
+std::vector<TuneResult> run_tune_points(const std::vector<int>& threads, int reps,
+                                        double inject) {
+  std::vector<TuneResult> out;
+  for (int t : threads) out.push_back(run_tune_point(256, t, reps, inject));
+  return out;
+}
+
 void json_layers(std::ostream& os, const ag::obs::LayerCounters& t) {
   os.precision(9);
   os << "{\"pack_a_seconds\":" << t.pack_a_seconds
@@ -299,6 +363,7 @@ void json_pmu(std::ostream& os, const RunResult& r) {
 std::string report_json(const std::vector<RunResult>& results,
                         const std::vector<PackResult>& packing,
                         const std::vector<BatchResult>& batches,
+                        const std::vector<TuneResult>& tune,
                         const ag::obs::CalibrationResult& cal, int reps) {
   std::ostringstream os;
   os.precision(9);
@@ -322,6 +387,14 @@ std::string report_json(const std::vector<RunResult>& results,
        << ",\"k\":" << b.k << ",\"count\":" << b.count << ",\"threads\":" << b.threads
        << ",\"best_seconds\":" << b.best_seconds << ",\"gflops\":" << b.gflops
        << ",\"loop_seconds\":" << b.loop_seconds << ",\"speedup\":" << b.speedup << "}";
+  }
+  os << "],\"tune\":[";
+  for (std::size_t i = 0; i < tune.size(); ++i) {
+    const TuneResult& t = tune[i];
+    if (i) os << ",";
+    os << "{\"n\":" << t.n << ",\"threads\":" << t.threads
+       << ",\"default_gflops\":" << t.default_gflops
+       << ",\"tuned_gflops\":" << t.tuned_gflops << ",\"ratio\":" << t.ratio << "}";
   }
   os << "],\"results\":[";
   for (std::size_t i = 0; i < results.size(); ++i) {
@@ -457,6 +530,44 @@ int compare_batch_against_baseline(const std::vector<BatchResult>& batches,
   return regressions;
 }
 
+/// Gates the autotune points two ways. Live: tuned Gflops must not trail
+/// the same run's default Gflops beyond the threshold (the tuner must
+/// never lose to the paper/host defaults it started from). Baseline:
+/// tuned Gflops against the previous run's, keyed by (n, threads);
+/// schema 1-4 baselines carry no "tune" array, so those land in
+/// `unknown` until the baseline is re-recorded.
+int compare_tune_against_baseline(const std::vector<TuneResult>& tune,
+                                  const ag::JsonValue& baseline, double threshold,
+                                  std::vector<std::string>* unknown) {
+  const ag::JsonValue& base_tune = baseline["tune"];
+  int regressions = 0;
+  for (const TuneResult& t : tune) {
+    const ag::JsonValue* match = nullptr;
+    if (!base_tune.is_null()) {
+      for (const ag::JsonValue& b : base_tune.items())
+        if (static_cast<std::int64_t>(b["n"].as_number()) == t.n &&
+            static_cast<int>(b["threads"].as_number()) == t.threads)
+          match = &b;
+    }
+    const std::string label = "tune n=" + std::to_string(t.n) +
+                              " threads=" + std::to_string(t.threads);
+    if (!match) {
+      std::cout << "  " << label << ": no baseline entry (NOT gated)\n";
+      if (unknown) unknown->push_back(label);
+      continue;
+    }
+    const double base_gflops = (*match)["tuned_gflops"].as_number();
+    const double drop = base_gflops > 0 ? (base_gflops - t.tuned_gflops) / base_gflops : 0;
+    const bool bad = drop > threshold;
+    std::cout << "  " << label << ": " << ag::Table::fmt(base_gflops, 2) << " -> "
+              << ag::Table::fmt(t.tuned_gflops, 2) << " Gflops (" << (drop >= 0 ? "-" : "+")
+              << ag::Table::fmt_pct(std::abs(drop)) << " rel) "
+              << (bad ? "REGRESSION" : "ok") << "\n";
+    regressions += bad ? 1 : 0;
+  }
+  return regressions;
+}
+
 /// "MxNxK" (e.g. 2048x64x64) or a bare "N" meaning an NxNxN square.
 bool parse_shape(const std::string& token, BenchShape* out) {
   std::int64_t v[3] = {0, 0, 0};
@@ -576,6 +687,22 @@ int main(int argc, char** argv) {
               << ag::Table::fmt(b.gflops, 2) << " Gflops, " << ag::Table::fmt(b.speedup, 2)
               << "x vs loop of calls\n";
 
+  const std::vector<TuneResult> tune = run_tune_points(threads, reps, inject);
+  int live_tune_failures = 0;
+  // The live gate is a coarse tripwire (it has no baseline to average
+  // against), so it never tightens below a 25% drop: fine-grained
+  // gating belongs to the baseline diff under --threshold.
+  const double live_threshold = std::max(threshold, 0.25);
+  for (const TuneResult& t : tune) {
+    const bool bad = t.tuned_gflops < t.default_gflops * (1.0 - live_threshold);
+    std::cout << "tune n=" << t.n << " threads=" << t.threads << ": default "
+              << ag::Table::fmt(t.default_gflops, 2) << " -> tuned "
+              << ag::Table::fmt(t.tuned_gflops, 2) << " Gflops ("
+              << ag::Table::fmt(t.ratio, 2) << "x) "
+              << (bad ? "TUNED SLOWER THAN DEFAULT" : "ok") << "\n";
+    live_tune_failures += bad ? 1 : 0;
+  }
+
   const std::string out_path =
       args.get("out", "BENCH_" + host_name() + "_" + date_stamp() + ".json");
   {
@@ -584,9 +711,15 @@ int main(int argc, char** argv) {
       std::cerr << "regress: cannot write " << out_path << "\n";
       return 2;
     }
-    os << report_json(results, packing, batches, cal, reps) << "\n";
+    os << report_json(results, packing, batches, tune, cal, reps) << "\n";
   }
   std::cout << "wrote " << out_path << "\n";
+
+  if (live_tune_failures > 0) {
+    std::cerr << "regress: " << live_tune_failures
+              << " autotune point(s) ran slower tuned than with defaults\n";
+    return 1;
+  }
 
   const std::string baseline_path = args.get("baseline", "");
   if (baseline_path.empty()) return 0;
@@ -605,11 +738,11 @@ int main(int argc, char** argv) {
     return 2;
   }
   const std::string base_schema = baseline["schema"].as_string();
-  if (base_schema != kSchema && base_schema != kSchemaV3 && base_schema != kSchemaV2 &&
-      base_schema != kSchemaV1) {
+  if (base_schema != kSchema && base_schema != kSchemaV4 && base_schema != kSchemaV3 &&
+      base_schema != kSchemaV2 && base_schema != kSchemaV1) {
     std::cerr << "regress: baseline schema \"" << base_schema << "\" is none of \""
-              << kSchema << "\", \"" << kSchemaV3 << "\", \"" << kSchemaV2 << "\", \""
-              << kSchemaV1 << "\"\n";
+              << kSchema << "\", \"" << kSchemaV4 << "\", \"" << kSchemaV3 << "\", \""
+              << kSchemaV2 << "\", \"" << kSchemaV1 << "\"\n";
     return 2;
   }
   const std::string unknown_mode = args.get("unknown", "warn");
@@ -624,6 +757,7 @@ int main(int argc, char** argv) {
   int regressions = compare_against_baseline(results, baseline, threshold, &unknown);
   regressions += compare_packing_against_baseline(packing, baseline, threshold, &unknown);
   regressions += compare_batch_against_baseline(batches, baseline, threshold, &unknown);
+  regressions += compare_tune_against_baseline(tune, baseline, threshold, &unknown);
   if (!unknown.empty()) {
     // A gate that only checks matched points would silently shrink as the
     // sweep evolves; make the uncovered set loud (and fatal on request).

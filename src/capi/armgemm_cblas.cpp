@@ -12,6 +12,7 @@
 #include "core/gemm.hpp"
 #include "core/gemm_batch.hpp"
 #include "core/sgemm.hpp"
+#include "core/tuning.hpp"
 #include "obs/gemm_stats.hpp"
 #include "obs/pmu.hpp"
 #include "obs/telemetry.hpp"
@@ -52,7 +53,13 @@ ag::Side to_side(CBLAS_SIDE s) { return s == CblasLeft ? ag::Side::Left : ag::Si
 /// armgemm_stats_enable changes the process-wide configuration mid-flight
 /// (each thread re-syncs at its own next call).
 ag::Context& context() {
-  thread_local ag::Context ctx(ag::KernelShape{8, 6}, 1);
+  // Tunable: cblas callers never configured the context themselves, so
+  // the autotuner owns kernel + blocking selection for their calls.
+  thread_local ag::Context ctx = [] {
+    ag::Context c(ag::KernelShape{8, 6}, 1);
+    c.set_tunable(true);
+    return c;
+  }();
   const int want = g_threads.load();
   if (ctx.threads() != want) ctx.set_threads(want);
   ctx.set_stats(g_stats_enabled.load(std::memory_order_relaxed) ? &global_stats() : nullptr);
@@ -84,6 +91,7 @@ void cblas_sgemm(CBLAS_ORDER order, CBLAS_TRANSPOSE trans_a, CBLAS_TRANSPOSE tra
                  float beta, float* c, int ldc) {
   ag::SgemmOptions opts;
   opts.threads = g_threads.load();
+  opts.tunable = true;
   ag::sgemm(to_layout(order), to_trans(trans_a), to_trans(trans_b), m, n, k, alpha, a, lda, b,
             ldb, beta, c, ldc, opts);
 }
@@ -414,6 +422,97 @@ int armgemm_scheduler_stats_get(armgemm_scheduler_stats* out) {
   }
   out->utilization = s.utilization();
   out->steal_imbalance = s.steal_imbalance();
+  return 1;
+}
+
+void armgemm_set_tune_mode(const char* mode) {
+  if (!mode) return;
+  const std::string m(mode);
+  if (m == "off" || m == "0")
+    ag::set_tune_mode(ag::kTuneModeOff);
+  else if (m == "analytic")
+    ag::set_tune_mode(ag::kTuneModeAnalytic);
+  else
+    ag::set_tune_mode(ag::kTuneModeOn);
+}
+
+const char* armgemm_get_tune_mode(void) {
+  switch (ag::tune_mode()) {
+    case ag::kTuneModeOff:
+      return "off";
+    case ag::kTuneModeAnalytic:
+      return "analytic";
+    default:
+      return "on";
+  }
+}
+
+void armgemm_set_tune_cache_path(const char* path) {
+  ag::set_tune_cache_path(path ? path : "");
+}
+
+long long armgemm_get_tune_cache_path(char* buf, size_t len) {
+  const std::string path = ag::tune_cache_path();
+  if (buf && len > 0) {
+    const size_t copy = std::min(len - 1, path.size());
+    std::memcpy(buf, path.data(), copy);
+    buf[copy] = '\0';
+  }
+  return static_cast<long long>(path.size());
+}
+
+void armgemm_set_tune_budget_ms(long long ms) { ag::set_tune_budget_ms(ms); }
+
+long long armgemm_get_tune_budget_ms(void) { return ag::tune_budget_ms(); }
+
+void armgemm_tune_force_retune(void) { ag::tune::force_retune(); }
+
+int armgemm_tune_save(const char* path) {
+  return ag::tune::save_cache(path ? path : "");
+}
+
+void armgemm_tune_stats_get(armgemm_tune_stats* out) {
+  if (!out) return;
+  *out = armgemm_tune_stats{};
+  const ag::obs::TuneStats s = ag::tune::stats();
+  out->mode = s.mode;
+  out->cache_path_set = s.cache_path_set ? 1 : 0;
+  out->cache_entries_loaded = s.cache_entries_loaded;
+  out->cache_rejected = s.cache_rejected;
+  for (int i = 0; i < ag::obs::kTuneSourceCount; ++i) {
+    out->resolutions[i] = s.resolutions[i];
+    out->calls[i] = s.calls[i];
+  }
+  out->probes_run = s.probes_run;
+  out->probe_ms_spent = s.probe_ms_spent;
+  out->budget_ms = s.budget_ms;
+  out->invalidations = s.invalidations;
+  out->saves = s.saves;
+  out->save_failures = s.save_failures;
+}
+
+int armgemm_tune_resolve(int precision, long long m, long long n, long long k,
+                         int threads, armgemm_tuned_config* out) {
+  if (!out) return 0;
+  *out = armgemm_tuned_config{};
+  if (m <= 0 || n <= 0 || k <= 0 || threads < 1) return 0;
+  ag::ensure_tune_probe_runner();
+  const ag::tune::Precision prec =
+      precision == 1 ? ag::tune::Precision::kF32 : ag::tune::Precision::kF64;
+  const ag::tune::TunedConfig* cfg = ag::tune::resolve(prec, m, n, k, threads);
+  if (!cfg) return 0;
+  std::strncpy(out->kernel, cfg->kernel_name.c_str(), sizeof(out->kernel) - 1);
+  out->mr = cfg->mr;
+  out->nr = cfg->nr;
+  out->kc = cfg->kc;
+  out->mc = cfg->mc;
+  out->nc = cfg->nc;
+  out->mc_mt = cfg->mc_mt;
+  out->nc_mt = cfg->nc_mt;
+  out->prea = cfg->prea;
+  out->preb = cfg->preb;
+  out->source = static_cast<int>(cfg->source);
+  out->gflops = cfg->gflops;
   return 1;
 }
 

@@ -314,6 +314,82 @@ typedef struct armgemm_panel_cache_stats {
 
 int armgemm_panel_cache_stats_get(armgemm_panel_cache_stats* out);
 
+/* ---- Closed-loop autotuner ----
+ *
+ * Per (precision, shape-class) key, the tuner picks the register kernel,
+ * the kc/mc/nc cache blocking, the prefetch distances and the small-path
+ * crossover: an analytic proposal from the paper's Section III model,
+ * refined by short measured probes (budgeted by ARMGEMM_TUNE_BUDGET_MS),
+ * persisted per host to a versioned JSON cache at ARMGEMM_TUNE_CACHE and
+ * invalidated when telemetry's drift detector fires. cblas_* calls use
+ * tuned configurations automatically; contexts configured through the
+ * explicit C++ API are pins the tuner never overrides. */
+
+/* Tuner mode: "off" (paper/host defaults, bit-for-bit the untuned
+ * behavior), "analytic" (model proposals, no probes), or "on" (the
+ * default). Defaults to the ARMGEMM_TUNE environment variable. */
+void armgemm_set_tune_mode(const char* mode);
+const char* armgemm_get_tune_mode(void);
+
+/* Persistent tuning-cache path (NULL or "" disables persistence).
+ * Defaults to ARMGEMM_TUNE_CACHE. The getter follows the snprintf
+ * contract: returns the full length, writes at most len-1 bytes + NUL. */
+void armgemm_set_tune_cache_path(const char* path);
+long long armgemm_get_tune_cache_path(char* buf, size_t len);
+
+/* Process-wide wall-clock budget for measured probes, in milliseconds;
+ * once spent, resolution stays analytic. Defaults to
+ * ARMGEMM_TUNE_BUDGET_MS, else 120. */
+void armgemm_set_tune_budget_ms(long long ms);
+long long armgemm_get_tune_budget_ms(void);
+
+/* Drops every resolved key and the in-memory cache image; each key
+ * re-tunes on its next call (probe budget permitting). The cache file is
+ * untouched until the next save. */
+void armgemm_tune_force_retune(void);
+
+/* Writes the resolved tuning state to `path` (NULL or "" uses the
+ * tune-cache-path knob). Atomic .tmp+rename. Returns 0 on success, -1
+ * when no path is configured or the write fails. */
+int armgemm_tune_save(const char* path);
+
+/* Where resolved configurations have come from, per source: 0 none,
+ * 1 analytic, 2 probed, 3 cached, 4 pinned. resolutions[] counts key
+ * resolutions (first call per shape class); calls[] counts every call. */
+typedef struct armgemm_tune_stats {
+  int mode;                /* 0 off, 1 analytic, 2 on */
+  int cache_path_set;
+  unsigned long long cache_entries_loaded;
+  unsigned long long cache_rejected;
+  unsigned long long resolutions[5];
+  unsigned long long calls[5];
+  unsigned long long probes_run;
+  double probe_ms_spent;
+  double budget_ms;
+  unsigned long long invalidations; /* drift-triggered re-tunes */
+  unsigned long long saves;
+  unsigned long long save_failures;
+} armgemm_tune_stats;
+
+void armgemm_tune_stats_get(armgemm_tune_stats* out);
+
+/* The configuration the tuner would use for one (m, n, k) call right now
+ * (resolving — and possibly probing — the key if this is its first
+ * visit). precision: 0 double, 1 float. Returns 1 and fills `out`, or 0
+ * when the tuner is off. */
+typedef struct armgemm_tuned_config {
+  char kernel[32]; /* registry name; "" for f32 */
+  int mr, nr;
+  long long kc, mc, nc;       /* single-thread blocking */
+  long long mc_mt, nc_mt;     /* blocking when the call runs parallel */
+  long long prea, preb;       /* probed prefetch distances; 0 not probed */
+  int source;                 /* 1 analytic, 2 probed, 3 cached */
+  double gflops;              /* best probe measurement; 0 when analytic */
+} armgemm_tuned_config;
+
+int armgemm_tune_resolve(int precision, long long m, long long n, long long k,
+                         int threads, armgemm_tuned_config* out);
+
 #ifdef __cplusplus
 }
 #endif

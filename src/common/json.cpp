@@ -1,6 +1,7 @@
 #include "common/json.hpp"
 
 #include <cctype>
+#include <cstdio>
 #include <cstdlib>
 
 namespace ag {
@@ -186,5 +187,207 @@ class JsonParser {
 JsonValue JsonValue::parse(const std::string& text, std::string* error) {
   return JsonParser(text, error).run();
 }
+
+// ---- JsonWriter ----------------------------------------------------------
+
+std::string JsonWriter::quoted(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+// Positions the writer at a value slot: separates from the previous
+// sibling and accounts for the container item. A value with a pending
+// key requirement, or a second root value, is misuse.
+void JsonWriter::begin_value() {
+  if (bad_) return;
+  if (stack_.empty()) {
+    if (root_done_) bad_ = true;
+    return;
+  }
+  if (stack_.back() == Frame::kObject) {
+    if (expect_key_) {  // value without a preceding key()
+      bad_ = true;
+      return;
+    }
+    expect_key_ = true;  // next object token must be a key again
+    return;              // key() already emitted the separator and ':'
+  }
+  if (has_items_.back()) out_.push_back(',');
+  has_items_.back() = true;
+}
+
+JsonWriter& JsonWriter::key(const std::string& name) {
+  if (bad_) return *this;
+  if (stack_.empty() || stack_.back() != Frame::kObject || !expect_key_) {
+    bad_ = true;
+    return *this;
+  }
+  if (has_items_.back()) out_.push_back(',');
+  has_items_.back() = true;
+  out_ += quoted(name);
+  out_.push_back(':');
+  expect_key_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  begin_value();
+  if (bad_) return *this;
+  out_.push_back('{');
+  stack_.push_back(Frame::kObject);
+  has_items_.push_back(false);
+  expect_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  if (bad_ || stack_.empty() || stack_.back() != Frame::kObject || !expect_key_) {
+    bad_ = true;
+    return *this;
+  }
+  out_.push_back('}');
+  stack_.pop_back();
+  has_items_.pop_back();
+  expect_key_ = !stack_.empty() && stack_.back() == Frame::kObject;
+  if (stack_.empty()) root_done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  begin_value();
+  if (bad_) return *this;
+  out_.push_back('[');
+  stack_.push_back(Frame::kArray);
+  has_items_.push_back(false);
+  expect_key_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  if (bad_ || stack_.empty() || stack_.back() != Frame::kArray) {
+    bad_ = true;
+    return *this;
+  }
+  out_.push_back(']');
+  stack_.pop_back();
+  has_items_.pop_back();
+  expect_key_ = !stack_.empty() && stack_.back() == Frame::kObject;
+  if (stack_.empty()) root_done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& s) {
+  begin_value();
+  if (!bad_) {
+    out_ += quoted(s);
+    if (stack_.empty()) root_done_ = true;
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* s) { return value(std::string(s)); }
+
+JsonWriter& JsonWriter::value(double d) {
+  begin_value();
+  if (bad_) return *this;
+  char buf[40];
+  // NaN/Inf have no JSON spelling; null is the conventional stand-in.
+  if (d != d || d > 1.7976931348623157e308 || d < -1.7976931348623157e308) {
+    out_ += "null";
+  } else if (d == static_cast<double>(static_cast<std::int64_t>(d)) &&
+             d >= -9.0e15 && d <= 9.0e15) {
+    std::snprintf(buf, sizeof buf, "%lld",
+                  static_cast<long long>(static_cast<std::int64_t>(d)));
+    out_ += buf;
+  } else {
+    std::snprintf(buf, sizeof buf, "%.17g", d);
+    out_ += buf;
+  }
+  if (stack_.empty()) root_done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t i) {
+  begin_value();
+  if (!bad_) {
+    out_ += std::to_string(i);
+    if (stack_.empty()) root_done_ = true;
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t u) {
+  begin_value();
+  if (!bad_) {
+    out_ += std::to_string(u);
+    if (stack_.empty()) root_done_ = true;
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool b) {
+  begin_value();
+  if (!bad_) {
+    out_ += b ? "true" : "false";
+    if (stack_.empty()) root_done_ = true;
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  begin_value();
+  if (!bad_) {
+    out_ += "null";
+    if (stack_.empty()) root_done_ = true;
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const JsonValue& v) {
+  switch (v.kind()) {
+    case JsonValue::Kind::kNull: return null();
+    case JsonValue::Kind::kBool: return value(v.as_bool());
+    case JsonValue::Kind::kNumber: return value(v.as_number());
+    case JsonValue::Kind::kString: return value(v.as_string());
+    case JsonValue::Kind::kArray: {
+      begin_array();
+      for (const JsonValue& item : v.items()) value(item);
+      return end_array();
+    }
+    case JsonValue::Kind::kObject: {
+      begin_object();
+      for (const auto& [k, item] : v.obj_) {
+        key(k);
+        value(item);
+      }
+      return end_object();
+    }
+  }
+  return *this;
+}
+
+bool JsonWriter::complete() const { return !bad_ && root_done_ && stack_.empty(); }
 
 }  // namespace ag

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <cstring>
 #include <mutex>
 
 namespace ag {
@@ -29,8 +30,25 @@ std::atomic<std::int64_t>& spin_us_knob() {
   return v;
 }
 
+bool env_present(const char* name) {
+  const char* raw = std::getenv(name);
+  return raw != nullptr && raw[0] != '\0';
+}
+
 std::atomic<std::int64_t>& small_mnk_knob() {
   static std::atomic<std::int64_t> v{env_int64("ARMGEMM_SMALL_MNK", kDefaultSmallMnk)};
+  return v;
+}
+
+// "Pinned" knobs are ones the process (env or setter) chose explicitly;
+// the autotuner never overrides a pinned knob.
+std::atomic<bool>& small_mnk_pinned_flag() {
+  static std::atomic<bool> v{env_present("ARMGEMM_SMALL_MNK")};
+  return v;
+}
+
+std::atomic<bool>& prefetch_pinned_flag() {
+  static std::atomic<bool> v{env_present("ARMGEMM_PREA") || env_present("ARMGEMM_PREB")};
   return v;
 }
 
@@ -107,6 +125,40 @@ MetricsPathKnob& metrics_path_knob() {
   return *k;
 }
 
+int parse_tune_mode(const char* raw) {
+  if (raw == nullptr || raw[0] == '\0') return kTuneModeOn;
+  if (std::strcmp(raw, "off") == 0 || std::strcmp(raw, "0") == 0) return kTuneModeOff;
+  if (std::strcmp(raw, "analytic") == 0) return kTuneModeAnalytic;
+  return kTuneModeOn;  // "on", "1", and anything unrecognized
+}
+
+std::atomic<int>& tune_mode_knob() {
+  static std::atomic<int> v{parse_tune_mode(std::getenv("ARMGEMM_TUNE"))};
+  return v;
+}
+
+// Probe budget: enough wall time for one key's candidate neighborhood at
+// the capped probe sizes on a mid-range host, small enough that a cold
+// first call stays interactive.
+constexpr std::int64_t kDefaultTuneBudgetMs = 120;
+
+std::atomic<std::int64_t>& tune_budget_ms_knob() {
+  static std::atomic<std::int64_t> v{
+      env_int64("ARMGEMM_TUNE_BUDGET_MS", kDefaultTuneBudgetMs)};
+  return v;
+}
+
+// Same rare-read mutex-string pattern as the metrics path.
+MetricsPathKnob& tune_cache_path_knob() {
+  static MetricsPathKnob* k = [] {
+    auto* fresh = new MetricsPathKnob;  // leaky: read at first-resolve time
+    const char* raw = std::getenv("ARMGEMM_TUNE_CACHE");
+    if (raw) fresh->path = raw;
+    return fresh;
+  }();
+  return *k;
+}
+
 }  // namespace
 
 std::int64_t spin_wait_us() { return spin_us_knob().load(std::memory_order_relaxed); }
@@ -118,7 +170,27 @@ void set_spin_wait_us(std::int64_t us) {
 std::int64_t small_gemm_mnk() { return small_mnk_knob().load(std::memory_order_relaxed); }
 
 void set_small_gemm_mnk(std::int64_t t) {
+  small_mnk_pinned_flag().store(true, std::memory_order_relaxed);
   small_mnk_knob().store(t < 0 ? 0 : t, std::memory_order_relaxed);
+}
+
+bool small_gemm_mnk_pinned() {
+  return small_mnk_pinned_flag().load(std::memory_order_relaxed);
+}
+
+bool prefetch_pinned() { return prefetch_pinned_flag().load(std::memory_order_relaxed); }
+
+bool tuner_apply_small_gemm_mnk(std::int64_t t) {
+  if (small_gemm_mnk_pinned()) return false;
+  small_mnk_knob().store(t < 0 ? 0 : t, std::memory_order_relaxed);
+  return true;
+}
+
+bool tuner_apply_prefetch(std::int64_t prea_bytes, std::int64_t preb_bytes) {
+  if (prefetch_pinned()) return false;
+  prea_knob().store(prea_bytes < 0 ? 0 : prea_bytes, std::memory_order_relaxed);
+  preb_knob().store(preb_bytes < 0 ? 0 : preb_bytes, std::memory_order_relaxed);
+  return true;
 }
 
 bool use_small_gemm(std::int64_t m, std::int64_t n, std::int64_t k) {
@@ -137,12 +209,14 @@ bool use_small_gemm(std::int64_t m, std::int64_t n, std::int64_t k) {
 std::int64_t prefetch_a_bytes() { return prea_knob().load(std::memory_order_relaxed); }
 
 void set_prefetch_a_bytes(std::int64_t bytes) {
+  prefetch_pinned_flag().store(true, std::memory_order_relaxed);
   prea_knob().store(bytes < 0 ? 0 : bytes, std::memory_order_relaxed);
 }
 
 std::int64_t prefetch_b_bytes() { return preb_knob().load(std::memory_order_relaxed); }
 
 void set_prefetch_b_bytes(std::int64_t bytes) {
+  prefetch_pinned_flag().store(true, std::memory_order_relaxed);
   preb_knob().store(bytes < 0 ? 0 : bytes, std::memory_order_relaxed);
 }
 
@@ -187,6 +261,33 @@ double drift_threshold() {
 void set_drift_threshold(double threshold) {
   drift_threshold_knob().store(threshold > 0 ? threshold : kDefaultDriftThreshold,
                                std::memory_order_relaxed);
+}
+
+int tune_mode() { return tune_mode_knob().load(std::memory_order_relaxed); }
+
+void set_tune_mode(int mode) {
+  if (mode < kTuneModeOff || mode > kTuneModeOn) mode = kTuneModeOn;
+  tune_mode_knob().store(mode, std::memory_order_relaxed);
+}
+
+std::string tune_cache_path() {
+  MetricsPathKnob& k = tune_cache_path_knob();
+  std::lock_guard lock(k.mutex);
+  return k.path;
+}
+
+void set_tune_cache_path(const std::string& path) {
+  MetricsPathKnob& k = tune_cache_path_knob();
+  std::lock_guard lock(k.mutex);
+  k.path = path;
+}
+
+std::int64_t tune_budget_ms() {
+  return tune_budget_ms_knob().load(std::memory_order_relaxed);
+}
+
+void set_tune_budget_ms(std::int64_t ms) {
+  tune_budget_ms_knob().store(ms < 0 ? 0 : ms, std::memory_order_relaxed);
 }
 
 }  // namespace ag

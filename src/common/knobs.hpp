@@ -41,6 +41,19 @@
 //                             the measured-vs-expected efficiency EWMAs
 //                             that flags a model-drift anomaly.
 //
+// The closed-loop autotuner (src/tune) adds three:
+//
+//   ARMGEMM_TUNE           - "on" (default): analytic proposal + measured
+//                            probes; "analytic": model only, no probes;
+//                            "off"/"0": tuner disabled, paper/host
+//                            defaults exactly as before.
+//   ARMGEMM_TUNE_CACHE     - path of the persistent per-host tuning
+//                            cache (versioned JSON, written atomically);
+//                            empty disables persistence.
+//   ARMGEMM_TUNE_BUDGET_MS - process-wide wall-clock budget for measured
+//                            probes; once spent, resolution falls back
+//                            to the analytic proposal.
+//
 // Each knob reads its environment variable once at first use; the setters
 // override the value process-wide afterwards (exposed through the C API as
 // armgemm_set_spin_us / armgemm_set_small_mnk / armgemm_set_flight_depth /
@@ -61,6 +74,19 @@ void set_spin_wait_us(std::int64_t us);
 /// Small-matrix fast-path threshold T (fast path when m*n*k <= T^3).
 std::int64_t small_gemm_mnk();
 void set_small_gemm_mnk(std::int64_t t);
+
+/// True once the process explicitly pinned the knob — via the setter /
+/// C API or the environment variable. The autotuner only applies its
+/// probed value to an un-pinned knob, so explicit settings always win.
+bool small_gemm_mnk_pinned();
+bool prefetch_pinned();
+
+/// The autotuner's application path for the three knobs it owns: a no-op
+/// when the knob is pinned (returns false), otherwise stores the value
+/// without marking it pinned (returns true), so later explicit setters
+/// still override.
+bool tuner_apply_small_gemm_mnk(std::int64_t t);
+bool tuner_apply_prefetch(std::int64_t prea_bytes, std::int64_t preb_bytes);
 
 /// True when (m, n, k) should take the no-pack small-matrix fast path
 /// under the current threshold. Overflow-safe for any int64 dimensions.
@@ -95,5 +121,23 @@ void set_flight_depth(std::int64_t depth);
 /// malformed values fall back to the default).
 double drift_threshold();
 void set_drift_threshold(double threshold);
+
+/// Autotuner mode: 0 = off (paper/host defaults, bit-for-bit the
+/// pre-tuner behavior), 1 = analytic proposals only, 2 = analytic +
+/// measured probes (the default). Parsed from ARMGEMM_TUNE
+/// ("off"/"0" | "analytic" | "on"/"1"); unknown spellings mean "on".
+constexpr int kTuneModeOff = 0;
+constexpr int kTuneModeAnalytic = 1;
+constexpr int kTuneModeOn = 2;
+int tune_mode();
+void set_tune_mode(int mode);
+
+/// Persistent tuning-cache path ("" = persistence disabled).
+std::string tune_cache_path();
+void set_tune_cache_path(const std::string& path);
+
+/// Process-wide measured-probe budget in milliseconds.
+std::int64_t tune_budget_ms();
+void set_tune_budget_ms(std::int64_t ms);
 
 }  // namespace ag

@@ -54,6 +54,7 @@ Context& Context::set_kernel(const std::string& kernel_name) {
     // Shape changed: the old cache blocks no longer apply.
     block_sizes_ = default_block_sizes(kernel_->shape, threads_);
   }
+  tunable_ = false;  // explicit configuration is a pin
   return *this;
 }
 
@@ -63,6 +64,7 @@ Context& Context::set_block_sizes(const BlockSizes& bs) {
                "block sizes " << bs.to_string() << " do not match kernel shape "
                               << kernel_->shape.to_string());
   block_sizes_ = bs;
+  tunable_ = false;  // explicit configuration is a pin
   return *this;
 }
 
@@ -79,7 +81,11 @@ ThreadPool& Context::pool() const {
 }
 
 Context& Context::default_context() {
-  static Context ctx;
+  static Context ctx = [] {
+    Context c;
+    c.set_tunable(true);
+    return c;
+  }();
   return ctx;
 }
 

@@ -58,6 +58,20 @@ class Context {
   Context& set_block_sizes(const BlockSizes& bs);
   Context& set_threads(int threads);
 
+  /// Opts this context into the closed-loop autotuner (src/tune): each
+  /// call resolves its kernel shape and cache blocking per (precision,
+  /// shape-class) key instead of using the context's fixed configuration.
+  /// Off by default — explicitly constructed contexts keep exactly what
+  /// they were configured with (the tuner counts their calls under the
+  /// "pinned" source). set_kernel / set_block_sizes also clear the flag:
+  /// an explicit configuration is a pin. The C API's thread-local
+  /// contexts and default_context() are tunable.
+  Context& set_tunable(bool tunable) {
+    tunable_ = tunable;
+    return *this;
+  }
+  bool tunable() const { return tunable_; }
+
   /// Attaches a per-layer stats collector (non-owning; pass nullptr to
   /// detach). The collector must outlive every dgemm call made with this
   /// context. In an ARMGEMM_STATS_DISABLED build the attachment is kept
@@ -118,6 +132,7 @@ class Context {
   BlockSizes block_sizes_;
   int threads_;
   obs::GemmStats* stats_ = nullptr;
+  bool tunable_ = false;
   mutable std::unique_ptr<ThreadPool> pool_;
   // shared_ptr so outstanding leases keep the free list alive across
   // Context moves and destruction.

@@ -15,6 +15,7 @@
 #include "core/gemm_internal.hpp"
 #include "core/packing.hpp"
 #include "core/schedule.hpp"
+#include "core/tuning.hpp"
 #include "obs/gemm_stats.hpp"
 #include "obs/pmu.hpp"
 #include "obs/telemetry.hpp"
@@ -70,6 +71,35 @@ void gemm_small_nest(Trans trans_a, Trans trans_b, index_t m, index_t n, index_t
   }
 }
 
+// Uninstrumented serial blocked nest for the autotuner's probes. Same
+// loop order and beta fusion as gemm_serial below, minus every stats /
+// tracer / PMU hook — a probe must not perturb the serving counters.
+void gemm_blocked_serial(index_t m, index_t n, index_t k, double alpha, const double* a,
+                         index_t lda, const double* b, index_t ldb, double beta, double* c,
+                         index_t ldc, const Microkernel& kernel, const BlockSizes& bs,
+                         GemmScratch& scratch) {
+  scratch.reserve(static_cast<std::size_t>(
+                      packed_b_size(std::min(bs.kc, k), std::min(bs.nc, n), bs.nr)),
+                  static_cast<std::size_t>(
+                      packed_a_size(std::min(bs.mc, m), std::min(bs.kc, k), bs.mr)),
+                  1, /*double_buffer=*/false);
+  double* const packed_a = scratch.packed_a[0].data();
+  double* const packed_b = scratch.packed_b[0].data();
+  for (index_t jj = 0; jj < n; jj += bs.nc) {
+    const index_t nc = std::min(bs.nc, n - jj);
+    for (index_t kk = 0; kk < k; kk += bs.kc) {
+      const index_t kc = std::min(bs.kc, k - kk);
+      pack_b(Trans::NoTrans, b, ldb, kk, jj, kc, nc, bs.nr, packed_b);
+      for (index_t ii = 0; ii < m; ii += bs.mc) {
+        const index_t mc = std::min(bs.mc, m - ii);
+        pack_a(Trans::NoTrans, a, lda, ii, kk, mc, kc, bs.mr, packed_a);
+        gebp(mc, nc, kc, alpha, packed_a, packed_b, kk == 0 ? beta : 1.0,
+             c + ii + jj * ldc, ldc, kernel);
+      }
+    }
+  }
+}
+
 }  // namespace detail
 
 namespace {
@@ -102,9 +132,8 @@ void gemm_small(Trans trans_a, Trans trans_b, index_t m, index_t n, index_t k, d
 // later k-panels accumulate with beta == 1.
 void gemm_serial(Trans trans_a, Trans trans_b, index_t m, index_t n, index_t k, double alpha,
                  const double* a, index_t lda, const double* b, index_t ldb, double beta,
-                 double* c, index_t ldc, const Context& ctx, GemmScratch& scratch) {
-  const BlockSizes& bs = ctx.block_sizes();
-  const Microkernel& kernel = ctx.kernel();
+                 double* c, index_t ldc, const Context& ctx, const Microkernel& kernel,
+                 const BlockSizes& bs, GemmScratch& scratch) {
   obs::GemmStats* stats = ctx.stats();
   obs::ThreadSlot* slot = stats ? &stats->slot(0) : nullptr;
   obs::Tracer* tracer = stats ? stats->tracer() : nullptr;
@@ -164,9 +193,8 @@ void gemm_serial(Trans trans_a, Trans trans_b, index_t m, index_t n, index_t k, 
 void gemm_parallel(Trans trans_a, Trans trans_b, index_t m, index_t n, index_t k,
                    double alpha, const double* a, index_t lda, const double* b, index_t ldb,
                    double beta, double* c, index_t ldc, const Context& ctx,
-                   GemmScratch& scratch, int nthreads) {
-  const BlockSizes& bs = ctx.block_sizes();
-  const Microkernel& kernel = ctx.kernel();
+                   const Microkernel& kernel, const BlockSizes& bs, GemmScratch& scratch,
+                   int nthreads) {
   obs::GemmStats* stats = ctx.stats();
 
   struct Panel {
@@ -273,17 +301,26 @@ void gemm_parallel(Trans trans_a, Trans trans_b, index_t m, index_t n, index_t k
 struct RunInfo {
   obs::ScheduleKind schedule = obs::ScheduleKind::kSerial;
   int threads = 1;
+  BlockSizes bs;  // the blocking the call actually ran with
 };
 
 RunInfo run_gemm(Trans trans_a, Trans trans_b, index_t m, index_t n, index_t k, double alpha,
                  const double* a, index_t lda, const double* b, index_t ldb, double beta,
                  double* c, index_t ldc, const Context& ctx) {
+  RunInfo info;
+  info.bs = ctx.block_sizes();
   if (use_small_gemm(m, n, k)) {
     gemm_small(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc, ctx);
-    return {obs::ScheduleKind::kSmall, 1};
+    info.schedule = obs::ScheduleKind::kSmall;
+    return info;
   }
+  // Per-call configuration: the context's kernel + blocking, or — for a
+  // tunable context — whatever the autotuner resolved for this
+  // (precision, shape-class) key.
+  const ExecConfig cfg = resolve_exec_config(ctx, m, n, k);
+  const BlockSizes& bs = cfg.bs;
+  info.bs = bs;
   int eff = 1;
-  const BlockSizes& bs = ctx.block_sizes();
   if (ctx.threads() > 1 && m > bs.mr) {
     // Clamp the rank count to the parallelism actually available in the
     // widest panel; surplus ranks would only add barrier traffic. One
@@ -295,11 +332,14 @@ RunInfo run_gemm(Trans trans_a, Trans trans_b, index_t m, index_t n, index_t k, 
   Context::ScratchLease scratch = ctx.acquire_scratch();
   if (eff > 1) {
     gemm_parallel(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc, ctx,
-                  *scratch, eff);
-    return {obs::ScheduleKind::kParallel, eff};
+                  *cfg.kernel, bs, *scratch, eff);
+    info.schedule = obs::ScheduleKind::kParallel;
+    info.threads = eff;
+    return info;
   }
-  gemm_serial(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc, ctx, *scratch);
-  return {obs::ScheduleKind::kSerial, 1};
+  gemm_serial(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc, ctx,
+              *cfg.kernel, bs, *scratch);
+  return info;
 }
 
 }  // namespace
@@ -339,7 +379,7 @@ void dgemm(Layout layout, Trans trans_a, Trans trans_b, std::int64_t m, std::int
     if (stats) stats->slot(0).add_call(flops, seconds);
     if (telemetry && computed)
       obs::telemetry_record_call(
-          m, n, k, run.threads, run.schedule, seconds, ctx.block_sizes(),
+          m, n, k, run.threads, run.schedule, seconds, run.bs,
           std::chrono::duration<double>(t1.time_since_epoch()).count());
     return;
   }

@@ -14,6 +14,7 @@
 #include "core/gemm_internal.hpp"
 #include "core/packing.hpp"
 #include "core/panel_cache.hpp"
+#include "core/tuning.hpp"
 #include "obs/gemm_stats.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/tracer.hpp"
@@ -42,6 +43,11 @@ enum class EntryKind { kScale, kSmall, kBlocked };
 struct EntryState {
   GemmBatchEntry e;  // normalized to column-major
   EntryKind kind = EntryKind::kBlocked;
+  // Per-entry execution configuration (kBlocked only): the context's
+  // kernel + blocking, or the autotuner's pick for this entry's
+  // shape class when the context is tunable.
+  const Microkernel* kernel = nullptr;
+  BlockSizes bs;
   int tickets = 0;
   int shape_class = -1;  // batch ShapeClass index, for cache attribution
   std::atomic<index_t> remaining{0};
@@ -71,11 +77,10 @@ struct TicketCacheCounts {
 /// placement match gemm_serial, so each C element of the range sees the
 /// exact accumulation order of a serial run.
 TicketCacheCounts run_blocked_rows(const GemmBatchEntry& e, index_t row0, index_t rows,
-                                   const Context& ctx, std::uint64_t epoch,
+                                   const Context& ctx, const Microkernel& kernel,
+                                   const BlockSizes& bs, std::uint64_t epoch,
                                    int shape_class) {
   TicketCacheCounts counts;
-  const BlockSizes& bs = ctx.block_sizes();
-  const Microkernel& kernel = ctx.kernel();
   PanelCache& cache = PanelCache::instance();
 
   Context::ScratchLease lease = ctx.acquire_scratch();
@@ -169,7 +174,8 @@ struct BatchSource final : TaskSource {
                                 e.b, e.ldb, e.beta, e.c, e.ldc);
         break;
       case EntryKind::kBlocked:
-        cache = run_blocked_rows(e, tk.row0, tk.rows, *ctx, epoch, st.shape_class);
+        cache = run_blocked_rows(e, tk.row0, tk.rows, *ctx, *st.kernel, st.bs, epoch,
+                                 st.shape_class);
         break;
     }
     if (cache.hits) st.cache_hits.fetch_add(cache.hits, std::memory_order_relaxed);
@@ -221,7 +227,6 @@ void dgemm_batch(Layout layout, const GemmBatchEntry* entries, index_t count,
                        e.c, e.ldc);
   }
 
-  const BlockSizes& bs = ctx.block_sizes();
   std::deque<EntryState> states;  // deque: EntryState holds an atomic
   for (index_t i = 0; i < count; ++i) {
     GemmBatchEntry e = entries[i];
@@ -243,7 +248,13 @@ void dgemm_batch(Layout layout, const GemmBatchEntry* entries, index_t count,
       st.tickets = 1;
     } else {
       st.kind = EntryKind::kBlocked;
-      st.tickets = static_cast<int>(blocked_tickets(e.m, bs.mc));
+      // Resolve per entry: different shape classes in one batch may run
+      // with different tuned blockings. A pinned context resolves to its
+      // own configuration for every entry.
+      const ExecConfig cfg = resolve_exec_config(ctx, e.m, e.n, e.k);
+      st.kernel = cfg.kernel;
+      st.bs = cfg.bs;
+      st.tickets = static_cast<int>(blocked_tickets(e.m, st.bs.mc));
     }
     // Cache hits/misses are attributed to the batch shape class (same
     // class telemetry_record_batch_entry files the latency under).
@@ -279,7 +290,7 @@ void dgemm_batch(Layout layout, const GemmBatchEntry* entries, index_t count,
       continue;
     }
     for (int s = 0; s < st.tickets; ++s) {
-      const Range r = partition_range(st.e.m, st.tickets, s, bs.mc);
+      const Range r = partition_range(st.e.m, st.tickets, s, st.bs.mc);
       if (r.size() == 0) continue;  // cap > blocks cannot happen, but be safe
       src.tickets.push_back({&st, s, r.begin, r.size()});
     }

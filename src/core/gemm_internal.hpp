@@ -4,6 +4,8 @@
 #pragma once
 
 #include "blas/gemm_types.hpp"
+#include "core/block_sizes.hpp"
+#include "core/context.hpp"
 #include "kernels/microkernel.hpp"
 
 namespace ag::detail {
@@ -21,5 +23,15 @@ void scale_panel(double* c, index_t ldc, index_t m, index_t n, double beta);
 void gemm_small_nest(Trans trans_a, Trans trans_b, index_t m, index_t n, index_t k,
                      double alpha, const double* a, index_t lda, const double* b, index_t ldb,
                      double beta, double* c, index_t ldc);
+
+/// The serial blocked nest (pack + GEBP, NoTrans column-major) with an
+/// explicit kernel and blocking and NO instrumentation — no stats slots,
+/// tracer regions or telemetry. The autotuner's measured probes run
+/// through this so a probe never perturbs the serving counters (and never
+/// re-enters the drift listener while the tuner's lock is held).
+void gemm_blocked_serial(index_t m, index_t n, index_t k, double alpha, const double* a,
+                         index_t lda, const double* b, index_t ldb, double beta, double* c,
+                         index_t ldc, const Microkernel& kernel, const BlockSizes& bs,
+                         GemmScratch& scratch);
 
 }  // namespace ag::detail

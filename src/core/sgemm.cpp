@@ -6,10 +6,13 @@
 #include "common/aligned_buffer.hpp"
 #include "common/check.hpp"
 #include "common/math_util.hpp"
+#include "common/knobs.hpp"
 #include "core/gebp_impl.hpp"
 #include "core/packing_impl.hpp"
+#include "core/tuning.hpp"
 #include "kernels/sgemm_kernels.hpp"
 #include "threading/thread_pool.hpp"
+#include "tune/tune.hpp"
 
 namespace ag {
 namespace {
@@ -19,11 +22,25 @@ struct SBlocks {
   index_t kc, mc, nc;
 };
 
-SBlocks resolve_blocks(const SgemmOptions& options) {
+SBlocks resolve_blocks(const SgemmOptions& options, index_t m, index_t n, index_t k_dim) {
   const SMicrokernel& k = best_smicrokernel();
   SBlocks bs;
   bs.mr = k.mr;
   bs.nr = k.nr;
+  if (options.tunable && options.kc == 0 && options.mc == 0 && options.nc == 0 &&
+      tune_mode() != kTuneModeOff) {
+    ensure_tune_probe_runner();
+    const tune::TunedConfig* tc =
+        tune::resolve(tune::Precision::kF32, m, n, k_dim, options.threads);
+    if (tc != nullptr && tc->mr == bs.mr && tc->nr == bs.nr) {
+      bs.kc = tc->kc;
+      bs.mc = options.threads > 1 ? tc->mc_mt : tc->mc;
+      bs.nc = options.threads > 1 ? tc->nc_mt : tc->nc;
+      tune::record_call(tc->source);
+      return bs;
+    }
+    tune::record_call(tune::TuneSource::kNone);
+  }
   // Floats are half the size of doubles: the same cache budgets admit
   // twice the kc depth of the double-precision defaults.
   bs.kc = options.kc > 0 ? options.kc : 512;
@@ -50,7 +67,7 @@ void scale_panel(float* c, index_t ldc, index_t m, index_t n, float beta) {
 void sgemm_colmajor(Trans trans_a, Trans trans_b, index_t m, index_t n, index_t k, float alpha,
                     const float* a, index_t lda, const float* b, index_t ldb, float beta,
                     float* c, index_t ldc, const SgemmOptions& options) {
-  const SBlocks bs = resolve_blocks(options);
+  const SBlocks bs = resolve_blocks(options, m, n, k);
   const SMicrokernel& kernel = best_smicrokernel();
   const int nthreads = std::max(1, options.threads);
 

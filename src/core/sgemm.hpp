@@ -17,6 +17,11 @@ struct SgemmOptions {
   int threads = 1;
   /// Cache blocks; zero fields pick host defaults scaled for float.
   std::int64_t kc = 0, mc = 0, nc = 0;
+  /// Opts the call into the closed-loop autotuner: when set (and kc/mc/nc
+  /// are all zero and ARMGEMM_TUNE is not off) the f32 shape-class key's
+  /// tuned blocking replaces the host defaults. The C API sets it;
+  /// explicitly blocked calls are pins.
+  bool tunable = false;
 };
 
 void sgemm(Layout layout, Trans trans_a, Trans trans_b, std::int64_t m, std::int64_t n,

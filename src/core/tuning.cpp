@@ -1,0 +1,159 @@
+#include "core/tuning.hpp"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "common/aligned_buffer.hpp"
+#include "common/knobs.hpp"
+#include "common/timer.hpp"
+#include "core/gemm_internal.hpp"
+#include "core/sgemm.hpp"
+
+namespace ag {
+namespace {
+
+// Deterministic non-trivial operand fill: values in [0.25, 1), no zeros
+// (the small nest skips zero B entries — probe work must match real work)
+// and no compensating patterns the kernels could short-circuit.
+template <typename T>
+void fill_operand(T* p, std::size_t count, std::uint32_t seed) {
+  std::uint32_t s = seed * 2654435761u + 12345u;
+  for (std::size_t i = 0; i < count; ++i) {
+    s = s * 1664525u + 1013904223u;
+    p[i] = static_cast<T>(0.25) +
+           static_cast<T>(s >> 8) /
+               static_cast<T>(1u << 24) * static_cast<T>(0.75);
+  }
+}
+
+/// Applies the request's prefetch distances for the probe's duration and
+/// restores the previous values on exit. Uses the tuner application path,
+/// so a pinned prefetch knob is left untouched (the tuner does not probe
+/// prefetch when it is pinned).
+struct PrefetchGuard {
+  bool active = false;
+  std::int64_t saved_a = 0, saved_b = 0;
+
+  PrefetchGuard(index_t prea, index_t preb) {
+    if (prea < 0 && preb < 0) return;
+    saved_a = prefetch_a_bytes();
+    saved_b = prefetch_b_bytes();
+    active = tuner_apply_prefetch(prea >= 0 ? prea : saved_a,
+                                  preb >= 0 ? preb : saved_b);
+  }
+  ~PrefetchGuard() {
+    if (active) tuner_apply_prefetch(saved_a, saved_b);
+  }
+};
+
+/// Best-of-reps wall time of `fn` (one warmup rep, two timed), as Gflops.
+template <typename Fn>
+double time_probe(double flops, Fn&& fn) {
+  fn();  // warmup: faults the pages, warms the caches and branch state
+  double best = -1.0;
+  for (int rep = 0; rep < 2; ++rep) {
+    Timer t;
+    fn();
+    const double s = t.seconds();
+    if (best < 0 || s < best) best = s;
+  }
+  if (best <= 0) return 0;
+  return flops / best * 1e-9;
+}
+
+double run_probe_f32(const tune::ProbeRequest& req) {
+  AlignedBuffer<float> a(static_cast<std::size_t>(req.m * req.k));
+  AlignedBuffer<float> b(static_cast<std::size_t>(req.k * req.n));
+  AlignedBuffer<float> c(static_cast<std::size_t>(req.m * req.n));
+  fill_operand(a.data(), static_cast<std::size_t>(req.m * req.k), 1);
+  fill_operand(b.data(), static_cast<std::size_t>(req.k * req.n), 2);
+  fill_operand(c.data(), static_cast<std::size_t>(req.m * req.n), 3);
+
+  SgemmOptions opt;
+  opt.threads = 1;
+  opt.kc = req.kc;
+  opt.mc = req.mc;
+  opt.nc = req.nc;
+  const double flops = 2.0 * static_cast<double>(req.m) * static_cast<double>(req.n) *
+                       static_cast<double>(req.k);
+  return time_probe(flops, [&] {
+    sgemm(Layout::ColMajor, Trans::NoTrans, Trans::NoTrans, req.m, req.n, req.k, 1.0f,
+          a.data(), req.m, b.data(), req.k, 0.5f, c.data(), req.m, opt);
+  });
+}
+
+double run_probe_f64(const tune::ProbeRequest& req) {
+  AlignedBuffer<double> a(static_cast<std::size_t>(req.m * req.k));
+  AlignedBuffer<double> b(static_cast<std::size_t>(req.k * req.n));
+  AlignedBuffer<double> c(static_cast<std::size_t>(req.m * req.n));
+  fill_operand(a.data(), static_cast<std::size_t>(req.m * req.k), 1);
+  fill_operand(b.data(), static_cast<std::size_t>(req.k * req.n), 2);
+  fill_operand(c.data(), static_cast<std::size_t>(req.m * req.n), 3);
+  const double flops = 2.0 * static_cast<double>(req.m) * static_cast<double>(req.n) *
+                       static_cast<double>(req.k);
+
+  if (req.small_path) {
+    return time_probe(flops, [&] {
+      detail::gemm_small_nest(Trans::NoTrans, Trans::NoTrans, req.m, req.n, req.k, 1.0,
+                              a.data(), req.m, b.data(), req.k, 0.5, c.data(), req.m);
+    });
+  }
+
+  if (req.kernel == nullptr) return 0;
+  BlockSizes bs;
+  bs.mr = req.mr;
+  bs.nr = req.nr;
+  bs.kc = req.kc;
+  bs.mc = req.mc;
+  bs.nc = req.nc;
+  bs.validate();  // throws on a malformed candidate -> caught below, 0
+
+  GemmScratch scratch;
+  return time_probe(flops, [&] {
+    detail::gemm_blocked_serial(req.m, req.n, req.k, 1.0, a.data(), req.m, b.data(), req.k,
+                                0.5, c.data(), req.m, *req.kernel, bs, scratch);
+  });
+}
+
+/// The real probe runner the tuner calls (through the injected pointer):
+/// times the uninstrumented serial nest — or the no-pack small nest, or
+/// the f32 path — on freshly allocated operands. Any failure (bad
+/// candidate, allocation) reports 0, which the tuner treats as "skip".
+double run_probe(const tune::ProbeRequest& req) noexcept {
+  if (req.m <= 0 || req.n <= 0 || req.k <= 0) return 0;
+  try {
+    PrefetchGuard prefetch(req.prea, req.preb);
+    if (req.precision == tune::Precision::kF32) return run_probe_f32(req);
+    return run_probe_f64(req);
+  } catch (...) {
+    return 0;
+  }
+}
+
+}  // namespace
+
+void ensure_tune_probe_runner() { tune::install_default_probe_runner(&run_probe); }
+
+ExecConfig resolve_exec_config(const Context& ctx, index_t m, index_t n, index_t k) {
+  ExecConfig cfg;
+  cfg.kernel = &ctx.kernel();
+  cfg.bs = ctx.block_sizes();
+  if (tune_mode() == kTuneModeOff) return cfg;  // untouched, unrecorded
+  if (!ctx.tunable()) {
+    cfg.source = tune::TuneSource::kPinned;
+    tune::record_call(cfg.source);
+    return cfg;
+  }
+  ensure_tune_probe_runner();
+  const tune::TunedConfig* tc =
+      tune::resolve(tune::Precision::kF64, m, n, k, ctx.threads());
+  if (tc != nullptr && tc->kernel != nullptr) {
+    cfg.kernel = tc->kernel;
+    cfg.bs = tc->block_sizes(ctx.threads());
+    cfg.source = tc->source;
+  }
+  tune::record_call(cfg.source);
+  return cfg;
+}
+
+}  // namespace ag

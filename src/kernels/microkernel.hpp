@@ -83,6 +83,10 @@ const std::vector<Microkernel>& all_microkernels();
 /// otherwise the generic scalar kernel. Throws if the shape is unknown.
 const Microkernel& best_microkernel(KernelShape shape);
 
+/// Non-throwing variant: nullptr when no kernel covers the shape (the
+/// autotuner uses this to trim its candidate list to what's registered).
+const Microkernel* find_best_microkernel(KernelShape shape);
+
 /// Look up by exact name (e.g. "avx2_8x6", "generic_5x5"); throws if absent.
 const Microkernel& microkernel_by_name(const std::string& name);
 

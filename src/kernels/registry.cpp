@@ -42,12 +42,17 @@ const std::vector<Microkernel>& all_microkernels() {
   return registry;
 }
 
-const Microkernel& best_microkernel(KernelShape shape) {
+const Microkernel* find_best_microkernel(KernelShape shape) {
   const Microkernel* best = nullptr;
   for (const auto& k : all_microkernels()) {
     if (k.shape != shape) continue;
     if (best == nullptr || static_cast<int>(k.isa) > static_cast<int>(best->isa)) best = &k;
   }
+  return best;
+}
+
+const Microkernel& best_microkernel(KernelShape shape) {
+  const Microkernel* best = find_best_microkernel(shape);
   AG_CHECK_MSG(best != nullptr, "no microkernel registered for shape " << shape.to_string());
   return *best;
 }

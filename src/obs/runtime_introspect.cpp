@@ -8,8 +8,21 @@ namespace {
 
 std::atomic<SchedulerStatsFn> g_scheduler_source{nullptr};
 std::atomic<PanelCacheStatsFn> g_panel_cache_source{nullptr};
+std::atomic<TuneStatsFn> g_tune_source{nullptr};
+std::atomic<DriftAnomalyListener> g_drift_listener{nullptr};
 
 }  // namespace
+
+const char* tune_source_name(int source) {
+  switch (source) {
+    case 0: return "none";
+    case 1: return "analytic";
+    case 2: return "probed";
+    case 3: return "cached";
+    case 4: return "pinned";
+  }
+  return "?";
+}
 
 void set_scheduler_stats_source(SchedulerStatsFn fn) {
   g_scheduler_source.store(fn, std::memory_order_release);
@@ -35,6 +48,28 @@ SchedulerStats scheduler_stats() {
 PanelCacheStats panel_cache_stats() {
   const PanelCacheStatsFn fn = g_panel_cache_source.load(std::memory_order_acquire);
   return fn ? fn() : PanelCacheStats{};
+}
+
+void set_tune_stats_source(TuneStatsFn fn) {
+  g_tune_source.store(fn, std::memory_order_release);
+}
+
+bool tune_stats_available() {
+  return g_tune_source.load(std::memory_order_acquire) != nullptr;
+}
+
+TuneStats tune_stats() {
+  const TuneStatsFn fn = g_tune_source.load(std::memory_order_acquire);
+  return fn ? fn() : TuneStats{};
+}
+
+void set_drift_anomaly_listener(DriftAnomalyListener fn) {
+  g_drift_listener.store(fn, std::memory_order_release);
+}
+
+void notify_drift_anomaly(int shape_class) {
+  const DriftAnomalyListener fn = g_drift_listener.load(std::memory_order_acquire);
+  if (fn) fn(shape_class);
 }
 
 }  // namespace ag::obs

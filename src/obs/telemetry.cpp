@@ -429,8 +429,12 @@ void telemetry_record_call(std::int64_t m, std::int64_t n, std::int64_t k, int t
         anomaly.trigger = rec;
         note_anomaly(t, anomaly);
         // Drift onset auto-dumps the flight recorder + metrics (when a
-        // metrics path is configured).
-        if (!anomaly.recovered) t.dump_requested.store(true, std::memory_order_relaxed);
+        // metrics path is configured) and tells the autotuner (if one
+        // registered) that the class's tuned entry may be stale.
+        if (!anomaly.recovered) {
+          t.dump_requested.store(true, std::memory_order_relaxed);
+          notify_drift_anomaly(ci);
+        }
       }
     }
   }
@@ -659,6 +663,8 @@ TelemetrySnapshot telemetry_snapshot() {
   if (s.scheduler_available) s.scheduler = scheduler_stats();
   s.panel_cache_available = panel_cache_stats_available();
   if (s.panel_cache_available) s.panel_cache = panel_cache_stats();
+  s.tune_available = tune_stats_available();
+  if (s.tune_available) s.tune = tune_stats();
   return s;
 }
 
@@ -904,6 +910,50 @@ std::string telemetry_render_prometheus() {
            << "\"} " << c.misses << "\n";
     }
   }
+
+  if (s.tune_available) {
+    const TuneStats& tu = s.tune;
+    os << "# HELP armgemm_tune_mode Autotuner mode (0 off, 1 analytic, 2 on).\n"
+          "# TYPE armgemm_tune_mode gauge\n"
+       << "armgemm_tune_mode " << tu.mode << "\n";
+    // The tune-source gauge: how many (precision, shape-class) keys are
+    // currently resolved from each source. A warm second process shows
+    // source="cached" > 0 with probes_run == 0.
+    os << "# HELP armgemm_tune_source Resolved tuning keys by configuration source.\n"
+          "# TYPE armgemm_tune_source gauge\n";
+    for (int src = 0; src < kTuneSourceCount; ++src)
+      os << "armgemm_tune_source{source=\"" << tune_source_name(src) << "\"} "
+         << tu.resolutions[src] << "\n";
+    os << "# HELP armgemm_tune_calls_total GEMM calls by the source of their configuration.\n"
+          "# TYPE armgemm_tune_calls_total counter\n";
+    for (int src = 0; src < kTuneSourceCount; ++src)
+      os << "armgemm_tune_calls_total{source=\"" << tune_source_name(src) << "\"} "
+         << tu.calls[src] << "\n";
+    os << "# HELP armgemm_tune_probes_total Measured probes run this process.\n"
+          "# TYPE armgemm_tune_probes_total counter\n"
+       << "armgemm_tune_probes_total " << tu.probes_run << "\n";
+    os << "# HELP armgemm_tune_probe_ms Wall milliseconds spent in probes.\n"
+          "# TYPE armgemm_tune_probe_ms gauge\n"
+       << "armgemm_tune_probe_ms " << tu.probe_ms_spent << "\n";
+    os << "# HELP armgemm_tune_budget_ms Probe budget (ARMGEMM_TUNE_BUDGET_MS).\n"
+          "# TYPE armgemm_tune_budget_ms gauge\n"
+       << "armgemm_tune_budget_ms " << tu.budget_ms << "\n";
+    os << "# HELP armgemm_tune_cache_entries_loaded Entries accepted from the tuning cache.\n"
+          "# TYPE armgemm_tune_cache_entries_loaded gauge\n"
+       << "armgemm_tune_cache_entries_loaded " << tu.cache_entries_loaded << "\n";
+    os << "# HELP armgemm_tune_cache_rejected_total Cache files or entries refused.\n"
+          "# TYPE armgemm_tune_cache_rejected_total counter\n"
+       << "armgemm_tune_cache_rejected_total " << tu.cache_rejected << "\n";
+    os << "# HELP armgemm_tune_invalidations_total Drift-triggered entry invalidations.\n"
+          "# TYPE armgemm_tune_invalidations_total counter\n"
+       << "armgemm_tune_invalidations_total " << tu.invalidations << "\n";
+    os << "# HELP armgemm_tune_saves_total Successful cache writes.\n"
+          "# TYPE armgemm_tune_saves_total counter\n"
+       << "armgemm_tune_saves_total " << tu.saves << "\n";
+    os << "# HELP armgemm_tune_save_failures_total Cache writes that failed.\n"
+          "# TYPE armgemm_tune_save_failures_total counter\n"
+       << "armgemm_tune_save_failures_total " << tu.save_failures << "\n";
+  }
   return os.str();
 }
 
@@ -996,6 +1046,28 @@ std::string telemetry_render_json() {
          << "\",\"hits\":" << c.hits << ",\"misses\":" << c.misses << "}";
     }
     os << "]}";
+  }
+  os << ",\"tune\":";
+  if (!s.tune_available) {
+    os << "null";
+  } else {
+    const TuneStats& tu = s.tune;
+    const auto by_source = [&os](const std::uint64_t (&v)[kTuneSourceCount]) {
+      os << "{";
+      for (int src = 0; src < kTuneSourceCount; ++src)
+        os << (src ? "," : "") << "\"" << tune_source_name(src) << "\":" << v[src];
+      os << "}";
+    };
+    os << "{\"mode\":" << tu.mode
+       << ",\"cache_path_set\":" << (tu.cache_path_set ? "true" : "false")
+       << ",\"cache_entries_loaded\":" << tu.cache_entries_loaded
+       << ",\"cache_rejected\":" << tu.cache_rejected << ",\"resolutions\":";
+    by_source(tu.resolutions);
+    os << ",\"calls\":";
+    by_source(tu.calls);
+    os << ",\"probes_run\":" << tu.probes_run << ",\"probe_ms_spent\":" << tu.probe_ms_spent
+       << ",\"budget_ms\":" << tu.budget_ms << ",\"invalidations\":" << tu.invalidations
+       << ",\"saves\":" << tu.saves << ",\"save_failures\":" << tu.save_failures << "}";
   }
   os << ",\"flight\":" << flight_to_json(s.flight) << "}";
   return os.str();

@@ -194,6 +194,8 @@ struct TelemetrySnapshot {
   SchedulerStats scheduler;
   bool panel_cache_available = false;
   PanelCacheStats panel_cache;
+  bool tune_available = false;
+  TuneStats tune;
 };
 
 /// Merged state across every lane. Safe concurrently with recording.
