@@ -12,6 +12,7 @@
 //   telemetry_overhead --pairs=25 --batch=400
 //   telemetry_overhead --metrics-out=m.prom     # also dump m.prom + m.prom.json
 //   telemetry_overhead --mode=batch --threads=4 # gate the batch path at 10%
+//   telemetry_overhead --mode=phases            # gate phase attribution at 2%
 //
 // --mode=batch times a dgemm_strided_batch call (count entries, shared B,
 // persistent pool) instead of a loop of dgemm calls. The batch path
@@ -19,6 +20,11 @@
 // hit counts, flight records — so its budget defaults to 10% rather than
 // 1% (scheduler and panel-cache counters are relaxed atomics that stay on
 // in both legs; the A/B isolates the telemetry recording delta).
+//
+// --mode=phases keeps telemetry recording in BOTH legs and toggles only
+// phase attribution (ARMGEMM_PHASES), so the measured delta is the cost
+// of the per-phase clock reads + share-histogram folds alone. Budget
+// defaults to 2% on the 64^3 call.
 //
 // Exit codes: 0 within budget, 1 over budget, 2 usage error. Prints one
 // parseable line: "telemetry_overhead: off=... on=... overhead=...".
@@ -114,11 +120,12 @@ int main(int argc, char** argv) {
     return 2;
   }
   const bool batch_mode = mode == "batch";
-  if (!batch_mode && mode != "call") {
-    std::cerr << "telemetry_overhead: --mode must be call or batch\n";
+  const bool phases_mode = mode == "phases";
+  if (!batch_mode && !phases_mode && mode != "call") {
+    std::cerr << "telemetry_overhead: --mode must be call, batch or phases\n";
     return 2;
   }
-  if (max_overhead < 0) max_overhead = batch_mode ? 0.10 : 0.01;
+  if (max_overhead < 0) max_overhead = batch_mode ? 0.10 : phases_mode ? 0.02 : 0.01;
   if (batch_mode) batch = std::max(1, batch / static_cast<int>(std::min<std::int64_t>(count, 8)));
 
   if (!ag::obs::stats_compiled_in) {
@@ -152,22 +159,30 @@ int main(int argc, char** argv) {
   // on/off) so a monotonic frequency or thermal ramp biases neither side;
   // gate on the fastest batch per side, which rejects one-sided noise
   // spikes (page faults, scheduler preemption) that medians let through.
+  // Phases mode: telemetry records in both legs; the A/B toggles only the
+  // phase-attribution knob, isolating the clock-read + share-fold delta.
+  if (phases_mode) ag::obs::telemetry_enable();
+  const auto set_leg = [&](bool leg_on) {
+    if (phases_mode)
+      ag::set_phase_attribution_enabled(leg_on);
+    else if (leg_on)
+      ag::obs::telemetry_enable();
+    else
+      ag::obs::telemetry_disable();
+  };
+
   std::vector<double> off, on;
   off.reserve(pairs);
   on.reserve(pairs);
   for (int p = 0; p < pairs; ++p) {
     for (int leg = 0; leg < 2; ++leg) {
-      const bool telemetry_on = (leg == 0) == (p % 2 == 1);
-      if (telemetry_on) {
-        ag::obs::telemetry_enable();
-        on.push_back(measure());
-      } else {
-        ag::obs::telemetry_disable();
-        off.push_back(measure());
-      }
+      const bool leg_on = (leg == 0) == (p % 2 == 1);
+      set_leg(leg_on);
+      (leg_on ? on : off).push_back(measure());
     }
   }
   ag::obs::telemetry_disable();
+  if (phases_mode) ag::set_phase_attribution_enabled(true);  // restore default
 
   const double off_best = *std::min_element(off.begin(), off.end());
   const double on_best = *std::min_element(on.begin(), on.end());

@@ -13,7 +13,9 @@
 #include "core/gemm_batch.hpp"
 #include "core/sgemm.hpp"
 #include "core/tuning.hpp"
+#include "obs/forensics.hpp"
 #include "obs/gemm_stats.hpp"
+#include "obs/phase.hpp"
 #include "obs/pmu.hpp"
 #include "obs/telemetry.hpp"
 
@@ -534,6 +536,94 @@ int armgemm_panel_cache_stats_get(armgemm_panel_cache_stats* out) {
   out->resident_panels = s.resident_panels;
   out->hit_rate = s.hit_rate();
   return 1;
+}
+
+void armgemm_set_phase_attribution(int enabled) {
+  ag::set_phase_attribution_enabled(enabled != 0);
+}
+
+int armgemm_get_phase_attribution(void) {
+  return ag::phase_attribution_enabled() ? 1 : 0;
+}
+
+void armgemm_set_slow_call_factor(double factor) { ag::set_slow_call_factor(factor); }
+
+double armgemm_get_slow_call_factor(void) { return ag::slow_call_factor(); }
+
+void armgemm_set_forensics_dir(const char* dir) {
+  ag::set_forensics_dir(dir ? dir : "");
+}
+
+long long armgemm_get_forensics_dir(char* buf, size_t len) {
+  const std::string dir = ag::forensics_dir();
+  if (buf && len > 0) {
+    const size_t copy = std::min(len - 1, dir.size());
+    std::memcpy(buf, dir.data(), copy);
+    buf[copy] = '\0';
+  }
+  return static_cast<long long>(dir.size());
+}
+
+void armgemm_set_forensics_interval(double seconds) {
+  ag::set_forensics_interval_s(seconds);
+}
+
+double armgemm_get_forensics_interval(void) { return ag::forensics_interval_s(); }
+
+int armgemm_forensics_capture(void) { return ag::obs::telemetry_forensics_capture(); }
+
+void armgemm_forensics_stats_get(armgemm_forensics_stats* out) {
+  if (!out) return;
+  *out = armgemm_forensics_stats{};
+  out->last_t = -1;
+  const ag::obs::ForensicsStats s = ag::obs::forensics_stats();
+  out->captures_drift =
+      s.captures[static_cast<int>(ag::obs::ForensicsReason::kDrift)];
+  out->captures_slow_call =
+      s.captures[static_cast<int>(ag::obs::ForensicsReason::kSlowCall)];
+  out->captures_manual =
+      s.captures[static_cast<int>(ag::obs::ForensicsReason::kManual)];
+  out->written = s.written;
+  out->write_failures = s.write_failures;
+  out->suppressed = s.suppressed;
+  out->slow_calls = s.slow_calls;
+  out->last_t = s.last_t;
+  out->last_wall_seconds = s.last_wall_seconds;
+  out->last_top_share = s.last_top_share;
+  std::strncpy(out->last_reason, s.last_reason.c_str(), sizeof(out->last_reason) - 1);
+  std::strncpy(out->last_top_phase, s.last_top_phase.c_str(),
+               sizeof(out->last_top_phase) - 1);
+}
+
+long long armgemm_forensics_last_bundle(char* buf, size_t len) {
+  const std::string bundle = ag::obs::forensics_last_bundle_json();
+  if (buf && len > 0) {
+    const size_t copy = std::min(len - 1, bundle.size());
+    std::memcpy(buf, bundle.data(), copy);
+    buf[copy] = '\0';
+  }
+  return static_cast<long long>(bundle.size());
+}
+
+void armgemm_telemetry_phases(int shape_kind, armgemm_phase_summary* out) {
+  if (!out) return;
+  *out = armgemm_phase_summary{};
+  const ag::obs::TelemetrySnapshot snap = ag::obs::telemetry_snapshot();
+  for (const ag::obs::ClassSnapshot& c : snap.classes) {
+    if (shape_kind >= 0 && static_cast<int>(c.shape.kind) != shape_kind) continue;
+    if (!c.phase_samples) continue;
+    out->calls += c.phase_samples;
+    for (int p = 0; p < ag::obs::kPhaseCount; ++p) {
+      const ag::obs::PhaseStat& ps = c.phases[static_cast<std::size_t>(p)];
+      out->seconds[p] += ps.seconds;
+      // Weight per-class means by their sample counts; finalize below.
+      out->mean_share[p] += ps.mean_share * static_cast<double>(c.phase_samples);
+      if (ps.p95 > out->p95_share[p]) out->p95_share[p] = ps.p95;
+    }
+  }
+  if (out->calls)
+    for (int p = 0; p < ag::obs::kPhaseCount; ++p)
+      out->mean_share[p] /= static_cast<double>(out->calls);
 }
 
 }  // extern "C"

@@ -390,6 +390,88 @@ typedef struct armgemm_tuned_config {
 int armgemm_tune_resolve(int precision, long long m, long long n, long long k,
                          int threads, armgemm_tuned_config* out);
 
+/* ---- Phase attribution + black-box forensics ----
+ *
+ * While telemetry records, each call can additionally carry a per-phase
+ * timeline — monotonic-clock deltas at boundaries the drivers already
+ * cross — aggregated into per-shape-class phase-share distributions.
+ * Phase indices (stable): 0 queue_wait, 1 pack_a, 2 pack_b, 3 kernel,
+ * 4 barrier, 5 cache_stall, 6 epilogue.
+ *
+ * When the drift detector fires, a call exceeds the slow-call threshold,
+ * or armgemm_forensics_capture() is called, a JSON bundle (schema
+ * "armgemm-forensics/1") with the call's timeline, the flight window and
+ * the runtime snapshots is captured — written atomically into the
+ * forensics directory when one is configured, and always retained
+ * in memory (armgemm_forensics_last_bundle). Automatic captures are
+ * rate-limited to one per forensics-interval seconds. Under
+ * -DARMGEMM_STATS=OFF every capture entry point returns -1 and no bundle
+ * is ever produced. */
+
+/* Phase attribution on/off (defaults to ARMGEMM_PHASES, else on). Only
+ * consulted while telemetry is recording. */
+void armgemm_set_phase_attribution(int enabled);
+int armgemm_get_phase_attribution(void);
+
+/* A call slower than factor x its shape class's rolling p99 latency
+ * triggers a forensics capture. Defaults to ARMGEMM_SLOW_CALL_FACTOR,
+ * else 8. <= 0 disables slow-call detection. */
+void armgemm_set_slow_call_factor(double factor);
+double armgemm_get_slow_call_factor(void);
+
+/* Directory bundles are written into (NULL or "" keeps bundles in memory
+ * only). Defaults to ARMGEMM_FORENSICS_DIR. The getter follows the
+ * snprintf contract: returns the full length, writes at most len-1 bytes
+ * plus a NUL. */
+void armgemm_set_forensics_dir(const char* dir);
+long long armgemm_get_forensics_dir(char* buf, size_t len);
+
+/* Minimum seconds between automatic captures (drift / slow-call); manual
+ * captures bypass it. Defaults to ARMGEMM_FORENSICS_INTERVAL, else 60.
+ * 0 = unlimited. */
+void armgemm_set_forensics_interval(double seconds);
+double armgemm_get_forensics_interval(void);
+
+/* Captures a bundle right now (reason "manual"), using the most recent
+ * flight record as the subject call. Returns 0 on capture, -1 in a
+ * -DARMGEMM_STATS=OFF build. */
+int armgemm_forensics_capture(void);
+
+typedef struct armgemm_forensics_stats {
+  unsigned long long captures_drift;
+  unsigned long long captures_slow_call;
+  unsigned long long captures_manual;
+  unsigned long long written;         /* bundle files published to disk */
+  unsigned long long write_failures;  /* dir set but the write failed */
+  unsigned long long suppressed;      /* automatic captures rate-limited away */
+  unsigned long long slow_calls;      /* threshold hits (pre rate limit) */
+  double last_t;                      /* epoch-relative; < 0 before any */
+  double last_wall_seconds;           /* the offending call's wall time */
+  double last_top_share;              /* largest phase's share of that wall */
+  char last_reason[16];               /* "" until the first capture */
+  char last_top_phase[16];
+} armgemm_forensics_stats;
+
+void armgemm_forensics_stats_get(armgemm_forensics_stats* out);
+
+/* The last captured bundle's full JSON text (empty before the first
+ * capture). Snprintf contract. */
+long long armgemm_forensics_last_bundle(char* buf, size_t len);
+
+/* Merged per-phase attribution over the shape classes of `shape_kind`
+ * (0 small, 1 skinny, 2 square, 3 large, 4 batch, -1 all). Arrays index
+ * the stable phase order above. mean_share is the samples-weighted mean
+ * share of call wall time; p95_share is the largest per-class p95 (the
+ * conservative merge). */
+typedef struct armgemm_phase_summary {
+  unsigned long long calls;  /* calls that carried a timeline */
+  double seconds[7];         /* attributed wall seconds, summed */
+  double mean_share[7];
+  double p95_share[7];
+} armgemm_phase_summary;
+
+void armgemm_telemetry_phases(int shape_kind, armgemm_phase_summary* out);
+
 #ifdef __cplusplus
 }
 #endif

@@ -1,11 +1,89 @@
 #include "common/knobs.hpp"
 
 #include <atomic>
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <mutex>
 
 namespace ag {
+
+namespace detail {
+namespace {
+
+// One stderr line per rejected variable. Callers parse each variable at
+// most once per process (magic-static knob initialization), so the
+// warning is naturally one-time; the message names the default actually
+// used so an operator can fix the deployment without reading source.
+void warn_rejected(const char* name, const char* raw, const char* why,
+                   const char* fallback_text) {
+  std::fprintf(stderr, "armgemm: ignoring %s='%s' (%s); using default %s\n",
+               name, raw, why, fallback_text);
+}
+
+// strtoll/strtod leave `end` at the first unparsed character; trailing
+// whitespace is tolerated (shell quoting artifacts), anything else is
+// garbage ("12abc", "1e--3").
+bool only_trailing_space(const char* end) {
+  for (; *end != '\0'; ++end) {
+    if (!std::isspace(static_cast<unsigned char>(*end))) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::int64_t parse_env_int64(const char* name, const char* raw,
+                             std::int64_t fallback) {
+  if (raw == nullptr || raw[0] == '\0') return fallback;
+  char fb[32];
+  std::snprintf(fb, sizeof fb, "%lld", static_cast<long long>(fallback));
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(raw, &end, 10);
+  if (end == raw || !only_trailing_space(end)) {
+    warn_rejected(name, raw, "not an integer", fb);
+    return fallback;
+  }
+  if (errno == ERANGE) {
+    warn_rejected(name, raw, "out of range", fb);
+    return fallback;
+  }
+  if (v < 0) {
+    warn_rejected(name, raw, "negative", fb);
+    return fallback;
+  }
+  return static_cast<std::int64_t>(v);
+}
+
+double parse_env_double(const char* name, const char* raw, double fallback,
+                        bool allow_zero) {
+  if (raw == nullptr || raw[0] == '\0') return fallback;
+  char fb[32];
+  std::snprintf(fb, sizeof fb, "%g", fallback);
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(raw, &end);
+  if (end == raw || !only_trailing_space(end)) {
+    warn_rejected(name, raw, "not a number", fb);
+    return fallback;
+  }
+  if (errno == ERANGE || !std::isfinite(v)) {
+    warn_rejected(name, raw, "out of range", fb);
+    return fallback;
+  }
+  if (v < 0 || (v == 0 && !allow_zero)) {
+    warn_rejected(name, raw, allow_zero ? "negative" : "not positive", fb);
+    return fallback;
+  }
+  return v;
+}
+
+}  // namespace detail
+
 namespace {
 
 constexpr std::int64_t kDefaultSpinUs = 50;
@@ -17,12 +95,7 @@ constexpr std::int64_t kDefaultSpinUs = 50;
 constexpr std::int64_t kDefaultSmallMnk = 6;
 
 std::int64_t env_int64(const char* name, std::int64_t fallback) {
-  const char* raw = std::getenv(name);
-  if (raw == nullptr || raw[0] == '\0') return fallback;
-  char* end = nullptr;
-  const long long v = std::strtoll(raw, &end, 10);
-  if (end == raw || v < 0) return fallback;  // malformed / negative: ignore
-  return static_cast<std::int64_t>(v);
+  return detail::parse_env_int64(name, std::getenv(name), fallback);
 }
 
 std::atomic<std::int64_t>& spin_us_knob() {
@@ -89,13 +162,8 @@ std::atomic<std::int64_t>& panel_cache_mb_knob() {
 constexpr std::int64_t kDefaultFlightDepth = 256;
 constexpr double kDefaultDriftThreshold = 0.25;
 
-double env_double(const char* name, double fallback) {
-  const char* raw = std::getenv(name);
-  if (raw == nullptr || raw[0] == '\0') return fallback;
-  char* end = nullptr;
-  const double v = std::strtod(raw, &end);
-  if (end == raw || !(v > 0)) return fallback;  // malformed / non-positive: ignore
-  return v;
+double env_double(const char* name, double fallback, bool allow_zero = false) {
+  return detail::parse_env_double(name, std::getenv(name), fallback, allow_zero);
 }
 
 std::atomic<std::int64_t>& flight_depth_knob() {
@@ -105,6 +173,34 @@ std::atomic<std::int64_t>& flight_depth_knob() {
 
 std::atomic<double>& drift_threshold_knob() {
   static std::atomic<double> v{env_double("ARMGEMM_DRIFT_THRESHOLD", kDefaultDriftThreshold)};
+  return v;
+}
+
+// Phase attribution defaults on: the clock reads are a few ns per call
+// and only taken while telemetry is already recording.
+std::atomic<bool>& phases_knob() {
+  static std::atomic<bool> v{env_int64("ARMGEMM_PHASES", 1) != 0};
+  return v;
+}
+
+// 8x the class p99 is far outside scheduler jitter but still catches a
+// call that hit a cold cache, a stolen core, or a pathological stall.
+constexpr double kDefaultSlowCallFactor = 8.0;
+// One bundle a minute bounds forensics I/O even when a whole class goes
+// bad at once.
+constexpr double kDefaultForensicsIntervalS = 60.0;
+
+std::atomic<double>& slow_call_factor_knob() {
+  static std::atomic<double> v{env_double("ARMGEMM_SLOW_CALL_FACTOR",
+                                          kDefaultSlowCallFactor,
+                                          /*allow_zero=*/true)};
+  return v;
+}
+
+std::atomic<double>& forensics_interval_knob() {
+  static std::atomic<double> v{env_double("ARMGEMM_FORENSICS_INTERVAL",
+                                          kDefaultForensicsIntervalS,
+                                          /*allow_zero=*/true)};
   return v;
 }
 
@@ -146,6 +242,17 @@ std::atomic<std::int64_t>& tune_budget_ms_knob() {
   static std::atomic<std::int64_t> v{
       env_int64("ARMGEMM_TUNE_BUDGET_MS", kDefaultTuneBudgetMs)};
   return v;
+}
+
+// Same rare-read mutex-string pattern as the metrics path.
+MetricsPathKnob& forensics_dir_knob() {
+  static MetricsPathKnob* k = [] {
+    auto* fresh = new MetricsPathKnob;  // leaky: read at capture time
+    const char* raw = std::getenv("ARMGEMM_FORENSICS_DIR");
+    if (raw) fresh->path = raw;
+    return fresh;
+  }();
+  return *k;
 }
 
 // Same rare-read mutex-string pattern as the metrics path.
@@ -261,6 +368,44 @@ double drift_threshold() {
 void set_drift_threshold(double threshold) {
   drift_threshold_knob().store(threshold > 0 ? threshold : kDefaultDriftThreshold,
                                std::memory_order_relaxed);
+}
+
+bool phase_attribution_enabled() {
+  return phases_knob().load(std::memory_order_relaxed);
+}
+
+void set_phase_attribution_enabled(bool enabled) {
+  phases_knob().store(enabled, std::memory_order_relaxed);
+}
+
+double slow_call_factor() {
+  return slow_call_factor_knob().load(std::memory_order_relaxed);
+}
+
+void set_slow_call_factor(double factor) {
+  slow_call_factor_knob().store(factor > 0 ? factor : 0.0,
+                                std::memory_order_relaxed);
+}
+
+std::string forensics_dir() {
+  MetricsPathKnob& k = forensics_dir_knob();
+  std::lock_guard lock(k.mutex);
+  return k.path;
+}
+
+void set_forensics_dir(const std::string& dir) {
+  MetricsPathKnob& k = forensics_dir_knob();
+  std::lock_guard lock(k.mutex);
+  k.path = dir;
+}
+
+double forensics_interval_s() {
+  return forensics_interval_knob().load(std::memory_order_relaxed);
+}
+
+void set_forensics_interval_s(double seconds) {
+  forensics_interval_knob().store(seconds > 0 ? seconds : 0.0,
+                                  std::memory_order_relaxed);
 }
 
 int tune_mode() { return tune_mode_knob().load(std::memory_order_relaxed); }

@@ -41,6 +41,27 @@
 //                             the measured-vs-expected efficiency EWMAs
 //                             that flags a model-drift anomaly.
 //
+// The phase-attribution / forensics layer (obs/phase, obs/forensics)
+// adds four:
+//
+//   ARMGEMM_PHASES            - 1 (default) records the per-call phase
+//                               timeline (queue_wait/pack/kernel/barrier/
+//                               cache_stall/epilogue) whenever telemetry
+//                               is active; 0 disables just the phase
+//                               clock reads.
+//   ARMGEMM_SLOW_CALL_FACTOR  - a call slower than this multiple of its
+//                               shape class's p99 latency triggers a
+//                               forensics capture; 0 disables the
+//                               slow-call trigger (default 8).
+//   ARMGEMM_FORENSICS_DIR     - directory forensics bundles are written
+//                               to (atomic tmp+rename); empty disables
+//                               bundle files (the in-memory last-capture
+//                               summary stays live).
+//   ARMGEMM_FORENSICS_INTERVAL- minimum seconds between automatic
+//                               captures (rate limit; manual captures
+//                               bypass it); 0 disables the limit
+//                               (default 60).
+//
 // The closed-loop autotuner (src/tune) adds three:
 //
 //   ARMGEMM_TUNE           - "on" (default): analytic proposal + measured
@@ -66,6 +87,27 @@
 #include <string>
 
 namespace ag {
+
+namespace detail {
+
+/// Parse `raw` (the value of environment variable `name`) as a
+/// non-negative integer. nullptr / "" returns `fallback` silently;
+/// malformed text, trailing garbage, values out of int64 range, or
+/// negative values return `fallback` and print one stderr warning
+/// naming the variable, the rejected text, and the default used.
+/// Exposed for the knob unit tests; production callers go through the
+/// knob accessors, which parse each variable exactly once per process.
+std::int64_t parse_env_int64(const char* name, const char* raw,
+                             std::int64_t fallback);
+
+/// Same contract for floating-point knobs. `allow_zero` admits exactly
+/// 0 (knobs where 0 means "disabled"); otherwise the value must be
+/// strictly positive. NaN, infinities, overflow, and trailing garbage
+/// all fall back with the warning.
+double parse_env_double(const char* name, const char* raw, double fallback,
+                        bool allow_zero = false);
+
+}  // namespace detail
 
 /// Spin budget in microseconds before a waiter falls back to blocking.
 std::int64_t spin_wait_us();
@@ -121,6 +163,24 @@ void set_flight_depth(std::int64_t depth);
 /// malformed values fall back to the default).
 double drift_threshold();
 void set_drift_threshold(double threshold);
+
+/// Per-call phase attribution on/off (clock reads at phase boundaries;
+/// only consulted while telemetry is active).
+bool phase_attribution_enabled();
+void set_phase_attribution_enabled(bool enabled);
+
+/// Slow-call forensics trigger: a call slower than factor * (its shape
+/// class's p99 latency) captures a bundle. 0 disables the trigger.
+double slow_call_factor();
+void set_slow_call_factor(double factor);
+
+/// Directory forensics bundles are written into ("" = no bundle files).
+std::string forensics_dir();
+void set_forensics_dir(const std::string& dir);
+
+/// Minimum seconds between automatic forensics captures (0 = no limit).
+double forensics_interval_s();
+void set_forensics_interval_s(double seconds);
 
 /// Autotuner mode: 0 = off (paper/host defaults, bit-for-bit the
 /// pre-tuner behavior), 1 = analytic proposals only, 2 = analytic +

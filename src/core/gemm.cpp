@@ -17,6 +17,7 @@
 #include "core/schedule.hpp"
 #include "core/tuning.hpp"
 #include "obs/gemm_stats.hpp"
+#include "obs/phase.hpp"
 #include "obs/pmu.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/tracer.hpp"
@@ -111,11 +112,13 @@ using detail::scale_panel;
 // more than they save when the operands fit in cache.
 void gemm_small(Trans trans_a, Trans trans_b, index_t m, index_t n, index_t k, double alpha,
                 const double* a, index_t lda, const double* b, index_t ldb, double beta,
-                double* c, index_t ldc, const Context& ctx) {
+                double* c, index_t ldc, const Context& ctx, obs::CallPhases* phases) {
   obs::GemmStats* stats = ctx.stats();
   obs::ThreadSlot* slot = stats ? &stats->slot(0) : nullptr;
   obs::Tracer::Region region(stats ? stats->tracer() : nullptr, 0, "small_gemm");
   obs::PmuRegion hw(stats ? stats->pmu() : nullptr, 0, obs::PmuLayer::kSmall);
+  // The no-pack nest is all compute: the whole call is kernel time.
+  obs::PhaseScope phase(phases ? phases->slot(obs::Phase::kKernel) : nullptr);
   Timer t;
   detail::gemm_small_nest(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
   if (slot) {
@@ -133,7 +136,7 @@ void gemm_small(Trans trans_a, Trans trans_b, index_t m, index_t n, index_t k, d
 void gemm_serial(Trans trans_a, Trans trans_b, index_t m, index_t n, index_t k, double alpha,
                  const double* a, index_t lda, const double* b, index_t ldb, double beta,
                  double* c, index_t ldc, const Context& ctx, const Microkernel& kernel,
-                 const BlockSizes& bs, GemmScratch& scratch) {
+                 const BlockSizes& bs, GemmScratch& scratch, obs::CallPhases* phases) {
   obs::GemmStats* stats = ctx.stats();
   obs::ThreadSlot* slot = stats ? &stats->slot(0) : nullptr;
   obs::Tracer* tracer = stats ? stats->tracer() : nullptr;
@@ -156,6 +159,7 @@ void gemm_serial(Trans trans_a, Trans trans_b, index_t m, index_t n, index_t k, 
       {
         obs::Tracer::Region region(tracer, 0, "pack_b", {-1, jc, pc});
         obs::PmuRegion hw(pmu, 0, obs::PmuLayer::kPackB);
+        obs::PhaseScope phase(phases ? phases->slot(obs::Phase::kPackB) : nullptr);
         pack_b(trans_b, b, ldb, kk, jj, kc, nc, bs.nr, packed_b, slot);
       }
       for (index_t ii = 0; ii < m; ii += bs.mc) {    // layer 3
@@ -164,10 +168,12 @@ void gemm_serial(Trans trans_a, Trans trans_b, index_t m, index_t n, index_t k, 
         {
           obs::Tracer::Region region(tracer, 0, "pack_a", {ic, jc, pc});
           obs::PmuRegion hw(pmu, 0, obs::PmuLayer::kPackA);
+          obs::PhaseScope phase(phases ? phases->slot(obs::Phase::kPackA) : nullptr);
           pack_a(trans_a, a, lda, ii, kk, mc, kc, bs.mr, packed_a, slot);
         }
         obs::Tracer::Region region(tracer, 0, "gebp", {ic, jc, pc});
         obs::PmuRegion hw(pmu, 0, obs::PmuLayer::kGebp);
+        obs::PhaseScope phase(phases ? phases->slot(obs::Phase::kKernel) : nullptr);
         gebp(mc, nc, kc, alpha, packed_a, packed_b, kk == 0 ? beta : 1.0,
              c + ii + jj * ldc, ldc, kernel, slot);
       }
@@ -194,8 +200,16 @@ void gemm_parallel(Trans trans_a, Trans trans_b, index_t m, index_t n, index_t k
                    double alpha, const double* a, index_t lda, const double* b, index_t ldb,
                    double beta, double* c, index_t ldc, const Context& ctx,
                    const Microkernel& kernel, const BlockSizes& bs, GemmScratch& scratch,
-                   int nthreads) {
+                   int nthreads, obs::CallPhases* phases) {
   obs::GemmStats* stats = ctx.stats();
+
+  // Per-rank phase partials, cache-line padded so concurrent accumulation
+  // never false-shares; merged into *phases after the join.
+  struct alignas(64) RankPhases {
+    obs::CallPhases ph;
+  };
+  std::vector<RankPhases> rank_phases(
+      phases ? static_cast<std::size_t>(nthreads) : 0);
 
   struct Panel {
     index_t jj, nc, kk, kc, jc, pc;
@@ -234,6 +248,8 @@ void gemm_parallel(Trans trans_a, Trans trans_b, index_t m, index_t n, index_t k
         // GemmStats collector attached.
         double* const wait_acc =
             (slot || obs::telemetry_active()) ? &barrier_wait : nullptr;
+        obs::CallPhases* const my_ph =
+            phases ? &rank_phases[static_cast<std::size_t>(rank)].ph : nullptr;
         double* const my_packed_a = scratch.packed_a[static_cast<std::size_t>(rank)].data();
 
         const auto pack_panel = [&](index_t p) {
@@ -242,6 +258,7 @@ void gemm_parallel(Trans trans_a, Trans trans_b, index_t m, index_t n, index_t k
           const Range bp = partition_range(slivers, nthreads, rank, 1);
           obs::Tracer::Region region(tracer, rank, "pack_b", {-1, panel.jc, panel.pc});
           obs::PmuRegion hw(pmu, rank, obs::PmuLayer::kPackB);
+          obs::PhaseScope phase(my_ph ? my_ph->slot(obs::Phase::kPackB) : nullptr);
           pack_b_slivers(trans_b, b, ldb, panel.kk, panel.jj, panel.kc, panel.nc, bs.nr,
                          bp.begin, bp.end, bbuf[p & 1], slot);
         };
@@ -271,12 +288,14 @@ void gemm_parallel(Trans trans_a, Trans trans_b, index_t m, index_t n, index_t k
             if (blk.ii != packed_ii) {
               obs::Tracer::Region region(tracer, rank, "pack_a", {ic, panel.jc, panel.pc});
               obs::PmuRegion hw(pmu, rank, obs::PmuLayer::kPackA);
+              obs::PhaseScope phase(my_ph ? my_ph->slot(obs::Phase::kPackA) : nullptr);
               pack_a(trans_a, a, lda, blk.ii, panel.kk, blk.mc, panel.kc, bs.mr, my_packed_a,
                      slot);
               packed_ii = blk.ii;
             }
             obs::Tracer::Region region(tracer, rank, "gebp", {ic, panel.jc, panel.pc});
             obs::PmuRegion hw(pmu, rank, obs::PmuLayer::kGebp);
+            obs::PhaseScope phase(my_ph ? my_ph->slot(obs::Phase::kKernel) : nullptr);
             gebp(blk.mc, blk.nb, panel.kc, alpha, my_packed_a,
                  panel_b + blk.sliver0 * panel.kc * bs.nr, panel.pc == 0 ? beta : 1.0,
                  c + blk.ii + (panel.jj + blk.jb) * ldc, ldc, kernel, slot);
@@ -291,10 +310,16 @@ void gemm_parallel(Trans trans_a, Trans trans_b, index_t m, index_t n, index_t k
           }
         }
         if (slot) slot->add_barrier_wait(barrier_wait);
+        if (my_ph) my_ph->add(obs::Phase::kBarrier, barrier_wait);
         if (wait_acc && obs::telemetry_active())
           obs::telemetry_record_barrier_wait(barrier_wait);
       },
       nthreads);
+
+  if (phases) {
+    for (const RankPhases& rp : rank_phases) phases->merge(rp.ph);
+    phases->workers = nthreads;
+  }
 }
 
 /// How run_gemm executed one call; feeds the serving-telemetry record.
@@ -306,11 +331,12 @@ struct RunInfo {
 
 RunInfo run_gemm(Trans trans_a, Trans trans_b, index_t m, index_t n, index_t k, double alpha,
                  const double* a, index_t lda, const double* b, index_t ldb, double beta,
-                 double* c, index_t ldc, const Context& ctx) {
+                 double* c, index_t ldc, const Context& ctx,
+                 obs::CallPhases* phases = nullptr) {
   RunInfo info;
   info.bs = ctx.block_sizes();
   if (use_small_gemm(m, n, k)) {
-    gemm_small(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc, ctx);
+    gemm_small(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc, ctx, phases);
     info.schedule = obs::ScheduleKind::kSmall;
     return info;
   }
@@ -332,13 +358,13 @@ RunInfo run_gemm(Trans trans_a, Trans trans_b, index_t m, index_t n, index_t k, 
   Context::ScratchLease scratch = ctx.acquire_scratch();
   if (eff > 1) {
     gemm_parallel(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc, ctx,
-                  *cfg.kernel, bs, *scratch, eff);
+                  *cfg.kernel, bs, *scratch, eff, phases);
     info.schedule = obs::ScheduleKind::kParallel;
     info.threads = eff;
     return info;
   }
   gemm_serial(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc, ctx,
-              *cfg.kernel, bs, *scratch);
+              *cfg.kernel, bs, *scratch, phases);
   return info;
 }
 
@@ -365,9 +391,14 @@ void dgemm(Layout layout, Trans trans_a, Trans trans_b, std::int64_t m, std::int
     obs::PmuRegion hw(stats ? stats->pmu() : nullptr, 0, obs::PmuLayer::kTotal);
     const auto t0 = std::chrono::steady_clock::now();
     const bool computed = k != 0 && alpha != 0.0;
+    // Stack-owned phase timeline; the drivers accumulate into it only
+    // when attribution is on (null slots skip every clock read).
+    obs::CallPhases call_phases;
+    const bool want_phases = telemetry && obs::telemetry_phases_active();
     RunInfo run;
     if (computed)
-      run = run_gemm(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc, ctx);
+      run = run_gemm(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc, ctx,
+                     want_phases ? &call_phases : nullptr);
     else
       scale_panel(c, ldc, m, n, beta);
     const auto t1 = std::chrono::steady_clock::now();
@@ -380,7 +411,8 @@ void dgemm(Layout layout, Trans trans_a, Trans trans_b, std::int64_t m, std::int
     if (telemetry && computed)
       obs::telemetry_record_call(
           m, n, k, run.threads, run.schedule, seconds, run.bs,
-          std::chrono::duration<double>(t1.time_since_epoch()).count());
+          std::chrono::duration<double>(t1.time_since_epoch()).count(),
+          want_phases ? &call_phases : nullptr);
     return;
   }
 

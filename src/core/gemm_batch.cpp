@@ -16,6 +16,7 @@
 #include "core/panel_cache.hpp"
 #include "core/tuning.hpp"
 #include "obs/gemm_stats.hpp"
+#include "obs/phase.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/tracer.hpp"
 #include "threading/persistent_pool.hpp"
@@ -54,6 +55,9 @@ struct EntryState {
   // Panel-cache outcomes summed over this entry's tickets (read by the
   // last finisher for the telemetry record).
   std::atomic<std::uint64_t> cache_hits{0}, cache_misses{0};
+  // Phase nanoseconds summed over this entry's tickets; the last finisher
+  // folds them into the CallPhases handed to telemetry.
+  std::array<std::atomic<std::uint64_t>, obs::kPhaseCount> phase_ns{};
   // Written by the runner of this entry's local ticket 0; read by the
   // runner of the last-finishing ticket (ordered by the release sequence
   // on `remaining`).
@@ -79,7 +83,8 @@ struct TicketCacheCounts {
 TicketCacheCounts run_blocked_rows(const GemmBatchEntry& e, index_t row0, index_t rows,
                                    const Context& ctx, const Microkernel& kernel,
                                    const BlockSizes& bs, std::uint64_t epoch,
-                                   int shape_class) {
+                                   int shape_class, obs::CallPhases* phases,
+                                   obs::Tracer* tracer, int lane) {
   TicketCacheCounts counts;
   PanelCache& cache = PanelCache::instance();
 
@@ -109,11 +114,18 @@ TicketCacheCounts run_blocked_rows(const GemmBatchEntry& e, index_t row0, index_
       key.nc = nc;
       key.nr = bs.nr;
       key.epoch = epoch;
+      const index_t jc = jj / bs.nc;
+      const index_t pc = kk / bs.kc;
       PanelCache::Outcome outcome = PanelCache::Outcome::kBypass;
       std::shared_ptr<const PackedPanel> shared = cache.get_or_pack(
           key, b_elems,
-          [&](double* dst) { pack_b(e.trans_b, e.b, e.ldb, kk, jj, kc, nc, bs.nr, dst); },
-          shape_class, &outcome);
+          [&](double* dst) {
+            obs::Tracer::Region region(tracer, lane, "pack_b", {-1, jc, pc});
+            obs::PhaseScope phase(phases ? phases->slot(obs::Phase::kPackB) : nullptr);
+            pack_b(e.trans_b, e.b, e.ldb, kk, jj, kc, nc, bs.nr, dst);
+          },
+          shape_class, &outcome,
+          phases ? phases->slot(obs::Phase::kCacheStall) : nullptr);
       if (outcome == PanelCache::Outcome::kHit) ++counts.hits;
       if (outcome == PanelCache::Outcome::kMiss) ++counts.misses;
       const double* panel_b;
@@ -121,13 +133,22 @@ TicketCacheCounts run_blocked_rows(const GemmBatchEntry& e, index_t row0, index_
         panel_b = shared->data();
       } else {
         // Cache off or full: pack privately (bitwise-identical panel).
+        obs::Tracer::Region region(tracer, lane, "pack_b", {-1, jc, pc});
+        obs::PhaseScope phase(phases ? phases->slot(obs::Phase::kPackB) : nullptr);
         pack_b(e.trans_b, e.b, e.ldb, kk, jj, kc, nc, bs.nr, scratch.packed_b[0].data());
         panel_b = scratch.packed_b[0].data();
       }
 
       for (index_t ii = row0; ii < row0 + rows; ii += bs.mc) {
         const index_t mc = std::min(bs.mc, row0 + rows - ii);
-        pack_a(e.trans_a, e.a, e.lda, ii, kk, mc, kc, bs.mr, packed_a);
+        const index_t ic = ii / bs.mc;
+        {
+          obs::Tracer::Region region(tracer, lane, "pack_a", {ic, jc, pc});
+          obs::PhaseScope phase(phases ? phases->slot(obs::Phase::kPackA) : nullptr);
+          pack_a(e.trans_a, e.a, e.lda, ii, kk, mc, kc, bs.mr, packed_a);
+        }
+        obs::Tracer::Region region(tracer, lane, "gebp", {ic, jc, pc});
+        obs::PhaseScope phase(phases ? phases->slot(obs::Phase::kKernel) : nullptr);
         gebp(mc, nc, kc, e.alpha, packed_a, panel_b, kk == 0 ? e.beta : 1.0,
              e.c + ii + jj * e.ldc, e.ldc, kernel);
       }
@@ -141,6 +162,7 @@ struct BatchSource final : TaskSource {
   obs::Tracer* tracer = nullptr;
   std::uint64_t epoch = 0;
   bool telemetry = false;
+  bool phases = false;  // phase attribution on for this submission
   std::vector<Ticket> tickets;
 
   /// Timeline lane for a runner: lane 0 is the submitting/helping caller,
@@ -165,18 +187,33 @@ struct BatchSource final : TaskSource {
     }
     const GemmBatchEntry& e = st.e;
     TicketCacheCounts cache;
+    obs::CallPhases local_phases;
+    obs::CallPhases* const ph = phases ? &local_phases : nullptr;
     switch (st.kind) {
-      case EntryKind::kScale:
+      case EntryKind::kScale: {
+        obs::PhaseScope phase(ph ? ph->slot(obs::Phase::kEpilogue) : nullptr);
         detail::scale_panel(e.c, e.ldc, e.m, e.n, e.beta);
         break;
-      case EntryKind::kSmall:
+      }
+      case EntryKind::kSmall: {
+        obs::PhaseScope phase(ph ? ph->slot(obs::Phase::kKernel) : nullptr);
         detail::gemm_small_nest(e.trans_a, e.trans_b, e.m, e.n, e.k, e.alpha, e.a, e.lda,
                                 e.b, e.ldb, e.beta, e.c, e.ldc);
         break;
+      }
       case EntryKind::kBlocked:
         cache = run_blocked_rows(e, tk.row0, tk.rows, *ctx, *st.kernel, st.bs, epoch,
-                                 st.shape_class);
+                                 st.shape_class, ph, tracer,
+                                 trace_lane(info.runner_rank));
         break;
+    }
+    if (ph) {
+      for (int p = 0; p < obs::kPhaseCount; ++p) {
+        const double s = local_phases.seconds[static_cast<std::size_t>(p)];
+        if (s > 0)
+          st.phase_ns[static_cast<std::size_t>(p)].fetch_add(
+              static_cast<std::uint64_t>(s * 1e9), std::memory_order_relaxed);
+      }
     }
     if (cache.hits) st.cache_hits.fetch_add(cache.hits, std::memory_order_relaxed);
     if (cache.misses) st.cache_misses.fetch_add(cache.misses, std::memory_order_relaxed);
@@ -197,10 +234,26 @@ struct BatchSource final : TaskSource {
     }
     if (st.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1 && telemetry &&
         st.kind != EntryKind::kScale) {
+      obs::CallPhases entry_phases;
+      obs::CallPhases* entry_ph = nullptr;
+      if (phases) {
+        for (int p = 0; p < obs::kPhaseCount; ++p)
+          entry_phases.seconds[static_cast<std::size_t>(p)] =
+              static_cast<double>(st.phase_ns[static_cast<std::size_t>(p)].load(
+                  std::memory_order_relaxed)) *
+              1e-9;
+        // Per-rank sums divide by the decomposition width on attribution;
+        // the queue wait is a per-entry wall delay, so pre-scale it to
+        // survive that division exactly.
+        entry_phases.workers = st.tickets;
+        entry_phases.add(obs::Phase::kQueueWait,
+                         st.queue_wait_seconds * st.tickets);
+        entry_ph = &entry_phases;
+      }
       obs::telemetry_record_batch_entry(
           e.m, e.n, e.k, ctx->threads(), now_seconds() - st.start_seconds,
           st.queue_wait_seconds, st.cache_hits.load(std::memory_order_relaxed),
-          st.cache_misses.load(std::memory_order_relaxed));
+          st.cache_misses.load(std::memory_order_relaxed), entry_ph);
     }
   }
 };
@@ -272,6 +325,7 @@ void dgemm_batch(Layout layout, const GemmBatchEntry* entries, index_t count,
   // point may be served (the aliasing hazard).
   src.epoch = PanelCache::instance().begin_epoch();
   src.telemetry = obs::telemetry_active();
+  src.phases = obs::telemetry_phases_active();
   src.tracer = ctx.stats() ? ctx.stats()->tracer() : nullptr;
   if (src.tracer) {
     // Label the scheduling timeline: lane 0 is the submitting caller,

@@ -42,7 +42,7 @@ std::uint64_t PanelCache::begin_epoch() {
 
 std::shared_ptr<const PackedPanel> PanelCache::get_or_pack(
     const PanelKey& key, index_t elems, const std::function<void(double*)>& pack,
-    int shape_class, Outcome* outcome) {
+    int shape_class, Outcome* outcome, double* wait_seconds) {
   const std::int64_t cap_mb = panel_cache_mb();
   if (cap_mb <= 0 || elems <= 0) {
     bypasses_.fetch_add(1, std::memory_order_relaxed);
@@ -125,7 +125,9 @@ std::shared_ptr<const PackedPanel> PanelCache::get_or_pack(
         break;
       }
     }
-    wait_ns_.fetch_add(now_ns() - wait_start, std::memory_order_relaxed);
+    const std::uint64_t waited = now_ns() - wait_start;
+    wait_ns_.fetch_add(waited, std::memory_order_relaxed);
+    if (wait_seconds) *wait_seconds += static_cast<double>(waited) * 1e-9;
   }
   if (outcome) *outcome = Outcome::kHit;
   return panel;

@@ -126,11 +126,14 @@ class PanelCache {
   /// the same key. `shape_class` (obs::ShapeClass::index(); -1 = untagged)
   /// attributes the hit/miss to the requesting entry's shape class in the
   /// stats breakdown; `outcome`, when non-null, reports what the request
-  /// turned into.
+  /// turned into. `wait_seconds`, when non-null, accumulates the time this
+  /// request spent stalled on another thread's mid-pack panel (the
+  /// cache_stall phase of the requesting ticket's timeline).
   std::shared_ptr<const PackedPanel> get_or_pack(const PanelKey& key, index_t elems,
                                                  const std::function<void(double*)>& pack,
                                                  int shape_class = -1,
-                                                 Outcome* outcome = nullptr);
+                                                 Outcome* outcome = nullptr,
+                                                 double* wait_seconds = nullptr);
 
   Stats stats() const;
   void reset_stats();

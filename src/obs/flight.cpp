@@ -27,6 +27,12 @@ std::string CallRecord::to_json() const {
     os << ",\"queue_wait_seconds\":" << queue_wait_seconds
        << ",\"cache_hits\":" << cache_hits << ",\"cache_misses\":" << cache_misses;
   }
+  if (has_phases()) {
+    os << ",\"phases\":{\"workers\":" << phases.workers;
+    for (int p = 0; p < kPhaseCount; ++p)
+      os << ",\"" << phase_name(p) << "\":" << phases.seconds[p];
+    os << "}";
+  }
   os << "}";
   return os.str();
 }

@@ -15,6 +15,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/phase.hpp"
+
 namespace ag::obs {
 
 /// How the driver executed a call (core/gemm.cpp dispatch; kBatch marks
@@ -38,9 +40,17 @@ struct CallRecord {
   double queue_wait_seconds = 0;    // submit -> first-ticket-start delay
   std::uint64_t cache_hits = 0;     // panel-cache hits over the entry's tickets
   std::uint64_t cache_misses = 0;   // panel-cache misses (panels this entry packed)
+  // Phase timeline (obs/phase): per-phase seconds summed over the ranks
+  // that worked on the call, plus the rank count. All-zero when phase
+  // attribution was off for the call.
+  CallPhases phases;
+
+  /// True when the call carried a phase timeline.
+  bool has_phases() const { return phases.total() > 0; }
 
   /// One JSON object (all fields; schedule as a string; the batch
-  /// scheduling fields appear only on kBatch records).
+  /// scheduling fields appear only on kBatch records, the "phases"
+  /// object only when a timeline was recorded).
   std::string to_json() const;
 };
 

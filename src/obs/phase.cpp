@@ -1,0 +1,45 @@
+#include "obs/phase.hpp"
+
+namespace ag::obs {
+
+const char* phase_name(int phase) {
+  switch (phase) {
+    case static_cast<int>(Phase::kQueueWait):
+      return "queue_wait";
+    case static_cast<int>(Phase::kPackA):
+      return "pack_a";
+    case static_cast<int>(Phase::kPackB):
+      return "pack_b";
+    case static_cast<int>(Phase::kKernel):
+      return "kernel";
+    case static_cast<int>(Phase::kBarrier):
+      return "barrier";
+    case static_cast<int>(Phase::kCacheStall):
+      return "cache_stall";
+    case static_cast<int>(Phase::kEpilogue):
+      return "epilogue";
+    default:
+      return "unknown";
+  }
+}
+
+double share_quantile(const PhaseShareHistogram& h, double q) {
+  if (h.total == 0) return 0.0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  const double target = q * static_cast<double>(h.total);
+  std::uint64_t rank = static_cast<std::uint64_t>(target);
+  if (static_cast<double>(rank) < target) ++rank;
+  if (rank == 0) rank = 1;
+  std::uint64_t cum = 0;
+  for (int i = 0; i < kEfficiencyBuckets; ++i) {
+    cum += h.counts[i];
+    if (cum >= rank) {
+      const double mid = (static_cast<double>(i) + 0.5) * kEfficiencyBucketWidth;
+      return h.max > 0 && mid > h.max ? h.max : mid;
+    }
+  }
+  return h.max;
+}
+
+}  // namespace ag::obs

@@ -17,6 +17,7 @@
 #include "common/knobs.hpp"
 #include "obs/calibrate.hpp"
 #include "obs/expected.hpp"
+#include "obs/forensics.hpp"
 #include "obs/pmu.hpp"
 
 namespace ag::obs {
@@ -98,11 +99,37 @@ double now_seconds() {
       .count();
 }
 
+/// How many latency records a (lane, class) needs before the slow-call
+/// detector arms, and how often its rolling p99 refreshes. Both are the
+/// same power of two: the first refresh happens at record 64, so the
+/// reference quantile always rests on a full window.
+constexpr std::uint64_t kSlowCallRefresh = 64;
+
 /// Per-shape-class recording state of one lane, allocated on first use so
 /// idle classes cost one null pointer each.
 struct ClassHists {
   AtomicHistogram<kLatencyBuckets> latency;      // nanoseconds
   AtomicHistogram<kEfficiencyBuckets> efficiency;  // micro-fractions
+  // Phase attribution: per-phase share-of-wall histograms (micro-shares,
+  // efficiency-bucket geometry) plus attributed-nanosecond totals; only
+  // touched when the call carried a timeline.
+  std::array<AtomicHistogram<kEfficiencyBuckets>, kPhaseCount> phase_share;
+  std::array<std::atomic<std::uint64_t>, kPhaseCount> phase_ns{};
+  std::atomic<std::uint64_t> phase_calls{0};
+  // Slow-call detection: records seen (drives the refresh cadence) and
+  // the rolling p99 in nanoseconds (0 until the warm-up completes).
+  std::atomic<std::uint64_t> lat_records{0};
+  std::atomic<std::uint64_t> p99_ns{0};
+
+  void reset() {
+    latency.reset();
+    efficiency.reset();
+    for (auto& h : phase_share) h.reset();
+    for (auto& n : phase_ns) n.store(0, std::memory_order_relaxed);
+    phase_calls.store(0, std::memory_order_relaxed);
+    lat_records.store(0, std::memory_order_relaxed);
+    p99_ns.store(0, std::memory_order_relaxed);
+  }
 };
 
 /// One recording thread's telemetry state. Lanes are created on a
@@ -302,6 +329,51 @@ double expected_gflops_for(std::int64_t m, std::int64_t n, std::int64_t k, int t
   return expected;
 }
 
+/// Folds a finished phase timeline into the class's share histograms and
+/// stamps it on the flight record. Records a share for every phase (zeros
+/// included) so the share distributions answer "how often is this phase
+/// absent" as well as "how big is it when present".
+void record_phases(ClassHists& hists, const CallPhases& ph, double wall,
+                   CallRecord& rec) {
+  if (!(wall > 0)) return;
+  hists.phase_calls.fetch_add(1, std::memory_order_relaxed);
+  const double inv_wall = 1.0 / wall;
+  for (int p = 0; p < kPhaseCount; ++p) {
+    const double sec = ph.attributed(p);
+    double share = sec * inv_wall;
+    if (!(share > 0)) share = 0;
+    if (share > 1.25) share = 1.25;  // clamp into the finite buckets
+    hists.phase_share[static_cast<std::size_t>(p)].record(
+        efficiency_bucket(share), static_cast<std::uint64_t>(share * kShareScale));
+    if (sec > 0)
+      hists.phase_ns[static_cast<std::size_t>(p)].fetch_add(
+          static_cast<std::uint64_t>(sec * 1e9), std::memory_order_relaxed);
+  }
+  rec.phases = ph;
+}
+
+/// Slow-call detection against the lane's own class distribution: counts
+/// the record, refreshes the rolling p99 every kSlowCallRefresh records,
+/// and reports whether this call exceeded factor * p99. The p99 the call
+/// is judged against predates the call itself (the refresh ran at the
+/// previous multiple), so one outlier never raises its own bar.
+bool check_slow_call(ClassHists& hists, std::uint64_t ns, double factor,
+                     double* p99_seconds) {
+  const std::uint64_t count =
+      hists.lat_records.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (count >= kSlowCallRefresh && count % kSlowCallRefresh == 0) {
+    const LatencyHistogram snap = hists.latency.snapshot(1e-9);
+    hists.p99_ns.store(static_cast<std::uint64_t>(latency_quantile(snap, 0.99) * 1e9),
+                       std::memory_order_relaxed);
+  }
+  if (factor <= 0) return false;
+  const std::uint64_t p99 = hists.p99_ns.load(std::memory_order_relaxed);
+  if (p99 == 0) return false;
+  if (static_cast<double>(ns) <= factor * static_cast<double>(p99)) return false;
+  *p99_seconds = static_cast<double>(p99) * 1e-9;
+  return true;
+}
+
 void note_anomaly(Telemetry& t, const AnomalyEvent& ev) {
   if (!ev.recovered) t.anomaly_count.fetch_add(1, std::memory_order_relaxed);
   std::lock_guard lock(t.anomalies_mutex);
@@ -357,10 +429,10 @@ std::string json_escape(const std::string& s) {
 
 void telemetry_record_call(std::int64_t m, std::int64_t n, std::int64_t k, int threads,
                            ScheduleKind schedule, double seconds, const BlockSizes& bs,
-                           double end_time_seconds) {
+                           double end_time_seconds, const CallPhases* phases) {
 #ifdef ARMGEMM_STATS_DISABLED
   (void)m; (void)n; (void)k; (void)threads; (void)schedule; (void)seconds; (void)bs;
-  (void)end_time_seconds;
+  (void)end_time_seconds; (void)phases;
 #else
   if (!telemetry_active()) return;
   Telemetry& t = T();
@@ -377,6 +449,11 @@ void telemetry_record_call(std::int64_t m, std::int64_t n, std::int64_t k, int t
   const double ns_d = seconds > 0 ? seconds * 1e9 : 0.0;
   const std::uint64_t ns = static_cast<std::uint64_t>(ns_d < 1.8e19 ? ns_d : 1.8e19);
   hists.latency.record(latency_bucket(ns), ns);
+
+  double slow_p99 = 0;
+  const double slow_factor = slow_call_factor();
+  const bool slow_call = check_slow_call(hists, ns, slow_factor, &slow_p99);
+  if (slow_call) forensics_note_slow_call();
 
   const double peak = t.peak_gflops.load(std::memory_order_relaxed);
   double efficiency = 0.0;
@@ -402,13 +479,16 @@ void telemetry_record_call(std::int64_t m, std::int64_t n, std::int64_t k, int t
   static const bool pmu_hw = PmuGroup::hardware_available();
   rec.pmu_hardware = pmu_hw;
 
+  if (phases) record_phases(hists, *phases, seconds, rec);
+
+  bool drift_onset = false;
+  AnomalyEvent anomaly;
   if (model_ready()) {
     rec.expected_gflops = expected_gflops_for(m, n, k, threads, bs);
     if (rec.expected_gflops > 0 && gflops > 0) {
       const double ratio = gflops / rec.expected_gflops;
       DriftState& ds = t.drift[static_cast<std::size_t>(ci)];
       DriftDetector::Event ev;
-      AnomalyEvent anomaly;
       const double thr = drift_threshold();
       {
         std::lock_guard lock(ds.mutex);
@@ -432,6 +512,7 @@ void telemetry_record_call(std::int64_t m, std::int64_t n, std::int64_t k, int t
         // metrics path is configured) and tells the autotuner (if one
         // registered) that the class's tuned entry may be stale.
         if (!anomaly.recovered) {
+          drift_onset = true;
           t.dump_requested.store(true, std::memory_order_relaxed);
           notify_drift_anomaly(ci);
         }
@@ -440,6 +521,23 @@ void telemetry_record_call(std::int64_t m, std::int64_t n, std::int64_t k, int t
   }
 
   lane.flight_rec().record(rec);
+
+  // Forensics after the flight record so the bundle's window includes the
+  // offending call itself. Drift wins when both fired on one call.
+  if (drift_onset || slow_call) {
+    ForensicsTrigger trigger;
+    trigger.reason =
+        drift_onset ? ForensicsReason::kDrift : ForensicsReason::kSlowCall;
+    trigger.call = rec;
+    trigger.have_call = true;
+    trigger.bs = bs;
+    trigger.fast_ewma = anomaly.fast_ewma;
+    trigger.reference_ewma = anomaly.reference_ewma;
+    trigger.drift_threshold = anomaly.threshold;
+    trigger.p99_seconds = slow_p99;
+    trigger.slow_factor = slow_factor;
+    forensics_capture(trigger);
+  }
 
   if (t.dump_requested.load(std::memory_order_relaxed) &&
       t.dump_requested.exchange(false, std::memory_order_acq_rel))
@@ -451,10 +549,11 @@ void telemetry_record_batch_entry(std::int64_t m, std::int64_t n, std::int64_t k
                                   int threads, double service_seconds,
                                   double queue_wait_seconds,
                                   std::uint64_t cache_hits,
-                                  std::uint64_t cache_misses) {
+                                  std::uint64_t cache_misses,
+                                  const CallPhases* phases) {
 #ifdef ARMGEMM_STATS_DISABLED
   (void)m; (void)n; (void)k; (void)threads; (void)service_seconds;
-  (void)queue_wait_seconds; (void)cache_hits; (void)cache_misses;
+  (void)queue_wait_seconds; (void)cache_hits; (void)cache_misses; (void)phases;
 #else
   if (!telemetry_active()) return;
   Telemetry& t = T();
@@ -501,6 +600,7 @@ void telemetry_record_batch_entry(std::int64_t m, std::int64_t n, std::int64_t k
   rec.queue_wait_seconds = queue_wait_seconds;
   rec.cache_hits = cache_hits;
   rec.cache_misses = cache_misses;
+  if (phases) record_phases(hists, *phases, service_seconds, rec);
   lane.flight_rec().record(rec);
 #endif
 }
@@ -551,10 +651,7 @@ void telemetry_reset() {
     for (auto& lane : t.lanes) {
       for (auto& slot : lane->classes) {
         ClassHists* h = slot.load(std::memory_order_acquire);
-        if (h) {
-          h->latency.reset();
-          h->efficiency.reset();
-        }
+        if (h) h->reset();
       }
       lane->barrier_wait.reset();
       lane->queue_wait.reset();
@@ -573,6 +670,7 @@ void telemetry_reset() {
   t.anomaly_count.store(0, std::memory_order_relaxed);
   t.dump_requested.store(false, std::memory_order_relaxed);
   t.epoch.store(now_seconds(), std::memory_order_relaxed);
+  forensics_reset();
 }
 
 void telemetry_set_model(double peak_gflops_per_core, const model::CostParams& cost,
@@ -593,6 +691,21 @@ void telemetry_set_model(double peak_gflops_per_core, const model::CostParams& c
   t.model_state.store(2, std::memory_order_release);
 }
 
+bool telemetry_model_params(double* peak_gflops_per_core, model::CostParams* cost,
+                            double* psi_c) {
+  Telemetry& t = T();
+  if (t.model_state.load(std::memory_order_acquire) != 2) return false;
+  if (peak_gflops_per_core)
+    *peak_gflops_per_core = t.peak_gflops.load(std::memory_order_relaxed);
+  if (cost) {
+    cost->mu = t.mu.load(std::memory_order_relaxed);
+    cost->pi = t.pi.load(std::memory_order_relaxed);
+    cost->kappa = t.kappa.load(std::memory_order_relaxed);
+  }
+  if (psi_c) *psi_c = t.psi_c.load(std::memory_order_relaxed);
+  return true;
+}
+
 // ---- snapshot ------------------------------------------------------------
 
 TelemetrySnapshot telemetry_snapshot() {
@@ -608,12 +721,24 @@ TelemetrySnapshot telemetry_snapshot() {
   for (int ci = 0; ci < kShapeClasses; ++ci) {
     LatencyHistogram lat;
     EfficiencyHistogram eff;
+    std::array<PhaseShareHistogram, kPhaseCount> shares{};
+    std::array<double, kPhaseCount> phase_seconds{};
+    std::uint64_t phase_calls = 0;
     for (const auto& lane : t.lanes) {
       const ClassHists* h = lane->classes[static_cast<std::size_t>(ci)].load(
           std::memory_order_acquire);
       if (!h) continue;
       lat += h->latency.snapshot(1e-9);
       eff += h->efficiency.snapshot(1e-6);
+      phase_calls += h->phase_calls.load(std::memory_order_relaxed);
+      for (int p = 0; p < kPhaseCount; ++p) {
+        shares[static_cast<std::size_t>(p)] +=
+            h->phase_share[static_cast<std::size_t>(p)].snapshot(1.0 / kShareScale);
+        phase_seconds[static_cast<std::size_t>(p)] +=
+            static_cast<double>(
+                h->phase_ns[static_cast<std::size_t>(p)].load(std::memory_order_relaxed)) *
+            1e-9;
+      }
     }
     if (lat.total == 0) continue;
     ClassSnapshot cs;
@@ -624,6 +749,17 @@ TelemetrySnapshot telemetry_snapshot() {
     cs.p50 = latency_quantile(lat, 0.50);
     cs.p95 = latency_quantile(lat, 0.95);
     cs.p99 = latency_quantile(lat, 0.99);
+    cs.phase_samples = phase_calls;
+    for (int p = 0; p < kPhaseCount; ++p) {
+      PhaseStat& ps = cs.phases[static_cast<std::size_t>(p)];
+      const PhaseShareHistogram& h = shares[static_cast<std::size_t>(p)];
+      ps.samples = h.total;
+      ps.seconds = phase_seconds[static_cast<std::size_t>(p)];
+      ps.mean_share = h.mean();
+      ps.p50 = share_quantile(h, 0.50);
+      ps.p95 = share_quantile(h, 0.95);
+      ps.p99 = share_quantile(h, 0.99);
+    }
     {
       DriftState& ds = t.drift[static_cast<std::size_t>(ci)];
       std::lock_guard drift_lock(ds.mutex);
@@ -669,6 +805,76 @@ TelemetrySnapshot telemetry_snapshot() {
 }
 
 // ---- exposition ----------------------------------------------------------
+
+std::string scheduler_stats_json(const SchedulerStats& sch) {
+  std::ostringstream os;
+  os.precision(9);
+  os << "{\"workers\":" << sch.workers << ",\"queued\":" << sch.queued
+     << ",\"submissions\":" << sch.submissions
+     << ",\"tickets_enqueued\":" << sch.tickets_enqueued
+     << ",\"tickets_inline\":" << sch.tickets_inline
+     << ",\"utilization\":" << sch.utilization()
+     << ",\"steal_imbalance\":" << sch.steal_imbalance() << ",\"per_worker\":[";
+  for (std::size_t i = 0; i < sch.per_worker.size(); ++i) {
+    const SchedulerWorkerStats& w = sch.per_worker[i];
+    if (i) os << ",";
+    os << "{\"name\":\"" << json_escape(w.name) << "\",\"tickets_run\":" << w.tickets_run
+       << ",\"tickets_stolen\":" << w.tickets_stolen
+       << ",\"tickets_inline\":" << w.tickets_inline
+       << ",\"steal_attempts\":" << w.steal_attempts
+       << ",\"steal_failures\":" << w.steal_failures << ",\"blocks\":" << w.blocks
+       << ",\"busy_seconds\":" << w.busy_seconds
+       << ",\"idle_seconds\":" << w.idle_seconds
+       << ",\"utilization\":" << w.utilization() << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string panel_cache_stats_json(const PanelCacheStats& pc) {
+  std::ostringstream os;
+  os.precision(9);
+  os << "{\"hits\":" << pc.hits << ",\"misses\":" << pc.misses
+     << ",\"inserts\":" << pc.inserts << ",\"bypasses\":" << pc.bypasses
+     << ",\"evictions\":" << pc.evictions << ",\"wait_stalls\":" << pc.wait_stalls
+     << ",\"wait_seconds\":" << pc.wait_seconds << ",\"epochs\":" << pc.epochs
+     << ",\"resident_bytes\":" << pc.resident_bytes
+     << ",\"peak_bytes\":" << pc.peak_bytes
+     << ",\"resident_panels\":" << pc.resident_panels
+     << ",\"hit_rate\":" << pc.hit_rate() << ",\"by_class\":[";
+  for (std::size_t i = 0; i < pc.by_class.size(); ++i) {
+    const PanelCacheStats::ClassStats& c = pc.by_class[i];
+    if (i) os << ",";
+    os << "{\"class\":\""
+       << (c.shape_class < 0 ? std::string("untagged")
+                             : ShapeClass::from_index(c.shape_class).label())
+       << "\",\"hits\":" << c.hits << ",\"misses\":" << c.misses << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string tune_stats_json(const TuneStats& tu) {
+  std::ostringstream os;
+  os.precision(9);
+  const auto by_source = [&os](const std::uint64_t (&v)[kTuneSourceCount]) {
+    os << "{";
+    for (int src = 0; src < kTuneSourceCount; ++src)
+      os << (src ? "," : "") << "\"" << tune_source_name(src) << "\":" << v[src];
+    os << "}";
+  };
+  os << "{\"mode\":" << tu.mode
+     << ",\"cache_path_set\":" << (tu.cache_path_set ? "true" : "false")
+     << ",\"cache_entries_loaded\":" << tu.cache_entries_loaded
+     << ",\"cache_rejected\":" << tu.cache_rejected << ",\"resolutions\":";
+  by_source(tu.resolutions);
+  os << ",\"calls\":";
+  by_source(tu.calls);
+  os << ",\"probes_run\":" << tu.probes_run << ",\"probe_ms_spent\":" << tu.probe_ms_spent
+     << ",\"budget_ms\":" << tu.budget_ms << ",\"invalidations\":" << tu.invalidations
+     << ",\"saves\":" << tu.saves << ",\"save_failures\":" << tu.save_failures << "}";
+  return os.str();
+}
 
 std::string telemetry_render_prometheus() {
   const TelemetrySnapshot s = telemetry_snapshot();
@@ -767,6 +973,71 @@ std::string telemetry_render_prometheus() {
   os << "# HELP armgemm_flight_records_total Calls the flight recorder has seen.\n"
         "# TYPE armgemm_flight_records_total counter\n"
      << "armgemm_flight_records_total " << s.flight_recorded << "\n";
+
+  bool any_phases = false;
+  for (const ClassSnapshot& c : s.classes)
+    if (c.phase_samples) { any_phases = true; break; }
+  if (any_phases) {
+    os << "# HELP armgemm_phase_calls_total Calls that carried a phase timeline.\n"
+          "# TYPE armgemm_phase_calls_total counter\n";
+    for (const ClassSnapshot& c : s.classes) {
+      if (!c.phase_samples) continue;
+      os << "armgemm_phase_calls_total{kind=\"" << to_string(c.shape.kind)
+         << "\",decade=\"" << c.shape.decade << "\"} " << c.phase_samples << "\n";
+    }
+    os << "# HELP armgemm_phase_seconds_total Per-worker-attributed wall seconds by phase.\n"
+          "# TYPE armgemm_phase_seconds_total counter\n";
+    for (const ClassSnapshot& c : s.classes) {
+      if (!c.phase_samples) continue;
+      const std::string labels = std::string("kind=\"") + to_string(c.shape.kind) +
+                                 "\",decade=\"" + std::to_string(c.shape.decade) + "\"";
+      for (int p = 0; p < kPhaseCount; ++p)
+        os << "armgemm_phase_seconds_total{" << labels << ",phase=\"" << phase_name(p)
+           << "\"} " << c.phases[static_cast<std::size_t>(p)].seconds << "\n";
+    }
+    os << "# HELP armgemm_phase_share Share of call wall time by phase (quantiles over calls).\n"
+          "# TYPE armgemm_phase_share gauge\n";
+    for (const ClassSnapshot& c : s.classes) {
+      if (!c.phase_samples) continue;
+      const std::string labels = std::string("kind=\"") + to_string(c.shape.kind) +
+                                 "\",decade=\"" + std::to_string(c.shape.decade) + "\"";
+      for (int p = 0; p < kPhaseCount; ++p) {
+        const PhaseStat& ps = c.phases[static_cast<std::size_t>(p)];
+        const std::string pl = labels + ",phase=\"" + phase_name(p) + "\"";
+        os << "armgemm_phase_share{" << pl << ",quantile=\"0.5\"} " << ps.p50 << "\n";
+        os << "armgemm_phase_share{" << pl << ",quantile=\"0.95\"} " << ps.p95 << "\n";
+        os << "armgemm_phase_share{" << pl << ",quantile=\"0.99\"} " << ps.p99 << "\n";
+      }
+    }
+    os << "# HELP armgemm_phase_share_mean Mean share of call wall time by phase.\n"
+          "# TYPE armgemm_phase_share_mean gauge\n";
+    for (const ClassSnapshot& c : s.classes) {
+      if (!c.phase_samples) continue;
+      const std::string labels = std::string("kind=\"") + to_string(c.shape.kind) +
+                                 "\",decade=\"" + std::to_string(c.shape.decade) + "\"";
+      for (int p = 0; p < kPhaseCount; ++p)
+        os << "armgemm_phase_share_mean{" << labels << ",phase=\"" << phase_name(p)
+           << "\"} " << c.phases[static_cast<std::size_t>(p)].mean_share << "\n";
+    }
+  }
+
+  {
+    const ForensicsStats fs = forensics_stats();
+    os << "# HELP armgemm_forensics_captures_total Forensics bundles captured by trigger.\n"
+          "# TYPE armgemm_forensics_captures_total counter\n";
+    for (int r = 0; r < kForensicsReasonCount; ++r)
+      os << "armgemm_forensics_captures_total{reason=\""
+         << to_string(static_cast<ForensicsReason>(r)) << "\"} " << fs.captures[r] << "\n";
+    os << "# HELP armgemm_forensics_written_total Bundle files published to disk.\n"
+          "# TYPE armgemm_forensics_written_total counter\n"
+       << "armgemm_forensics_written_total " << fs.written << "\n";
+    os << "# HELP armgemm_forensics_suppressed_total Automatic captures the rate limit dropped.\n"
+          "# TYPE armgemm_forensics_suppressed_total counter\n"
+       << "armgemm_forensics_suppressed_total " << fs.suppressed << "\n";
+    os << "# HELP armgemm_slow_calls_total Calls beyond ARMGEMM_SLOW_CALL_FACTOR x class p99.\n"
+          "# TYPE armgemm_slow_calls_total counter\n"
+       << "armgemm_slow_calls_total " << fs.slow_calls << "\n";
+  }
 
   os << "# HELP armgemm_barrier_wait_seconds Per-worker barrier wait per parallel call.\n"
         "# TYPE armgemm_barrier_wait_seconds summary\n";
@@ -977,7 +1248,19 @@ std::string telemetry_render_json() {
     os << ",\"drift\":{\"ewma\":" << c.drift_fast << ",\"reference\":" << c.drift_reference
        << ",\"samples\":" << c.drift_samples
        << ",\"in_drift\":" << (c.in_drift ? "true" : "false")
-       << ",\"anomalies\":" << c.anomalies << "}}";
+       << ",\"anomalies\":" << c.anomalies << "},\"phases\":";
+    if (!c.phase_samples) {
+      os << "null}";
+    } else {
+      os << "{\"samples\":" << c.phase_samples;
+      for (int p = 0; p < kPhaseCount; ++p) {
+        const PhaseStat& ps = c.phases[static_cast<std::size_t>(p)];
+        os << ",\"" << phase_name(p) << "\":{\"seconds\":" << ps.seconds
+           << ",\"mean_share\":" << ps.mean_share << ",\"p50\":" << ps.p50
+           << ",\"p95\":" << ps.p95 << ",\"p99\":" << ps.p99 << "}";
+      }
+      os << "}}";
+    }
   }
   os << "],\"anomalies\":[";
   for (std::size_t i = 0; i < s.anomalies.size(); ++i) {
@@ -1003,72 +1286,21 @@ std::string telemetry_render_json() {
   if (!s.scheduler_available) {
     os << "null";
   } else {
-    const SchedulerStats& sch = s.scheduler;
-    os << "{\"workers\":" << sch.workers << ",\"queued\":" << sch.queued
-       << ",\"submissions\":" << sch.submissions
-       << ",\"tickets_enqueued\":" << sch.tickets_enqueued
-       << ",\"tickets_inline\":" << sch.tickets_inline
-       << ",\"utilization\":" << sch.utilization()
-       << ",\"steal_imbalance\":" << sch.steal_imbalance() << ",\"per_worker\":[";
-    for (std::size_t i = 0; i < sch.per_worker.size(); ++i) {
-      const SchedulerWorkerStats& w = sch.per_worker[i];
-      if (i) os << ",";
-      os << "{\"name\":\"" << json_escape(w.name) << "\",\"tickets_run\":" << w.tickets_run
-         << ",\"tickets_stolen\":" << w.tickets_stolen
-         << ",\"tickets_inline\":" << w.tickets_inline
-         << ",\"steal_attempts\":" << w.steal_attempts
-         << ",\"steal_failures\":" << w.steal_failures << ",\"blocks\":" << w.blocks
-         << ",\"busy_seconds\":" << w.busy_seconds
-         << ",\"idle_seconds\":" << w.idle_seconds
-         << ",\"utilization\":" << w.utilization() << "}";
-    }
-    os << "]}";
+    os << scheduler_stats_json(s.scheduler);
   }
   os << ",\"panel_cache\":";
   if (!s.panel_cache_available) {
     os << "null";
   } else {
-    const PanelCacheStats& pc = s.panel_cache;
-    os << "{\"hits\":" << pc.hits << ",\"misses\":" << pc.misses
-       << ",\"inserts\":" << pc.inserts << ",\"bypasses\":" << pc.bypasses
-       << ",\"evictions\":" << pc.evictions << ",\"wait_stalls\":" << pc.wait_stalls
-       << ",\"wait_seconds\":" << pc.wait_seconds << ",\"epochs\":" << pc.epochs
-       << ",\"resident_bytes\":" << pc.resident_bytes
-       << ",\"peak_bytes\":" << pc.peak_bytes
-       << ",\"resident_panels\":" << pc.resident_panels
-       << ",\"hit_rate\":" << pc.hit_rate() << ",\"by_class\":[";
-    for (std::size_t i = 0; i < pc.by_class.size(); ++i) {
-      const PanelCacheStats::ClassStats& c = pc.by_class[i];
-      if (i) os << ",";
-      os << "{\"class\":\""
-         << (c.shape_class < 0 ? std::string("untagged")
-                               : ShapeClass::from_index(c.shape_class).label())
-         << "\",\"hits\":" << c.hits << ",\"misses\":" << c.misses << "}";
-    }
-    os << "]}";
+    os << panel_cache_stats_json(s.panel_cache);
   }
   os << ",\"tune\":";
   if (!s.tune_available) {
     os << "null";
   } else {
-    const TuneStats& tu = s.tune;
-    const auto by_source = [&os](const std::uint64_t (&v)[kTuneSourceCount]) {
-      os << "{";
-      for (int src = 0; src < kTuneSourceCount; ++src)
-        os << (src ? "," : "") << "\"" << tune_source_name(src) << "\":" << v[src];
-      os << "}";
-    };
-    os << "{\"mode\":" << tu.mode
-       << ",\"cache_path_set\":" << (tu.cache_path_set ? "true" : "false")
-       << ",\"cache_entries_loaded\":" << tu.cache_entries_loaded
-       << ",\"cache_rejected\":" << tu.cache_rejected << ",\"resolutions\":";
-    by_source(tu.resolutions);
-    os << ",\"calls\":";
-    by_source(tu.calls);
-    os << ",\"probes_run\":" << tu.probes_run << ",\"probe_ms_spent\":" << tu.probe_ms_spent
-       << ",\"budget_ms\":" << tu.budget_ms << ",\"invalidations\":" << tu.invalidations
-       << ",\"saves\":" << tu.saves << ",\"save_failures\":" << tu.save_failures << "}";
+    os << tune_stats_json(s.tune);
   }
+  os << ",\"forensics\":" << forensics_summary_json();
   os << ",\"flight\":" << flight_to_json(s.flight) << "}";
   return os.str();
 }

@@ -37,12 +37,14 @@
 #include <utility>
 #include <vector>
 
+#include "common/knobs.hpp"
 #include "core/block_sizes.hpp"
 #include "model/perf_model.hpp"
 #include "obs/drift.hpp"
 #include "obs/flight.hpp"
 #include "obs/gemm_stats.hpp"
 #include "obs/histogram.hpp"
+#include "obs/phase.hpp"
 #include "obs/runtime_introspect.hpp"
 
 namespace ag::obs {
@@ -89,6 +91,14 @@ inline bool telemetry_active() {
   return detail::g_telemetry_enabled.load(std::memory_order_relaxed);
 }
 
+/// True when the drivers should take phase-boundary clock reads: telemetry
+/// is recording AND the ARMGEMM_PHASES knob is on. Compile-time false
+/// under -DARMGEMM_STATS=OFF like the rest of the layer.
+inline bool telemetry_phases_active() {
+  if constexpr (!stats_compiled_in) return false;
+  return telemetry_active() && phase_attribution_enabled();
+}
+
 /// Records one completed call (driver thread). `bs` prices the expected-
 /// efficiency model for the drift detector; results are memoized per
 /// thread, so steady-state shape-repeating traffic pays a lookup only.
@@ -96,9 +106,14 @@ inline bool telemetry_active() {
 /// clock's epoch) at which the call finished; callers that already read
 /// the clock to compute `seconds` pass it to spare the record path a
 /// third clock read. Negative means "read the clock here".
+/// `phases`, when non-null, is the call's finished phase timeline: it is
+/// folded into the class's phase-share histograms, attached to the
+/// flight record, and carried into any forensics bundle this call
+/// triggers (drift onset or slow-call threshold).
 void telemetry_record_call(std::int64_t m, std::int64_t n, std::int64_t k, int threads,
                            ScheduleKind schedule, double seconds, const BlockSizes& bs,
-                           double end_time_seconds = -1.0);
+                           double end_time_seconds = -1.0,
+                           const CallPhases* phases = nullptr);
 
 /// Records one completed entry of a dgemm_batch call into the `batch`
 /// shape class (decade still from m*n*k): service latency + efficiency
@@ -111,7 +126,8 @@ void telemetry_record_batch_entry(std::int64_t m, std::int64_t n, std::int64_t k
                                   int threads, double service_seconds,
                                   double queue_wait_seconds,
                                   std::uint64_t cache_hits = 0,
-                                  std::uint64_t cache_misses = 0);
+                                  std::uint64_t cache_misses = 0,
+                                  const CallPhases* phases = nullptr);
 
 /// Records one rank's barrier wait for the just-finished parallel call
 /// into the calling thread's lane.
@@ -145,6 +161,12 @@ void telemetry_reset();
 void telemetry_set_model(double peak_gflops_per_core, const model::CostParams& cost,
                          double psi_c);
 
+/// Copies the active expected-efficiency model parameters (obs/forensics
+/// prices the expected phase split with them). Returns false while no
+/// model is ready; null out-params are skipped.
+bool telemetry_model_params(double* peak_gflops_per_core, model::CostParams* cost,
+                            double* psi_c);
+
 // ---- snapshot + exposition -----------------------------------------------
 
 struct AnomalyEvent {
@@ -157,6 +179,15 @@ struct AnomalyEvent {
   CallRecord trigger;         // the call whose sample crossed the edge
 };
 
+/// Merged per-(class, phase) attribution: where calls of this class spend
+/// their wall time, as shares of each call's wall (obs/phase).
+struct PhaseStat {
+  std::uint64_t samples = 0;  // calls that carried a timeline
+  double seconds = 0;         // attributed wall seconds, summed over calls
+  double mean_share = 0;      // mean share of call wall time
+  double p50 = 0, p95 = 0, p99 = 0;  // share quantiles over calls
+};
+
 struct ClassSnapshot {
   ShapeClass shape;
   std::uint64_t calls = 0;
@@ -167,6 +198,8 @@ struct ClassSnapshot {
   std::uint64_t drift_samples = 0;
   bool in_drift = false;
   std::uint64_t anomalies = 0;
+  std::uint64_t phase_samples = 0;   // calls with a phase timeline
+  std::array<PhaseStat, kPhaseCount> phases{};
 };
 
 struct WorkerSnapshot {
@@ -216,5 +249,11 @@ int telemetry_dump_flight(const std::string& path);
 
 /// Drift onsets recorded since the epoch.
 std::uint64_t telemetry_anomaly_count();
+
+/// JSON sub-objects of the introspection blocks (shared with the
+/// forensics bundle writer so both expositions stay in sync).
+std::string scheduler_stats_json(const SchedulerStats& s);
+std::string panel_cache_stats_json(const PanelCacheStats& s);
+std::string tune_stats_json(const TuneStats& s);
 
 }  // namespace ag::obs

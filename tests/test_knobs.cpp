@@ -1,0 +1,172 @@
+// Hardening tests for the env-knob parsers (common/knobs detail layer)
+// and round-trip tests for the phase/forensics knob accessors.
+//
+// The parse functions take the raw string directly (no setenv games), so
+// every rejection class — garbage, trailing junk, negatives, overflow,
+// NaN — is exercised deterministically, and the one-time stderr warning
+// contract is observable via gtest's capture helpers.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "common/knobs.hpp"
+
+namespace {
+
+using ag::detail::parse_env_double;
+using ag::detail::parse_env_int64;
+
+// ---- integer knobs ---------------------------------------------------------
+
+TEST(KnobParseInt, UnsetAndEmptyFallBackSilently) {
+  testing::internal::CaptureStderr();
+  EXPECT_EQ(42, parse_env_int64("ARMGEMM_TEST", nullptr, 42));
+  EXPECT_EQ(42, parse_env_int64("ARMGEMM_TEST", "", 42));
+  EXPECT_EQ("", testing::internal::GetCapturedStderr());
+}
+
+TEST(KnobParseInt, ParsesPlainAndTrailingWhitespace) {
+  EXPECT_EQ(128, parse_env_int64("ARMGEMM_TEST", "128", 0));
+  EXPECT_EQ(0, parse_env_int64("ARMGEMM_TEST", "0", 7));
+  EXPECT_EQ(128, parse_env_int64("ARMGEMM_TEST", "128  ", 0));
+  EXPECT_EQ(128, parse_env_int64("ARMGEMM_TEST", "  128", 0));  // strtoll skips
+}
+
+TEST(KnobParseInt, GarbageFallsBackWithWarning) {
+  testing::internal::CaptureStderr();
+  EXPECT_EQ(50, parse_env_int64("ARMGEMM_SPIN_US", "fast", 50));
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_NE(std::string::npos, err.find("ARMGEMM_SPIN_US"));
+  EXPECT_NE(std::string::npos, err.find("'fast'"));
+  EXPECT_NE(std::string::npos, err.find("default 50"));
+}
+
+TEST(KnobParseInt, TrailingGarbageFallsBack) {
+  testing::internal::CaptureStderr();
+  EXPECT_EQ(6, parse_env_int64("ARMGEMM_SMALL_MNK", "12abc", 6));
+  EXPECT_NE(std::string::npos,
+            testing::internal::GetCapturedStderr().find("not an integer"));
+}
+
+TEST(KnobParseInt, NegativeFallsBack) {
+  testing::internal::CaptureStderr();
+  EXPECT_EQ(8, parse_env_int64("ARMGEMM_QUEUE_DEPTH", "-3", 8));
+  EXPECT_NE(std::string::npos,
+            testing::internal::GetCapturedStderr().find("negative"));
+}
+
+TEST(KnobParseInt, OverflowFallsBack) {
+  testing::internal::CaptureStderr();
+  EXPECT_EQ(8, parse_env_int64("ARMGEMM_QUEUE_DEPTH",
+                               "99999999999999999999999999", 8));
+  EXPECT_NE(std::string::npos,
+            testing::internal::GetCapturedStderr().find("out of range"));
+}
+
+TEST(KnobParseInt, Int64MaxIsAccepted) {
+  const std::int64_t max = std::numeric_limits<std::int64_t>::max();
+  EXPECT_EQ(max, parse_env_int64("ARMGEMM_TEST", "9223372036854775807", 0));
+}
+
+// ---- floating-point knobs --------------------------------------------------
+
+TEST(KnobParseDouble, UnsetAndEmptyFallBackSilently) {
+  testing::internal::CaptureStderr();
+  EXPECT_DOUBLE_EQ(0.25, parse_env_double("ARMGEMM_TEST", nullptr, 0.25));
+  EXPECT_DOUBLE_EQ(0.25, parse_env_double("ARMGEMM_TEST", "", 0.25));
+  EXPECT_EQ("", testing::internal::GetCapturedStderr());
+}
+
+TEST(KnobParseDouble, ParsesDecimalAndScientific) {
+  EXPECT_DOUBLE_EQ(0.5, parse_env_double("ARMGEMM_TEST", "0.5", 1.0));
+  EXPECT_DOUBLE_EQ(1500.0, parse_env_double("ARMGEMM_TEST", "1.5e3", 1.0));
+}
+
+TEST(KnobParseDouble, GarbageFallsBackWithWarning) {
+  testing::internal::CaptureStderr();
+  EXPECT_DOUBLE_EQ(0.25,
+                   parse_env_double("ARMGEMM_DRIFT_THRESHOLD", "lots", 0.25));
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_NE(std::string::npos, err.find("ARMGEMM_DRIFT_THRESHOLD"));
+  EXPECT_NE(std::string::npos, err.find("not a number"));
+}
+
+TEST(KnobParseDouble, TrailingGarbageFallsBack) {
+  testing::internal::CaptureStderr();
+  EXPECT_DOUBLE_EQ(8.0,
+                   parse_env_double("ARMGEMM_SLOW_CALL_FACTOR", "3x", 8.0));
+  EXPECT_NE(std::string::npos,
+            testing::internal::GetCapturedStderr().find("not a number"));
+}
+
+TEST(KnobParseDouble, NegativeFallsBack) {
+  testing::internal::CaptureStderr();
+  EXPECT_DOUBLE_EQ(60.0,
+                   parse_env_double("ARMGEMM_FORENSICS_INTERVAL", "-1", 60.0,
+                                    /*allow_zero=*/true));
+  EXPECT_NE(std::string::npos,
+            testing::internal::GetCapturedStderr().find("negative"));
+}
+
+TEST(KnobParseDouble, NanAndInfinityFallBack) {
+  testing::internal::CaptureStderr();
+  EXPECT_DOUBLE_EQ(0.25, parse_env_double("ARMGEMM_TEST", "nan", 0.25));
+  EXPECT_DOUBLE_EQ(0.25, parse_env_double("ARMGEMM_TEST", "inf", 0.25));
+  EXPECT_DOUBLE_EQ(0.25, parse_env_double("ARMGEMM_TEST", "1e999", 0.25));
+  EXPECT_NE(std::string::npos,
+            testing::internal::GetCapturedStderr().find("out of range"));
+}
+
+TEST(KnobParseDouble, ZeroPolicyFollowsAllowZero) {
+  // Knobs where 0 means "disabled" accept it; strictly-positive knobs
+  // (e.g. the drift threshold) reject it with the warning.
+  EXPECT_DOUBLE_EQ(0.0, parse_env_double("ARMGEMM_TEST", "0", 60.0,
+                                         /*allow_zero=*/true));
+  testing::internal::CaptureStderr();
+  EXPECT_DOUBLE_EQ(0.25, parse_env_double("ARMGEMM_TEST", "0", 0.25,
+                                          /*allow_zero=*/false));
+  EXPECT_NE(std::string::npos,
+            testing::internal::GetCapturedStderr().find("not positive"));
+}
+
+// ---- accessor round-trips --------------------------------------------------
+
+TEST(KnobAccessors, PhaseAttributionRoundTrips) {
+  const bool prev = ag::phase_attribution_enabled();
+  ag::set_phase_attribution_enabled(false);
+  EXPECT_FALSE(ag::phase_attribution_enabled());
+  ag::set_phase_attribution_enabled(true);
+  EXPECT_TRUE(ag::phase_attribution_enabled());
+  ag::set_phase_attribution_enabled(prev);
+}
+
+TEST(KnobAccessors, SlowCallFactorClampsNegativeToDisabled) {
+  const double prev = ag::slow_call_factor();
+  ag::set_slow_call_factor(3.5);
+  EXPECT_DOUBLE_EQ(3.5, ag::slow_call_factor());
+  ag::set_slow_call_factor(-2.0);  // negative means "disable", stored as 0
+  EXPECT_DOUBLE_EQ(0.0, ag::slow_call_factor());
+  ag::set_slow_call_factor(prev);
+}
+
+TEST(KnobAccessors, ForensicsDirRoundTrips) {
+  const std::string prev = ag::forensics_dir();
+  ag::set_forensics_dir("/tmp/armgemm-forensics-test");
+  EXPECT_EQ("/tmp/armgemm-forensics-test", ag::forensics_dir());
+  ag::set_forensics_dir("");
+  EXPECT_EQ("", ag::forensics_dir());
+  ag::set_forensics_dir(prev);
+}
+
+TEST(KnobAccessors, ForensicsIntervalClampsNegativeToUnlimited) {
+  const double prev = ag::forensics_interval_s();
+  ag::set_forensics_interval_s(120.0);
+  EXPECT_DOUBLE_EQ(120.0, ag::forensics_interval_s());
+  ag::set_forensics_interval_s(-5.0);  // negative means "no limit"
+  EXPECT_DOUBLE_EQ(0.0, ag::forensics_interval_s());
+  ag::set_forensics_interval_s(prev);
+}
+
+}  // namespace

@@ -1,0 +1,277 @@
+#!/usr/bin/env python3
+"""Validate armgemm forensics bundles (schema + physical consistency).
+
+Usage:
+  forensics_check.py BUNDLE.json [BUNDLE2.json ...]  # validate bundles
+  forensics_check.py --dir DIR                       # validate every
+                                                     # forensics-*.json in DIR
+  forensics_check.py --expect-count N --dir DIR      # also require exactly
+                                                     # N bundles present
+  forensics_check.py --self-test                     # built-in tests
+
+Stdlib only. A bundle is produced by the obs/forensics capture path
+(schema "armgemm-forensics/1") when the drift detector fires, a call
+blows through the slow-call threshold, or armgemm_forensics_capture()
+is invoked. Checks:
+
+  * schema tag, reason, and required top-level sections are present and
+    correctly typed (scheduler / panel_cache / tune may be null: the
+    capture simply records that the runtime had no such state);
+  * the subject call's phase timeline, when present, is physically
+    consistent: every phase >= 0 and the per-worker attributed total
+    does not exceed the call's wall time (batch entries: wall time plus
+    the recorded queue wait), within tolerance;
+  * the same invariant holds for every flight-window record carrying a
+    timeline;
+  * the rate-limit section agrees with itself (captures >= 1 when the
+    bundle exists).
+
+Exit codes: 0 all bundles valid, 1 a bundle failed validation or the
+--expect-count did not match, 2 usage error.
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+SCHEMA = "armgemm-forensics/1"
+REASONS = ("drift", "slow_call", "manual")
+PHASES = ("queue_wait", "pack_a", "pack_b", "kernel", "barrier",
+          "cache_stall", "epilogue")
+
+# Phase sums come from independent clock reads folded through float
+# seconds; allow 1% of wall plus a microsecond of absolute slack.
+REL_TOL = 0.01
+ABS_TOL = 1e-6
+
+
+def _fail(errors, path, msg):
+    errors.append("%s: %s" % (path, msg))
+
+
+def _check_phases_block(errors, path, label, phases, wall, queue_budget):
+    """Validates one {"workers": N, "<phase>": seconds...} timeline."""
+    if not isinstance(phases, dict):
+        _fail(errors, path, "%s: phases is not an object" % label)
+        return
+    workers = phases.get("workers")
+    if not isinstance(workers, int) or workers < 1:
+        _fail(errors, path, "%s: bad workers %r" % (label, workers))
+        return
+    total = 0.0
+    for p in PHASES:
+        v = phases.get(p)
+        if not isinstance(v, (int, float)) or v < 0:
+            _fail(errors, path, "%s: phase %s is %r" % (label, p, v))
+            return
+        total += v
+    # The layer attributes each phase as summed-seconds / workers, so the
+    # per-worker attributed total must fit inside the wall time (plus the
+    # queue wait for batch entries, which is pre-scaled by workers).
+    attributed = total / workers
+    budget = wall + queue_budget
+    if attributed > budget * (1 + REL_TOL) + ABS_TOL:
+        _fail(errors, path,
+              "%s: attributed %.3es exceeds wall %.3es (+queue %.3es)"
+              % (label, attributed, wall, queue_budget))
+
+
+def _check_record(errors, path, label, rec):
+    """Validates one call record (the subject call or a flight entry)."""
+    if not isinstance(rec, dict):
+        _fail(errors, path, "%s: record is not an object" % label)
+        return
+    for key in ("m", "n", "k", "threads", "seconds", "schedule"):
+        if key not in rec:
+            _fail(errors, path, "%s: missing %s" % (label, key))
+            return
+    wall = rec["seconds"]
+    if not isinstance(wall, (int, float)) or wall < 0:
+        _fail(errors, path, "%s: bad seconds %r" % (label, wall))
+        return
+    phases = rec.get("phases")
+    if phases is None:
+        return  # attribution was off for this call; nothing to check
+    queue_budget = 0.0
+    if rec["schedule"] == "batch":
+        queue_budget = phases.get("queue_wait", 0.0) \
+            if isinstance(phases, dict) else 0.0
+        queue_budget = queue_budget if isinstance(queue_budget, (int, float)) \
+            and queue_budget > 0 else 0.0
+    _check_phases_block(errors, path, label, phases, wall, queue_budget)
+
+
+def check_bundle(path, data, errors):
+    """Appends failure strings to errors; no output when the bundle is ok."""
+    if not isinstance(data, dict):
+        _fail(errors, path, "bundle is not a JSON object")
+        return
+    if data.get("schema") != SCHEMA:
+        _fail(errors, path, "schema %r != %r" % (data.get("schema"), SCHEMA))
+        return
+    if data.get("reason") not in REASONS:
+        _fail(errors, path, "unknown reason %r" % data.get("reason"))
+    for key, types in (("t", (int, float)), ("uptime_seconds", (int, float)),
+                       ("expectation", dict), ("pmu", dict), ("flight", list),
+                       ("rate_limit", dict)):
+        if not isinstance(data.get(key), types):
+            _fail(errors, path, "missing or mistyped %r" % key)
+            return
+    for key in ("scheduler", "panel_cache", "tune"):
+        if key not in data:
+            _fail(errors, path, "missing %r" % key)
+            return
+        if data[key] is not None and not isinstance(data[key], dict):
+            _fail(errors, path, "%r is neither null nor an object" % key)
+
+    call = data.get("call")
+    if call is not None:
+        _check_record(errors, path, "call", call)
+        # The top-level phases section restates the subject timeline with
+        # the expected-vs-measured split; its attributed total must obey
+        # the same wall-time bound.
+        split = data.get("phases")
+        if split is not None:
+            if not isinstance(split, dict):
+                _fail(errors, path, "phases split is not an object")
+            else:
+                wall = split.get("wall_seconds", call.get("seconds", 0.0))
+                attr = split.get("attributed_seconds", 0.0)
+                queue = 0.0
+                if call.get("schedule") == "batch":
+                    queue = split.get("measured_seconds", {}).get(
+                        "queue_wait", 0.0) * split.get("workers", 1)
+                if isinstance(attr, (int, float)) and isinstance(
+                        wall, (int, float)):
+                    if attr > (wall + queue) * (1 + REL_TOL) + ABS_TOL:
+                        _fail(errors, path,
+                              "phases split attributed %.3es > wall %.3es"
+                              % (attr, wall))
+                else:
+                    _fail(errors, path, "phases split fields mistyped")
+    elif data.get("reason") != "manual":
+        # Automatic triggers always have a subject call; manual captures
+        # may fire before any call was recorded.
+        _fail(errors, path, "automatic bundle with no subject call")
+
+    for i, rec in enumerate(data["flight"]):
+        _check_record(errors, path, "flight[%d]" % i, rec)
+
+    rl = data["rate_limit"]
+    caps = rl.get("captures")
+    if not isinstance(caps, int) or caps < 1:
+        _fail(errors, path, "rate_limit.captures %r < 1" % caps)
+
+
+def check_file(path, errors):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            data = json.load(f)
+    except (OSError, ValueError) as e:
+        _fail(errors, path, "unreadable: %s" % e)
+        return
+    check_bundle(path, data, errors)
+
+
+# ---- self test -------------------------------------------------------------
+
+def _valid_bundle():
+    phases = {"workers": 2, "queue_wait": 0.0, "pack_a": 0.1, "pack_b": 0.1,
+              "kernel": 1.5, "barrier": 0.1, "cache_stall": 0.0,
+              "epilogue": 0.0}
+    call = {"t": 1.0, "m": 96, "n": 96, "k": 96, "threads": 2,
+            "schedule": "parallel", "seconds": 1.0, "phases": phases}
+    return {
+        "schema": SCHEMA, "reason": "drift", "t": 1.0, "uptime_seconds": 2.0,
+        "call": call,
+        "phases": {"workers": 2, "wall_seconds": 1.0,
+                   "attributed_seconds": 0.9,
+                   "measured_seconds": {p: 0.0 for p in PHASES}},
+        "expectation": {"expected_gflops": 10.0}, "pmu": {"hardware": False},
+        "scheduler": None, "panel_cache": None, "tune": None,
+        "flight": [call],
+        "rate_limit": {"interval_seconds": 60, "suppressed": 0, "captures": 1},
+    }
+
+
+def _self_test():
+    errors = []
+    check_bundle("ok", _valid_bundle(), errors)
+    assert not errors, errors
+
+    bad = _valid_bundle()
+    bad["schema"] = "armgemm-forensics/0"
+    errors = []
+    check_bundle("schema", bad, errors)
+    assert errors, "stale schema accepted"
+
+    bad = _valid_bundle()
+    bad["call"]["phases"]["kernel"] = 5.0  # attributed 2.9 > wall 1.0
+    errors = []
+    check_bundle("oversum", bad, errors)
+    assert any("attributed" in e for e in errors), errors
+
+    # Batch entries may exceed wall by their queue wait, but no further.
+    batch = _valid_bundle()
+    batch["call"]["schedule"] = "batch"
+    batch["call"]["phases"] = {"workers": 1, "queue_wait": 2.0, "pack_a": 0.0,
+                               "pack_b": 0.0, "kernel": 0.9,
+                               "cache_stall": 0.0, "barrier": 0.0,
+                               "epilogue": 0.0}
+    batch["flight"] = []
+    errors = []
+    check_bundle("batch", batch, errors)
+    assert not errors, errors
+    batch["call"]["phases"]["kernel"] = 3.5
+    errors = []
+    check_bundle("batch-over", batch, errors)
+    assert any("attributed" in e for e in errors), errors
+
+    bad = _valid_bundle()
+    del bad["call"]
+    errors = []
+    check_bundle("no-call", bad, errors)
+    assert any("no subject call" in e for e in errors), errors
+
+    print("forensics_check: self-test ok")
+    return 0
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("bundles", nargs="*", help="bundle JSON files")
+    ap.add_argument("--dir", help="validate every forensics-*.json here")
+    ap.add_argument("--expect-count", type=int, default=None,
+                    help="require exactly N bundles (with --dir)")
+    ap.add_argument("--self-test", action="store_true")
+    args = ap.parse_args(argv)
+
+    if args.self_test:
+        return _self_test()
+
+    paths = list(args.bundles)
+    if args.dir:
+        paths += sorted(glob.glob(os.path.join(args.dir, "forensics-*.json")))
+    if args.expect_count is not None and len(paths) != args.expect_count:
+        print("forensics_check: expected %d bundles, found %d"
+              % (args.expect_count, len(paths)), file=sys.stderr)
+        return 1
+    if not paths:
+        print("forensics_check: no bundles given", file=sys.stderr)
+        return 2
+
+    errors = []
+    for path in paths:
+        check_file(path, errors)
+    for e in errors:
+        print("forensics_check: FAIL %s" % e, file=sys.stderr)
+    if not errors:
+        print("forensics_check: %d bundle%s ok"
+              % (len(paths), "" if len(paths) == 1 else "s"))
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
