@@ -22,11 +22,17 @@
 // Schema 5 adds one autotune point per thread count (256^3 through a
 // pinned context vs a tunable one), gated live — the closed-loop tuner
 // must never lose to the paper/host defaults — and against the
-// baseline's tuned Gflops. Baselines written by schema armgemm-bench/1
-// (square-only, keyed by "n"), /2 (no packing points), /3 (no batched
-// points) and /4 (no autotune points) are still accepted: missing m/k
-// default to n, and points absent from the baseline are reported as
-// ungated.
+// baseline's tuned Gflops. Schema 6 adds topology-schedule points:
+// the analytic big.LITTLE schedule simulator (sim/biglittle) replays
+// the runtime's exact panel/ticket arithmetic for 256^3..512^3 under an
+// emulated 2-class 2:1 topology and records the weighted-vs-round-robin
+// wall speedup. These are pure deterministic arithmetic — identical on
+// any host, symmetric or not — gated live (weighted must never lose to
+// round-robin) and against the baseline's speedups. Baselines written
+// by schema armgemm-bench/1 (square-only, keyed by "n"), /2 (no packing
+// points), /3 (no batched points), /4 (no autotune points) and /5 (no
+// topology points) are still accepted: missing m/k default to n, and
+// points absent from the baseline are reported as ungated.
 //
 // Points missing from the baseline are never silently skipped: they are
 // listed with a warning, and --unknown=fail turns them into a gate
@@ -58,10 +64,12 @@
 #include "obs/calibrate.hpp"
 #include "obs/gemm_stats.hpp"
 #include "obs/pmu.hpp"
+#include "sim/biglittle.hpp"
 
 namespace {
 
-constexpr const char* kSchema = "armgemm-bench/5";
+constexpr const char* kSchema = "armgemm-bench/6";
+constexpr const char* kSchemaV5 = "armgemm-bench/5";  // no topology points
 constexpr const char* kSchemaV4 = "armgemm-bench/4";  // no autotune points
 constexpr const char* kSchemaV3 = "armgemm-bench/3";  // no batched points
 constexpr const char* kSchemaV2 = "armgemm-bench/2";  // no packing-bandwidth points
@@ -334,6 +342,37 @@ std::vector<TuneResult> run_tune_points(const std::vector<int>& threads, int rep
   return out;
 }
 
+// Topology-schedule point (schema 6): the analytic big.LITTLE simulator
+// replays the runtime's panel/ticket arithmetic under an emulated
+// 2-class 2:1 topology (2 big + 2 LITTLE) and reports the weighted-vs-
+// round-robin wall speedup. Deterministic closed-form arithmetic — the
+// same on every host — so the gate catches scheduling-arithmetic
+// regressions without any timing noise.
+struct TopoResult {
+  std::int64_t n = 0;  // n x n x n square
+  double round_robin_wall = 0;
+  double weighted_wall = 0;        // spans only
+  double weighted_steal_wall = 0;  // spans + greedy rebalancing
+  double speedup = 0;              // round_robin / weighted_steal
+};
+
+std::vector<TopoResult> run_topology_points(double inject) {
+  const ag::sim::BigLittleConfig cfg = ag::sim::BigLittleConfig::two_to_one(2, 2);
+  const ag::BlockSizes bs = ag::default_block_sizes(ag::KernelShape{8, 6}, cfg.ranks());
+  std::vector<TopoResult> out;
+  for (std::int64_t n : {std::int64_t{256}, std::int64_t{384}, std::int64_t{512}}) {
+    const ag::sim::GemmScheduleResult r = ag::sim::simulate_gemm_schedule(cfg, n, n, n, bs);
+    TopoResult t;
+    t.n = n;
+    t.round_robin_wall = r.round_robin_wall;
+    t.weighted_wall = r.weighted_wall;
+    t.weighted_steal_wall = r.weighted_steal_wall;
+    t.speedup = inject * r.speedup();
+    out.push_back(t);
+  }
+  return out;
+}
+
 void json_layers(std::ostream& os, const ag::obs::LayerCounters& t) {
   os.precision(9);
   os << "{\"pack_a_seconds\":" << t.pack_a_seconds
@@ -364,6 +403,7 @@ std::string report_json(const std::vector<RunResult>& results,
                         const std::vector<PackResult>& packing,
                         const std::vector<BatchResult>& batches,
                         const std::vector<TuneResult>& tune,
+                        const std::vector<TopoResult>& topology,
                         const ag::obs::CalibrationResult& cal, int reps) {
   std::ostringstream os;
   os.precision(9);
@@ -395,6 +435,15 @@ std::string report_json(const std::vector<RunResult>& results,
     os << "{\"n\":" << t.n << ",\"threads\":" << t.threads
        << ",\"default_gflops\":" << t.default_gflops
        << ",\"tuned_gflops\":" << t.tuned_gflops << ",\"ratio\":" << t.ratio << "}";
+  }
+  os << "],\"topology\":[";
+  for (std::size_t i = 0; i < topology.size(); ++i) {
+    const TopoResult& t = topology[i];
+    if (i) os << ",";
+    os << "{\"n\":" << t.n << ",\"round_robin_wall\":" << t.round_robin_wall
+       << ",\"weighted_wall\":" << t.weighted_wall
+       << ",\"weighted_steal_wall\":" << t.weighted_steal_wall
+       << ",\"speedup\":" << t.speedup << "}";
   }
   os << "],\"results\":[";
   for (std::size_t i = 0; i < results.size(); ++i) {
@@ -568,6 +617,41 @@ int compare_tune_against_baseline(const std::vector<TuneResult>& tune,
   return regressions;
 }
 
+/// Gates the topology-schedule points on relative speedup drop, keyed
+/// by n. The points are deterministic arithmetic, so any drift here is
+/// a real scheduling-arithmetic change, not noise; the threshold still
+/// applies so intentional model refinements only need a baseline
+/// re-record. Schema 1-5 baselines carry no "topology" array: those
+/// land in `unknown` until the baseline is re-recorded.
+int compare_topology_against_baseline(const std::vector<TopoResult>& topology,
+                                      const ag::JsonValue& baseline, double threshold,
+                                      std::vector<std::string>* unknown) {
+  const ag::JsonValue& base_topo = baseline["topology"];
+  int regressions = 0;
+  for (const TopoResult& t : topology) {
+    const ag::JsonValue* match = nullptr;
+    if (!base_topo.is_null()) {
+      for (const ag::JsonValue& b : base_topo.items())
+        if (static_cast<std::int64_t>(b["n"].as_number()) == t.n) match = &b;
+    }
+    const std::string label = "topology n=" + std::to_string(t.n);
+    if (!match) {
+      std::cout << "  " << label << ": no baseline entry (NOT gated)\n";
+      if (unknown) unknown->push_back(label);
+      continue;
+    }
+    const double base_speedup = (*match)["speedup"].as_number();
+    const double drop = base_speedup > 0 ? (base_speedup - t.speedup) / base_speedup : 0;
+    const bool bad = drop > threshold;
+    std::cout << "  " << label << ": speedup " << ag::Table::fmt(base_speedup, 3) << " -> "
+              << ag::Table::fmt(t.speedup, 3) << " (" << (drop >= 0 ? "-" : "+")
+              << ag::Table::fmt_pct(std::abs(drop)) << " rel) "
+              << (bad ? "REGRESSION" : "ok") << "\n";
+    regressions += bad ? 1 : 0;
+  }
+  return regressions;
+}
+
 /// "MxNxK" (e.g. 2048x64x64) or a bare "N" meaning an NxNxN square.
 bool parse_shape(const std::string& token, BenchShape* out) {
   std::int64_t v[3] = {0, 0, 0};
@@ -703,6 +787,21 @@ int main(int argc, char** argv) {
     live_tune_failures += bad ? 1 : 0;
   }
 
+  const std::vector<TopoResult> topology = run_topology_points(inject);
+  int live_topo_failures = 0;
+  for (const TopoResult& t : topology) {
+    // Live gate: on the emulated 2:1 big.LITTLE the weighted schedule
+    // must never lose to round-robin. Deterministic arithmetic — no
+    // noise margin needed beyond rounding.
+    const bool bad = t.speedup < 0.999;
+    std::cout << "topology n=" << t.n << " (2big+2little, 2:1): round-robin "
+              << ag::Table::fmt(t.round_robin_wall, 1) << " -> weighted "
+              << ag::Table::fmt(t.weighted_steal_wall, 1) << " ("
+              << ag::Table::fmt(t.speedup, 3) << "x) "
+              << (bad ? "WEIGHTED SLOWER THAN ROUND-ROBIN" : "ok") << "\n";
+    live_topo_failures += bad ? 1 : 0;
+  }
+
   const std::string out_path =
       args.get("out", "BENCH_" + host_name() + "_" + date_stamp() + ".json");
   {
@@ -711,13 +810,18 @@ int main(int argc, char** argv) {
       std::cerr << "regress: cannot write " << out_path << "\n";
       return 2;
     }
-    os << report_json(results, packing, batches, tune, cal, reps) << "\n";
+    os << report_json(results, packing, batches, tune, topology, cal, reps) << "\n";
   }
   std::cout << "wrote " << out_path << "\n";
 
   if (live_tune_failures > 0) {
     std::cerr << "regress: " << live_tune_failures
               << " autotune point(s) ran slower tuned than with defaults\n";
+    return 1;
+  }
+  if (live_topo_failures > 0) {
+    std::cerr << "regress: " << live_topo_failures
+              << " topology point(s) scheduled slower weighted than round-robin\n";
     return 1;
   }
 
@@ -738,11 +842,11 @@ int main(int argc, char** argv) {
     return 2;
   }
   const std::string base_schema = baseline["schema"].as_string();
-  if (base_schema != kSchema && base_schema != kSchemaV4 && base_schema != kSchemaV3 &&
-      base_schema != kSchemaV2 && base_schema != kSchemaV1) {
+  if (base_schema != kSchema && base_schema != kSchemaV5 && base_schema != kSchemaV4 &&
+      base_schema != kSchemaV3 && base_schema != kSchemaV2 && base_schema != kSchemaV1) {
     std::cerr << "regress: baseline schema \"" << base_schema << "\" is none of \""
-              << kSchema << "\", \"" << kSchemaV4 << "\", \"" << kSchemaV3 << "\", \""
-              << kSchemaV2 << "\", \"" << kSchemaV1 << "\"\n";
+              << kSchema << "\", \"" << kSchemaV5 << "\", \"" << kSchemaV4 << "\", \""
+              << kSchemaV3 << "\", \"" << kSchemaV2 << "\", \"" << kSchemaV1 << "\"\n";
     return 2;
   }
   const std::string unknown_mode = args.get("unknown", "warn");
@@ -758,6 +862,7 @@ int main(int argc, char** argv) {
   regressions += compare_packing_against_baseline(packing, baseline, threshold, &unknown);
   regressions += compare_batch_against_baseline(batches, baseline, threshold, &unknown);
   regressions += compare_tune_against_baseline(tune, baseline, threshold, &unknown);
+  regressions += compare_topology_against_baseline(topology, baseline, threshold, &unknown);
   if (!unknown.empty()) {
     // A gate that only checks matched points would silently shrink as the
     // sweep evolves; make the uncovered set loud (and fatal on request).

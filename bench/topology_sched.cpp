@@ -1,0 +1,69 @@
+// Topology-schedule study: the analytic big.LITTLE simulator
+// (sim/biglittle) replaying the runtime's panel/ticket arithmetic under
+// emulated asymmetric machines, comparing three policies per problem
+// size — static round-robin (the pre-topology schedule), weighted
+// proportional spans, and spans + greedy stealing (the deployed
+// policy's envelope). Reproduces the shape of the Catalán et al.
+// asymmetric-partitioning result (PAPERS.md): round-robin wall time is
+// pinned to the LITTLE class while weighting recovers (close to) the
+// machine's aggregate throughput. The EXPERIMENTS.md big.LITTLE table
+// comes from this binary's default sweep.
+//
+//   topology_sched                         # default: 2big+2little 2:1
+//   topology_sched --big=4 --little=4 --ratio=3
+//   topology_sched --sizes=256,384,512,1024
+#include <algorithm>
+#include <cstdint>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/block_sizes.hpp"
+#include "sim/biglittle.hpp"
+
+int main(int argc, char** argv) {
+  ag::CliArgs args(argc, argv);
+  const int big = static_cast<int>(args.get_int("big", 2));
+  const int little = static_cast<int>(args.get_int("little", 2));
+  const double ratio = args.get_double("ratio", 2.0);
+  if (big <= 0 || little < 0 || ratio < 1.0) {
+    std::cerr << "topology_sched: want --big>=1, --little>=0, --ratio>=1\n";
+    return 2;
+  }
+  ag::sim::BigLittleConfig cfg;
+  cfg.class_cpus = {big, little};
+  cfg.class_speed = {1.0, 1.0 / ratio};
+  const ag::BlockSizes bs = ag::default_block_sizes(ag::KernelShape{8, 6}, cfg.ranks());
+
+  std::cout << "big.LITTLE schedule model: " << big << " big + " << little
+            << " little, speed ratio " << ag::Table::fmt(ratio, 2) << ":1, blocking "
+            << bs.to_string() << "\n";
+  // The ideal bound: wall scales with aggregate weighted throughput, so
+  // the best any schedule can do vs round-robin on a machine whose
+  // slowest class has speed s_min is (sum of speeds) / (ranks * s_min).
+  double speed_sum = 0, speed_min = cfg.class_speed[0];
+  for (int r = 0; r < cfg.ranks(); ++r) {
+    speed_sum += cfg.speed_of_rank(r);
+    speed_min = std::min(speed_min, cfg.speed_of_rank(r));
+  }
+  std::cout << "ideal speedup bound (aggregate/slowest-bound): "
+            << ag::Table::fmt(speed_sum / (cfg.ranks() * speed_min), 3) << "x\n\n";
+
+  ag::Table table({"n", "panels", "tickets", "rr_wall", "weighted", "w+steal", "speedup",
+                   "rr_util", "w+steal_util"});
+  for (std::int64_t n : agbench::size_list(args, {256, 384, 512, 768, 1024})) {
+    const ag::sim::GemmScheduleResult r = ag::sim::simulate_gemm_schedule(cfg, n, n, n, bs);
+    // Coarse whole-pool utilizations (one pool of all tickets; per-panel
+    // figures are barrier-separated and do not sum).
+    const ag::sim::ScheduleOutcome rr = ag::sim::simulate_round_robin(cfg, r.tickets, 1.0);
+    const ag::sim::ScheduleOutcome ws = ag::sim::simulate_weighted(cfg, r.tickets, 1.0, true);
+    table.add_row({ag::Table::fmt_int(n), ag::Table::fmt_int(r.panels),
+                   ag::Table::fmt_int(r.tickets), ag::Table::fmt(r.round_robin_wall, 1),
+                   ag::Table::fmt(r.weighted_wall, 1),
+                   ag::Table::fmt(r.weighted_steal_wall, 1),
+                   ag::Table::fmt(r.speedup(), 3), ag::Table::fmt_pct(rr.utilization),
+                   ag::Table::fmt_pct(ws.utilization)});
+  }
+  table.print(std::cout);
+  if (args.has("csv")) std::cout << table.to_csv();
+  return 0;
+}

@@ -18,6 +18,7 @@
 #include "obs/phase.hpp"
 #include "obs/pmu.hpp"
 #include "obs/telemetry.hpp"
+#include "threading/topology.hpp"
 
 namespace {
 
@@ -210,6 +211,50 @@ long long armgemm_get_queue_depth(void) { return ag::queue_depth(); }
 void armgemm_set_panel_cache_mb(long long mb) { ag::set_panel_cache_mb(mb); }
 
 long long armgemm_get_panel_cache_mb(void) { return ag::panel_cache_mb(); }
+
+void armgemm_set_cpu_classes(const char* spec) {
+  ag::set_cpu_classes_spec(spec ? spec : "");
+}
+
+long long armgemm_get_cpu_classes(char* buf, size_t len) {
+  const std::string spec = ag::cpu_classes_spec();
+  if (buf && len > 0) {
+    const size_t copy = std::min(len - 1, spec.size());
+    std::memcpy(buf, spec.data(), copy);
+    buf[copy] = '\0';
+  }
+  return static_cast<long long>(spec.size());
+}
+
+void armgemm_set_numa_nodes(long long nodes) { ag::set_numa_nodes_override(nodes); }
+
+long long armgemm_get_numa_nodes(void) { return ag::numa_nodes_override(); }
+
+void armgemm_set_affinity(int enabled) { ag::set_affinity_enabled(enabled != 0); }
+
+int armgemm_get_affinity(void) { return ag::affinity_enabled() ? 1 : 0; }
+
+void armgemm_set_panel_replicate_kb(long long kb) { ag::set_panel_replicate_kb(kb); }
+
+long long armgemm_get_panel_replicate_kb(void) { return ag::panel_replicate_kb(); }
+
+void armgemm_set_weighted_schedule(int enabled) {
+  ag::set_weighted_schedule_enabled(enabled != 0);
+}
+
+int armgemm_get_weighted_schedule(void) {
+  return ag::weighted_schedule_enabled() ? 1 : 0;
+}
+
+void armgemm_set_cross_node_steal(long long sweeps) {
+  ag::set_cross_node_steal_threshold(sweeps);
+}
+
+long long armgemm_get_cross_node_steal(void) {
+  return ag::cross_node_steal_threshold();
+}
+
+void armgemm_topology_refresh(void) { ag::Topology::refresh(); }
 
 void armgemm_stats_enable(void) { g_stats_enabled.store(true, std::memory_order_relaxed); }
 
@@ -414,6 +459,8 @@ int armgemm_scheduler_stats_get(armgemm_scheduler_stats* out) {
   for (const ag::obs::SchedulerWorkerStats& w : s.per_worker) {
     out->tickets_run += w.tickets_run;
     out->tickets_stolen += w.tickets_stolen;
+    out->steals_local += w.steals_local;
+    out->steals_remote += w.steals_remote;
     out->steal_attempts += w.steal_attempts;
     out->steal_failures += w.steal_failures;
     out->blocks += w.blocks;
@@ -534,7 +581,34 @@ int armgemm_panel_cache_stats_get(armgemm_panel_cache_stats* out) {
   out->resident_bytes = s.resident_bytes;
   out->peak_bytes = s.peak_bytes;
   out->resident_panels = s.resident_panels;
+  out->node_replicas = s.node_replicas;
   out->hit_rate = s.hit_rate();
+  return 1;
+}
+
+int armgemm_topology_stats_get(armgemm_topology_stats* out) {
+  if (!out) return 0;
+  *out = armgemm_topology_stats{};
+  /* Touch the topology singleton so the obs source is registered even if
+   * no parallel call has run yet. */
+  (void)ag::Topology::get();
+  if (!ag::obs::topology_stats_available()) return 0;
+  const ag::obs::TopologyStats s = ag::obs::topology_stats();
+  out->cpus = s.cpus;
+  out->nodes = s.nodes;
+  out->classes = static_cast<int>(s.classes.size());
+  out->source = s.source;
+  out->asymmetric = s.asymmetric() ? 1 : 0;
+  out->weights_refined = s.weights_refined ? 1 : 0;
+  const int n = std::min(out->classes, ARMGEMM_TOPOLOGY_MAX_CLASSES);
+  for (int i = 0; i < n; ++i) {
+    const ag::obs::TopologyClassStats& c = s.classes[static_cast<std::size_t>(i)];
+    out->cls[i].cpus = c.cpus;
+    out->cls[i].weight_seed = c.weight_seed;
+    out->cls[i].weight = c.weight;
+    out->cls[i].tickets = c.tickets;
+    out->cls[i].busy_seconds = c.busy_seconds;
+  }
   return 1;
 }
 

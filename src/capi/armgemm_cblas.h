@@ -118,6 +118,50 @@ long long armgemm_get_queue_depth(void);
 void armgemm_set_panel_cache_mb(long long mb);
 long long armgemm_get_panel_cache_mb(void);
 
+/* ---- Topology knobs ----
+ *
+ * CPU core-class override: "<count>x<weight>[,<count>x<weight>...]",
+ * fastest class first, e.g. "4x2.0,4x1.0" emulates a big.LITTLE host on
+ * symmetric hardware. "" returns to sysfs discovery. The setter takes
+ * effect at armgemm_topology_refresh(). Defaults to ARMGEMM_CPU_CLASSES.
+ * The getter follows the snprintf contract (full length returned, at
+ * most len-1 bytes + NUL written). */
+void armgemm_set_cpu_classes(const char* spec);
+long long armgemm_get_cpu_classes(char* buf, size_t len);
+
+/* NUMA node-count override (0 = discover from sysfs). Takes effect at
+ * armgemm_topology_refresh(). Defaults to ARMGEMM_NUMA_NODES. */
+void armgemm_set_numa_nodes(long long nodes);
+long long armgemm_get_numa_nodes(void);
+
+/* Pin pool workers to their topology CPUs (pthread_setaffinity_np).
+ * Off by default; defaults to ARMGEMM_AFFINITY. */
+void armgemm_set_affinity(int enabled);
+int armgemm_get_affinity(void);
+
+/* Packed-B panel size, in KiB, above which the panel cache keeps one
+ * replica per NUMA node instead of a single shared copy. Defaults to
+ * ARMGEMM_PANEL_REPLICATE_KB, else 1024. */
+void armgemm_set_panel_replicate_kb(long long kb);
+long long armgemm_get_panel_replicate_kb(void);
+
+/* Heterogeneity-weighted ticket partitioning on/off (default on; only
+ * engages when the topology is asymmetric). Bitwise results never change
+ * with this knob — only which rank computes which tickets. Defaults to
+ * ARMGEMM_WEIGHTED_SCHEDULE. */
+void armgemm_set_weighted_schedule(int enabled);
+int armgemm_get_weighted_schedule(void);
+
+/* Consecutive failed same-node steal sweeps a pool worker tolerates
+ * before probing cross-node shards. Defaults to
+ * ARMGEMM_CROSS_NODE_STEAL, else 2. */
+void armgemm_set_cross_node_steal(long long sweeps);
+long long armgemm_get_cross_node_steal(void);
+
+/* Rebuilds the topology snapshot (re-reads sysfs and the class/node
+ * overrides above). Cheap; safe concurrently with running calls. */
+void armgemm_topology_refresh(void);
+
 /* ---- Per-layer instrumentation (process-wide, off by default) ----
  *
  * When enabled, every cblas_dgemm call records per-layer counters into
@@ -286,6 +330,8 @@ typedef struct armgemm_scheduler_stats {
   unsigned long long tickets_inline;  /* admission overflow, ran on callers */
   unsigned long long tickets_run;     /* total over workers + callers */
   unsigned long long tickets_stolen;  /* popped from a foreign shard */
+  unsigned long long steals_local;    /* ...homed on the thief's NUMA node */
+  unsigned long long steals_remote;   /* ...homed on another node */
   unsigned long long steal_attempts;
   unsigned long long steal_failures;
   unsigned long long blocks;          /* spin-window expiries -> OS block */
@@ -309,10 +355,40 @@ typedef struct armgemm_panel_cache_stats {
   unsigned long long resident_bytes;
   unsigned long long peak_bytes;
   unsigned long long resident_panels;
+  unsigned long long node_replicas;   /* per-NUMA-node duplicate inserts */
   double hit_rate;                    /* hits / (hits + misses) */
 } armgemm_panel_cache_stats;
 
 int armgemm_panel_cache_stats_get(armgemm_panel_cache_stats* out);
+
+/* ---- Topology introspection ----
+ *
+ * Snapshot of the discovered (or overridden) host topology plus the
+ * per-class scheduling weights the runtime is currently using. Weights
+ * are normalized to the fastest class = 1.0; `weights_refined` flips to
+ * 1 once online per-class throughput estimates (from pool ticket
+ * accounting) have replaced the discovery-time seeds. Always returns 1 —
+ * the topology layer has no "not yet up" state (first use discovers). */
+
+#define ARMGEMM_TOPOLOGY_MAX_CLASSES 8
+
+typedef struct armgemm_topology_stats {
+  int cpus;                /* logical cpus in the snapshot */
+  int nodes;               /* NUMA nodes */
+  int classes;             /* core classes (1 = symmetric) */
+  int source;              /* 0 flat, 1 sysfs, 2 env override */
+  int asymmetric;          /* 1 when >1 class with distinct weights */
+  int weights_refined;
+  struct {
+    int cpus;
+    double weight_seed;    /* discovery-time estimate */
+    double weight;         /* currently active (refined when available) */
+    unsigned long long tickets;       /* pool tickets run by this class */
+    double busy_seconds;              /* ticket time spent by this class */
+  } cls[ARMGEMM_TOPOLOGY_MAX_CLASSES];
+} armgemm_topology_stats;
+
+int armgemm_topology_stats_get(armgemm_topology_stats* out);
 
 /* ---- Closed-loop autotuner ----
  *

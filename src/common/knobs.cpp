@@ -266,6 +266,56 @@ MetricsPathKnob& tune_cache_path_knob() {
   return *k;
 }
 
+// Same rare-read mutex-string pattern as the metrics path; consumed only
+// when the topology snapshot is (re)built.
+MetricsPathKnob& cpu_classes_knob() {
+  static MetricsPathKnob* k = [] {
+    auto* fresh = new MetricsPathKnob;  // leaky: read at topology-build time
+    const char* raw = std::getenv("ARMGEMM_CPU_CLASSES");
+    if (raw) fresh->path = raw;
+    return fresh;
+  }();
+  return *k;
+}
+
+std::atomic<std::int64_t>& numa_nodes_knob() {
+  static std::atomic<std::int64_t> v{env_int64("ARMGEMM_NUMA_NODES", 0)};
+  return v;
+}
+
+// Pinning defaults off: a library must not fight the host's scheduler
+// unless the operator opted in.
+std::atomic<bool>& affinity_knob() {
+  static std::atomic<bool> v{env_int64("ARMGEMM_AFFINITY", 0) != 0};
+  return v;
+}
+
+// A replica costs one extra pack + its resident bytes per node; panels
+// under ~1 MiB travel the interconnect cheaply enough that the copy is
+// not worth the cache capacity.
+constexpr std::int64_t kDefaultPanelReplicateKb = 1024;
+
+std::atomic<std::int64_t>& panel_replicate_kb_knob() {
+  static std::atomic<std::int64_t> v{
+      env_int64("ARMGEMM_PANEL_REPLICATE_KB", kDefaultPanelReplicateKb)};
+  return v;
+}
+
+std::atomic<bool>& weighted_schedule_knob() {
+  static std::atomic<bool> v{env_int64("ARMGEMM_WEIGHTED_SCHEDULE", 1) != 0};
+  return v;
+}
+
+// Two full same-node sweeps tolerate transient emptiness before a worker
+// pays the interconnect for a remote ticket.
+constexpr std::int64_t kDefaultCrossNodeSteal = 2;
+
+std::atomic<std::int64_t>& cross_node_steal_knob() {
+  static std::atomic<std::int64_t> v{
+      env_int64("ARMGEMM_CROSS_NODE_STEAL", kDefaultCrossNodeSteal)};
+  return v;
+}
+
 }  // namespace
 
 std::int64_t spin_wait_us() { return spin_us_knob().load(std::memory_order_relaxed); }
@@ -433,6 +483,56 @@ std::int64_t tune_budget_ms() {
 
 void set_tune_budget_ms(std::int64_t ms) {
   tune_budget_ms_knob().store(ms < 0 ? 0 : ms, std::memory_order_relaxed);
+}
+
+std::string cpu_classes_spec() {
+  MetricsPathKnob& k = cpu_classes_knob();
+  std::lock_guard lock(k.mutex);
+  return k.path;
+}
+
+void set_cpu_classes_spec(const std::string& spec) {
+  MetricsPathKnob& k = cpu_classes_knob();
+  std::lock_guard lock(k.mutex);
+  k.path = spec;
+}
+
+std::int64_t numa_nodes_override() {
+  return numa_nodes_knob().load(std::memory_order_relaxed);
+}
+
+void set_numa_nodes_override(std::int64_t nodes) {
+  numa_nodes_knob().store(nodes < 0 ? 0 : nodes, std::memory_order_relaxed);
+}
+
+bool affinity_enabled() { return affinity_knob().load(std::memory_order_relaxed); }
+
+void set_affinity_enabled(bool enabled) {
+  affinity_knob().store(enabled, std::memory_order_relaxed);
+}
+
+std::int64_t panel_replicate_kb() {
+  return panel_replicate_kb_knob().load(std::memory_order_relaxed);
+}
+
+void set_panel_replicate_kb(std::int64_t kb) {
+  panel_replicate_kb_knob().store(kb < 0 ? 0 : kb, std::memory_order_relaxed);
+}
+
+bool weighted_schedule_enabled() {
+  return weighted_schedule_knob().load(std::memory_order_relaxed);
+}
+
+void set_weighted_schedule_enabled(bool enabled) {
+  weighted_schedule_knob().store(enabled, std::memory_order_relaxed);
+}
+
+std::int64_t cross_node_steal_threshold() {
+  return cross_node_steal_knob().load(std::memory_order_relaxed);
+}
+
+void set_cross_node_steal_threshold(std::int64_t sweeps) {
+  cross_node_steal_knob().store(sweeps < 0 ? 0 : sweeps, std::memory_order_relaxed);
 }
 
 }  // namespace ag

@@ -62,6 +62,33 @@
 //                               bypass it); 0 disables the limit
 //                               (default 60).
 //
+// The topology-aware execution layer (threading/topology) adds five:
+//
+//   ARMGEMM_CPU_CLASSES   - core-class override for sim/CI and emulation:
+//                           comma-separated "<count>x<weight>" groups
+//                           (e.g. "4x2.0,4x1.0" = 4 big cores at relative
+//                           throughput 2 plus 4 LITTLE at 1). Empty uses
+//                           sysfs discovery (cpu_capacity / max_freq).
+//   ARMGEMM_NUMA_NODES    - NUMA node-count override (cores split into
+//                           contiguous equal groups); 0 = discover from
+//                           /sys/devices/system/node.
+//   ARMGEMM_AFFINITY      - 1 pins persistent-pool workers to their
+//                           topology CPU with pthread_setaffinity_np so
+//                           the core-class map stays truthful under OS
+//                           migration. Off by default.
+//   ARMGEMM_PANEL_REPLICATE_KB - packed-B panels at least this large get
+//                           one replica per NUMA node in the panel cache
+//                           (first-touch packed by a consuming-node
+//                           thread). 0 disables replication.
+//   ARMGEMM_WEIGHTED_SCHEDULE - 1 (default) sizes per-rank ticket spans
+//                           by core-class throughput weight on asymmetric
+//                           topologies; 0 keeps the unweighted
+//                           first-come-first-served claim order.
+//   ARMGEMM_CROSS_NODE_STEAL - empty same-node scan sweeps a pool worker
+//                           tolerates before it starts stealing tickets
+//                           from cross-node shards. 0 = always steal
+//                           anywhere.
+//
 // The closed-loop autotuner (src/tune) adds three:
 //
 //   ARMGEMM_TUNE           - "on" (default): analytic proposal + measured
@@ -199,5 +226,32 @@ void set_tune_cache_path(const std::string& path);
 /// Process-wide measured-probe budget in milliseconds.
 std::int64_t tune_budget_ms();
 void set_tune_budget_ms(std::int64_t ms);
+
+/// Core-class override spec ("" = discover from sysfs). Changing it does
+/// not rebuild the live topology snapshot; callers (tests) follow with
+/// Topology::refresh().
+std::string cpu_classes_spec();
+void set_cpu_classes_spec(const std::string& spec);
+
+/// NUMA node-count override (0 = discover from sysfs).
+std::int64_t numa_nodes_override();
+void set_numa_nodes_override(std::int64_t nodes);
+
+/// Worker-affinity pinning on/off (default off).
+bool affinity_enabled();
+void set_affinity_enabled(bool enabled);
+
+/// Per-node panel replication threshold in KiB (0 = replication off).
+std::int64_t panel_replicate_kb();
+void set_panel_replicate_kb(std::int64_t kb);
+
+/// Heterogeneity-weighted ticket spans on/off (default on; only takes
+/// effect when the topology reports more than one core class).
+bool weighted_schedule_enabled();
+void set_weighted_schedule_enabled(bool enabled);
+
+/// Empty same-node scan sweeps before a worker steals across nodes.
+std::int64_t cross_node_steal_threshold();
+void set_cross_node_steal_threshold(std::int64_t sweeps);
 
 }  // namespace ag

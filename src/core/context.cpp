@@ -3,31 +3,42 @@
 #include <mutex>
 
 #include "common/check.hpp"
+#include "threading/topology.hpp"
 
 namespace ag {
 
 struct ScratchPool {
   std::mutex mutex;
-  std::vector<std::unique_ptr<GemmScratch>> free_list;
+  // Node-indexed free lists (grown on demand): a lease refills the list
+  // of the node it was acquired on, so a scratch whose pages were
+  // first-touched by packing on that node keeps serving callers there.
+  // Single-node hosts only ever touch list 0 — the pre-NUMA behavior.
+  std::vector<std::vector<std::unique_ptr<GemmScratch>>> free_lists;
 };
 
 Context::ScratchLease::~ScratchLease() {
   if (!pool_ || !scratch_) return;
   std::lock_guard lock(pool_->mutex);
-  pool_->free_list.push_back(std::move(scratch_));
+  if (pool_->free_lists.size() <= static_cast<std::size_t>(node_))
+    pool_->free_lists.resize(static_cast<std::size_t>(node_) + 1);
+  pool_->free_lists[static_cast<std::size_t>(node_)].push_back(std::move(scratch_));
 }
 
 Context::ScratchLease Context::acquire_scratch() const {
+  const Topology& topo = Topology::get();
+  const int node = topo.num_nodes() > 1 ? topo.current_node() : 0;
   std::unique_ptr<GemmScratch> scratch;
   {
     std::lock_guard lock(scratch_pool_->mutex);
-    if (!scratch_pool_->free_list.empty()) {
-      scratch = std::move(scratch_pool_->free_list.back());
-      scratch_pool_->free_list.pop_back();
+    auto& lists = scratch_pool_->free_lists;
+    if (lists.size() > static_cast<std::size_t>(node) &&
+        !lists[static_cast<std::size_t>(node)].empty()) {
+      scratch = std::move(lists[static_cast<std::size_t>(node)].back());
+      lists[static_cast<std::size_t>(node)].pop_back();
     }
   }
   if (!scratch) scratch = std::make_unique<GemmScratch>();
-  return ScratchLease(scratch_pool_, std::move(scratch));
+  return ScratchLease(scratch_pool_, std::move(scratch), node);
 }
 
 Context::Context() : Context(KernelShape{8, 6}, 1) {}

@@ -105,11 +105,13 @@ class Context {
 
    private:
     friend class Context;
-    ScratchLease(std::shared_ptr<ScratchPool> pool, std::unique_ptr<GemmScratch> scratch)
-        : pool_(std::move(pool)), scratch_(std::move(scratch)) {}
+    ScratchLease(std::shared_ptr<ScratchPool> pool, std::unique_ptr<GemmScratch> scratch,
+                 int node)
+        : pool_(std::move(pool)), scratch_(std::move(scratch)), node_(node) {}
 
     std::shared_ptr<ScratchPool> pool_;
     std::unique_ptr<GemmScratch> scratch_;
+    int node_ = 0;  // NUMA free list this lease drains and refills
   };
 
   /// Borrows a reusable packing-scratch object. Buffers grow monotonically
@@ -117,7 +119,10 @@ class Context {
   /// nothing. Thread-safe: concurrent dgemm calls sharing one const
   /// Context (e.g. the capi's thread_local context pattern, or tests that
   /// share a serial context across host threads) each get their own
-  /// scratch; the free list hands the warmest one back first.
+  /// scratch; the free list hands the warmest one back first. On
+  /// multi-node hosts the free list is per NUMA node (keyed by the
+  /// caller's current node), so a scratch whose pages were first-touched
+  /// on one node is never handed to a caller on another.
   ScratchLease acquire_scratch() const;
 
   /// Pool shared by every dgemm call made with this context; created on

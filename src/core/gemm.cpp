@@ -21,6 +21,7 @@
 #include "obs/pmu.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/tracer.hpp"
+#include "threading/topology.hpp"
 
 namespace ag {
 
@@ -196,10 +197,24 @@ void gemm_serial(Trans trans_a, Trans trans_b, index_t m, index_t n, index_t k, 
 // claimed by exactly one rank, so every C element sees its pc == 0 update
 // first and exactly once. The serial pre-fork sweep over all of C that
 // beta used to cost is gone.
+//
+// On asymmetric (big.LITTLE) hosts with ARMGEMM_WEIGHTED_SCHEDULE on,
+// ticket claiming is heterogeneity-weighted: each panel's ticket range is
+// apportioned into contiguous per-rank spans sized by relative core-class
+// throughput (PanelSchedule::proportional_spans), each rank drains its
+// own span through a per-(panel, rank) cursor and steals from other
+// spans when it runs dry. The block grid is identical to the unweighted
+// schedule and every ticket still runs exactly once (cursors are
+// monotone, fetch_add return values unique, a full failed scan proves
+// all spans drained), so results stay bitwise identical — only WHO
+// computes WHAT first changes. `mc_class` (tune::per_class_mc) lets a
+// slow-class rank additionally sub-block its claimed mc rows to its own
+// cache-sized mc, again without touching the grid.
 void gemm_parallel(Trans trans_a, Trans trans_b, index_t m, index_t n, index_t k,
                    double alpha, const double* a, index_t lda, const double* b, index_t ldb,
                    double beta, double* c, index_t ldc, const Context& ctx,
-                   const Microkernel& kernel, const BlockSizes& bs, GemmScratch& scratch,
+                   const Microkernel& kernel, const BlockSizes& bs,
+                   const std::vector<index_t>& mc_class, GemmScratch& scratch,
                    int nthreads, obs::CallPhases* phases) {
   obs::GemmStats* stats = ctx.stats();
 
@@ -227,6 +242,52 @@ void gemm_parallel(Trans trans_a, Trans trans_b, index_t m, index_t n, index_t k
   std::vector<std::atomic<index_t>> tickets(panels.size());
   for (auto& t : tickets) t.store(0, std::memory_order_relaxed);
 
+  // Heterogeneity-weighted claiming: per-(panel, rank) contiguous ticket
+  // spans sized by core-class throughput. Skipped (empty weights) on
+  // symmetric hosts, when the knob is off, or when every rank's weight
+  // comes out equal — the single shared counter above is cheaper.
+  std::vector<double> weights;
+  std::vector<index_t> rank_mc;  // per-rank sub-blocking mc (empty: bs.mc)
+  if (nthreads > 1 && weighted_schedule_enabled()) {
+    const Topology& topo = Topology::get();
+    if (topo.asymmetric()) {
+      weights = topo.rank_weights(nthreads);
+      bool uniform = true;
+      for (const double w : weights)
+        if (w != weights.front()) {
+          uniform = false;
+          break;
+        }
+      if (uniform) weights.clear();
+      if (!mc_class.empty()) {
+        rank_mc.resize(static_cast<std::size_t>(nthreads), bs.mc);
+        for (int r = 0; r < nthreads; ++r) {
+          const int cls = topo.class_of_rank(r);
+          if (cls >= 0 && cls < static_cast<int>(mc_class.size()))
+            rank_mc[static_cast<std::size_t>(r)] =
+                std::clamp<index_t>(mc_class[static_cast<std::size_t>(cls)],
+                                    bs.mr, bs.mc);
+        }
+      }
+    }
+  }
+  const bool weighted = !weights.empty();
+  std::vector<std::vector<PanelSchedule::TicketSpan>> spans;
+  std::vector<std::atomic<index_t>> cursors;  // [panel * nthreads + rank]
+  if (weighted) {
+    spans.reserve(panels.size());
+    cursors = std::vector<std::atomic<index_t>>(panels.size() *
+                                                static_cast<std::size_t>(nthreads));
+    for (std::size_t p = 0; p < panels.size(); ++p) {
+      spans.push_back(
+          PanelSchedule::proportional_spans(plans[p].total_blocks(), weights));
+      for (int r = 0; r < nthreads; ++r)
+        cursors[p * static_cast<std::size_t>(nthreads) + static_cast<std::size_t>(r)]
+            .store(spans[p][static_cast<std::size_t>(r)].begin,
+                   std::memory_order_relaxed);
+    }
+  }
+
   scratch.reserve(static_cast<std::size_t>(
                       packed_b_size(std::min(bs.kc, k), std::min(bs.nc, n), bs.nr)),
                   static_cast<std::size_t>(
@@ -251,6 +312,10 @@ void gemm_parallel(Trans trans_a, Trans trans_b, index_t m, index_t n, index_t k
         obs::CallPhases* const my_ph =
             phases ? &rank_phases[static_cast<std::size_t>(rank)].ph : nullptr;
         double* const my_packed_a = scratch.packed_a[static_cast<std::size_t>(rank)].data();
+        // Sub-blocking granularity for this rank's claimed mc blocks (a
+        // LITTLE-class rank re-tiles along m to its own cache-sized mc).
+        const index_t my_mc =
+            rank_mc.empty() ? bs.mc : rank_mc[static_cast<std::size_t>(rank)];
 
         const auto pack_panel = [&](index_t p) {
           const Panel& panel = panels[static_cast<std::size_t>(p)];
@@ -279,26 +344,69 @@ void gemm_parallel(Trans trans_a, Trans trans_b, index_t m, index_t n, index_t k
           const PanelSchedule& plan = plans[static_cast<std::size_t>(p)];
           const double* const panel_b = bbuf[p & 1];
           std::atomic<index_t>& ticket = tickets[static_cast<std::size_t>(p)];
-          index_t packed_ii = -1;
+
+          // Next ticket of panel p for this rank, or -1 when the panel is
+          // fully claimed. Unweighted: one shared counter. Weighted: own
+          // span first, then steal from the other spans round-robin from
+          // rank+1. Cursors are monotone and the load-then-fetch_add race
+          // only wastes an increment past `end`, never double-claims.
+          const auto claim = [&]() -> index_t {
+            if (!weighted)
+              return [&] {
+                const index_t t = ticket.fetch_add(1, std::memory_order_relaxed);
+                return t < plan.total_blocks() ? t : -1;
+              }();
+            const std::vector<PanelSchedule::TicketSpan>& sp =
+                spans[static_cast<std::size_t>(p)];
+            std::atomic<index_t>* const cur =
+                &cursors[static_cast<std::size_t>(p) *
+                         static_cast<std::size_t>(nthreads)];
+            {
+              const index_t t =
+                  cur[rank].fetch_add(1, std::memory_order_relaxed);
+              if (t < sp[static_cast<std::size_t>(rank)].end) return t;
+            }
+            for (int i = 1; i < nthreads; ++i) {
+              const int v = (rank + i) % nthreads;
+              const index_t end = sp[static_cast<std::size_t>(v)].end;
+              if (cur[v].load(std::memory_order_relaxed) >= end) continue;
+              const index_t t = cur[v].fetch_add(1, std::memory_order_relaxed);
+              if (t < end) return t;
+            }
+            return -1;
+          };
+
+          index_t packed_ii = -1;   // first row held in my_packed_a
+          index_t packed_mc = -1;   // rows held in my_packed_a
           for (;;) {
-            const index_t t = ticket.fetch_add(1, std::memory_order_relaxed);
-            if (t >= plan.total_blocks()) break;
+            const index_t t = claim();
+            if (t < 0) break;
             const GemmBlock blk = plan.block(t);
             const index_t ic = blk.ii / bs.mc;
-            if (blk.ii != packed_ii) {
-              obs::Tracer::Region region(tracer, rank, "pack_a", {ic, panel.jc, panel.pc});
-              obs::PmuRegion hw(pmu, rank, obs::PmuLayer::kPackA);
-              obs::PhaseScope phase(my_ph ? my_ph->slot(obs::Phase::kPackA) : nullptr);
-              pack_a(trans_a, a, lda, blk.ii, panel.kk, blk.mc, panel.kc, bs.mr, my_packed_a,
-                     slot);
-              packed_ii = blk.ii;
+            // Per-class re-tiling: a rank whose class mc is smaller than
+            // the grid's walks its claimed block in my_mc-row chunks
+            // (each an mr multiple, so the kernel strip boundaries — and
+            // the results, bitwise — are those of the whole block).
+            for (index_t sub = 0; sub < blk.mc; sub += my_mc) {
+              const index_t sub_ii = blk.ii + sub;
+              const index_t sub_mc = std::min(my_mc, blk.mc - sub);
+              if (sub_ii != packed_ii || sub_mc != packed_mc) {
+                obs::Tracer::Region region(tracer, rank, "pack_a",
+                                           {ic, panel.jc, panel.pc});
+                obs::PmuRegion hw(pmu, rank, obs::PmuLayer::kPackA);
+                obs::PhaseScope phase(my_ph ? my_ph->slot(obs::Phase::kPackA) : nullptr);
+                pack_a(trans_a, a, lda, sub_ii, panel.kk, sub_mc, panel.kc, bs.mr,
+                       my_packed_a, slot);
+                packed_ii = sub_ii;
+                packed_mc = sub_mc;
+              }
+              obs::Tracer::Region region(tracer, rank, "gebp", {ic, panel.jc, panel.pc});
+              obs::PmuRegion hw(pmu, rank, obs::PmuLayer::kGebp);
+              obs::PhaseScope phase(my_ph ? my_ph->slot(obs::Phase::kKernel) : nullptr);
+              gebp(sub_mc, blk.nb, panel.kc, alpha, my_packed_a,
+                   panel_b + blk.sliver0 * panel.kc * bs.nr, panel.pc == 0 ? beta : 1.0,
+                   c + sub_ii + (panel.jj + blk.jb) * ldc, ldc, kernel, slot);
             }
-            obs::Tracer::Region region(tracer, rank, "gebp", {ic, panel.jc, panel.pc});
-            obs::PmuRegion hw(pmu, rank, obs::PmuLayer::kGebp);
-            obs::PhaseScope phase(my_ph ? my_ph->slot(obs::Phase::kKernel) : nullptr);
-            gebp(blk.mc, blk.nb, panel.kc, alpha, my_packed_a,
-                 panel_b + blk.sliver0 * panel.kc * bs.nr, panel.pc == 0 ? beta : 1.0,
-                 c + blk.ii + (panel.jj + blk.jb) * ldc, ldc, kernel, slot);
           }
           // One barrier per panel: it certifies both "panel p fully
           // computed" (its buffer may be repacked two panels on) and
@@ -358,7 +466,7 @@ RunInfo run_gemm(Trans trans_a, Trans trans_b, index_t m, index_t n, index_t k, 
   Context::ScratchLease scratch = ctx.acquire_scratch();
   if (eff > 1) {
     gemm_parallel(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc, ctx,
-                  *cfg.kernel, bs, *scratch, eff, phases);
+                  *cfg.kernel, bs, cfg.mc_class, *scratch, eff, phases);
     info.schedule = obs::ScheduleKind::kParallel;
     info.threads = eff;
     return info;

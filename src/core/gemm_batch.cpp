@@ -21,6 +21,7 @@
 #include "obs/tracer.hpp"
 #include "threading/persistent_pool.hpp"
 #include "threading/thread_pool.hpp"
+#include "threading/topology.hpp"
 
 namespace ag {
 namespace {
@@ -83,7 +84,7 @@ struct TicketCacheCounts {
 TicketCacheCounts run_blocked_rows(const GemmBatchEntry& e, index_t row0, index_t rows,
                                    const Context& ctx, const Microkernel& kernel,
                                    const BlockSizes& bs, std::uint64_t epoch,
-                                   int shape_class, obs::CallPhases* phases,
+                                   int shape_class, int node, obs::CallPhases* phases,
                                    obs::Tracer* tracer, int lane) {
   TicketCacheCounts counts;
   PanelCache& cache = PanelCache::instance();
@@ -113,6 +114,15 @@ TicketCacheCounts run_blocked_rows(const GemmBatchEntry& e, index_t row0, index_
       key.kc = kc;
       key.nc = nc;
       key.nr = bs.nr;
+      // NUMA replication: panels past the ARMGEMM_PANEL_REPLICATE_KB
+      // threshold are keyed by the consuming node, so each node's first
+      // requester packs (first-touches) a node-local copy. Small panels
+      // stay shared — one copy fits in LLC and replication would only
+      // dilute the cache budget.
+      if (node > 0 && static_cast<std::int64_t>(b_elems) *
+                              static_cast<std::int64_t>(sizeof(double)) >=
+                          panel_replicate_kb() * 1024)
+        key.node = node;
       key.epoch = epoch;
       const index_t jc = jj / bs.nc;
       const index_t pc = kk / bs.kc;
@@ -201,11 +211,20 @@ struct BatchSource final : TaskSource {
                                 e.b, e.ldb, e.beta, e.c, e.ldc);
         break;
       }
-      case EntryKind::kBlocked:
+      case EntryKind::kBlocked: {
+        // NUMA node of this ticket's runner: pool workers map through
+        // their rank, helping/submitting callers (rank -1) through the
+        // cpu they happen to run on. Node 0 disables replication keys.
+        int node = 0;
+        const Topology& topo = Topology::get();
+        if (topo.num_nodes() > 1)
+          node = info.runner_rank >= 0 ? topo.node_of_rank(info.runner_rank)
+                                       : topo.current_node();
         cache = run_blocked_rows(e, tk.row0, tk.rows, *ctx, *st.kernel, st.bs, epoch,
-                                 st.shape_class, ph, tracer,
+                                 st.shape_class, node, ph, tracer,
                                  trace_lane(info.runner_rank));
         break;
+      }
     }
     if (ph) {
       for (int p = 0; p < obs::kPhaseCount; ++p) {

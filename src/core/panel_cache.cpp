@@ -91,6 +91,9 @@ std::shared_ptr<const PackedPanel> PanelCache::get_or_pack(
       order_.push_back(key);
       misses_.fetch_add(1, std::memory_order_relaxed);
       by_class_[shape_class].misses++;
+      // A node-keyed insert is a NUMA replica: the packer runs on that
+      // node, so the pack below first-touches node-local pages.
+      if (key.node > 0) node_replicas_.fetch_add(1, std::memory_order_relaxed);
       packer = true;
     }
   }
@@ -144,6 +147,7 @@ PanelCache::Stats PanelCache::stats() const {
   s.wait_seconds =
       static_cast<double>(wait_ns_.load(std::memory_order_relaxed)) * 1e-9;
   s.epochs = epochs_.load(std::memory_order_relaxed);
+  s.node_replicas = node_replicas_.load(std::memory_order_relaxed);
   {
     std::lock_guard lock(mutex_);
     s.resident_bytes = static_cast<std::uint64_t>(bytes_);
@@ -170,6 +174,7 @@ void PanelCache::reset_stats() {
   wait_stalls_.store(0, std::memory_order_relaxed);
   wait_ns_.store(0, std::memory_order_relaxed);
   epochs_.store(0, std::memory_order_relaxed);
+  node_replicas_.store(0, std::memory_order_relaxed);
   std::lock_guard lock(mutex_);
   by_class_.clear();
   peak_bytes_ = bytes_;

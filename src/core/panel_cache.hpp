@@ -44,6 +44,12 @@ namespace ag {
 using index_t = std::int64_t;
 
 /// Identity of one packed kc x nc panel of op(B) within one epoch.
+/// `node` is the NUMA node the panel is replicated for: on multi-node
+/// hosts, panels larger than ARMGEMM_PANEL_REPLICATE_KB are keyed by the
+/// consuming node, so each node packs (and first-touches) its own copy
+/// into node-local memory instead of all nodes streaming one remote
+/// replica. Single-node hosts and small panels keep node = 0 — one
+/// shared copy, exactly the pre-NUMA behavior.
 struct PanelKey {
   const double* b = nullptr;
   index_t ldb = 0;
@@ -51,11 +57,12 @@ struct PanelKey {
   index_t kk = 0, jj = 0;  // panel origin in op(B)
   index_t kc = 0, nc = 0;  // panel extent
   int nr = 0;              // sliver width the packed layout was built for
+  int node = 0;            // consuming NUMA node (0 = unreplicated/shared)
   std::uint64_t epoch = 0;
 
   bool operator==(const PanelKey& o) const {
     return b == o.b && ldb == o.ldb && trans == o.trans && kk == o.kk && jj == o.jj &&
-           kc == o.kc && nc == o.nc && nr == o.nr && epoch == o.epoch;
+           kc == o.kc && nc == o.nc && nr == o.nr && node == o.node && epoch == o.epoch;
   }
 };
 
@@ -72,6 +79,7 @@ struct PanelKeyHash {
     mix(static_cast<std::uint64_t>(k.kc));
     mix(static_cast<std::uint64_t>(k.nc));
     mix(static_cast<std::uint64_t>(k.nr));
+    mix(static_cast<std::uint64_t>(k.node));
     mix(k.epoch);
     return static_cast<std::size_t>(h);
   }
@@ -154,7 +162,7 @@ class PanelCache {
   std::atomic<std::uint64_t> epoch_{0};
 
   std::atomic<std::uint64_t> hits_{0}, misses_{0}, inserts_{0}, bypasses_{0},
-      evictions_{0}, wait_stalls_{0}, wait_ns_{0}, epochs_{0};
+      evictions_{0}, wait_stalls_{0}, wait_ns_{0}, epochs_{0}, node_replicas_{0};
 };
 
 }  // namespace ag

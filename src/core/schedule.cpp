@@ -27,6 +27,58 @@ PanelSchedule::PanelSchedule(index_t m, index_t nc, index_t mc, int nr, int nthr
   }
 }
 
+std::vector<PanelSchedule::TicketSpan> PanelSchedule::proportional_spans(
+    index_t total, const std::vector<double>& weights) {
+  const int n = static_cast<int>(weights.size());
+  AG_CHECK(total >= 0 && n >= 1);
+  double sum = 0;
+  for (double w : weights)
+    if (w > 0) sum += w;
+  std::vector<index_t> share(weights.size(), 0);
+  if (sum <= 0) {
+    // No live weights: equal split (matches partition_range align=1).
+    const index_t base = total / n;
+    const index_t extra = total % n;
+    for (int r = 0; r < n; ++r)
+      share[static_cast<std::size_t>(r)] = base + (r < extra ? 1 : 0);
+  } else {
+    // Largest-remainder apportionment. Floor shares can undershoot by at
+    // most n-1 tickets; hand those to the biggest fractional remainders,
+    // lower rank winning ties, so the result is deterministic.
+    std::vector<double> frac(weights.size(), 0.0);
+    index_t assigned = 0;
+    for (int r = 0; r < n; ++r) {
+      const double w = weights[static_cast<std::size_t>(r)];
+      if (w <= 0) continue;
+      const double exact = static_cast<double>(total) * (w / sum);
+      const index_t floor_share = static_cast<index_t>(exact);
+      share[static_cast<std::size_t>(r)] = floor_share;
+      frac[static_cast<std::size_t>(r)] = exact - static_cast<double>(floor_share);
+      assigned += floor_share;
+    }
+    for (index_t left = total - assigned; left > 0; --left) {
+      int best = -1;
+      for (int r = 0; r < n; ++r) {
+        if (weights[static_cast<std::size_t>(r)] <= 0) continue;
+        if (best < 0 || frac[static_cast<std::size_t>(r)] >
+                            frac[static_cast<std::size_t>(best)])
+          best = r;
+      }
+      share[static_cast<std::size_t>(best)]++;
+      frac[static_cast<std::size_t>(best)] = -1.0;  // each rank tops up once
+    }
+  }
+  std::vector<TicketSpan> spans(weights.size());
+  index_t at = 0;
+  for (int r = 0; r < n; ++r) {
+    spans[static_cast<std::size_t>(r)].begin = at;
+    at += share[static_cast<std::size_t>(r)];
+    spans[static_cast<std::size_t>(r)].end = at;
+  }
+  AG_CHECK(at == total);
+  return spans;
+}
+
 GemmBlock PanelSchedule::block(index_t ticket) const {
   AG_CHECK(ticket >= 0 && ticket < total_blocks());
   const index_t r = ticket / col_groups_;

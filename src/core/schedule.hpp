@@ -23,9 +23,19 @@
 // reuses its packed A block. Any (mc, nr)-aligned decomposition computes
 // bitwise-identical C regardless of which rank claims which block, because
 // each mr x nr register tile accumulates over the full kc in a fixed order.
+//
+// Heterogeneity-weighted claiming (topology-aware execution) keeps that
+// grid — and therefore bitwise determinism — untouched and changes only
+// WHO claims WHAT first: proportional_spans() apportions the ticket range
+// into contiguous per-rank spans sized by relative core-class throughput
+// (largest-remainder method), so a big core starts with proportionally
+// more mc blocks than a LITTLE core. Ranks drain their own span through a
+// per-rank cursor and steal from other ranks' spans when theirs runs dry,
+// so a mis-sized weight degrades to dynamic balancing, never to idling.
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 namespace ag {
 
@@ -53,6 +63,24 @@ class PanelSchedule {
 
   /// Block for `ticket` in [0, total_blocks()).
   GemmBlock block(index_t ticket) const;
+
+  /// One rank's contiguous ticket span of a weighted claim order.
+  struct TicketSpan {
+    index_t begin = 0;
+    index_t end = 0;
+    index_t size() const { return end - begin; }
+  };
+
+  /// Apportions [0, total) into weights.size() contiguous spans whose
+  /// sizes are proportional to the weights (largest-remainder method:
+  /// floor shares first, leftover tickets to the largest fractional
+  /// remainders, ties to lower ranks). Deterministic for given inputs.
+  /// A rank with weight <= 0 gets an empty span (its work is apportioned
+  /// to the live ranks); when no rank has positive weight the split
+  /// falls back to equal shares — identical to partition_range(total,
+  /// n, r, 1), which is also what all-equal weights produce.
+  static std::vector<TicketSpan> proportional_spans(
+      index_t total, const std::vector<double>& weights);
 
  private:
   index_t m_ = 0, nc_ = 0, mc_ = 0;

@@ -8,6 +8,7 @@
 #include "common/timer.hpp"
 #include "core/gemm_internal.hpp"
 #include "core/sgemm.hpp"
+#include "threading/topology.hpp"
 
 namespace ag {
 namespace {
@@ -152,6 +153,13 @@ ExecConfig resolve_exec_config(const Context& ctx, index_t m, index_t n, index_t
     cfg.bs = tc->block_sizes(ctx.threads());
     cfg.source = tc->source;
   }
+  // Per-class blocking dimension: only meaningful when the call will run
+  // parallel on an asymmetric host with weighted claiming on. Touching
+  // Topology::get() here also registers the obs topology source the
+  // tune-side helper reads.
+  if (ctx.threads() > 1 && weighted_schedule_enabled() &&
+      Topology::get().asymmetric())
+    cfg.mc_class = tune::per_class_mc(cfg.bs.mc, cfg.bs.mr);
   tune::record_call(cfg.source);
   return cfg;
 }

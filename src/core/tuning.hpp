@@ -20,6 +20,11 @@ namespace ag {
 struct ExecConfig {
   const Microkernel* kernel = nullptr;
   BlockSizes bs;
+  /// Per-core-class mc (tune::per_class_mc) on asymmetric hosts; empty
+  /// when every class runs bs.mc. A rank on class c sub-blocks its
+  /// claimed mc blocks to mc_class[c] rows — a within-block split along
+  /// m, so the block grid (and results, bitwise) are unchanged.
+  std::vector<index_t> mc_class;
   tune::TuneSource source = tune::TuneSource::kNone;
 };
 

@@ -193,6 +193,8 @@ std::string build_bundle(const ForensicsTrigger& tr, const TelemetrySnapshot& sn
   os << ",\"panel_cache\":"
      << (snap.panel_cache_available ? panel_cache_stats_json(snap.panel_cache) : "null");
   os << ",\"tune\":" << (snap.tune_available ? tune_stats_json(snap.tune) : "null");
+  os << ",\"topology\":"
+     << (snap.topology_available ? topology_stats_json(snap.topology) : "null");
 
   os << ",\"rate_limit\":{\"interval_seconds\":" << forensics_interval_s()
      << ",\"suppressed\":" << f.suppressed.load(std::memory_order_relaxed)

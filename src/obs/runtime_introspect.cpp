@@ -9,6 +9,7 @@ namespace {
 std::atomic<SchedulerStatsFn> g_scheduler_source{nullptr};
 std::atomic<PanelCacheStatsFn> g_panel_cache_source{nullptr};
 std::atomic<TuneStatsFn> g_tune_source{nullptr};
+std::atomic<TopologyStatsFn> g_topology_source{nullptr};
 std::atomic<DriftAnomalyListener> g_drift_listener{nullptr};
 
 }  // namespace
@@ -61,6 +62,28 @@ bool tune_stats_available() {
 TuneStats tune_stats() {
   const TuneStatsFn fn = g_tune_source.load(std::memory_order_acquire);
   return fn ? fn() : TuneStats{};
+}
+
+const char* topology_source_name(int source) {
+  switch (source) {
+    case 0: return "flat";
+    case 1: return "sysfs";
+    case 2: return "env";
+  }
+  return "?";
+}
+
+void set_topology_stats_source(TopologyStatsFn fn) {
+  g_topology_source.store(fn, std::memory_order_release);
+}
+
+bool topology_stats_available() {
+  return g_topology_source.load(std::memory_order_acquire) != nullptr;
+}
+
+TopologyStats topology_stats() {
+  const TopologyStatsFn fn = g_topology_source.load(std::memory_order_acquire);
+  return fn ? fn() : TopologyStats{};
 }
 
 void set_drift_anomaly_listener(DriftAnomalyListener fn) {

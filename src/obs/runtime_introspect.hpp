@@ -35,6 +35,8 @@ struct SchedulerWorkerStats {
   std::string name;                  // "armgemm-pw<rank>" or "callers"
   std::uint64_t tickets_run = 0;     // tickets executed (queue pops + inline)
   std::uint64_t tickets_stolen = 0;  // pops from a non-home shard
+  std::uint64_t steals_local = 0;    // of those, from a same-node shard
+  std::uint64_t steals_remote = 0;   // of those, from a cross-node shard
   std::uint64_t tickets_inline = 0;  // admission-overflow tickets (callers only)
   std::uint64_t steal_attempts = 0;  // foreign-shard probes
   std::uint64_t steal_failures = 0;  // foreign-shard probes that found nothing
@@ -86,6 +88,19 @@ struct SchedulerStats {
     const double mean = static_cast<double>(sum) / lanes;
     return static_cast<double>(max_run) / mean;
   }
+
+  /// Same-node / cross-node steal totals over every lane (the
+  /// steal-locality signal of the topology-ordered scan).
+  std::uint64_t steals_local_total() const {
+    std::uint64_t sum = 0;
+    for (const SchedulerWorkerStats& w : per_worker) sum += w.steals_local;
+    return sum;
+  }
+  std::uint64_t steals_remote_total() const {
+    std::uint64_t sum = 0;
+    for (const SchedulerWorkerStats& w : per_worker) sum += w.steals_remote;
+    return sum;
+  }
 };
 
 /// Packed-B panel-cache snapshot (core/panel_cache). The per-class
@@ -103,6 +118,7 @@ struct PanelCacheStats {
   std::uint64_t resident_bytes = 0;  // bytes of panels resident right now
   std::uint64_t peak_bytes = 0;      // high-water resident_bytes
   std::uint64_t resident_panels = 0; // panels resident right now
+  std::uint64_t node_replicas = 0;   // packs that were per-NUMA-node replicas
 
   struct ClassStats {
     int shape_class = -1;  // obs::ShapeClass::index(); -1 = untagged
@@ -139,9 +155,39 @@ struct TuneStats {
   std::uint64_t save_failures = 0;
 };
 
+/// One core class of the host topology (threading/topology registers the
+/// source). `weight` is the refined relative throughput actually driving
+/// ticket-span sizing; `weight_seed` is the discovery-time estimate
+/// (sysfs capacity / env override / calibration probe) it started from.
+struct TopologyClassStats {
+  int cls = 0;              // class index (0 = fastest by seed)
+  int cpus = 0;             // cores in the class
+  double weight_seed = 1.0;
+  double weight = 1.0;
+  std::uint64_t tickets = 0;   // pool tickets run by workers of this class
+  double busy_seconds = 0;     // summed worker busy time in this class
+};
+
+/// How the topology snapshot was produced: 0 flat fallback (no sysfs, no
+/// override: every core one class, one node), 1 sysfs discovery, 2
+/// ARMGEMM_CPU_CLASSES / ARMGEMM_NUMA_NODES override.
+inline constexpr int kTopologySourceCount = 3;
+const char* topology_source_name(int source);  // "flat" | "sysfs" | "env"
+
+struct TopologyStats {
+  int cpus = 0;
+  int nodes = 1;
+  int source = 0;  // kTopologySource* code above
+  bool weights_refined = false;  // online counters have taken over the seeds
+  std::vector<TopologyClassStats> classes;
+
+  bool asymmetric() const { return classes.size() > 1; }
+};
+
 using SchedulerStatsFn = SchedulerStats (*)();
 using PanelCacheStatsFn = PanelCacheStats (*)();
 using TuneStatsFn = TuneStats (*)();
+using TopologyStatsFn = TopologyStats (*)();
 
 /// Drift-anomaly fan-out: telemetry calls notify_drift_anomaly(class)
 /// on every drift onset; the registered listener (the tuner) reacts with
@@ -156,15 +202,18 @@ void notify_drift_anomaly(int shape_class);
 void set_scheduler_stats_source(SchedulerStatsFn fn);
 void set_panel_cache_stats_source(PanelCacheStatsFn fn);
 void set_tune_stats_source(TuneStatsFn fn);
+void set_topology_stats_source(TopologyStatsFn fn);
 
 bool scheduler_stats_available();
 bool panel_cache_stats_available();
 bool tune_stats_available();
+bool topology_stats_available();
 
 /// Snapshots through the registered source; default-constructed (empty)
 /// when no source has registered yet.
 SchedulerStats scheduler_stats();
 PanelCacheStats panel_cache_stats();
 TuneStats tune_stats();
+TopologyStats topology_stats();
 
 }  // namespace ag::obs

@@ -801,6 +801,8 @@ TelemetrySnapshot telemetry_snapshot() {
   if (s.panel_cache_available) s.panel_cache = panel_cache_stats();
   s.tune_available = tune_stats_available();
   if (s.tune_available) s.tune = tune_stats();
+  s.topology_available = topology_stats_available();
+  if (s.topology_available) s.topology = topology_stats();
   return s;
 }
 
@@ -820,12 +822,34 @@ std::string scheduler_stats_json(const SchedulerStats& sch) {
     if (i) os << ",";
     os << "{\"name\":\"" << json_escape(w.name) << "\",\"tickets_run\":" << w.tickets_run
        << ",\"tickets_stolen\":" << w.tickets_stolen
+       << ",\"steals_local\":" << w.steals_local
+       << ",\"steals_remote\":" << w.steals_remote
        << ",\"tickets_inline\":" << w.tickets_inline
        << ",\"steal_attempts\":" << w.steal_attempts
        << ",\"steal_failures\":" << w.steal_failures << ",\"blocks\":" << w.blocks
        << ",\"busy_seconds\":" << w.busy_seconds
        << ",\"idle_seconds\":" << w.idle_seconds
        << ",\"utilization\":" << w.utilization() << "}";
+  }
+  os << "],\"steals_local_total\":" << sch.steals_local_total()
+     << ",\"steals_remote_total\":" << sch.steals_remote_total() << "}";
+  return os.str();
+}
+
+std::string topology_stats_json(const TopologyStats& topo) {
+  std::ostringstream os;
+  os.precision(9);
+  os << "{\"cpus\":" << topo.cpus << ",\"nodes\":" << topo.nodes << ",\"source\":\""
+     << topology_source_name(topo.source) << "\",\"asymmetric\":"
+     << (topo.asymmetric() ? "true" : "false")
+     << ",\"weights_refined\":" << (topo.weights_refined ? "true" : "false")
+     << ",\"classes\":[";
+  for (std::size_t i = 0; i < topo.classes.size(); ++i) {
+    const TopologyClassStats& c = topo.classes[i];
+    if (i) os << ",";
+    os << "{\"class\":" << c.cls << ",\"cpus\":" << c.cpus
+       << ",\"weight_seed\":" << c.weight_seed << ",\"weight\":" << c.weight
+       << ",\"tickets\":" << c.tickets << ",\"busy_seconds\":" << c.busy_seconds << "}";
   }
   os << "]}";
   return os.str();
@@ -841,6 +865,7 @@ std::string panel_cache_stats_json(const PanelCacheStats& pc) {
      << ",\"resident_bytes\":" << pc.resident_bytes
      << ",\"peak_bytes\":" << pc.peak_bytes
      << ",\"resident_panels\":" << pc.resident_panels
+     << ",\"node_replicas\":" << pc.node_replicas
      << ",\"hit_rate\":" << pc.hit_rate() << ",\"by_class\":[";
   for (std::size_t i = 0; i < pc.by_class.size(); ++i) {
     const PanelCacheStats::ClassStats& c = pc.by_class[i];
@@ -1128,6 +1153,12 @@ std::string telemetry_render_prometheus() {
     for (const SchedulerWorkerStats& w : sch.per_worker)
       os << "armgemm_worker_utilization{worker=\"" << w.name << "\"} "
          << w.utilization() << "\n";
+    os << "# HELP armgemm_scheduler_steals_total Stolen tickets by NUMA locality of the victim shard.\n"
+          "# TYPE armgemm_scheduler_steals_total counter\n"
+       << "armgemm_scheduler_steals_total{locality=\"same_node\"} "
+       << sch.steals_local_total() << "\n"
+       << "armgemm_scheduler_steals_total{locality=\"cross_node\"} "
+       << sch.steals_remote_total() << "\n";
   }
 
   if (s.panel_cache_available) {
@@ -1162,6 +1193,9 @@ std::string telemetry_render_prometheus() {
     os << "# HELP armgemm_panel_cache_resident_panels Panels resident now.\n"
           "# TYPE armgemm_panel_cache_resident_panels gauge\n"
        << "armgemm_panel_cache_resident_panels " << pc.resident_panels << "\n";
+    os << "# HELP armgemm_panel_cache_node_replicas_total Node-keyed NUMA replica packs.\n"
+          "# TYPE armgemm_panel_cache_node_replicas_total counter\n"
+       << "armgemm_panel_cache_node_replicas_total " << pc.node_replicas << "\n";
     os << "# HELP armgemm_panel_cache_hit_rate hits / (hits + misses) since start.\n"
           "# TYPE armgemm_panel_cache_hit_rate gauge\n"
        << "armgemm_panel_cache_hit_rate " << pc.hit_rate() << "\n";
@@ -1224,6 +1258,49 @@ std::string telemetry_render_prometheus() {
     os << "# HELP armgemm_tune_save_failures_total Cache writes that failed.\n"
           "# TYPE armgemm_tune_save_failures_total counter\n"
        << "armgemm_tune_save_failures_total " << tu.save_failures << "\n";
+  }
+
+  if (s.topology_available) {
+    const TopologyStats& topo = s.topology;
+    os << "# HELP armgemm_topology_cpus Logical cpus in the topology snapshot.\n"
+          "# TYPE armgemm_topology_cpus gauge\n"
+       << "armgemm_topology_cpus " << topo.cpus << "\n";
+    os << "# HELP armgemm_topology_nodes NUMA nodes in the topology snapshot.\n"
+          "# TYPE armgemm_topology_nodes gauge\n"
+       << "armgemm_topology_nodes " << topo.nodes << "\n";
+    os << "# HELP armgemm_topology_classes Core classes (1 = symmetric host).\n"
+          "# TYPE armgemm_topology_classes gauge\n"
+       << "armgemm_topology_classes " << topo.classes.size() << "\n";
+    os << "# HELP armgemm_topology_source Discovery source (0 flat, 1 sysfs, 2 env).\n"
+          "# TYPE armgemm_topology_source gauge\n"
+       << "armgemm_topology_source " << topo.source << "\n";
+    os << "# HELP armgemm_topology_weights_refined 1 once online estimates replaced the seeds.\n"
+          "# TYPE armgemm_topology_weights_refined gauge\n"
+       << "armgemm_topology_weights_refined " << (topo.weights_refined ? 1 : 0) << "\n";
+    os << "# HELP armgemm_topology_class_cpus Cpus per core class.\n"
+          "# TYPE armgemm_topology_class_cpus gauge\n";
+    for (const TopologyClassStats& c : topo.classes)
+      os << "armgemm_topology_class_cpus{class=\"" << c.cls << "\"} " << c.cpus << "\n";
+    os << "# HELP armgemm_topology_class_weight Relative class throughput (fastest = 1).\n"
+          "# TYPE armgemm_topology_class_weight gauge\n";
+    for (const TopologyClassStats& c : topo.classes)
+      os << "armgemm_topology_class_weight{class=\"" << c.cls << "\"} " << c.weight
+         << "\n";
+    os << "# HELP armgemm_topology_class_weight_seed Discovery-time weight seed.\n"
+          "# TYPE armgemm_topology_class_weight_seed gauge\n";
+    for (const TopologyClassStats& c : topo.classes)
+      os << "armgemm_topology_class_weight_seed{class=\"" << c.cls << "\"} "
+         << c.weight_seed << "\n";
+    os << "# HELP armgemm_topology_class_tickets_total Pool tickets run per class.\n"
+          "# TYPE armgemm_topology_class_tickets_total counter\n";
+    for (const TopologyClassStats& c : topo.classes)
+      os << "armgemm_topology_class_tickets_total{class=\"" << c.cls << "\"} "
+         << c.tickets << "\n";
+    os << "# HELP armgemm_topology_class_busy_seconds_total Ticket time per class.\n"
+          "# TYPE armgemm_topology_class_busy_seconds_total counter\n";
+    for (const TopologyClassStats& c : topo.classes)
+      os << "armgemm_topology_class_busy_seconds_total{class=\"" << c.cls << "\"} "
+         << c.busy_seconds << "\n";
   }
   return os.str();
 }
@@ -1299,6 +1376,12 @@ std::string telemetry_render_json() {
     os << "null";
   } else {
     os << tune_stats_json(s.tune);
+  }
+  os << ",\"topology\":";
+  if (!s.topology_available) {
+    os << "null";
+  } else {
+    os << topology_stats_json(s.topology);
   }
   os << ",\"forensics\":" << forensics_summary_json();
   os << ",\"flight\":" << flight_to_json(s.flight) << "}";

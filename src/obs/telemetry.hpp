@@ -229,6 +229,8 @@ struct TelemetrySnapshot {
   PanelCacheStats panel_cache;
   bool tune_available = false;
   TuneStats tune;
+  bool topology_available = false;
+  TopologyStats topology;
 };
 
 /// Merged state across every lane. Safe concurrently with recording.
@@ -255,5 +257,6 @@ std::uint64_t telemetry_anomaly_count();
 std::string scheduler_stats_json(const SchedulerStats& s);
 std::string panel_cache_stats_json(const PanelCacheStats& s);
 std::string tune_stats_json(const TuneStats& s);
+std::string topology_stats_json(const TopologyStats& s);
 
 }  // namespace ag::obs

@@ -1,0 +1,97 @@
+// Analytic big.LITTLE schedule simulator.
+//
+// The paper's machines are symmetric, so its Figure 9 static m-split is
+// load-balanced by construction. On an asymmetric multicore (big.LITTLE,
+// or a symmetric host emulated asymmetric via ARMGEMM_CPU_CLASSES) a
+// static equal split makes every barrier wait for the slowest class —
+// the effect quantified by Catalán et al. (PAPERS.md): wall time is
+// governed by the LITTLE cores while the big cores idle.
+//
+// This model replays the runtime's actual panel scheduling arithmetic —
+// PanelSchedule ticket grids and proportional_spans() apportionment, the
+// same code the parallel driver executes — against an idealized cost
+// model where a ticket costs `work / speed(class)` seconds on a rank of
+// a given class. Three policies are compared per panel:
+//
+//   * round-robin:      equal contiguous shares (the pre-topology
+//                       schedule); wall = slowest class's share time.
+//   * weighted static:  proportional_spans sized by class speed, no
+//                       stealing — what weighting alone buys.
+//   * weighted + steal: spans plus dynamic rebalancing, modeled as
+//                       greedy earliest-finish claiming — the deployed
+//                       policy's upper envelope (span locality only
+//                       affects WHERE tickets come from, not the greedy
+//                       finish order).
+//
+// The simulator is used by test_sim_biglittle (reproducing the Catalán
+// speedup shape), by bench/topology_sched (the regression-gated
+// weighted-vs-round-robin speedup points), and by armgemm-top's
+// what-if panel. It is deliberately cycle-free: pure closed-form
+// arithmetic per ticket, deterministic, microseconds to evaluate.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/block_sizes.hpp"
+
+namespace ag::sim {
+
+/// An asymmetric machine: one entry per core class, fastest first.
+/// `speed` is relative per-core throughput (fastest class = 1.0), the
+/// same normalization as Topology's class weights.
+struct BigLittleConfig {
+  std::vector<int> class_cpus;
+  std::vector<double> class_speed;
+
+  int ranks() const;
+  /// Class of rank r under the runtime's rank -> cpu folding (classes
+  /// are contiguous cpu ranges, fastest first).
+  int class_of_rank(int rank) const;
+  /// speed of rank r.
+  double speed_of_rank(int rank) const;
+  /// A 2-class 2:1 big.LITTLE with `big` + `little` cores.
+  static BigLittleConfig two_to_one(int big, int little);
+};
+
+/// Outcome of scheduling one ticket pool under one policy.
+struct ScheduleOutcome {
+  double wall = 0;        // makespan: max over ranks of busy time
+  double busy = 0;        // summed busy time over ranks
+  double utilization = 0; // busy / (wall * ranks): 1.0 = no idling
+  std::vector<double> finish;  // per-rank finish times
+};
+
+/// `tickets` equal-cost tickets (each `ticket_work` seconds on a
+/// speed-1.0 core) split into equal contiguous shares, one per rank.
+ScheduleOutcome simulate_round_robin(const BigLittleConfig& cfg, std::int64_t tickets,
+                                     double ticket_work = 1.0);
+
+/// The same pool apportioned by PanelSchedule::proportional_spans with
+/// per-rank weights = class speeds. `stealing` adds greedy rebalancing:
+/// each ticket is claimed by the rank that would finish it earliest
+/// (the dynamic-claiming envelope); without it ranks run exactly their
+/// span.
+ScheduleOutcome simulate_weighted(const BigLittleConfig& cfg, std::int64_t tickets,
+                                  double ticket_work = 1.0, bool stealing = true);
+
+/// Full-GEMM comparison: replays the blocked loop nest's panel sequence
+/// (jj/nc then kk/kc, one PanelSchedule barrier per packed-B panel, the
+/// driver's grid arithmetic) for an m x n x k problem and accumulates
+/// per-panel walls under each policy.
+struct GemmScheduleResult {
+  std::int64_t panels = 0;          // barriers (nc x kc panel count)
+  std::int64_t tickets = 0;         // total mc-block tickets
+  double round_robin_wall = 0;      // seconds (relative units)
+  double weighted_wall = 0;         // proportional spans, no stealing
+  double weighted_steal_wall = 0;   // spans + greedy rebalancing
+  /// round_robin_wall / weighted_steal_wall: > 1 means the topology-
+  /// aware schedule wins.
+  double speedup() const;
+};
+
+GemmScheduleResult simulate_gemm_schedule(const BigLittleConfig& cfg, std::int64_t m,
+                                          std::int64_t n, std::int64_t k,
+                                          const BlockSizes& bs);
+
+}  // namespace ag::sim

@@ -11,6 +11,7 @@
 #include "obs/gemm_stats.hpp"
 #include "obs/telemetry.hpp"
 #include "threading/spin.hpp"
+#include "threading/topology.hpp"
 
 namespace ag {
 
@@ -42,6 +43,23 @@ void name_batch_thread(int rank) {
 }
 
 }  // namespace
+
+PersistentPool::StealOrder PersistentPool::build_steal_order(const Topology& topo,
+                                                             int home, int node) {
+  StealOrder order;
+  order.shards.reserve(kShards);
+  order.shards.push_back(home);
+  for (int i = 1; i < kShards; ++i) {
+    const int s = (home + i) % kShards;
+    if (topo.node_of_rank(s) == node) order.shards.push_back(s);
+  }
+  order.same_node = static_cast<int>(order.shards.size());
+  for (int i = 1; i < kShards; ++i) {
+    const int s = (home + i) % kShards;
+    if (topo.node_of_rank(s) != node) order.shards.push_back(s);
+  }
+  return order;
+}
 
 PersistentPool& PersistentPool::instance() {
   // Leaky singleton: retiring the workers during static destruction would
@@ -98,9 +116,12 @@ void PersistentPool::wake_workers() {
   work_cv_.notify_all();
 }
 
-bool PersistentPool::try_pop(int home, Item* out, PopInfo* pop, SchedCounters* sc) {
-  for (int i = 0; i < kShards; ++i) {
-    const int shard = (home + i) % kShards;
+bool PersistentPool::try_pop(const StealOrder& order, bool allow_remote, Item* out,
+                             PopInfo* pop, SchedCounters* sc) {
+  const int limit = allow_remote ? static_cast<int>(order.shards.size())
+                                 : order.same_node;
+  for (int i = 0; i < limit; ++i) {
+    const int shard = order.shards[static_cast<std::size_t>(i)];
     Shard& s = shards_[static_cast<std::size_t>(shard)];
     std::lock_guard lock(s.mutex);
     if (s.items.empty()) {
@@ -131,6 +152,7 @@ bool PersistentPool::try_pop(int home, Item* out, PopInfo* pop, SchedCounters* s
         queued_.fetch_sub(1, std::memory_order_relaxed) - 1;
     pop->shard = shard;
     pop->stolen = (i != 0);
+    pop->cross_node = (i >= order.same_node);
     pop->depth_after = after;
     return true;
   }
@@ -162,9 +184,22 @@ void PersistentPool::run_item(const Item& item, const PopInfo& pop,
   }
   if constexpr (obs::stats_compiled_in) {
     if (sc != nullptr) {
-      sc->busy_ns.fetch_add(now_ns() - t0, std::memory_order_relaxed);
+      const std::uint64_t dt = now_ns() - t0;
+      sc->busy_ns.fetch_add(dt, std::memory_order_relaxed);
       sc->run.fetch_add(1, std::memory_order_relaxed);
-      if (pop.stolen) sc->stolen.fetch_add(1, std::memory_order_relaxed);
+      if (pop.stolen) {
+        sc->stolen.fetch_add(1, std::memory_order_relaxed);
+        (pop.cross_node ? sc->stolen_cross_node : sc->stolen_same_node)
+            .fetch_add(1, std::memory_order_relaxed);
+      }
+      // Online weight refinement: pool workers report (class, busy ns)
+      // per ticket so Topology can replace discovery-seed weights with
+      // measured throughput ratios. Helping callers are unpinned and
+      // unattributable, so they don't feed the estimate.
+      if (runner_rank >= 0) {
+        const Topology& topo = Topology::get();
+        topo.note_ticket(topo.class_of_rank(runner_rank), dt);
+      }
     }
   }
   finish_ticket(sub);
@@ -243,12 +278,16 @@ void PersistentPool::execute(TaskSource& source, std::int64_t n_tickets) {
   // Help: run whatever is poppable (any submission's tickets) until ours
   // completes. When nothing is poppable every one of our tickets is
   // already claimed — by a worker or by this loop — so blocking is safe
-  // even with zero workers.
+  // even with zero workers. Callers always scan every shard (same-node
+  // first for the locality attribution): their full sweep is what keeps
+  // cross-node deferral in the workers from stranding queued work.
+  const Topology& topo = Topology::get();
+  const StealOrder order = build_steal_order(topo, 0, topo.current_node());
   SpinWait spinner;
   while (sub.remaining.load(std::memory_order_acquire) != 0) {
     Item item;
     PopInfo pop;
-    if (try_pop(0, &item, &pop, &caller_counters_)) {
+    if (try_pop(order, /*allow_remote=*/true, &item, &pop, &caller_counters_)) {
       run_item(item, pop, /*runner_rank=*/-1, &caller_counters_);
       spinner = SpinWait();
       continue;
@@ -278,6 +317,20 @@ void PersistentPool::worker_loop(int rank) {
   obs::telemetry_register_thread("armgemm-pw" + std::to_string(rank));
   SchedCounters& sc = slot(rank);
   const int home = rank % kShards;
+
+  // Topology: pin (opt-in), then derive the node-ordered steal scan. The
+  // snapshot pointer is re-checked each iteration so a test's
+  // Topology::refresh() under emulation knobs re-sorts the scan without
+  // restarting the pool.
+  const Topology* topo = &Topology::get();
+  if (affinity_enabled()) topo->pin_current_thread_to_rank(rank);
+  StealOrder order = build_steal_order(*topo, home, topo->node_of_rank(rank));
+  const auto steal_threshold = [] {
+    const std::int64_t v = cross_node_steal_threshold();
+    return v > 0 ? v : 0;
+  };
+  std::int64_t failed_local_sweeps = 0;
+
   Item item;
   PopInfo pop;
   // Idle time accrues from the end of one ticket to the start of the
@@ -298,17 +351,32 @@ void PersistentPool::worker_loop(int rank) {
       note_idle_end();
       return;
     }
-    if (try_pop(home, &item, &pop, &sc)) {
+    if (const Topology* cur = &Topology::get(); cur != topo) {
+      topo = cur;
+      order = build_steal_order(*topo, home, topo->node_of_rank(rank));
+      failed_local_sweeps = 0;
+    }
+    // Cross-node shards join the scan only after enough same-node sweeps
+    // came up dry (the work really is remote, so fetch it), or trivially
+    // on a single-node host where the split is vacuous.
+    const bool allow_remote = topo->num_nodes() <= 1 ||
+                              failed_local_sweeps >= steal_threshold();
+    if (try_pop(order, allow_remote, &item, &pop, &sc)) {
+      failed_local_sweeps = 0;
       note_idle_end();
       run_item(item, pop, rank, &sc);
       note_idle_begin();
       continue;
     }
+    ++failed_local_sweeps;
     // Idle: snapshot the work epoch, re-check the queue (an item pushed
     // before the snapshot is either visible in a shard or its epoch bump
-    // is ahead of the snapshot), then spin-wait and finally block.
+    // is ahead of the snapshot), then spin-wait and finally block. The
+    // re-check is always a full scan: a worker must never sleep while
+    // any shard — local or remote — still holds work.
     const std::uint64_t seen = work_epoch_.load(std::memory_order_acquire);
-    if (try_pop(home, &item, &pop, &sc)) {
+    if (try_pop(order, /*allow_remote=*/true, &item, &pop, &sc)) {
+      failed_local_sweeps = 0;
       note_idle_end();
       run_item(item, pop, rank, &sc);
       note_idle_begin();
@@ -348,6 +416,8 @@ obs::SchedulerStats PersistentPool::stats() const {
     w.name = name;
     w.tickets_run = sc.run.load(std::memory_order_relaxed);
     w.tickets_stolen = sc.stolen.load(std::memory_order_relaxed);
+    w.steals_local = sc.stolen_same_node.load(std::memory_order_relaxed);
+    w.steals_remote = sc.stolen_cross_node.load(std::memory_order_relaxed);
     w.tickets_inline = sc.inline_run.load(std::memory_order_relaxed);
     w.steal_attempts = sc.steal_attempts.load(std::memory_order_relaxed);
     w.steal_failures = sc.steal_failures.load(std::memory_order_relaxed);
@@ -373,6 +443,8 @@ void PersistentPool::reset_stats() {
   const auto zero = [](SchedCounters& sc) {
     sc.run.store(0, std::memory_order_relaxed);
     sc.stolen.store(0, std::memory_order_relaxed);
+    sc.stolen_same_node.store(0, std::memory_order_relaxed);
+    sc.stolen_cross_node.store(0, std::memory_order_relaxed);
     sc.inline_run.store(0, std::memory_order_relaxed);
     sc.steal_attempts.store(0, std::memory_order_relaxed);
     sc.steal_failures.store(0, std::memory_order_relaxed);

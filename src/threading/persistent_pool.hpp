@@ -12,8 +12,17 @@
 //
 //   * The queue is sharded (kShards mutex-protected deques) so concurrent
 //     submitters and workers rarely contend on the same lock. Workers
-//     prefer their home shard (rank % kShards) and steal from the others
-//     round-robin when it is empty.
+//     prefer their home shard (rank % kShards), then steal from shards
+//     homed on their own NUMA node (threading/topology), and only probe
+//     cross-node shards after ARMGEMM_CROSS_NODE_STEAL consecutive failed
+//     same-node sweeps — a remote steal drags the ticket's operands over
+//     the interconnect, so it is a last resort, not a first choice. The
+//     pre-block re-check and helping callers always scan every shard, so
+//     deferral never strands queued work.
+//   * ARMGEMM_AFFINITY=1 pins each worker to its topology cpu
+//     (cpu_of_rank), making the node/class map real instead of advisory.
+//     Off by default: pinning fights external schedulers (cgroup quotas,
+//     co-tenant processes) when the host is shared.
 //   * Callers always help: execute() runs tickets itself until its
 //     submission completes, so a pool resized to zero workers still makes
 //     progress (and a single-threaded context needs no workers at all).
@@ -50,6 +59,8 @@
 #include "obs/runtime_introspect.hpp"
 
 namespace ag {
+
+class Topology;
 
 /// Scheduling provenance of one ticket, handed to run_ticket.
 struct TicketInfo {
@@ -149,7 +160,16 @@ class PersistentPool {
   struct PopInfo {
     int shard = -1;
     bool stolen = false;
+    bool cross_node = false;  ///< stolen from a shard homed on another node
     std::int64_t depth_after = 0;
+  };
+
+  /// One thread's shard scan order: home first, then same-node shards,
+  /// then (past index `same_node`) cross-node shards. Rebuilt when the
+  /// topology snapshot changes (tests refresh under emulation knobs).
+  struct StealOrder {
+    std::vector<int> shards;
+    int same_node = 0;  ///< shards[0..same_node) are on this thread's node
   };
 
   /// One scheduler lane's counters. Relaxed atomics: each slot is
@@ -159,6 +179,8 @@ class PersistentPool {
   struct alignas(64) SchedCounters {
     std::atomic<std::uint64_t> run{0};
     std::atomic<std::uint64_t> stolen{0};
+    std::atomic<std::uint64_t> stolen_same_node{0};
+    std::atomic<std::uint64_t> stolen_cross_node{0};
     std::atomic<std::uint64_t> inline_run{0};
     std::atomic<std::uint64_t> steal_attempts{0};
     std::atomic<std::uint64_t> steal_failures{0};
@@ -168,7 +190,15 @@ class PersistentPool {
   };
 
   void worker_loop(int rank);
-  bool try_pop(int home, Item* out, PopInfo* pop, SchedCounters* sc);
+  /// Shard scan order for a thread whose home shard is `home` and whose
+  /// memory lives on `node`. Shard s is "homed" on the node of worker
+  /// rank s (the worker whose home shard it is).
+  static StealOrder build_steal_order(const Topology& topo, int home, int node);
+  /// Scans `order` (the full order when allow_remote, else only the
+  /// same-node prefix) and pops one item. Probing a non-home shard is a
+  /// steal attempt; coming up empty there is a failed steal.
+  bool try_pop(const StealOrder& order, bool allow_remote, Item* out, PopInfo* pop,
+               SchedCounters* sc);
   void run_item(const Item& item, const PopInfo& pop, int runner_rank, SchedCounters* sc);
   void finish_ticket(Submission& sub);
   void wake_workers();

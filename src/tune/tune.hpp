@@ -36,6 +36,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "core/block_sizes.hpp"
 #include "kernels/microkernel.hpp"
@@ -121,6 +122,19 @@ void install_default_probe_runner(ProbeFn fn);
 /// s/word) so resolution never runs obs/calibrate. peak <= 0 clears the
 /// pin and the next resolution re-calibrates.
 void set_machine_model(double peak_gflops, double mu, double pi);
+
+/// Per-core-class mc blocking — the paper's Eq. 19 mc sizing generalized
+/// to asymmetric (big.LITTLE) hosts: each class's mc is the key's `mc`
+/// scaled by the class's relative throughput weight (read from
+/// obs::topology_stats(), which threading/topology registers), rounded
+/// down to an mr multiple and floored at mr, so a LITTLE cluster's
+/// blocking fits its proportionally smaller L2 working set within the
+/// same call. Returns class-indexed mcs, or an empty vector when the
+/// topology is flat/unknown or no class shrinks (every rank runs `mc`
+/// unchanged). Splitting a claimed mc block along m at mr granularity
+/// never reorders a tile's kc accumulation, so this cannot change
+/// results bitwise.
+std::vector<index_t> per_class_mc(index_t mc, int mr);
 
 /// Resolves the key covering (m, n, k): the hot path is one atomic load;
 /// the first call per key loads the cache / proposes / probes / saves.

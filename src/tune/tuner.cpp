@@ -532,6 +532,28 @@ const char* to_string(Precision p) {
   return p == Precision::kF32 ? "f32" : "f64";
 }
 
+std::vector<index_t> per_class_mc(index_t mc, int mr) {
+  std::vector<index_t> out;
+  if (mc <= 0 || mr <= 0) return out;
+  if (!obs::topology_stats_available()) return out;
+  const obs::TopologyStats ts = obs::topology_stats();
+  if (ts.classes.size() < 2) return out;
+  out.reserve(ts.classes.size());
+  bool any_shrunk = false;
+  for (const obs::TopologyClassStats& c : ts.classes) {
+    // Weights are normalized to the fastest class == 1, so scaling only
+    // ever shrinks mc. A degenerate (<= 0) weight keeps the full mc —
+    // better an oversized block than a zero-row one.
+    const double w = c.weight > 0 ? std::min(c.weight, 1.0) : 1.0;
+    index_t cls_mc = static_cast<index_t>(static_cast<double>(mc) * w);
+    cls_mc = std::max<index_t>(mr, cls_mc / mr * mr);
+    if (cls_mc < mc) any_shrunk = true;
+    out.push_back(cls_mc);
+  }
+  if (!any_shrunk) out.clear();
+  return out;
+}
+
 const char* to_string(TuneSource s) {
   return obs::tune_source_name(static_cast<int>(s));
 }

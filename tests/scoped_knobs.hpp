@@ -4,8 +4,10 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "common/knobs.hpp"
+#include "threading/topology.hpp"
 
 namespace agtest {
 
@@ -94,6 +96,99 @@ class ScopedPanelCacheMb {
 
   ScopedPanelCacheMb(const ScopedPanelCacheMb&) = delete;
   ScopedPanelCacheMb& operator=(const ScopedPanelCacheMb&) = delete;
+
+ private:
+  std::int64_t prev_;
+};
+
+/// Pins an emulated topology (ARMGEMM_CPU_CLASSES + ARMGEMM_NUMA_NODES)
+/// for the guard's lifetime and rebuilds the Topology snapshot on both
+/// edges, so the runtime actually schedules against the emulation.
+/// ScopedCpuClasses("2x2.0,2x1.0") is a 2+2 big.LITTLE at 2:1;
+/// nodes > 0 additionally splits the cpus into that many NUMA nodes.
+class ScopedCpuClasses {
+ public:
+  explicit ScopedCpuClasses(const std::string& spec, std::int64_t nodes = 0)
+      : prev_spec_(ag::cpu_classes_spec()), prev_nodes_(ag::numa_nodes_override()) {
+    ag::set_cpu_classes_spec(spec);
+    ag::set_numa_nodes_override(nodes);
+    ag::Topology::refresh();
+  }
+  ~ScopedCpuClasses() {
+    ag::set_cpu_classes_spec(prev_spec_);
+    ag::set_numa_nodes_override(prev_nodes_);
+    ag::Topology::refresh();
+  }
+
+  ScopedCpuClasses(const ScopedCpuClasses&) = delete;
+  ScopedCpuClasses& operator=(const ScopedCpuClasses&) = delete;
+
+ private:
+  std::string prev_spec_;
+  std::int64_t prev_nodes_;
+};
+
+/// Pins worker-affinity pinning (ARMGEMM_AFFINITY) for the guard's
+/// lifetime. Only pool workers started while the guard is live pin.
+class ScopedAffinity {
+ public:
+  explicit ScopedAffinity(bool enabled) : prev_(ag::affinity_enabled()) {
+    ag::set_affinity_enabled(enabled);
+  }
+  ~ScopedAffinity() { ag::set_affinity_enabled(prev_); }
+
+  ScopedAffinity(const ScopedAffinity&) = delete;
+  ScopedAffinity& operator=(const ScopedAffinity&) = delete;
+
+ private:
+  bool prev_;
+};
+
+/// Pins the per-node panel-replication threshold
+/// (ARMGEMM_PANEL_REPLICATE_KB) for the guard's lifetime.
+/// ScopedPanelReplicateKb(0) replicates every cached panel per node.
+class ScopedPanelReplicateKb {
+ public:
+  explicit ScopedPanelReplicateKb(std::int64_t kb) : prev_(ag::panel_replicate_kb()) {
+    ag::set_panel_replicate_kb(kb);
+  }
+  ~ScopedPanelReplicateKb() { ag::set_panel_replicate_kb(prev_); }
+
+  ScopedPanelReplicateKb(const ScopedPanelReplicateKb&) = delete;
+  ScopedPanelReplicateKb& operator=(const ScopedPanelReplicateKb&) = delete;
+
+ private:
+  std::int64_t prev_;
+};
+
+/// Pins heterogeneity-weighted ticket partitioning
+/// (ARMGEMM_WEIGHTED_SCHEDULE) for the guard's lifetime.
+class ScopedWeightedSchedule {
+ public:
+  explicit ScopedWeightedSchedule(bool enabled) : prev_(ag::weighted_schedule_enabled()) {
+    ag::set_weighted_schedule_enabled(enabled);
+  }
+  ~ScopedWeightedSchedule() { ag::set_weighted_schedule_enabled(prev_); }
+
+  ScopedWeightedSchedule(const ScopedWeightedSchedule&) = delete;
+  ScopedWeightedSchedule& operator=(const ScopedWeightedSchedule&) = delete;
+
+ private:
+  bool prev_;
+};
+
+/// Pins the cross-node steal-deferral threshold
+/// (ARMGEMM_CROSS_NODE_STEAL) for the guard's lifetime.
+class ScopedCrossNodeSteal {
+ public:
+  explicit ScopedCrossNodeSteal(std::int64_t sweeps)
+      : prev_(ag::cross_node_steal_threshold()) {
+    ag::set_cross_node_steal_threshold(sweeps);
+  }
+  ~ScopedCrossNodeSteal() { ag::set_cross_node_steal_threshold(prev_); }
+
+  ScopedCrossNodeSteal(const ScopedCrossNodeSteal&) = delete;
+  ScopedCrossNodeSteal& operator=(const ScopedCrossNodeSteal&) = delete;
 
  private:
   std::int64_t prev_;

@@ -1,0 +1,150 @@
+// sim/biglittle: the analytic big.LITTLE schedule model. Closed-form
+// arithmetic over the runtime's own panel/ticket grids, so every
+// expectation here is exact and host-independent. The headline
+// assertions reproduce the Catalán et al. shape (PAPERS.md): a static
+// equal split is pinned to the LITTLE class, weighting recovers (close
+// to) the machine's aggregate throughput, and a symmetric machine is
+// left exactly alone.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+
+#include "core/block_sizes.hpp"
+#include "sim/biglittle.hpp"
+
+using ag::sim::BigLittleConfig;
+using ag::sim::GemmScheduleResult;
+using ag::sim::ScheduleOutcome;
+
+namespace {
+
+// Aggregate-throughput speedup bound over round-robin: wall can shrink
+// from "slowest class paces everyone" to "every core contributes its
+// speed", i.e. (sum of speeds) / (ranks * s_min).
+double ideal_bound(const BigLittleConfig& cfg) {
+  double sum = 0, mn = cfg.speed_of_rank(0);
+  for (int r = 0; r < cfg.ranks(); ++r) {
+    sum += cfg.speed_of_rank(r);
+    mn = std::min(mn, cfg.speed_of_rank(r));
+  }
+  return sum / (cfg.ranks() * mn);
+}
+
+TEST(BigLittleConfig, TwoToOneShape) {
+  const BigLittleConfig cfg = BigLittleConfig::two_to_one(2, 2);
+  EXPECT_EQ(cfg.ranks(), 4);
+  ASSERT_EQ(cfg.class_cpus.size(), 2u);
+  EXPECT_DOUBLE_EQ(cfg.class_speed[0], 1.0);
+  EXPECT_DOUBLE_EQ(cfg.class_speed[1], 0.5);
+  // Classes are contiguous cpu ranges, fastest first; ranks wrap.
+  EXPECT_EQ(cfg.class_of_rank(0), 0);
+  EXPECT_EQ(cfg.class_of_rank(1), 0);
+  EXPECT_EQ(cfg.class_of_rank(2), 1);
+  EXPECT_EQ(cfg.class_of_rank(3), 1);
+  EXPECT_EQ(cfg.class_of_rank(4), 0);
+  EXPECT_DOUBLE_EQ(cfg.speed_of_rank(3), 0.5);
+  EXPECT_DOUBLE_EQ(cfg.speed_of_rank(5), 1.0);
+}
+
+TEST(SimBigLittle, RoundRobinIsPinnedToTheLittleClass) {
+  // 100 equal tickets over 2 big + 2 little at 2:1: equal shares of 25,
+  // big cores finish at 25, little at 50 — the barrier waits for 50.
+  const BigLittleConfig cfg = BigLittleConfig::two_to_one(2, 2);
+  const ScheduleOutcome rr = ag::sim::simulate_round_robin(cfg, 100, 1.0);
+  ASSERT_EQ(rr.finish.size(), 4u);
+  EXPECT_DOUBLE_EQ(rr.finish[0], 25.0);
+  EXPECT_DOUBLE_EQ(rr.finish[2], 50.0);
+  EXPECT_DOUBLE_EQ(rr.wall, 50.0);
+  EXPECT_DOUBLE_EQ(rr.busy, 150.0);
+  EXPECT_DOUBLE_EQ(rr.utilization, 0.75);
+}
+
+TEST(SimBigLittle, TicketWorkScalesLinearly) {
+  const BigLittleConfig cfg = BigLittleConfig::two_to_one(2, 2);
+  const ScheduleOutcome one = ag::sim::simulate_round_robin(cfg, 100, 1.0);
+  const ScheduleOutcome two = ag::sim::simulate_round_robin(cfg, 100, 2.0);
+  EXPECT_DOUBLE_EQ(two.wall, 2.0 * one.wall);
+  EXPECT_DOUBLE_EQ(two.utilization, one.utilization);
+}
+
+TEST(SimBigLittle, WeightedSpansRecoverTheAggregateThroughput) {
+  // proportional_spans gives the big pair 33+33 tickets and the little
+  // pair 17+17: walls 33 and 34 instead of 25 and 50.
+  const BigLittleConfig cfg = BigLittleConfig::two_to_one(2, 2);
+  const ScheduleOutcome ws = ag::sim::simulate_weighted(cfg, 100, 1.0, false);
+  ASSERT_EQ(ws.finish.size(), 4u);
+  EXPECT_DOUBLE_EQ(ws.finish[0], 33.0);
+  EXPECT_DOUBLE_EQ(ws.finish[2], 34.0);
+  EXPECT_DOUBLE_EQ(ws.wall, 34.0);
+  EXPECT_LT(ws.wall, ag::sim::simulate_round_robin(cfg, 100, 1.0).wall);
+}
+
+TEST(SimBigLittle, StealingStaysWithinTheIdealBound) {
+  const BigLittleConfig cfg = BigLittleConfig::two_to_one(2, 2);
+  const double bound = ideal_bound(cfg);
+  EXPECT_DOUBLE_EQ(bound, 1.5);
+  for (std::int64_t tickets : {8, 50, 100, 1000}) {
+    SCOPED_TRACE(tickets);
+    const ScheduleOutcome rr = ag::sim::simulate_round_robin(cfg, tickets, 1.0);
+    const ScheduleOutcome st = ag::sim::simulate_weighted(cfg, tickets, 1.0, true);
+    EXPECT_LE(st.wall, rr.wall);
+    // The lower bound on any schedule's wall is aggregate work over
+    // aggregate speed; stealing cannot beat it.
+    EXPECT_GE(st.wall * 3.0, static_cast<double>(tickets) - 1e-9);
+    EXPECT_LE(rr.wall / st.wall, bound + 1e-9);
+    EXPECT_GE(st.utilization, rr.utilization);
+  }
+}
+
+TEST(SimBigLittle, SymmetricMachineIsLeftAlone) {
+  // On a symmetric machine every policy degenerates to the same equal
+  // split: the topology-aware schedule must cost exactly nothing.
+  BigLittleConfig cfg;
+  cfg.class_cpus = {4};
+  cfg.class_speed = {1.0};
+  const ScheduleOutcome rr = ag::sim::simulate_round_robin(cfg, 100, 1.0);
+  const ScheduleOutcome ws = ag::sim::simulate_weighted(cfg, 100, 1.0, false);
+  const ScheduleOutcome st = ag::sim::simulate_weighted(cfg, 100, 1.0, true);
+  EXPECT_DOUBLE_EQ(ws.wall, rr.wall);
+  EXPECT_DOUBLE_EQ(st.wall, rr.wall);
+
+  const ag::BlockSizes bs = ag::default_block_sizes(ag::KernelShape{8, 6}, 4);
+  const GemmScheduleResult g = ag::sim::simulate_gemm_schedule(cfg, 384, 384, 384, bs);
+  EXPECT_DOUBLE_EQ(g.speedup(), 1.0);
+}
+
+TEST(SimBigLittle, GemmScheduleReproducesTheCatalanSpeedup) {
+  // The acceptance-criterion sweep: on an emulated 2+2 big.LITTLE at
+  // 2:1, the weighted schedule must beat round-robin for 256^3..512^3,
+  // and stay within the aggregate-throughput bound.
+  const BigLittleConfig cfg = BigLittleConfig::two_to_one(2, 2);
+  const ag::BlockSizes bs = ag::default_block_sizes(ag::KernelShape{8, 6}, cfg.ranks());
+  const double bound = ideal_bound(cfg);
+  for (std::int64_t n : {256, 384, 512}) {
+    SCOPED_TRACE(n);
+    const GemmScheduleResult g = ag::sim::simulate_gemm_schedule(cfg, n, n, n, bs);
+    EXPECT_GT(g.panels, 0);
+    EXPECT_GT(g.tickets, 0);
+    EXPECT_GT(g.speedup(), 1.0);
+    EXPECT_LE(g.speedup(), bound + 1e-9);
+    // Policy ordering: stealing refines static weighting, which beats
+    // (or matches) the equal split.
+    EXPECT_LE(g.weighted_steal_wall, g.weighted_wall + 1e-9);
+    EXPECT_LE(g.weighted_steal_wall, g.round_robin_wall);
+  }
+}
+
+TEST(SimBigLittle, BiggerAsymmetryBiggerWin) {
+  // A 3:1 machine leaves more on the table for round-robin than a 2:1
+  // machine, so the recovered speedup must be monotone in the ratio.
+  const ag::BlockSizes bs = ag::default_block_sizes(ag::KernelShape{8, 6}, 4);
+  BigLittleConfig r2 = BigLittleConfig::two_to_one(2, 2);
+  BigLittleConfig r3 = r2;
+  r3.class_speed[1] = 1.0 / 3.0;
+  const GemmScheduleResult g2 = ag::sim::simulate_gemm_schedule(r2, 384, 384, 384, bs);
+  const GemmScheduleResult g3 = ag::sim::simulate_gemm_schedule(r3, 384, 384, 384, bs);
+  EXPECT_GT(g3.speedup(), g2.speedup());
+}
+
+}  // namespace

@@ -1,0 +1,185 @@
+// threading/topology: the core-class / NUMA-node map the heterogeneity-
+// aware runtime schedules against. Every test pins an emulated machine
+// through ScopedCpuClasses (ARMGEMM_CPU_CLASSES + ARMGEMM_NUMA_NODES +
+// Topology::refresh on both edges), so assertions are host-independent.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/runtime_introspect.hpp"
+#include "scoped_knobs.hpp"
+#include "threading/topology.hpp"
+
+namespace {
+
+TEST(ParseCpuClasses, AcceptsWeightedAndUnweightedGroups) {
+  std::string error;
+  const auto classes = ag::parse_cpu_classes("4x2.0,4x1.0", &error);
+  ASSERT_EQ(classes.size(), 2u) << error;
+  EXPECT_EQ(classes[0].cpus, 4);
+  EXPECT_DOUBLE_EQ(classes[0].weight, 2.0);
+  EXPECT_EQ(classes[1].cpus, 4);
+  EXPECT_DOUBLE_EQ(classes[1].weight, 1.0);
+
+  // The "x<weight>" part is optional and defaults to 1.0.
+  const auto bare = ag::parse_cpu_classes("2", &error);
+  ASSERT_EQ(bare.size(), 1u) << error;
+  EXPECT_EQ(bare[0].cpus, 2);
+  EXPECT_DOUBLE_EQ(bare[0].weight, 1.0);
+
+  const auto mixed = ag::parse_cpu_classes("1x1.5,3", &error);
+  ASSERT_EQ(mixed.size(), 2u) << error;
+  EXPECT_DOUBLE_EQ(mixed[0].weight, 1.5);
+  EXPECT_DOUBLE_EQ(mixed[1].weight, 1.0);
+}
+
+TEST(ParseCpuClasses, RejectsMalformedSpecs) {
+  for (const char* bad : {"", "0x1.0", "-2x1.0", "2x0", "2x-1.0", "garbage",
+                          "2x1.0,", "2y3", "2x", "4096x1.0,1"}) {
+    SCOPED_TRACE(bad);
+    std::string error;
+    EXPECT_TRUE(ag::parse_cpu_classes(bad, &error).empty());
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+TEST(Topology, EnvOverrideBuildsEmulatedClassMap) {
+  agtest::ScopedCpuClasses topo("2x2.0,2x1.0");
+  const ag::Topology& t = ag::Topology::get();
+  EXPECT_EQ(t.num_cpus(), 4);
+  EXPECT_EQ(t.num_classes(), 2);
+  EXPECT_EQ(t.source(), 2);  // env override
+  EXPECT_TRUE(t.asymmetric());
+  EXPECT_EQ(t.class_cpus(0), 2);
+  EXPECT_EQ(t.class_cpus(1), 2);
+  // Classes cover contiguous cpu ranges in spec order.
+  EXPECT_EQ(t.class_of_cpu(0), 0);
+  EXPECT_EQ(t.class_of_cpu(1), 0);
+  EXPECT_EQ(t.class_of_cpu(2), 1);
+  EXPECT_EQ(t.class_of_cpu(3), 1);
+  // Seeds are normalized so the fastest class sits at exactly 1.0.
+  EXPECT_DOUBLE_EQ(t.class_weight_seed(0), 1.0);
+  EXPECT_DOUBLE_EQ(t.class_weight_seed(1), 0.5);
+  // Before any refinement the live weight IS the seed.
+  EXPECT_DOUBLE_EQ(t.class_weight(0), 1.0);
+  EXPECT_DOUBLE_EQ(t.class_weight(1), 0.5);
+}
+
+TEST(Topology, RanksWrapAroundTheCpuList) {
+  agtest::ScopedCpuClasses topo("2x2.0,2x1.0");
+  const ag::Topology& t = ag::Topology::get();
+  EXPECT_EQ(t.cpu_of_rank(0), 0);
+  EXPECT_EQ(t.cpu_of_rank(3), 3);
+  EXPECT_EQ(t.cpu_of_rank(4), 0);  // rank r lives on cpu r mod num_cpus
+  EXPECT_EQ(t.cpu_of_rank(7), 3);
+  EXPECT_EQ(t.class_of_rank(5), 0);
+  EXPECT_EQ(t.class_of_rank(6), 1);
+  // Out-of-range queries degrade to cpu/class/node 0, never UB.
+  EXPECT_EQ(t.cpu_of_rank(-1), 0);
+  EXPECT_EQ(t.class_of_cpu(99), 0);
+  EXPECT_EQ(t.node_of_cpu(-5), 0);
+}
+
+TEST(Topology, NodeOverrideSplitsCpusContiguously) {
+  agtest::ScopedCpuClasses topo("2x2.0,2x1.0", /*nodes=*/2);
+  const ag::Topology& t = ag::Topology::get();
+  EXPECT_EQ(t.num_nodes(), 2);
+  EXPECT_EQ(t.node_of_cpu(0), 0);
+  EXPECT_EQ(t.node_of_cpu(1), 0);
+  EXPECT_EQ(t.node_of_cpu(2), 1);
+  EXPECT_EQ(t.node_of_cpu(3), 1);
+  EXPECT_EQ(t.node_of_rank(6), 1);  // rank 6 -> cpu 2 -> node 1
+}
+
+TEST(Topology, NodeOverrideClampsToCpuCount) {
+  agtest::ScopedCpuClasses topo("2", /*nodes=*/8);
+  EXPECT_EQ(ag::Topology::get().num_nodes(), 2);
+}
+
+TEST(Topology, RankWeightsFollowClassMembership) {
+  agtest::ScopedCpuClasses topo("2x2.0,2x1.0");
+  const std::vector<double> w = ag::Topology::get().rank_weights(8);
+  ASSERT_EQ(w.size(), 8u);
+  const std::vector<double> want = {1.0, 1.0, 0.5, 0.5, 1.0, 1.0, 0.5, 0.5};
+  for (int r = 0; r < 8; ++r) {
+    SCOPED_TRACE(r);
+    EXPECT_DOUBLE_EQ(w[static_cast<std::size_t>(r)],
+                     want[static_cast<std::size_t>(r)]);
+  }
+}
+
+TEST(Topology, OnlineRefinementReplacesSeedWithMeasuredRatio) {
+  agtest::ScopedCpuClasses topo("2x2.0,2x1.0");
+  const ag::Topology& t = ag::Topology::get();
+  // Seed says 2:1; feed ticket accounting that says 4:1 (class 0 spends
+  // 100ns per ticket, class 1 spends 400ns). Refinement needs >= 64
+  // tickets per class.
+  for (int i = 0; i < 100; ++i) {
+    t.note_ticket(0, 100);
+    t.note_ticket(1, 400);
+  }
+  EXPECT_DOUBLE_EQ(t.class_weight(0), 1.0);
+  EXPECT_DOUBLE_EQ(t.class_weight(1), 0.25);
+  // The seed itself is untouched — refresh() restarts from it.
+  EXPECT_DOUBLE_EQ(t.class_weight_seed(1), 0.5);
+
+  const ag::obs::TopologyStats s = t.stats();
+  EXPECT_TRUE(s.weights_refined);
+  ASSERT_EQ(s.classes.size(), 2u);
+  EXPECT_EQ(s.classes[0].tickets, 100u);
+  EXPECT_DOUBLE_EQ(s.classes[1].weight, 0.25);
+}
+
+TEST(Topology, RefinementNeedsAStableSamplePerClass) {
+  agtest::ScopedCpuClasses topo("2x2.0,2x1.0");
+  const ag::Topology& t = ag::Topology::get();
+  // 63 tickets on one class only: both gates (count, coverage) fail, so
+  // the live weight stays the seed.
+  for (int i = 0; i < 63; ++i) t.note_ticket(0, 100);
+  EXPECT_FALSE(t.stats().weights_refined);
+  EXPECT_DOUBLE_EQ(t.class_weight(1), 0.5);
+}
+
+TEST(Topology, StatsSnapshotMirrorsTheTopology) {
+  agtest::ScopedCpuClasses topo("1x1.0,3x0.25", /*nodes=*/2);
+  const ag::obs::TopologyStats s = ag::Topology::get().stats();
+  EXPECT_EQ(s.cpus, 4);
+  EXPECT_EQ(s.nodes, 2);
+  EXPECT_EQ(s.source, 2);
+  ASSERT_EQ(s.classes.size(), 2u);
+  EXPECT_EQ(s.classes[0].cls, 0);
+  EXPECT_EQ(s.classes[0].cpus, 1);
+  EXPECT_DOUBLE_EQ(s.classes[0].weight_seed, 1.0);
+  EXPECT_EQ(s.classes[1].cpus, 3);
+  EXPECT_DOUBLE_EQ(s.classes[1].weight_seed, 0.25);
+  // The obs source is registered by first use, so the telemetry layer
+  // sees the same snapshot without linking threading.
+  EXPECT_TRUE(ag::obs::topology_stats_available());
+  EXPECT_EQ(ag::obs::topology_stats().cpus, 4);
+}
+
+TEST(Topology, MalformedSpecFallsBackToDiscovery) {
+  agtest::ScopedCpuClasses topo("not-a-spec");
+  // The bad override is rejected (with a stderr warning) and discovery
+  // runs instead — whatever the host looks like, it is not "env".
+  EXPECT_NE(ag::Topology::get().source(), 2);
+  EXPECT_GE(ag::Topology::get().num_cpus(), 1);
+  EXPECT_GE(ag::Topology::get().num_classes(), 1);
+}
+
+TEST(Topology, RefreshRestoresThePreviousMapAfterAGuard) {
+  int cpus_before = 0;
+  {
+    agtest::ScopedCpuClasses outer("3x1.0");
+    cpus_before = ag::Topology::get().num_cpus();
+    ASSERT_EQ(cpus_before, 3);
+    {
+      agtest::ScopedCpuClasses inner("5x1.0,5x0.5");
+      EXPECT_EQ(ag::Topology::get().num_cpus(), 10);
+    }
+    EXPECT_EQ(ag::Topology::get().num_cpus(), 3);
+  }
+}
+
+}  // namespace

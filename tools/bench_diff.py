@@ -9,20 +9,23 @@ Usage:
   bench_diff.py --self-test                 # built-in schema/diff tests
 
 Stdlib only (json/argparse); the schema is versioned as
-"armgemm-bench/5" (shaped m x n x k points, packing-bandwidth points,
-batched-GEMM points and tuned-vs-default autotuner points) and produced
-by bench/regress.cpp. Older reports — schema 4 (no "tune" array),
-schema 3 (no "batch" array), schema 2 (no "packing" array) and schema 1
-(square-only, keyed by "n") — are accepted for both printing and
-diffing: missing m/k default to n, and packing/batch/tune points appear
-as unmatched rather than failing validation.
+"armgemm-bench/6" (shaped m x n x k points, packing-bandwidth points,
+batched-GEMM points, tuned-vs-default autotuner points and topology-
+schedule points from the analytic big.LITTLE simulator) and produced by
+bench/regress.cpp. Older reports — schema 5 (no "topology" array),
+schema 4 (no "tune" array), schema 3 (no "batch" array), schema 2 (no
+"packing" array) and schema 1 (square-only, keyed by "n") — are
+accepted for both printing and diffing: missing m/k default to n, and
+packing/batch/tune/topology points appear as unmatched rather than
+failing validation.
 """
 
 import argparse
 import json
 import sys
 
-SCHEMA = "armgemm-bench/5"
+SCHEMA = "armgemm-bench/6"
+SCHEMA_V5 = "armgemm-bench/5"  # no topology-schedule points
 SCHEMA_V4 = "armgemm-bench/4"  # no autotuner tuned-vs-default points
 SCHEMA_V3 = "armgemm-bench/3"  # no batched-GEMM points
 SCHEMA_V2 = "armgemm-bench/2"  # no packing-bandwidth points
@@ -73,6 +76,13 @@ TUNE_REQUIRED = {
     "ratio": (int, float),
 }
 
+TOPOLOGY_REQUIRED = {
+    "n": (int, float),
+    "round_robin_wall": (int, float),
+    "weighted_steal_wall": (int, float),
+    "speedup": (int, float),
+}
+
 
 def validate(report):
     """Returns a list of schema problems (empty when valid)."""
@@ -84,19 +94,31 @@ def validate(report):
             problems.append(f"missing top-level key: {key}")
         elif not isinstance(report[key], types):
             problems.append(f"wrong type for {key}: {type(report[key]).__name__}")
-    if report.get("schema") not in (None, SCHEMA, SCHEMA_V4, SCHEMA_V3, SCHEMA_V2,
-                                    SCHEMA_V1):
+    if report.get("schema") not in (None, SCHEMA, SCHEMA_V5, SCHEMA_V4, SCHEMA_V3,
+                                    SCHEMA_V2, SCHEMA_V1):
         problems.append(
-            f"schema is {report['schema']!r}, expected {SCHEMA!r}, "
+            f"schema is {report['schema']!r}, expected {SCHEMA!r}, {SCHEMA_V5!r}, "
             f"{SCHEMA_V4!r}, {SCHEMA_V3!r}, {SCHEMA_V2!r} or {SCHEMA_V1!r}")
-    if (report.get("schema") in (SCHEMA, SCHEMA_V4, SCHEMA_V3)
+    if (report.get("schema") in (SCHEMA, SCHEMA_V5, SCHEMA_V4, SCHEMA_V3)
             and not isinstance(report.get("packing"), list)):
         problems.append("schema 3+ report missing packing array")
-    if (report.get("schema") in (SCHEMA, SCHEMA_V4)
+    if (report.get("schema") in (SCHEMA, SCHEMA_V5, SCHEMA_V4)
             and not isinstance(report.get("batch"), list)):
         problems.append("schema 4+ report missing batch array")
-    if report.get("schema") == SCHEMA and not isinstance(report.get("tune"), list):
-        problems.append("schema 5 report missing tune array")
+    if (report.get("schema") in (SCHEMA, SCHEMA_V5)
+            and not isinstance(report.get("tune"), list)):
+        problems.append("schema 5+ report missing tune array")
+    if report.get("schema") == SCHEMA and not isinstance(report.get("topology"), list):
+        problems.append("schema 6 report missing topology array")
+    for i, t in enumerate(report.get("topology", []) or []):
+        if not isinstance(t, dict):
+            problems.append(f"topology[{i}] is not an object")
+            continue
+        for key, types in TOPOLOGY_REQUIRED.items():
+            if key not in t:
+                problems.append(f"topology[{i}] missing key: {key}")
+            elif not isinstance(t[key], types):
+                problems.append(f"topology[{i}].{key} has wrong type")
     for i, t in enumerate(report.get("tune", []) or []):
         if not isinstance(t, dict):
             problems.append(f"tune[{i}] is not an object")
@@ -180,6 +202,14 @@ def tune_label(point):
     return f"n={int(point['n'])} threads={int(point['threads'])}"
 
 
+def topo_key(point):
+    return int(point["n"])
+
+
+def topo_label(point):
+    return f"n={int(point['n'])}"
+
+
 def print_report(report):
     print(f"host {report['host']}  date {report['date']}  "
           f"peak {report['peak_gflops_per_core']:.2f} Gflops/core  "
@@ -192,6 +222,9 @@ def print_report(report):
     for t in report.get("tune", []):
         print(f"tune {tune_label(t)}: default {t['default_gflops']:.2f} -> "
               f"tuned {t['tuned_gflops']:.2f} Gflops ({t['ratio']:.2f}x)")
+    for t in report.get("topology", []):
+        print(f"topology {topo_label(t)}: round-robin {t['round_robin_wall']:.1f} -> "
+              f"weighted {t['weighted_steal_wall']:.1f} ({t['speedup']:.3f}x)")
     print(f"{'shape':>14} {'thr':>4} {'Gflops':>9} {'eff':>7} {'GEBP s':>10} {'pack s':>10} "
           f"{'barrier s':>10} {'small s':>10}")
     for r in report["results"]:
@@ -293,6 +326,26 @@ def diff(base, new, threshold):
         if k not in new_tune_keys:
             print(f"tune {tune_label(b)}: dropped from new run (NOT gated)")
             unmatched.append(f"tune {tune_label(b)} (missing from new run)")
+    # Topology-schedule points: gated on relative speedup drop, same rules.
+    base_topos = {topo_key(t): t for t in base.get("topology", [])}
+    new_topo_keys = {topo_key(t) for t in new.get("topology", [])}
+    for t in new.get("topology", []):
+        b = base_topos.get(topo_key(t))
+        if b is None:
+            print(f"topology {topo_label(t)}: {t['speedup']:.3f}x weighted speedup, "
+                  "no baseline entry (NOT gated)")
+            unmatched.append(f"topology {topo_label(t)} (no baseline)")
+            continue
+        base_s, new_s = b["speedup"], t["speedup"]
+        drop = (base_s - new_s) / base_s if base_s > 0 else 0.0
+        bad = drop > threshold
+        regressions += bad
+        print(f"topology {topo_label(t)}: {base_s:.3f} -> {new_s:.3f}x speedup "
+              f"({-drop:+.1%})  {'REGRESSION' if bad else 'ok'}")
+    for k, b in base_topos.items():
+        if k not in new_topo_keys:
+            print(f"topology {topo_label(b)}: dropped from new run (NOT gated)")
+            unmatched.append(f"topology {topo_label(b)} (missing from new run)")
     if unmatched:
         print(f"bench_diff: WARNING: {len(unmatched)} configuration(s) not gated:",
               file=sys.stderr)
@@ -302,7 +355,7 @@ def diff(base, new, threshold):
 
 
 def make_sample(eff_scale=1.0, schema=SCHEMA, pack_scale=1.0, batch_scale=1.0,
-                tune_scale=1.0):
+                tune_scale=1.0, topo_scale=1.0):
     result = {
         "n": 128,
         "threads": 1,
@@ -325,24 +378,29 @@ def make_sample(eff_scale=1.0, schema=SCHEMA, pack_scale=1.0, batch_scale=1.0,
         "calibration": {"mu": 1e-10},
         "results": [result],
     }
-    if schema in (SCHEMA, SCHEMA_V4, SCHEMA_V3):
+    if schema in (SCHEMA, SCHEMA_V5, SCHEMA_V4, SCHEMA_V3):
         report["packing"] = [
             {"op": op, "trans": trans, "best_seconds": 0.0001,
              "gbps": 10.0 * pack_scale}
             for op in ("pack_a", "pack_b") for trans in ("N", "T")
         ]
-    if schema in (SCHEMA, SCHEMA_V4):
+    if schema in (SCHEMA, SCHEMA_V5, SCHEMA_V4):
         report["batch"] = [
             {"label": label, "m": 64, "n": 64, "k": 64, "count": 64, "threads": 1,
              "best_seconds": 0.001, "gflops": 6.0 * batch_scale,
              "loop_seconds": 0.002, "speedup": 2.0}
             for label in ("batch64_small", "batch8_skinny")
         ]
-    if schema == SCHEMA:
+    if schema in (SCHEMA, SCHEMA_V5):
         tuned = 7.5 * tune_scale
         report["tune"] = [
             {"n": 256, "threads": 1, "default_gflops": 7.0,
              "tuned_gflops": tuned, "ratio": tuned / 7.0}
+        ]
+    if schema == SCHEMA:
+        report["topology"] = [
+            {"n": 256, "round_robin_wall": 12.0, "weighted_wall": 9.0,
+             "weighted_steal_wall": 8.0, "speedup": 1.5 * topo_scale}
         ]
     return report
 
@@ -374,7 +432,12 @@ def self_test():
     n_reg, unmatched = diff(make_sample(), make_sample(tune_scale=0.5), 0.10)
     assert (n_reg, unmatched) == (1, []), (n_reg, unmatched)
     assert diff(make_sample(), make_sample(tune_scale=0.95), 0.10) == (0, [])
-    # A schema-5 report without packing, batch or tune fails validation ...
+    # Topology-schedule points gate on weighted speedup.
+    n_reg, unmatched = diff(make_sample(), make_sample(topo_scale=0.5), 0.10)
+    assert (n_reg, unmatched) == (1, []), (n_reg, unmatched)
+    assert diff(make_sample(), make_sample(topo_scale=0.95), 0.10) == (0, [])
+    # A schema-6 report without packing, batch, tune or topology fails
+    # validation ...
     no_pack = make_sample()
     del no_pack["packing"]
     assert any("packing" in p for p in validate(no_pack)), validate(no_pack)
@@ -384,37 +447,45 @@ def self_test():
     no_tune = make_sample()
     del no_tune["tune"]
     assert any("tune" in p for p in validate(no_tune)), validate(no_tune)
-    # ... but a schema-4 baseline (no tune array) diffs cleanly, with the
-    # new run's tune point reported as unmatched, never gated.
+    no_topo = make_sample()
+    del no_topo["topology"]
+    assert any("topology" in p for p in validate(no_topo)), validate(no_topo)
+    # ... but a schema-5 baseline (no topology array) diffs cleanly, with
+    # the new run's topology point reported as unmatched, never gated.
+    v5 = make_sample(schema=SCHEMA_V5)
+    assert validate(v5) == [], validate(v5)
+    n_reg, unmatched = diff(v5, make_sample(topo_scale=0.1), 0.10)
+    assert n_reg == 0 and len(unmatched) == 1, (n_reg, unmatched)
+    # A schema-4 baseline additionally leaves the tune point unmatched.
     v4 = make_sample(schema=SCHEMA_V4)
     assert validate(v4) == [], validate(v4)
     n_reg, unmatched = diff(v4, make_sample(tune_scale=0.1), 0.10)
-    assert n_reg == 0 and len(unmatched) == 1, (n_reg, unmatched)
+    assert n_reg == 0 and len(unmatched) == 2, (n_reg, unmatched)
     # A schema-3 baseline (packing, no batch) additionally leaves the
     # batch points unmatched.
     v3 = make_sample(schema=SCHEMA_V3)
     assert validate(v3) == [], validate(v3)
     n_reg, unmatched = diff(v3, make_sample(batch_scale=0.1), 0.10)
-    assert n_reg == 0 and len(unmatched) == 3, (n_reg, unmatched)
-    # A schema-2 baseline (no packing either) leaves packing, batch AND
-    # tune points unmatched.
+    assert n_reg == 0 and len(unmatched) == 4, (n_reg, unmatched)
+    # A schema-2 baseline (no packing either) leaves packing, batch, tune
+    # AND topology points unmatched.
     v2 = make_sample(schema=SCHEMA_V2)
     assert validate(v2) == [], validate(v2)
     n_reg, unmatched = diff(v2, make_sample(pack_scale=0.1), 0.10)
-    assert n_reg == 0 and len(unmatched) == 7, (n_reg, unmatched)
+    assert n_reg == 0 and len(unmatched) == 8, (n_reg, unmatched)
 
     # Schema-1 reports validate and key against schema-2 square points:
     # {"n": 128} must match {"m": 128, "n": 128, "k": 128}.
     v1 = make_sample(schema=SCHEMA_V1)
     assert validate(v1) == [], validate(v1)
     assert key(v1["results"][0]) == key(make_sample()["results"][0])
-    # Against a v1 baseline the new run's packing, batch and tune points
-    # are unmatched (reported, never gated); the efficiency gate still
-    # fires.
+    # Against a v1 baseline the new run's packing, batch, tune and
+    # topology points are unmatched (reported, never gated); the
+    # efficiency gate still fires.
     n_reg, unmatched = diff(v1, make_sample(eff_scale=0.5), 0.10)
-    assert n_reg == 1 and len(unmatched) == 7, (n_reg, unmatched)
+    assert n_reg == 1 and len(unmatched) == 8, (n_reg, unmatched)
     n_reg, unmatched = diff(v1, make_sample(), 0.10)
-    assert n_reg == 0 and len(unmatched) == 7, (n_reg, unmatched)
+    assert n_reg == 0 and len(unmatched) == 8, (n_reg, unmatched)
 
     # Unmatched configurations are reported in both directions, never
     # silently: a new config with no baseline and a baseline config the
